@@ -1,0 +1,136 @@
+//! Chang–Roberts unidirectional election: simple, `O(n log n)` expected
+//! messages, `Θ(n²)` worst case (ids sorted against the ring direction).
+
+use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Scheduler};
+use anonring_sim::{Message, Port, RingConfig, SimError};
+
+use crate::Elected;
+
+/// Chang–Roberts messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrMsg {
+    /// A circulating candidacy.
+    Candidate(u64),
+    /// The winner's announcement.
+    Announce(u64),
+}
+
+impl Message for CrMsg {
+    fn bit_len(&self) -> usize {
+        1 + 64
+    }
+}
+
+/// The Chang–Roberts process (oriented rings; candidacies travel
+/// rightward).
+#[derive(Debug, Clone)]
+pub struct ChangRoberts {
+    id: u64,
+}
+
+impl ChangRoberts {
+    /// Creates the process with the given distinct label.
+    #[must_use]
+    pub fn new(id: u64) -> ChangRoberts {
+        ChangRoberts { id }
+    }
+}
+
+impl AsyncProcess for ChangRoberts {
+    type Msg = CrMsg;
+    type Output = Elected;
+
+    fn on_start(&mut self) -> Actions<CrMsg, Elected> {
+        Actions::send(Port::Right, CrMsg::Candidate(self.id))
+    }
+
+    fn on_message(&mut self, from: Port, msg: CrMsg) -> Actions<CrMsg, Elected> {
+        debug_assert_eq!(from, Port::Left, "unidirectional algorithm");
+        match msg {
+            CrMsg::Candidate(j) if j > self.id => {
+                Actions::send(Port::Right, CrMsg::Candidate(j))
+            }
+            CrMsg::Candidate(j) if j < self.id => Actions::idle(),
+            CrMsg::Candidate(_) => {
+                // Own candidacy circled the ring: elected.
+                Actions::send(Port::Right, CrMsg::Announce(self.id))
+            }
+            CrMsg::Announce(leader) if leader == self.id => Actions::halt(Elected {
+                leader,
+                is_leader: true,
+            }),
+            CrMsg::Announce(leader) => Actions::send(Port::Right, CrMsg::Announce(leader))
+                .and_halt(Elected {
+                    leader,
+                    is_leader: false,
+                }),
+        }
+    }
+}
+
+/// Runs Chang–Roberts on an oriented ring of distinct labels.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if the ring is not oriented or labels repeat.
+pub fn run(
+    config: &RingConfig<u64>,
+    scheduler: &mut dyn Scheduler,
+) -> Result<AsyncReport<Elected>, SimError> {
+    assert!(config.topology().is_oriented(), "needs an oriented ring");
+    let mut sorted = config.inputs().to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), config.n(), "labels must be distinct");
+    let mut engine = AsyncEngine::from_config(config, |_, &id| ChangRoberts::new(id));
+    engine.run(scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_valid_election;
+    use anonring_sim::r#async::{FifoScheduler, RandomScheduler};
+
+    #[test]
+    fn elects_maximum_under_any_schedule() {
+        for ids in [
+            vec![3u64, 1, 4, 14, 5, 9, 2, 6],
+            vec![10, 20],
+            vec![5, 4, 3, 2, 1],
+            vec![1, 2, 3, 4, 5],
+        ] {
+            let config = RingConfig::oriented(ids.clone());
+            for seed in 0..5 {
+                let report = run(&config, &mut RandomScheduler::new(seed)).unwrap();
+                assert_valid_election(&ids, report.outputs());
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_is_quadratic_best_case_linear() {
+        let n = 32u64;
+        // Decreasing along the send direction: id k survives k hops.
+        let worst: Vec<u64> = (1..=n).rev().collect();
+        let best: Vec<u64> = (1..=n).collect();
+        let wr = run(&RingConfig::oriented(worst), &mut FifoScheduler).unwrap();
+        let br = run(&RingConfig::oriented(best), &mut FifoScheduler).unwrap();
+        // worst: sum_{k=1..n} k candidates hops + n announce.
+        assert_eq!(wr.messages, n * (n + 1) / 2 + n);
+        // best: every candidacy dies after one hop except the max.
+        assert_eq!(br.messages, (n - 1) + n + n);
+        assert!(wr.messages > 4 * br.messages);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rejects_duplicate_labels() {
+        let config = RingConfig::oriented(vec![1u64, 2, 1]);
+        let _ = run(&config, &mut FifoScheduler);
+    }
+}

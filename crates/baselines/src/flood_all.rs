@@ -1,0 +1,163 @@
+//! The label-oblivious `Θ(n²)` baseline: everyone floods, everyone
+//! learns everything.
+//!
+//! This is what an anonymous ring is *forced* to do for minimum finding
+//! with possibly-repeated inputs (Corollary 5.2): each processor's label
+//! travels `⌊n/2⌋` hops in both directions, `n(n+⊘)` messages in total.
+//! On labelled rings it doubles as a correctness oracle for the election
+//! algorithms.
+
+use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Scheduler};
+use anonring_sim::{Message, Port, RingConfig, SimError};
+
+use crate::Elected;
+
+/// A flooded label with its hop count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodMsg {
+    /// Originator's label.
+    pub id: u64,
+    /// Hops travelled so far.
+    pub hops: u64,
+}
+
+impl Message for FloodMsg {
+    fn bit_len(&self) -> usize {
+        128
+    }
+}
+
+/// The flooding process: collect all labels, output the maximum.
+#[derive(Debug, Clone)]
+pub struct FloodAll {
+    n: usize,
+    id: u64,
+    seen: Vec<u64>,
+}
+
+impl FloodAll {
+    /// Creates the process for a ring of size `n ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: usize, id: u64) -> FloodAll {
+        assert!(n >= 2, "ring size must be at least 2");
+        FloodAll {
+            n,
+            id,
+            seen: Vec::new(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        // Distinct labels: floor(n/2) from each side, minus the double-
+        // counted antipode on even rings.
+        self.seen.len() >= self.n - 1
+    }
+
+    fn finish(&self) -> Elected {
+        let max = self.seen.iter().copied().max().unwrap_or(0).max(self.id);
+        Elected {
+            leader: max,
+            is_leader: max == self.id,
+        }
+    }
+}
+
+impl AsyncProcess for FloodAll {
+    type Msg = FloodMsg;
+    type Output = Elected;
+
+    fn on_start(&mut self) -> Actions<FloodMsg, Elected> {
+        let m = FloodMsg {
+            id: self.id,
+            hops: 1,
+        };
+        Actions::send(Port::Left, m).and_send(Port::Right, m)
+    }
+
+    fn on_message(&mut self, from: Port, msg: FloodMsg) -> Actions<FloodMsg, Elected> {
+        if !self.seen.contains(&msg.id) {
+            self.seen.push(msg.id);
+        }
+        let mut actions = if msg.hops < (self.n / 2) as u64 {
+            Actions::send(
+                from.opposite(),
+                FloodMsg {
+                    id: msg.id,
+                    hops: msg.hops + 1,
+                },
+            )
+        } else {
+            Actions::idle()
+        };
+        if self.done() {
+            actions = actions.and_halt(self.finish());
+        }
+        actions
+    }
+}
+
+/// Runs the flooding baseline on a ring of distinct labels.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if labels repeat.
+pub fn run(
+    config: &RingConfig<u64>,
+    scheduler: &mut dyn Scheduler,
+) -> Result<AsyncReport<Elected>, SimError> {
+    let mut sorted = config.inputs().to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), config.n(), "labels must be distinct");
+    let n = config.n();
+    let mut engine = AsyncEngine::from_config(config, |_, &id| FloodAll::new(n, id));
+    engine.run(scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_valid_election;
+    use anonring_sim::r#async::{FifoScheduler, RandomScheduler};
+
+    #[test]
+    fn finds_maximum_on_any_orientation() {
+        use anonring_sim::Orientation;
+        let ids = vec![3u64, 9, 4, 1, 5];
+        let orientations = vec![
+            Orientation::Clockwise,
+            Orientation::Counterclockwise,
+            Orientation::Clockwise,
+            Orientation::Counterclockwise,
+            Orientation::Counterclockwise,
+        ];
+        let config = RingConfig::new(ids.clone(), orientations).unwrap();
+        for seed in 0..4 {
+            let report = run(&config, &mut RandomScheduler::new(seed)).unwrap();
+            assert_valid_election(&ids, report.outputs());
+        }
+    }
+
+    #[test]
+    fn cost_is_quadratic() {
+        for n in [5usize, 10, 21, 40] {
+            let ids: Vec<u64> = (1..=n as u64).collect();
+            let config = RingConfig::oriented(ids);
+            let report = run(&config, &mut FifoScheduler).unwrap();
+            let quadratic = (n * n / 2) as u64;
+            assert!(
+                report.messages >= quadratic && report.messages <= 2 * quadratic + n as u64,
+                "n={n}: {} messages",
+                report.messages
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Franklin's bidirectional election (CACM 1982): `O(n log n)` messages.
+//!
+//! Each round, every surviving candidate sends its label both ways;
+//! passives relay. A candidate survives iff it is a *strict local
+//! maximum* among surviving candidates — it beats the nearest survivor
+//! on each side — so at least half retire per round. A label returning
+//! to its own sender means no other candidate absorbed it: that sender
+//! is the ring maximum and announces.
+//!
+//! Compared with Hirschberg–Sinclair (also bidirectional), Franklin needs
+//! no hop budgets: distances grow implicitly as candidates thin out.
+
+use std::collections::VecDeque;
+
+use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Scheduler};
+use anonring_sim::{Message, Port, RingConfig, SimError};
+
+use crate::Elected;
+
+/// Franklin messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FranklinMsg {
+    /// A candidate's label, travelling until the next candidate.
+    Value(u64),
+    /// The winner's announcement.
+    Announce(u64),
+}
+
+impl Message for FranklinMsg {
+    fn bit_len(&self) -> usize {
+        1 + 64
+    }
+}
+
+/// The Franklin process.
+#[derive(Debug, Clone)]
+pub struct Franklin {
+    id: u64,
+    active: bool,
+    announced: bool,
+    /// Buffered candidate values per port, in FIFO (= round) order.
+    pending: [VecDeque<u64>; 2],
+}
+
+impl Franklin {
+    /// Creates the process with the given distinct label.
+    #[must_use]
+    pub fn new(id: u64) -> Franklin {
+        Franklin {
+            id,
+            active: true,
+            announced: false,
+            pending: [VecDeque::new(), VecDeque::new()],
+        }
+    }
+
+    /// Decides rounds while values from both sides are available.
+    fn decide(&mut self) -> Actions<FranklinMsg, Elected> {
+        let mut actions = Actions::idle();
+        while self.active && !self.pending[0].is_empty() && !self.pending[1].is_empty() {
+            let left = self.pending[0].pop_front().expect("checked");
+            let right = self.pending[1].pop_front().expect("checked");
+            if left == self.id || right == self.id {
+                // Our label circumnavigated: sole survivor.
+                self.active = false;
+                self.announced = true;
+                return actions.and_send(Port::Right, FranklinMsg::Announce(self.id));
+            }
+            if self.id > left && self.id > right {
+                // Strict local maximum: next round.
+                actions = actions
+                    .and_send(Port::Left, FranklinMsg::Value(self.id))
+                    .and_send(Port::Right, FranklinMsg::Value(self.id));
+            } else {
+                self.active = false;
+                // Retired candidates relay anything still buffered.
+                for (slot, out) in [(0usize, Port::Right), (1, Port::Left)] {
+                    while let Some(v) = self.pending[slot].pop_front() {
+                        actions = actions.and_send(out, FranklinMsg::Value(v));
+                    }
+                }
+            }
+        }
+        actions
+    }
+}
+
+impl AsyncProcess for Franklin {
+    type Msg = FranklinMsg;
+    type Output = Elected;
+
+    fn on_start(&mut self) -> Actions<FranklinMsg, Elected> {
+        Actions::send(Port::Left, FranklinMsg::Value(self.id))
+            .and_send(Port::Right, FranklinMsg::Value(self.id))
+    }
+
+    fn on_message(&mut self, from: Port, msg: FranklinMsg) -> Actions<FranklinMsg, Elected> {
+        match msg {
+            FranklinMsg::Value(v) => {
+                if self.active {
+                    self.pending[usize::from(from == Port::Right)].push_back(v);
+                    self.decide()
+                } else {
+                    // Relay onwards in the same rotational direction.
+                    Actions::send(from.opposite(), FranklinMsg::Value(v))
+                }
+            }
+            FranklinMsg::Announce(leader) => {
+                if self.announced {
+                    Actions::halt(Elected {
+                        leader,
+                        is_leader: self.id == leader,
+                    })
+                } else {
+                    self.announced = true;
+                    Actions::send(Port::Right, FranklinMsg::Announce(leader)).and_halt(Elected {
+                        leader,
+                        is_leader: self.id == leader,
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Runs Franklin's algorithm on an oriented ring of distinct labels.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if the ring is not oriented or labels repeat.
+pub fn run(
+    config: &RingConfig<u64>,
+    scheduler: &mut dyn Scheduler,
+) -> Result<AsyncReport<Elected>, SimError> {
+    assert!(config.topology().is_oriented(), "needs an oriented ring");
+    let mut sorted = config.inputs().to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), config.n(), "labels must be distinct");
+    let mut engine = AsyncEngine::from_config(config, |_, &id| Franklin::new(id));
+    engine.run(scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_valid_election;
+    use anonring_sim::r#async::{FifoScheduler, RandomScheduler, SynchronizingScheduler};
+
+    #[test]
+    fn elects_maximum_under_any_schedule() {
+        for ids in [
+            vec![3u64, 1, 4, 14, 5, 9, 2, 6],
+            vec![10, 20],
+            vec![2, 1, 3],
+            vec![5, 4, 3, 2, 1, 9, 8, 7, 6],
+            (0..40u64).map(|i| (i * 48271) % 99991).collect(),
+        ] {
+            let config = RingConfig::oriented(ids.clone());
+            let report = run(&config, &mut SynchronizingScheduler).unwrap();
+            assert_valid_election(&ids, report.outputs());
+            for seed in 0..4 {
+                let report = run(&config, &mut RandomScheduler::new(seed)).unwrap();
+                assert_valid_election(&ids, report.outputs());
+            }
+        }
+    }
+
+    #[test]
+    fn message_bound_is_n_log_n() {
+        for n in [8usize, 32, 128, 512] {
+            for ids in [
+                (1..=n as u64).collect::<Vec<_>>(),
+                (1..=n as u64).rev().collect::<Vec<_>>(),
+                (0..n as u64).map(|i| (i * 2654435761) % 999983).collect(),
+            ] {
+                let config = RingConfig::oriented(ids.clone());
+                let report = run(&config, &mut FifoScheduler).unwrap();
+                let bound = 2.0 * n as f64 * ((n as f64).log2() + 2.0) + 2.0 * n as f64;
+                assert!(
+                    (report.messages as f64) <= bound,
+                    "n={n}: {} messages > {bound}",
+                    report.messages
+                );
+                assert_valid_election(&ids, report.outputs());
+            }
+        }
+    }
+}

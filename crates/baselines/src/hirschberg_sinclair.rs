@@ -1,0 +1,223 @@
+//! Hirschberg–Sinclair bidirectional election in `O(n log n)` messages.
+//!
+//! Candidates probe exponentially growing neighbourhoods: in phase `k` a
+//! candidate sends its label `2ᵏ` hops in both directions. A probe is
+//! swallowed by any processor with a larger label; a probe that survives
+//! its full budget is answered by a reply. A candidate that collects
+//! replies from both directions enters the next phase; a probe that
+//! returns to its own originator has circled a ring it dominates — that
+//! originator is the leader. At most `⌈log n⌉ + 1` phases of `≤ 4n`
+//! messages each.
+
+use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Scheduler};
+use anonring_sim::{Message, Port, RingConfig, SimError};
+
+use crate::Elected;
+
+/// Hirschberg–Sinclair messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HsMsg {
+    /// Outbound candidacy with a remaining hop budget.
+    Probe {
+        /// Candidate label.
+        id: u64,
+        /// Hops this probe may still travel.
+        hops_left: u64,
+    },
+    /// Successful probe acknowledgement travelling back.
+    Reply {
+        /// Candidate label being acknowledged.
+        id: u64,
+    },
+    /// The winner's announcement.
+    Announce {
+        /// The leader's label.
+        id: u64,
+    },
+}
+
+impl Message for HsMsg {
+    fn bit_len(&self) -> usize {
+        match self {
+            HsMsg::Probe { .. } => 2 + 64 + 64,
+            HsMsg::Reply { .. } | HsMsg::Announce { .. } => 2 + 64,
+        }
+    }
+}
+
+/// The Hirschberg–Sinclair process.
+#[derive(Debug, Clone)]
+pub struct HirschbergSinclair {
+    id: u64,
+    phase: u32,
+    replies: u8,
+}
+
+impl HirschbergSinclair {
+    /// Creates the process with the given distinct label.
+    #[must_use]
+    pub fn new(id: u64) -> HirschbergSinclair {
+        HirschbergSinclair {
+            id,
+            phase: 0,
+            replies: 0,
+        }
+    }
+
+    fn launch(&self) -> Actions<HsMsg, Elected> {
+        let probe = HsMsg::Probe {
+            id: self.id,
+            hops_left: 1 << self.phase,
+        };
+        Actions::send(Port::Left, probe).and_send(Port::Right, probe)
+    }
+}
+
+impl AsyncProcess for HirschbergSinclair {
+    type Msg = HsMsg;
+    type Output = Elected;
+
+    fn on_start(&mut self) -> Actions<HsMsg, Elected> {
+        self.launch()
+    }
+
+    fn on_message(&mut self, from: Port, msg: HsMsg) -> Actions<HsMsg, Elected> {
+        match msg {
+            HsMsg::Probe { id, hops_left } => {
+                if id == self.id {
+                    // Our own probe circled the whole ring: we dominate it.
+                    return Actions::send(Port::Right, HsMsg::Announce { id });
+                }
+                if id < self.id {
+                    return Actions::idle(); // swallowed
+                }
+                if hops_left > 1 {
+                    Actions::send(
+                        from.opposite(),
+                        HsMsg::Probe {
+                            id,
+                            hops_left: hops_left - 1,
+                        },
+                    )
+                } else {
+                    // Budget exhausted here: acknowledge back.
+                    Actions::send(from, HsMsg::Reply { id })
+                }
+            }
+            HsMsg::Reply { id } => {
+                if id != self.id {
+                    return Actions::send(from.opposite(), HsMsg::Reply { id });
+                }
+                self.replies += 1;
+                if self.replies == 2 {
+                    self.replies = 0;
+                    self.phase += 1;
+                    self.launch()
+                } else {
+                    Actions::idle()
+                }
+            }
+            HsMsg::Announce { id } => {
+                if id == self.id {
+                    Actions::halt(Elected {
+                        leader: id,
+                        is_leader: true,
+                    })
+                } else {
+                    Actions::send(Port::Right, HsMsg::Announce { id }).and_halt(Elected {
+                        leader: id,
+                        is_leader: false,
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Runs Hirschberg–Sinclair on a ring of distinct labels.
+///
+/// The probing phases work on any orientation (each processor uses its
+/// own port names consistently); the final announcement lap assumes an
+/// oriented ring.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if the ring is not oriented or labels repeat.
+pub fn run(
+    config: &RingConfig<u64>,
+    scheduler: &mut dyn Scheduler,
+) -> Result<AsyncReport<Elected>, SimError> {
+    assert!(config.topology().is_oriented(), "needs an oriented ring");
+    let mut sorted = config.inputs().to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), config.n(), "labels must be distinct");
+    let mut engine = AsyncEngine::from_config(config, |_, &id| HirschbergSinclair::new(id));
+    engine.run(scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_valid_election;
+    use anonring_sim::r#async::{FifoScheduler, RandomScheduler, SynchronizingScheduler};
+
+    #[test]
+    fn elects_maximum_under_any_schedule() {
+        for ids in [
+            vec![3u64, 1, 4, 15, 5, 9, 2, 6],
+            vec![10, 20],
+            vec![2, 1, 3],
+            (0..33u64).map(|i| (i * 2654435761) % 1000003).collect(),
+        ] {
+            let config = RingConfig::oriented(ids.clone());
+            for seed in 0..4 {
+                let report = run(&config, &mut RandomScheduler::new(seed)).unwrap();
+                assert_valid_election(&ids, report.outputs());
+            }
+            let report = run(&config, &mut SynchronizingScheduler).unwrap();
+            assert_valid_election(&ids, report.outputs());
+        }
+    }
+
+    #[test]
+    fn message_bound_is_n_log_n() {
+        for n in [8usize, 16, 32, 64, 128] {
+            // Adversarial: sorted labels force long survivals.
+            for ids in [
+                (1..=n as u64).collect::<Vec<_>>(),
+                (1..=n as u64).rev().collect::<Vec<_>>(),
+                (0..n as u64).map(|i| (i * 2654435761) % 999983).collect(),
+            ] {
+                let config = RingConfig::oriented(ids.clone());
+                let report = run(&config, &mut FifoScheduler).unwrap();
+                let bound = 8.0 * n as f64 * ((n as f64).log2() + 2.0) + n as f64;
+                assert!(
+                    (report.messages as f64) <= bound,
+                    "n={n}: {} messages > {bound}",
+                    report.messages
+                );
+                assert_valid_election(&ids, report.outputs());
+            }
+        }
+    }
+
+    #[test]
+    fn beats_chang_roberts_worst_case() {
+        let n = 64u64;
+        let worst: Vec<u64> = (1..=n).rev().collect();
+        let config = RingConfig::oriented(worst);
+        let hs = run(&config, &mut FifoScheduler).unwrap();
+        let cr = crate::chang_roberts::run(&config, &mut FifoScheduler).unwrap();
+        assert!(
+            hs.messages * 2 < cr.messages,
+            "HS {} vs CR {}",
+            hs.messages,
+            cr.messages
+        );
+    }
+}

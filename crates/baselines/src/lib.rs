@@ -1,0 +1,60 @@
+//! # anonring-baselines
+//!
+//! Leader election and input collection on **labelled** rings — the
+//! classical algorithms the paper contrasts its anonymous-ring results
+//! against ([5, 8, 12] in its bibliography):
+//!
+//! * [`hirschberg_sinclair`] — bidirectional election in `O(n log n)`
+//!   messages (Hirschberg & Sinclair, CACM 1980);
+//! * [`peterson`] — unidirectional election in `O(n log n)` messages
+//!   (Peterson, TOPLAS 1982; same bound as Dolev–Klawe–Rodeh);
+//! * [`franklin`] — bidirectional local-maxima election in `O(n log n)`
+//!   messages without hop budgets (Franklin, CACM 1982);
+//! * [`chang_roberts`] — the simple unidirectional algorithm:
+//!   `O(n log n)` expected, `Θ(n²)` worst case;
+//! * [`leader_collect`] — once a leader exists, full input distribution
+//!   costs `2n` further messages (the paper's introduction);
+//! * [`flood_all`] — the label-oblivious `Θ(n²)` everyone-floods
+//!   baseline, the cost anonymous rings cannot avoid for AND/minimum
+//!   (Corollary 5.2).
+//!
+//! Together these reproduce the paper's framing: with distinct labels,
+//! extrema finding costs `Θ(n log n)`; without them, `Θ(n²)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chang_roberts;
+pub mod flood_all;
+pub mod franklin;
+pub mod hirschberg_sinclair;
+pub mod leader_collect;
+pub mod peterson;
+
+/// Output of an election: the elected leader's label and whether this
+/// processor is the leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Elected {
+    /// The leader's label (the ring maximum).
+    pub leader: u64,
+    /// Whether this processor is the leader.
+    pub is_leader: bool,
+}
+
+/// Validates an election result against the ground truth.
+///
+/// # Panics
+///
+/// Panics (with a description) if the outputs are not a correct election
+/// of the maximum label.
+pub fn assert_valid_election(ids: &[u64], outputs: &[Elected]) {
+    let max = ids.iter().copied().max().expect("nonempty ring");
+    for (i, out) in outputs.iter().enumerate() {
+        assert_eq!(out.leader, max, "processor {i} elected {}", out.leader);
+        assert_eq!(
+            out.is_leader,
+            ids[i] == max,
+            "processor {i} leadership flag"
+        );
+    }
+}

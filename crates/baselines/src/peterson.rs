@@ -1,0 +1,193 @@
+//! Peterson's unidirectional election in `O(n log n)` messages
+//! (TOPLAS 1982) — the same bound the Dolev–Klawe–Rodeh algorithm
+//! achieves, with messages flowing in one direction only.
+//!
+//! Active processors hold *temporary* identifiers that migrate around the
+//! ring: in each round an active compares the identifier arriving from
+//! its active predecessor (`t1`) with its own (`tid`) and its
+//! pre-predecessor's (`t2`); it survives — adopting `t1` — iff `t1` is a
+//! strict local maximum. At least half the actives retire per round, so
+//! after `O(log n)` rounds a single active remains; it recognises its own
+//! identifier returning and announces the maximum.
+
+use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Scheduler};
+use anonring_sim::{Message, Port, RingConfig, SimError};
+
+use crate::Elected;
+
+/// Peterson messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PetersonMsg {
+    /// A circulating temporary identifier.
+    Tid(u64),
+    /// The winner's announcement (carries the maximum label).
+    Announce(u64),
+}
+
+impl Message for PetersonMsg {
+    fn bit_len(&self) -> usize {
+        1 + 64
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Still competing; `false` = waiting for the round's first
+    /// identifier, `true` = waiting for the second.
+    Active { await_second: bool },
+    Relay,
+    Announced,
+}
+
+/// The Peterson process.
+#[derive(Debug, Clone)]
+pub struct Peterson {
+    id: u64,
+    tid: u64,
+    t1: u64,
+    role: Role,
+}
+
+impl Peterson {
+    /// Creates the process with the given distinct label.
+    #[must_use]
+    pub fn new(id: u64) -> Peterson {
+        Peterson {
+            id,
+            tid: id,
+            t1: 0,
+            role: Role::Active {
+                await_second: false,
+            },
+        }
+    }
+}
+
+impl AsyncProcess for Peterson {
+    type Msg = PetersonMsg;
+    type Output = Elected;
+
+    fn on_start(&mut self) -> Actions<PetersonMsg, Elected> {
+        Actions::send(Port::Right, PetersonMsg::Tid(self.tid))
+    }
+
+    fn on_message(&mut self, from: Port, msg: PetersonMsg) -> Actions<PetersonMsg, Elected> {
+        debug_assert_eq!(from, Port::Left, "unidirectional algorithm");
+        match (msg, self.role) {
+            (PetersonMsg::Tid(_), Role::Announced) => {
+                // Stale identifiers may still be in flight after the
+                // decision; the announcement supersedes them.
+                Actions::idle()
+            }
+            (PetersonMsg::Tid(t), Role::Relay) => {
+                Actions::send(Port::Right, PetersonMsg::Tid(t))
+            }
+            (PetersonMsg::Tid(t), Role::Active { await_second: false }) => {
+                if t == self.tid {
+                    // Sole survivor: the identifier circled back.
+                    self.role = Role::Announced;
+                    return Actions::send(Port::Right, PetersonMsg::Announce(t));
+                }
+                self.t1 = t;
+                self.role = Role::Active { await_second: true };
+                // Pass the *received* identifier on, so the next active
+                // learns its pre-predecessor's value.
+                Actions::send(Port::Right, PetersonMsg::Tid(t))
+            }
+            (PetersonMsg::Tid(t2), Role::Active { await_second: true }) => {
+                if self.t1 > self.tid && self.t1 > t2 {
+                    // The predecessor's identifier is a strict local
+                    // maximum: carry it into the next round.
+                    self.tid = self.t1;
+                    self.role = Role::Active {
+                        await_second: false,
+                    };
+                    Actions::send(Port::Right, PetersonMsg::Tid(self.tid))
+                } else {
+                    self.role = Role::Relay;
+                    Actions::idle()
+                }
+            }
+            (PetersonMsg::Announce(max), role) => {
+                if role == Role::Announced {
+                    Actions::halt(Elected {
+                        leader: max,
+                        is_leader: self.id == max,
+                    })
+                } else {
+                    Actions::send(Port::Right, PetersonMsg::Announce(max)).and_halt(Elected {
+                        leader: max,
+                        is_leader: self.id == max,
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Runs Peterson's algorithm on an oriented ring of distinct labels.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if the ring is not oriented or labels repeat.
+pub fn run(
+    config: &RingConfig<u64>,
+    scheduler: &mut dyn Scheduler,
+) -> Result<AsyncReport<Elected>, SimError> {
+    assert!(config.topology().is_oriented(), "needs an oriented ring");
+    let mut sorted = config.inputs().to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), config.n(), "labels must be distinct");
+    let mut engine = AsyncEngine::from_config(config, |_, &id| Peterson::new(id));
+    engine.run(scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_valid_election;
+    use anonring_sim::r#async::{FifoScheduler, RandomScheduler};
+
+    #[test]
+    fn elects_maximum_under_any_schedule() {
+        for ids in [
+            vec![3u64, 1, 4, 15, 5, 9, 2, 6],
+            vec![10, 20],
+            vec![2, 1, 3],
+            vec![5, 4, 3, 2, 1, 9, 8, 7, 6],
+            (0..40u64).map(|i| (i * 48271) % 99991).collect(),
+        ] {
+            let config = RingConfig::oriented(ids.clone());
+            for seed in 0..4 {
+                let report = run(&config, &mut RandomScheduler::new(seed)).unwrap();
+                assert_valid_election(&ids, report.outputs());
+            }
+        }
+    }
+
+    #[test]
+    fn message_bound_is_n_log_n() {
+        for n in [8usize, 32, 128, 256] {
+            for ids in [
+                (1..=n as u64).collect::<Vec<_>>(),
+                (1..=n as u64).rev().collect::<Vec<_>>(),
+                (0..n as u64).map(|i| (i * 2654435761) % 999983).collect(),
+            ] {
+                let config = RingConfig::oriented(ids.clone());
+                let report = run(&config, &mut FifoScheduler).unwrap();
+                let bound = 2.0 * n as f64 * ((n as f64).log2() + 2.0) + 2.0 * n as f64;
+                assert!(
+                    (report.messages as f64) <= bound,
+                    "n={n}: {} messages > {bound}",
+                    report.messages
+                );
+                assert_valid_election(&ids, report.outputs());
+            }
+        }
+    }
+}

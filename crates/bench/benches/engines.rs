@@ -1,0 +1,130 @@
+//! Criterion benches: raw engine throughput and the labelled-ring
+//! election baselines (E18's cost series).
+
+use anonring_baselines::{chang_roberts, hirschberg_sinclair, peterson};
+use anonring_sim::r#async::{
+    Actions, AsyncEngine, AsyncProcess, FifoScheduler, RandomScheduler, SynchronizingScheduler,
+};
+use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess};
+use anonring_sim::{Port, RingConfig, RingTopology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Minimal synchronous workload: a token circles the ring once.
+#[derive(Debug)]
+struct SyncToken {
+    n: u64,
+    source: bool,
+}
+
+impl SyncProcess for SyncToken {
+    type Msg = u64;
+    type Output = ();
+    fn step(&mut self, cycle: u64, rx: Received<u64>) -> Step<u64, ()> {
+        if cycle == 0 && self.source {
+            return Step::send_right(1);
+        }
+        if let Some(h) = rx.from_left {
+            if h == self.n {
+                return Step::halt(());
+            }
+            return Step::send_right(h + 1).and_halt(());
+        }
+        if cycle > 2 * self.n {
+            return Step::halt(());
+        }
+        Step::idle()
+    }
+}
+
+fn bench_sync_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_engine_token_ring");
+    for n in [64usize, 512, 4096] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let topology = RingTopology::oriented(n).unwrap();
+                let procs = (0..n)
+                    .map(|i| SyncToken {
+                        n: n as u64,
+                        source: i == 0,
+                    })
+                    .collect();
+                SyncEngine::new(topology, procs).unwrap().run().unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Minimal asynchronous workload: each processor relays once.
+#[derive(Debug)]
+struct AsyncRelay;
+
+impl AsyncProcess for AsyncRelay {
+    type Msg = u64;
+    type Output = u64;
+    fn on_start(&mut self) -> Actions<u64, u64> {
+        Actions::send(Port::Right, 1)
+    }
+    fn on_message(&mut self, _from: Port, hops: u64) -> Actions<u64, u64> {
+        Actions::send(Port::Right, hops + 1).and_halt(hops)
+    }
+}
+
+fn bench_async_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("async_engine_schedulers");
+    let n = 1024usize;
+    g.throughput(Throughput::Elements(2 * n as u64));
+    g.bench_function("synchronizing", |b| {
+        b.iter(|| {
+            let topology = RingTopology::oriented(n).unwrap();
+            let mut e = AsyncEngine::new(topology, (0..n).map(|_| AsyncRelay).collect()).unwrap();
+            e.run(&mut SynchronizingScheduler).unwrap()
+        });
+    });
+    g.bench_function("fifo", |b| {
+        b.iter(|| {
+            let topology = RingTopology::oriented(n).unwrap();
+            let mut e = AsyncEngine::new(topology, (0..n).map(|_| AsyncRelay).collect()).unwrap();
+            e.run(&mut FifoScheduler).unwrap()
+        });
+    });
+    g.bench_function("random", |b| {
+        b.iter(|| {
+            let topology = RingTopology::oriented(n).unwrap();
+            let mut e = AsyncEngine::new(topology, (0..n).map(|_| AsyncRelay).collect()).unwrap();
+            e.run(&mut RandomScheduler::new(7)).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_elections(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e18_elections");
+    g.sample_size(20);
+    for n in [64usize, 256] {
+        let ids: Vec<u64> = (0..n as u64).map(|i| (i * 48271) % 999983).collect();
+        let config = RingConfig::oriented(ids);
+        g.bench_with_input(
+            BenchmarkId::new("hirschberg_sinclair", n),
+            &config,
+            |b, config| {
+                b.iter(|| hirschberg_sinclair::run(config, &mut FifoScheduler).unwrap());
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("peterson", n), &config, |b, config| {
+            b.iter(|| peterson::run(config, &mut FifoScheduler).unwrap());
+        });
+        g.bench_with_input(
+            BenchmarkId::new("chang_roberts", n),
+            &config,
+            |b, config| {
+                b.iter(|| chang_roberts::run(config, &mut FifoScheduler).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sync_engine, bench_async_schedulers, bench_elections);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates every experiment table (E1–E18).
+//!
+//! ```text
+//! cargo run --release -p anonring-bench --bin experiments [E7 E10 ...]
+//! ```
+//!
+//! With no arguments all experiments run in DESIGN.md order; arguments
+//! filter by experiment id.
+
+use std::time::Instant;
+
+fn main() {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .map(|s| s.to_uppercase())
+        .collect();
+    println!("# anonring experiment tables\n");
+    println!(
+        "Reproduction of the complexity bounds of Attiya, Snir & Warmuth, \
+         *Computing on an Anonymous Ring* (J. ACM 1988).\n"
+    );
+    let mut failures = 0;
+    for (id, run) in anonring_bench::experiment_runners() {
+        if !filters.is_empty() && !filters.iter().any(|f| f == id) {
+            continue;
+        }
+        let start = Instant::now();
+        let table = run();
+        print!("{table}");
+        println!("({:.2?})\n", start.elapsed());
+        if table.verdict.contains("VIOLATION") || table.verdict.contains("MISMATCH") {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) reported violations");
+        std::process::exit(1);
+    }
+}

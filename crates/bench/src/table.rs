@@ -1,0 +1,128 @@
+//! Markdown table rendering for experiment results.
+
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id (e.g. "E10").
+    pub id: &'static str,
+    /// Human-readable title with the paper reference.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict ("shape holds", etc.).
+    pub verdict: String,
+}
+
+impl Table {
+    /// Starts a table.
+    #[must_use]
+    pub fn new(id: &'static str, title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            id,
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width");
+        self.rows.push(row);
+    }
+
+    /// Sets the verdict line.
+    pub fn set_verdict(&mut self, verdict: impl Into<String>) {
+        self.verdict = verdict.into();
+    }
+}
+
+/// Formats a float compactly.
+#[must_use]
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(out, "## {} — {}\n", self.id, self.title)?;
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String], out: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(out, "|")?;
+            for (c, w) in cells.iter().zip(&widths) {
+                write!(out, " {c:>w$} |")?;
+            }
+            writeln!(out)
+        };
+        line(&self.headers, out)?;
+        write!(out, "|")?;
+        for w in &widths {
+            write!(out, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(out)?;
+        for row in &self.rows {
+            line(row, out)?;
+        }
+        if !self.verdict.is_empty() {
+            writeln!(out, "\n*{}*", self.verdict)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("E0", "demo", &["n", "messages"]);
+        t.push(vec!["5".into(), "20".into()]);
+        t.set_verdict("ok");
+        let s = t.to_string();
+        assert!(s.contains("## E0"));
+        assert!(s.contains("| 5 |"));
+        assert!(s.contains("*ok*"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(2.45), "2.5");
+        assert_eq!(f(123456.7), "123457");
+    }
+}

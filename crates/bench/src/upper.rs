@@ -1,0 +1,297 @@
+//! Upper-bound experiments: the §4 algorithms against their stated costs
+//! (E1–E6) and the §8 bits-versus-time trade-off (E17).
+
+use anonring_core::algorithms::{
+    async_input_dist, orientation, start_sync, start_sync_bits, sync_and, sync_input_dist,
+};
+use anonring_core::bounds;
+use anonring_sim::r#async::SynchronizingScheduler;
+use anonring_sim::{Orientation, RingConfig, RingTopology, WakeSchedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::{f, Table};
+
+fn random_orientations(n: usize, rng: &mut StdRng) -> Vec<Orientation> {
+    (0..n)
+        .map(|_| Orientation::from_bit(rng.gen_range(0..=1)))
+        .collect()
+}
+
+fn random_bits(n: usize, rng: &mut StdRng) -> Vec<u8> {
+    (0..n).map(|_| rng.gen_range(0..=1)).collect()
+}
+
+/// E1 (§4.1): asynchronous input distribution costs exactly `n(n−1)`
+/// messages, on any orientation.
+#[must_use]
+pub fn e01_async_input_distribution() -> Table {
+    let mut t = Table::new(
+        "E1",
+        "§4.1 asynchronous input distribution: messages = n(n−1)",
+        &["n", "orientation", "measured", "paper", "ratio"],
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut all_exact = true;
+    for n in [5usize, 9, 16, 33, 64, 101] {
+        for (label, orient) in [
+            ("oriented", vec![Orientation::Clockwise; n]),
+            ("random", random_orientations(n, &mut rng)),
+        ] {
+            let config = RingConfig::new(random_bits(n, &mut rng), orient).unwrap();
+            let report = async_input_dist::run(&config, &mut SynchronizingScheduler).unwrap();
+            let paper = bounds::async_input_dist_messages(n as u64);
+            all_exact &= report.messages == paper;
+            t.push(vec![
+                n.to_string(),
+                label.into(),
+                report.messages.to_string(),
+                paper.to_string(),
+                format!("{:.3}", report.messages as f64 / paper as f64),
+            ]);
+        }
+    }
+    t.set_verdict(if all_exact {
+        "measured message count equals n(n−1) exactly for every n and orientation"
+    } else {
+        "MISMATCH against n(n−1)"
+    });
+    t
+}
+
+/// E2 (§4.2): synchronous AND in ≤ 2n messages and ≤ ⌊n/2⌋+1 cycles.
+#[must_use]
+pub fn e02_sync_and() -> Table {
+    let mut t = Table::new(
+        "E2",
+        "§4.2 synchronous AND: messages ≤ 2n, cycles ≤ ⌊n/2⌋+1",
+        &["n", "inputs", "messages", "2n", "cycles", "cycle bound"],
+    );
+    let mut ok = true;
+    for n in [8usize, 16, 64, 256, 1024] {
+        for (label, inputs) in [
+            ("all ones", vec![1u8; n]),
+            ("single zero", {
+                let mut v = vec![1u8; n];
+                v[0] = 0;
+                v
+            }),
+            ("alternating", (0..n).map(|i| (i % 2) as u8).collect()),
+        ] {
+            let config = RingConfig::oriented(inputs);
+            let report = sync_and::run(&config).unwrap();
+            ok &= report.messages <= bounds::sync_and_messages(n as u64)
+                && report.cycles <= bounds::sync_and_cycles(n as u64);
+            t.push(vec![
+                n.to_string(),
+                label.into(),
+                report.messages.to_string(),
+                (2 * n).to_string(),
+                report.cycles.to_string(),
+                bounds::sync_and_cycles(n as u64).to_string(),
+            ]);
+        }
+    }
+    t.set_verdict(if ok {
+        "both bounds hold on every workload; all-ones costs zero messages (silence is information)"
+    } else {
+        "BOUND VIOLATION"
+    });
+    t
+}
+
+/// E3 (Fig. 2): synchronous input distribution in `O(n log n)` messages.
+#[must_use]
+pub fn e03_sync_input_distribution() -> Table {
+    let mut t = Table::new(
+        "E3",
+        "Fig. 2 synchronous input distribution: messages ≤ n(3·log₁.₅n+1)+n",
+        &["n", "inputs", "messages", "bound", "cycles", "n(n−1) async"],
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ok = true;
+    for n in [8usize, 27, 64, 125, 243, 500] {
+        for (label, inputs) in [
+            ("all equal", vec![1u8; n]),
+            ("periodic 01", (0..n).map(|i| (i % 2) as u8).collect()),
+            ("random", random_bits(n, &mut rng)),
+            ("single one", (0..n).map(|i| u8::from(i == 0)).collect()),
+        ] {
+            let config = RingConfig::oriented(inputs);
+            let report = sync_input_dist::run(&config).unwrap();
+            let bound = bounds::sync_input_dist_messages(n as u64) + n as f64;
+            ok &= (report.messages as f64) <= bound;
+            t.push(vec![
+                n.to_string(),
+                label.into(),
+                report.messages.to_string(),
+                f(bound),
+                report.cycles.to_string(),
+                (n * (n - 1)).to_string(),
+            ]);
+        }
+    }
+    t.set_verdict(if ok {
+        "O(n log n) bound holds; compare the last column: the asynchronous cost is an order larger"
+    } else {
+        "BOUND VIOLATION"
+    });
+    t
+}
+
+/// E4 (Fig. 4): (quasi-)orientation in `O(n log n)` messages.
+#[must_use]
+pub fn e04_orientation() -> Table {
+    let mut t = Table::new(
+        "E4",
+        "Fig. 4 orientation: messages ≤ 3.5n(log₃n+1)+4n; odd rings oriented, even quasi-oriented",
+        &["n", "pattern", "messages", "bound", "result"],
+    );
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut ok = true;
+    for n in [9usize, 27, 64, 81, 128, 243] {
+        for (label, bits) in [
+            ("random", random_bits(n, &mut rng)),
+            ("blocks of 2", (0..n).map(|i| u8::from(i % 4 < 2)).collect()),
+            ("one dissident", (0..n).map(|i| u8::from(i != 0)).collect()),
+        ] {
+            let topology = RingTopology::from_bits(&bits).unwrap();
+            let report = orientation::run(&topology).unwrap();
+            let switched = topology.with_switched(report.outputs());
+            let result = if switched.is_oriented() {
+                "oriented"
+            } else if switched.is_quasi_oriented() {
+                "alternating"
+            } else {
+                ok = false;
+                "INVALID"
+            };
+            if n % 2 == 1 && !switched.is_oriented() {
+                ok = false;
+            }
+            let bound = bounds::orientation_messages(n as u64) + 4.0 * n as f64;
+            ok &= (report.messages as f64) <= bound;
+            t.push(vec![
+                n.to_string(),
+                label.into(),
+                report.messages.to_string(),
+                f(bound),
+                result.into(),
+            ]);
+        }
+    }
+    t.set_verdict(if ok {
+        "every run quasi-orients within the bound; every odd ring ends fully oriented"
+    } else {
+        "VIOLATION"
+    });
+    t
+}
+
+/// E5 (Fig. 5): start synchronization in ≤ `2n(1+log₁.₅n)` messages,
+/// all processors halting in the same global cycle.
+#[must_use]
+pub fn e05_start_sync() -> Table {
+    let mut t = Table::new(
+        "E5",
+        "Fig. 5 start synchronization: messages ≤ 2n(1+log₁.₅n)+2n, simultaneous halt",
+        &["n", "wake skew", "messages", "bound", "simultaneous"],
+    );
+    let mut ok = true;
+    for n in [8usize, 16, 33, 64, 128, 256] {
+        for seed in [0u64, 1, 2] {
+            let wake = WakeSchedule::random(n, seed);
+            let topology = RingTopology::oriented(n).unwrap();
+            let report = start_sync::run(&topology, &wake).unwrap();
+            let bound = bounds::start_sync_messages(n as u64) + 2.0 * n as f64;
+            ok &= report.halted_simultaneously() && (report.messages as f64) <= bound;
+            t.push(vec![
+                n.to_string(),
+                wake.max_skew().to_string(),
+                report.messages.to_string(),
+                f(bound),
+                report.halted_simultaneously().to_string(),
+            ]);
+        }
+    }
+    t.set_verdict(if ok {
+        "all runs halt in one global cycle within the message bound"
+    } else {
+        "VIOLATION"
+    });
+    t
+}
+
+/// E6 (§4.2.4): the bit-message variant: same guarantee, 1-bit messages,
+/// ≤ `4n·log₁.₅n` of them.
+#[must_use]
+pub fn e06_start_sync_bits() -> Table {
+    let mut t = Table::new(
+        "E6",
+        "§4.2.4 bit-message start synchronization: ≤ 4n·log₁.₅n one-bit messages",
+        &["n", "messages", "bound", "bits", "simultaneous"],
+    );
+    let mut ok = true;
+    for n in [8usize, 16, 33, 64, 128, 256] {
+        let wake = WakeSchedule::random(n, 6);
+        let topology = RingTopology::oriented(n).unwrap();
+        let report = start_sync_bits::run(&topology, &wake).unwrap();
+        let bound = bounds::start_sync_bits_messages(n as u64) + 4.0 * n as f64;
+        ok &= report.halted_simultaneously()
+            && (report.messages as f64) <= bound
+            && report.bits == report.messages;
+        t.push(vec![
+            n.to_string(),
+            report.messages.to_string(),
+            f(bound),
+            report.bits.to_string(),
+            report.halted_simultaneously().to_string(),
+        ]);
+    }
+    t.set_verdict(if ok {
+        "time encodes the counts: every message is a single bit and synchronization still holds"
+    } else {
+        "VIOLATION"
+    });
+    t
+}
+
+/// E17 (§8): the bits-versus-time trade-off between Figure 2
+/// (`Θ(n log n)` bits, long runs) and the §4.1 algorithm run on the
+/// synchronous schedule (`Θ(n²)` bits, linear time).
+#[must_use]
+pub fn e17_bits_vs_time() -> Table {
+    let mut t = Table::new(
+        "E17",
+        "§8 bits vs time: Fig. 2 (min messages) against §4.1-run-synchronously (min time)",
+        &[
+            "n",
+            "Fig2 msgs",
+            "Fig2 cycles",
+            "§4.1 msgs",
+            "§4.1 epochs",
+            "msg ratio",
+            "time ratio",
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(17);
+    for n in [16usize, 64, 128, 256, 512] {
+        let config = RingConfig::oriented(random_bits(n, &mut rng));
+        let sync = sync_input_dist::run(&config).unwrap();
+        let asy = async_input_dist::run(&config, &mut SynchronizingScheduler).unwrap();
+        t.push(vec![
+            n.to_string(),
+            sync.messages.to_string(),
+            sync.cycles.to_string(),
+            asy.messages.to_string(),
+            asy.max_epoch.to_string(),
+            format!("{:.2}", asy.messages as f64 / sync.messages as f64),
+            format!("{:.2}", sync.cycles as f64 / asy.max_epoch as f64),
+        ]);
+    }
+    t.set_verdict(
+        "Fig. 2 wins on messages by a growing factor while paying a growing factor in time — \
+         the paper's trade-off",
+    );
+    t
+}

@@ -1,0 +1,241 @@
+//! Computing arbitrary functions: input distribution + local evaluation.
+//!
+//! Input distribution is the *hardest* computable problem on an anonymous
+//! ring (§4.1): once every processor holds its [`RingView`], any
+//! computable function is a local evaluation away. These wrappers bundle
+//! the two steps and account the total cost:
+//!
+//! * [`compute_async`] — §4.1 distribution under any scheduler,
+//!   `n(n − 1)` messages;
+//! * [`compute_sync`] — Figure 2 on an oriented ring, `O(n log n)`
+//!   messages;
+//! * [`compute_sync_general`] — arbitrary rings: quasi-orient first
+//!   (Figure 4), then run Figure 2 on the oriented result, or the
+//!   §4.2.2 two-computation algorithm if the ring came out alternating —
+//!   `O(n log n)` on *every* ring of known size.
+
+use anonring_sim::r#async::Scheduler;
+use anonring_sim::{RingConfig, SimError};
+
+use crate::algorithms::{alternating, async_input_dist, orientation, sync_input_dist};
+use crate::functions::RingFunction;
+use crate::view::RingView;
+
+/// Cost and result of a full compute run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComputeOutcome {
+    /// Per-processor function values (all equal for a correct run).
+    pub values: Vec<u64>,
+    /// Total messages across all composed phases.
+    pub messages: u64,
+    /// Total bits across all composed phases.
+    pub bits: u64,
+}
+
+impl ComputeOutcome {
+    /// The common output value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the processors disagree — which would be an algorithm
+    /// bug.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        let v = self.values[0];
+        assert!(
+            self.values.iter().all(|&x| x == v),
+            "processors disagree: {:?}",
+            self.values
+        );
+        v
+    }
+}
+
+fn evaluate_views(views: &[RingView<u8>], f: &dyn RingFunction) -> Vec<u64> {
+    views
+        .iter()
+        .map(|v| {
+            let inputs: Vec<u64> = v.inputs().map(|&b| u64::from(b)).collect();
+            f.evaluate(&inputs)
+        })
+        .collect()
+}
+
+/// Computes `f` asynchronously via §4.1 input distribution.
+///
+/// # Errors
+///
+/// Propagates engine errors (which indicate a bug, not a legal outcome).
+pub fn compute_async(
+    config: &RingConfig<u8>,
+    f: &dyn RingFunction,
+    scheduler: &mut dyn Scheduler,
+) -> Result<ComputeOutcome, SimError> {
+    let report = async_input_dist::run(config, scheduler)?;
+    Ok(ComputeOutcome {
+        values: evaluate_views(report.outputs(), f),
+        messages: report.messages,
+        bits: report.bits,
+    })
+}
+
+/// Computes `f` synchronously via Figure 2 (oriented rings only).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if the ring is not oriented; use [`compute_sync_general`].
+pub fn compute_sync(
+    config: &RingConfig<u8>,
+    f: &dyn RingFunction,
+) -> Result<ComputeOutcome, SimError> {
+    let report = sync_input_dist::run(config)?;
+    Ok(ComputeOutcome {
+        values: evaluate_views(report.outputs(), f),
+        messages: report.messages,
+        bits: report.bits,
+    })
+}
+
+/// Computes `f` synchronously on an **arbitrary** ring.
+///
+/// The function must be invariant under cyclic shifts *and reversals*
+/// (Theorem 3.4(ii)) for the answer to be well defined on non-oriented
+/// rings.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn compute_sync_general(
+    config: &RingConfig<u8>,
+    f: &dyn RingFunction,
+) -> Result<ComputeOutcome, SimError> {
+    if config.topology().is_oriented() {
+        return compute_sync(config, f);
+    }
+    // Figure 4 quasi-orients any ring (fully orients odd ones).
+    let orient_report = orientation::run(config.topology())?;
+    let switched = config.topology().with_switched(orient_report.outputs());
+    let switched_config = RingConfig::with_topology(config.inputs().to_vec(), switched)?;
+    let mut outcome = if switched_config.topology().is_oriented() {
+        compute_sync(&switched_config, f)?
+    } else {
+        // Alternating outcome (even rings only): the §4.2.2
+        // two-computation algorithm keeps the cost at O(n log n).
+        debug_assert!(switched_config.topology().is_quasi_oriented());
+        let report = alternating::run(&switched_config)?;
+        ComputeOutcome {
+            values: evaluate_views(report.outputs(), f),
+            messages: report.messages,
+            bits: report.bits,
+        }
+    };
+    outcome.messages += orient_report.messages;
+    outcome.bits += orient_report.bits;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::{And, Max, Or, Sum, Xor};
+    use anonring_sim::r#async::{RandomScheduler, SynchronizingScheduler};
+    use anonring_sim::Orientation;
+
+    fn truth(inputs: &[u8], f: &dyn RingFunction) -> u64 {
+        let xs: Vec<u64> = inputs.iter().map(|&b| u64::from(b)).collect();
+        f.evaluate(&xs)
+    }
+
+    #[test]
+    fn async_and_sync_agree_with_truth() {
+        for n in 2..=7usize {
+            for mask in 0..(1u32 << n) {
+                let inputs: Vec<u8> = (0..n).map(|i| (mask >> i & 1) as u8).collect();
+                let config = RingConfig::oriented(inputs.clone());
+                for f in [&And as &dyn RingFunction, &Or, &Xor, &Sum, &Max] {
+                    let want = truth(&inputs, f);
+                    let a = compute_async(&config, f, &mut RandomScheduler::new(7)).unwrap();
+                    assert_eq!(a.value(), want, "{} async {inputs:?}", f.name());
+                    let s = compute_sync(&config, f).unwrap();
+                    assert_eq!(s.value(), want, "{} sync {inputs:?}", f.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_compute_handles_unoriented_odd_rings() {
+        let orient: Vec<Orientation> = [1u8, 0, 0, 1, 1, 0, 1]
+            .iter()
+            .map(|&b| Orientation::from_bit(b))
+            .collect();
+        for mask in [0u32, 1, 0b1010101, 0b1111111, 0b0011100] {
+            let inputs: Vec<u8> = (0..7).map(|i| (mask >> i & 1) as u8).collect();
+            let config = RingConfig::new(inputs.clone(), orient.clone()).unwrap();
+            for f in [&And as &dyn RingFunction, &Xor, &Sum] {
+                let got = compute_sync_general(&config, f).unwrap();
+                assert_eq!(got.value(), truth(&inputs, f), "{} {inputs:?}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn general_compute_handles_even_unoriented_rings() {
+        // Even rings may quasi-orient to an alternation; the §4.2.2
+        // two-computation route still computes correctly.
+        for bits in [[1u8, 0, 1, 0, 1, 1], [1, 1, 1, 1, 0, 0], [1, 0, 0, 1, 0, 1]] {
+            let orient: Vec<Orientation> =
+                bits.iter().map(|&b| Orientation::from_bit(b)).collect();
+            for mask in [0b111011u32, 0b000000, 0b111111, 0b010101] {
+                let inputs: Vec<u8> = (0..6).map(|i| (mask >> i & 1) as u8).collect();
+                let config = RingConfig::new(inputs.clone(), orient.clone()).unwrap();
+                for f in [&And as &dyn RingFunction, &Xor, &Sum] {
+                    let got = compute_sync_general(&config, f).unwrap();
+                    assert_eq!(
+                        got.value(),
+                        truth(&inputs, f),
+                        "{} bits={bits:?} mask={mask:b}",
+                        f.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_compute_on_even_rings_is_subquadratic_at_scale() {
+        let n = 128usize;
+        // A ring Figure 4 settles into an alternation on.
+        let orient: Vec<Orientation> = (0..n)
+            .map(|i| Orientation::from_bit((i % 2) as u8))
+            .collect();
+        let inputs: Vec<u8> = (0..n).map(|i| ((i * 31) % 7 == 0) as u8).collect();
+        let config = RingConfig::new(inputs.clone(), orient).unwrap();
+        let got = compute_sync_general(&config, &Xor).unwrap();
+        assert_eq!(got.value(), truth(&inputs, &Xor));
+        assert!(
+            got.messages < (n * (n - 1)) as u64 / 2,
+            "{} messages should beat the quadratic route",
+            got.messages
+        );
+    }
+
+    #[test]
+    fn sync_costs_less_than_async_at_scale() {
+        let n = 81;
+        let inputs: Vec<u8> = (0..n).map(|i| ((i * 7) % 3 == 0) as u8).collect();
+        let config = RingConfig::oriented(inputs);
+        let s = compute_sync(&config, &Xor).unwrap();
+        let a = compute_async(&config, &Xor, &mut SynchronizingScheduler).unwrap();
+        assert!(
+            s.messages < a.messages / 2,
+            "sync {} vs async {}",
+            s.messages,
+            a.messages
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! The paper's algorithms (§4), implemented as [`anonring_sim`] processes.
+
+pub mod alternating;
+pub mod async_input_dist;
+pub mod compute;
+pub mod orientation;
+pub mod start_sync;
+pub mod start_sync_bits;
+pub mod sync_and;
+pub mod sync_input_dist;
+pub mod sync_input_dist_uni;
+pub mod time_encoding;
+pub mod with_start_sync;

@@ -1,0 +1,259 @@
+//! §4.2.4: start synchronization with single-bit messages.
+//!
+//! Figure 5's messages carry full counts (`O(log n)` bits). This variant
+//! encodes the same information in *time*: each candidate sends a **fast**
+//! token (forwarded every cycle) followed by a **slow** token (held one
+//! extra cycle per hop). The gap between their arrivals equals the
+//! distance to the sender, and since candidates transmit only when their
+//! count is a multiple of `3n`, the receiver reconstructs the sender's
+//! entire clock from a one-bit message pair — recovering Figure 5's
+//! tournament at `4n·log₁.₅ n` one-bit messages and `3n·log₁.₅ n` cycles.
+//!
+//! One deviation (DESIGN.md): the paper distinguishes fast from slow
+//! tokens purely by their order on the FIFO link; we spend the one bit we
+//! are charged for on an explicit fast/slow flag, which keeps forwarding
+//! stateless and robust.
+
+use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess, SyncReport};
+use anonring_sim::{Message, Port, RingTopology, SimError, WakeSchedule};
+
+/// A one-bit token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// Forwarded one hop per cycle.
+    Fast,
+    /// Held one extra cycle at every forwarding processor.
+    Slow,
+}
+
+impl Message for Token {
+    fn bit_len(&self) -> usize {
+        1
+    }
+}
+
+/// The §4.2.4 process. Output: the synchronized clock value at halt.
+#[derive(Debug, Clone)]
+pub struct StartSyncBits {
+    n: u64,
+    count: u64,
+    steps: u64,
+    active: bool,
+    started: bool,
+    last_heard: u64,
+    deficits: Vec<i64>,
+    /// Per arrival port: (local step, own count) at the fast token.
+    fast_seen: [Option<(u64, u64)>; 2],
+    /// Slow tokens held for one cycle: the port to emit on next step.
+    pending_slow: Vec<Port>,
+}
+
+impl StartSyncBits {
+    /// Creates the process for a ring of size `n ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: usize) -> StartSyncBits {
+        assert!(n >= 2, "ring size must be at least 2");
+        StartSyncBits {
+            n: n as u64,
+            count: 0,
+            steps: 0,
+            active: false,
+            started: false,
+            last_heard: 0,
+            deficits: Vec::new(),
+            fast_seen: [None, None],
+            pending_slow: Vec::new(),
+        }
+    }
+
+    fn round(&self) -> u64 {
+        3 * self.n
+    }
+
+    /// Nearest multiple of `3n` to `x` (the sender's round base).
+    fn round_base(&self, x: i64) -> i64 {
+        let r = self.round() as i64;
+        let k = (x as f64 / r as f64).round() as i64;
+        k * r
+    }
+}
+
+impl SyncProcess for StartSyncBits {
+    type Msg = Token;
+    type Output = u64;
+
+    fn step(&mut self, _local_cycle: u64, rx: Received<Token>) -> Step<Token, u64> {
+        let mut step: Step<Token, u64> = Step::idle();
+        if !self.started {
+            self.started = true;
+            self.active = rx.is_empty();
+            if self.active {
+                self.steps += 1;
+                return Step::send_both(Token::Fast, Token::Fast);
+            }
+        } else {
+            self.count += 1;
+        }
+        self.steps += 1;
+
+        // Emit slow tokens held from the previous cycle.
+        for port in std::mem::take(&mut self.pending_slow) {
+            match port {
+                Port::Left => step.to_left = Some(Token::Slow),
+                Port::Right => step.to_right = Some(Token::Slow),
+            }
+        }
+
+        for (port, &token) in rx.iter() {
+            self.last_heard = self.count;
+            let slot = usize::from(port == Port::Right);
+            match token {
+                Token::Fast => {
+                    debug_assert!(self.fast_seen[slot].is_none(), "fast without slow");
+                    self.fast_seen[slot] = Some((self.steps, self.count));
+                    if !self.active {
+                        match port {
+                            Port::Left => step.to_right = Some(Token::Fast),
+                            Port::Right => step.to_left = Some(Token::Fast),
+                        }
+                    }
+                }
+                Token::Slow => {
+                    let (fast_step, fast_count) =
+                        self.fast_seen[slot].take().expect("slow after fast");
+                    // The pair was launched one cycle apart and the slow
+                    // token loses one cycle per forwarding hop:
+                    // gap = 1 + (d - 1) = d.
+                    let d = (self.steps - fast_step) as i64;
+                    let base = self.round_base(fast_count as i64 - d);
+                    let sender_now = base + 2 * d;
+                    if self.active {
+                        self.deficits.push(sender_now - self.count as i64);
+                    } else {
+                        self.pending_slow.push(port.opposite());
+                    }
+                    self.count = self.count.max(sender_now.max(0) as u64);
+                }
+            }
+        }
+        if self.active && self.deficits.len() >= 2 {
+            let ahead_of_all = self.deficits.iter().all(|&d| d <= 0);
+            let strictly_ahead = self.deficits.iter().any(|&d| d < 0);
+            if !(ahead_of_all && strictly_ahead) {
+                self.active = false;
+            }
+            self.deficits.clear();
+        }
+
+        // Round boundary and the slow launch one cycle after it.
+        if self.count > 0 && self.count.is_multiple_of(self.round()) {
+            if self.count - self.last_heard >= self.round() {
+                return Step::halt(self.count);
+            }
+            if self.active {
+                step.to_left = Some(Token::Fast);
+                step.to_right = Some(Token::Fast);
+            }
+        }
+        if self.active && self.count % self.round() == 1 {
+            debug_assert!(step.to_left.is_none() && step.to_right.is_none());
+            step.to_left = Some(Token::Slow);
+            step.to_right = Some(Token::Slow);
+        }
+        step
+    }
+}
+
+/// Runs the bit-message synchronizer under a wake-up schedule.
+///
+/// # Errors
+///
+/// Propagates engine errors (which indicate a bug, not a legal outcome).
+pub fn run(topology: &RingTopology, wake: &WakeSchedule) -> Result<SyncReport<u64>, SimError> {
+    let n = topology.n();
+    let procs = (0..n).map(|_| StartSyncBits::new(n)).collect();
+    let mut engine = SyncEngine::new(topology.clone(), procs)?;
+    engine.set_wakeups(wake.as_slice().to_vec())?;
+    engine.set_max_cycles(((3 * n as u64 + 3) * (3 * n as u64 + 3)).max(10_000));
+    engine.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use anonring_sim::RingTopology;
+
+    fn check(n: usize, wake: &WakeSchedule) -> SyncReport<u64> {
+        let topology = RingTopology::oriented(n).unwrap();
+        let report = run(&topology, wake).unwrap();
+        assert!(
+            report.halted_simultaneously(),
+            "n={n} wake={:?}: halts at {:?}",
+            wake.as_slice(),
+            report.halt_cycles
+        );
+        let first = report.outputs()[0];
+        assert!(
+            report.outputs().iter().all(|&c| c == first),
+            "n={n}: clocks disagree: {:?}",
+            report.outputs()
+        );
+        // Every message costs exactly one bit.
+        assert_eq!(report.bits, report.messages);
+        report
+    }
+
+    #[test]
+    fn simultaneous_start_synchronizes() {
+        for n in [2usize, 3, 5, 12] {
+            check(n, &WakeSchedule::simultaneous(n));
+        }
+    }
+
+    #[test]
+    fn word_schedules_synchronize() {
+        for word in [
+            vec![1u8, 1, 0, 0],
+            vec![1, 0, 1, 0, 1, 0],
+            vec![1, 1, 1, 0, 0, 0, 1, 0],
+        ] {
+            let n = word.len();
+            check(n, &WakeSchedule::from_word(&word).unwrap());
+        }
+    }
+
+    #[test]
+    fn random_schedules_synchronize_with_message_bound() {
+        for n in [4usize, 9, 16, 33, 64] {
+            for seed in 0..5 {
+                let wake = WakeSchedule::random(n, seed);
+                let report = check(n, &wake);
+                let bound = bounds::start_sync_bits_messages(n as u64) + 4.0 * n as f64;
+                assert!(
+                    (report.messages as f64) <= bound,
+                    "n={n} seed={seed}: {} messages > {bound}",
+                    report.messages
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_figure_5_clock() {
+        // Both synchronizers adopt the earliest waker's clock; their
+        // output counts can differ (round lengths differ) but both must
+        // halt simultaneously per their own run. Spot-compare skews.
+        let wake = WakeSchedule::from_word(&[1, 1, 0, 1, 0, 0]).unwrap();
+        let n = 6;
+        let bits = check(n, &wake);
+        let topology = RingTopology::oriented(n).unwrap();
+        let plain = crate::algorithms::start_sync::run(&topology, &wake).unwrap();
+        assert!(plain.halted_simultaneously());
+        assert!(bits.halted_simultaneously());
+    }
+}

@@ -1,0 +1,267 @@
+//! §4.2.1's final remark: input distribution with **one-sided**
+//! communication.
+//!
+//! > "It is easy to modify the last algorithm so as to use only one-sided
+//! > communication. Thus, any problem that can be solved on a
+//! > unidirectional ring can be solved synchronously in O(n log n)
+//! > messages."
+//!
+//! The bidirectional elimination phase of Figure 2 compares each
+//! candidate against *both* active neighbours. Unidirectionally we use
+//! the Peterson-style two-hop relay instead: each candidate sends its
+//! label rightward, then relays the label it received, so every candidate
+//! learns the labels of its two nearest left candidates (`t1`, `t2`). A
+//! candidate survives iff `t1` is a weak local maximum with a strict
+//! side — `t1 ≥ own`, `t1 ≥ t2`, one strictly (anonymous labels tie, so
+//! Peterson's strict rule could starve) — which eliminates a constant
+//! fraction of the candidates per round and eliminates **all** of them
+//! exactly when every label is equal (the ring is periodic): the usual
+//! silent round then triggers the periodicity broadcast, which is already
+//! rightward-only, as is the label-collection phase.
+
+use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess, SyncReport};
+use anonring_sim::{RingConfig, SimError};
+use anonring_words::Word;
+
+use crate::algorithms::sync_input_dist::IdMsg;
+use crate::view::RingView;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Rounds,
+    Broadcast,
+}
+
+/// The unidirectional input distribution process (oriented rings).
+#[derive(Debug, Clone)]
+pub struct UniInputDist {
+    n: usize,
+    input: u8,
+    label: Word,
+    active: bool,
+    winner: bool,
+    t1: Option<Word>,
+    t2: Option<Word>,
+    heard_phase_b: bool,
+    rc: u64,
+    mode: Mode,
+}
+
+impl UniInputDist {
+    /// Creates the process for a ring of size `n ≥ 2` with a `{0,1}`
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the input is not a bit.
+    #[must_use]
+    pub fn new(n: usize, input: u8) -> UniInputDist {
+        assert!(n >= 2, "ring size must be at least 2");
+        assert!(input <= 1, "inputs are bits");
+        UniInputDist {
+            n,
+            input,
+            label: Word::from_symbols(vec![input]),
+            active: true,
+            winner: false,
+            t1: None,
+            t2: None,
+            heard_phase_b: false,
+            rc: 0,
+            mode: Mode::Rounds,
+        }
+    }
+
+    fn view_from_period(&self, period: &Word) -> RingView<u8> {
+        assert_eq!(self.n % period.len(), 0, "period divides the ring size");
+        RingView::new(
+            period
+                .repeat(self.n / period.len())
+                .into_symbols()
+                .into_iter()
+                .map(|b| (true, b))
+                .collect(),
+        )
+    }
+
+    fn rounds_step(&mut self, rx: Received<IdMsg>) -> Step<IdMsg, RingView<u8>> {
+        let n = self.n as u64;
+        let span = n + 1;
+        let mut step: Step<IdMsg, RingView<u8>> = Step::idle();
+
+        if let Some(msg) = rx.from_left {
+            match msg {
+                IdMsg::Label(w) => {
+                    if self.active {
+                        if self.t1.is_none() {
+                            self.t1 = Some(w);
+                        } else {
+                            debug_assert!(self.t2.is_none());
+                            self.t2 = Some(w);
+                        }
+                    } else {
+                        step.to_right = Some(IdMsg::Label(w));
+                    }
+                }
+                IdMsg::Collect(w) => {
+                    self.heard_phase_b = true;
+                    let extended = {
+                        let mut e = w;
+                        e.extend([self.input]);
+                        e
+                    };
+                    if self.active && self.winner {
+                        self.label = extended;
+                    } else {
+                        self.active = false;
+                        step.to_right = Some(IdMsg::Collect(extended));
+                    }
+                }
+                IdMsg::Broadcast(_) => unreachable!("broadcasts only in Broadcast mode"),
+            }
+        }
+        debug_assert!(rx.from_right.is_none(), "one-sided communication");
+
+        // Sub-phase A1: candidates launch their labels rightward.
+        if self.rc == 0 && self.active {
+            step.to_right = Some(IdMsg::Label(self.label.clone()));
+        }
+        // Sub-phase A2: candidates relay their predecessor's label so the
+        // next candidate learns its pre-predecessor's.
+        if self.rc == span && self.active {
+            let t1 = self.t1.clone().expect("phase A1 delivered t1");
+            debug_assert!(step.to_right.is_none());
+            step.to_right = Some(IdMsg::Label(t1));
+        }
+        if self.rc == 2 * span - 1 && self.active {
+            let t1 = self.t1.take().expect("t1 delivered");
+            let t2 = self.t2.take().expect("t2 delivered");
+            // Anonymous labels tie, so Peterson's strict rule can starve
+            // (e.g. labels 1,1,0): use Figure 2's weak-maximum-with-one-
+            // strict-side rule, which eliminates everyone exactly when
+            // all labels are equal.
+            self.winner = t1 >= self.label && t1 >= t2 && (t1 > self.label || t1 > t2);
+        }
+        // Phase B: winners collect their new segment labels.
+        if self.rc == 2 * span && self.active && self.winner {
+            debug_assert!(step.to_right.is_none());
+            step.to_right = Some(IdMsg::Collect(Word::new()));
+        }
+
+        if self.rc == 3 * span - 1 {
+            if self.heard_phase_b {
+                self.rc = 0;
+                self.winner = false;
+                self.heard_phase_b = false;
+                self.t1 = None;
+                self.t2 = None;
+            } else {
+                self.mode = Mode::Broadcast;
+            }
+        } else {
+            self.rc += 1;
+        }
+        step
+    }
+
+    fn broadcast_step(&mut self, rx: Received<IdMsg>) -> Step<IdMsg, RingView<u8>> {
+        if self.active {
+            let period = self.label.rotated(self.label.len() - 1);
+            return Step::send_right(IdMsg::Broadcast(self.label.clone()))
+                .and_halt(self.view_from_period(&period));
+        }
+        if let Some(IdMsg::Broadcast(w)) = rx.from_left {
+            let view = self.view_from_period(&w);
+            return Step::send_right(IdMsg::Broadcast(w.rotated(1))).and_halt(view);
+        }
+        Step::idle()
+    }
+}
+
+impl SyncProcess for UniInputDist {
+    type Msg = IdMsg;
+    type Output = RingView<u8>;
+
+    fn step(&mut self, _cycle: u64, rx: Received<IdMsg>) -> Step<IdMsg, RingView<u8>> {
+        match self.mode {
+            Mode::Rounds => self.rounds_step(rx),
+            Mode::Broadcast => self.broadcast_step(rx),
+        }
+    }
+}
+
+/// Runs the unidirectional variant on an oriented ring. All messages
+/// travel rightward — check [`SyncReport`] against a unidirectional
+/// engine run if in doubt.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if the ring is not oriented.
+pub fn run(config: &RingConfig<u8>) -> Result<SyncReport<RingView<u8>>, SimError> {
+    assert!(
+        config.topology().is_oriented(),
+        "the unidirectional variant needs an oriented ring"
+    );
+    let n = config.n();
+    let mut engine = SyncEngine::from_config(config, |_, &input| UniInputDist::new(n, input));
+    engine.set_max_cycles((3 * n as u64 + 3) * (3 * n as u64 + 3));
+    engine.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use crate::view::ground_truth_view;
+
+    #[test]
+    fn exhaustive_small_rings() {
+        for n in 2..=9usize {
+            for mask in 0..(1u32 << n) {
+                let inputs: Vec<u8> = (0..n).map(|i| (mask >> i & 1) as u8).collect();
+                let config = RingConfig::oriented(inputs.clone());
+                let report = run(&config).unwrap();
+                for (i, view) in report.outputs().iter().enumerate() {
+                    assert_eq!(
+                        view,
+                        &ground_truth_view(&config, i),
+                        "n={n} inputs={inputs:?} processor {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_is_n_log_n_and_messages_only_travel_right() {
+        for n in [27usize, 81, 243] {
+            let inputs: Vec<u8> = (0..n).map(|i| ((i * 2654435761) >> 7 & 1) as u8).collect();
+            let config = RingConfig::oriented(inputs);
+            let report = run(&config).unwrap();
+            // Three n+1 sub-phases per round, ≤ 2 label hops + 1 collect
+            // hop per processor per round: comparable to Figure 2's bound.
+            let bound = 1.5 * (bounds::sync_input_dist_messages(n as u64) + n as f64);
+            assert!(
+                (report.messages as f64) <= bound,
+                "n={n}: {} messages > {bound}",
+                report.messages
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_bidirectional_figure_2() {
+        for bits in ["101100", "0110110", "11111", "010101010"] {
+            let config = RingConfig::oriented_bits(bits).unwrap();
+            let uni = run(&config).unwrap().into_outputs();
+            let bi = crate::algorithms::sync_input_dist::run(&config)
+                .unwrap()
+                .into_outputs();
+            assert_eq!(uni, bi, "{bits}");
+        }
+    }
+}

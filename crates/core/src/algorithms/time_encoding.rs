@@ -1,0 +1,335 @@
+//! §4.2.1's closing remark: trading time for bits with "zero content"
+//! messages.
+//!
+//! > "If there are k different types of messages, then we replace each
+//! > cycle by k subcycles and represent a message of type i sent at cycle
+//! > t by an empty message sent at cycle k(t−1) + i."
+//!
+//! [`TimeEncoded`] wraps **any** synchronous process whose message type
+//! admits a finite code ([`TimeCodable`]) and runs it with messages that
+//! carry *zero bits*: the information lives entirely in the send time
+//! within a window of `k` subcycles. Message counts are unchanged; bit
+//! cost drops to zero; time multiplies by `k`.
+//!
+//! Applied to Figure 2 — whose labels are up to `n`-bit strings, hence
+//! `k = Θ(2ⁿ)` — this produces exactly the extreme point of the paper's
+//! §8 trade-off: `Θ(n log n)` *zero-bit* messages at exponential time.
+//! Applied to Figure 4 (8 message types) it is entirely practical.
+
+use std::marker::PhantomData;
+
+use anonring_sim::sync::{Received, Step, SyncProcess};
+use anonring_sim::{Message, Port};
+use anonring_words::Word;
+
+use crate::algorithms::orientation::OrientMsg;
+use crate::algorithms::sync_input_dist::IdMsg;
+
+/// A message type with an injective finite encoding, so that it can be
+/// transmitted as a bare send-time offset.
+pub trait TimeCodable: Message {
+    /// Number of distinct codes (the paper's `k`), possibly a function of
+    /// the ring size.
+    fn range(n: usize) -> u64;
+    /// This message's code in `0..range(n)`.
+    fn encode(&self, n: usize) -> u64;
+    /// Inverse of [`TimeCodable::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on codes never produced by `encode`.
+    fn decode(code: u64, n: usize) -> Self;
+}
+
+/// Words of length ≤ `n` encode as `(1 << len) | bits` — the leading 1
+/// preserves the length.
+fn encode_word(w: &Word, n: usize) -> u64 {
+    assert!(w.len() <= n, "word longer than the ring");
+    let mut v = 1u64;
+    for &b in w.as_slice() {
+        v = (v << 1) | u64::from(b);
+    }
+    v
+}
+
+fn decode_word(mut v: u64) -> Word {
+    let mut bits = Vec::new();
+    while v > 1 {
+        bits.push((v & 1) as u8);
+        v >>= 1;
+    }
+    bits.reverse();
+    Word::from_symbols(bits)
+}
+
+impl TimeCodable for IdMsg {
+    fn range(n: usize) -> u64 {
+        assert!(n < 60, "the exponential window must fit in u64");
+        3 << (n + 1)
+    }
+    fn encode(&self, n: usize) -> u64 {
+        let (tag, w) = match self {
+            IdMsg::Label(w) => (0u64, w),
+            IdMsg::Collect(w) => (1, w),
+            IdMsg::Broadcast(w) => (2, w),
+        };
+        tag * (1 << (n + 1)) + encode_word(w, n)
+    }
+    fn decode(code: u64, n: usize) -> IdMsg {
+        let window = 1u64 << (n + 1);
+        let w = decode_word(code % window);
+        match code / window {
+            0 => IdMsg::Label(w),
+            1 => IdMsg::Collect(w),
+            2 => IdMsg::Broadcast(w),
+            other => panic!("invalid tag {other}"),
+        }
+    }
+}
+
+impl TimeCodable for OrientMsg {
+    fn range(_n: usize) -> u64 {
+        8
+    }
+    fn encode(&self, _n: usize) -> u64 {
+        match self {
+            OrientMsg::Marker(Port::Left) => 0,
+            OrientMsg::Marker(Port::Right) => 1,
+            OrientMsg::Seg(0) => 2,
+            OrientMsg::Seg(_) => 3,
+            OrientMsg::Fin(0, Port::Left) => 4,
+            OrientMsg::Fin(0, Port::Right) => 5,
+            OrientMsg::Fin(_, Port::Left) => 6,
+            OrientMsg::Fin(_, Port::Right) => 7,
+        }
+    }
+    fn decode(code: u64, _n: usize) -> OrientMsg {
+        match code {
+            0 => OrientMsg::Marker(Port::Left),
+            1 => OrientMsg::Marker(Port::Right),
+            2 => OrientMsg::Seg(0),
+            3 => OrientMsg::Seg(1),
+            4 => OrientMsg::Fin(0, Port::Left),
+            5 => OrientMsg::Fin(0, Port::Right),
+            6 => OrientMsg::Fin(1, Port::Left),
+            7 => OrientMsg::Fin(1, Port::Right),
+            other => panic!("invalid code {other}"),
+        }
+    }
+}
+
+/// The zero-bit message: the code is the send *time*, not content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyMsg;
+
+impl Message for EmptyMsg {
+    fn bit_len(&self) -> usize {
+        0
+    }
+}
+
+/// Runs `P` with every message replaced by an [`EmptyMsg`] sent at the
+/// subcycle encoding its type. Inner cycle `t` occupies real cycles
+/// `[t·k, (t+1)·k)`; a type-`c` message of inner cycle `t` is sent at
+/// real cycle `t·k + c`.
+#[derive(Debug, Clone)]
+pub struct TimeEncoded<P: SyncProcess>
+where
+    P::Msg: TimeCodable,
+{
+    inner: P,
+    n: usize,
+    k: u64,
+    inner_cycle: u64,
+    /// Messages scheduled for the current window: (send offset, port).
+    outbox: Vec<(u64, Port)>,
+    /// Arrival offsets observed in the current window, per port.
+    arrivals: [Option<u64>; 2],
+    halted: Option<<P as SyncProcess>::Output>,
+    _marker: PhantomData<P>,
+}
+
+impl<P: SyncProcess> TimeEncoded<P>
+where
+    P::Msg: TimeCodable,
+{
+    /// Wraps an inner process for a ring of size `n`.
+    #[must_use]
+    pub fn new(inner: P, n: usize) -> TimeEncoded<P> {
+        TimeEncoded {
+            inner,
+            n,
+            k: P::Msg::range(n),
+            inner_cycle: 0,
+            outbox: Vec::new(),
+            arrivals: [None, None],
+            halted: None,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<P: SyncProcess> SyncProcess for TimeEncoded<P>
+where
+    P::Msg: TimeCodable,
+{
+    type Msg = EmptyMsg;
+    type Output = P::Output;
+
+    fn step(&mut self, cycle: u64, rx: Received<EmptyMsg>) -> Step<EmptyMsg, P::Output> {
+        let offset = cycle % self.k;
+
+        // Record arrivals: a message sent at offset c arrives at offset
+        // c + 1 (possibly wrapping into this window from... it cannot
+        // wrap: c < k implies c + 1 <= k, and offset k is the next
+        // window's offset 0 — so a message sent at the *last* subcycle
+        // arrives at offset 0 of the next window, which is fine because
+        // decoding happens before the window's own sends).
+        for (port, _) in rx.iter() {
+            let arrival_offset = if offset == 0 { self.k } else { offset };
+            let slot = &mut self.arrivals[usize::from(port == Port::Right)];
+            debug_assert!(slot.is_none(), "one message per port per window");
+            *slot = Some(arrival_offset - 1);
+        }
+
+        let mut step: Step<EmptyMsg, P::Output> = Step::idle();
+
+        if offset == 0 {
+            // Window boundary: deliver the previous window's arrivals to
+            // the inner process and collect its sends for this window.
+            if let Some(output) = self.halted.take() {
+                return Step::halt(output);
+            }
+            let inner_rx = Received {
+                from_left: self.arrivals[0]
+                    .take()
+                    .map(|c| P::Msg::decode(c, self.n)),
+                from_right: self.arrivals[1]
+                    .take()
+                    .map(|c| P::Msg::decode(c, self.n)),
+            };
+            let inner_step = self.inner.step(self.inner_cycle, inner_rx);
+            self.inner_cycle += 1;
+            self.outbox.clear();
+            if let Some(m) = inner_step.to_left {
+                self.outbox.push((m.encode(self.n), Port::Left));
+            }
+            if let Some(m) = inner_step.to_right {
+                self.outbox.push((m.encode(self.n), Port::Right));
+            }
+            if let Some(output) = inner_step.halt {
+                if self.outbox.is_empty() {
+                    return Step::halt(output);
+                }
+                // Send the final messages at their subcycles, then halt.
+                self.halted = Some(output);
+            }
+        }
+
+        for &(send_offset, port) in &self.outbox {
+            if send_offset == offset {
+                match port {
+                    Port::Left => step.to_left = Some(EmptyMsg),
+                    Port::Right => step.to_right = Some(EmptyMsg),
+                }
+            }
+        }
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::orientation::OrientationProc;
+    use crate::algorithms::sync_input_dist::SyncInputDist;
+    use crate::view::ground_truth_view;
+    use anonring_sim::sync::SyncEngine;
+    use anonring_sim::{RingConfig, RingTopology};
+
+    #[test]
+    fn word_codes_round_trip() {
+        for s in ["", "0", "1", "0110", "111111"] {
+            let w = Word::parse(s);
+            assert_eq!(decode_word(encode_word(&w, 8)), w, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn id_msg_codes_round_trip() {
+        let n = 6;
+        for msg in [
+            IdMsg::Label(Word::parse("011")),
+            IdMsg::Collect(Word::new()),
+            IdMsg::Broadcast(Word::parse("110100")),
+        ] {
+            assert_eq!(IdMsg::decode(msg.encode(n), n), msg);
+            assert!(msg.encode(n) < IdMsg::range(n));
+        }
+    }
+
+    #[test]
+    fn orient_msg_codes_round_trip() {
+        for code in 0..8 {
+            let msg = OrientMsg::decode(code, 5);
+            assert_eq!(msg.encode(5), code);
+        }
+    }
+
+    #[test]
+    fn figure_2_runs_on_zero_bit_messages() {
+        // The §8 extreme point: Θ(n log n) messages, zero bits, huge time.
+        for bits in ["0110", "11011", "10101010"] {
+            let config = RingConfig::oriented_bits(bits).unwrap();
+            let n = config.n();
+            let mut engine = SyncEngine::from_config(&config, |_, &b| {
+                TimeEncoded::new(SyncInputDist::new(n, b), n)
+            });
+            engine.set_max_cycles(100_000_000);
+            let report = engine.run().unwrap();
+            assert_eq!(report.bits, 0, "zero-content messages");
+            for (i, view) in report.outputs().iter().enumerate() {
+                assert_eq!(view, &ground_truth_view(&config, i), "{bits} processor {i}");
+            }
+            // Time exploded by the window factor k = 3·2^(n+1).
+            assert!(report.cycles >= (report.messages.max(1)) * 4);
+        }
+    }
+
+    #[test]
+    fn time_encoded_costs_match_plain_figure_2_in_messages() {
+        let config = RingConfig::oriented_bits("110100").unwrap();
+        let n = config.n();
+        let plain = crate::algorithms::sync_input_dist::run(&config).unwrap();
+        let mut engine = SyncEngine::from_config(&config, |_, &b| {
+            TimeEncoded::new(SyncInputDist::new(n, b), n)
+        });
+        engine.set_max_cycles(100_000_000);
+        let encoded = engine.run().unwrap();
+        assert_eq!(encoded.messages, plain.messages);
+        assert_eq!(encoded.bits, 0);
+        assert!(plain.bits > 0);
+        assert!(encoded.cycles > plain.cycles * 100);
+    }
+
+    #[test]
+    fn figure_4_runs_on_zero_bit_messages_at_scale() {
+        // With only 8 message types the adapter is practical.
+        for n in [9usize, 27, 64] {
+            let bits: Vec<u8> = (0..n).map(|i| ((i * 2654435761) >> 8 & 1) as u8).collect();
+            let topology = RingTopology::from_bits(&bits).unwrap();
+            let procs = (0..n)
+                .map(|_| TimeEncoded::new(OrientationProc::new(n), n))
+                .collect();
+            let mut engine = SyncEngine::new(topology.clone(), procs).unwrap();
+            engine.set_max_cycles(10_000_000);
+            let report = engine.run().unwrap();
+            assert_eq!(report.bits, 0);
+            let after = topology.with_switched(report.outputs());
+            assert!(after.is_quasi_oriented(), "n={n}");
+            if n % 2 == 1 {
+                assert!(after.is_oriented(), "n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! §4.2.3's composition: "By prefixing the synchronization algorithm to
+//! an algorithm that assumes simultaneous start, we obtain an algorithm
+//! that solves the same problem but does not require simultaneous start."
+//!
+//! [`WithStartSync`] runs Figure 5 first; since all processors leave it
+//! at the *same global cycle*, the wrapped algorithm then executes
+//! exactly as if the ring had started simultaneously — at an additive
+//! `O(n log n)` message cost.
+
+use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess, SyncReport};
+use anonring_sim::{Message, RingConfig, SimError, WakeSchedule};
+
+use crate::algorithms::start_sync::StartSync;
+
+/// Either a synchronization count or an inner-algorithm message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixedMsg<M> {
+    /// Figure 5 traffic.
+    Sync(u64),
+    /// Wrapped-algorithm traffic.
+    Inner(M),
+}
+
+impl<M: Message> Message for PrefixedMsg<M> {
+    fn bit_len(&self) -> usize {
+        match self {
+            PrefixedMsg::Sync(c) => 1 + c.bit_len(),
+            PrefixedMsg::Inner(m) => 1 + m.bit_len(),
+        }
+    }
+}
+
+/// Runs Figure 5, then the wrapped process from the synchronized instant.
+#[derive(Debug, Clone)]
+pub struct WithStartSync<P: SyncProcess> {
+    sync: StartSync,
+    synced: bool,
+    inner: P,
+    inner_cycle: u64,
+}
+
+impl<P: SyncProcess> WithStartSync<P> {
+    /// Wraps `inner` for a ring of size `n ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(inner: P, n: usize) -> WithStartSync<P> {
+        WithStartSync {
+            sync: StartSync::new(n),
+            synced: false,
+            inner,
+            inner_cycle: 0,
+        }
+    }
+}
+
+impl<P: SyncProcess> SyncProcess for WithStartSync<P> {
+    type Msg = PrefixedMsg<P::Msg>;
+    type Output = P::Output;
+
+    fn step(
+        &mut self,
+        cycle: u64,
+        rx: Received<PrefixedMsg<P::Msg>>,
+    ) -> Step<PrefixedMsg<P::Msg>, P::Output> {
+        if !self.synced {
+            let sync_rx = Received {
+                from_left: rx.from_left.map(|m| match m {
+                    PrefixedMsg::Sync(c) => c,
+                    PrefixedMsg::Inner(_) => unreachable!("inner before sync"),
+                }),
+                from_right: rx.from_right.map(|m| match m {
+                    PrefixedMsg::Sync(c) => c,
+                    PrefixedMsg::Inner(_) => unreachable!("inner before sync"),
+                }),
+            };
+            let s = self.sync.step(cycle, sync_rx);
+            let mut out: Step<PrefixedMsg<P::Msg>, P::Output> = Step::idle();
+            out.to_left = s.to_left.map(PrefixedMsg::Sync);
+            out.to_right = s.to_right.map(PrefixedMsg::Sync);
+            if s.halt.is_some() {
+                // Synchronized: the inner algorithm starts *next* cycle,
+                // simultaneously everywhere.
+                self.synced = true;
+            }
+            return out;
+        }
+        let inner_rx = Received {
+            from_left: rx.from_left.map(|m| match m {
+                PrefixedMsg::Inner(m) => m,
+                PrefixedMsg::Sync(_) => unreachable!("sync after sync phase"),
+            }),
+            from_right: rx.from_right.map(|m| match m {
+                PrefixedMsg::Inner(m) => m,
+                PrefixedMsg::Sync(_) => unreachable!("sync after sync phase"),
+            }),
+        };
+        let s = self.inner.step(self.inner_cycle, inner_rx);
+        self.inner_cycle += 1;
+        let mut out: Step<PrefixedMsg<P::Msg>, P::Output> = Step::idle();
+        out.to_left = s.to_left.map(PrefixedMsg::Inner);
+        out.to_right = s.to_right.map(PrefixedMsg::Inner);
+        if let Some(output) = s.halt {
+            out = out.and_halt(output);
+        }
+        out
+    }
+}
+
+/// Runs a simultaneous-start algorithm under an arbitrary legal wake-up
+/// schedule by prefixing Figure 5.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run_with_wakeups<P: SyncProcess, V>(
+    config: &RingConfig<V>,
+    wake: &WakeSchedule,
+    mut make: impl FnMut(usize, &V) -> P,
+) -> Result<SyncReport<P::Output>, SimError> {
+    let n = config.n();
+    let mut engine =
+        SyncEngine::from_config(config, |i, v| WithStartSync::new(make(i, v), n));
+    engine.set_wakeups(wake.as_slice().to_vec())?;
+    engine.set_max_cycles(((2 * n as u64 + 2) * (2 * n as u64 + 2)).max(100_000));
+    engine.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::sync_and::SyncAnd;
+    use crate::algorithms::sync_input_dist::SyncInputDist;
+    use crate::view::ground_truth_view;
+
+    #[test]
+    fn and_is_correct_under_skewed_wakeups() {
+        for n in [4usize, 9, 16] {
+            for seed in 0..5u64 {
+                let wake = WakeSchedule::random(n, seed);
+                for inputs in [
+                    vec![1u8; n],
+                    (0..n).map(|i| u8::from(i != 2)).collect::<Vec<_>>(),
+                    (0..n).map(|i| (i % 2) as u8).collect(),
+                ] {
+                    let want = u8::from(inputs.iter().all(|&b| b == 1));
+                    let config = RingConfig::oriented(inputs.clone());
+                    let report =
+                        run_with_wakeups(&config, &wake, |_, &b| SyncAnd::new(n, b)).unwrap();
+                    assert!(
+                        report.outputs().iter().all(|&o| o == want),
+                        "n={n} seed={seed} inputs={inputs:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure_2_is_correct_under_skewed_wakeups() {
+        let n = 9usize;
+        let wake = WakeSchedule::from_word(&[0, 1, 1, 0, 1, 0, 0, 1, 0]).unwrap();
+        let config = RingConfig::oriented_bits("011010110").unwrap();
+        let report =
+            run_with_wakeups(&config, &wake, |_, &b| SyncInputDist::new(n, b)).unwrap();
+        for (i, view) in report.outputs().iter().enumerate() {
+            assert_eq!(view, &ground_truth_view(&config, i), "processor {i}");
+        }
+    }
+
+    #[test]
+    fn cost_is_inner_plus_n_log_n() {
+        let n = 64usize;
+        let wake = WakeSchedule::random(n, 3);
+        let inputs: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        let config = RingConfig::oriented(inputs);
+        let plain = crate::algorithms::sync_input_dist::run(&config).unwrap();
+        let wrapped =
+            run_with_wakeups(&config, &wake, |_, &b| SyncInputDist::new(n, b)).unwrap();
+        let sync_budget = crate::bounds::start_sync_messages(n as u64) + 2.0 * n as f64;
+        assert!(
+            (wrapped.messages as f64) <= plain.messages as f64 + sync_budget,
+            "wrapped {} vs plain {} + sync {sync_budget}",
+            wrapped.messages,
+            plain.messages
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Closed-form complexity bounds stated in the paper, used by the
+//! experiment harness to print paper-vs-measured tables.
+
+/// `log₁.₅ n` (the round count of the elimination algorithms).
+#[must_use]
+pub fn log_base(n: f64, base: f64) -> f64 {
+    n.ln() / base.ln()
+}
+
+// ---------------------------------------------------------------------
+// Upper bounds (§4).
+// ---------------------------------------------------------------------
+
+/// §4.1: messages of the asynchronous input distribution algorithm,
+/// exactly `n(n − 1)` (for `n ≥ 3`).
+#[must_use]
+pub fn async_input_dist_messages(n: u64) -> u64 {
+    n * (n - 1)
+}
+
+/// §4.2: messages of the synchronous AND algorithm, at most `2n`.
+#[must_use]
+pub fn sync_and_messages(n: u64) -> u64 {
+    2 * n
+}
+
+/// §4.2: cycles of the synchronous AND algorithm, at most `⌊n/2⌋ + 1`.
+#[must_use]
+pub fn sync_and_cycles(n: u64) -> u64 {
+    n / 2 + 1
+}
+
+/// Fig. 2: messages of the synchronous input distribution algorithm, at
+/// most `n(3·log₁.₅ n + 1)`.
+#[must_use]
+pub fn sync_input_dist_messages(n: u64) -> f64 {
+    n as f64 * (3.0 * log_base(n as f64, 1.5) + 1.0)
+}
+
+/// Fig. 2: cycles of the synchronous input distribution algorithm, at most
+/// `n(2·log₁.₅ n + 1)` with the paper's `n`-cycle phases. Our
+/// implementation uses `(n + 1)`-cycle phases (so that a lone candidate's
+/// label completes a round trip), giving `(n + 1)(2·log₁.₅ n + 3)`.
+#[must_use]
+pub fn sync_input_dist_cycles(n: u64) -> f64 {
+    (n as f64 + 1.0) * (2.0 * log_base(n as f64, 1.5) + 3.0)
+}
+
+/// Fig. 4: messages of the orientation algorithm, at most
+/// `3.5n(log₃ n + 1)`.
+#[must_use]
+pub fn orientation_messages(n: u64) -> f64 {
+    3.5 * n as f64 * (log_base(n as f64, 3.0) + 1.0)
+}
+
+/// Fig. 4: cycles of the orientation algorithm, at most `n(2·log₃ n + 4)`
+/// with the paper's phases; `(n + 1)(2·log₃ n + 6)` with ours.
+#[must_use]
+pub fn orientation_cycles(n: u64) -> f64 {
+    (n as f64 + 1.0) * (2.0 * log_base(n as f64, 3.0) + 6.0)
+}
+
+/// Fig. 5 / §4.2.3: messages of the start synchronization algorithm, at
+/// most `2n(1 + log₁.₅ n)`.
+#[must_use]
+pub fn start_sync_messages(n: u64) -> f64 {
+    2.0 * n as f64 * (1.0 + log_base(n as f64, 1.5))
+}
+
+/// §4.2.4: messages of the bit-message start synchronization variant, at
+/// most `4n·log₁.₅ n` (all messages a single bit).
+#[must_use]
+pub fn start_sync_bits_messages(n: u64) -> f64 {
+    4.0 * n as f64 * log_base(n as f64, 1.5)
+}
+
+/// §4.2.4: cycles of the bit-message variant, at most `3n·log₁.₅ n`.
+#[must_use]
+pub fn start_sync_bits_cycles(n: u64) -> f64 {
+    3.0 * n as f64 * log_base(n as f64, 1.5)
+}
+
+// ---------------------------------------------------------------------
+// Lower bounds (§5, §6).
+// ---------------------------------------------------------------------
+
+/// §5.2.1: asynchronous AND fooling-pair bound `n·⌊n/2⌋` on input `1ⁿ`.
+#[must_use]
+pub fn and_async_lower(n: u64) -> u64 {
+    n * (n / 2)
+}
+
+/// §5.2.1 refined: the tight `n(n − 1)` bound for AND / non-distinct
+/// minimum finding (Corollary 5.2).
+#[must_use]
+pub fn and_async_lower_refined(n: u64) -> u64 {
+    n * (n - 1)
+}
+
+/// Theorem 5.3: asynchronous orientation bound `n·⌊(n + 2)/4⌋` (odd `n`).
+#[must_use]
+pub fn orientation_async_lower(n: u64) -> u64 {
+    n * ((n + 2) / 4)
+}
+
+/// §6.3.1: synchronous XOR bound `(n/54)·ln(n/9)` at `n = 3ᵏ`.
+#[must_use]
+pub fn xor_sync_lower(n: u64) -> f64 {
+    (n as f64 / 54.0) * (n as f64 / 9.0).ln()
+}
+
+/// §6.3.2: synchronous orientation bound `(n/27)·ln(n/9)` at `n = 3ᵏ`.
+#[must_use]
+pub fn orientation_sync_lower(n: u64) -> f64 {
+    (n as f64 / 27.0) * (n as f64 / 9.0).ln()
+}
+
+/// §6.3.3: synchronous start synchronization bound `(n/54)·ln(n/36)` at
+/// `n = 4·3ᵏ`.
+#[must_use]
+pub fn start_sync_sync_lower(n: u64) -> f64 {
+    (n as f64 / 54.0) * (n as f64 / 36.0).ln()
+}
+
+/// Theorem 6.7: the bound `(n/64)·ln(n/64)` forced on almost all Boolean
+/// functions at `n = 2²ᵏ`.
+#[must_use]
+pub fn random_function_sync_lower(n: u64) -> f64 {
+    (n as f64 / 64.0) * (n as f64 / 64.0).ln()
+}
+
+/// Theorem 5.1 / 6.2 generic bound: `Σ_{k=0}^{α} β(k)` (halve it for the
+/// synchronous variant).
+#[must_use]
+pub fn fooling_pair_bound(alpha: usize, beta: impl Fn(usize) -> f64) -> f64 {
+    (0..=alpha).map(beta).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_bounds_are_monotone() {
+        for f in [
+            sync_input_dist_messages,
+            orientation_messages,
+            start_sync_messages,
+            start_sync_bits_messages,
+        ] {
+            let mut prev = 0.0;
+            for n in [4u64, 16, 64, 256, 1024] {
+                let v = f(n);
+                assert!(v > prev);
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn exact_values() {
+        assert_eq!(async_input_dist_messages(5), 20);
+        assert_eq!(sync_and_messages(7), 14);
+        assert_eq!(and_async_lower(9), 36);
+        assert_eq!(and_async_lower_refined(9), 72);
+        assert_eq!(orientation_async_lower(9), 18);
+    }
+
+    #[test]
+    fn fooling_pair_bound_sums_beta() {
+        // beta(k) = n/(2k+1) over k=0..=2 for n=30: 30 + 10 + 6 = 46.
+        let b = fooling_pair_bound(2, |k| 30.0 / (2 * k + 1) as f64);
+        assert!((b - 46.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bounds_scale_like_n_log_n() {
+        let a = xor_sync_lower(81);
+        let b = xor_sync_lower(243);
+        // superlinear growth (tripling n more than triples the bound):
+        assert!(b / a > 3.0);
+        assert!(b / a < 5.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Computable ring functions and the Theorem 3.4 characterization.
+//!
+//! A function `f : Sⁿ → T` is computable on a clockwise-oriented anonymous
+//! ring of size `n` iff it is invariant under cyclic shifts of the input;
+//! on arbitrary rings it must additionally be invariant under reversal
+//! (Theorem 3.4). The classic examples — AND, OR, XOR, SUM, MIN, MAX — are
+//! all fully symmetric, hence computable everywhere.
+
+use std::fmt;
+
+/// A function of the ring input evaluated identically by every processor
+/// (given its [`crate::view::RingView`]).
+///
+/// Implementations receive the inputs in ring order, starting anywhere —
+/// which is exactly why only cyclic-shift-invariant functions make sense.
+pub trait RingFunction {
+    /// Evaluates the function on the ring input.
+    fn evaluate(&self, inputs: &[u64]) -> u64;
+
+    /// A short human-readable name.
+    fn name(&self) -> &str;
+}
+
+macro_rules! simple_fn {
+    ($(#[$doc:meta])* $name:ident, $label:expr, |$inputs:ident| $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct $name;
+
+        impl RingFunction for $name {
+            fn evaluate(&self, $inputs: &[u64]) -> u64 {
+                $body
+            }
+            fn name(&self) -> &str {
+                $label
+            }
+        }
+    };
+}
+
+simple_fn!(
+    /// Logical AND of `{0,1}` inputs.
+    And,
+    "AND",
+    |inputs| u64::from(inputs.iter().all(|&x| x != 0))
+);
+
+simple_fn!(
+    /// Logical OR of `{0,1}` inputs.
+    Or,
+    "OR",
+    |inputs| u64::from(inputs.iter().any(|&x| x != 0))
+);
+
+simple_fn!(
+    /// XOR (sum mod 2) of `{0,1}` inputs — the canonical `Θ(n log n)`
+    /// synchronous function (§6.3.1).
+    Xor,
+    "XOR",
+    |inputs| inputs.iter().fold(0, |acc, &x| acc ^ (x & 1))
+);
+
+simple_fn!(
+    /// Sum of the inputs — requires exact knowledge of `n` (Theorem 3.3).
+    Sum,
+    "SUM",
+    |inputs| inputs.iter().copied().fold(0u64, u64::wrapping_add)
+);
+
+simple_fn!(
+    /// Minimum input — `Θ(n²)` asynchronously when inputs may repeat
+    /// (Corollary 5.2), `O(n log n)` when distinct.
+    Min,
+    "MIN",
+    |inputs| inputs.iter().copied().min().unwrap_or(0)
+);
+
+simple_fn!(
+    /// Maximum input.
+    Max,
+    "MAX",
+    |inputs| inputs.iter().copied().max().unwrap_or(0)
+);
+
+/// A ring function defined by a closure (for tests and random-function
+/// experiments).
+#[derive(Clone)]
+pub struct FnRing<F> {
+    f: F,
+    name: String,
+}
+
+impl<F: Fn(&[u64]) -> u64> FnRing<F> {
+    /// Wraps a closure as a ring function.
+    #[must_use]
+    pub fn new(name: impl Into<String>, f: F) -> FnRing<F> {
+        FnRing {
+            f,
+            name: name.into(),
+        }
+    }
+}
+
+impl<F: Fn(&[u64]) -> u64> RingFunction for FnRing<F> {
+    fn evaluate(&self, inputs: &[u64]) -> u64 {
+        (self.f)(inputs)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<F> fmt::Debug for FnRing<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnRing").field("name", &self.name).finish()
+    }
+}
+
+/// Enumerates all `{0,1}ⁿ` inputs (LSB-first) — usable up to `n ≈ 20`.
+fn all_binary_inputs(n: usize) -> impl Iterator<Item = Vec<u64>> {
+    assert!(n <= 24, "exhaustive enumeration limited to n <= 24");
+    (0u32..(1 << n)).map(move |mask| (0..n).map(|i| u64::from(mask >> i & 1)).collect())
+}
+
+/// Whether `f` is invariant under cyclic shifts of `{0,1}ⁿ` inputs —
+/// Theorem 3.4(i)'s computability criterion for clockwise-oriented rings
+/// (checked exhaustively).
+#[must_use]
+pub fn is_cyclic_invariant(f: &dyn RingFunction, n: usize) -> bool {
+    all_binary_inputs(n).all(|input| {
+        let v = f.evaluate(&input);
+        let mut rotated = input;
+        rotated.rotate_left(1);
+        f.evaluate(&rotated) == v
+    })
+}
+
+/// Whether `f` is additionally invariant under reversal — together with
+/// cyclic invariance, Theorem 3.4(ii)'s criterion for arbitrary rings.
+#[must_use]
+pub fn is_reversal_invariant(f: &dyn RingFunction, n: usize) -> bool {
+    all_binary_inputs(n).all(|input| {
+        let v = f.evaluate(&input);
+        let mut rev = input;
+        rev.reverse();
+        f.evaluate(&rev) == v
+    })
+}
+
+/// Theorem 3.4(i): computability of `f` on a clockwise-oriented anonymous
+/// ring of size `n` (for `{0,1}` inputs, checked exhaustively).
+#[must_use]
+pub fn computable_on_oriented_ring(f: &dyn RingFunction, n: usize) -> bool {
+    is_cyclic_invariant(f, n)
+}
+
+/// Theorem 3.4(ii): computability of `f` on an *arbitrary* ring of size
+/// `n`.
+#[must_use]
+pub fn computable_on_any_ring(f: &dyn RingFunction, n: usize) -> bool {
+    is_cyclic_invariant(f, n) && is_reversal_invariant(f, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_functions_evaluate_correctly() {
+        let i = [1u64, 1, 0, 1];
+        assert_eq!(And.evaluate(&i), 0);
+        assert_eq!(Or.evaluate(&i), 1);
+        assert_eq!(Xor.evaluate(&i), 1);
+        assert_eq!(Sum.evaluate(&i), 3);
+        assert_eq!(Min.evaluate(&i), 0);
+        assert_eq!(Max.evaluate(&i), 1);
+        assert_eq!(And.evaluate(&[1, 1]), 1);
+        assert_eq!(Xor.evaluate(&[1, 1]), 0);
+    }
+
+    #[test]
+    fn classic_functions_are_computable_everywhere() {
+        for f in [
+            &And as &dyn RingFunction,
+            &Or,
+            &Xor,
+            &Sum,
+            &Min,
+            &Max,
+        ] {
+            for n in [2usize, 3, 5, 8] {
+                assert!(computable_on_any_ring(f, n), "{} n={n}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn position_dependent_function_is_not_computable() {
+        // "the input of processor 0" is not cyclic invariant.
+        let f = FnRing::new("first", |xs: &[u64]| xs[0]);
+        assert!(!computable_on_oriented_ring(&f, 3));
+    }
+
+    #[test]
+    fn direction_dependent_function_needs_orientation() {
+        // The lexicographically least rotation (as a number) is cyclic
+        // invariant by construction but chiral: 110100's least rotation is
+        // 001101 while its mirror 001011's is 001011.
+        let f = FnRing::new("least-rotation", |xs: &[u64]| {
+            let n = xs.len();
+            (0..n)
+                .map(|r| {
+                    (0..n).fold(0u64, |acc, i| (acc << 1) | (xs[(r + i) % n] & 1))
+                })
+                .min()
+                .unwrap_or(0)
+        });
+        assert!(is_cyclic_invariant(&f, 6));
+        assert!(!is_reversal_invariant(&f, 6));
+        assert!(computable_on_oriented_ring(&f, 6));
+        assert!(!computable_on_any_ring(&f, 6));
+    }
+
+    #[test]
+    fn fn_ring_debug_and_name() {
+        let f = FnRing::new("id", |xs: &[u64]| xs.iter().sum());
+        assert_eq!(f.name(), "id");
+        assert!(format!("{f:?}").contains("id"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # anonring-core
+//!
+//! The algorithms and lower bounds of Attiya, Snir and Warmuth,
+//! *Computing on an Anonymous Ring* (J. ACM 35(4), 1988), implemented on
+//! the simulators of [`anonring_sim`] and the string machinery of
+//! [`anonring_words`].
+//!
+//! ## What can be computed (§3)
+//!
+//! On an anonymous ring of known size `n`, a function is computable iff it
+//! is invariant under cyclic shifts of the input — plus reversal for
+//! non-oriented rings (Theorem 3.4; see [`functions`] and
+//! [`computability`]). The *input distribution* problem — every processor
+//! learns the whole ring relative to itself — is the hardest computable
+//! problem: solve it and any computable function follows by local
+//! evaluation (see [`view::RingView`]).
+//!
+//! ## Algorithms (§4)
+//!
+//! | paper | module | messages |
+//! |-------|--------|----------|
+//! | §4.1 asynchronous input distribution | [`algorithms::async_input_dist`] | `n(n−1)` |
+//! | §4.2 synchronous AND | [`algorithms::sync_and`] | `≤ 2n` |
+//! | Fig. 2 synchronous input distribution | [`algorithms::sync_input_dist`] | `O(n log n)` |
+//! | Fig. 4 (quasi-)orientation | [`algorithms::orientation`] | `O(n log n)` |
+//! | Fig. 5 start synchronization | [`algorithms::start_sync`] | `O(n log n)` |
+//! | §4.2.4 bit-message start synchronization | [`algorithms::start_sync_bits`] | `O(n log n)` 1-bit msgs |
+//!
+//! ## Lower bounds (§5–§7)
+//!
+//! The [`lower_bounds`] module implements the fooling-pair framework (both
+//! the asynchronous Theorem 5.1 and the synchronous Theorem 6.2 versions)
+//! and the concrete witnesses for AND, orientation, XOR and start
+//! synchronization, at exact and arbitrary ring sizes. Closed-form bound
+//! values live in [`bounds`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod bounds;
+pub mod computability;
+pub mod functions;
+pub mod lower_bounds;
+pub mod view;
+
+pub use view::RingView;

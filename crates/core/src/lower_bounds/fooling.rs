@@ -1,0 +1,251 @@
+//! Fooling pairs: definitions 5a/5b and 6a/6b, machine-checked.
+
+use std::hash::Hash;
+
+use anonring_sim::{joint_symmetry_index, neighborhood, symmetry_index, RingConfig};
+
+/// Finds a pair of processors with equal `alpha`-neighborhoods across two
+/// configurations — the "twin" needed by conditions (5a)/(6a).
+#[must_use]
+pub fn find_twins<V: Clone + Eq + Hash>(
+    r1: &RingConfig<V>,
+    r2: &RingConfig<V>,
+    alpha: usize,
+) -> Option<(usize, usize)> {
+    use std::collections::HashMap;
+    let mut seen = HashMap::new();
+    for i in 0..r1.n() {
+        seen.entry(neighborhood(r1, i, alpha)).or_insert(i);
+    }
+    for j in 0..r2.n() {
+        if let Some(&i) = seen.get(&neighborhood(r2, j, alpha)) {
+            return Some((i, j));
+        }
+    }
+    None
+}
+
+/// An asynchronous `(α, β)` fooling pair (§5.1).
+///
+/// Conditions:
+/// * **(5a)** processors `p1 ∈ R₁`, `p2 ∈ R₂` have equal
+///   `α`-neighborhoods but must produce different outputs;
+/// * **(5b)** `SI(R₁, k) ≥ β(k)` for `0 ≤ k ≤ α`.
+///
+/// Theorem 5.1: any algorithm whose outputs satisfy the disagreement
+/// sends at least `Σ β(k)` messages on `R₁` under the synchronizing
+/// adversary.
+#[derive(Debug, Clone)]
+pub struct AsyncFoolingPair<V> {
+    /// The configuration that pays the bound.
+    pub r1: RingConfig<V>,
+    /// The contrasting configuration.
+    pub r2: RingConfig<V>,
+    /// Witness processor in `r1`.
+    pub p1: usize,
+    /// Witness processor in `r2`.
+    pub p2: usize,
+    /// Neighborhood radius up to which the processors are twins.
+    pub alpha: usize,
+    /// Claimed repetition profile `β(0..=α)`.
+    pub beta: Vec<f64>,
+}
+
+impl<V: Clone + Eq + Hash> AsyncFoolingPair<V> {
+    /// The Theorem 5.1 bound `Σ_{k=0}^{α} β(k)`.
+    #[must_use]
+    pub fn bound(&self) -> f64 {
+        self.beta.iter().sum()
+    }
+
+    /// Checks condition (5b) — and the neighborhood half of (5a) —
+    /// against the actual configurations. Returns a description of the
+    /// first violated condition, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable violation description.
+    pub fn verify_structure(&self) -> Result<(), String> {
+        if self.beta.len() != self.alpha + 1 {
+            return Err(format!(
+                "beta has {} entries for alpha = {}",
+                self.beta.len(),
+                self.alpha
+            ));
+        }
+        if neighborhood(&self.r1, self.p1, self.alpha)
+            != neighborhood(&self.r2, self.p2, self.alpha)
+        {
+            return Err(format!(
+                "processors {} and {} are distinguishable at radius {}",
+                self.p1, self.p2, self.alpha
+            ));
+        }
+        for (k, &need) in self.beta.iter().enumerate() {
+            let got = symmetry_index(&self.r1, k) as f64;
+            if got < need {
+                return Err(format!("SI(R1, {k}) = {got} < beta({k}) = {need}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the output half of condition (5a) against the ring outputs
+    /// of actual runs on `r1` and `r2`.
+    #[must_use]
+    pub fn outputs_disagree<O: PartialEq>(&self, out1: &[O], out2: &[O]) -> bool {
+        out1[self.p1] != out2[self.p2]
+    }
+}
+
+/// A synchronous `(α, β)` fooling pair (§6.1): like the asynchronous one
+/// but with the *joint* symmetry index — no neighborhood may be rare in
+/// both configurations at once, because a cycle advances the computation
+/// only if a message is sent in one of the two runs (Lemma 6.1).
+///
+/// The two configurations may be the *same* configuration with two
+/// distinct witness processors (used for orientation, §6.3.2).
+#[derive(Debug, Clone)]
+pub struct SyncFoolingPair<V> {
+    /// First configuration.
+    pub r1: RingConfig<V>,
+    /// Second configuration (possibly equal to `r1`).
+    pub r2: RingConfig<V>,
+    /// Witness processor in `r1`.
+    pub p1: usize,
+    /// Witness processor in `r2`.
+    pub p2: usize,
+    /// Neighborhood radius up to which the processors are twins.
+    pub alpha: usize,
+    /// Claimed joint repetition profile `β(0..=α)`.
+    pub beta: Vec<f64>,
+}
+
+impl<V: Clone + Eq + Hash> SyncFoolingPair<V> {
+    /// The Theorem 6.2 bound `½·Σ_{k=0}^{α} β(k)` (messages on one of the
+    /// two configurations).
+    #[must_use]
+    pub fn bound(&self) -> f64 {
+        self.beta.iter().sum::<f64>() / 2.0
+    }
+
+    /// Checks condition (6b) — and the neighborhood half of (6a).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable violation description.
+    pub fn verify_structure(&self) -> Result<(), String> {
+        if self.beta.len() != self.alpha + 1 {
+            return Err(format!(
+                "beta has {} entries for alpha = {}",
+                self.beta.len(),
+                self.alpha
+            ));
+        }
+        if neighborhood(&self.r1, self.p1, self.alpha)
+            != neighborhood(&self.r2, self.p2, self.alpha)
+        {
+            return Err(format!(
+                "processors {} and {} are distinguishable at radius {}",
+                self.p1, self.p2, self.alpha
+            ));
+        }
+        for (k, &need) in self.beta.iter().enumerate() {
+            let got = joint_symmetry_index(&[self.r1.clone(), self.r2.clone()], k) as f64;
+            if got < need {
+                return Err(format!("SI(R1, R2, {k}) = {got} < beta({k}) = {need}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the claimed `β` with the *measured* joint symmetry index —
+    /// the tightest profile Theorem 6.2 supports for these configurations.
+    #[must_use]
+    pub fn with_measured_beta(mut self) -> Self {
+        self.beta = (0..=self.alpha)
+            .map(|k| joint_symmetry_index(&[self.r1.clone(), self.r2.clone()], k) as f64)
+            .collect();
+        self
+    }
+
+    /// Checks the output half of condition (6a).
+    #[must_use]
+    pub fn outputs_disagree<O: PartialEq>(&self, out1: &[O], out2: &[O]) -> bool {
+        out1[self.p1] != out2[self.p2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_style_pair_verifies() {
+        let n = 10usize;
+        let pair = AsyncFoolingPair {
+            r1: RingConfig::oriented(vec![1u8; n]),
+            r2: RingConfig::oriented({
+                let mut v = vec![1u8; n];
+                v[n - 1] = 0;
+                v
+            }),
+            p1: 4,
+            p2: 4,
+            alpha: n / 2 - 1,
+            beta: vec![n as f64; n / 2],
+        };
+        pair.verify_structure().unwrap();
+        assert_eq!(pair.bound(), (n * (n / 2)) as f64);
+        assert!(pair.outputs_disagree(&[1u64; 10], &[0u64; 10]));
+    }
+
+    #[test]
+    fn structure_violations_are_reported() {
+        let n = 6usize;
+        // A pair whose processors are actually distinguishable.
+        let bad = AsyncFoolingPair {
+            r1: RingConfig::oriented(vec![1u8; n]),
+            r2: RingConfig::oriented(vec![0u8; n]),
+            p1: 0,
+            p2: 0,
+            alpha: 1,
+            beta: vec![1.0, 1.0],
+        };
+        assert!(bad.verify_structure().is_err());
+        // An overstated beta.
+        let overstated = AsyncFoolingPair {
+            r1: RingConfig::oriented(vec![1u8, 1, 1, 1, 1, 0]),
+            r2: RingConfig::oriented(vec![1u8; 6]),
+            p1: 2,
+            p2: 2,
+            alpha: 1,
+            beta: vec![6.0, 6.0],
+        };
+        assert!(overstated.verify_structure().is_err());
+    }
+
+    #[test]
+    fn measured_beta_is_never_less_than_claimed_for_valid_pairs() {
+        let w = anonring_words::constructions::xor_exact(3);
+        let n = w.word0.len();
+        let alpha = (n / 9 - 1) / 2;
+        let r1 = RingConfig::oriented(w.word0.as_slice().to_vec());
+        let r2 = RingConfig::oriented(w.word1.as_slice().to_vec());
+        let (p1, p2) = find_twins(&r1, &r2, alpha).expect("6.3 guarantees twins");
+        let pair = SyncFoolingPair {
+            r1,
+            r2,
+            p1,
+            p2,
+            alpha,
+            beta: (0..=alpha)
+                .map(|k| 2.0 * n as f64 / (27.0 * (2 * k + 1) as f64))
+                .collect(),
+        };
+        pair.verify_structure().unwrap();
+        let claimed = pair.bound();
+        let measured = pair.clone().with_measured_beta().bound();
+        assert!(measured >= claimed);
+    }
+}

@@ -1,0 +1,153 @@
+//! Random computable functions (Theorem 5.4 and Theorem 6.7).
+//!
+//! A computable Boolean function on an oriented `n`-ring is exactly a
+//! Boolean function on *necklaces* — the equivalence classes of `{0,1}ⁿ`
+//! under rotation (Theorem 3.4). Theorem 5.4 shows that a random such
+//! function almost surely costs `Ω(n²)` messages asynchronously (it
+//! disagrees between `1ⁿ` and some necklace containing `⌈n/2⌉` contiguous
+//! ones); Theorem 6.7 shows a random one almost surely costs
+//! `Ω(n log n)` synchronously (it disagrees on two Thue–Morse images).
+//!
+//! This module provides the exact combinatorial quantities; the sampling
+//! experiments live in `anonring-bench`.
+
+use std::collections::HashSet;
+
+use anonring_words::homomorphism::thue_morse;
+use anonring_words::Word;
+
+/// The lexicographically least rotation of an `n`-bit necklace (as a mask,
+/// bit `i` = input of processor `i`).
+#[must_use]
+pub fn canonical_rotation(mask: u64, n: usize) -> u64 {
+    assert!((1..=32).contains(&n), "supported up to n = 32");
+    let m = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mask = mask & m;
+    (0..n)
+        .map(|r| ((mask >> r) | (mask << (n - r))) & m)
+        .min()
+        .expect("n >= 1")
+}
+
+/// All necklace representatives for `n`-bit inputs (exhaustive; use small
+/// `n`).
+#[must_use]
+pub fn necklace_representatives(n: usize) -> Vec<u64> {
+    assert!(n <= 22, "exhaustive enumeration limited to n <= 22");
+    let mut set: HashSet<u64> = HashSet::new();
+    for mask in 0u64..(1 << n) {
+        set.insert(canonical_rotation(mask, n));
+    }
+    let mut v: Vec<u64> = set.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// The necklaces that contain `⌈n/2⌉` contiguous ones — the paper's `s`
+/// in Theorem 5.4 (a lower bound for it: the paper uses `s ≥ 2^{n/2}/n`).
+#[must_use]
+pub fn necklaces_with_half_ones_run(n: usize) -> Vec<u64> {
+    assert!(n <= 22, "exhaustive enumeration limited to n <= 22");
+    let run = n.div_ceil(2);
+    let ones = (1u64 << run) - 1;
+    let mut set = HashSet::new();
+    // All strings starting with ceil(n/2) ones.
+    for rest in 0u64..(1 << (n - run)) {
+        set.insert(canonical_rotation(ones | (rest << run), n));
+    }
+    let mut v: Vec<u64> = set.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Theorem 5.4's probability bound: a random computable Boolean function
+/// has asynchronous message complexity `≤ n²/4` with probability less
+/// than `2^{1 − s}`, where `s ≥ 2^{n/2}/n`.
+#[must_use]
+pub fn theorem_5_4_probability_bound(n: u64) -> f64 {
+    let s = 2f64.powf(n as f64 / 2.0) / n as f64;
+    2f64.powf(1.0 - s)
+}
+
+/// The Thue–Morse images `hᵏ(σ)` over all seeds `σ` of length `len` —
+/// Theorem 6.7's family of `2^len` length-`len·2ᵏ` ring inputs, any two
+/// of which form a fooling pair for a function that separates them.
+///
+/// # Panics
+///
+/// Panics for `len > 20` (2^len images).
+#[must_use]
+pub fn thue_morse_images(len: usize, k: usize) -> Vec<Word> {
+    assert!(len <= 20, "2^len images; keep len small");
+    let h = thue_morse();
+    (0u64..(1 << len))
+        .map(|mask| {
+            let seed: Word = (0..len).map(|i| ((mask >> i) & 1) as u8).collect();
+            h.iterate(&seed, k)
+        })
+        .collect()
+}
+
+/// Theorem 6.7's probability bound at `n = 2^{2k}`: a random computable
+/// function costs fewer than `(n/64)·ln(n/64)` synchronous messages with
+/// probability at most `2^{1 − 2^{√n}/n}`.
+#[must_use]
+pub fn theorem_6_7_probability_bound(n: u64) -> f64 {
+    let s = 2f64.powf((n as f64).sqrt()) / n as f64;
+    2f64.powf(1.0 - s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_rotation_is_rotation_invariant() {
+        let n = 6;
+        for mask in 0u64..(1 << n) {
+            let c = canonical_rotation(mask, n);
+            let rotated = ((mask >> 1) | (mask << (n - 1))) & ((1 << n) - 1);
+            assert_eq!(canonical_rotation(rotated, n), c, "mask {mask:b}");
+            assert!(c <= mask);
+        }
+    }
+
+    #[test]
+    fn necklace_counts_match_known_values() {
+        // OEIS A000031: binary necklaces of length n.
+        assert_eq!(necklace_representatives(1).len(), 2);
+        assert_eq!(necklace_representatives(2).len(), 3);
+        assert_eq!(necklace_representatives(3).len(), 4);
+        assert_eq!(necklace_representatives(4).len(), 6);
+        assert_eq!(necklace_representatives(5).len(), 8);
+        assert_eq!(necklace_representatives(6).len(), 14);
+        assert_eq!(necklace_representatives(8).len(), 36);
+    }
+
+    #[test]
+    fn half_run_necklaces_exceed_paper_lower_bound() {
+        for n in [6usize, 8, 10, 12, 14] {
+            let s = necklaces_with_half_ones_run(n).len() as f64;
+            let paper = 2f64.powf(n as f64 / 2.0) / n as f64;
+            assert!(s >= paper, "n={n}: s={s} < {paper}");
+        }
+    }
+
+    #[test]
+    fn thue_morse_images_are_distinct_and_sized() {
+        let images = thue_morse_images(4, 2);
+        assert_eq!(images.len(), 16);
+        assert!(images.iter().all(|w| w.len() == 16));
+        let set: std::collections::HashSet<_> = images.iter().collect();
+        assert_eq!(set.len(), 16, "distinct seeds give distinct images");
+    }
+
+    #[test]
+    fn probability_bounds_shrink_fast() {
+        assert!(theorem_5_4_probability_bound(20) < 1e-9);
+        assert!(theorem_6_7_probability_bound(256) < 1e-9);
+        // Small sizes give vacuous (but valid) bounds.
+        assert!(theorem_5_4_probability_bound(8) <= 2.0);
+        assert!(theorem_6_7_probability_bound(64) <= 0.5);
+    }
+}

@@ -1,0 +1,451 @@
+//! The paper's concrete fooling-pair witnesses (§5.2, §6.3, §7).
+
+use anonring_sim::{Orientation, RingConfig};
+use anonring_words::constructions::{
+    self, start_sync_arbitrary, start_sync_exact, xor_arbitrary, xor_exact, ConstructionError,
+};
+use anonring_words::Word;
+
+use crate::lower_bounds::fooling::{find_twins, AsyncFoolingPair, SyncFoolingPair};
+
+fn oriented_bits_config(word: &Word) -> RingConfig<u8> {
+    RingConfig::oriented(word.as_slice().to_vec())
+}
+
+/// §5.2.1: the AND fooling pair `R₁ = 1ⁿ`, `R₂ = 1ⁿ⁻¹0` with
+/// `α = ⌊n/2⌋ − 1` and `β ≡ n` — bound `n·⌊n/2⌋` messages.
+///
+/// ```
+/// use anonring_core::lower_bounds::witnesses::and_async_pair;
+///
+/// let pair = and_async_pair(16);
+/// pair.verify_structure().expect("conditions 5a/5b hold");
+/// assert_eq!(pair.bound(), 128.0); // n * floor(n/2)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+#[must_use]
+pub fn and_async_pair(n: usize) -> AsyncFoolingPair<u8> {
+    assert!(n >= 4, "the AND pair needs n >= 4");
+    let r1 = RingConfig::oriented(vec![1u8; n]);
+    let mut v = vec![1u8; n];
+    v[n - 1] = 0;
+    let r2 = RingConfig::oriented(v);
+    let alpha = n / 2 - 1;
+    // The witness with the largest distance to the unique 0.
+    let p = (n - 1 + n / 2) % n; // floor(n/2) - 1 hops from position n-1
+    AsyncFoolingPair {
+        r1,
+        r2,
+        p1: p,
+        p2: p,
+        alpha,
+        beta: vec![n as f64; alpha + 1],
+    }
+}
+
+/// §5.2.1 (general form): for any Boolean `f` with `f(0ⁿ) ≠ f(1ⁿ)`, one of
+/// the two pairs `(1ⁿ, 0^⌈n/2⌉1^⌊n/2⌋)` or `(0ⁿ, 0^⌈n/2⌉1^⌊n/2⌋)` fools
+/// any algorithm for `f`, with `α = ⌊(n−2)/4⌋` and `β ≡ n` — so *every*
+/// such function costs `Ω(n²)` messages asynchronously.
+///
+/// `one_vs_mixed` selects which of the two candidate pairs to build.
+///
+/// # Panics
+///
+/// Panics if `n < 6`.
+#[must_use]
+pub fn constant_gap_async_pair(n: usize, one_vs_mixed: bool) -> AsyncFoolingPair<u8> {
+    assert!(n >= 6, "the constant-gap pair needs n >= 6");
+    let mixed: Vec<u8> = (0..n).map(|i| u8::from(i >= n.div_ceil(2))).collect();
+    let uniform = vec![u8::from(one_vs_mixed); n];
+    let r1 = RingConfig::oriented(uniform);
+    let r2 = RingConfig::oriented(mixed);
+    let alpha = (n - 2) / 4;
+    // Witness inside the matching half of the mixed configuration.
+    let p2 = if one_vs_mixed {
+        // middle of the ones block [ceil(n/2), n)
+        n.div_ceil(2) + n / 4
+    } else {
+        // middle of the zeros block [0, ceil(n/2))
+        n / 4
+    };
+    AsyncFoolingPair {
+        r1,
+        r2,
+        p1: p2,
+        p2,
+        alpha,
+        beta: vec![n as f64; alpha + 1],
+    }
+}
+
+/// Theorem 5.3 (Figure 6): the orientation pair — `R₁` fully clockwise,
+/// `R₂` two opposing half-rings — with `α = ⌊(n−2)/4⌋`, `β ≡ n`; bound
+/// `n·⌊(n+2)/4⌋` messages for any asynchronous orientation algorithm.
+///
+/// # Panics
+///
+/// Panics if `n` is even (even rings cannot be oriented, Theorem 3.5) or
+/// `n < 5`.
+#[must_use]
+pub fn orientation_async_pair(n: usize) -> AsyncFoolingPair<()> {
+    assert!(n % 2 == 1 && n >= 5, "orientation needs odd n >= 5");
+    let r1 = RingConfig::new(vec![(); n], vec![Orientation::Clockwise; n]).expect("valid");
+    let m = n / 2;
+    // Processors 0..=m clockwise, the rest counterclockwise (the paper's
+    // 1..m and m+1..2m+1, shifted to 0-based).
+    let orientations = (0..n)
+        .map(|i| {
+            if i <= m {
+                Orientation::Clockwise
+            } else {
+                Orientation::Counterclockwise
+            }
+        })
+        .collect();
+    let r2 = RingConfig::new(vec![(); n], orientations).expect("valid");
+    let alpha = (n - 2) / 4;
+    // The paper's processor ~n/4 sits deep inside the clockwise half of
+    // R2 and matches any processor of R1.
+    let p2 = n / 4;
+    AsyncFoolingPair {
+        r1,
+        r2,
+        p1: p2,
+        p2,
+        alpha,
+        beta: vec![n as f64; alpha + 1],
+    }
+}
+
+/// §6.3.1: the synchronous XOR pair `(hᵏ(0), hᵏ(1))` on oriented rings of
+/// size `n = 3ᵏ`, with `2α + 1 = n/9` and `β(k) = 2n/(27(2k+1))` — bound
+/// `(n/54)·ln(n/9)` messages.
+///
+/// # Panics
+///
+/// Panics if `k < 3` (smaller rings leave no room for `α ≥ 0`).
+#[must_use]
+pub fn xor_sync_pair(k: usize) -> SyncFoolingPair<u8> {
+    assert!(k >= 3, "need n = 3^k >= 27");
+    let w = xor_exact(k);
+    let n = w.word0.len();
+    let alpha = (n / 9 - 1) / 2;
+    let r1 = oriented_bits_config(&w.word0);
+    let r2 = oriented_bits_config(&w.word1);
+    let (p1, p2) = find_twins(&r1, &r2, alpha).expect("Theorem 6.3 guarantees twins");
+    SyncFoolingPair {
+        r1,
+        r2,
+        p1,
+        p2,
+        alpha,
+        beta: (0..=alpha)
+            .map(|j| 2.0 * n as f64 / (27.0 * (2 * j + 1) as f64))
+            .collect(),
+    }
+}
+
+/// §7.1.1: a synchronous XOR fooling pair at **arbitrary** `n`, built from
+/// the non-uniform homomorphism via Theorem 7.5. The `β` profile is the
+/// *measured* joint symmetry index (the paper's constants are asymptotic;
+/// the measured profile is what Theorem 6.2 actually certifies).
+///
+/// `alpha_cap` bounds the radius (symmetry-index evaluation is `O(n²·α)`).
+///
+/// # Errors
+///
+/// Propagates [`ConstructionError`] for unsupported sizes.
+pub fn xor_sync_pair_arbitrary(
+    n: usize,
+    alpha_cap: usize,
+) -> Result<SyncFoolingPair<u8>, ConstructionError> {
+    let w = xor_arbitrary(n)?;
+    let r1 = oriented_bits_config(&w.word0);
+    let r2 = oriented_bits_config(&w.word1);
+    // Conservative radius: patterns repeat while 2a+1 <= a_const * n /
+    // max base length (Theorem 7.4); cap for tractability.
+    let base = w.base_lens.0.max(w.base_lens.1).max(1);
+    let alpha = ((n / (30 * base)).saturating_sub(1) / 2).min(alpha_cap);
+    let (p1, p2) =
+        find_twins(&r1, &r2, alpha).ok_or(ConstructionError::Infeasible("no twins found"))?;
+    let pair = SyncFoolingPair {
+        r1,
+        r2,
+        p1,
+        p2,
+        alpha,
+        beta: vec![1.0; alpha + 1],
+    };
+    Ok(pair.with_measured_beta())
+}
+
+/// §6.3.2: the synchronous orientation witness `D = hᵏ(0)` at `n = 3ᵏ`,
+/// used as a fooling pair with itself: two processors with equal
+/// neighborhoods but opposite orientations, `β(j) = 4n/(27(2j+1))` —
+/// bound `(n/27)·ln(n/9)` messages.
+///
+/// The configuration's inputs are `()`; the orientation bits are the
+/// topology.
+///
+/// # Panics
+///
+/// Panics if `k < 3`.
+#[must_use]
+pub fn orientation_sync_pair(k: usize) -> SyncFoolingPair<()> {
+    assert!(k >= 3, "need n = 3^k >= 27");
+    let d = constructions::orientation_exact(k);
+    let n = d.len();
+    let config = RingConfig::new(
+        vec![(); n],
+        d.as_slice().iter().map(|&b| Orientation::from_bit(b)).collect(),
+    )
+    .expect("valid ring");
+    let alpha = (n / 9 - 1) / 2;
+    // The paper's twins: the middles of the first and second thirds
+    // (1-based ceil(n/6) and ceil(n/2)).
+    let p1 = n.div_ceil(6) - 1;
+    let p2 = n.div_ceil(2) - 1;
+    SyncFoolingPair {
+        r1: config.clone(),
+        r2: config,
+        p1,
+        p2,
+        alpha,
+        beta: (0..=alpha)
+            .map(|j| 4.0 * n as f64 / (27.0 * (2 * j + 1) as f64))
+            .collect(),
+    }
+}
+
+/// §7.2.1: the arbitrary-odd-`n` orientation witness: the two prefix-XOR
+/// orientations `Dᵃ`, `Dᵇ` of the two-stage ε-word, with measured `β`.
+/// The twins are the palindrome-centre processor and its left neighbour
+/// (opposite orientations, identical large neighborhoods).
+///
+/// `alpha_cap` bounds the verified radius for tractability.
+///
+/// # Errors
+///
+/// Propagates [`ConstructionError`] for unsupported sizes.
+pub fn orientation_sync_pair_arbitrary(
+    n: usize,
+    alpha_cap: usize,
+) -> Result<SyncFoolingPair<()>, ConstructionError> {
+    let w = constructions::orientation_arbitrary(n)?;
+    let to_config = |d: &Word| {
+        RingConfig::new(
+            vec![(); n],
+            d.as_slice().iter().map(|&b| Orientation::from_bit(b)).collect(),
+        )
+        .expect("valid ring")
+    };
+    let r1 = to_config(&w.orientation_a());
+    let r2 = to_config(&w.orientation_b());
+    let c = w.palindrome_center;
+    // epsilon[c] = 1 and the surrounding window is a palindrome, so
+    // processors c and c-1 mirror each other; Da and Db swap their roles.
+    let alpha_max = (w.palindrome_len / 2).saturating_sub(1);
+    let alpha = alpha_max.min(alpha_cap);
+    let pair = SyncFoolingPair {
+        r1,
+        r2,
+        p1: c,
+        p2: c,
+        alpha,
+        beta: vec![1.0; alpha + 1],
+    };
+    Ok(pair.with_measured_beta())
+}
+
+/// §6.3.3: the start-synchronization witness at `n = 4·3ᵏ`: the wake word
+/// `σ₀σ₀σ₁σ₁` (as ring inputs, for symmetry accounting) with the twins
+/// `⌊m/2⌋`, `⌊3m/2⌋` that wake at different cycles; `β(j) = n/(27(2j+1))`
+/// — bound `(n/54)·ln(n/36)` messages.
+///
+/// # Panics
+///
+/// Panics if `k < 3`.
+#[must_use]
+pub fn start_sync_pair(k: usize) -> SyncFoolingPair<u8> {
+    assert!(k >= 3, "need m = 3^k >= 27");
+    let w = start_sync_exact(k);
+    let n = w.n();
+    let m = n / 4;
+    let config = oriented_bits_config(&w.word);
+    let alpha = (m / 9 - 1) / 2;
+    SyncFoolingPair {
+        r1: config.clone(),
+        r2: config,
+        p1: w.distinct_pair.0,
+        p2: w.distinct_pair.1,
+        alpha,
+        // Theorem 6.3 (d = 3, c = 2): every window of length 2j+1 <= m/9
+        // occurs at least 4m/(27(2j+1)) = n/(27(2j+1)) times per copy;
+        // the joint index over the duplicated configuration doubles it.
+        beta: (0..=alpha)
+            .map(|j| 2.0 * n as f64 / (27.0 * (2 * j + 1) as f64))
+            .collect(),
+    }
+}
+
+/// §7.2.2: the arbitrary-even-`n` start-synchronization witness with
+/// measured `β`.
+///
+/// # Errors
+///
+/// Propagates [`ConstructionError`] for unsupported sizes.
+pub fn start_sync_pair_arbitrary(
+    n: usize,
+    alpha_cap: usize,
+) -> Result<SyncFoolingPair<u8>, ConstructionError> {
+    let w = start_sync_arbitrary(n)?;
+    let config = oriented_bits_config(&w.word);
+    let alpha = alpha_cap;
+    let (p1, p2) = twins_with_different_wakes(&config, &w.word, alpha)
+        .ok_or(ConstructionError::Infeasible("no unequal-wake twins"))?;
+    let pair = SyncFoolingPair {
+        r1: config.clone(),
+        r2: config,
+        p1,
+        p2,
+        alpha,
+        beta: vec![1.0; alpha + 1],
+    };
+    Ok(pair.with_measured_beta())
+}
+
+/// Finds two processors with equal `alpha`-neighborhoods in the wake-word
+/// configuration whose ±1 walk values (wake times) differ — the (6a)
+/// witnesses for start synchronization.
+fn twins_with_different_wakes(
+    config: &RingConfig<u8>,
+    word: &Word,
+    alpha: usize,
+) -> Option<(usize, usize)> {
+    use std::collections::HashMap;
+    let mut walk = Vec::with_capacity(word.len());
+    let mut t = 0i64;
+    for &e in word.as_slice() {
+        t += if e == 1 { 1 } else { -1 };
+        walk.push(t);
+    }
+    let mut best: Option<(usize, usize, i64)> = None;
+    let mut seen: HashMap<_, usize> = HashMap::new();
+    for i in 0..config.n() {
+        let nb = anonring_sim::neighborhood(config, i, alpha);
+        if let Some(&j) = seen.get(&nb) {
+            let gap = (walk[i] - walk[j]).abs();
+            if gap > 0 && best.is_none_or(|(.., g)| gap > g) {
+                best = Some((j, i, gap));
+            }
+        } else {
+            seen.insert(nb, i);
+        }
+    }
+    best.map(|(a, b, _)| (a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_pair_structure_and_bound() {
+        for n in [4usize, 7, 10, 25] {
+            let pair = and_async_pair(n);
+            pair.verify_structure().unwrap();
+            assert_eq!(pair.bound(), (n * (n / 2)) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn constant_gap_pairs_verify() {
+        for n in [6usize, 9, 16, 31] {
+            for case in [false, true] {
+                let pair = constant_gap_async_pair(n, case);
+                pair.verify_structure().unwrap();
+                assert!(pair.bound() >= (n * n / 4) as f64 - n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_async_pair_verifies() {
+        for n in [5usize, 9, 15, 31] {
+            let pair = orientation_async_pair(n);
+            pair.verify_structure().unwrap();
+            assert!(pair.bound() >= (n * (n / 4)) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn xor_sync_pair_verifies_and_meets_formula() {
+        for k in [3usize, 4, 5] {
+            let pair = xor_sync_pair(k);
+            pair.verify_structure().unwrap();
+            let n = 3u64.pow(k as u32);
+            let formula = crate::bounds::xor_sync_lower(n);
+            assert!(
+                pair.bound() >= formula,
+                "k={k}: {} < {formula}",
+                pair.bound()
+            );
+            // XOR really differs on the two inputs.
+            let x1: u8 = pair.r1.inputs().iter().fold(0, |a, &b| a ^ b);
+            let x2: u8 = pair.r2.inputs().iter().fold(0, |a, &b| a ^ b);
+            assert_ne!(x1, x2);
+        }
+    }
+
+    #[test]
+    fn xor_arbitrary_pair_verifies() {
+        for n in [200usize, 501, 777] {
+            let pair = xor_sync_pair_arbitrary(n, 8).unwrap();
+            pair.verify_structure().unwrap();
+            assert!(pair.bound() >= n as f64 / 4.0, "n={n}: {}", pair.bound());
+        }
+    }
+
+    #[test]
+    fn orientation_sync_pair_verifies() {
+        for k in [3usize, 4, 5] {
+            let pair = orientation_sync_pair(k);
+            pair.verify_structure().unwrap();
+            let n = 3u64.pow(k as u32);
+            assert!(pair.bound() >= crate::bounds::orientation_sync_lower(n));
+            // The twins face opposite ways.
+            assert_ne!(
+                pair.r1.topology().orientation(pair.p1),
+                pair.r2.topology().orientation(pair.p2)
+            );
+        }
+    }
+
+    #[test]
+    fn orientation_arbitrary_pair_verifies() {
+        let pair = orientation_sync_pair_arbitrary(3125, 6).unwrap();
+        pair.verify_structure().unwrap();
+        assert!(pair.bound() >= 3125.0 / 2.0);
+        assert_ne!(
+            pair.r1.topology().orientation(pair.p1),
+            pair.r2.topology().orientation(pair.p2)
+        );
+    }
+
+    #[test]
+    fn start_sync_pairs_verify() {
+        for k in [3usize, 4] {
+            let pair = start_sync_pair(k);
+            pair.verify_structure().unwrap();
+            let n = 4 * 3u64.pow(k as u32);
+            assert!(pair.bound() >= crate::bounds::start_sync_sync_lower(n));
+        }
+        let pair = start_sync_pair_arbitrary(1000, 6).unwrap();
+        pair.verify_structure().unwrap();
+        assert!(pair.bound() >= 500.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! A processor's reconstructed view of the whole ring.
+
+use anonring_sim::{Orientation, RingConfig};
+
+/// What a processor knows after solving the input distribution problem:
+/// for every position `j` (hops in the processor's own *right* direction,
+/// with `j = 0` the processor itself), the input of that processor and
+/// whether it is oriented the same way.
+///
+/// This is the paper's "complete information on the initial ring
+/// configuration", relative to the observer's location and orientation —
+/// precisely what makes every computable function locally evaluable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RingView<V> {
+    entries: Vec<(bool, V)>,
+}
+
+impl<V> RingView<V> {
+    /// Builds a view from entries. `entries[0]` must be the observer
+    /// itself, which by convention has `same_orientation = true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or `entries[0].0` is false.
+    #[must_use]
+    pub fn new(entries: Vec<(bool, V)>) -> RingView<V> {
+        assert!(!entries.is_empty(), "a view contains at least the observer");
+        assert!(entries[0].0, "the observer has its own orientation");
+        RingView { entries }
+    }
+
+    /// Ring size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The (same-orientation, input) pairs, rightward from the observer.
+    #[must_use]
+    pub fn entries(&self) -> &[(bool, V)] {
+        &self.entries
+    }
+
+    /// The inputs in rightward order starting with the observer's own.
+    pub fn inputs(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Evaluates a function of the multiset/sequence of inputs locally.
+    pub fn evaluate<T>(&self, f: impl FnOnce(&[V]) -> T) -> T
+    where
+        V: Clone,
+    {
+        let inputs: Vec<V> = self.inputs().cloned().collect();
+        f(&inputs)
+    }
+}
+
+/// The correct [`RingView`] of processor `i` in `config`, computed from
+/// global knowledge — the reference against which the distributed
+/// input-distribution algorithms are tested.
+#[must_use]
+pub fn ground_truth_view<V: Clone>(config: &RingConfig<V>, i: usize) -> RingView<V> {
+    let topo = config.topology();
+    let n = config.n();
+    let dir: isize = match topo.orientation(i) {
+        Orientation::Clockwise => 1,
+        Orientation::Counterclockwise => -1,
+    };
+    let entries = (0..n)
+        .map(|j| {
+            let idx = topo.wrap(i, dir * j as isize);
+            (
+                topo.orientation(idx) == topo.orientation(i),
+                config.input(idx).clone(),
+            )
+        })
+        .collect();
+    RingView::new(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonring_sim::Orientation::{Clockwise as CW, Counterclockwise as CCW};
+
+    #[test]
+    fn ground_truth_on_oriented_ring() {
+        let config = RingConfig::oriented_bits("0110").unwrap();
+        let v = ground_truth_view(&config, 1);
+        assert_eq!(v.n(), 4);
+        let inputs: Vec<u8> = v.inputs().copied().collect();
+        assert_eq!(inputs, vec![1, 1, 0, 0]); // I1, I2, I3, I0
+        assert!(v.entries().iter().all(|&(same, _)| same));
+    }
+
+    #[test]
+    fn ground_truth_flips_direction_for_ccw_observer() {
+        let config =
+            RingConfig::new(vec![0u8, 1, 2, 3], vec![CW, CCW, CW, CW]).unwrap();
+        let v = ground_truth_view(&config, 1);
+        // Processor 1 is CCW: its rightward direction is decreasing
+        // indices: 1, 0, 3, 2.
+        let inputs: Vec<u8> = v.inputs().copied().collect();
+        assert_eq!(inputs, vec![1, 0, 3, 2]);
+        // Only processor 1 itself matches its orientation.
+        let sames: Vec<bool> = v.entries().iter().map(|&(s, _)| s).collect();
+        assert_eq!(sames, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn evaluate_applies_local_function() {
+        let config = RingConfig::oriented_bits("0110").unwrap();
+        let v = ground_truth_view(&config, 0);
+        assert_eq!(v.evaluate(|xs| xs.iter().map(|&x| x as u64).sum::<u64>()), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "own orientation")]
+    fn observer_must_be_self_oriented() {
+        let _ = RingView::new(vec![(false, 0u8)]);
+    }
+}

@@ -1,0 +1,658 @@
+//! The asynchronous (message-driven) execution engine (paper §2 and §5).
+//!
+//! Message delays are unpredictable but finite, and each link is FIFO. The
+//! engine therefore keeps one FIFO queue per *directed link* and lets a
+//! [`Scheduler`] — the adversary — choose which queue delivers next.
+//!
+//! The built-in [`SynchronizingScheduler`] is exactly the adversary of
+//! Theorem 5.1: it organises the execution into *cycles* (here called
+//! epochs) such that every message sent at epoch `e` is received at epoch
+//! `e + 1`, each processor receiving its left-port messages before its
+//! right-port messages. Under this adversary the state of a processor after
+//! `k` epochs depends only on its `k`-neighborhood, which is what makes the
+//! asynchronous lower bounds work.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::config::RingConfig;
+use crate::error::SimError;
+use crate::message::Message;
+use crate::port::Port;
+use crate::topology::RingTopology;
+
+/// What a processor does in response to an event: any number of sends plus
+/// an optional halt. Sends are delivered in the order listed (per link).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Actions<M, O> {
+    /// Messages to send, in order.
+    pub sends: Vec<(Port, M)>,
+    /// `Some(output)` to halt after this event.
+    pub halt: Option<O>,
+}
+
+impl<M, O> Actions<M, O> {
+    /// No sends, keep running.
+    #[must_use]
+    pub fn idle() -> Actions<M, O> {
+        Actions {
+            sends: Vec::new(),
+            halt: None,
+        }
+    }
+
+    /// Send a single message.
+    #[must_use]
+    pub fn send(port: Port, msg: M) -> Actions<M, O> {
+        Actions {
+            sends: vec![(port, msg)],
+            halt: None,
+        }
+    }
+
+    /// Send the same message on both ports (requires `M: Clone`).
+    #[must_use]
+    pub fn send_both(msg: M) -> Actions<M, O>
+    where
+        M: Clone,
+    {
+        Actions {
+            sends: vec![(Port::Left, msg.clone()), (Port::Right, msg)],
+            halt: None,
+        }
+    }
+
+    /// Halt with `output`, sending nothing.
+    #[must_use]
+    pub fn halt(output: O) -> Actions<M, O> {
+        Actions {
+            sends: Vec::new(),
+            halt: Some(output),
+        }
+    }
+
+    /// Adds a send to this action list.
+    #[must_use]
+    pub fn and_send(mut self, port: Port, msg: M) -> Actions<M, O> {
+        self.sends.push((port, msg));
+        self
+    }
+
+    /// Adds a halt to this action list (sends still happen).
+    #[must_use]
+    pub fn and_halt(mut self, output: O) -> Actions<M, O> {
+        self.halt = Some(output);
+        self
+    }
+}
+
+/// A processor of an asynchronous ring algorithm. State transitions are
+/// message driven: the conceptual "start" message triggers
+/// [`AsyncProcess::on_start`], and every subsequent delivery triggers
+/// [`AsyncProcess::on_message`].
+pub trait AsyncProcess {
+    /// Message type sent on the channels.
+    type Msg: Message;
+    /// Output state when the processor halts.
+    type Output: Clone + fmt::Debug + PartialEq;
+
+    /// Reaction to the conceptual start message.
+    fn on_start(&mut self) -> Actions<Self::Msg, Self::Output>;
+
+    /// Reaction to a message arriving on local port `from`.
+    fn on_message(&mut self, from: Port, msg: Self::Msg) -> Actions<Self::Msg, Self::Output>;
+}
+
+/// A deliverable message the scheduler may choose: the head of one directed
+/// link's FIFO queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Receiving processor.
+    pub to: usize,
+    /// Arrival port at the receiver.
+    pub port: Port,
+    /// The message's epoch (delivery "cycle" under the synchronizing
+    /// adversary: sender's event epoch + 1).
+    pub epoch: u64,
+    /// Global send sequence number (total order of sends).
+    pub seq: u64,
+    pub(crate) queue: usize,
+}
+
+/// The adversary: chooses which pending message is delivered next.
+///
+/// `pick` receives the heads of all nonempty link queues (so per-link FIFO
+/// order is enforced structurally) and returns an index into that slice.
+pub trait Scheduler {
+    /// Chooses the next delivery among `candidates` (nonempty).
+    fn pick(&mut self, candidates: &[Candidate]) -> usize;
+}
+
+/// Theorem 5.1's adversary: delivers strictly in epoch order, and within an
+/// epoch orders by receiver index, left port before right port, then send
+/// order. Every message sent at epoch `e` is received "at epoch `e + 1`".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynchronizingScheduler;
+
+impl Scheduler for SynchronizingScheduler {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (c.epoch, c.to, c.port, c.seq))
+            .map(|(i, _)| i)
+            .expect("candidates nonempty")
+    }
+}
+
+/// Delivers messages in global send order — the "everything takes exactly
+/// one time unit" schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.seq)
+            .map(|(i, _)| i)
+            .expect("candidates nonempty")
+    }
+}
+
+/// Delivers the *newest* pending message first (maximal reordering across
+/// links; per-link FIFO still holds structurally). A stress-test
+/// adversary: algorithms whose correctness arguments rely only on
+/// link-FIFO must survive it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LifoScheduler;
+
+impl Scheduler for LifoScheduler {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.seq)
+            .map(|(i, _)| i)
+            .expect("candidates nonempty")
+    }
+}
+
+/// Starves one directed link for as long as any other delivery is
+/// possible — the slowest legal link in the model (delays are unbounded
+/// but finite: when the victim is the only choice, it delivers).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkStarvingScheduler {
+    victim_to: usize,
+    victim_port: Port,
+}
+
+impl LinkStarvingScheduler {
+    /// Starves the link delivering to processor `to` on its `port`.
+    #[must_use]
+    pub fn new(to: usize, port: Port) -> LinkStarvingScheduler {
+        LinkStarvingScheduler {
+            victim_to: to,
+            victim_port: port,
+        }
+    }
+}
+
+impl Scheduler for LinkStarvingScheduler {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .find(|(_, c)| !(c.to == self.victim_to && c.port == self.victim_port))
+            .or_else(|| candidates.iter().enumerate().next())
+            .map(|(i, _)| i)
+            .expect("candidates nonempty")
+    }
+}
+
+/// Delivers a uniformly random pending message (deterministic given the
+/// seed) — used to check that algorithm outputs are schedule independent.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    state: u64,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> RandomScheduler {
+        RandomScheduler {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64: tiny, high-quality, dependency-free.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        (self.next_u64() % candidates.len() as u64) as usize
+    }
+}
+
+/// Outcome of a completed asynchronous run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncReport<O> {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total bits sent.
+    pub bits: u64,
+    /// Total deliveries performed (messages to halted processors count as
+    /// deliveries but are dropped).
+    pub deliveries: u64,
+    /// Messages that arrived at an already-halted processor.
+    pub dropped: u64,
+    /// Highest epoch of any sent message — under the synchronizing
+    /// scheduler this is the number of "cycles" the computation took.
+    pub max_epoch: u64,
+    /// Messages sent per epoch (`per_epoch_messages[e]` = messages with
+    /// epoch `e`, i.e. sent by events executing at epoch `e − 1`).
+    pub per_epoch_messages: Vec<u64>,
+    outputs: Vec<O>,
+}
+
+impl<O> AsyncReport<O> {
+    /// The ring output `O(1), …, O(n)`.
+    #[must_use]
+    pub fn outputs(&self) -> &[O] {
+        &self.outputs
+    }
+
+    /// Consumes the report, returning the ring output.
+    #[must_use]
+    pub fn into_outputs(self) -> Vec<O> {
+        self.outputs
+    }
+}
+
+/// Default delivery budget, analogous to
+/// [`crate::sync::DEFAULT_MAX_CYCLES`].
+pub const DEFAULT_MAX_DELIVERIES: u64 = 50_000_000;
+
+/// Driver for an asynchronous ring computation.
+///
+/// ```
+/// use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, RandomScheduler};
+/// use anonring_sim::{Port, RingTopology};
+///
+/// /// Every processor forwards one token and halts with its hop count.
+/// #[derive(Debug)]
+/// struct Hop;
+/// impl AsyncProcess for Hop {
+///     type Msg = u64;
+///     type Output = u64;
+///     fn on_start(&mut self) -> Actions<u64, u64> {
+///         Actions::send(Port::Right, 1)
+///     }
+///     fn on_message(&mut self, _from: Port, hops: u64) -> Actions<u64, u64> {
+///         Actions::send(Port::Right, hops + 1).and_halt(hops)
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topology = RingTopology::oriented(5)?;
+/// let mut engine = AsyncEngine::new(topology, (0..5).map(|_| Hop).collect())?;
+/// let report = engine.run(&mut RandomScheduler::new(1))?;
+/// assert_eq!(report.messages, 10);
+/// assert!(report.outputs().iter().all(|&h| h == 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsyncEngine<P: AsyncProcess> {
+    topology: RingTopology,
+    procs: Vec<P>,
+    max_deliveries: u64,
+}
+
+impl<P: AsyncProcess> AsyncEngine<P> {
+    /// Builds an engine over `topology` with one process per processor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LengthMismatch`] if `procs.len() != n`.
+    pub fn new(topology: RingTopology, procs: Vec<P>) -> Result<AsyncEngine<P>, SimError> {
+        if procs.len() != topology.n() {
+            return Err(SimError::LengthMismatch {
+                expected: topology.n(),
+                actual: procs.len(),
+            });
+        }
+        Ok(AsyncEngine {
+            topology,
+            procs,
+            max_deliveries: DEFAULT_MAX_DELIVERIES,
+        })
+    }
+
+    /// Builds an engine from a ring configuration, constructing each
+    /// process from its index and input.
+    pub fn from_config<V>(
+        config: &RingConfig<V>,
+        mut make: impl FnMut(usize, &V) -> P,
+    ) -> AsyncEngine<P> {
+        let procs = config
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| make(i, v))
+            .collect();
+        AsyncEngine::new(config.topology().clone(), procs).expect("config is self-consistent")
+    }
+
+    /// Sets the delivery budget after which the run aborts.
+    pub fn set_max_deliveries(&mut self, max_deliveries: u64) -> &mut Self {
+        self.max_deliveries = max_deliveries;
+        self
+    }
+
+    /// Runs the computation under `scheduler` until quiescence.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::QuiescentWithoutHalt`] if no messages remain but some
+    ///   processor never halted (an algorithm deadlock);
+    /// * [`SimError::MaxDeliveriesExceeded`] if the delivery budget runs
+    ///   out (an algorithm livelock).
+    pub fn run(&mut self, scheduler: &mut dyn Scheduler) -> Result<AsyncReport<P::Output>, SimError> {
+        struct Envelope<M> {
+            msg: M,
+            epoch: u64,
+            seq: u64,
+        }
+
+        let n = self.topology.n();
+        // Queue index: receiver * 2 + (0 = left port, 1 = right port).
+        let queue_index = |to: usize, port: Port| to * 2 + usize::from(port == Port::Right);
+        let mut queues: Vec<VecDeque<Envelope<P::Msg>>> =
+            (0..2 * n).map(|_| VecDeque::new()).collect();
+        let mut halted: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let mut messages = 0u64;
+        let mut bits = 0u64;
+        let mut dropped = 0u64;
+        let mut deliveries = 0u64;
+        let mut seq = 0u64;
+        let mut max_epoch = 0u64;
+        let mut per_epoch: Vec<u64> = Vec::new();
+
+        let topology = &self.topology;
+        let mut dispatch = |from: usize,
+                            actions: Actions<P::Msg, P::Output>,
+                            event_epoch: u64,
+                            queues: &mut Vec<VecDeque<Envelope<P::Msg>>>,
+                            halted: &mut Vec<Option<P::Output>>| {
+            let send_epoch = event_epoch + 1;
+            for (port, msg) in actions.sends {
+                messages += 1;
+                bits += msg.bit_len() as u64;
+                max_epoch = max_epoch.max(send_epoch);
+                if per_epoch.len() <= send_epoch as usize {
+                    per_epoch.resize(send_epoch as usize + 1, 0);
+                }
+                per_epoch[send_epoch as usize] += 1;
+                let (to, arrival) = topology.neighbor(from, port);
+                queues[queue_index(to, arrival)].push_back(Envelope {
+                    msg,
+                    epoch: send_epoch,
+                    seq,
+                });
+                seq += 1;
+            }
+            if let Some(output) = actions.halt {
+                halted[from] = Some(output);
+            }
+        };
+
+        // Conceptual start messages: every processor's initial transition
+        // happens at epoch 0.
+        for i in 0..n {
+            let actions = self.procs[i].on_start();
+            dispatch(i, actions, 0, &mut queues, &mut halted);
+        }
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        loop {
+            candidates.clear();
+            for to in 0..n {
+                for port in [Port::Left, Port::Right] {
+                    let q = queue_index(to, port);
+                    if let Some(env) = queues[q].front() {
+                        candidates.push(Candidate {
+                            to,
+                            port,
+                            epoch: env.epoch,
+                            seq: env.seq,
+                            queue: q,
+                        });
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            if deliveries >= self.max_deliveries {
+                return Err(SimError::MaxDeliveriesExceeded {
+                    max_deliveries: self.max_deliveries,
+                });
+            }
+            let choice = scheduler.pick(&candidates);
+            let cand = candidates[choice];
+            let env = queues[cand.queue].pop_front().expect("candidate head");
+            deliveries += 1;
+            if halted[cand.to].is_some() {
+                dropped += 1;
+                continue;
+            }
+            let actions = self.procs[cand.to].on_message(cand.port, env.msg);
+            dispatch(cand.to, actions, env.epoch, &mut queues, &mut halted);
+        }
+
+        let running = halted.iter().filter(|h| h.is_none()).count();
+        if running > 0 {
+            return Err(SimError::QuiescentWithoutHalt { running });
+        }
+        Ok(AsyncReport {
+            messages,
+            bits,
+            deliveries,
+            dropped,
+            max_epoch,
+            per_epoch_messages: per_epoch,
+            outputs: halted.into_iter().map(Option::unwrap).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every processor emits one token; on its first delivery it forwards
+    /// once more and halts. Second-generation tokens die at halted
+    /// receivers, so the run is deterministic under *any* scheduler:
+    /// exactly `2n` messages, every output `1`.
+    #[derive(Debug)]
+    struct Relay;
+
+    impl AsyncProcess for Relay {
+        type Msg = u64;
+        type Output = u64;
+        fn on_start(&mut self) -> Actions<u64, u64> {
+            Actions::send(Port::Right, 1)
+        }
+        fn on_message(&mut self, from: Port, hops: u64) -> Actions<u64, u64> {
+            assert_eq!(from, Port::Left, "oriented ring: tokens arrive left");
+            Actions::send(Port::Right, hops + 1).and_halt(hops)
+        }
+    }
+
+    fn run_relay(scheduler: &mut dyn Scheduler, n: usize) -> AsyncReport<u64> {
+        let topo = RingTopology::oriented(n).unwrap();
+        let mut engine = AsyncEngine::new(topo, (0..n).map(|_| Relay).collect()).unwrap();
+        engine.run(scheduler).unwrap()
+    }
+
+    #[test]
+    fn relay_is_schedule_independent() {
+        for n in [2usize, 3, 5, 8] {
+            for (name, mut sched) in [
+                (
+                    "sync",
+                    Box::new(SynchronizingScheduler) as Box<dyn Scheduler>,
+                ),
+                ("fifo", Box::new(FifoScheduler) as Box<dyn Scheduler>),
+                (
+                    "rand",
+                    Box::new(RandomScheduler::new(42)) as Box<dyn Scheduler>,
+                ),
+            ] {
+                let report = run_relay(sched.as_mut(), n);
+                assert_eq!(report.messages, 2 * n as u64, "{name} n={n}");
+                assert_eq!(report.dropped, n as u64, "{name} n={n}");
+                assert!(report.outputs().iter().all(|&h| h == 1), "{name} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn synchronizing_scheduler_assigns_epochs_like_cycles() {
+        let report = run_relay(&mut SynchronizingScheduler, 4);
+        // Starts emit at epoch 1; the single forwarding generation at
+        // epoch 2.
+        assert_eq!(report.max_epoch, 2);
+        assert_eq!(report.per_epoch_messages, vec![0, 4, 4]);
+    }
+
+    #[derive(Debug)]
+    struct Silent;
+    impl AsyncProcess for Silent {
+        type Msg = ();
+        type Output = ();
+        fn on_start(&mut self) -> Actions<(), ()> {
+            Actions::idle()
+        }
+        fn on_message(&mut self, _f: Port, (): ()) -> Actions<(), ()> {
+            Actions::idle()
+        }
+    }
+
+    #[test]
+    fn quiescence_without_halt_is_an_error() {
+        let topo = RingTopology::oriented(2).unwrap();
+        let mut engine = AsyncEngine::new(topo, vec![Silent, Silent]).unwrap();
+        assert!(matches!(
+            engine.run(&mut FifoScheduler),
+            Err(SimError::QuiescentWithoutHalt { running: 2 })
+        ));
+    }
+
+    #[derive(Debug)]
+    struct PingForever;
+    impl AsyncProcess for PingForever {
+        type Msg = ();
+        type Output = ();
+        fn on_start(&mut self) -> Actions<(), ()> {
+            Actions::send(Port::Right, ())
+        }
+        fn on_message(&mut self, _f: Port, (): ()) -> Actions<(), ()> {
+            Actions::send(Port::Right, ())
+        }
+    }
+
+    #[test]
+    fn livelock_hits_delivery_budget() {
+        let topo = RingTopology::oriented(2).unwrap();
+        let mut engine = AsyncEngine::new(topo, vec![PingForever, PingForever]).unwrap();
+        engine.set_max_deliveries(100);
+        assert!(matches!(
+            engine.run(&mut FifoScheduler),
+            Err(SimError::MaxDeliveriesExceeded { max_deliveries: 100 })
+        ));
+    }
+
+    #[test]
+    fn messages_to_halted_processors_are_dropped() {
+        #[derive(Debug)]
+        struct OneShot;
+        impl AsyncProcess for OneShot {
+            type Msg = ();
+            type Output = ();
+            fn on_start(&mut self) -> Actions<(), ()> {
+                Actions::send_both(()).and_halt(())
+            }
+            fn on_message(&mut self, _f: Port, (): ()) -> Actions<(), ()> {
+                unreachable!("halted before any delivery")
+            }
+        }
+        let topo = RingTopology::oriented(3).unwrap();
+        let mut engine = AsyncEngine::new(topo, vec![OneShot, OneShot, OneShot]).unwrap();
+        let report = engine.run(&mut FifoScheduler).unwrap();
+        assert_eq!(report.messages, 6);
+        assert_eq!(report.dropped, 6);
+        assert_eq!(report.deliveries, 6);
+    }
+
+    #[test]
+    fn random_scheduler_is_deterministic_per_seed() {
+        let a = run_relay(&mut RandomScheduler::new(7), 6);
+        let b = run_relay(&mut RandomScheduler::new(7), 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adversarial_schedulers_preserve_outcomes() {
+        let want = run_relay(&mut FifoScheduler, 7).into_outputs();
+        assert_eq!(run_relay(&mut LifoScheduler, 7).into_outputs(), want);
+        for victim in 0..7 {
+            for port in [Port::Left, Port::Right] {
+                let got = run_relay(&mut LinkStarvingScheduler::new(victim, port), 7);
+                assert_eq!(got.into_outputs(), want, "victim {victim}/{port:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn starved_link_still_delivers_eventually() {
+        // A ping-pong that *requires* the victim link to make progress.
+        #[derive(Debug)]
+        struct Echo {
+            bounces: u8,
+        }
+        impl AsyncProcess for Echo {
+            type Msg = u8;
+            type Output = u8;
+            fn on_start(&mut self) -> Actions<u8, u8> {
+                Actions::send(Port::Right, 0)
+            }
+            fn on_message(&mut self, from: Port, b: u8) -> Actions<u8, u8> {
+                self.bounces += 1;
+                if b >= 4 {
+                    Actions::halt(self.bounces)
+                } else {
+                    Actions::send(from.opposite(), b + 1).and_halt(self.bounces)
+                }
+            }
+        }
+        let topo = RingTopology::oriented(3).unwrap();
+        let mut engine =
+            AsyncEngine::new(topo, vec![Echo { bounces: 0 }, Echo { bounces: 0 }, Echo { bounces: 0 }])
+                .unwrap();
+        let report = engine
+            .run(&mut LinkStarvingScheduler::new(0, Port::Left))
+            .unwrap();
+        assert_eq!(report.deliveries, report.messages);
+    }
+}

@@ -1,0 +1,207 @@
+//! Initial ring configurations `R = ⟨D(1), I(1), …, D(n), I(n)⟩`.
+
+use crate::error::SimError;
+use crate::port::Orientation;
+use crate::topology::RingTopology;
+
+/// An initial ring configuration (paper §2): per-processor inputs `I(i)`
+/// together with the ring wiring (orientations `D(i)`).
+///
+/// `V` is the input alphabet — `u8` bits for Boolean problems, `u64` for
+/// SUM or labelled rings, `()` for pure-orientation problems.
+///
+/// ```
+/// use anonring_sim::RingConfig;
+///
+/// let r = RingConfig::oriented_bits("1101").unwrap();
+/// assert_eq!(r.n(), 4);
+/// assert_eq!(r.inputs(), &[1, 1, 0, 1]);
+/// assert!(r.topology().is_oriented());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RingConfig<V> {
+    inputs: Vec<V>,
+    topology: RingTopology,
+}
+
+impl<V> RingConfig<V> {
+    /// Builds a configuration from inputs and explicit orientations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LengthMismatch`] if the two vectors disagree in
+    /// length, or [`SimError::RingTooSmall`] for rings of fewer than two
+    /// processors.
+    pub fn new(inputs: Vec<V>, orientations: Vec<Orientation>) -> Result<RingConfig<V>, SimError> {
+        if inputs.len() != orientations.len() {
+            return Err(SimError::LengthMismatch {
+                expected: inputs.len(),
+                actual: orientations.len(),
+            });
+        }
+        Ok(RingConfig {
+            inputs,
+            topology: RingTopology::new(orientations)?,
+        })
+    }
+
+    /// Builds a configuration from inputs and a prebuilt topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LengthMismatch`] if the input vector does not
+    /// match the topology size.
+    pub fn with_topology(inputs: Vec<V>, topology: RingTopology) -> Result<RingConfig<V>, SimError> {
+        if inputs.len() != topology.n() {
+            return Err(SimError::LengthMismatch {
+                expected: topology.n(),
+                actual: inputs.len(),
+            });
+        }
+        Ok(RingConfig { inputs, topology })
+    }
+
+    /// Builds a clockwise-oriented configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two inputs are given (use [`RingConfig::new`]
+    /// for a fallible constructor).
+    #[must_use]
+    pub fn oriented(inputs: Vec<V>) -> RingConfig<V> {
+        let n = inputs.len();
+        RingConfig::new(inputs, vec![Orientation::Clockwise; n])
+            .expect("oriented ring construction")
+    }
+
+    /// Ring size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The ring input `I`.
+    #[must_use]
+    pub fn inputs(&self) -> &[V] {
+        &self.inputs
+    }
+
+    /// The input `I(i)` of processor `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n`.
+    #[must_use]
+    pub fn input(&self, i: usize) -> &V {
+        &self.inputs[i]
+    }
+
+    /// The ring wiring.
+    #[must_use]
+    pub fn topology(&self) -> &RingTopology {
+        &self.topology
+    }
+
+    /// Decomposes the configuration into inputs and topology.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<V>, RingTopology) {
+        (self.inputs, self.topology)
+    }
+}
+
+impl<V: Clone> RingConfig<V> {
+    /// The configuration rotated so that processor `k` becomes processor 0
+    /// (a cyclic shift of both inputs and orientations).
+    #[must_use]
+    pub fn rotated(&self, k: usize) -> RingConfig<V> {
+        let n = self.n();
+        let k = k % n;
+        let inputs = (0..n).map(|i| self.inputs[(i + k) % n].clone()).collect();
+        let orientations = (0..n)
+            .map(|i| self.topology.orientation((i + k) % n))
+            .collect();
+        RingConfig::new(inputs, orientations).expect("rotation preserves validity")
+    }
+
+    /// The mirror image of the configuration: processor order reversed and
+    /// every orientation flipped. A mirrored ring is *physically
+    /// indistinguishable* from the original (same channels, relabelled).
+    #[must_use]
+    pub fn mirrored(&self) -> RingConfig<V> {
+        let n = self.n();
+        let inputs = (0..n).map(|i| self.inputs[n - 1 - i].clone()).collect();
+        let orientations = (0..n)
+            .map(|i| self.topology.orientation(n - 1 - i).flipped())
+            .collect();
+        RingConfig::new(inputs, orientations).expect("mirror preserves validity")
+    }
+}
+
+impl RingConfig<u8> {
+    /// Builds a clockwise-oriented configuration from a `{0,1}` string,
+    /// e.g. `"0110"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RingTooSmall`] if the string has fewer than two
+    /// characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters other than `'0'` and `'1'`.
+    pub fn oriented_bits(bits: &str) -> Result<RingConfig<u8>, SimError> {
+        let inputs: Vec<u8> = bits
+            .chars()
+            .map(|c| match c {
+                '0' => 0,
+                '1' => 1,
+                other => panic!("invalid bit character {other:?}"),
+            })
+            .collect();
+        let n = inputs.len();
+        RingConfig::new(inputs, vec![Orientation::Clockwise; n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::Orientation::{Clockwise as CW, Counterclockwise as CCW};
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let err = RingConfig::new(vec![1u8, 0], vec![CW]).unwrap_err();
+        assert!(matches!(err, SimError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn rotation_cycles_inputs_and_orientations() {
+        let r = RingConfig::new(vec![0u8, 1, 2, 3], vec![CW, CCW, CW, CW]).unwrap();
+        let s = r.rotated(1);
+        assert_eq!(s.inputs(), &[1, 2, 3, 0]);
+        assert_eq!(s.topology().orientation(0), CCW);
+        // Rotating n times is the identity.
+        assert_eq!(r.rotated(4), r);
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        let r = RingConfig::new(vec![0u8, 1, 2], vec![CW, CCW, CW]).unwrap();
+        assert_eq!(r.mirrored().mirrored(), r);
+        // Mirroring flips every orientation.
+        assert_eq!(r.mirrored().topology().orientation(0), CCW);
+    }
+
+    #[test]
+    fn bit_string_constructor() {
+        let r = RingConfig::oriented_bits("10").unwrap();
+        assert_eq!(r.inputs(), &[1, 0]);
+        assert!(RingConfig::oriented_bits("1").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bit character")]
+    fn bit_string_rejects_garbage() {
+        let _ = RingConfig::oriented_bits("10x");
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for the simulators.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or running a ring simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A ring must have at least two processors (a single self-connected
+    /// processor would make both ports share one channel).
+    RingTooSmall {
+        /// The offending ring size.
+        n: usize,
+    },
+    /// The engine exceeded its configured cycle budget without all
+    /// processors halting — almost always an algorithm bug (deadlock).
+    MaxCyclesExceeded {
+        /// The configured budget.
+        max_cycles: u64,
+        /// How many processors were still running.
+        running: usize,
+    },
+    /// The asynchronous engine reached quiescence (no messages in flight)
+    /// but some processors never halted.
+    QuiescentWithoutHalt {
+        /// How many processors were still running.
+        running: usize,
+    },
+    /// The asynchronous engine exceeded its configured delivery budget.
+    MaxDeliveriesExceeded {
+        /// The configured budget.
+        max_deliveries: u64,
+    },
+    /// Mismatched vector lengths when building a configuration or engine.
+    LengthMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RingTooSmall { n } => {
+                write!(f, "ring must have at least 2 processors, got {n}")
+            }
+            SimError::MaxCyclesExceeded {
+                max_cycles,
+                running,
+            } => write!(
+                f,
+                "exceeded {max_cycles} cycles with {running} processors still running"
+            ),
+            SimError::QuiescentWithoutHalt { running } => write!(
+                f,
+                "no messages in flight but {running} processors never halted"
+            ),
+            SimError::MaxDeliveriesExceeded { max_deliveries } => {
+                write!(f, "exceeded {max_deliveries} message deliveries")
+            }
+            SimError::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::RingTooSmall { n: 1 };
+        assert!(e.to_string().contains("at least 2"));
+        let e = SimError::MaxCyclesExceeded {
+            max_cycles: 10,
+            running: 3,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

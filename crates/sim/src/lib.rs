@@ -1,0 +1,76 @@
+//! # anonring-sim
+//!
+//! Discrete simulators for distributed computations on a **bidirectional
+//! ring** of `n` processors, in both the *synchronous* (lock-step) and
+//! *asynchronous* (message-driven) models of Attiya, Snir and Warmuth,
+//! *Computing on an Anonymous Ring* (J. ACM 35(4), 1988), §2.
+//!
+//! The crate provides the substrate every other `anonring` crate builds on:
+//!
+//! * [`RingTopology`] — channel wiring with *per-processor orientations*
+//!   `D(i)`, so that "left" and "right" are local, possibly inconsistent
+//!   notions, exactly as in the paper;
+//! * [`RingConfig`] — an initial ring configuration `R = ⟨D(i), I(i)⟩ᵢ`;
+//! * [`neighborhood`] — `k`-neighborhoods and the symmetry index `SI(R, k)`
+//!   used by all lower-bound arguments;
+//! * [`sync`] — the synchronous engine: clock-driven cycles, per-processor
+//!   wake-up times, message/bit/cycle accounting;
+//! * [`r#async`] — the asynchronous engine with pluggable schedulers
+//!   including the *synchronizing adversary* of Theorem 5.1;
+//! * [`synchronizer`] — the §3 local-synchronization adapter that runs any
+//!   synchronous algorithm on an asynchronous ring.
+//!
+//! ## Example
+//!
+//! A two-processor exchange where each processor sends its input across the
+//! ring and halts with the pair of inputs:
+//!
+//! ```
+//! use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess};
+//! use anonring_sim::RingConfig;
+//!
+//! struct Exchange { input: u8 }
+//! impl SyncProcess for Exchange {
+//!     type Msg = u8;
+//!     type Output = (u8, u8);
+//!     fn step(&mut self, cycle: u64, rx: Received<u8>) -> Step<u8, (u8, u8)> {
+//!         if cycle == 0 {
+//!             Step::send_right(self.input)
+//!         } else {
+//!             // On a clockwise 2-ring, the right neighbour's message
+//!             // arrives on our left port.
+//!             let got = rx.from_left.expect("message from neighbour");
+//!             Step::halt((self.input, got))
+//!         }
+//!     }
+//! }
+//!
+//! let config = RingConfig::oriented(vec![3u8, 7u8]);
+//! let mut engine = SyncEngine::from_config(&config, |_, &input| Exchange { input });
+//! let report = engine.run().unwrap();
+//! assert_eq!(report.outputs(), &[(3, 7), (7, 3)]);
+//! assert_eq!(report.messages, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod r#async;
+pub mod config;
+pub mod error;
+pub mod message;
+pub mod neighborhood;
+pub mod port;
+pub mod sync;
+pub mod synchronizer;
+pub mod topology;
+pub mod trace;
+pub mod wake;
+
+pub use config::RingConfig;
+pub use error::SimError;
+pub use message::Message;
+pub use neighborhood::{joint_symmetry_index, neighborhood, symmetry_index, Neighborhood};
+pub use port::{Orientation, Port};
+pub use topology::RingTopology;
+pub use wake::WakeSchedule;

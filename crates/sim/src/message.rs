@@ -1,0 +1,82 @@
+//! The [`Message`] trait: anything the engines can send on a channel.
+
+/// A value that can travel over a ring channel.
+///
+/// The paper analyses two cost measures (§2): the total number of *messages*
+/// and the total number of *bits* sent, for some binary encoding of the
+/// messages. [`Message::bit_len`] supplies that encoding length so that both
+/// measures are tracked by the engines.
+///
+/// A "zero content" message (paper §4.2.1, time-encoding) is perfectly
+/// legal: it has `bit_len() == 0` but still counts as one message.
+pub trait Message: Clone + std::fmt::Debug {
+    /// Number of bits in a binary encoding of this message.
+    fn bit_len(&self) -> usize;
+}
+
+impl Message for () {
+    fn bit_len(&self) -> usize {
+        0
+    }
+}
+
+impl Message for bool {
+    fn bit_len(&self) -> usize {
+        1
+    }
+}
+
+macro_rules! impl_message_for_int {
+    ($($t:ty),*) => {$(
+        impl Message for $t {
+            fn bit_len(&self) -> usize {
+                <$t>::BITS as usize
+            }
+        }
+    )*};
+}
+
+impl_message_for_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<M: Message> Message for Vec<M> {
+    fn bit_len(&self) -> usize {
+        self.iter().map(Message::bit_len).sum()
+    }
+}
+
+impl<M: Message> Message for Option<M> {
+    fn bit_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Message::bit_len)
+    }
+}
+
+impl<A: Message, B: Message> Message for (A, B) {
+    fn bit_len(&self) -> usize {
+        self.0.bit_len() + self.1.bit_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_content_messages_have_no_bits() {
+        assert_eq!(().bit_len(), 0);
+    }
+
+    #[test]
+    fn integer_bit_lengths() {
+        assert_eq!(0u8.bit_len(), 8);
+        assert_eq!(0u64.bit_len(), 64);
+        assert_eq!(true.bit_len(), 1);
+    }
+
+    #[test]
+    fn composite_bit_lengths() {
+        assert_eq!(vec![true, false, true].bit_len(), 3);
+        assert_eq!(Some(7u8).bit_len(), 9);
+        assert_eq!(None::<u8>.bit_len(), 1);
+        assert_eq!((true, 1u8).bit_len(), 9);
+    }
+}

@@ -1,0 +1,236 @@
+//! `k`-neighborhoods and the symmetry index `SI(R, k)` (paper §2).
+//!
+//! The `k`-neighborhood of a processor is everything it can possibly have
+//! learnt after `k` synchronous cycles (Lemma 3.1): the inputs and relative
+//! orientations of the `2k + 1` processors around it, *as seen from its own
+//! orientation*. Two processors with equal `k`-neighborhoods are
+//! indistinguishable for `k` cycles — the engine tests in this crate verify
+//! that property against the actual simulators.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::config::RingConfig;
+use crate::port::Orientation;
+
+/// The `k`-neighborhood of a processor: a string of `2k + 1` pairs
+/// *(relative orientation bit, input)* in the processor's own reading
+/// direction.
+///
+/// For a clockwise processor `i` this is
+/// `D(i−k)I(i−k), …, D(i+k)I(i+k)`; for a counterclockwise processor the
+/// string is reversed and the orientation bits complemented, exactly as in
+/// the paper. Equality of [`Neighborhood`] values is the paper's "has the
+/// same `k`-neighborhood".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Neighborhood<V>(Vec<(u8, V)>);
+
+impl<V> Neighborhood<V> {
+    /// The radius `k` of this neighborhood.
+    #[must_use]
+    pub fn radius(&self) -> usize {
+        debug_assert!(self.0.len() % 2 == 1);
+        self.0.len() / 2
+    }
+
+    /// The underlying string of (orientation bit, input) pairs.
+    #[must_use]
+    pub fn as_pairs(&self) -> &[(u8, V)] {
+        &self.0
+    }
+}
+
+/// Computes the `k`-neighborhood of processor `i` in configuration `config`.
+///
+/// # Panics
+///
+/// Panics if `i ≥ n`.
+///
+/// ```
+/// use anonring_sim::{neighborhood, RingConfig};
+///
+/// // On 110110 every processor sees the same multiset of 1-neighborhoods
+/// // twice: the configuration is periodic with period 3.
+/// let r = RingConfig::oriented_bits("110110").unwrap();
+/// assert_eq!(neighborhood(&r, 0, 1), neighborhood(&r, 3, 1));
+/// assert_ne!(neighborhood(&r, 0, 1), neighborhood(&r, 1, 1));
+/// ```
+#[must_use]
+pub fn neighborhood<V: Clone>(config: &RingConfig<V>, i: usize, k: usize) -> Neighborhood<V> {
+    let topo = config.topology();
+    let n = config.n();
+    assert!(i < n, "processor index {i} out of range (n = {n})");
+    let k = k as isize;
+    let pairs: Vec<(u8, V)> = match topo.orientation(i) {
+        Orientation::Clockwise => (-k..=k)
+            .map(|off| {
+                let j = topo.wrap(i, off);
+                (topo.orientation(j).bit(), config.input(j).clone())
+            })
+            .collect(),
+        Orientation::Counterclockwise => (-k..=k)
+            .rev()
+            .map(|off| {
+                let j = topo.wrap(i, off);
+                (1 - topo.orientation(j).bit(), config.input(j).clone())
+            })
+            .collect(),
+    };
+    Neighborhood(pairs)
+}
+
+/// The number of processors of `config` whose `k`-neighborhood equals `nb`
+/// — the paper's `g(R, σ)`.
+#[must_use]
+pub fn occurrences<V: Clone + Eq + Hash>(
+    config: &RingConfig<V>,
+    nb: &Neighborhood<V>,
+) -> usize {
+    let k = nb.radius();
+    (0..config.n())
+        .filter(|&i| &neighborhood(config, i, k) == nb)
+        .count()
+}
+
+/// The symmetry index `SI(R, k)`: the minimum positive number of occurrences
+/// of any `k`-neighborhood in `R` (paper §2).
+///
+/// `SI(R, k) = 1` when some neighborhood is unique; `SI(R, k) = n` when all
+/// processors look alike out to radius `k`.
+///
+/// ```
+/// use anonring_sim::{symmetry_index, RingConfig};
+///
+/// let uniform = RingConfig::oriented_bits("1111").unwrap();
+/// assert_eq!(symmetry_index(&uniform, 1), 4);
+///
+/// let almost = RingConfig::oriented_bits("1110").unwrap();
+/// assert_eq!(symmetry_index(&almost, 1), 1);
+/// ```
+#[must_use]
+pub fn symmetry_index<V: Clone + Eq + Hash>(config: &RingConfig<V>, k: usize) -> usize {
+    joint_symmetry_index(std::slice::from_ref(config), k)
+}
+
+/// The joint symmetry index `SI(R₁, …, R_j, k)`: the minimum positive
+/// *total* number of occurrences of any `k`-neighborhood across all the
+/// configurations (paper §2). Used by the synchronous fooling-pair bound
+/// (condition 6b).
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+#[must_use]
+pub fn joint_symmetry_index<V: Clone + Eq + Hash>(configs: &[RingConfig<V>], k: usize) -> usize {
+    assert!(!configs.is_empty(), "need at least one configuration");
+    let mut counts: HashMap<Neighborhood<V>, usize> = HashMap::new();
+    for config in configs {
+        for i in 0..config.n() {
+            *counts.entry(neighborhood(config, i, k)).or_insert(0) += 1;
+        }
+    }
+    counts.values().copied().min().expect("nonempty ring")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::Orientation::{Clockwise as CW, Counterclockwise as CCW};
+
+    #[test]
+    fn oriented_ring_neighborhood_is_input_window() {
+        let r = RingConfig::oriented_bits("01101").unwrap();
+        let nb = neighborhood(&r, 2, 1);
+        let vals: Vec<u8> = nb.as_pairs().iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![1, 1, 0]); // I(1), I(2), I(3)
+        assert_eq!(nb.radius(), 1);
+    }
+
+    #[test]
+    fn counterclockwise_processor_reads_mirror_image() {
+        // Two processors facing opposite ways over the same palindromic
+        // input window must have equal neighborhoods.
+        //
+        // Ring: inputs 0 1 0 1 0 1 (period 2), orientations: 0 CW, 3 CCW.
+        let inputs = vec![0u8, 1, 0, 1, 0, 1];
+        let orient = vec![CW, CW, CW, CCW, CW, CW];
+        let r = RingConfig::new(inputs, orient).unwrap();
+        // Processor 0 (CW) sees (I5,I0,I1) = (1,0,1) with D-bits (1,1,1).
+        // Processor 3 (CCW) sees reversed window (I4,I3,I2) = (0,1,0)
+        // with complemented D-bits (0,1,0) -> (1-0,1-0,1-1)... compute:
+        let nb0 = neighborhood(&r, 0, 1);
+        let nb3 = neighborhood(&r, 3, 1);
+        // D-bits for nb0: D(5)=1,D(0)=1,D(1)=1 -> all 1; inputs 1,0,1.
+        assert_eq!(nb0.as_pairs(), &[(1, 1), (1, 0), (1, 1)]);
+        // nb3 reversed: offsets +1,0,-1 -> j=4,3,2; bits 1-D = 0,1,0;
+        // inputs 0,1,0.
+        assert_eq!(nb3.as_pairs(), &[(0, 0), (1, 1), (0, 0)]);
+        assert_ne!(nb0, nb3);
+    }
+
+    #[test]
+    fn mirror_symmetric_pair_has_equal_neighborhoods() {
+        // Theorem 3.5's configuration: two oriented half rings of a
+        // 2n-ring. Processors i and 2n+1-i (1-based) have the same
+        // neighborhoods. Using 0-based indices on n=6: D = CW for 0..3,
+        // CCW for 3..6 — processors i and 5-i are mirror partners.
+        let orient = vec![CW, CW, CW, CCW, CCW, CCW];
+        let r = RingConfig::new(vec![0u8; 6], orient).unwrap();
+        for i in 0..6 {
+            let j = 5 - i;
+            assert_eq!(
+                neighborhood(&r, i, 2),
+                neighborhood(&r, j, 2),
+                "processors {i} and {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_index_of_uniform_ring_is_n() {
+        let r = RingConfig::oriented_bits("11111").unwrap();
+        for k in 0..5 {
+            assert_eq!(symmetry_index(&r, k), 5);
+        }
+    }
+
+    #[test]
+    fn symmetry_index_with_unique_input_is_one() {
+        let r = RingConfig::oriented_bits("11110").unwrap();
+        for k in 0..5 {
+            assert_eq!(symmetry_index(&r, k), 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn periodic_ring_symmetry_index_equals_repetitions() {
+        let r = RingConfig::oriented_bits("011011011").unwrap();
+        for k in 0..4 {
+            assert_eq!(symmetry_index(&r, k), 3, "k={k}");
+        }
+    }
+
+    #[test]
+    fn joint_symmetry_counts_across_configs() {
+        let a = RingConfig::oriented_bits("1111").unwrap();
+        let b = RingConfig::oriented_bits("1110").unwrap();
+        // 0-neighborhood "0" occurs once in total (only in b).
+        assert_eq!(joint_symmetry_index(&[a.clone(), b], 0), 1);
+        // Two copies of the uniform ring double every count.
+        assert_eq!(joint_symmetry_index(&[a.clone(), a], 1), 8);
+    }
+
+    #[test]
+    fn occurrences_matches_definition() {
+        // 0110: windows of radius 1 are 001, 011, 110, 100 — all distinct.
+        let r = RingConfig::oriented_bits("0110").unwrap();
+        for i in 0..4 {
+            let nb = neighborhood(&r, i, 1);
+            assert_eq!(occurrences(&r, &nb), 1, "processor {i}");
+        }
+        // 0101: windows alternate between 010 and 101, two each.
+        let r = RingConfig::oriented_bits("0101").unwrap();
+        let nb = neighborhood(&r, 0, 1);
+        assert_eq!(occurrences(&r, &nb), 2);
+    }
+}

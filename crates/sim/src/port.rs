@@ -1,0 +1,133 @@
+//! Ports and processor orientations.
+
+use std::fmt;
+
+/// One of the two communication ports of a ring processor.
+///
+/// Ports are *local* labels: which physical neighbour a port reaches depends
+/// on the processor's [`Orientation`]. Algorithms for anonymous rings may
+/// only ever speak in terms of their own `Left`/`Right`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Port {
+    /// The processor's local "left" channel.
+    Left,
+    /// The processor's local "right" channel.
+    Right,
+}
+
+impl Port {
+    /// The other port.
+    ///
+    /// ```
+    /// use anonring_sim::Port;
+    /// assert_eq!(Port::Left.opposite(), Port::Right);
+    /// ```
+    #[must_use]
+    pub fn opposite(self) -> Port {
+        match self {
+            Port::Left => Port::Right,
+            Port::Right => Port::Left,
+        }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Port::Left => write!(f, "left"),
+            Port::Right => write!(f, "right"),
+        }
+    }
+}
+
+/// The orientation `D(i)` of a processor (paper §2).
+///
+/// `Clockwise` is the paper's `D(i) = 1` (`right(i) = i + 1`);
+/// `Counterclockwise` is `D(i) = 0` (`right(i) = i - 1`).
+/// Processors do **not** know their own orientation — it is part of the ring
+/// configuration, not of the algorithm's input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Orientation {
+    /// `D(i) = 1`: the processor's right port points towards `i + 1`.
+    Clockwise,
+    /// `D(i) = 0`: the processor's right port points towards `i - 1`.
+    Counterclockwise,
+}
+
+impl Orientation {
+    /// The reverse orientation.
+    ///
+    /// ```
+    /// use anonring_sim::Orientation;
+    /// assert_eq!(Orientation::Clockwise.flipped(), Orientation::Counterclockwise);
+    /// ```
+    #[must_use]
+    pub fn flipped(self) -> Orientation {
+        match self {
+            Orientation::Clockwise => Orientation::Counterclockwise,
+            Orientation::Counterclockwise => Orientation::Clockwise,
+        }
+    }
+
+    /// The paper's bit encoding: `1` for clockwise, `0` for counterclockwise.
+    #[must_use]
+    pub fn bit(self) -> u8 {
+        match self {
+            Orientation::Clockwise => 1,
+            Orientation::Counterclockwise => 0,
+        }
+    }
+
+    /// Inverse of [`Orientation::bit`]: any non-zero value is clockwise.
+    #[must_use]
+    pub fn from_bit(bit: u8) -> Orientation {
+        if bit != 0 {
+            Orientation::Clockwise
+        } else {
+            Orientation::Counterclockwise
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Orientation::Clockwise => write!(f, "clockwise"),
+            Orientation::Counterclockwise => write!(f, "counterclockwise"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involution() {
+        assert_eq!(Port::Left.opposite().opposite(), Port::Left);
+        assert_eq!(Port::Right.opposite(), Port::Left);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        for o in [Orientation::Clockwise, Orientation::Counterclockwise] {
+            assert_eq!(o.flipped().flipped(), o);
+            assert_ne!(o.flipped(), o);
+        }
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        assert_eq!(Orientation::from_bit(1), Orientation::Clockwise);
+        assert_eq!(Orientation::from_bit(0), Orientation::Counterclockwise);
+        for o in [Orientation::Clockwise, Orientation::Counterclockwise] {
+            assert_eq!(Orientation::from_bit(o.bit()), o);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Port::Left.to_string(), "left");
+        assert_eq!(Orientation::Clockwise.to_string(), "clockwise");
+    }
+}

@@ -1,0 +1,638 @@
+//! The synchronous (lock-step) execution engine (paper §2).
+//!
+//! All processors share a global clock. In each cycle a processor may send
+//! one message to each neighbour; messages sent in cycle `t` are available
+//! to the receiver in cycle `t + 1`, so information travels exactly one hop
+//! per cycle — the property Lemma 3.1 (and every lower bound in the paper)
+//! depends on. The engine enforces this by double-buffering inboxes.
+//!
+//! Processors may have individual *wake-up* cycles (paper §4.2.3): a
+//! processor is idle until its spontaneous wake-up time or until a message
+//! arrives, whichever comes first, and its `local_cycle` counts from that
+//! moment.
+
+use std::fmt;
+
+use crate::config::RingConfig;
+use crate::error::SimError;
+use crate::message::Message;
+use crate::port::Port;
+use crate::topology::RingTopology;
+
+/// The messages a processor received at the start of a cycle (sent by its
+/// neighbours in the previous cycle). At most one message per port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Received<M> {
+    /// Message that arrived on the local left port, if any.
+    pub from_left: Option<M>,
+    /// Message that arrived on the local right port, if any.
+    pub from_right: Option<M>,
+}
+
+impl<M> Received<M> {
+    /// A reception with no messages.
+    #[must_use]
+    pub fn empty() -> Received<M> {
+        Received {
+            from_left: None,
+            from_right: None,
+        }
+    }
+
+    /// Whether no message arrived this cycle.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.from_left.is_none() && self.from_right.is_none()
+    }
+
+    /// Iterates over the (port, message) pairs that arrived.
+    pub fn iter(&self) -> impl Iterator<Item = (Port, &M)> {
+        self.from_left
+            .iter()
+            .map(|m| (Port::Left, m))
+            .chain(self.from_right.iter().map(|m| (Port::Right, m)))
+    }
+
+    /// The message that arrived on `port`, if any.
+    #[must_use]
+    pub fn on(&self, port: Port) -> Option<&M> {
+        match port {
+            Port::Left => self.from_left.as_ref(),
+            Port::Right => self.from_right.as_ref(),
+        }
+    }
+}
+
+impl<M> Default for Received<M> {
+    fn default() -> Self {
+        Received::empty()
+    }
+}
+
+/// What a processor does in one cycle: at most one message per port, and
+/// possibly halting with an output. Messages emitted in the halting step
+/// are still delivered (the paper's AND algorithm "forwards it and halts").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step<M, O> {
+    /// Message to send on the local left port.
+    pub to_left: Option<M>,
+    /// Message to send on the local right port.
+    pub to_right: Option<M>,
+    /// `Some(output)` to halt at the end of this cycle.
+    pub halt: Option<O>,
+}
+
+impl<M, O> Step<M, O> {
+    /// Do nothing this cycle.
+    #[must_use]
+    pub fn idle() -> Step<M, O> {
+        Step {
+            to_left: None,
+            to_right: None,
+            halt: None,
+        }
+    }
+
+    /// Send `m` on the left port only.
+    #[must_use]
+    pub fn send_left(m: M) -> Step<M, O> {
+        Step {
+            to_left: Some(m),
+            to_right: None,
+            halt: None,
+        }
+    }
+
+    /// Send `m` on the right port only.
+    #[must_use]
+    pub fn send_right(m: M) -> Step<M, O> {
+        Step {
+            to_left: None,
+            to_right: Some(m),
+            halt: None,
+        }
+    }
+
+    /// Send on both ports.
+    #[must_use]
+    pub fn send_both(left: M, right: M) -> Step<M, O> {
+        Step {
+            to_left: Some(left),
+            to_right: Some(right),
+            halt: None,
+        }
+    }
+
+    /// Send `m` on `port`.
+    #[must_use]
+    pub fn send(port: Port, m: M) -> Step<M, O> {
+        match port {
+            Port::Left => Step::send_left(m),
+            Port::Right => Step::send_right(m),
+        }
+    }
+
+    /// Halt immediately with `output`, sending nothing.
+    #[must_use]
+    pub fn halt(output: O) -> Step<M, O> {
+        Step {
+            to_left: None,
+            to_right: None,
+            halt: Some(output),
+        }
+    }
+
+    /// Adds a halt to this step (messages are still sent).
+    #[must_use]
+    pub fn and_halt(mut self, output: O) -> Step<M, O> {
+        self.halt = Some(output);
+        self
+    }
+}
+
+/// A processor of a synchronous ring algorithm.
+///
+/// The engine calls [`SyncProcess::step`] once per cycle from the
+/// processor's wake-up on. `local_cycle` is `0` on the first call and the
+/// `rx` of call `t` contains exactly the messages the neighbours emitted in
+/// the previous cycle.
+pub trait SyncProcess {
+    /// Message type sent on the channels.
+    type Msg: Message;
+    /// Output state when the processor halts.
+    type Output: Clone + fmt::Debug + PartialEq;
+
+    /// Executes one cycle.
+    fn step(&mut self, local_cycle: u64, rx: Received<Self::Msg>) -> Step<Self::Msg, Self::Output>;
+}
+
+/// Outcome of a completed synchronous run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncReport<O> {
+    /// Total messages sent (the paper's message complexity).
+    pub messages: u64,
+    /// Total bits sent (the paper's bit complexity).
+    pub bits: u64,
+    /// Global cycles elapsed until the last processor halted.
+    pub cycles: u64,
+    /// Messages delivered to already-halted processors (and discarded).
+    pub dropped: u64,
+    /// Messages sent in each global cycle (index = cycle).
+    pub per_cycle_messages: Vec<u64>,
+    /// Global cycle at which each processor halted.
+    pub halt_cycles: Vec<u64>,
+    outputs: Vec<O>,
+}
+
+impl<O> SyncReport<O> {
+    /// The ring output `O(1), …, O(n)`.
+    #[must_use]
+    pub fn outputs(&self) -> &[O] {
+        &self.outputs
+    }
+
+    /// Consumes the report, returning the ring output.
+    #[must_use]
+    pub fn into_outputs(self) -> Vec<O> {
+        self.outputs
+    }
+
+    /// Whether all processors halted in the same global cycle — the start
+    /// synchronization success criterion (paper §4.2.3).
+    #[must_use]
+    pub fn halted_simultaneously(&self) -> bool {
+        self.halt_cycles.iter().all(|&c| c == self.halt_cycles[0])
+    }
+}
+
+/// One cycle's collected emissions: (sender, step) pairs.
+type Emissions<M, O> = Vec<(usize, Step<M, O>)>;
+
+/// Driver for a synchronous ring computation.
+#[derive(Debug, Clone)]
+pub struct SyncEngine<P: SyncProcess> {
+    topology: RingTopology,
+    procs: Vec<P>,
+    wake_at: Vec<u64>,
+    max_cycles: u64,
+}
+
+/// Default cycle budget: generous enough for every algorithm in this
+/// repository at the ring sizes the experiments use, small enough to catch
+/// deadlocks quickly.
+pub const DEFAULT_MAX_CYCLES: u64 = 50_000_000;
+
+impl<P: SyncProcess> SyncEngine<P> {
+    /// Builds an engine over `topology` with one process per processor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LengthMismatch`] if `procs.len() != n`.
+    pub fn new(topology: RingTopology, procs: Vec<P>) -> Result<SyncEngine<P>, SimError> {
+        if procs.len() != topology.n() {
+            return Err(SimError::LengthMismatch {
+                expected: topology.n(),
+                actual: procs.len(),
+            });
+        }
+        let n = topology.n();
+        Ok(SyncEngine {
+            topology,
+            procs,
+            wake_at: vec![0; n],
+            max_cycles: DEFAULT_MAX_CYCLES,
+        })
+    }
+
+    /// Builds an engine from a ring configuration, constructing each
+    /// process from its index and input.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the configuration is internally inconsistent, which
+    /// [`RingConfig`] constructors prevent.
+    pub fn from_config<V>(config: &RingConfig<V>, mut make: impl FnMut(usize, &V) -> P) -> SyncEngine<P> {
+        let procs = config
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| make(i, v))
+            .collect();
+        SyncEngine::new(config.topology().clone(), procs).expect("config is self-consistent")
+    }
+
+    /// Sets per-processor spontaneous wake-up cycles (default: all zero,
+    /// i.e. simultaneous start). A message arriving earlier wakes the
+    /// processor at its arrival cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LengthMismatch`] if the vector length is not `n`.
+    pub fn set_wakeups(&mut self, wake_at: Vec<u64>) -> Result<&mut Self, SimError> {
+        if wake_at.len() != self.topology.n() {
+            return Err(SimError::LengthMismatch {
+                expected: self.topology.n(),
+                actual: wake_at.len(),
+            });
+        }
+        self.wake_at = wake_at;
+        Ok(self)
+    }
+
+    /// Sets the cycle budget after which the run aborts with
+    /// [`SimError::MaxCyclesExceeded`].
+    pub fn set_max_cycles(&mut self, max_cycles: u64) -> &mut Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Runs the computation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MaxCyclesExceeded`] if some processor fails to
+    /// halt within the cycle budget.
+    pub fn run(&mut self) -> Result<SyncReport<P::Output>, SimError> {
+        self.run_inner(|_, _| {}, |_| {})
+    }
+
+    /// Runs the computation, invoking `observe(cycle, procs)` after every
+    /// cycle's state transitions — used by indistinguishability tests that
+    /// compare processor states (Lemma 3.1/6.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MaxCyclesExceeded`] if some processor fails to
+    /// halt within the cycle budget.
+    pub fn run_observed(
+        &mut self,
+        observe: impl FnMut(u64, &[P]),
+    ) -> Result<SyncReport<P::Output>, SimError> {
+        self.run_inner(observe, |_| {})
+    }
+
+    /// Runs the computation while recording every message send into a
+    /// [`crate::trace::Trace`] for space-time rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MaxCyclesExceeded`] if some processor fails to
+    /// halt within the cycle budget.
+    pub fn run_traced(
+        &mut self,
+    ) -> Result<(SyncReport<P::Output>, crate::trace::Trace), SimError> {
+        let mut trace = crate::trace::Trace::new(self.topology.n());
+        let report = self.run_inner(|_, _| {}, |ev| trace.record(ev))?;
+        Ok((report, trace))
+    }
+
+    fn run_inner(
+        &mut self,
+        mut observe: impl FnMut(u64, &[P]),
+        mut on_send: impl FnMut(crate::trace::SendEvent),
+    ) -> Result<SyncReport<P::Output>, SimError> {
+        let n = self.topology.n();
+        let mut halted: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let mut halt_cycles = vec![0u64; n];
+        let mut awake = vec![false; n];
+        let mut local_cycle = vec![0u64; n];
+        let mut inbox: Vec<Received<P::Msg>> = (0..n).map(|_| Received::empty()).collect();
+        let mut messages = 0u64;
+        let mut bits = 0u64;
+        let mut dropped = 0u64;
+        let mut per_cycle = Vec::new();
+
+        for cycle in 0..self.max_cycles {
+            // Wake-ups: spontaneous or message-triggered.
+            for i in 0..n {
+                if !awake[i] && (cycle >= self.wake_at[i] || !inbox[i].is_empty()) {
+                    awake[i] = true;
+                }
+            }
+
+            // Step every awake, running processor on last cycle's inbox.
+            let mut outgoing: Emissions<P::Msg, P::Output> = Vec::new();
+            for i in 0..n {
+                if !awake[i] || halted[i].is_some() {
+                    if halted[i].is_some() && !inbox[i].is_empty() {
+                        dropped += u64::from(inbox[i].from_left.is_some())
+                            + u64::from(inbox[i].from_right.is_some());
+                    }
+                    inbox[i] = Received::empty();
+                    continue;
+                }
+                let rx = std::mem::take(&mut inbox[i]);
+                let step = self.procs[i].step(local_cycle[i], rx);
+                local_cycle[i] += 1;
+                outgoing.push((i, step));
+            }
+
+            // Deliver into the next cycle's inboxes and account costs.
+            let mut sent_this_cycle = 0u64;
+            for (i, step) in outgoing {
+                for (port, msg) in [(Port::Left, step.to_left), (Port::Right, step.to_right)] {
+                    if let Some(msg) = msg {
+                        sent_this_cycle += 1;
+                        bits += msg.bit_len() as u64;
+                        let (j, arrival) = self.topology.neighbor(i, port);
+                        on_send(crate::trace::SendEvent {
+                            cycle,
+                            from: i,
+                            to: j,
+                            bits: msg.bit_len(),
+                        });
+                        let slot = match arrival {
+                            Port::Left => &mut inbox[j].from_left,
+                            Port::Right => &mut inbox[j].from_right,
+                        };
+                        debug_assert!(slot.is_none(), "one message per port per cycle");
+                        *slot = Some(msg);
+                    }
+                }
+                if let Some(output) = step.halt {
+                    halted[i] = Some(output);
+                    halt_cycles[i] = cycle;
+                }
+            }
+            messages += sent_this_cycle;
+            per_cycle.push(sent_this_cycle);
+            observe(cycle, &self.procs);
+
+            if halted.iter().all(Option::is_some) {
+                // Anything still in flight at halt time is dropped.
+                dropped += inbox
+                    .iter()
+                    .map(|r| u64::from(r.from_left.is_some()) + u64::from(r.from_right.is_some()))
+                    .sum::<u64>();
+                return Ok(SyncReport {
+                    messages,
+                    bits,
+                    cycles: cycle + 1,
+                    dropped,
+                    per_cycle_messages: per_cycle,
+                    halt_cycles,
+                    outputs: halted.into_iter().map(Option::unwrap).collect(),
+                });
+            }
+        }
+
+        Err(SimError::MaxCyclesExceeded {
+            max_cycles: self.max_cycles,
+            running: halted.iter().filter(|h| h.is_none()).count(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RingConfig;
+    use crate::port::Orientation;
+
+    /// Forwards a token right for `ttl` hops, then halts everyone via a
+    /// final broadcast-free timeout.
+    #[derive(Debug, Clone)]
+    struct Relay {
+        is_source: bool,
+        n: u64,
+    }
+
+    impl SyncProcess for Relay {
+        type Msg = u64;
+        type Output = u64;
+        fn step(&mut self, cycle: u64, rx: Received<u64>) -> Step<u64, u64> {
+            // Source emits 0 at cycle 0; everyone forwards hop+1 to the
+            // right; all halt at cycle n with the largest hop count seen.
+            if cycle == self.n {
+                return Step::halt(u64::from(self.is_source));
+            }
+            if self.is_source && cycle == 0 {
+                return Step::send_right(1);
+            }
+            if let Some(h) = rx.from_left {
+                if h < self.n {
+                    return Step::send_right(h + 1);
+                }
+            }
+            Step::idle()
+        }
+    }
+
+    #[test]
+    fn token_travels_one_hop_per_cycle() {
+        let n = 6u64;
+        let config = RingConfig::oriented(vec![(); 6]);
+        let mut engine = SyncEngine::from_config(&config, |i, ()| Relay {
+            is_source: i == 0,
+            n,
+        });
+        let report = engine.run().unwrap();
+        // Token forwarded n-1 times plus initial send = n messages... the
+        // token with hop count n is not re-sent, so exactly n sends
+        // happen: hops 1..=n-1 forwarded, plus the initial. Wait: source
+        // sends hop 1; receivers forward h+1 while h < n. Receiver of
+        // hop n-1 sends hop n; receiver of hop n does not forward.
+        assert_eq!(report.messages, n);
+        assert_eq!(report.cycles, n + 1);
+        // Exactly one message per cycle for the first n cycles.
+        assert_eq!(&report.per_cycle_messages[..n as usize], vec![1; 6].as_slice());
+    }
+
+    #[derive(Debug)]
+    struct HaltAt(u64);
+    impl SyncProcess for HaltAt {
+        type Msg = ();
+        type Output = u64;
+        fn step(&mut self, cycle: u64, _rx: Received<()>) -> Step<(), u64> {
+            if cycle == self.0 {
+                Step::halt(cycle)
+            } else {
+                Step::idle()
+            }
+        }
+    }
+
+    #[test]
+    fn wakeups_shift_local_clocks() {
+        let topo = RingTopology::oriented(3).unwrap();
+        let mut engine = SyncEngine::new(topo, vec![HaltAt(2), HaltAt(2), HaltAt(2)]).unwrap();
+        engine.set_wakeups(vec![0, 3, 5]).unwrap();
+        let report = engine.run().unwrap();
+        assert_eq!(report.halt_cycles, vec![2, 5, 7]);
+        assert!(!report.halted_simultaneously());
+        assert_eq!(report.outputs(), &[2, 2, 2]);
+    }
+
+    #[derive(Debug)]
+    struct WakeProbe {
+        woken_by_msg: bool,
+    }
+    impl SyncProcess for WakeProbe {
+        type Msg = ();
+        type Output = bool;
+        fn step(&mut self, cycle: u64, rx: Received<()>) -> Step<(), bool> {
+            if cycle == 0 {
+                self.woken_by_msg = !rx.is_empty();
+                // First processor pings its right neighbour.
+                if !self.woken_by_msg {
+                    return Step::send_right(());
+                }
+            }
+            if cycle >= 1 {
+                return Step::halt(self.woken_by_msg);
+            }
+            Step::idle()
+        }
+    }
+
+    #[test]
+    fn message_wakes_sleeping_processor() {
+        let topo = RingTopology::oriented(2).unwrap();
+        let mut engine = SyncEngine::new(
+            topo,
+            vec![
+                WakeProbe { woken_by_msg: false },
+                WakeProbe { woken_by_msg: false },
+            ],
+        )
+        .unwrap();
+        // Processor 1 would sleep until cycle 100, but the ping from 0
+        // arrives at cycle 1 and wakes it.
+        engine.set_wakeups(vec![0, 100]).unwrap();
+        let report = engine.run().unwrap();
+        assert_eq!(report.outputs(), &[false, true]);
+        assert_eq!(report.halt_cycles, vec![1, 2]);
+    }
+
+    #[derive(Debug)]
+    struct Never;
+    impl SyncProcess for Never {
+        type Msg = ();
+        type Output = ();
+        fn step(&mut self, _c: u64, _rx: Received<()>) -> Step<(), ()> {
+            Step::idle()
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let topo = RingTopology::oriented(2).unwrap();
+        let mut engine = SyncEngine::new(topo, vec![Never, Never]).unwrap();
+        engine.set_max_cycles(10);
+        assert!(matches!(
+            engine.run(),
+            Err(SimError::MaxCyclesExceeded {
+                max_cycles: 10,
+                running: 2
+            })
+        ));
+    }
+
+    #[derive(Debug)]
+    struct SendOnceAndHalt;
+    impl SyncProcess for SendOnceAndHalt {
+        type Msg = u8;
+        type Output = ();
+        fn step(&mut self, cycle: u64, _rx: Received<u8>) -> Step<u8, ()> {
+            if cycle == 0 {
+                Step::send_both(1, 2).and_halt(())
+            } else {
+                Step::idle()
+            }
+        }
+    }
+
+    #[test]
+    fn final_step_messages_are_sent_then_dropped_at_halted_peers() {
+        let topo = RingTopology::oriented(3).unwrap();
+        let mut engine =
+            SyncEngine::new(topo, vec![SendOnceAndHalt, SendOnceAndHalt, SendOnceAndHalt]).unwrap();
+        let report = engine.run().unwrap();
+        assert_eq!(report.messages, 6);
+        assert_eq!(report.bits, 48);
+        // All six messages land on processors that halted in cycle 0.
+        assert_eq!(report.dropped, 6);
+        assert_eq!(report.cycles, 1);
+    }
+
+    #[test]
+    fn counterclockwise_delivery_crosses_ports() {
+        #[derive(Debug)]
+        struct Probe {
+            idx: usize,
+            got: Option<(Port, u8)>,
+        }
+        impl SyncProcess for Probe {
+            type Msg = u8;
+            type Output = Option<(Port, u8)>;
+            fn step(&mut self, cycle: u64, rx: Received<u8>) -> Step<u8, Self::Output> {
+                if cycle == 0 && self.idx == 0 {
+                    return Step::send_right(42);
+                }
+                if let Some((p, m)) = rx.iter().next().map(|(p, &m)| (p, m)) {
+                    self.got = Some((p, m));
+                }
+                if cycle == 2 {
+                    return Step::halt(self.got);
+                }
+                Step::idle()
+            }
+        }
+        // Processor 1 is counterclockwise: processor 0's rightward message
+        // arrives on 1's *right* port.
+        let topo = RingTopology::new(vec![
+            Orientation::Clockwise,
+            Orientation::Counterclockwise,
+            Orientation::Clockwise,
+        ])
+        .unwrap();
+        let mut engine = SyncEngine::new(
+            topo,
+            (0..3).map(|idx| Probe { idx, got: None }).collect(),
+        )
+        .unwrap();
+        let report = engine.run().unwrap();
+        assert_eq!(report.outputs()[1], Some((Port::Right, 42)));
+        assert_eq!(report.outputs()[2], None);
+    }
+}

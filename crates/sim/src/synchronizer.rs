@@ -1,0 +1,300 @@
+//! Local synchronization (the "α-synchronizer"): running a synchronous
+//! algorithm on an asynchronous ring (paper §3).
+//!
+//! Each processor sends one *envelope* per simulated cycle to each
+//! neighbour — carrying the real payload when the wrapped algorithm sends
+//! one, and empty otherwise — and advances to the next simulated cycle only
+//! after receiving the previous cycle's envelope from both neighbours. This
+//! preserves the synchronous semantics exactly (including the information
+//! carried by the *absence* of a message), at a message cost of `2n` per
+//! simulated cycle.
+//!
+//! When the wrapped processor halts, its final envelope carries a `closing`
+//! flag: neighbours henceforth treat that port as silent.
+
+use crate::message::Message;
+use crate::port::Port;
+use crate::r#async::{Actions, AsyncProcess};
+use crate::sync::{Received, Step, SyncProcess};
+use std::collections::VecDeque;
+
+/// One simulated-cycle envelope.
+///
+/// The `cycle` tag is redundant on FIFO links (the `t`-th envelope on a
+/// link always belongs to cycle `t`) and is kept only for internal
+/// assertions; the accounted encoding is `closing` flag + payload-present
+/// flag + payload bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Simulated cycle this envelope belongs to.
+    pub cycle: u64,
+    /// The wrapped algorithm's message for this cycle, if any.
+    pub payload: Option<M>,
+    /// True when the sender halted at this cycle and will send no more.
+    pub closing: bool,
+}
+
+impl<M: Message> Message for Envelope<M> {
+    fn bit_len(&self) -> usize {
+        2 + self.payload.as_ref().map_or(0, Message::bit_len)
+    }
+}
+
+#[derive(Debug)]
+enum PortState<M> {
+    /// Queue of payloads received and not yet consumed, in cycle order.
+    Open(VecDeque<Option<M>>),
+    /// The neighbour announced it halted: all future cycles read `None`.
+    /// The queue holds payloads that arrived before the close.
+    Closing(VecDeque<Option<M>>),
+}
+
+impl<M> PortState<M> {
+    fn push(&mut self, payload: Option<M>, closing: bool) {
+        match self {
+            PortState::Open(q) => {
+                q.push_back(payload);
+                if closing {
+                    let q = std::mem::take(q);
+                    *self = PortState::Closing(q);
+                }
+            }
+            PortState::Closing(_) => panic!("envelope after closing envelope"),
+        }
+    }
+
+    /// Whether a payload (possibly `None`) is available for the next
+    /// unconsumed cycle.
+    fn ready(&self) -> bool {
+        match self {
+            PortState::Open(q) => !q.is_empty(),
+            PortState::Closing(_) => true,
+        }
+    }
+
+    fn pop(&mut self) -> Option<M> {
+        match self {
+            PortState::Open(q) => q.pop_front().expect("checked by ready()"),
+            PortState::Closing(q) => q.pop_front().flatten(),
+        }
+    }
+}
+
+/// Adapter that runs a [`SyncProcess`] on an asynchronous ring.
+///
+/// ```
+/// use anonring_sim::r#async::{AsyncEngine, RandomScheduler};
+/// use anonring_sim::sync::{Received, Step, SyncProcess};
+/// use anonring_sim::synchronizer::Synchronized;
+/// use anonring_sim::RingTopology;
+///
+/// #[derive(Debug)]
+/// struct TwoCycleCount(u64);
+/// impl SyncProcess for TwoCycleCount {
+///     type Msg = u64;
+///     type Output = u64;
+///     fn step(&mut self, cycle: u64, rx: Received<u64>) -> Step<u64, u64> {
+///         match cycle {
+///             0 => Step::send_right(self.0),
+///             1 => {
+///                 self.0 += rx.from_left.unwrap_or(0);
+///                 Step::send_right(self.0)
+///             }
+///             _ => Step::halt(self.0 + rx.from_left.unwrap_or(0)),
+///         }
+///     }
+/// }
+///
+/// let topo = RingTopology::oriented(3).unwrap();
+/// let procs = (0..3).map(|i| Synchronized::new(TwoCycleCount(i))).collect();
+/// let mut engine = AsyncEngine::new(topo, procs).unwrap();
+/// let report = engine.run(&mut RandomScheduler::new(1)).unwrap();
+/// assert_eq!(report.outputs().len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Synchronized<P: SyncProcess> {
+    inner: P,
+    cycle: u64,
+    left: PortState<P::Msg>,
+    right: PortState<P::Msg>,
+    halted: bool,
+}
+
+impl<P: SyncProcess> Synchronized<P> {
+    /// Wraps a synchronous processor.
+    #[must_use]
+    pub fn new(inner: P) -> Synchronized<P> {
+        Synchronized {
+            inner,
+            cycle: 0,
+            left: PortState::Open(VecDeque::new()),
+            right: PortState::Open(VecDeque::new()),
+            halted: false,
+        }
+    }
+
+    /// Executes as many simulated cycles as the buffered envelopes allow.
+    fn advance(&mut self) -> Actions<Envelope<P::Msg>, P::Output> {
+        let mut actions = Actions::idle();
+        while !self.halted && (self.cycle == 0 || (self.left.ready() && self.right.ready())) {
+            let rx = if self.cycle == 0 {
+                Received::empty()
+            } else {
+                Received {
+                    from_left: self.left.pop(),
+                    from_right: self.right.pop(),
+                }
+            };
+            let Step {
+                to_left,
+                to_right,
+                halt,
+            } = self.inner.step(self.cycle, rx);
+            let closing = halt.is_some();
+            actions = actions
+                .and_send(
+                    Port::Left,
+                    Envelope {
+                        cycle: self.cycle,
+                        payload: to_left,
+                        closing,
+                    },
+                )
+                .and_send(
+                    Port::Right,
+                    Envelope {
+                        cycle: self.cycle,
+                        payload: to_right,
+                        closing,
+                    },
+                );
+            self.cycle += 1;
+            if let Some(output) = halt {
+                self.halted = true;
+                actions = actions.and_halt(output);
+            }
+        }
+        actions
+    }
+}
+
+impl<P: SyncProcess> AsyncProcess for Synchronized<P> {
+    type Msg = Envelope<P::Msg>;
+    type Output = P::Output;
+
+    fn on_start(&mut self) -> Actions<Self::Msg, Self::Output> {
+        self.advance()
+    }
+
+    fn on_message(&mut self, from: Port, env: Envelope<P::Msg>) -> Actions<Self::Msg, Self::Output> {
+        let port = match from {
+            Port::Left => &mut self.left,
+            Port::Right => &mut self.right,
+        };
+        port.push(env.payload, env.closing);
+        self.advance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RingConfig;
+    use crate::r#async::{AsyncEngine, FifoScheduler, RandomScheduler, SynchronizingScheduler};
+    use crate::sync::SyncEngine;
+
+    /// Collects the inputs of both neighbours over two cycles, halting at
+    /// different times depending on the input (exercises the closing
+    /// protocol).
+    #[derive(Debug, Clone)]
+    struct Gossip {
+        input: u8,
+        seen: Vec<u8>,
+    }
+
+    impl SyncProcess for Gossip {
+        type Msg = u8;
+        type Output = Vec<u8>;
+        fn step(&mut self, cycle: u64, rx: Received<u8>) -> Step<u8, Vec<u8>> {
+            for (_, &m) in rx.iter() {
+                self.seen.push(m);
+            }
+            match cycle {
+                0 => Step::send_both(self.input, self.input),
+                // Zero-input processors halt a cycle earlier.
+                1 if self.input == 0 => {
+                    let mut out = vec![self.input];
+                    out.extend_from_slice(&self.seen);
+                    out.sort_unstable();
+                    Step::halt(out)
+                }
+                1 => Step::send_both(self.input, self.input),
+                _ => {
+                    let mut out = vec![self.input];
+                    out.extend_from_slice(&self.seen);
+                    out.sort_unstable();
+                    Step::halt(out)
+                }
+            }
+        }
+    }
+
+    fn sync_outputs(config: &RingConfig<u8>) -> Vec<Vec<u8>> {
+        let mut engine = SyncEngine::from_config(config, |_, &input| Gossip {
+            input,
+            seen: Vec::new(),
+        });
+        engine.run().unwrap().into_outputs()
+    }
+
+    fn async_outputs(config: &RingConfig<u8>, sched: &mut dyn crate::r#async::Scheduler) -> Vec<Vec<u8>> {
+        let mut engine = AsyncEngine::from_config(config, |_, &input| {
+            Synchronized::new(Gossip {
+                input,
+                seen: Vec::new(),
+            })
+        });
+        engine.run(sched).unwrap().into_outputs()
+    }
+
+    #[test]
+    fn synchronized_run_matches_synchronous_run() {
+        for bits in ["11011", "0110", "10", "111", "000"] {
+            let config = RingConfig::oriented_bits(bits).unwrap();
+            let want = sync_outputs(&config);
+            assert_eq!(
+                async_outputs(&config, &mut SynchronizingScheduler),
+                want,
+                "sync-adversary {bits}"
+            );
+            assert_eq!(
+                async_outputs(&config, &mut FifoScheduler),
+                want,
+                "fifo {bits}"
+            );
+            for seed in 0..5 {
+                assert_eq!(
+                    async_outputs(&config, &mut RandomScheduler::new(seed)),
+                    want,
+                    "random {seed} {bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_bit_accounting() {
+        let e = Envelope::<u8> {
+            cycle: 3,
+            payload: Some(1),
+            closing: false,
+        };
+        assert_eq!(e.bit_len(), 10);
+        let empty = Envelope::<u8> {
+            cycle: 3,
+            payload: None,
+            closing: true,
+        };
+        assert_eq!(empty.bit_len(), 2);
+    }
+}

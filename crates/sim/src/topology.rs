@@ -1,0 +1,301 @@
+//! Ring wiring: channels, neighbours, and orientation bookkeeping.
+
+use crate::error::SimError;
+use crate::port::{Orientation, Port};
+
+/// The wiring of a bidirectional ring of `n ≥ 2` processors with
+/// per-processor orientations `D(i)` (paper §2).
+///
+/// Physically, channel `c_k` connects processors `k` and `k + 1 (mod n)`.
+/// Which *local port* of a processor attaches to which channel depends on
+/// its orientation:
+///
+/// * `D(i) = 1` (clockwise): the right port is on `c_i`, the left port on
+///   `c_{i−1}` — so `right(i) = i + 1`, `left(i) = i − 1`;
+/// * `D(i) = 0` (counterclockwise): the ports are swapped — so
+///   `right(i) = i − 1`, `left(i) = i + 1`.
+///
+/// Modelling the two channels explicitly keeps `n = 2` well-defined (the
+/// two processors are joined by two *distinct* channels, one per side).
+///
+/// ```
+/// use anonring_sim::{Orientation, Port, RingTopology};
+///
+/// let ring = RingTopology::oriented(5).unwrap();
+/// assert_eq!(ring.neighbor(0, Port::Right), (1, Port::Left));
+/// assert_eq!(ring.neighbor(0, Port::Left), (4, Port::Right));
+///
+/// // A counterclockwise processor receives the same message on the
+/// // opposite port.
+/// let mut d = vec![Orientation::Clockwise; 5];
+/// d[1] = Orientation::Counterclockwise;
+/// let ring = RingTopology::new(d).unwrap();
+/// assert_eq!(ring.neighbor(0, Port::Right), (1, Port::Right));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RingTopology {
+    orientations: Vec<Orientation>,
+}
+
+impl RingTopology {
+    /// Builds a ring with the given per-processor orientations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RingTooSmall`] when fewer than two orientations
+    /// are supplied.
+    pub fn new(orientations: Vec<Orientation>) -> Result<RingTopology, SimError> {
+        if orientations.len() < 2 {
+            return Err(SimError::RingTooSmall {
+                n: orientations.len(),
+            });
+        }
+        Ok(RingTopology { orientations })
+    }
+
+    /// Builds a fully clockwise-oriented ring of `n` processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RingTooSmall`] when `n < 2`.
+    pub fn oriented(n: usize) -> Result<RingTopology, SimError> {
+        RingTopology::new(vec![Orientation::Clockwise; n])
+    }
+
+    /// Builds a ring from the paper's bit encoding of `D`
+    /// (`1` = clockwise, `0` = counterclockwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RingTooSmall`] when fewer than two bits are
+    /// supplied.
+    pub fn from_bits(bits: &[u8]) -> Result<RingTopology, SimError> {
+        RingTopology::new(bits.iter().map(|&b| Orientation::from_bit(b)).collect())
+    }
+
+    /// Ring size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.orientations.len()
+    }
+
+    /// The orientation `D(i)` of processor `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n`.
+    #[must_use]
+    pub fn orientation(&self, i: usize) -> Orientation {
+        self.orientations[i]
+    }
+
+    /// All orientations, in processor order.
+    #[must_use]
+    pub fn orientations(&self) -> &[Orientation] {
+        &self.orientations
+    }
+
+    /// Index arithmetic modulo `n`: the processor `offset` positions
+    /// clockwise from `i` (negative offsets go counterclockwise).
+    #[must_use]
+    pub fn wrap(&self, i: usize, offset: isize) -> usize {
+        let n = self.n() as isize;
+        (((i as isize + offset) % n + n) % n) as usize
+    }
+
+    /// The channel attached to processor `i`'s `port`.
+    ///
+    /// Channels are numbered so that channel `k` joins processors `k` and
+    /// `k + 1 (mod n)`.
+    #[must_use]
+    pub fn port_channel(&self, i: usize, port: Port) -> usize {
+        let cw_side = match self.orientations[i] {
+            Orientation::Clockwise => port,
+            Orientation::Counterclockwise => port.opposite(),
+        };
+        match cw_side {
+            Port::Right => i,
+            Port::Left => self.wrap(i, -1),
+        }
+    }
+
+    /// The processor reached by sending on `i`'s `port`, together with the
+    /// **arrival port**: the receiving processor's local port on which the
+    /// message shows up.
+    #[must_use]
+    pub fn neighbor(&self, i: usize, port: Port) -> (usize, Port) {
+        let ch = self.port_channel(i, port);
+        let j = if ch == i {
+            self.wrap(i, 1)
+        } else {
+            debug_assert_eq!(ch, self.wrap(i, -1));
+            self.wrap(i, -1)
+        };
+        let arrival = if self.port_channel(j, Port::Left) == ch {
+            Port::Left
+        } else {
+            debug_assert_eq!(self.port_channel(j, Port::Right), ch);
+            Port::Right
+        };
+        (j, arrival)
+    }
+
+    /// The paper's `right(i)`: the processor index reached via `i`'s right
+    /// port.
+    #[must_use]
+    pub fn right_of(&self, i: usize) -> usize {
+        self.neighbor(i, Port::Right).0
+    }
+
+    /// The paper's `left(i)`: the processor index reached via `i`'s left
+    /// port.
+    #[must_use]
+    pub fn left_of(&self, i: usize) -> usize {
+        self.neighbor(i, Port::Left).0
+    }
+
+    /// Whether the ring is *oriented*: all processors agree on clockwise or
+    /// all agree on counterclockwise (equivalently `left(right(i)) = i` for
+    /// every `i`, paper §2).
+    #[must_use]
+    pub fn is_oriented(&self) -> bool {
+        self.orientations.iter().all(|&o| o == self.orientations[0])
+    }
+
+    /// Whether the ring is *quasi-oriented*: oriented, or the orientation
+    /// alternates around the ring (paper §4.2.2). An alternating ring
+    /// requires even `n`.
+    #[must_use]
+    pub fn is_quasi_oriented(&self) -> bool {
+        if self.is_oriented() {
+            return true;
+        }
+        (0..self.n()).all(|i| self.orientations[i] != self.orientations[self.wrap(i, 1)])
+    }
+
+    /// The topology obtained when the processors in `switch` flip their
+    /// orientation — the effect of the orientation problem's output
+    /// (paper §2: processors with output 1 switch their left and right
+    /// connections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch.len() != n`.
+    #[must_use]
+    pub fn with_switched(&self, switch: &[bool]) -> RingTopology {
+        assert_eq!(switch.len(), self.n(), "switch vector length");
+        RingTopology {
+            orientations: self
+                .orientations
+                .iter()
+                .zip(switch)
+                .map(|(&o, &s)| if s { o.flipped() } else { o })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cw(n: usize) -> RingTopology {
+        RingTopology::oriented(n).unwrap()
+    }
+
+    #[test]
+    fn rejects_tiny_rings() {
+        assert!(matches!(
+            RingTopology::oriented(1),
+            Err(SimError::RingTooSmall { n: 1 })
+        ));
+        assert!(RingTopology::oriented(2).is_ok());
+    }
+
+    #[test]
+    fn clockwise_ring_neighbors() {
+        let r = cw(5);
+        for i in 0..5 {
+            assert_eq!(r.right_of(i), (i + 1) % 5, "right({i})");
+            assert_eq!(r.left_of(i), (i + 4) % 5, "left({i})");
+            // On an oriented ring a rightward message arrives on the left port.
+            assert_eq!(r.neighbor(i, Port::Right), ((i + 1) % 5, Port::Left));
+        }
+    }
+
+    #[test]
+    fn counterclockwise_processor_swaps_ports() {
+        let r = RingTopology::from_bits(&[1, 0, 1, 1]).unwrap();
+        // Processor 1 is counterclockwise: right(1) = 0.
+        assert_eq!(r.right_of(1), 0);
+        assert_eq!(r.left_of(1), 2);
+        // A message sent right by 0 reaches 1 on 1's *right* port
+        // (both processors' "rights" face each other).
+        assert_eq!(r.neighbor(0, Port::Right), (1, Port::Right));
+    }
+
+    #[test]
+    fn two_ring_has_two_distinct_channels() {
+        let r = cw(2);
+        assert_ne!(
+            r.port_channel(0, Port::Left),
+            r.port_channel(0, Port::Right)
+        );
+        assert_eq!(r.neighbor(0, Port::Right), (1, Port::Left));
+        assert_eq!(r.neighbor(0, Port::Left), (1, Port::Right));
+    }
+
+    #[test]
+    fn channels_are_consistent_both_ways() {
+        // Sending on a port and "replying" on the arrival port gets back.
+        for bits in [
+            vec![1, 1, 1],
+            vec![0, 0, 0],
+            vec![1, 0, 1],
+            vec![1, 0, 0, 1],
+            vec![0, 1, 0, 1, 1],
+        ] {
+            let r = RingTopology::from_bits(&bits).unwrap();
+            for i in 0..r.n() {
+                for p in [Port::Left, Port::Right] {
+                    let (j, q) = r.neighbor(i, p);
+                    assert_eq!(r.neighbor(j, q), (i, p), "round trip from {i}/{p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oriented_iff_left_of_right_is_identity() {
+        for bits in [vec![1, 1, 1, 1], vec![0, 0, 0], vec![1, 0, 1], vec![1, 1, 0]] {
+            let r = RingTopology::from_bits(&bits).unwrap();
+            let paper_oriented = (0..r.n()).all(|i| r.left_of(r.right_of(i)) == i);
+            assert_eq!(r.is_oriented(), paper_oriented, "bits {bits:?}");
+        }
+    }
+
+    #[test]
+    fn quasi_orientation() {
+        assert!(RingTopology::from_bits(&[1, 1, 1]).unwrap().is_quasi_oriented());
+        assert!(RingTopology::from_bits(&[1, 0, 1, 0]).unwrap().is_quasi_oriented());
+        assert!(!RingTopology::from_bits(&[1, 1, 0]).unwrap().is_quasi_oriented());
+        // Odd rings cannot alternate.
+        assert!(!RingTopology::from_bits(&[1, 0, 1]).unwrap().is_quasi_oriented());
+    }
+
+    #[test]
+    fn switching_flips_selected_processors() {
+        let r = RingTopology::from_bits(&[1, 0, 1]).unwrap();
+        let s = r.with_switched(&[false, true, false]);
+        assert!(s.is_oriented());
+        assert_eq!(s.orientation(1), Orientation::Clockwise);
+    }
+
+    #[test]
+    fn wrap_arithmetic() {
+        let r = cw(5);
+        assert_eq!(r.wrap(0, -1), 4);
+        assert_eq!(r.wrap(4, 2), 1);
+        assert_eq!(r.wrap(2, -7), 0);
+    }
+}

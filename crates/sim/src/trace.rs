@@ -1,0 +1,170 @@
+//! Space-time traces of synchronous runs.
+//!
+//! The paper's arguments are all about *which cycles carry messages and
+//! where*: symmetry means many processors send simultaneously; silence
+//! carries information. A [`Trace`] records every send and renders an
+//! ASCII space-time diagram — one row per cycle, one column per
+//! processor — that makes both phenomena visible.
+
+use std::fmt;
+
+/// One message transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendEvent {
+    /// Global cycle of the send.
+    pub cycle: u64,
+    /// Sending processor.
+    pub from: usize,
+    /// Receiving processor.
+    pub to: usize,
+    /// Encoded length of the message.
+    pub bits: usize,
+}
+
+/// A recorded synchronous run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    n: usize,
+    events: Vec<SendEvent>,
+}
+
+impl Trace {
+    /// An empty trace for a ring of `n` processors.
+    #[must_use]
+    pub fn new(n: usize) -> Trace {
+        Trace {
+            n,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records one send.
+    pub fn record(&mut self, event: SendEvent) {
+        self.events.push(event);
+    }
+
+    /// All recorded sends, in chronological order.
+    #[must_use]
+    pub fn events(&self) -> &[SendEvent] {
+        &self.events
+    }
+
+    /// Messages sent per cycle (index = cycle).
+    #[must_use]
+    pub fn per_cycle(&self) -> Vec<u64> {
+        let cycles = self.events.iter().map(|e| e.cycle).max().map_or(0, |c| c + 1);
+        let mut counts = vec![0u64; cycles as usize];
+        for e in &self.events {
+            counts[e.cycle as usize] += 1;
+        }
+        counts
+    }
+
+    /// Renders the space-time diagram: rows are cycles (quiet tail rows
+    /// elided), columns processors; `>` is a clockwise send (to the
+    /// higher index, wrapping), `<` counterclockwise, `X` both.
+    #[must_use]
+    pub fn render(&self, max_rows: usize) -> String {
+        let mut out = String::new();
+        let per_cycle = self.per_cycle();
+        let total_cycles = per_cycle.len();
+        let header: String = (0..self.n).map(|i| ((i % 10) as u8 + b'0') as char).collect();
+        out.push_str(&format!("cycle  {header}\n"));
+        let mut rendered = 0usize;
+        for cycle in 0..total_cycles {
+            if per_cycle[cycle] == 0 {
+                continue;
+            }
+            if rendered >= max_rows {
+                out.push_str(&format!(
+                    "  ...  ({} more active cycles)\n",
+                    per_cycle[cycle..].iter().filter(|&&c| c > 0).count()
+                ));
+                break;
+            }
+            rendered += 1;
+            let mut row = vec![b'.'; self.n];
+            for e in self.events.iter().filter(|e| e.cycle == cycle as u64) {
+                let clockwise = e.to == (e.from + 1) % self.n;
+                let mark = if clockwise { b'>' } else { b'<' };
+                row[e.from] = match row[e.from] {
+                    b'.' => mark,
+                    prev if prev == mark => mark,
+                    _ => b'X',
+                };
+            }
+            out.push_str(&format!(
+                "{cycle:>5}  {}\n",
+                String::from_utf8(row).expect("ascii")
+            ));
+        }
+        out.push_str(&format!(
+            "({} messages over {} cycles, {} of them active)\n",
+            self.events.len(),
+            total_cycles,
+            per_cycle.iter().filter(|&&c| c > 0).count()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sync::{Received, Step, SyncEngine, SyncProcess};
+    use crate::RingTopology;
+
+    #[derive(Debug)]
+    struct OneShot;
+    impl SyncProcess for OneShot {
+        type Msg = u8;
+        type Output = ();
+        fn step(&mut self, cycle: u64, _rx: Received<u8>) -> Step<u8, ()> {
+            if cycle == 0 {
+                Step::send_right(1).and_halt(())
+            } else {
+                Step::halt(())
+            }
+        }
+    }
+
+    #[test]
+    fn traces_record_all_sends() {
+        let topo = RingTopology::oriented(4).unwrap();
+        let mut engine = SyncEngine::new(topo, vec![OneShot, OneShot, OneShot, OneShot]).unwrap();
+        let (report, trace) = engine.run_traced().unwrap();
+        assert_eq!(trace.events().len() as u64, report.messages);
+        assert_eq!(trace.per_cycle(), vec![4]);
+        let art = trace.render(10);
+        assert!(art.contains(">>>>"), "{art}");
+        assert!(art.contains("4 messages"));
+    }
+
+    #[test]
+    fn quiet_cycles_are_elided() {
+        #[derive(Debug)]
+        struct LateSend;
+        impl SyncProcess for LateSend {
+            type Msg = u8;
+            type Output = ();
+            fn step(&mut self, cycle: u64, _rx: Received<u8>) -> Step<u8, ()> {
+                match cycle {
+                    5 => Step::send_left(1).and_halt(()),
+                    _ => Step::idle(),
+                }
+            }
+        }
+        let topo = RingTopology::oriented(3).unwrap();
+        let mut engine = SyncEngine::new(topo, vec![LateSend, LateSend, LateSend]).unwrap();
+        let (_, trace) = engine.run_traced().unwrap();
+        let art = trace.render(10);
+        // Only one rendered row despite 6 cycles.
+        assert_eq!(art.matches('\n').count(), 3, "{art}");
+        assert!(art.contains("<<<"), "{art}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the simulation substrate: topology, neighborhoods,
+//! symmetry indices and wake schedules.
+
+use anonring_sim::{
+    joint_symmetry_index, neighborhood, symmetry_index, Orientation, Port, RingConfig,
+    RingTopology, WakeSchedule,
+};
+use proptest::prelude::*;
+
+fn arb_orientations(max_n: usize) -> impl Strategy<Value = Vec<Orientation>> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0u8..=1).prop_map(Orientation::from_bit), n)
+    })
+}
+
+fn arb_config(max_n: usize) -> impl Strategy<Value = RingConfig<u8>> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(0u8..=1, n),
+                proptest::collection::vec((0u8..=1).prop_map(Orientation::from_bit), n),
+            )
+        })
+        .prop_map(|(i, o)| RingConfig::new(i, o).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sending on a port and replying on the arrival port returns to the
+    /// sender — channels are symmetric.
+    #[test]
+    fn topology_channels_are_symmetric(orient in arb_orientations(16)) {
+        let topo = RingTopology::new(orient).unwrap();
+        for i in 0..topo.n() {
+            for p in [Port::Left, Port::Right] {
+                let (j, q) = topo.neighbor(i, p);
+                prop_assert_eq!(topo.neighbor(j, q), (i, p));
+            }
+        }
+    }
+
+    /// The ring is oriented iff every rightward message arrives on a left
+    /// port; for `n ≥ 3` this coincides with the paper's index-level
+    /// `left(right(i)) = i` characterization (which is vacuous at
+    /// `n = 2`, where any successor map is its own inverse).
+    #[test]
+    fn oriented_characterization(orient in arb_orientations(16)) {
+        let topo = RingTopology::new(orient).unwrap();
+        let ports = (0..topo.n()).all(|i| topo.neighbor(i, Port::Right).1 == Port::Left);
+        prop_assert_eq!(topo.is_oriented(), ports);
+        if topo.n() >= 3 {
+            let paper = (0..topo.n()).all(|i| topo.left_of(topo.right_of(i)) == i);
+            prop_assert_eq!(topo.is_oriented(), paper);
+        }
+    }
+
+    /// Switching twice restores the original wiring.
+    #[test]
+    fn switching_is_an_involution(orient in arb_orientations(12), mask in any::<u16>()) {
+        let topo = RingTopology::new(orient).unwrap();
+        let switches: Vec<bool> = (0..topo.n()).map(|i| mask >> i & 1 == 1).collect();
+        let twice = topo.with_switched(&switches).with_switched(&switches);
+        prop_assert_eq!(twice, topo);
+    }
+
+    /// Equal (k+1)-neighborhoods imply equal k-neighborhoods.
+    #[test]
+    fn neighborhood_radius_monotone(config in arb_config(10), k in 0usize..4) {
+        for i in 0..config.n() {
+            for j in 0..config.n() {
+                if neighborhood(&config, i, k + 1) == neighborhood(&config, j, k + 1) {
+                    prop_assert_eq!(
+                        neighborhood(&config, i, k),
+                        neighborhood(&config, j, k)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The symmetry index is invariant under rotating the configuration.
+    #[test]
+    fn symmetry_index_rotation_invariant(config in arb_config(10), r in 0usize..10, k in 0usize..4) {
+        let rotated = config.rotated(r % config.n());
+        prop_assert_eq!(symmetry_index(&config, k), symmetry_index(&rotated, k));
+    }
+
+    /// Mirroring is physically invisible: the symmetry index is unchanged
+    /// and every processor's neighborhood survives at its mirror image.
+    #[test]
+    fn mirror_preserves_neighborhoods(config in arb_config(10), k in 0usize..4) {
+        let mirrored = config.mirrored();
+        prop_assert_eq!(symmetry_index(&config, k), symmetry_index(&mirrored, k));
+        let n = config.n();
+        for i in 0..n {
+            prop_assert_eq!(
+                neighborhood(&config, i, k),
+                neighborhood(&mirrored, n - 1 - i, k),
+                "processor {} vs mirror {}", i, n - 1 - i
+            );
+        }
+    }
+
+    /// The joint index of a configuration with itself is exactly twice
+    /// the single index.
+    #[test]
+    fn joint_index_doubles(config in arb_config(10), k in 0usize..4) {
+        prop_assert_eq!(
+            joint_symmetry_index(&[config.clone(), config.clone()], k),
+            2 * symmetry_index(&config, k)
+        );
+    }
+
+    /// Every word walk that wraps produces a legal schedule and
+    /// `from_times` round-trips it.
+    #[test]
+    fn wake_schedules_round_trip(word in proptest::collection::vec(0u8..=1, 2..20)) {
+        let ones = word.iter().filter(|&&b| b == 1).count();
+        let zeros = word.len() - ones;
+        prop_assume!(ones.abs_diff(zeros) <= 1);
+        // Balanced or near-balanced walks may still wrap illegally if the
+        // first step goes the wrong way; only assert when legal.
+        if let Ok(w) = WakeSchedule::from_word(&word) {
+            prop_assert!(WakeSchedule::from_times(w.as_slice().to_vec()).is_ok());
+            prop_assert!(w.as_slice().contains(&0), "normalized to min 0");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Symmetric orientation assignments (§6.3.2 exact sizes, §7.2.1
+//! arbitrary odd sizes).
+
+use crate::constructions::ConstructionError;
+use crate::homomorphism::Homomorphism;
+use crate::number::lemma_7_8;
+use crate::word::Word;
+
+/// The §6.3.2 homomorphism `0 → 011, 1 → 001`, which satisfies
+/// `h(0) = complement(reverse(h(1)))` — the identity that plants mirrored
+/// neighborhoods with opposite orientations.
+#[must_use]
+pub fn exact_homomorphism() -> Homomorphism {
+    Homomorphism::parse("011", "001")
+}
+
+/// The §7.2.1 inner homomorphism `0 → 00100, 1 → 11011` (uniform, `d = 5`,
+/// `c = 2`, palindromic images).
+#[must_use]
+pub fn arbitrary_inner_homomorphism() -> Homomorphism {
+    Homomorphism::parse("00100", "11011")
+}
+
+/// §6.3.2: the orientation assignment `D = h^k(0)` for a ring of size
+/// `n = 3ᵏ` (each bit is a processor's `D(i)`).
+///
+/// Processors `⌈n/6⌉` and `⌈n/2⌉` (1-based) have identical
+/// `(⌈n/6⌉ − 1)`-neighborhoods but opposite orientations, and every short
+/// neighborhood repeats `Ω(n/k)` times — making the single configuration a
+/// fooling pair with itself.
+///
+/// ```
+/// use anonring_words::constructions::orientation_exact;
+/// let d = orientation_exact(3);
+/// assert_eq!(d.len(), 27);
+/// ```
+#[must_use]
+pub fn orientation_exact(k: usize) -> Word {
+    exact_homomorphism().iterate(&Word::parse("0"), k)
+}
+
+/// The §7.2.1 two-stage construction for an arbitrary odd ring size:
+/// an ε-word `ω` of length `n` such that
+///
+/// * every cyclic subword of length `Θ(√n) ≤ |σ| ≤ Θ(n)` occurs
+///   `Ω(n/|σ|)` times (Corollary 7.7),
+/// * `ω` has an even number of ones (so the prefix-XOR orientations
+///   `Dᵃ = prefix_xor(ω)` and `Dᵇ = complement(Dᵃ)` are well defined), and
+/// * `ω` contains a palindrome of length `> n/6` with a 1 at its center —
+///   which plants two adjacent processors with opposite orientations and
+///   identical large neighborhoods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrientationWitness {
+    /// The ε-word `ω = H(h^{2k}(0))`.
+    pub epsilon: Word,
+    /// Inner iteration count (`2k` applications of `h`).
+    pub inner_iterations: usize,
+    /// `H(0) = 0^r`.
+    pub r: usize,
+    /// `H(1) = 1^s` (odd).
+    pub s: usize,
+    /// Index of the central 1 of the leading palindromic block
+    /// `H(h^{2k−1}(0))`.
+    pub palindrome_center: usize,
+    /// Length of that palindromic block (`> n/6`).
+    pub palindrome_len: usize,
+}
+
+impl OrientationWitness {
+    /// Ring size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.epsilon.len()
+    }
+
+    /// The orientation assignment `Dᵃ(i) = ε₁ ⊕ … ⊕ ε_i`.
+    #[must_use]
+    pub fn orientation_a(&self) -> Word {
+        self.epsilon.prefix_xor()
+    }
+
+    /// The complementary assignment `Dᵇ = complement(Dᵃ)`.
+    #[must_use]
+    pub fn orientation_b(&self) -> Word {
+        self.orientation_a().complement()
+    }
+}
+
+/// Smallest ring size supported by [`orientation_arbitrary`]
+/// (`k ≥ 1` requires `log₅ n ≥ 5`).
+pub const ORIENTATION_ARBITRARY_MIN_N: usize = 3125;
+
+/// §7.2.1: builds the two-stage orientation witness for an arbitrary odd
+/// `n ≥ 3125`.
+///
+/// # Errors
+///
+/// * [`ConstructionError::WrongParity`] for even `n` (even rings cannot be
+///   oriented, Theorem 3.5);
+/// * [`ConstructionError::TooSmall`] below the minimum size;
+/// * [`ConstructionError::Infeasible`] if an internal positivity condition
+///   fails (does not happen for supported sizes).
+pub fn orientation_arbitrary(n: usize) -> Result<OrientationWitness, ConstructionError> {
+    if n.is_multiple_of(2) {
+        return Err(ConstructionError::WrongParity {
+            n,
+            needs_even: false,
+        });
+    }
+    if n < ORIENTATION_ARBITRARY_MIN_N {
+        return Err(ConstructionError::TooSmall {
+            n,
+            min: ORIENTATION_ARBITRARY_MIN_N,
+        });
+    }
+    let h = arbitrary_inner_homomorphism();
+    // k = floor((log5 n - 1) / 4), guaranteed >= 1 by the size check.
+    let log5n = (n as f64).ln() / 5f64.ln();
+    let k = (((log5n - 1.0) / 4.0).floor() as usize).max(1);
+    let omega_prime = h.iterate(&Word::parse("0"), 2 * k);
+    let p = omega_prime.zeros() as u64;
+    let q = omega_prime.ones() as u64;
+    debug_assert_eq!(p, (5u64.pow(2 * k as u32) + 3u64.pow(2 * k as u32)) / 2);
+    debug_assert_eq!(q, (5u64.pow(2 * k as u32) - 3u64.pow(2 * k as u32)) / 2);
+    let (mut r, mut s) = lemma_7_8(p, q, n as u64);
+    if s % 2 == 0 {
+        // p is odd, so adding p makes s odd; the pair still solves
+        // rp + sq = n.
+        s += p as i64;
+        r -= q as i64;
+    }
+    if r <= 0 || s <= 0 {
+        return Err(ConstructionError::Infeasible(
+            "block multiplicities not positive",
+        ));
+    }
+    let (r, s) = (r as usize, s as usize);
+    let big_h = Homomorphism::new(Word::constant(0, r), Word::constant(1, s));
+    let epsilon = big_h.apply(&omega_prime);
+    debug_assert_eq!(epsilon.len(), n);
+    debug_assert_eq!(epsilon.ones() % 2, 0, "even number of ones");
+
+    // Leading palindromic block: H(h^{2k-1}(0)).
+    let inner_block = h.iterate(&Word::parse("0"), 2 * k - 1);
+    let block = big_h.apply(&inner_block);
+    debug_assert!(block.is_palindrome());
+    let palindrome_len = block.len();
+    let palindrome_center = (palindrome_len - 1) / 2;
+    debug_assert_eq!(block.symbol(palindrome_center), 1);
+
+    Ok(OrientationWitness {
+        epsilon,
+        inner_iterations: 2 * k,
+        r,
+        s,
+        palindrome_center,
+        palindrome_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_word_decomposes_as_paper_says() {
+        // h^k(0) = h^{k-1}(0) h^{k-1}(1) h^{k-1}(1)
+        //        = h^{k-1}(0) rev-comp(h^{k-1}(0)) rev-comp(h^{k-1}(0)).
+        let h = exact_homomorphism();
+        for k in 1..6 {
+            let w = orientation_exact(k);
+            let prev = orientation_exact(k - 1);
+            let prev1 = h.iterate(&Word::parse("1"), k - 1);
+            assert_eq!(w, prev.concat(&prev1).concat(&prev1), "k={k}");
+            assert_eq!(prev1, prev.complement().reversed(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn exact_word_is_repetitive() {
+        let d = orientation_exact(5); // n = 243
+        let n = d.len();
+        // Every cyclic subword of length 2m+1 <= n/9 occurs at least
+        // n/(27 |sigma|) times (Theorem 6.3 with d=3, c=2).
+        for len in [1usize, 3, 9, 27] {
+            if len > n / 9 {
+                continue;
+            }
+            let min = d.min_cyclic_occurrences(len);
+            let need = (n as f64) / (27.0 * len as f64);
+            assert!(min as f64 >= need, "len={len}: {min} < {need}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_rejects_bad_sizes() {
+        assert!(matches!(
+            orientation_arbitrary(4000),
+            Err(ConstructionError::WrongParity { .. })
+        ));
+        assert!(matches!(
+            orientation_arbitrary(101),
+            Err(ConstructionError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn arbitrary_witness_has_all_paper_properties() {
+        for n in [3125usize, 4001, 5555, 9999, 20_001] {
+            let w = orientation_arbitrary(n).unwrap();
+            assert_eq!(w.n(), n, "n={n}");
+            assert_eq!(w.epsilon.ones() % 2, 0, "n={n}: even ones");
+            assert!(w.s % 2 == 1, "n={n}: s odd");
+            assert!(
+                w.palindrome_len > n / 6,
+                "n={n}: palindrome {} <= n/6",
+                w.palindrome_len
+            );
+            // The leading block is a palindrome with 1 at its center.
+            let block = w.epsilon.cyclic_subword(0, w.palindrome_len);
+            assert!(block.is_palindrome(), "n={n}");
+            assert_eq!(block.symbol(w.palindrome_center), 1, "n={n}");
+            // Orientations are complementary and derived by prefix XOR.
+            assert_eq!(w.orientation_b(), w.orientation_a().complement());
+        }
+    }
+
+    #[test]
+    fn arbitrary_block_sizes_are_order_sqrt_n() {
+        for n in [3125usize, 10_001, 50_001] {
+            let w = orientation_arbitrary(n).unwrap();
+            let root = (n as f64).sqrt();
+            assert!((w.r as f64) < 60.0 * root, "n={n}: r={}", w.r);
+            assert!((w.s as f64) < 60.0 * root, "n={n}: s={}", w.s);
+            assert!((w.r as f64) > root, "n={n}: r={}", w.r);
+            assert!((w.s as f64) > root, "n={n}: s={}", w.s);
+        }
+    }
+
+    #[test]
+    fn arbitrary_witness_is_repetitive_at_large_scales() {
+        // Corollary 7.7: subwords of length between the block size and
+        // a*n repeat Omega(n/|sigma|) times. Empirical spot check.
+        let n = 4001;
+        let w = orientation_arbitrary(n).unwrap();
+        let block = w.r.max(w.s);
+        for len in [block, 2 * block, 4 * block] {
+            if len > n / 8 {
+                continue;
+            }
+            let min = w.epsilon.min_cyclic_occurrences(len);
+            let need = n as f64 / (400.0 * len as f64);
+            assert!(min as f64 >= need, "len={len}: {min} < {need}");
+        }
+    }
+}

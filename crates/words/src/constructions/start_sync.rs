@@ -1,0 +1,243 @@
+//! Adversarial wake-up words for start synchronization (§6.3.3 exact
+//! sizes, §7.2.2 arbitrary even sizes).
+
+use crate::constructions::ConstructionError;
+use crate::homomorphism::Homomorphism;
+use crate::number::lemma_7_8;
+use crate::word::Word;
+
+/// The §6.3.3 homomorphism `0 → 011, 1 → 100` (shared with the XOR lower
+/// bound).
+#[must_use]
+pub fn homomorphism() -> Homomorphism {
+    Homomorphism::parse("011", "100")
+}
+
+/// A wake-up word witness: a balanced ε-word whose ±1 walk gives an
+/// adversary start schedule forcing `Ω(n log n)` synchronization messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartSyncWitness {
+    /// The ε-word `ω` (equal numbers of zeros and ones, so the walk wraps
+    /// legally).
+    pub word: Word,
+    /// Number of inner homomorphism applications.
+    pub iterations: usize,
+    /// Two processors guaranteed to wake at different cycles while having
+    /// identical large neighborhoods (0-based indices).
+    pub distinct_pair: (usize, usize),
+}
+
+impl StartSyncWitness {
+    /// Ring size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.word.len()
+    }
+}
+
+/// §6.3.3: the exact-size wake word `ω = σ₀σ₀σ₁σ₁ = h^k(0011)` with
+/// `σ₀ = h^k(0)`, `σ₁ = h^k(1) = complement(σ₀)` and `n = 4·3ᵏ`.
+///
+/// The walk of `σ₀` does not return to zero (its numbers of ones and zeros
+/// differ), so processors `⌊m/2⌋` and `⌊3m/2⌋` (`m = 3ᵏ`) wake at
+/// different cycles; yet they have the same `⌊m/2⌋`-neighborhood.
+///
+/// ```
+/// use anonring_words::constructions::start_sync_exact;
+/// let w = start_sync_exact(2);
+/// assert_eq!(w.n(), 36);
+/// assert_eq!(w.word.ones(), w.word.zeros());
+/// ```
+#[must_use]
+pub fn start_sync_exact(k: usize) -> StartSyncWitness {
+    let h = homomorphism();
+    let word = h.iterate(&Word::parse("0011"), k);
+    let m = 3usize.pow(k as u32);
+    StartSyncWitness {
+        word,
+        iterations: k,
+        distinct_pair: (m / 2, 3 * m / 2),
+    }
+}
+
+/// Smallest even ring size supported by [`start_sync_arbitrary`]
+/// (`k ≥ 1` requires `m = n/2 ≥ 3⁵`).
+pub const START_SYNC_ARBITRARY_MIN_N: usize = 486;
+
+/// §7.2.2: the two-stage wake word for an arbitrary even `n = 2m ≥ 486`.
+///
+/// The inner word `ω' = h^{2k}(0)` has `p` zeros and `q` ones with
+/// `|p − q| = 1`; Lemma 7.8 gives block shapes `H(0) = 0^{z₀}1^{o₀}`,
+/// `H(1) = 0^{z₁}1^{o₁}` solving `z₀p + z₁q = o₀p + o₁q = m`, so
+/// `ω = H(ω')` is balanced of length `n`. Corollary 7.7 makes every
+/// mid-scale subword repeat `Ω(n/|σ|)` times.
+///
+/// # Errors
+///
+/// * [`ConstructionError::WrongParity`] for odd `n`;
+/// * [`ConstructionError::TooSmall`] below the minimum size;
+/// * [`ConstructionError::Infeasible`] if a positivity condition fails
+///   (does not happen for supported sizes).
+pub fn start_sync_arbitrary(n: usize) -> Result<StartSyncWitness, ConstructionError> {
+    if !n.is_multiple_of(2) {
+        return Err(ConstructionError::WrongParity { n, needs_even: true });
+    }
+    if n < START_SYNC_ARBITRARY_MIN_N {
+        return Err(ConstructionError::TooSmall {
+            n,
+            min: START_SYNC_ARBITRARY_MIN_N,
+        });
+    }
+    let m = n / 2;
+    let h = homomorphism();
+    let log3m = (m as f64).ln() / 3f64.ln();
+    let k = (((log3m - 1.0) / 4.0).floor() as usize).max(1);
+    let omega_prime = h.iterate(&Word::parse("0"), 2 * k);
+    let p = omega_prime.zeros() as u64;
+    let q = omega_prime.ones() as u64;
+    debug_assert_eq!(p.abs_diff(q), 1);
+    // Zeros: z0 blocks of H(0), z1 of H(1) with z0 p + z1 q = m.
+    let (z0, z1) = lemma_7_8(p, q, m as u64);
+    // Ones: a second solution of the same equation.
+    let candidates = [
+        (z0 + q as i64, z1 - p as i64),
+        (z0 - q as i64, z1 + p as i64),
+    ];
+    let (o0, o1) = candidates
+        .into_iter()
+        .find(|&(a, b)| a > 0 && b > 0)
+        .ok_or(ConstructionError::Infeasible(
+            "no positive solution for the ones counts",
+        ))?;
+    if z0 <= 0 || z1 <= 0 {
+        return Err(ConstructionError::Infeasible(
+            "zeros block multiplicities not positive",
+        ));
+    }
+    let h0 = Word::constant(0, z0 as usize).concat(&Word::constant(1, o0 as usize));
+    let h1 = Word::constant(0, z1 as usize).concat(&Word::constant(1, o1 as usize));
+    let big_h = Homomorphism::new(h0, h1);
+    let word = big_h.apply(&omega_prime);
+    debug_assert_eq!(word.len(), n);
+    debug_assert_eq!(word.ones(), m);
+
+    // The middle third H(h^{2k-1}(1)) is unbalanced, forcing Omega(n)
+    // active cycles; two processors inside the unequal halves wake at
+    // different times. We locate a concrete unequal pair by walking.
+    let distinct_pair = unequal_wake_pair(&word);
+
+    Ok(StartSyncWitness {
+        word,
+        iterations: 2 * k,
+        distinct_pair,
+    })
+}
+
+/// Finds two indices whose ±1 walk values differ (hence wake at different
+/// cycles).
+///
+/// # Panics
+///
+/// Panics if the walk is constant, which cannot happen for a word
+/// containing both symbols.
+fn unequal_wake_pair(word: &Word) -> (usize, usize) {
+    let mut t = 0i64;
+    let mut values = Vec::with_capacity(word.len());
+    for &e in word.as_slice() {
+        t += if e == 1 { 1 } else { -1 };
+        values.push(t);
+    }
+    let min = values
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, v)| v)
+        .expect("nonempty");
+    let max = values
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, v)| v)
+        .expect("nonempty");
+    assert!(min.1 != max.1, "constant walk");
+    (min.0, max.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_word_is_balanced_but_thirds_are_not() {
+        for k in 1..6 {
+            let w = start_sync_exact(k);
+            assert_eq!(w.n(), 4 * 3usize.pow(k as u32));
+            assert_eq!(w.word.ones(), w.word.zeros(), "k={k}");
+            let sigma0 = homomorphism().iterate(&Word::parse("0"), k);
+            assert_ne!(sigma0.ones(), sigma0.zeros(), "k={k}");
+            // omega = sigma0 sigma0 sigma1 sigma1 with sigma1 = comp.
+            let sigma1 = sigma0.complement();
+            assert_eq!(
+                w.word,
+                sigma0.concat(&sigma0).concat(&sigma1).concat(&sigma1),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_distinct_pair_wakes_at_different_cycles() {
+        for k in 1..5 {
+            let w = start_sync_exact(k);
+            let mut t = 0i64;
+            let mut walk = Vec::new();
+            for &e in w.word.as_slice() {
+                t += if e == 1 { 1 } else { -1 };
+                walk.push(t);
+            }
+            let (i, j) = w.distinct_pair;
+            assert_ne!(walk[i], walk[j], "k={k}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_rejects_bad_sizes() {
+        assert!(matches!(
+            start_sync_arbitrary(487),
+            Err(ConstructionError::WrongParity { .. })
+        ));
+        assert!(matches!(
+            start_sync_arbitrary(100),
+            Err(ConstructionError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn arbitrary_word_is_balanced_with_distinct_pair() {
+        for n in [486usize, 500, 1000, 2026, 9998, 20_000] {
+            let w = start_sync_arbitrary(n).unwrap();
+            assert_eq!(w.n(), n, "n={n}");
+            assert_eq!(w.word.ones(), n / 2, "n={n}");
+            let mut t = 0i64;
+            let mut walk = Vec::new();
+            for &e in w.word.as_slice() {
+                t += if e == 1 { 1 } else { -1 };
+                walk.push(t);
+            }
+            assert_eq!(*walk.last().unwrap(), 0, "n={n}: legal wrap");
+            let (i, j) = w.distinct_pair;
+            assert_ne!(walk[i], walk[j], "n={n}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_word_is_repetitive_at_mid_scales() {
+        let n = 2000;
+        let w = start_sync_arbitrary(n).unwrap();
+        // Block length is Theta(sqrt n); mid-scale subwords repeat.
+        let block = (n as f64).sqrt() as usize;
+        for len in [block, 2 * block] {
+            let min = w.word.min_cyclic_occurrences(len);
+            let need = n as f64 / (400.0 * len as f64);
+            assert!(min as f64 >= need, "len={len}: {min} < {need}");
+        }
+    }
+}

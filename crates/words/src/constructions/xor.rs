@@ -1,0 +1,208 @@
+//! Fooling input pairs for XOR (§6.3.1 exact sizes, §7.1.1 arbitrary
+//! sizes).
+
+use crate::constructions::{pull_back, ConstructionError};
+use crate::homomorphism::Homomorphism;
+use crate::matrix::Vec2;
+use crate::word::Word;
+
+/// The §6.3.1 homomorphism `0 → 011, 1 → 100` (uniform, `d = 3`, `c = 2`,
+/// and `h^k(1) = complement of h^k(0)`).
+#[must_use]
+pub fn exact_homomorphism() -> Homomorphism {
+    Homomorphism::parse("011", "100")
+}
+
+/// The §7.1.1 homomorphism `0 → 011, 1 → 10` (non-uniform, `|det A| = 1`,
+/// `μ = 1 + √2`, `c = 3`).
+#[must_use]
+pub fn arbitrary_homomorphism() -> Homomorphism {
+    Homomorphism::parse("011", "10")
+}
+
+/// A pair of equal-length ring inputs on which XOR takes different values,
+/// both grown by `iterations` applications of a repetitive homomorphism
+/// from short base strings — a synchronous fooling pair in the making.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorPair {
+    /// First input string.
+    pub word0: Word,
+    /// Second input string (same length, opposite parity of ones).
+    pub word1: Word,
+    /// The homomorphism both strings are images of.
+    pub homomorphism: Homomorphism,
+    /// Number of homomorphism applications (`k` in `h^k(ρ)`).
+    pub iterations: usize,
+    /// Lengths of the two base strings `ρ₀, ρ₁`.
+    pub base_lens: (usize, usize),
+}
+
+impl XorPair {
+    /// Ring size `n = |word0| = |word1|`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.word0.len()
+    }
+}
+
+/// §6.3.1: the exact-size pair `(h^k(0), h^k(1))` with `n = 3ᵏ`.
+///
+/// XOR is 0 on the first string and 1 on the second (for `k ≥ 1` the
+/// number of ones of `h^k(0)` is even and of `h^k(1)` odd).
+///
+/// ```
+/// use anonring_words::constructions::xor_exact;
+/// let pair = xor_exact(3);
+/// assert_eq!(pair.n(), 27);
+/// assert_ne!(pair.word0.parity(), pair.word1.parity());
+/// ```
+#[must_use]
+pub fn xor_exact(k: usize) -> XorPair {
+    let h = exact_homomorphism();
+    let word0 = h.iterate(&Word::parse("0"), k);
+    let word1 = h.iterate(&Word::parse("1"), k);
+    XorPair {
+        word0,
+        word1,
+        homomorphism: h,
+        iterations: k,
+        base_lens: (1, 1),
+    }
+}
+
+/// §7.1.1: a fooling pair for XOR at **arbitrary** ring size `n`.
+///
+/// Takes the integer vector `w₁` of weight `n` nearest to `n`-times the
+/// dominant eigenvector of `A_h` and its neighbour `w₂ = w₁ + (−1, +1)`,
+/// pulls both back through `A⁻¹` (Theorem 7.5) to bases of length
+/// `O(√n)`, and re-grows them with `h`. The resulting strings have length
+/// exactly `n`, numbers of ones differing by exactly 1 (so XOR differs),
+/// and by Theorem 7.4 every short subword of either occurs `Ω(n/|σ|)`
+/// times in both.
+///
+/// # Errors
+///
+/// Returns [`ConstructionError::TooSmall`] for `n < 8` (below that the
+/// nudged vector may not stay positive).
+pub fn xor_arbitrary(n: usize) -> Result<XorPair, ConstructionError> {
+    const MIN_N: usize = 8;
+    if n < MIN_N {
+        return Err(ConstructionError::TooSmall { n, min: MIN_N });
+    }
+    let h = arbitrary_homomorphism();
+    let a = h.characteristic_matrix();
+    let (ev_zero, _ev_one) = a.dominant_eigenvector();
+    let p = (n as f64 * ev_zero).round() as i64;
+    let p = p.clamp(2, n as i64 - 2);
+    let q = n as i64 - p;
+    let w1 = Vec2::new(p, q);
+    let w2 = Vec2::new(p - 1, q + 1);
+    let (_, k1) = pull_back(a, w1);
+    let (_, k2) = pull_back(a, w2);
+    let k = k1.min(k2);
+    // Recompute the bases at the common iteration count.
+    let inv = a.unimodular_inverse().expect("det = -1");
+    let back = |mut v: Vec2, steps: usize| {
+        for _ in 0..steps {
+            v = inv.mul_vec(v);
+        }
+        v
+    };
+    let b1 = back(w1, k);
+    let b2 = back(w2, k);
+    if !b1.is_positive() || !b2.is_positive() {
+        return Err(ConstructionError::Infeasible(
+            "pulled-back base vector not positive",
+        ));
+    }
+    let rho1 = Word::constant(0, b1.zeros as usize).concat(&Word::constant(1, b1.ones as usize));
+    let rho2 = Word::constant(0, b2.zeros as usize).concat(&Word::constant(1, b2.ones as usize));
+    let word0 = h.iterate(&rho1, k);
+    let word1 = h.iterate(&rho2, k);
+    debug_assert_eq!(word0.len(), n);
+    debug_assert_eq!(word1.len(), n);
+    debug_assert_eq!(word0.ones().abs_diff(word1.ones()), 1);
+    Ok(XorPair {
+        word0,
+        word1,
+        homomorphism: h,
+        iterations: k,
+        base_lens: (rho1.len(), rho2.len()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_pair_lengths_and_parities() {
+        for k in 1..7 {
+            let pair = xor_exact(k);
+            assert_eq!(pair.n(), 3usize.pow(k as u32));
+            assert_eq!(pair.word1, pair.word0.complement());
+            assert_eq!(pair.word0.parity(), 0, "k={k}");
+            assert_eq!(pair.word1.parity(), 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_pair_has_exact_length_and_opposite_parity() {
+        for n in [8usize, 13, 50, 100, 101, 257, 1000, 1001, 4096, 9999] {
+            let pair = xor_arbitrary(n).unwrap();
+            assert_eq!(pair.word0.len(), n, "n={n}");
+            assert_eq!(pair.word1.len(), n, "n={n}");
+            assert_ne!(pair.word0.parity(), pair.word1.parity(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_pair_bases_are_order_sqrt_n() {
+        for n in [100usize, 1000, 10_000, 100_000] {
+            let pair = xor_arbitrary(n).unwrap();
+            let bound = 25.0 * (n as f64).sqrt();
+            assert!(
+                (pair.base_lens.0 as f64) <= bound,
+                "n={n}: base0 {} > {bound}",
+                pair.base_lens.0
+            );
+            assert!(
+                (pair.base_lens.1 as f64) <= bound,
+                "n={n}: base1 {} > {bound}",
+                pair.base_lens.1
+            );
+            assert!(pair.iterations >= 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_pair_is_repetitive() {
+        // Every cyclic subword of length <= a*sqrt(n) occurring in either
+        // word occurs Omega(n/|sigma|) times in both (Theorem 7.4). We
+        // check a conservative empirical version at a few lengths.
+        let n = 2000;
+        let pair = xor_arbitrary(n).unwrap();
+        for len in [2usize, 5, 10] {
+            for w in [&pair.word0, &pair.word1] {
+                for sigma in w.distinct_cyclic_subwords(len) {
+                    for other in [&pair.word0, &pair.word1] {
+                        let got = other.cyclic_occurrences(&sigma);
+                        let need = n as f64 / (200.0 * len as f64);
+                        assert!(
+                            got as f64 >= need,
+                            "len={len}: sigma {sigma} occurs {got} < {need}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_sizes_are_rejected() {
+        assert!(matches!(
+            xor_arbitrary(4),
+            Err(ConstructionError::TooSmall { .. })
+        ));
+    }
+}

@@ -1,0 +1,314 @@
+//! Word homomorphisms over `{0, 1}` and their iteration (D0L systems).
+
+use std::fmt;
+
+use crate::matrix::{Mat2, Vec2};
+use crate::word::Word;
+
+/// A homomorphism `h: {0,1} → {0,1}*`, determined by the images `h(0)` and
+/// `h(1)` and extended to words by concatenation.
+///
+/// The lower bounds of §6 require `h` to satisfy:
+///
+/// * **condition (6c)**: every word of length 2 occurs in `h^c(0)` and in
+///   `h^c(1)` for some constant `c` — see [`Homomorphism::condition_6c`];
+/// * **condition (6d)**: uniformity, `|h(0)| = |h(1)| = d ≥ 2` — see
+///   [`Homomorphism::is_uniform`];
+///
+/// while §7.1 instead requires positivity and `|det A_h| = 1` (then `h` is
+/// *quasi-uniform* by Lemma 7.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Homomorphism {
+    image0: Word,
+    image1: Word,
+}
+
+impl Homomorphism {
+    /// Builds a homomorphism from the images of 0 and 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either image is empty (the paper's homomorphisms are
+    /// growing: `d ≥ 2`, and non-erasing is the minimum we insist on).
+    #[must_use]
+    pub fn new(image0: Word, image1: Word) -> Homomorphism {
+        assert!(
+            !image0.is_empty() && !image1.is_empty(),
+            "homomorphism images must be nonempty"
+        );
+        Homomorphism { image0, image1 }
+    }
+
+    /// Convenience constructor from bit strings.
+    ///
+    /// ```
+    /// use anonring_words::Homomorphism;
+    /// let h = Homomorphism::parse("011", "100");
+    /// assert!(h.is_uniform());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid characters or empty images.
+    #[must_use]
+    pub fn parse(image0: &str, image1: &str) -> Homomorphism {
+        Homomorphism::new(Word::parse(image0), Word::parse(image1))
+    }
+
+    /// The image `h(b)` of a single symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b > 1`.
+    #[must_use]
+    pub fn image(&self, b: u8) -> &Word {
+        match b {
+            0 => &self.image0,
+            1 => &self.image1,
+            other => panic!("invalid symbol {other}"),
+        }
+    }
+
+    /// Applies the homomorphism to a word.
+    #[must_use]
+    pub fn apply(&self, w: &Word) -> Word {
+        let mut out = Vec::new();
+        for &b in w.as_slice() {
+            out.extend_from_slice(self.image(b).as_slice());
+        }
+        Word::from_symbols(out)
+    }
+
+    /// The `k`-fold iterate `h^k(seed)`.
+    #[must_use]
+    pub fn iterate(&self, seed: &Word, k: usize) -> Word {
+        let mut w = seed.clone();
+        for _ in 0..k {
+            w = self.apply(&w);
+        }
+        w
+    }
+
+    /// Whether `h` is uniform with `d ≥ 2` (condition 6d).
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.image0.len() == self.image1.len() && self.image0.len() >= 2
+    }
+
+    /// The uniform image length `d`, if uniform.
+    #[must_use]
+    pub fn uniform_degree(&self) -> Option<usize> {
+        if self.is_uniform() {
+            Some(self.image0.len())
+        } else {
+            None
+        }
+    }
+
+    /// The smallest `c ≤ max_c` such that every word of length 2 occurs
+    /// (as a plain substring) in both `h^c(0)` and `h^c(1)` — condition
+    /// (6c). Returns `None` if no such `c` exists up to the bound.
+    ///
+    /// ```
+    /// use anonring_words::Homomorphism;
+    /// // §6.3.1's XOR homomorphism: c = 2.
+    /// assert_eq!(Homomorphism::parse("011", "100").condition_6c(5), Some(2));
+    /// // Thue–Morse (§6.3.4): c = 3.
+    /// assert_eq!(Homomorphism::parse("01", "10").condition_6c(5), Some(3));
+    /// ```
+    #[must_use]
+    pub fn condition_6c(&self, max_c: usize) -> Option<usize> {
+        let pairs = [
+            Word::parse("00"),
+            Word::parse("01"),
+            Word::parse("10"),
+            Word::parse("11"),
+        ];
+        (1..=max_c).find(|&c| {
+            let w0 = self.iterate(&Word::parse("0"), c);
+            let w1 = self.iterate(&Word::parse("1"), c);
+            pairs
+                .iter()
+                .all(|p| w0.occurrences(p) > 0 && w1.occurrences(p) > 0)
+        })
+    }
+
+    /// The characteristic matrix `A_h = (χ_{h(0)} χ_{h(1)})`.
+    #[must_use]
+    pub fn characteristic_matrix(&self) -> Mat2 {
+        Mat2::from_columns(
+            Vec2::new(self.image0.zeros() as i64, self.image0.ones() as i64),
+            Vec2::new(self.image1.zeros() as i64, self.image1.ones() as i64),
+        )
+    }
+
+    /// The growth rate of `|h^k(ε)|`: `d` for a uniform homomorphism, the
+    /// dominant eigenvalue `μ` otherwise (Lemma 7.1 / condition 7a).
+    #[must_use]
+    pub fn growth_rate(&self) -> f64 {
+        if let Some(d) = self.uniform_degree() {
+            d as f64
+        } else {
+            self.characteristic_matrix().dominant_eigenvalue()
+        }
+    }
+
+    /// Theorem 6.3's repetition constants `(a, b) = (1/d^c, 1/d^{c+1})`
+    /// for a uniform homomorphism satisfying (6c): any `σ` occurring
+    /// cyclically in `ω = h^k(ρ)` with `|σ| ≤ a·|ω|/|ρ|` occurs at least
+    /// `b·|ω'|/|σ|` times in **any** `ω' = h^k(ρ')`.
+    ///
+    /// Returns `None` when the homomorphism is not uniform or (6c) fails
+    /// below the probe bound.
+    #[must_use]
+    pub fn repetition_constants(&self, max_c: usize) -> Option<(f64, f64)> {
+        let d = self.uniform_degree()? as f64;
+        let c = self.condition_6c(max_c)? as i32;
+        Some((d.powi(-c), d.powi(-(c + 1))))
+    }
+}
+
+impl fmt::Display for Homomorphism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0→{}, 1→{}", self.image0, self.image1)
+    }
+}
+
+/// The Thue–Morse homomorphism `0 → 01, 1 → 10` used by Theorem 6.7.
+#[must_use]
+pub fn thue_morse() -> Homomorphism {
+    Homomorphism::parse("01", "10")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_concatenates_images() {
+        let h = Homomorphism::parse("011", "100");
+        assert_eq!(h.apply(&Word::parse("01")), Word::parse("011100"));
+        assert_eq!(h.iterate(&Word::parse("0"), 0), Word::parse("0"));
+        assert_eq!(h.iterate(&Word::parse("0"), 2).len(), 9);
+    }
+
+    #[test]
+    fn xor_homomorphism_images_are_complements() {
+        // §6.3.1: h^k(1) is the complement of h^k(0).
+        let h = Homomorphism::parse("011", "100");
+        for k in 0..6 {
+            let w0 = h.iterate(&Word::parse("0"), k);
+            let w1 = h.iterate(&Word::parse("1"), k);
+            assert_eq!(w1, w0.complement(), "k={k}");
+            // XOR differs: |h^k(0)| = 3^k is odd, so complementing flips
+            // the parity.
+            assert_ne!(w0.parity(), w1.parity(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn orientation_homomorphism_reverse_complement_identity() {
+        // §6.3.2: h(0) = 011, h(1) = 001 satisfy h^k(0) = complement of
+        // reverse of h^k(1).
+        let h = Homomorphism::parse("011", "001");
+        for k in 0..6 {
+            let w0 = h.iterate(&Word::parse("0"), k);
+            let w1 = h.iterate(&Word::parse("1"), k);
+            assert_eq!(w0, w1.reversed().complement(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn condition_6c_values_match_paper() {
+        assert_eq!(Homomorphism::parse("011", "100").condition_6c(5), Some(2));
+        assert_eq!(Homomorphism::parse("011", "001").condition_6c(5), Some(2));
+        assert_eq!(Homomorphism::parse("01", "10").condition_6c(5), Some(3));
+        assert_eq!(
+            Homomorphism::parse("00100", "11011").condition_6c(5),
+            Some(2)
+        );
+        // §7.1.1's nonuniform homomorphism: c = 3.
+        assert_eq!(Homomorphism::parse("011", "10").condition_6c(5), Some(3));
+        // A homomorphism that never mixes symbols fails (6c).
+        assert_eq!(Homomorphism::parse("00", "11").condition_6c(8), None);
+    }
+
+    #[test]
+    fn characteristic_matrix_tracks_counts() {
+        let h = Homomorphism::parse("011", "10");
+        let m = h.characteristic_matrix();
+        assert_eq!((m.a, m.b, m.c, m.d), (1, 2, 1, 1));
+        // chi(h(w)) = A chi(w).
+        let w = Word::parse("0110");
+        let hw = h.apply(&w);
+        let chi = Vec2::new(w.zeros() as i64, w.ones() as i64);
+        let chi_h = m.mul_vec(chi);
+        assert_eq!(chi_h.zeros as usize, hw.zeros());
+        assert_eq!(chi_h.ones as usize, hw.ones());
+    }
+
+    #[test]
+    fn growth_rates() {
+        assert_eq!(Homomorphism::parse("011", "100").growth_rate(), 3.0);
+        let mu = Homomorphism::parse("011", "10").growth_rate();
+        assert!((mu - (1.0 + 2f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_6_3_repetition_bound_empirically() {
+        // For h(0)=011, h(1)=100 (d=3, c=2): any sigma occurring
+        // cyclically in omega = h^k(rho), |sigma| <= |omega|/(9 |rho|),
+        // occurs >= |omega'|/(27 |sigma|) times in any omega' = h^k(rho').
+        let h = Homomorphism::parse("011", "100");
+        let k = 4; // |omega| = 81 * |rho|
+        for rho in ["0", "1", "01"] {
+            let omega = h.iterate(&Word::parse(rho), k);
+            let bound_len = omega.len() / (9 * rho.len());
+            for len in 1..=bound_len {
+                for sigma in omega.distinct_cyclic_subwords(len) {
+                    for rho2 in ["0", "1", "10"] {
+                        let omega2 = h.iterate(&Word::parse(rho2), k);
+                        let need = omega2.len() as f64 / (27.0 * len as f64);
+                        let got = omega2.cyclic_occurrences(&sigma);
+                        assert!(
+                            got as f64 >= need,
+                            "sigma={sigma} in h^{k}({rho2}): {got} < {need}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repetition_constants_formula() {
+        let (a, b) = Homomorphism::parse("011", "100")
+            .repetition_constants(5)
+            .unwrap();
+        assert!((a - 1.0 / 9.0).abs() < 1e-12);
+        assert!((b - 1.0 / 27.0).abs() < 1e-12);
+        assert!(Homomorphism::parse("011", "10")
+            .repetition_constants(5)
+            .is_none());
+    }
+
+    #[test]
+    fn thue_morse_is_overlap_free_squarish_check() {
+        // Sanity: Thue-Morse words have low subword complexity; every
+        // length-2^j prefix property is out of scope, but at least check
+        // growth and (6c).
+        let h = thue_morse();
+        assert_eq!(h.uniform_degree(), Some(2));
+        let w = h.iterate(&Word::parse("0"), 6);
+        assert_eq!(w.len(), 64);
+        assert_eq!(w.ones(), 32);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Homomorphism::parse("011", "100").to_string(),
+            "0→011, 1→100"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # anonring-words
+//!
+//! Binary words, iterated word homomorphisms (D0L systems) and the
+//! repetitive-string constructions of Attiya, Snir and Warmuth,
+//! *Computing on an Anonymous Ring* (J. ACM 35(4), 1988), §6.2 and §7.
+//!
+//! The synchronous lower bounds of the paper all rest on one idea: build
+//! ring configurations in which every short pattern repeats `Ω(n/|σ|)`
+//! times, so that whenever one processor sends a message, many others must
+//! too. Such strings are produced by iterating a word homomorphism `h`
+//! satisfying:
+//!
+//! * **(6c)** every word of length 2 occurs in `h^c(0)` and `h^c(1)` for
+//!   some constant `c`;
+//! * **(6d)** `h` is uniform (`|h(0)| = |h(1)| = d ≥ 2`) — or, for
+//!   arbitrary ring sizes, quasi-uniform with `|det A_h| = 1` (§7.1).
+//!
+//! This crate provides:
+//!
+//! * [`Word`] — binary words with cyclic-occurrence counting, palindrome
+//!   tests and subword complexity;
+//! * [`Homomorphism`] — application, iteration, condition (6c)/(6d)
+//!   checking and the characteristic matrix;
+//! * [`matrix`] — the exact 2×2 integer linear algebra behind Theorem 7.5;
+//! * [`constructions`] — the concrete fooling-string builders used by every
+//!   synchronous lower-bound experiment (XOR, orientation, start
+//!   synchronization; exact `n = s·dᵏ` sizes and arbitrary sizes).
+//!
+//! ```
+//! use anonring_words::{Homomorphism, Word};
+//!
+//! // The XOR homomorphism of §6.3.1.
+//! let h = Homomorphism::new(Word::parse("011"), Word::parse("100"));
+//! assert_eq!(h.condition_6c(4), Some(2));
+//! let w = h.iterate(&Word::parse("0"), 3);
+//! assert_eq!(w.len(), 27);
+//! // h^k(1) is the bitwise complement of h^k(0), so their parities differ.
+//! let w1 = h.iterate(&Word::parse("1"), 3);
+//! assert_ne!(w.parity(), w1.parity());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constructions;
+pub mod dol;
+pub mod homomorphism;
+pub mod matrix;
+pub mod number;
+pub mod word;
+
+pub use homomorphism::Homomorphism;
+pub use matrix::{Mat2, Vec2};
+pub use word::Word;

@@ -1,0 +1,221 @@
+//! Exact 2×2 integer linear algebra for characteristic matrices (§7.1).
+//!
+//! A word `ω` has characteristic vector `χ_ω = (zeros, ones)`; a
+//! homomorphism `h` has characteristic matrix `A_h = (χ_{h(0)} χ_{h(1)})`
+//! with the basic relation `χ_{h(ω)} = A_h · χ_ω`. Theorem 7.5 runs this
+//! relation *backwards*: when `|det A| = 1`, `A⁻¹` is an integer matrix,
+//! and a near-eigenvector of size `n` can be pulled back `Θ(log n)` times
+//! while staying positive.
+
+use std::fmt;
+
+/// A 2-vector of signed integers — typically a characteristic vector
+/// `(zeros, ones)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Vec2 {
+    /// First coefficient (count of zeros).
+    pub zeros: i64,
+    /// Second coefficient (count of ones).
+    pub ones: i64,
+}
+
+impl Vec2 {
+    /// Builds a vector.
+    #[must_use]
+    pub fn new(zeros: i64, ones: i64) -> Vec2 {
+        Vec2 { zeros, ones }
+    }
+
+    /// The `l₁` size `|u| = |u₁| + |u₂|` (equals the word length for
+    /// nonnegative vectors).
+    #[must_use]
+    pub fn size(&self) -> i64 {
+        self.zeros.abs() + self.ones.abs()
+    }
+
+    /// Whether both coefficients are strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.zeros > 0 && self.ones > 0
+    }
+
+    /// Whether both coefficients are nonnegative.
+    #[must_use]
+    pub fn is_nonnegative(&self) -> bool {
+        self.zeros >= 0 && self.ones >= 0
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.zeros, self.ones)
+    }
+}
+
+/// A 2×2 integer matrix in row-major order:
+///
+/// ```text
+/// | a  c |
+/// | b  d |
+/// ```
+///
+/// following the paper's Lemma 7.1 naming (`a, b` form the first column =
+/// `χ_{h(0)}`; `c, d` the second = `χ_{h(1)}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mat2 {
+    /// Row 1, column 1 — zeros of `h(0)`.
+    pub a: i64,
+    /// Row 2, column 1 — ones of `h(0)`.
+    pub b: i64,
+    /// Row 1, column 2 — zeros of `h(1)`.
+    pub c: i64,
+    /// Row 2, column 2 — ones of `h(1)`.
+    pub d: i64,
+}
+
+impl Mat2 {
+    /// Builds a matrix from the two columns.
+    #[must_use]
+    pub fn from_columns(col0: Vec2, col1: Vec2) -> Mat2 {
+        Mat2 {
+            a: col0.zeros,
+            b: col0.ones,
+            c: col1.zeros,
+            d: col1.ones,
+        }
+    }
+
+    /// The determinant `ad − bc`.
+    #[must_use]
+    pub fn det(&self) -> i64 {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Whether all coefficients are strictly positive (Lemma 7.1's
+    /// hypothesis).
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.a > 0 && self.b > 0 && self.c > 0 && self.d > 0
+    }
+
+    /// Matrix–vector product.
+    #[must_use]
+    pub fn mul_vec(&self, v: Vec2) -> Vec2 {
+        Vec2 {
+            zeros: self.a * v.zeros + self.c * v.ones,
+            ones: self.b * v.zeros + self.d * v.ones,
+        }
+    }
+
+    /// The exact integer inverse, available iff `|det| = 1`
+    /// (Theorem 7.5's hypothesis).
+    #[must_use]
+    pub fn unimodular_inverse(&self) -> Option<Mat2> {
+        let det = self.det();
+        if det.abs() != 1 {
+            return None;
+        }
+        // A^{-1} = (1/det) * |  d  -c |
+        //                    | -b   a |
+        Some(Mat2 {
+            a: self.d * det,
+            c: -self.c * det,
+            b: -self.b * det,
+            d: self.a * det,
+        })
+    }
+
+    /// The dominant eigenvalue `μ` of Lemma 7.1(i):
+    /// `μ = (a + d + √((a−d)² + 4bc)) / 2`, which satisfies `μ > 1` and
+    /// `μ > |ν|` for positive nonsingular matrices.
+    #[must_use]
+    pub fn dominant_eigenvalue(&self) -> f64 {
+        let a = self.a as f64;
+        let b = self.b as f64;
+        let c = self.c as f64;
+        let d = self.d as f64;
+        (a + d + ((a - d) * (a - d) + 4.0 * b * c).sqrt()) / 2.0
+    }
+
+    /// A positive eigenvector of the dominant eigenvalue, normalised to
+    /// `l₁` size 1 (Lemma 7.1(ii)).
+    #[must_use]
+    pub fn dominant_eigenvector(&self) -> (f64, f64) {
+        let mu = self.dominant_eigenvalue();
+        // (a - mu) r + c s = 0  =>  r : s = c : (mu - a).
+        let r = self.c as f64;
+        let s = mu - self.a as f64;
+        let norm = r + s;
+        (r / norm, s / norm)
+    }
+}
+
+impl fmt::Display for Mat2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[[{}, {}], [{}, {}]]", self.a, self.c, self.b, self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §7.1.1 XOR matrix for h(0) = 011, h(1) = 10.
+    fn xor_matrix() -> Mat2 {
+        Mat2::from_columns(Vec2::new(1, 2), Vec2::new(1, 1))
+    }
+
+    #[test]
+    fn determinant_and_inverse() {
+        let m = xor_matrix();
+        assert_eq!(m.det(), -1);
+        let inv = m.unimodular_inverse().unwrap();
+        // A * A^{-1} = I.
+        let e0 = m.mul_vec(inv.mul_vec(Vec2::new(1, 0)));
+        let e1 = m.mul_vec(inv.mul_vec(Vec2::new(0, 1)));
+        assert_eq!(e0, Vec2::new(1, 0));
+        assert_eq!(e1, Vec2::new(0, 1));
+    }
+
+    #[test]
+    fn non_unimodular_has_no_integer_inverse() {
+        // Uniform homomorphism matrix (|h(0)|=|h(1)|=3): det = 1*2-2*1 = 0? Use
+        // the 011/100 matrix: columns (1,2) and (2,1), det = 1-4 = -3.
+        let m = Mat2::from_columns(Vec2::new(1, 2), Vec2::new(2, 1));
+        assert_eq!(m.det(), -3);
+        assert!(m.unimodular_inverse().is_none());
+    }
+
+    #[test]
+    fn dominant_eigenvalue_matches_formula() {
+        let m = xor_matrix();
+        // mu = 1 + sqrt(2).
+        let mu = m.dominant_eigenvalue();
+        assert!((mu - (1.0 + 2f64.sqrt())).abs() < 1e-12);
+        let (r, s) = m.dominant_eigenvector();
+        assert!(r > 0.0 && s > 0.0);
+        assert!((r + s - 1.0).abs() < 1e-12);
+        // Check A v = mu v approximately.
+        let av = (
+            m.a as f64 * r + m.c as f64 * s,
+            m.b as f64 * r + m.d as f64 * s,
+        );
+        assert!((av.0 - mu * r).abs() < 1e-9);
+        assert!((av.1 - mu * s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vec2_predicates() {
+        assert!(Vec2::new(1, 1).is_positive());
+        assert!(!Vec2::new(0, 1).is_positive());
+        assert!(Vec2::new(0, 1).is_nonnegative());
+        assert!(!Vec2::new(-1, 1).is_nonnegative());
+        assert_eq!(Vec2::new(-2, 3).size(), 5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Vec2::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(xor_matrix().to_string(), "[[1, 1], [2, 1]]");
+    }
+}

@@ -1,0 +1,104 @@
+//! Elementary number theory: Lemma 7.8.
+
+/// Greatest common divisor.
+#[must_use]
+pub fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`.
+#[must_use]
+pub fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = egcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Lemma 7.8: for coprime positive `p, q` and any `n`, returns integers
+/// `(r, s)` with `r·p + s·q = n` and `|r − s| ≤ (p + q) / 2`.
+///
+/// The construction follows the paper's proof: start from any solution and
+/// repeatedly shift by `(−q, +p)` or `(+q, −p)` to minimise `|r − s|`.
+///
+/// # Panics
+///
+/// Panics if `p` and `q` are not coprime or not positive.
+#[must_use]
+pub fn lemma_7_8(p: u64, q: u64, n: u64) -> (i64, i64) {
+    assert!(p > 0 && q > 0, "p and q must be positive");
+    assert_eq!(gcd(p, q), 1, "p and q must be coprime");
+    let (g, x, _) = egcd(p as i128, q as i128);
+    debug_assert_eq!(g, 1);
+    // r0 * p ≡ n (mod q) with r0 = x * n.
+    let p_i = p as i128;
+    let q_i = q as i128;
+    let n_i = n as i128;
+    let mut r = (x * n_i).rem_euclid(q_i);
+    let mut s = (n_i - r * p_i) / q_i;
+    debug_assert_eq!(r * p_i + s * q_i, n_i);
+    // Minimise |r - s| by stepping along the solution lattice.
+    loop {
+        let better = if r > s { (r - q_i, s + p_i) } else { (r + q_i, s - p_i) };
+        if (better.0 - better.1).abs() < (r - s).abs() {
+            r = better.0;
+            s = better.1;
+        } else {
+            break;
+        }
+    }
+    debug_assert!((r - s).unsigned_abs() <= ((p as u128) + (q as u128)).div_ceil(2));
+    (r as i64, s as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 5), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+    }
+
+    #[test]
+    fn egcd_bezout() {
+        for (a, b) in [(240i128, 46i128), (17, 31), (1, 1), (99991, 7)] {
+            let (g, x, y) = egcd(a, b);
+            assert_eq!(a * x + b * y, g);
+            assert_eq!(g, gcd(a as u64, b as u64) as i128);
+        }
+    }
+
+    #[test]
+    fn lemma_7_8_satisfies_both_conditions() {
+        for (p, q) in [(3u64, 2u64), (17, 8), (113, 40), (5, 4), (1, 1)] {
+            for n in [10u64, 100, 1001, 99_999] {
+                let (r, s) = lemma_7_8(p, q, n);
+                assert_eq!(
+                    r as i128 * p as i128 + s as i128 * q as i128,
+                    n as i128,
+                    "p={p} q={q} n={n}"
+                );
+                assert!(
+                    (r - s).unsigned_abs() <= (p + q).div_ceil(2),
+                    "p={p} q={q} n={n}: r={r} s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coprime")]
+    fn lemma_7_8_requires_coprimality() {
+        let _ = lemma_7_8(4, 2, 10);
+    }
+}

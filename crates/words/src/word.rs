@@ -1,0 +1,387 @@
+//! Binary words and their combinatorics.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// A finite word over the alphabet `{0, 1}`.
+///
+/// Words double as ring inputs (`I`), ring orientations (`D`, via
+/// prefix-XOR in §7.2.1) and adversary wake-up encodings (§6.3.3), so the
+/// type lives here rather than in any one consumer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Word(Vec<u8>);
+
+impl Word {
+    /// The empty word.
+    #[must_use]
+    pub fn new() -> Word {
+        Word(Vec::new())
+    }
+
+    /// Builds a word from symbols, validating they are 0/1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on symbols other than 0 and 1.
+    #[must_use]
+    pub fn from_symbols(symbols: Vec<u8>) -> Word {
+        assert!(
+            symbols.iter().all(|&s| s <= 1),
+            "word symbols must be 0 or 1"
+        );
+        Word(symbols)
+    }
+
+    /// Parses a word from a `{0,1}` string, e.g. `"0110"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters other than `'0'` and `'1'`.
+    #[must_use]
+    pub fn parse(s: &str) -> Word {
+        Word(
+            s.chars()
+                .map(|c| match c {
+                    '0' => 0,
+                    '1' => 1,
+                    other => panic!("invalid word character {other:?}"),
+                })
+                .collect(),
+        )
+    }
+
+    /// The word `σᵏ` (`σ` repeated `k` times).
+    #[must_use]
+    pub fn repeat(&self, k: usize) -> Word {
+        let mut v = Vec::with_capacity(self.len() * k);
+        for _ in 0..k {
+            v.extend_from_slice(&self.0);
+        }
+        Word(v)
+    }
+
+    /// The constant word `bᵏ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b > 1`.
+    #[must_use]
+    pub fn constant(b: u8, k: usize) -> Word {
+        assert!(b <= 1, "word symbols must be 0 or 1");
+        Word(vec![b; k])
+    }
+
+    /// Word length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the word is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The symbols as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the word, returning its symbols.
+    #[must_use]
+    pub fn into_symbols(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// The symbol at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn symbol(&self, i: usize) -> u8 {
+        self.0[i]
+    }
+
+    /// Concatenation `self · other`.
+    #[must_use]
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        Word(v)
+    }
+
+    /// The bitwise complement `ω̄`.
+    #[must_use]
+    pub fn complement(&self) -> Word {
+        Word(self.0.iter().map(|&b| 1 - b).collect())
+    }
+
+    /// The reversal `ωᴿ`.
+    #[must_use]
+    pub fn reversed(&self) -> Word {
+        let mut v = self.0.clone();
+        v.reverse();
+        Word(v)
+    }
+
+    /// The left cyclic shift by `k` positions.
+    #[must_use]
+    pub fn rotated(&self, k: usize) -> Word {
+        if self.is_empty() {
+            return Word::new();
+        }
+        let n = self.len();
+        let k = k % n;
+        let mut v = Vec::with_capacity(n);
+        v.extend_from_slice(&self.0[k..]);
+        v.extend_from_slice(&self.0[..k]);
+        Word(v)
+    }
+
+    /// Number of ones.
+    #[must_use]
+    pub fn ones(&self) -> usize {
+        self.0.iter().map(|&b| b as usize).sum()
+    }
+
+    /// Number of zeros.
+    #[must_use]
+    pub fn zeros(&self) -> usize {
+        self.len() - self.ones()
+    }
+
+    /// XOR of all symbols (the parity of the number of ones).
+    #[must_use]
+    pub fn parity(&self) -> u8 {
+        (self.ones() % 2) as u8
+    }
+
+    /// Whether `ω = ωᴿ`.
+    #[must_use]
+    pub fn is_palindrome(&self) -> bool {
+        let n = self.len();
+        (0..n / 2).all(|i| self.0[i] == self.0[n - 1 - i])
+    }
+
+    /// Number of (possibly overlapping) occurrences of `pattern` as a plain
+    /// substring.
+    #[must_use]
+    pub fn occurrences(&self, pattern: &Word) -> usize {
+        if pattern.is_empty() || pattern.len() > self.len() {
+            return 0;
+        }
+        (0..=self.len() - pattern.len())
+            .filter(|&i| self.0[i..i + pattern.len()] == pattern.0[..])
+            .count()
+    }
+
+    /// Number of *cyclic* occurrences of `pattern`: start positions
+    /// `0 ≤ i < |ω|` such that `pattern` matches reading circularly
+    /// (paper §2). Requires `|pattern| ≤ |ω|`; longer patterns have no
+    /// cyclic occurrence.
+    #[must_use]
+    pub fn cyclic_occurrences(&self, pattern: &Word) -> usize {
+        let n = self.len();
+        let m = pattern.len();
+        if pattern.is_empty() || m > n {
+            return 0;
+        }
+        (0..n)
+            .filter(|&i| (0..m).all(|j| self.0[(i + j) % n] == pattern.0[j]))
+            .count()
+    }
+
+    /// Whether `pattern` occurs cyclically in the word.
+    #[must_use]
+    pub fn contains_cyclically(&self, pattern: &Word) -> bool {
+        self.cyclic_occurrences(pattern) > 0
+    }
+
+    /// The cyclic subword of length `len` starting at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is empty.
+    #[must_use]
+    pub fn cyclic_subword(&self, i: usize, len: usize) -> Word {
+        assert!(!self.is_empty(), "cyclic subword of empty word");
+        let n = self.len();
+        Word((0..len).map(|j| self.0[(i + j) % n]).collect())
+    }
+
+    /// The set of distinct cyclic subwords of length `len`.
+    #[must_use]
+    pub fn distinct_cyclic_subwords(&self, len: usize) -> HashSet<Word> {
+        if self.is_empty() {
+            return HashSet::new();
+        }
+        (0..self.len())
+            .map(|i| self.cyclic_subword(i, len))
+            .collect()
+    }
+
+    /// Subword complexity: the number of distinct cyclic subwords of length
+    /// `len` (paper §8 relates repetitiveness to this measure — a string in
+    /// which every length-`k` subword repeats `Ω(n/k)` times has only
+    /// `O(k)` distinct subwords of length `k`).
+    #[must_use]
+    pub fn subword_complexity(&self, len: usize) -> usize {
+        self.distinct_cyclic_subwords(len).len()
+    }
+
+    /// The minimum number of cyclic occurrences over all cyclic subwords of
+    /// length `len` that occur at all — the word analogue of the symmetry
+    /// index `SI(R, k)` for oriented rings.
+    #[must_use]
+    pub fn min_cyclic_occurrences(&self, len: usize) -> usize {
+        self.distinct_cyclic_subwords(len)
+            .iter()
+            .map(|s| self.cyclic_occurrences(s))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether `other` is a cyclic rotation of `self`.
+    #[must_use]
+    pub fn is_rotation_of(&self, other: &Word) -> bool {
+        self.len() == other.len()
+            && (self.is_empty() || self.concat(self).occurrences(other) > 0)
+    }
+
+    /// Prefix-XOR: `out[i] = ω₁ ⊕ … ⊕ ω_{i+1}` — the paper's §7.2.1 map
+    /// from an ε-word to a ring orientation `Dᵃ`.
+    #[must_use]
+    pub fn prefix_xor(&self) -> Word {
+        let mut acc = 0u8;
+        Word(
+            self.0
+                .iter()
+                .map(|&b| {
+                    acc ^= b;
+                    acc
+                })
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<u8> for Word {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Word {
+        Word::from_symbols(iter.into_iter().collect())
+    }
+}
+
+impl Extend<u8> for Word {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        for s in iter {
+            assert!(s <= 1, "word symbols must be 0 or 1");
+            self.0.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let w = Word::parse("011010");
+        assert_eq!(w.to_string(), "011010");
+        assert_eq!(w.len(), 6);
+        assert_eq!(w.ones(), 3);
+        assert_eq!(w.zeros(), 3);
+        assert_eq!(w.parity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid word character")]
+    fn parse_rejects_garbage() {
+        let _ = Word::parse("01x");
+    }
+
+    #[test]
+    fn complement_and_reverse() {
+        let w = Word::parse("0011");
+        assert_eq!(w.complement(), Word::parse("1100"));
+        assert_eq!(w.reversed(), Word::parse("1100"));
+        assert_eq!(w.complement().reversed(), Word::parse("0011"));
+    }
+
+    #[test]
+    fn rotation() {
+        let w = Word::parse("0110");
+        assert_eq!(w.rotated(1), Word::parse("1100"));
+        assert_eq!(w.rotated(4), w);
+        assert!(w.is_rotation_of(&Word::parse("1001")));
+        assert!(!w.is_rotation_of(&Word::parse("1010")));
+    }
+
+    #[test]
+    fn occurrences_plain_vs_cyclic() {
+        let w = Word::parse("0101");
+        let p = Word::parse("01");
+        assert_eq!(w.occurrences(&p), 2);
+        assert_eq!(w.cyclic_occurrences(&p), 2);
+        let q = Word::parse("10");
+        assert_eq!(w.occurrences(&q), 1);
+        assert_eq!(w.cyclic_occurrences(&q), 2);
+        // Longer-than-word patterns never occur cyclically.
+        assert_eq!(w.cyclic_occurrences(&Word::parse("01010")), 0);
+    }
+
+    #[test]
+    fn palindromes() {
+        assert!(Word::parse("0110").is_palindrome());
+        assert!(Word::parse("00100").is_palindrome());
+        assert!(!Word::parse("01").is_palindrome());
+        assert!(Word::new().is_palindrome());
+    }
+
+    #[test]
+    fn subword_complexity_of_periodic_word() {
+        // (011)^3 has exactly 3 distinct cyclic subwords of each length
+        // 1..=3... of length 1 it has 2 (0 and 1).
+        let w = Word::parse("011").repeat(3);
+        assert_eq!(w.subword_complexity(1), 2);
+        assert_eq!(w.subword_complexity(2), 3);
+        assert_eq!(w.subword_complexity(3), 3);
+        assert_eq!(w.min_cyclic_occurrences(2), 3);
+    }
+
+    #[test]
+    fn prefix_xor_matches_recurrence() {
+        // D_i = D_{i-1} XOR eps_i with D_0 = eps_1.
+        let eps = Word::parse("10110");
+        let d = eps.prefix_xor();
+        assert_eq!(d, Word::parse("11011"));
+        for i in 1..eps.len() {
+            assert_eq!(d.symbol(i), d.symbol(i - 1) ^ eps.symbol(i));
+        }
+    }
+
+    #[test]
+    fn constant_and_repeat() {
+        assert_eq!(Word::constant(1, 4), Word::parse("1111"));
+        assert_eq!(Word::parse("01").repeat(0), Word::new());
+        assert!(Word::new().is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let w: Word = [0u8, 1, 1].into_iter().collect();
+        assert_eq!(w, Word::parse("011"));
+    }
+}

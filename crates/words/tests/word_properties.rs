@@ -1,0 +1,124 @@
+//! Property tests for the D0L machinery: homomorphism algebra, repetition
+//! bounds and the arbitrary-size constructions.
+
+use anonring_words::constructions::{pull_back, start_sync_arbitrary, xor_arbitrary};
+use anonring_words::{Homomorphism, Mat2, Vec2, Word};
+use proptest::prelude::*;
+
+fn arb_word(max_len: usize) -> impl Strategy<Value = Word> {
+    proptest::collection::vec(0u8..=1, 1..=max_len).prop_map(Word::from_symbols)
+}
+
+fn arb_homomorphism() -> impl Strategy<Value = Homomorphism> {
+    (arb_word(4), arb_word(4)).prop_map(|(a, b)| Homomorphism::new(a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `h(u·v) = h(u)·h(v)` — homomorphism.
+    #[test]
+    fn homomorphisms_respect_concatenation(h in arb_homomorphism(), u in arb_word(8), v in arb_word(8)) {
+        prop_assert_eq!(h.apply(&u.concat(&v)), h.apply(&u).concat(&h.apply(&v)));
+    }
+
+    /// `χ_{h(ω)} = A_h · χ_ω` — the characteristic-matrix relation §7.1
+    /// builds on.
+    #[test]
+    fn characteristic_matrix_tracks_counts(h in arb_homomorphism(), w in arb_word(16)) {
+        let m = h.characteristic_matrix();
+        let chi = Vec2::new(w.zeros() as i64, w.ones() as i64);
+        let hw = h.apply(&w);
+        let chi_h = m.mul_vec(chi);
+        prop_assert_eq!(chi_h.zeros as usize, hw.zeros());
+        prop_assert_eq!(chi_h.ones as usize, hw.ones());
+    }
+
+    /// Cyclic occurrence counts are rotation invariant, and every
+    /// length-k window count sums to n.
+    #[test]
+    fn cyclic_occurrences_are_rotation_invariant(w in arb_word(16), r in 0usize..16, k in 1usize..5) {
+        prop_assume!(k <= w.len());
+        let rotated = w.rotated(r);
+        let mut total = 0usize;
+        for sigma in w.distinct_cyclic_subwords(k) {
+            prop_assert_eq!(
+                w.cyclic_occurrences(&sigma),
+                rotated.cyclic_occurrences(&sigma)
+            );
+            total += w.cyclic_occurrences(&sigma);
+        }
+        prop_assert_eq!(total, w.len());
+    }
+
+    /// Reversal maps occurrence counts onto reversed patterns.
+    #[test]
+    fn reversal_maps_occurrences(w in arb_word(16), k in 1usize..5) {
+        prop_assume!(k <= w.len());
+        let rev = w.reversed();
+        for sigma in w.distinct_cyclic_subwords(k) {
+            prop_assert_eq!(
+                w.cyclic_occurrences(&sigma),
+                rev.cyclic_occurrences(&sigma.reversed())
+            );
+        }
+    }
+
+    /// Subword complexity is bounded by both the word length and the
+    /// alphabet power.
+    #[test]
+    fn subword_complexity_bounds(w in arb_word(20), k in 1usize..6) {
+        let c = w.subword_complexity(k);
+        prop_assert!(c <= w.len());
+        prop_assert!(c <= 1usize << k.min(20));
+    }
+
+    /// The Theorem 7.5 pull-back inverts exactly: re-applying `A` k times
+    /// recovers the original vector.
+    #[test]
+    fn pull_back_round_trips(z in 1i64..500, o in 1i64..500) {
+        let a = Mat2::from_columns(Vec2::new(1, 2), Vec2::new(1, 1));
+        let u = Vec2::new(z, o);
+        let (v, k) = pull_back(a, u);
+        prop_assert!(v.is_positive());
+        let mut w = v;
+        for _ in 0..k {
+            w = a.mul_vec(w);
+        }
+        prop_assert_eq!(w, u);
+    }
+
+    /// The arbitrary-n XOR pair exists at every size ≥ 8 with exact
+    /// length and opposite parities.
+    #[test]
+    fn xor_arbitrary_total_on_supported_sizes(n in 8usize..600) {
+        let pair = xor_arbitrary(n).unwrap();
+        prop_assert_eq!(pair.word0.len(), n);
+        prop_assert_eq!(pair.word1.len(), n);
+        prop_assert_ne!(pair.word0.parity(), pair.word1.parity());
+        // Both are genuine h-images: lengths shrink back by the
+        // homomorphism's growth factor.
+        prop_assert!(pair.base_lens.0 < n || pair.iterations == 0);
+    }
+
+    /// The arbitrary even-n wake word is always perfectly balanced.
+    #[test]
+    fn start_sync_arbitrary_balanced(half in 243usize..700) {
+        let n = 2 * half;
+        let w = start_sync_arbitrary(n).unwrap();
+        prop_assert_eq!(w.word.len(), n);
+        prop_assert_eq!(w.word.ones(), half);
+    }
+
+    /// Prefix-XOR is a bijection onto orientations with fixed parity:
+    /// applying it then differencing recovers the word.
+    #[test]
+    fn prefix_xor_differences_invert(w in arb_word(20)) {
+        let d = w.prefix_xor();
+        let mut recovered = vec![d.symbol(0)];
+        for i in 1..w.len() {
+            recovered.push(d.symbol(i) ^ d.symbol(i - 1));
+        }
+        prop_assert_eq!(Word::from_symbols(recovered), w);
+    }
+}

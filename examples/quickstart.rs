@@ -1,0 +1,46 @@
+//! Quickstart: compute functions on an anonymous ring, both
+//! asynchronously (§4.1, `n(n−1)` messages) and synchronously
+//! (Figure 2, `O(n log n)` messages).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use anonring::core::algorithms::compute::{compute_async, compute_sync};
+use anonring::core::functions::{And, Or, RingFunction, Sum, Xor};
+use anonring::sim::r#async::RandomScheduler;
+use anonring::sim::RingConfig;
+
+fn main() {
+    // Eight anonymous processors with one-bit inputs. Nobody has an
+    // identifier; everybody runs exactly the same code.
+    let config = RingConfig::oriented_bits("10110100").expect("valid ring");
+    let n = config.n();
+    println!("ring of {n} anonymous processors, inputs {:?}\n", config.inputs());
+
+    for f in [&And as &dyn RingFunction, &Or, &Xor, &Sum] {
+        // The asynchronous route: full input distribution under an
+        // adversarial (here random) message schedule.
+        let asynchronous = compute_async(&config, f, &mut RandomScheduler::new(42))
+            .expect("engine run");
+        // The synchronous route: the Figure 2 label-manufacturing
+        // algorithm, exponentially cheaper in messages.
+        let synchronous = compute_sync(&config, f).expect("engine run");
+        assert_eq!(asynchronous.value(), synchronous.value());
+        println!(
+            "{:>4} = {}   async: {:>3} msgs / {:>4} bits   sync: {:>3} msgs / {:>4} bits",
+            f.name(),
+            synchronous.value(),
+            asynchronous.messages,
+            asynchronous.bits,
+            synchronous.messages,
+            synchronous.bits,
+        );
+    }
+
+    println!(
+        "\nEvery processor reached the same answer without any identity — \
+         the paper's point: on an anonymous ring, exactly the cyclic-shift \
+         invariant functions are computable (Theorem 3.4)."
+    );
+}

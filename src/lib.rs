@@ -1,0 +1,47 @@
+//! # anonring
+//!
+//! A complete Rust reproduction of Attiya, Snir & Warmuth, *Computing on
+//! an Anonymous Ring* (J. ACM 35(4), 1988): execution models, algorithms,
+//! machine-verified lower-bound constructions, and the labelled-ring
+//! baselines the paper contrasts against.
+//!
+//! This facade crate re-exports the four member crates:
+//!
+//! * [`sim`] — ring simulators: topologies with per-processor
+//!   orientations, the synchronous lock-step engine, the asynchronous
+//!   engine with adversarial schedulers, neighborhoods and symmetry
+//!   indices, space-time traces;
+//! * [`words`] — the D0L string machinery behind the synchronous lower
+//!   bounds: word homomorphisms, characteristic matrices, and the
+//!   repetitive-string constructions at exact and arbitrary ring sizes;
+//! * [`core`] — the paper's contribution: every algorithm of §4, the
+//!   computability characterization of §3, and the fooling-pair
+//!   framework of §5–§7 with all its witnesses;
+//! * [`baselines`] — leader election on labelled rings
+//!   (Hirschberg–Sinclair, Peterson, Franklin, Chang–Roberts) and
+//!   leader-driven input distribution.
+//!
+//! ## Example
+//!
+//! ```
+//! use anonring::core::algorithms::compute::compute_sync;
+//! use anonring::core::functions::Xor;
+//! use anonring::sim::RingConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ring = RingConfig::oriented_bits("10110100")?;
+//! let outcome = compute_sync(&ring, &Xor)?;
+//! assert_eq!(outcome.value(), 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the repository's `README.md`, `DESIGN.md` and `EXPERIMENTS.md` for
+//! the full map from paper results to code.
+
+#![forbid(unsafe_code)]
+
+pub use anonring_baselines as baselines;
+pub use anonring_core as core;
+pub use anonring_sim as sim;
+pub use anonring_words as words;

@@ -1,0 +1,130 @@
+//! Cross-crate integration: the anonymous algorithms, the labelled
+//! baselines and the simulators must all tell one consistent story.
+
+use anonring::baselines::{hirschberg_sinclair, leader_collect};
+use anonring::core::algorithms::compute::{compute_async, compute_sync, compute_sync_general};
+use anonring::core::algorithms::{async_input_dist, orientation, sync_input_dist};
+use anonring::core::functions::{And, Max, Or, RingFunction, Sum, Xor};
+use anonring::core::view::ground_truth_view;
+use anonring::sim::r#async::{AsyncEngine, RandomScheduler, SynchronizingScheduler};
+use anonring::sim::synchronizer::Synchronized;
+use anonring::sim::{Orientation, RingConfig};
+
+fn pseudo_bits(n: usize, seed: u64) -> Vec<u8> {
+    (0..n)
+        .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97)) >> 5 & 1) as u8)
+        .collect()
+}
+
+fn pseudo_orientations(n: usize, seed: u64) -> Vec<Orientation> {
+    pseudo_bits(n, seed ^ 0xABCD)
+        .into_iter()
+        .map(Orientation::from_bit)
+        .collect()
+}
+
+#[test]
+fn anonymous_and_labelled_input_distribution_agree() {
+    for n in [5usize, 9, 16] {
+        let inputs: Vec<u64> = (0..n as u64).map(|i| (i * 7919) % 1009).collect();
+        let labelled = RingConfig::oriented(inputs.clone());
+        let (dist, _, _) = leader_collect::elect_and_distribute(&labelled).unwrap();
+
+        // The anonymous route learns the same multiset of inputs.
+        let anon = RingConfig::oriented(inputs.clone());
+        let report = async_input_dist::run(&anon, &mut SynchronizingScheduler).unwrap();
+        for (i, view) in report.outputs().iter().enumerate() {
+            let mut from_anon: Vec<u64> = view.inputs().copied().collect();
+            let mut from_leader = dist.outputs()[i].inputs.clone();
+            from_anon.sort_unstable();
+            from_leader.sort_unstable();
+            assert_eq!(from_anon, from_leader, "n={n} processor {i}");
+        }
+    }
+}
+
+#[test]
+fn all_three_compute_routes_agree_on_arbitrary_rings() {
+    for n in [5usize, 7, 9, 11] {
+        for seed in 0..4u64 {
+            let config =
+                RingConfig::new(pseudo_bits(n, seed), pseudo_orientations(n, seed)).unwrap();
+            for f in [&And as &dyn RingFunction, &Or, &Xor, &Sum, &Max] {
+                let truth = {
+                    let xs: Vec<u64> =
+                        config.inputs().iter().map(|&b| u64::from(b)).collect();
+                    f.evaluate(&xs)
+                };
+                let via_async =
+                    compute_async(&config, f, &mut RandomScheduler::new(seed)).unwrap();
+                assert_eq!(via_async.value(), truth, "{} async n={n}", f.name());
+                let via_general = compute_sync_general(&config, f).unwrap();
+                assert_eq!(via_general.value(), truth, "{} general n={n}", f.name());
+                if config.topology().is_oriented() {
+                    let via_sync = compute_sync(&config, f).unwrap();
+                    assert_eq!(via_sync.value(), truth, "{} sync n={n}", f.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn figure_2_runs_unchanged_on_an_asynchronous_ring() {
+    // §3: the synchronizer adapter executes a synchronous algorithm under
+    // arbitrary asynchrony with identical outputs.
+    for seed in 0..5u64 {
+        let config = RingConfig::oriented(pseudo_bits(9, seed));
+        let n = config.n();
+        let sync_out = sync_input_dist::run(&config).unwrap().into_outputs();
+        let mut engine = AsyncEngine::from_config(&config, |_, &b| {
+            Synchronized::new(sync_input_dist::SyncInputDist::new(n, b))
+        });
+        let async_out = engine
+            .run(&mut RandomScheduler::new(seed))
+            .unwrap()
+            .into_outputs();
+        assert_eq!(sync_out, async_out, "seed {seed}");
+    }
+}
+
+#[test]
+fn orientation_then_figure_2_reconstructs_any_odd_ring() {
+    for n in [5usize, 7, 9] {
+        for seed in 0..6u64 {
+            let config =
+                RingConfig::new(pseudo_bits(n, seed), pseudo_orientations(n, seed * 3)).unwrap();
+            // Orient, switch, distribute: afterwards every processor's
+            // view matches the ground truth of the *switched* ring.
+            let orient = orientation::run(config.topology()).unwrap();
+            let switched = config.topology().with_switched(orient.outputs());
+            assert!(switched.is_oriented(), "odd rings orient");
+            let oriented_config =
+                RingConfig::with_topology(config.inputs().to_vec(), switched).unwrap();
+            let report = sync_input_dist::run(&oriented_config).unwrap();
+            for (i, view) in report.outputs().iter().enumerate() {
+                assert_eq!(
+                    view,
+                    &ground_truth_view(&oriented_config, i),
+                    "n={n} seed={seed} processor {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn election_beats_anonymity_only_with_distinct_labels() {
+    // Corollary 5.2's moral: distinct labels -> O(n log n); repeated
+    // inputs -> the anonymous lower bound applies and our universal
+    // algorithm pays n(n-1).
+    let n = 64usize;
+    let distinct: Vec<u64> = (0..n as u64).map(|i| (i * 48271) % 999983).collect();
+    let labelled = RingConfig::oriented(distinct);
+    let hs = hirschberg_sinclair::run(&labelled, &mut SynchronizingScheduler).unwrap();
+
+    let anonymous = RingConfig::oriented(vec![1u8; n]);
+    let anon = async_input_dist::run(&anonymous, &mut SynchronizingScheduler).unwrap();
+    assert!(hs.messages * 3 < anon.messages);
+    assert_eq!(anon.messages as usize, n * (n - 1));
+}

@@ -1,0 +1,183 @@
+//! Property-based tests (proptest): the paper's invariants under random
+//! configurations, orientations, schedules and wake-ups.
+
+use anonring::core::algorithms::{
+    async_input_dist, orientation, start_sync, start_sync_bits, sync_and, sync_input_dist,
+};
+use anonring::core::bounds;
+use anonring::core::view::ground_truth_view;
+use anonring::sim::r#async::{RandomScheduler, SynchronizingScheduler};
+use anonring::sim::{
+    joint_symmetry_index, neighborhood, Orientation, RingConfig, RingTopology, WakeSchedule,
+};
+use anonring::words::{Homomorphism, Word};
+use proptest::prelude::*;
+
+fn arb_config(max_n: usize) -> impl Strategy<Value = RingConfig<u8>> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(0u8..=1, n),
+                proptest::collection::vec(0u8..=1, n),
+            )
+        })
+        .prop_map(|(inputs, orient)| {
+            let orientations = orient.into_iter().map(Orientation::from_bit).collect();
+            RingConfig::new(inputs, orientations).expect("valid ring")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §4.1: input distribution reconstructs the exact ground-truth view
+    /// of every processor under any random schedule, and costs n(n−1)
+    /// messages for n ≥ 3.
+    #[test]
+    fn async_input_dist_is_exact(config in arb_config(12), seed in 0u64..1000) {
+        let report = async_input_dist::run(&config, &mut RandomScheduler::new(seed)).unwrap();
+        for (i, view) in report.outputs().iter().enumerate() {
+            prop_assert_eq!(view, &ground_truth_view(&config, i));
+        }
+        if config.n() >= 3 {
+            prop_assert_eq!(report.messages as usize, config.n() * (config.n() - 1));
+        }
+    }
+
+    /// §4.2: AND is correct on arbitrary orientations within its bounds.
+    #[test]
+    fn sync_and_is_correct(config in arb_config(16)) {
+        let want = u8::from(config.inputs().iter().all(|&b| b == 1));
+        let report = sync_and::run(&config).unwrap();
+        prop_assert!(report.outputs().iter().all(|&o| o == want));
+        prop_assert!(report.messages <= 2 * config.n() as u64);
+    }
+
+    /// Figure 2 reconstructs every view on oriented rings, within the
+    /// paper's message bound.
+    #[test]
+    fn figure_2_is_exact(inputs in proptest::collection::vec(0u8..=1, 2..32)) {
+        let config = RingConfig::oriented(inputs);
+        let report = sync_input_dist::run(&config).unwrap();
+        for (i, view) in report.outputs().iter().enumerate() {
+            prop_assert_eq!(view, &ground_truth_view(&config, i));
+        }
+        let n = config.n() as u64;
+        prop_assert!(
+            (report.messages as f64) <= bounds::sync_input_dist_messages(n) + n as f64
+        );
+    }
+
+    /// Figure 4 always quasi-orients; odd rings always fully orient.
+    #[test]
+    fn figure_4_always_quasi_orients(bits in proptest::collection::vec(0u8..=1, 2..24)) {
+        let topology = RingTopology::from_bits(&bits).unwrap();
+        let report = orientation::run(&topology).unwrap();
+        let after = topology.with_switched(report.outputs());
+        prop_assert!(after.is_quasi_oriented());
+        if bits.len() % 2 == 1 {
+            prop_assert!(after.is_oriented());
+        }
+    }
+
+    /// Figure 5 and the §4.2.4 bit variant synchronize every legal
+    /// wake-up schedule: one global halting cycle, equal clocks.
+    #[test]
+    fn start_sync_always_synchronizes(n in 2usize..24, seed in 0u64..1000) {
+        let wake = WakeSchedule::random(n, seed);
+        let topology = RingTopology::oriented(n).unwrap();
+        for report in [
+            start_sync::run(&topology, &wake).unwrap(),
+            start_sync_bits::run(&topology, &wake).unwrap(),
+        ] {
+            prop_assert!(report.halted_simultaneously());
+            let first = report.outputs()[0];
+            prop_assert!(report.outputs().iter().all(|&c| c == first));
+        }
+    }
+
+    /// Lemma 3.1 at the engine level: if two processors have equal
+    /// k-neighborhoods, the synchronizing-adversary run of input
+    /// distribution sends them through indistinguishable histories for k
+    /// cycles — verified indirectly: equal (n/2)-neighborhoods imply
+    /// equal final outputs.
+    #[test]
+    fn equal_full_neighborhoods_mean_equal_outputs(config in arb_config(10)) {
+        let k = config.n() / 2;
+        let report =
+            async_input_dist::run(&config, &mut SynchronizingScheduler).unwrap();
+        for i in 0..config.n() {
+            for j in 0..config.n() {
+                if neighborhood(&config, i, k) == neighborhood(&config, j, k) {
+                    prop_assert_eq!(
+                        report.outputs()[i].entries(),
+                        report.outputs()[j].entries(),
+                        "processors {} and {}", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    /// Theorem 6.3 as a property: for the uniform XOR homomorphism, every
+    /// window of length ≤ n/9 repeats at least n/(27·len) times in h^k(0),
+    /// and the joint index over the (h^k(0), h^k(1)) pair doubles that.
+    #[test]
+    fn theorem_6_3_repetitions(k in 3usize..6, len_pick in 0usize..3) {
+        let h = Homomorphism::parse("011", "100");
+        let w0 = h.iterate(&Word::parse("0"), k);
+        let w1 = h.iterate(&Word::parse("1"), k);
+        let n = w0.len();
+        let len = [1usize, 3, 9][len_pick];
+        prop_assume!(len <= n / 9);
+        let min = w0.min_cyclic_occurrences(len);
+        prop_assert!(min as f64 >= n as f64 / (27.0 * len as f64));
+        let r0 = RingConfig::oriented(w0.as_slice().to_vec());
+        let r1 = RingConfig::oriented(w1.as_slice().to_vec());
+        let radius = (len - 1) / 2;
+        let joint = joint_symmetry_index(&[r0, r1], radius);
+        prop_assert!(joint as f64 >= 2.0 * n as f64 / (27.0 * len as f64));
+    }
+
+    /// The general synchronous compute route — Figure 4 then Figure 2 or
+    /// the §4.2.2 alternating algorithm — is total and correct on random
+    /// rings of either parity and any orientation mix.
+    #[test]
+    fn general_compute_is_total_and_correct(config in arb_config(12)) {
+        use anonring::core::algorithms::compute::compute_sync_general;
+        use anonring::core::functions::{Sum, Xor};
+        let truth_sum: u64 = config.inputs().iter().map(|&b| u64::from(b)).sum();
+        let sum = compute_sync_general(&config, &Sum).unwrap();
+        prop_assert_eq!(sum.value(), truth_sum);
+        let xor = compute_sync_general(&config, &Xor).unwrap();
+        prop_assert_eq!(xor.value(), truth_sum % 2);
+    }
+
+    /// The unidirectional Figure 2 variant agrees with the bidirectional
+    /// one on every oriented ring.
+    #[test]
+    fn unidirectional_variant_agrees(inputs in proptest::collection::vec(0u8..=1, 2..20)) {
+        use anonring::core::algorithms::{sync_input_dist, sync_input_dist_uni};
+        let config = RingConfig::oriented(inputs);
+        let bi = sync_input_dist::run(&config).unwrap().into_outputs();
+        let uni = sync_input_dist_uni::run(&config).unwrap().into_outputs();
+        prop_assert_eq!(bi, uni);
+    }
+
+    /// Rotating a configuration permutes the views but changes no
+    /// content: computability is exactly cyclic invariance (Theorem 3.4).
+    #[test]
+    fn rotation_permutes_views(inputs in proptest::collection::vec(0u8..=1, 2..16), r in 0usize..16) {
+        let config = RingConfig::oriented(inputs);
+        let n = config.n();
+        let r = r % n;
+        let rotated = config.rotated(r);
+        let a = async_input_dist::run(&config, &mut SynchronizingScheduler).unwrap();
+        let b = async_input_dist::run(&rotated, &mut SynchronizingScheduler).unwrap();
+        for i in 0..n {
+            prop_assert_eq!(&a.outputs()[(i + r) % n], &b.outputs()[i]);
+        }
+        // Total cost is rotation invariant too.
+        prop_assert_eq!(a.messages, b.messages);
+    }
+}

@@ -1,0 +1,198 @@
+//! The paper's theorems, checked end to end at integration level.
+
+use anonring::core::algorithms::compute::compute_sync;
+use anonring::core::bounds;
+use anonring::core::computability::{
+    states_agree, theorem_3_2_witness, theorem_3_3_witness, theorem_3_5_witness,
+};
+use anonring::core::functions::{
+    computable_on_any_ring, computable_on_oriented_ring, FnRing, Sum, Xor,
+};
+use anonring::core::lower_bounds::witnesses::{
+    and_async_pair, constant_gap_async_pair, orientation_async_pair, orientation_sync_pair,
+    start_sync_pair, xor_sync_pair, xor_sync_pair_arbitrary,
+};
+use anonring::core::algorithms::sync_input_dist::SyncInputDist;
+use anonring::sim::neighborhood;
+
+#[test]
+fn theorem_3_2_ring_size_must_be_known() {
+    // For any would-be size-oblivious algorithm deciding within t cycles,
+    // the witness ring contains processors indistinguishable (to radius t)
+    // from both a pure-0 and a pure-1 ring — so it must answer 0 and 1 on
+    // one input.
+    for t in [1usize, 2, 4, 8] {
+        let (config, w0, w1) = theorem_3_2_witness(&[0], &[1], t);
+        assert_eq!(config.n(), 2 * (2 * t + 1));
+        assert_ne!(
+            neighborhood(&config, w0, t),
+            neighborhood(&config, w1, t),
+            "the two witnesses differ from each other"
+        );
+    }
+}
+
+#[test]
+fn theorem_3_3_sum_needs_exact_size() {
+    let (a, b) = theorem_3_3_witness(6, 10);
+    // Indistinguishable at every radius...
+    for k in 0..12 {
+        assert_eq!(neighborhood(&a, 0, k), neighborhood(&b, 0, k));
+    }
+    // ...yet SUM must answer differently.
+    let sa = compute_sync(&a, &Sum).unwrap().value();
+    let sb = compute_sync(&b, &Sum).unwrap().value();
+    assert_eq!(sa, 6);
+    assert_eq!(sb, 10);
+}
+
+#[test]
+fn theorem_3_4_characterizes_computability() {
+    // Fully symmetric functions: computable everywhere.
+    assert!(computable_on_any_ring(&Xor, 6));
+    assert!(computable_on_any_ring(&Sum, 6));
+    // Chiral but cyclic-invariant: oriented rings only.
+    let least_rotation = FnRing::new("least-rotation", |xs: &[u64]| {
+        let n = xs.len();
+        (0..n)
+            .map(|r| (0..n).fold(0u64, |acc, i| (acc << 1) | (xs[(r + i) % n] & 1)))
+            .min()
+            .unwrap_or(0)
+    });
+    assert!(computable_on_oriented_ring(&least_rotation, 6));
+    assert!(!computable_on_any_ring(&least_rotation, 6));
+    // Position-dependent: nowhere.
+    let first = FnRing::new("first", |xs: &[u64]| xs[0]);
+    assert!(!computable_on_oriented_ring(&first, 5));
+}
+
+#[test]
+fn theorem_3_5_even_rings_cannot_be_oriented() {
+    // The two-half-rings witness: every mirror pair is indistinguishable
+    // at every radius yet faces opposite ways, so no deterministic
+    // algorithm can give them the opposite outputs orientation requires.
+    for half in [2usize, 4, 6] {
+        let config = theorem_3_5_witness(half);
+        let n = 2 * half;
+        for i in 0..half {
+            let j = n - 1 - i;
+            assert_eq!(
+                neighborhood(&config, i, n),
+                neighborhood(&config, j, n)
+            );
+            assert_ne!(
+                config.topology().orientation(i),
+                config.topology().orientation(j)
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma_3_1_engine_level() {
+    // Same window ⇒ same states for k cycles, on the real Figure 2
+    // machine.
+    let c1 = anonring::sim::RingConfig::oriented_bits("011011011").unwrap();
+    let c2 = anonring::sim::RingConfig::oriented_bits("011011000").unwrap();
+    assert_eq!(neighborhood(&c1, 2, 2), neighborhood(&c2, 2, 2));
+    assert!(states_agree(&c1, 2, &c2, 2, 2, |_, &b| SyncInputDist::new(9, b)));
+}
+
+#[test]
+fn all_async_fooling_pairs_verify_and_bound_quadratically() {
+    for n in [8usize, 16, 33] {
+        let and_pair = and_async_pair(n);
+        and_pair.verify_structure().unwrap();
+        assert!(and_pair.bound() >= (n * n / 2 - n) as f64);
+        for case in [false, true] {
+            let gap = constant_gap_async_pair(n, case);
+            gap.verify_structure().unwrap();
+        }
+    }
+    for n in [9usize, 21, 41] {
+        let pair = orientation_async_pair(n);
+        pair.verify_structure().unwrap();
+        assert_eq!(pair.bound(), (n * (n / 4 + usize::from(n % 4 >= 2))) as f64);
+    }
+}
+
+#[test]
+fn all_sync_fooling_pairs_verify_and_bound_superlinearly() {
+    for k in [3usize, 4, 5] {
+        let n = 3u64.pow(k as u32);
+        let xor = xor_sync_pair(k);
+        xor.verify_structure().unwrap();
+        assert!(xor.bound() >= bounds::xor_sync_lower(n));
+        let orient = orientation_sync_pair(k);
+        orient.verify_structure().unwrap();
+        assert!(orient.bound() >= bounds::orientation_sync_lower(n));
+    }
+    for k in [3usize, 4] {
+        let pair = start_sync_pair(k);
+        pair.verify_structure().unwrap();
+        assert!(pair.bound() >= bounds::start_sync_sync_lower(4 * 3u64.pow(k as u32)));
+    }
+}
+
+#[test]
+fn arbitrary_n_bounds_grow_superlinearly() {
+    // The certified (measured-beta) bounds at arbitrary sizes scale like
+    // the paper's Ω(n log n): more than linearly in n.
+    let b200 = xor_sync_pair_arbitrary(200, 8).unwrap().bound();
+    let b800 = xor_sync_pair_arbitrary(800, 8).unwrap().bound();
+    assert!(
+        b800 / b200 > 3.0,
+        "4x the ring should cost more than 3x: {b200} -> {b800}"
+    );
+}
+
+#[test]
+fn xor_really_costs_n_log_n_while_and_costs_n() {
+    // The paper's punchline table: AND is linear synchronously, XOR is
+    // not.
+    let mut and_ratio = 0.0f64;
+    let mut xor_ratio = 0.0f64;
+    for k in [3usize, 5] {
+        let n = 3usize.pow(k as u32);
+        let pair = xor_sync_pair(k);
+        let xor_cost = compute_sync(&pair.r1, &Xor).unwrap().messages;
+        let and_cost = anonring::core::algorithms::sync_and::run(&pair.r1)
+            .unwrap()
+            .messages
+            .max(1);
+        if k == 3 {
+            and_ratio = and_cost as f64 / n as f64;
+            xor_ratio = xor_cost as f64 / n as f64;
+        } else {
+            // Per-processor AND cost stays flat; per-processor XOR cost
+            // grows with log n.
+            assert!((and_cost as f64 / n as f64) <= and_ratio * 1.5 + 2.0);
+            assert!((xor_cost as f64 / n as f64) > xor_ratio * 1.3);
+        }
+    }
+}
+
+#[test]
+fn every_paper_bound_formula_is_respected_by_its_algorithm() {
+    // One sweep tying bounds.rs to reality.
+    let n = 81usize;
+    let inputs: Vec<u8> = (0..n).map(|i| ((i * 37) % 5 == 0) as u8).collect();
+    let config = anonring::sim::RingConfig::oriented(inputs);
+    let fig2 = anonring::core::algorithms::sync_input_dist::run(&config).unwrap();
+    assert!(
+        (fig2.messages as f64) <= bounds::sync_input_dist_messages(n as u64) + n as f64
+    );
+    assert!((fig2.cycles as f64) <= bounds::sync_input_dist_cycles(n as u64));
+
+    let topo = anonring::sim::RingTopology::from_bits(
+        &(0..n).map(|i| ((i * 29) % 3 == 0) as u8).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let fig4 = anonring::core::algorithms::orientation::run(&topo).unwrap();
+    assert!((fig4.messages as f64) <= bounds::orientation_messages(n as u64) + 4.0 * n as f64);
+
+    let wake = anonring::sim::WakeSchedule::random(n, 5);
+    let oriented = anonring::sim::RingTopology::oriented(n).unwrap();
+    let fig5 = anonring::core::algorithms::start_sync::run(&oriented, &wake).unwrap();
+    assert!((fig5.messages as f64) <= bounds::start_sync_messages(n as u64) + 2.0 * n as f64);
+}
