@@ -1,7 +1,7 @@
 //! Chang–Roberts unidirectional election: simple, `O(n log n)` expected
 //! messages, `Θ(n²)` worst case (ids sorted against the ring direction).
 
-use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Scheduler};
+use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Emit, Scheduler};
 use anonring_sim::{Message, Port, RingConfig, SimError};
 
 use crate::Elected;
@@ -47,9 +47,7 @@ impl AsyncProcess for ChangRoberts {
     fn on_message(&mut self, from: Port, msg: CrMsg) -> Actions<CrMsg, Elected> {
         debug_assert_eq!(from, Port::Left, "unidirectional algorithm");
         match msg {
-            CrMsg::Candidate(j) if j > self.id => {
-                Actions::send(Port::Right, CrMsg::Candidate(j))
-            }
+            CrMsg::Candidate(j) if j > self.id => Actions::send(Port::Right, CrMsg::Candidate(j)),
             CrMsg::Candidate(j) if j < self.id => Actions::idle(),
             CrMsg::Candidate(_) => {
                 // Own candidacy circled the ring: elected.

@@ -7,7 +7,7 @@
 //! On labelled rings it doubles as a correctness oracle for the election
 //! algorithms.
 
-use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Scheduler};
+use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Emit, Scheduler};
 use anonring_sim::{Message, Port, RingConfig, SimError};
 
 use crate::Elected;

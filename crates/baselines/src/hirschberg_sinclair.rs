@@ -9,7 +9,7 @@
 //! originator is the leader. At most `⌈log n⌉ + 1` phases of `≤ 4n`
 //! messages each.
 
-use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Scheduler};
+use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Emit, Scheduler};
 use anonring_sim::{Message, Port, RingConfig, SimError};
 
 use crate::Elected;

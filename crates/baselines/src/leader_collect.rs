@@ -10,7 +10,7 @@
 //! asynchronous cost.
 
 use anonring_sim::r#async::{
-    Actions, AsyncEngine, AsyncProcess, AsyncReport, Scheduler, SynchronizingScheduler,
+    Actions, AsyncEngine, AsyncProcess, AsyncReport, Emit, Scheduler, SynchronizingScheduler,
 };
 use anonring_sim::{Message, Port, RingConfig, SimError};
 
@@ -133,8 +133,9 @@ pub fn run(
         1,
         "exactly one leader"
     );
-    let mut engine =
-        AsyncEngine::from_config(config, |i, &input| LeaderCollect::new(input, leader_flags[i]));
+    let mut engine = AsyncEngine::from_config(config, |i, &input| {
+        LeaderCollect::new(input, leader_flags[i])
+    });
     engine.run(scheduler)
 }
 

@@ -10,7 +10,7 @@
 //! after `O(log n)` rounds a single active remains; it recognises its own
 //! identifier returning and announces the maximum.
 
-use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Scheduler};
+use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, AsyncReport, Emit, Scheduler};
 use anonring_sim::{Message, Port, RingConfig, SimError};
 
 use crate::Elected;
@@ -34,7 +34,9 @@ impl Message for PetersonMsg {
 enum Role {
     /// Still competing; `false` = waiting for the round's first
     /// identifier, `true` = waiting for the second.
-    Active { await_second: bool },
+    Active {
+        await_second: bool,
+    },
     Relay,
     Announced,
 }
@@ -79,10 +81,13 @@ impl AsyncProcess for Peterson {
                 // decision; the announcement supersedes them.
                 Actions::idle()
             }
-            (PetersonMsg::Tid(t), Role::Relay) => {
-                Actions::send(Port::Right, PetersonMsg::Tid(t))
-            }
-            (PetersonMsg::Tid(t), Role::Active { await_second: false }) => {
+            (PetersonMsg::Tid(t), Role::Relay) => Actions::send(Port::Right, PetersonMsg::Tid(t)),
+            (
+                PetersonMsg::Tid(t),
+                Role::Active {
+                    await_second: false,
+                },
+            ) => {
                 if t == self.tid {
                     // Sole survivor: the identifier circled back.
                     self.role = Role::Announced;

@@ -1,12 +1,12 @@
-//! Criterion benches: wall-clock cost of every paper algorithm across
+//! Micro-benchmarks: wall-clock cost of every paper algorithm across
 //! ring sizes (one series per table/figure of the evaluation).
 
+use anonring_bench::microbench::Group;
 use anonring_core::algorithms::{
     async_input_dist, orientation, start_sync, start_sync_bits, sync_and, sync_input_dist,
 };
 use anonring_sim::r#async::SynchronizingScheduler;
 use anonring_sim::{RingConfig, RingTopology, WakeSchedule};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bits(n: usize, seed: u64) -> Vec<u8> {
     (0..n)
@@ -14,85 +14,65 @@ fn bits(n: usize, seed: u64) -> Vec<u8> {
         .collect()
 }
 
-fn bench_async_input_dist(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e01_async_input_dist");
+fn bench_async_input_dist() {
+    let mut g = Group::new("e01_async_input_dist");
     for n in [32usize, 64, 128, 256] {
         let config = RingConfig::oriented(bits(n, 1));
-        g.throughput(Throughput::Elements((n * (n - 1)) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &config, |b, config| {
-            b.iter(|| async_input_dist::run(config, &mut SynchronizingScheduler).unwrap());
+        g.bench_elements(&n.to_string(), (n * (n - 1)) as u64, || {
+            async_input_dist::run(&config, &mut SynchronizingScheduler).unwrap()
         });
     }
     g.finish();
 }
 
-fn bench_sync_and(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e02_sync_and");
+fn bench_sync_and() {
+    let mut g = Group::new("e02_sync_and");
     for n in [64usize, 256, 1024] {
         let mut v = vec![1u8; n];
         v[0] = 0;
         let config = RingConfig::oriented(v);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &config, |b, config| {
-            b.iter(|| sync_and::run(config).unwrap());
-        });
+        g.bench(&n.to_string(), || sync_and::run(&config).unwrap());
     }
     g.finish();
 }
 
-fn bench_sync_input_dist(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e03_sync_input_dist");
-    g.sample_size(10);
+fn bench_sync_input_dist() {
+    let mut g = Group::new("e03_sync_input_dist");
     for n in [27usize, 81, 243] {
         let config = RingConfig::oriented(bits(n, 3));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &config, |b, config| {
-            b.iter(|| sync_input_dist::run(config).unwrap());
-        });
+        g.bench(&n.to_string(), || sync_input_dist::run(&config).unwrap());
     }
     g.finish();
 }
 
-fn bench_orientation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e04_orientation");
-    g.sample_size(10);
+fn bench_orientation() {
+    let mut g = Group::new("e04_orientation");
     for n in [27usize, 81, 243] {
         let topology = RingTopology::from_bits(&bits(n, 4)).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &topology, |b, topology| {
-            b.iter(|| orientation::run(topology).unwrap());
-        });
+        g.bench(&n.to_string(), || orientation::run(&topology).unwrap());
     }
     g.finish();
 }
 
-fn bench_start_sync(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e05_e06_start_sync");
-    g.sample_size(10);
+fn bench_start_sync() {
+    let mut g = Group::new("e05_e06_start_sync");
     for n in [32usize, 128] {
         let topology = RingTopology::oriented(n).unwrap();
         let wake = WakeSchedule::random(n, 5);
-        g.bench_with_input(
-            BenchmarkId::new("figure5", n),
-            &(&topology, &wake),
-            |b, (topology, wake)| {
-                b.iter(|| start_sync::run(topology, wake).unwrap());
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("bit_variant", n),
-            &(&topology, &wake),
-            |b, (topology, wake)| {
-                b.iter(|| start_sync_bits::run(topology, wake).unwrap());
-            },
-        );
+        g.bench(&format!("figure5/{n}"), || {
+            start_sync::run(&topology, &wake).unwrap()
+        });
+        g.bench(&format!("bit_variant/{n}"), || {
+            start_sync_bits::run(&topology, &wake).unwrap()
+        });
     }
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_async_input_dist,
-    bench_sync_and,
-    bench_sync_input_dist,
-    bench_orientation,
-    bench_start_sync
-);
-criterion_main!(benches);
+fn main() {
+    bench_async_input_dist();
+    bench_sync_and();
+    bench_sync_input_dist();
+    bench_orientation();
+    bench_start_sync();
+}

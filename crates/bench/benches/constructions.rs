@@ -1,73 +1,59 @@
-//! Criterion benches: the §6.2/§7 string machinery — homomorphism
+//! Micro-benchmarks: the §6.2/§7 string machinery — homomorphism
 //! iteration, symmetry-index evaluation and the arbitrary-size
 //! constructions behind E14–E16.
 
+use anonring_bench::microbench::Group;
 use anonring_core::lower_bounds::witnesses::xor_sync_pair_arbitrary;
 use anonring_sim::{symmetry_index, RingConfig};
-use anonring_words::constructions::{
-    orientation_arbitrary, start_sync_arbitrary, xor_arbitrary,
-};
+use anonring_words::constructions::{orientation_arbitrary, start_sync_arbitrary, xor_arbitrary};
 use anonring_words::{Homomorphism, Word};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_homomorphism_iteration(c: &mut Criterion) {
-    let mut g = c.benchmark_group("homomorphism_iterate");
+fn bench_homomorphism_iteration() {
+    let mut g = Group::new("homomorphism_iterate");
     let h = Homomorphism::parse("011", "100");
     for k in [8usize, 10, 12] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| h.iterate(&Word::parse("0"), k));
-        });
+        g.bench(&k.to_string(), || h.iterate(&Word::parse("0"), k));
     }
     g.finish();
 }
 
-fn bench_symmetry_index(c: &mut Criterion) {
-    let mut g = c.benchmark_group("symmetry_index");
-    g.sample_size(10);
+fn bench_symmetry_index() {
+    let mut g = Group::new("symmetry_index");
     for n in [243usize, 729] {
         let h = Homomorphism::parse("011", "100");
         let k = (n as f64).log(3.0).round() as usize;
         let word = h.iterate(&Word::parse("0"), k);
         let config = RingConfig::oriented(word.as_slice().to_vec());
-        g.bench_with_input(BenchmarkId::from_parameter(n), &config, |b, config| {
-            b.iter(|| symmetry_index(config, 4));
-        });
+        g.bench(&n.to_string(), || symmetry_index(&config, 4));
     }
     g.finish();
 }
 
-fn bench_arbitrary_constructions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("arbitrary_constructions");
-    g.bench_function("xor_n_100000", |b| {
-        b.iter(|| xor_arbitrary(100_000).unwrap());
+fn bench_arbitrary_constructions() {
+    let mut g = Group::new("arbitrary_constructions");
+    g.bench("xor_n_100000", || xor_arbitrary(100_000).unwrap());
+    g.bench("orientation_n_99999", || {
+        orientation_arbitrary(99_999).unwrap()
     });
-    g.bench_function("orientation_n_99999", |b| {
-        b.iter(|| orientation_arbitrary(99_999).unwrap());
-    });
-    g.bench_function("start_sync_n_100000", |b| {
-        b.iter(|| start_sync_arbitrary(100_000).unwrap());
+    g.bench("start_sync_n_100000", || {
+        start_sync_arbitrary(100_000).unwrap()
     });
     g.finish();
 }
 
-fn bench_verified_pair(c: &mut Criterion) {
-    let mut g = c.benchmark_group("verified_fooling_pair");
-    g.sample_size(10);
-    g.bench_function("xor_arbitrary_n_500_alpha_6", |b| {
-        b.iter(|| {
-            let pair = xor_sync_pair_arbitrary(500, 6).unwrap();
-            pair.verify_structure().unwrap();
-            pair.bound()
-        });
+fn bench_verified_pair() {
+    let mut g = Group::new("verified_fooling_pair");
+    g.bench("xor_arbitrary_n_500_alpha_6", || {
+        let pair = xor_sync_pair_arbitrary(500, 6).unwrap();
+        pair.verify_structure().unwrap();
+        pair.bound()
     });
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_homomorphism_iteration,
-    bench_symmetry_index,
-    bench_arbitrary_constructions,
-    bench_verified_pair
-);
-criterion_main!(benches);
+fn main() {
+    bench_homomorphism_iteration();
+    bench_symmetry_index();
+    bench_arbitrary_constructions();
+    bench_verified_pair();
+}

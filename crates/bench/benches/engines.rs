@@ -1,13 +1,13 @@
-//! Criterion benches: raw engine throughput and the labelled-ring
+//! Micro-benchmarks: raw engine throughput and the labelled-ring
 //! election baselines (E18's cost series).
 
 use anonring_baselines::{chang_roberts, hirschberg_sinclair, peterson};
+use anonring_bench::microbench::Group;
 use anonring_sim::r#async::{
     Actions, AsyncEngine, AsyncProcess, FifoScheduler, RandomScheduler, SynchronizingScheduler,
 };
-use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess};
+use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess};
 use anonring_sim::{Port, RingConfig, RingTopology};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 /// Minimal synchronous workload: a token circles the ring once.
 #[derive(Debug)]
@@ -36,21 +36,18 @@ impl SyncProcess for SyncToken {
     }
 }
 
-fn bench_sync_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sync_engine_token_ring");
+fn bench_sync_engine() {
+    let mut g = Group::new("sync_engine_token_ring");
     for n in [64usize, 512, 4096] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let topology = RingTopology::oriented(n).unwrap();
-                let procs = (0..n)
-                    .map(|i| SyncToken {
-                        n: n as u64,
-                        source: i == 0,
-                    })
-                    .collect();
-                SyncEngine::new(topology, procs).unwrap().run().unwrap()
-            });
+        g.bench_elements(&n.to_string(), n as u64, || {
+            let topology = RingTopology::oriented(n).unwrap();
+            let procs = (0..n)
+                .map(|i| SyncToken {
+                    n: n as u64,
+                    source: i == 0,
+                })
+                .collect();
+            SyncEngine::new(topology, procs).unwrap().run().unwrap()
         });
     }
     g.finish();
@@ -71,60 +68,42 @@ impl AsyncProcess for AsyncRelay {
     }
 }
 
-fn bench_async_schedulers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("async_engine_schedulers");
+fn bench_async_schedulers() {
+    let mut g = Group::new("async_engine_schedulers");
     let n = 1024usize;
-    g.throughput(Throughput::Elements(2 * n as u64));
-    g.bench_function("synchronizing", |b| {
-        b.iter(|| {
-            let topology = RingTopology::oriented(n).unwrap();
-            let mut e = AsyncEngine::new(topology, (0..n).map(|_| AsyncRelay).collect()).unwrap();
-            e.run(&mut SynchronizingScheduler).unwrap()
-        });
+    let run = |scheduler: &mut dyn anonring_sim::r#async::Scheduler| {
+        let topology = RingTopology::oriented(n).unwrap();
+        let mut e = AsyncEngine::new(topology, (0..n).map(|_| AsyncRelay).collect()).unwrap();
+        e.run(scheduler).unwrap()
+    };
+    g.bench_elements("synchronizing", 2 * n as u64, || {
+        run(&mut SynchronizingScheduler)
     });
-    g.bench_function("fifo", |b| {
-        b.iter(|| {
-            let topology = RingTopology::oriented(n).unwrap();
-            let mut e = AsyncEngine::new(topology, (0..n).map(|_| AsyncRelay).collect()).unwrap();
-            e.run(&mut FifoScheduler).unwrap()
-        });
-    });
-    g.bench_function("random", |b| {
-        b.iter(|| {
-            let topology = RingTopology::oriented(n).unwrap();
-            let mut e = AsyncEngine::new(topology, (0..n).map(|_| AsyncRelay).collect()).unwrap();
-            e.run(&mut RandomScheduler::new(7)).unwrap()
-        });
-    });
+    g.bench_elements("fifo", 2 * n as u64, || run(&mut FifoScheduler));
+    g.bench_elements("random", 2 * n as u64, || run(&mut RandomScheduler::new(7)));
     g.finish();
 }
 
-fn bench_elections(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e18_elections");
-    g.sample_size(20);
+fn bench_elections() {
+    let mut g = Group::new("e18_elections");
     for n in [64usize, 256] {
         let ids: Vec<u64> = (0..n as u64).map(|i| (i * 48271) % 999983).collect();
         let config = RingConfig::oriented(ids);
-        g.bench_with_input(
-            BenchmarkId::new("hirschberg_sinclair", n),
-            &config,
-            |b, config| {
-                b.iter(|| hirschberg_sinclair::run(config, &mut FifoScheduler).unwrap());
-            },
-        );
-        g.bench_with_input(BenchmarkId::new("peterson", n), &config, |b, config| {
-            b.iter(|| peterson::run(config, &mut FifoScheduler).unwrap());
+        g.bench(&format!("hirschberg_sinclair/{n}"), || {
+            hirschberg_sinclair::run(&config, &mut FifoScheduler).unwrap()
         });
-        g.bench_with_input(
-            BenchmarkId::new("chang_roberts", n),
-            &config,
-            |b, config| {
-                b.iter(|| chang_roberts::run(config, &mut FifoScheduler).unwrap());
-            },
-        );
+        g.bench(&format!("peterson/{n}"), || {
+            peterson::run(&config, &mut FifoScheduler).unwrap()
+        });
+        g.bench(&format!("chang_roberts/{n}"), || {
+            chang_roberts::run(&config, &mut FifoScheduler).unwrap()
+        });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_sync_engine, bench_async_schedulers, bench_elections);
-criterion_main!(benches);
+fn main() {
+    bench_sync_engine();
+    bench_async_schedulers();
+    bench_elections();
+}

@@ -1,9 +1,9 @@
 //! Ablations and robustness studies (E19–E22): quantifying the design
 //! choices DESIGN.md calls out.
 
-use anonring_core::algorithms::{alternating, async_input_dist, sync_input_dist};
 use anonring_core::algorithms::sync_input_dist::SyncInputDist;
 use anonring_core::algorithms::time_encoding::TimeEncoded;
+use anonring_core::algorithms::{alternating, async_input_dist, sync_input_dist};
 use anonring_core::bounds;
 use anonring_core::lower_bounds::witnesses::xor_sync_pair;
 use anonring_sim::r#async::{
@@ -26,19 +26,25 @@ pub fn e19_elimination_rounds() -> Table {
     let mut t = Table::new(
         "E19",
         "ablation: Figure 2 round counts vs the log₁.₅ n guarantee",
-        &["n", "inputs", "rounds (observed)", "log₁.₅ n bound", "messages"],
+        &[
+            "n",
+            "inputs",
+            "rounds (observed)",
+            "log₁.₅ n bound",
+            "messages",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(19);
     let mut ok = true;
     for n in [27usize, 81, 243, 500] {
         for (label, inputs) in [
-            ("random", (0..n).map(|_| rng.gen_range(0..=1)).collect::<Vec<u8>>()),
+            (
+                "random",
+                (0..n).map(|_| rng.gen_range(0..=1)).collect::<Vec<u8>>(),
+            ),
             ("all equal", vec![1u8; n]),
             ("single one", (0..n).map(|i| u8::from(i == 0)).collect()),
-            (
-                "period 3",
-                (0..n).map(|i| u8::from(i % 3 == 0)).collect(),
-            ),
+            ("period 3", (0..n).map(|i| u8::from(i % 3 == 0)).collect()),
         ] {
             let config = RingConfig::oriented(inputs);
             let report = sync_input_dist::run(&config).unwrap();
@@ -72,7 +78,13 @@ pub fn e20_bound_tightness() -> Table {
     let mut t = Table::new(
         "E20",
         "ablation: how much slack between Ω(n log n) certificates and the O(n log n) algorithm",
-        &["n", "paper closed form", "claimed Σβ/2", "measured Σβ/2", "algorithm cost"],
+        &[
+            "n",
+            "paper closed form",
+            "claimed Σβ/2",
+            "measured Σβ/2",
+            "algorithm cost",
+        ],
     );
     for k in [3usize, 4, 5] {
         let pair = xor_sync_pair(k);
@@ -103,7 +115,14 @@ pub fn e21_scheduler_robustness() -> Table {
     let mut t = Table::new(
         "E21",
         "ablation: §4.1 message count under five message adversaries",
-        &["n", "synchronizing", "fifo", "lifo", "random", "link-starving"],
+        &[
+            "n",
+            "synchronizing",
+            "fifo",
+            "lifo",
+            "random",
+            "link-starving",
+        ],
     );
     let mut ok = true;
     for n in [8usize, 21, 64] {

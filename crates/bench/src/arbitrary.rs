@@ -17,7 +17,14 @@ pub fn e14_xor_arbitrary_n() -> Table {
     let mut t = Table::new(
         "E14",
         "§7.1.1 XOR at arbitrary n: pulled-back fooling pairs (k iterations, O(√n) bases)",
-        &["n", "k", "base lens", "pair verified", "certified LB", "measured"],
+        &[
+            "n",
+            "k",
+            "base lens",
+            "pair verified",
+            "certified LB",
+            "measured",
+        ],
     );
     let mut ok = true;
     for n in [100usize, 250, 500, 777, 1000] {
@@ -55,7 +62,14 @@ pub fn e15_orientation_arbitrary_n() -> Table {
     let mut t = Table::new(
         "E15",
         "§7.2.1 orientation at arbitrary odd n: two-stage ε-words (palindrome block > n/6)",
-        &["n", "r/s blocks", "palindrome len", "pair verified", "certified LB", "measured"],
+        &[
+            "n",
+            "r/s blocks",
+            "palindrome len",
+            "pair verified",
+            "certified LB",
+            "measured",
+        ],
     );
     let mut ok = true;
     for n in [3125usize, 4001] {
@@ -91,7 +105,13 @@ pub fn e16_start_sync_arbitrary_n() -> Table {
     let mut t = Table::new(
         "E16",
         "§7.2.2 start synchronization at arbitrary even n: two-stage balanced wake words",
-        &["n", "pair verified", "certified LB", "measured", "simultaneous"],
+        &[
+            "n",
+            "pair verified",
+            "certified LB",
+            "measured",
+            "simultaneous",
+        ],
     );
     let mut ok = true;
     for n in [486usize, 1000, 2026] {

@@ -1,25 +1,76 @@
-//! Regenerates every experiment table (E1–E18).
+//! Regenerates every experiment table (E1–E22).
 //!
 //! ```text
 //! cargo run --release -p anonring-bench --bin experiments [E7 E10 ...]
 //! ```
 //!
 //! With no arguments all experiments run in DESIGN.md order; arguments
-//! filter by experiment id.
+//! filter by experiment id. Markdown tables go to stdout (EXPERIMENTS.md
+//! records them); machine-readable per-cell costs go to
+//! `BENCH_sweep.json` in the working directory.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
+use anonring_bench::Table;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the run: one entry per experiment with its verdict, wall
+/// time, and per-cell `n`/`messages`/`bits`/`time` costs where the
+/// experiment is a cost grid.
+fn render_json(results: &[(Table, f64)]) -> String {
+    let mut out = String::from("{\n  \"experiments\": [\n");
+    for (i, (table, wall_ms)) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"verdict\": \"{}\", \"wall_ms\": {:.3}, \"cells\": [",
+            json_escape(table.id),
+            json_escape(&table.title),
+            json_escape(&table.verdict),
+            wall_ms,
+        );
+        for (j, m) in table.metrics.iter().enumerate() {
+            let _ = write!(
+                out,
+                "\n      {{\"n\": {}, \"label\": \"{}\", \"messages\": {}, \"bits\": {}, \"time\": {}}}{}",
+                m.n,
+                json_escape(&m.label),
+                m.messages,
+                m.bits,
+                m.time,
+                if j + 1 < table.metrics.len() { "," } else { "\n    " },
+            );
+        }
+        let _ = writeln!(out, "]}}{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
-    let filters: Vec<String> = std::env::args()
-        .skip(1)
-        .map(|s| s.to_uppercase())
-        .collect();
+    let filters: Vec<String> = std::env::args().skip(1).map(|s| s.to_uppercase()).collect();
     println!("# anonring experiment tables\n");
     println!(
         "Reproduction of the complexity bounds of Attiya, Snir & Warmuth, \
          *Computing on an Anonymous Ring* (J. ACM 1988).\n"
     );
     let mut failures = 0;
+    let mut results: Vec<(Table, f64)> = Vec::new();
     for (id, run) in anonring_bench::experiment_runners() {
         if !filters.is_empty() && !filters.iter().any(|f| f == id) {
             continue;
@@ -31,6 +82,11 @@ fn main() {
         if table.verdict.contains("VIOLATION") || table.verdict.contains("MISMATCH") {
             failures += 1;
         }
+        results.push((table, start.elapsed().as_secs_f64() * 1e3));
+    }
+    match std::fs::write("BENCH_sweep.json", render_json(&results)) {
+        Ok(()) => eprintln!("wrote BENCH_sweep.json ({} experiments)", results.len()),
+        Err(err) => eprintln!("could not write BENCH_sweep.json: {err}"),
     }
     if failures > 0 {
         eprintln!("{failures} experiment(s) reported violations");

@@ -18,10 +18,12 @@ pub mod arbitrary;
 pub mod labeled;
 pub mod lower_async;
 pub mod lower_sync;
+pub mod microbench;
+pub mod sweep;
 pub mod table;
 pub mod upper;
 
-pub use table::Table;
+pub use table::{CellMetrics, Table};
 
 /// A nullary experiment entry point producing a result table.
 pub type ExperimentRunner = fn() -> Table;

@@ -21,7 +21,14 @@ pub fn e07_and_lower_bound() -> Table {
     let mut t = Table::new(
         "E7",
         "Thm 5.1/Cor 5.2 asynchronous AND & MIN: measured ≥ n·⌊n/2⌋ (refined: = n(n−1))",
-        &["n", "pair verified", "bound", "refined", "measured AND", "measured MIN"],
+        &[
+            "n",
+            "pair verified",
+            "bound",
+            "refined",
+            "measured AND",
+            "measured MIN",
+        ],
     );
     let mut ok = true;
     for n in [8usize, 16, 32, 64, 128] {
@@ -60,7 +67,14 @@ pub fn e08_orientation_lower_bound() -> Table {
     let mut t = Table::new(
         "E8",
         "Thm 5.3 asynchronous orientation: measured ≥ n·⌊(n+2)/4⌋",
-        &["n", "pair verified", "twins", "bound", "measured", "oriented after"],
+        &[
+            "n",
+            "pair verified",
+            "twins",
+            "bound",
+            "measured",
+            "oriented after",
+        ],
     );
     let mut ok = true;
     for n in [9usize, 17, 33, 65, 129] {
@@ -150,4 +164,3 @@ pub fn e09_random_functions() -> Table {
     });
     t
 }
-

@@ -23,7 +23,14 @@ pub fn e10_xor_lower_bound() -> Table {
     let mut t = Table::new(
         "E10",
         "§6.3.1 synchronous XOR at n = 3^k: lower bound ≤ measured ≤ upper bound",
-        &["n", "pair verified", "Σβ/2", "paper LB", "measured", "upper bound"],
+        &[
+            "n",
+            "pair verified",
+            "Σβ/2",
+            "paper LB",
+            "measured",
+            "upper bound",
+        ],
     );
     let mut ok = true;
     for k in [3usize, 4, 5, 6] {
@@ -62,7 +69,14 @@ pub fn e11_orientation_lower_bound() -> Table {
     let mut t = Table::new(
         "E11",
         "§6.3.2 synchronous orientation at n = 3^k on D = h^k(0)",
-        &["n", "pair verified", "Σβ/2", "paper LB", "measured", "oriented after"],
+        &[
+            "n",
+            "pair verified",
+            "Σβ/2",
+            "paper LB",
+            "measured",
+            "oriented after",
+        ],
     );
     let mut ok = true;
     for k in [3usize, 4, 5, 6] {
@@ -70,10 +84,7 @@ pub fn e11_orientation_lower_bound() -> Table {
         let n = pair.r1.n() as u64;
         let verified = pair.verify_structure().is_ok();
         let report = orientation::run(pair.r1.topology()).unwrap();
-        let after = pair
-            .r1
-            .topology()
-            .with_switched(report.outputs());
+        let after = pair.r1.topology().with_switched(report.outputs());
         // The twins face opposite ways, so in the oriented result exactly
         // one of them switched: outputs disagree (condition 6a).
         ok &= verified && pair.outputs_disagree(report.outputs(), report.outputs());
@@ -103,7 +114,14 @@ pub fn e12_start_sync_lower_bound() -> Table {
     let mut t = Table::new(
         "E12",
         "§6.3.3 synchronous start synchronization at n = 4·3^k",
-        &["n", "pair verified", "Σβ/2", "paper LB", "measured", "simultaneous"],
+        &[
+            "n",
+            "pair verified",
+            "Σβ/2",
+            "paper LB",
+            "measured",
+            "simultaneous",
+        ],
     );
     let mut ok = true;
     for k in [3usize, 4, 5] {
@@ -152,7 +170,14 @@ pub fn e13_random_sync_functions() -> Table {
     let mut t = Table::new(
         "E13",
         "Thm 6.7 random synchronous functions at n = 2^(2k): Thue–Morse image families",
-        &["n", "#images", "P[cheap] bound", "sampled cheap", "measured pair cost", "paper LB"],
+        &[
+            "n",
+            "#images",
+            "P[cheap] bound",
+            "sampled cheap",
+            "measured pair cost",
+            "paper LB",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(13);
     let mut ok = true;
@@ -177,16 +202,8 @@ pub fn e13_random_sync_functions() -> Table {
         // of a distinguishing window instead — simplest honest check:
         // run Figure 2 on two distinct images; any separating function
         // costs what input distribution costs here.
-        let c1 = compute_sync(
-            &RingConfig::oriented(images[0].as_slice().to_vec()),
-            &Xor,
-        )
-        .unwrap();
-        let c2 = compute_sync(
-            &RingConfig::oriented(images[1].as_slice().to_vec()),
-            &Xor,
-        )
-        .unwrap();
+        let c1 = compute_sync(&RingConfig::oriented(images[0].as_slice().to_vec()), &Xor).unwrap();
+        let c2 = compute_sync(&RingConfig::oriented(images[1].as_slice().to_vec()), &Xor).unwrap();
         let measured = c1.messages.max(c2.messages);
         let lb = bounds::random_function_sync_lower(n as u64).max(0.0);
         ok &= (measured as f64) >= lb;

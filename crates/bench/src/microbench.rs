@@ -1,0 +1,115 @@
+//! A tiny wall-clock micro-benchmark harness.
+//!
+//! The workspace previously used criterion for its `benches/` targets, but
+//! the build container cannot fetch registry crates, so the bench binaries
+//! are plain `fn main` programs built on this module instead. It keeps the
+//! part that matters for the ROADMAP's perf trajectory — stable named
+//! series with per-element throughput — without statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark. Short on purpose: these run in
+/// CI on shared hardware, and the JSON sweep artifact is the canonical
+/// perf record, not these spot numbers.
+const TARGET: Duration = Duration::from_millis(200);
+/// Hard cap on measured iterations per benchmark.
+const MAX_ITERS: u32 = 1000;
+
+/// A named group of related measurements, printed as a markdown table.
+pub struct Group {
+    name: String,
+    rows: Vec<(String, f64, u32, Option<u64>)>,
+}
+
+impl Group {
+    /// Start a new benchmark group.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Group {
+            name: name.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Measure `f`, reporting mean wall time per iteration under `name`.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        self.bench_with_elements(name, None, &mut f);
+    }
+
+    /// Like [`Group::bench`] but also reports throughput as
+    /// `elements / second`.
+    pub fn bench_elements<R>(&mut self, name: &str, elements: u64, mut f: impl FnMut() -> R) {
+        self.bench_with_elements(name, Some(elements), &mut f);
+    }
+
+    fn bench_with_elements<R>(
+        &mut self,
+        name: &str,
+        elements: Option<u64>,
+        f: &mut impl FnMut() -> R,
+    ) {
+        // One untimed warmup settles caches and gives a duration estimate.
+        let warm = Instant::now();
+        std::hint::black_box(f());
+        let est = warm.elapsed().max(Duration::from_nanos(100));
+        let iters = u32::try_from(TARGET.as_nanos() / est.as_nanos())
+            .unwrap_or(MAX_ITERS)
+            .clamp(1, MAX_ITERS);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let mean = start.elapsed().as_secs_f64() / f64::from(iters);
+        self.rows.push((name.to_string(), mean, iters, elements));
+    }
+
+    /// Print the group's results and consume it.
+    pub fn finish(self) {
+        println!("\n### {}\n", self.name);
+        println!("| benchmark | mean time | iters | throughput |");
+        println!("|---|---|---|---|");
+        for (name, mean, iters, elements) in &self.rows {
+            let throughput = match elements {
+                Some(e) => format!("{:.3e} elem/s", *e as f64 / mean),
+                None => "-".to_string(),
+            };
+            println!(
+                "| {} | {} | {} | {} |",
+                name,
+                format_duration(*mean),
+                iters,
+                throughput
+            );
+        }
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Group;
+
+    #[test]
+    fn groups_record_and_render() {
+        let mut g = Group::new("smoke");
+        g.bench("noop", || 1 + 1);
+        g.bench_elements("counted", 10, || (0..10).sum::<u64>());
+        assert_eq!(g.rows.len(), 2);
+        assert!(g
+            .rows
+            .iter()
+            .all(|(_, mean, iters, _)| *mean >= 0.0 && *iters >= 1));
+        g.finish();
+    }
+}

@@ -2,8 +2,25 @@
 
 use std::fmt;
 
+/// One grid cell's measured costs, for machine-readable export
+/// (`BENCH_sweep.json`). `time` is the model's time notion: cycles for
+/// synchronous runs, the maximum arrival epoch for asynchronous ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellMetrics {
+    /// Ring size.
+    pub n: u64,
+    /// Workload label ("random", "all ones", …).
+    pub label: String,
+    /// Messages sent.
+    pub messages: u64,
+    /// Bits sent.
+    pub bits: u64,
+    /// Cycles (sync) or max arrival epoch (async).
+    pub time: u64,
+}
+
 /// One experiment's result table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Experiment id (e.g. "E10").
     pub id: &'static str,
@@ -15,6 +32,10 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// One-line verdict ("shape holds", etc.).
     pub verdict: String,
+    /// Machine-readable per-cell costs (empty for experiments whose tables
+    /// are not cost grids). Not rendered in markdown; exported to
+    /// `BENCH_sweep.json` by the `experiments` binary.
+    pub metrics: Vec<CellMetrics>,
 }
 
 impl Table {
@@ -27,7 +48,13 @@ impl Table {
             headers: headers.iter().map(|s| (*s).to_string()).collect(),
             rows: Vec::new(),
             verdict: String::new(),
+            metrics: Vec::new(),
         }
+    }
+
+    /// Appends one cell's machine-readable costs.
+    pub fn push_metric(&mut self, metric: CellMetrics) {
+        self.metrics.push(metric);
     }
 
     /// Appends a row.

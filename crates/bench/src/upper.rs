@@ -1,5 +1,11 @@
 //! Upper-bound experiments: the §4 algorithms against their stated costs
 //! (E1–E6) and the §8 bits-versus-time trade-off (E17).
+//!
+//! The E1 and E3 grids run through [`crate::sweep`]: every (ring size ×
+//! workload) cell seeds its own RNG via [`cell_seed`], so the table is
+//! byte-identical whether the grid runs on one thread or many.
+
+use std::num::NonZeroUsize;
 
 use anonring_core::algorithms::{
     async_input_dist, orientation, start_sync, start_sync_bits, sync_and, sync_input_dist,
@@ -10,7 +16,8 @@ use anonring_sim::{Orientation, RingConfig, RingTopology, WakeSchedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::table::{f, Table};
+use crate::sweep::{cell_seed, default_threads, sweep};
+use crate::table::{f, CellMetrics, Table};
 
 fn random_orientations(n: usize, rng: &mut StdRng) -> Vec<Orientation> {
     (0..n)
@@ -26,30 +33,54 @@ fn random_bits(n: usize, rng: &mut StdRng) -> Vec<u8> {
 /// messages, on any orientation.
 #[must_use]
 pub fn e01_async_input_distribution() -> Table {
+    e01_with_threads(default_threads())
+}
+
+/// The E1 grid swept over an explicit worker count. Exposed so the
+/// determinism test can compare a 1-thread and an N-thread run byte for
+/// byte.
+#[must_use]
+pub fn e01_with_threads(threads: NonZeroUsize) -> Table {
     let mut t = Table::new(
         "E1",
         "§4.1 asynchronous input distribution: messages = n(n−1)",
         &["n", "orientation", "measured", "paper", "ratio"],
     );
-    let mut rng = StdRng::seed_from_u64(1);
+    let cells: Vec<(usize, &str)> = [5usize, 9, 16, 33, 64, 101]
+        .into_iter()
+        .flat_map(|n| [(n, "oriented"), (n, "random")])
+        .collect();
+    let results = sweep(&cells, threads, |i, &(n, label)| {
+        let mut rng = StdRng::seed_from_u64(cell_seed("E1", i as u64));
+        let orient = if label == "oriented" {
+            vec![Orientation::Clockwise; n]
+        } else {
+            random_orientations(n, &mut rng)
+        };
+        let config = RingConfig::new(random_bits(n, &mut rng), orient).unwrap();
+        let report = async_input_dist::run(&config, &mut SynchronizingScheduler).unwrap();
+        let paper = bounds::async_input_dist_messages(n as u64);
+        let row = vec![
+            n.to_string(),
+            label.into(),
+            report.messages.to_string(),
+            paper.to_string(),
+            format!("{:.3}", report.messages as f64 / paper as f64),
+        ];
+        let metric = CellMetrics {
+            n: n as u64,
+            label: label.into(),
+            messages: report.messages,
+            bits: report.bits,
+            time: report.max_epoch,
+        };
+        (row, metric, report.messages == paper)
+    });
     let mut all_exact = true;
-    for n in [5usize, 9, 16, 33, 64, 101] {
-        for (label, orient) in [
-            ("oriented", vec![Orientation::Clockwise; n]),
-            ("random", random_orientations(n, &mut rng)),
-        ] {
-            let config = RingConfig::new(random_bits(n, &mut rng), orient).unwrap();
-            let report = async_input_dist::run(&config, &mut SynchronizingScheduler).unwrap();
-            let paper = bounds::async_input_dist_messages(n as u64);
-            all_exact &= report.messages == paper;
-            t.push(vec![
-                n.to_string(),
-                label.into(),
-                report.messages.to_string(),
-                paper.to_string(),
-                format!("{:.3}", report.messages as f64 / paper as f64),
-            ]);
-        }
+    for (row, metric, exact) in results {
+        t.push(row);
+        t.push_metric(metric);
+        all_exact &= exact;
     }
     t.set_verdict(if all_exact {
         "measured message count equals n(n−1) exactly for every n and orientation"
@@ -82,6 +113,13 @@ pub fn e02_sync_and() -> Table {
             let report = sync_and::run(&config).unwrap();
             ok &= report.messages <= bounds::sync_and_messages(n as u64)
                 && report.cycles <= bounds::sync_and_cycles(n as u64);
+            t.push_metric(CellMetrics {
+                n: n as u64,
+                label: label.into(),
+                messages: report.messages,
+                bits: report.bits,
+                time: report.cycles,
+            });
             t.push(vec![
                 n.to_string(),
                 label.into(),
@@ -103,33 +141,58 @@ pub fn e02_sync_and() -> Table {
 /// E3 (Fig. 2): synchronous input distribution in `O(n log n)` messages.
 #[must_use]
 pub fn e03_sync_input_distribution() -> Table {
+    e03_with_threads(default_threads())
+}
+
+/// The E3 grid swept over an explicit worker count (see
+/// [`e01_with_threads`]).
+#[must_use]
+pub fn e03_with_threads(threads: NonZeroUsize) -> Table {
     let mut t = Table::new(
         "E3",
         "Fig. 2 synchronous input distribution: messages ≤ n(3·log₁.₅n+1)+n",
         &["n", "inputs", "messages", "bound", "cycles", "n(n−1) async"],
     );
-    let mut rng = StdRng::seed_from_u64(3);
+    let labels = ["all equal", "periodic 01", "random", "single one"];
+    let cells: Vec<(usize, &str)> = [8usize, 27, 64, 125, 243, 500]
+        .into_iter()
+        .flat_map(|n| labels.map(|l| (n, l)))
+        .collect();
+    let results = sweep(&cells, threads, |i, &(n, label)| {
+        let inputs = match label {
+            "all equal" => vec![1u8; n],
+            "periodic 01" => (0..n).map(|i| (i % 2) as u8).collect(),
+            "random" => {
+                let mut rng = StdRng::seed_from_u64(cell_seed("E3", i as u64));
+                random_bits(n, &mut rng)
+            }
+            _ => (0..n).map(|i| u8::from(i == 0)).collect(),
+        };
+        let config = RingConfig::oriented(inputs);
+        let report = sync_input_dist::run(&config).unwrap();
+        let bound = bounds::sync_input_dist_messages(n as u64) + n as f64;
+        let row = vec![
+            n.to_string(),
+            label.into(),
+            report.messages.to_string(),
+            f(bound),
+            report.cycles.to_string(),
+            (n * (n - 1)).to_string(),
+        ];
+        let metric = CellMetrics {
+            n: n as u64,
+            label: label.into(),
+            messages: report.messages,
+            bits: report.bits,
+            time: report.cycles,
+        };
+        (row, metric, (report.messages as f64) <= bound)
+    });
     let mut ok = true;
-    for n in [8usize, 27, 64, 125, 243, 500] {
-        for (label, inputs) in [
-            ("all equal", vec![1u8; n]),
-            ("periodic 01", (0..n).map(|i| (i % 2) as u8).collect()),
-            ("random", random_bits(n, &mut rng)),
-            ("single one", (0..n).map(|i| u8::from(i == 0)).collect()),
-        ] {
-            let config = RingConfig::oriented(inputs);
-            let report = sync_input_dist::run(&config).unwrap();
-            let bound = bounds::sync_input_dist_messages(n as u64) + n as f64;
-            ok &= (report.messages as f64) <= bound;
-            t.push(vec![
-                n.to_string(),
-                label.into(),
-                report.messages.to_string(),
-                f(bound),
-                report.cycles.to_string(),
-                (n * (n - 1)).to_string(),
-            ]);
-        }
+    for (row, metric, within) in results {
+        t.push(row);
+        t.push_metric(metric);
+        ok &= within;
     }
     t.set_verdict(if ok {
         "O(n log n) bound holds; compare the last column: the asynchronous cost is an order larger"
@@ -171,6 +234,13 @@ pub fn e04_orientation() -> Table {
             }
             let bound = bounds::orientation_messages(n as u64) + 4.0 * n as f64;
             ok &= (report.messages as f64) <= bound;
+            t.push_metric(CellMetrics {
+                n: n as u64,
+                label: label.into(),
+                messages: report.messages,
+                bits: report.bits,
+                time: report.cycles,
+            });
             t.push(vec![
                 n.to_string(),
                 label.into(),
@@ -205,6 +275,13 @@ pub fn e05_start_sync() -> Table {
             let report = start_sync::run(&topology, &wake).unwrap();
             let bound = bounds::start_sync_messages(n as u64) + 2.0 * n as f64;
             ok &= report.halted_simultaneously() && (report.messages as f64) <= bound;
+            t.push_metric(CellMetrics {
+                n: n as u64,
+                label: format!("skew {}", wake.max_skew()),
+                messages: report.messages,
+                bits: report.bits,
+                time: report.cycles,
+            });
             t.push(vec![
                 n.to_string(),
                 wake.max_skew().to_string(),
@@ -240,6 +317,13 @@ pub fn e06_start_sync_bits() -> Table {
         ok &= report.halted_simultaneously()
             && (report.messages as f64) <= bound
             && report.bits == report.messages;
+        t.push_metric(CellMetrics {
+            n: n as u64,
+            label: "bit messages".into(),
+            messages: report.messages,
+            bits: report.bits,
+            time: report.cycles,
+        });
         t.push(vec![
             n.to_string(),
             report.messages.to_string(),
@@ -279,6 +363,20 @@ pub fn e17_bits_vs_time() -> Table {
         let config = RingConfig::oriented(random_bits(n, &mut rng));
         let sync = sync_input_dist::run(&config).unwrap();
         let asy = async_input_dist::run(&config, &mut SynchronizingScheduler).unwrap();
+        t.push_metric(CellMetrics {
+            n: n as u64,
+            label: "Fig. 2".into(),
+            messages: sync.messages,
+            bits: sync.bits,
+            time: sync.cycles,
+        });
+        t.push_metric(CellMetrics {
+            n: n as u64,
+            label: "§4.1 sync schedule".into(),
+            messages: asy.messages,
+            bits: asy.bits,
+            time: asy.max_epoch,
+        });
         t.push(vec![
             n.to_string(),
             sync.messages.to_string(),

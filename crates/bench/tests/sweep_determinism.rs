@@ -1,0 +1,47 @@
+//! Pins the sweep determinism contract: the E1 and E3 experiment grids
+//! produce byte-identical tables whether they run on one worker thread or
+//! many, because every grid cell derives its randomness from its own index.
+
+use std::num::NonZeroUsize;
+
+use anonring_bench::sweep::default_threads;
+use anonring_bench::upper::{e01_with_threads, e03_with_threads};
+
+fn threads(k: usize) -> NonZeroUsize {
+    NonZeroUsize::new(k).unwrap()
+}
+
+#[test]
+fn e1_grid_is_identical_across_thread_counts() {
+    let sequential = e01_with_threads(threads(1));
+    for k in [2usize, 4, default_threads().get()] {
+        let parallel = e01_with_threads(threads(k));
+        assert_eq!(sequential, parallel, "{k} threads");
+        assert_eq!(sequential.to_string(), parallel.to_string(), "{k} threads");
+    }
+    assert!(
+        sequential.verdict.contains("exactly"),
+        "E1 invariant (messages = n(n−1)) must hold: {}",
+        sequential.verdict
+    );
+}
+
+#[test]
+fn e3_grid_is_identical_across_thread_counts() {
+    let sequential = e03_with_threads(threads(1));
+    for k in [2usize, 4, default_threads().get()] {
+        let parallel = e03_with_threads(threads(k));
+        assert_eq!(sequential, parallel, "{k} threads");
+        assert_eq!(sequential.to_string(), parallel.to_string(), "{k} threads");
+    }
+    assert!(
+        sequential.verdict.contains("holds"),
+        "E3 bound must hold: {}",
+        sequential.verdict
+    );
+}
+
+#[test]
+fn default_thread_count_exercises_the_parallel_path() {
+    assert!(default_threads().get() >= 2);
+}

@@ -19,7 +19,7 @@
 //! paper's claim that *every* ring of known size admits an `O(n log n)`
 //! synchronous input distribution.
 
-use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess, SyncReport};
+use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess, SyncReport};
 use anonring_sim::{Message, Port, RingConfig, SimError};
 
 use crate::algorithms::sync_input_dist::{IdMsg, SyncInputDist};
@@ -71,7 +71,10 @@ impl AlternatingInputDist {
     /// Panics if `n` is odd or `n < 4`.
     #[must_use]
     pub fn new(n: usize, input: u8) -> AlternatingInputDist {
-        assert!(n.is_multiple_of(2) && n >= 4, "alternating rings have even n >= 4");
+        assert!(
+            n.is_multiple_of(2) && n >= 4,
+            "alternating rings have even n >= 4"
+        );
         let m = n / 2;
         AlternatingInputDist {
             inner: SyncInputDist::new(m, input),
@@ -115,7 +118,10 @@ impl SyncProcess for AlternatingInputDist {
         ] {
             let Some(msg) = msg else { continue };
             match msg {
-                AltMsg::Virtual { payload, fresh: true } => {
+                AltMsg::Virtual {
+                    payload,
+                    fresh: true,
+                } => {
                     let out = match port {
                         Port::Left => &mut step.to_right,
                         Port::Right => &mut step.to_left,
@@ -126,7 +132,10 @@ impl SyncProcess for AlternatingInputDist {
                         fresh: false,
                     });
                 }
-                AltMsg::Virtual { payload, fresh: false } => {
+                AltMsg::Virtual {
+                    payload,
+                    fresh: false,
+                } => {
                     let slot = match port {
                         Port::Left => &mut self.pending_inner_rx.from_left,
                         Port::Right => &mut self.pending_inner_rx.from_right,
@@ -221,8 +230,7 @@ pub fn run(config: &RingConfig<u8>) -> Result<SyncReport<RingView<u8>>, SimError
     );
     let n = config.n();
     if n == 2 {
-        let mut engine =
-            SyncEngine::from_config(config, |_, &input| ExchangeTwo { input });
+        let mut engine = SyncEngine::from_config(config, |_, &input| ExchangeTwo { input });
         return engine.run();
     }
     let mut engine =
@@ -276,8 +284,7 @@ mod tests {
             let report = run(&config).unwrap();
             // Two virtual Figure 2 runs at size m, each message relayed
             // once (x2), plus n exchanges.
-            let bound = 4.0 * (bounds::sync_input_dist_messages(m as u64) + m as f64)
-                + n as f64;
+            let bound = 4.0 * (bounds::sync_input_dist_messages(m as u64) + m as f64) + n as f64;
             assert!(
                 (report.messages as f64) <= bound,
                 "n={n}: {} messages > {bound}",

@@ -14,7 +14,7 @@
 //! *right* only `n/2 − 2` times, so the antipodal processor is heard
 //! exactly once and the total stays `n(n − 1)`.
 
-use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, Scheduler};
+use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, Emit, Scheduler};
 use anonring_sim::{Message, Port, RingConfig, SimError};
 
 use crate::view::RingView;
@@ -205,11 +205,7 @@ mod tests {
                 let config = RingConfig::new(inputs.clone(), orient).unwrap();
                 let report = run(&config, &mut SynchronizingScheduler).unwrap();
                 for (i, view) in report.outputs().iter().enumerate() {
-                    assert_eq!(
-                        view,
-                        &ground_truth_view(&config, i),
-                        "n={n} processor {i}"
-                    );
+                    assert_eq!(view, &ground_truth_view(&config, i), "n={n} processor {i}");
                 }
             }
         }

@@ -188,8 +188,7 @@ mod tests {
         // Even rings may quasi-orient to an alternation; the §4.2.2
         // two-computation route still computes correctly.
         for bits in [[1u8, 0, 1, 0, 1, 1], [1, 1, 1, 1, 0, 0], [1, 0, 0, 1, 0, 1]] {
-            let orient: Vec<Orientation> =
-                bits.iter().map(|&b| Orientation::from_bit(b)).collect();
+            let orient: Vec<Orientation> = bits.iter().map(|&b| Orientation::from_bit(b)).collect();
             for mask in [0b111011u32, 0b000000, 0b111111, 0b010101] {
                 let inputs: Vec<u8> = (0..6).map(|i| (mask >> i & 1) as u8).collect();
                 let config = RingConfig::new(inputs.clone(), orient.clone()).unwrap();

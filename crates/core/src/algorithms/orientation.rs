@@ -44,7 +44,7 @@
 //!
 //! As with Figure 2, our phases last `n + 1` cycles (DESIGN.md).
 
-use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess, SyncReport};
+use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess, SyncReport};
 use anonring_sim::{Message, Port, RingTopology, SimError};
 
 /// Messages of the Figure 4 algorithm. Each carries a single bit of

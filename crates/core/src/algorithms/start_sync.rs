@@ -12,7 +12,7 @@
 //! whose counts are by then identical — halts at the same multiple of
 //! `2n`, i.e. at the same global cycle: the ring is start-synchronized.
 
-use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess, SyncReport};
+use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess, SyncReport};
 use anonring_sim::{Port, RingTopology, SimError, WakeSchedule};
 
 /// The Figure 5 process. Messages carry a wake-clock count; the output is

@@ -14,7 +14,7 @@
 //! are charged for on an explicit fast/slow flag, which keeps forwarding
 //! stateless and robust.
 
-use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess, SyncReport};
+use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess, SyncReport};
 use anonring_sim::{Message, Port, RingTopology, SimError, WakeSchedule};
 
 /// A one-bit token.

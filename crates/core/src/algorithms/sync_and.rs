@@ -7,7 +7,7 @@
 //! that separates the synchronous `O(n)` from the asynchronous `Ω(n²)`
 //! world (§5.2.1).
 
-use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess, SyncReport};
+use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess, SyncReport};
 use anonring_sim::{Port, RingConfig, SimError};
 
 /// The §4.2 AND process. Message type is the zero-bit token `()`.

@@ -18,7 +18,7 @@
 //! paper's message bound `n(3·log₁.₅ n + 1) + n` is still verified by the
 //! tests.
 
-use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess, SyncReport};
+use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess, SyncReport};
 use anonring_sim::{Message, Port, RingConfig, SimError};
 use anonring_words::Word;
 
@@ -92,11 +92,7 @@ impl SyncInputDist {
     /// Builds the final view from a period word starting at this
     /// processor.
     fn view_from_period(&self, period: &Word) -> RingView<u8> {
-        assert_eq!(
-            self.n % period.len(),
-            0,
-            "period must divide the ring size"
-        );
+        assert_eq!(self.n % period.len(), 0, "period must divide the ring size");
         let entries = period
             .repeat(self.n / period.len())
             .into_symbols()

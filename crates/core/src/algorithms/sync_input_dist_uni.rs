@@ -19,7 +19,7 @@
 //! silent round then triggers the periodicity broadcast, which is already
 //! rightward-only, as is the label-collection phase.
 
-use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess, SyncReport};
+use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess, SyncReport};
 use anonring_sim::{RingConfig, SimError};
 use anonring_words::Word;
 

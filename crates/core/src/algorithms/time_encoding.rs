@@ -18,7 +18,7 @@
 
 use std::marker::PhantomData;
 
-use anonring_sim::sync::{Received, Step, SyncProcess};
+use anonring_sim::sync::{Emit, Received, Step, SyncProcess};
 use anonring_sim::{Message, Port};
 use anonring_words::Word;
 
@@ -201,12 +201,8 @@ where
                 return Step::halt(output);
             }
             let inner_rx = Received {
-                from_left: self.arrivals[0]
-                    .take()
-                    .map(|c| P::Msg::decode(c, self.n)),
-                from_right: self.arrivals[1]
-                    .take()
-                    .map(|c| P::Msg::decode(c, self.n)),
+                from_left: self.arrivals[0].take().map(|c| P::Msg::decode(c, self.n)),
+                from_right: self.arrivals[1].take().map(|c| P::Msg::decode(c, self.n)),
             };
             let inner_step = self.inner.step(self.inner_cycle, inner_rx);
             self.inner_cycle += 1;

@@ -7,7 +7,7 @@
 //! exactly as if the ring had started simultaneously — at an additive
 //! `O(n log n)` message cost.
 
-use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess, SyncReport};
+use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess, SyncReport};
 use anonring_sim::{Message, RingConfig, SimError, WakeSchedule};
 
 use crate::algorithms::start_sync::StartSync;
@@ -121,8 +121,7 @@ pub fn run_with_wakeups<P: SyncProcess, V>(
     mut make: impl FnMut(usize, &V) -> P,
 ) -> Result<SyncReport<P::Output>, SimError> {
     let n = config.n();
-    let mut engine =
-        SyncEngine::from_config(config, |i, v| WithStartSync::new(make(i, v), n));
+    let mut engine = SyncEngine::from_config(config, |i, v| WithStartSync::new(make(i, v), n));
     engine.set_wakeups(wake.as_slice().to_vec())?;
     engine.set_max_cycles(((2 * n as u64 + 2) * (2 * n as u64 + 2)).max(100_000));
     engine.run()
@@ -163,8 +162,7 @@ mod tests {
         let n = 9usize;
         let wake = WakeSchedule::from_word(&[0, 1, 1, 0, 1, 0, 0, 1, 0]).unwrap();
         let config = RingConfig::oriented_bits("011010110").unwrap();
-        let report =
-            run_with_wakeups(&config, &wake, |_, &b| SyncInputDist::new(n, b)).unwrap();
+        let report = run_with_wakeups(&config, &wake, |_, &b| SyncInputDist::new(n, b)).unwrap();
         for (i, view) in report.outputs().iter().enumerate() {
             assert_eq!(view, &ground_truth_view(&config, i), "processor {i}");
         }
@@ -177,8 +175,7 @@ mod tests {
         let inputs: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
         let config = RingConfig::oriented(inputs);
         let plain = crate::algorithms::sync_input_dist::run(&config).unwrap();
-        let wrapped =
-            run_with_wakeups(&config, &wake, |_, &b| SyncInputDist::new(n, b)).unwrap();
+        let wrapped = run_with_wakeups(&config, &wake, |_, &b| SyncInputDist::new(n, b)).unwrap();
         let sync_budget = crate::bounds::start_sync_messages(n as u64) + 2.0 * n as f64;
         assert!(
             (wrapped.messages as f64) <= plain.messages as f64 + sync_budget,

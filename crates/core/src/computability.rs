@@ -57,9 +57,7 @@ pub fn states_agree_active_cycles<V: Clone, P: SyncProcess + Debug>(
     k: usize,
     mut make: impl FnMut(usize, &V) -> P,
 ) -> bool {
-    let trace = |config: &RingConfig<V>,
-                 p: usize,
-                 make: &mut dyn FnMut(usize, &V) -> P| {
+    let trace = |config: &RingConfig<V>, p: usize, make: &mut dyn FnMut(usize, &V) -> P| {
         let mut engine = SyncEngine::from_config(config, |i, v| make(i, v));
         let mut states = Vec::new();
         let result = engine.run_observed(|_, procs| states.push(format!("{:?}", procs[p])));
@@ -105,11 +103,7 @@ pub fn states_agree_active_cycles<V: Clone, P: SyncProcess + Debug>(
 ///
 /// Panics if the inputs are empty (no ring to build).
 #[must_use]
-pub fn theorem_3_2_witness(
-    i0: &[u8],
-    i1: &[u8],
-    t: usize,
-) -> (RingConfig<u8>, usize, usize) {
+pub fn theorem_3_2_witness(i0: &[u8], i1: &[u8], t: usize) -> (RingConfig<u8>, usize, usize) {
     assert!(!i0.is_empty() && !i1.is_empty());
     let reps = 2 * t + 1;
     let mut inputs = Vec::new();

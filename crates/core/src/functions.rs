@@ -180,14 +180,7 @@ mod tests {
 
     #[test]
     fn classic_functions_are_computable_everywhere() {
-        for f in [
-            &And as &dyn RingFunction,
-            &Or,
-            &Xor,
-            &Sum,
-            &Min,
-            &Max,
-        ] {
+        for f in [&And as &dyn RingFunction, &Or, &Xor, &Sum, &Min, &Max] {
             for n in [2usize, 3, 5, 8] {
                 assert!(computable_on_any_ring(f, n), "{} n={n}", f.name());
             }
@@ -209,9 +202,7 @@ mod tests {
         let f = FnRing::new("least-rotation", |xs: &[u64]| {
             let n = xs.len();
             (0..n)
-                .map(|r| {
-                    (0..n).fold(0u64, |acc, i| (acc << 1) | (xs[(r + i) % n] & 1))
-                })
+                .map(|r| (0..n).fold(0u64, |acc, i| (acc << 1) | (xs[(r + i) % n] & 1)))
                 .min()
                 .unwrap_or(0)
         });

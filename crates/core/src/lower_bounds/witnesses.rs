@@ -201,7 +201,10 @@ pub fn orientation_sync_pair(k: usize) -> SyncFoolingPair<()> {
     let n = d.len();
     let config = RingConfig::new(
         vec![(); n],
-        d.as_slice().iter().map(|&b| Orientation::from_bit(b)).collect(),
+        d.as_slice()
+            .iter()
+            .map(|&b| Orientation::from_bit(b))
+            .collect(),
     )
     .expect("valid ring");
     let alpha = (n / 9 - 1) / 2;
@@ -239,7 +242,10 @@ pub fn orientation_sync_pair_arbitrary(
     let to_config = |d: &Word| {
         RingConfig::new(
             vec![(); n],
-            d.as_slice().iter().map(|&b| Orientation::from_bit(b)).collect(),
+            d.as_slice()
+                .iter()
+                .map(|&b| Orientation::from_bit(b))
+                .collect(),
         )
         .expect("valid ring")
     };

@@ -96,8 +96,7 @@ mod tests {
 
     #[test]
     fn ground_truth_flips_direction_for_ccw_observer() {
-        let config =
-            RingConfig::new(vec![0u8, 1, 2, 3], vec![CW, CCW, CW, CW]).unwrap();
+        let config = RingConfig::new(vec![0u8, 1, 2, 3], vec![CW, CCW, CW, CW]).unwrap();
         let v = ground_truth_view(&config, 1);
         // Processor 1 is CCW: its rightward direction is decreasing
         // indices: 1, 0, 3, 2.
@@ -112,7 +111,10 @@ mod tests {
     fn evaluate_applies_local_function() {
         let config = RingConfig::oriented_bits("0110").unwrap();
         let v = ground_truth_view(&config, 0);
-        assert_eq!(v.evaluate(|xs| xs.iter().map(|&x| x as u64).sum::<u64>()), 2);
+        assert_eq!(
+            v.evaluate(|xs| xs.iter().map(|&x| x as u64).sum::<u64>()),
+            2
+        );
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The asynchronous (message-driven) execution engine (paper §2 and §5).
 //!
 //! Message delays are unpredictable but finite, and each link is FIFO. The
-//! engine therefore keeps one FIFO queue per *directed link* and lets a
-//! [`Scheduler`] — the adversary — choose which queue delivers next.
+//! engine therefore keeps one FIFO queue per *directed link* — the shared
+//! [`crate::runtime::LinkFabric`] — and lets a [`Scheduler`] — the
+//! adversary — choose which queue delivers next.
 //!
 //! The built-in [`SynchronizingScheduler`] is exactly the adversary of
 //! Theorem 5.1: it organises the execution into *cycles* (here called
@@ -11,80 +12,20 @@
 //! right-port messages. Under this adversary the state of a processor after
 //! `k` epochs depends only on its `k`-neighborhood, which is what makes the
 //! asynchronous lower bounds work.
+//!
+//! This engine is a thin driver over [`crate::runtime`]: queues, cost
+//! accounting and trace events all come from the shared substrate.
 
-use std::collections::VecDeque;
 use std::fmt;
 
 use crate::config::RingConfig;
 use crate::error::SimError;
 use crate::message::Message;
 use crate::port::Port;
+use crate::runtime::{CostMeter, LinkFabric, NullObserver, Observer, TraceEvent};
 use crate::topology::RingTopology;
 
-/// What a processor does in response to an event: any number of sends plus
-/// an optional halt. Sends are delivered in the order listed (per link).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Actions<M, O> {
-    /// Messages to send, in order.
-    pub sends: Vec<(Port, M)>,
-    /// `Some(output)` to halt after this event.
-    pub halt: Option<O>,
-}
-
-impl<M, O> Actions<M, O> {
-    /// No sends, keep running.
-    #[must_use]
-    pub fn idle() -> Actions<M, O> {
-        Actions {
-            sends: Vec::new(),
-            halt: None,
-        }
-    }
-
-    /// Send a single message.
-    #[must_use]
-    pub fn send(port: Port, msg: M) -> Actions<M, O> {
-        Actions {
-            sends: vec![(port, msg)],
-            halt: None,
-        }
-    }
-
-    /// Send the same message on both ports (requires `M: Clone`).
-    #[must_use]
-    pub fn send_both(msg: M) -> Actions<M, O>
-    where
-        M: Clone,
-    {
-        Actions {
-            sends: vec![(Port::Left, msg.clone()), (Port::Right, msg)],
-            halt: None,
-        }
-    }
-
-    /// Halt with `output`, sending nothing.
-    #[must_use]
-    pub fn halt(output: O) -> Actions<M, O> {
-        Actions {
-            sends: Vec::new(),
-            halt: Some(output),
-        }
-    }
-
-    /// Adds a send to this action list.
-    #[must_use]
-    pub fn and_send(mut self, port: Port, msg: M) -> Actions<M, O> {
-        self.sends.push((port, msg));
-        self
-    }
-
-    /// Adds a halt to this action list (sends still happen).
-    #[must_use]
-    pub fn and_halt(mut self, output: O) -> Actions<M, O> {
-        self.halt = Some(output);
-        self
-    }
-}
+pub use crate::runtime::{Actions, Candidate, Emit};
 
 /// A processor of an asynchronous ring algorithm. State transitions are
 /// message driven: the conceptual "start" message triggers
@@ -101,22 +42,6 @@ pub trait AsyncProcess {
 
     /// Reaction to a message arriving on local port `from`.
     fn on_message(&mut self, from: Port, msg: Self::Msg) -> Actions<Self::Msg, Self::Output>;
-}
-
-/// A deliverable message the scheduler may choose: the head of one directed
-/// link's FIFO queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Candidate {
-    /// Receiving processor.
-    pub to: usize,
-    /// Arrival port at the receiver.
-    pub port: Port,
-    /// The message's epoch (delivery "cycle" under the synchronizing
-    /// adversary: sender's event epoch + 1).
-    pub epoch: u64,
-    /// Global send sequence number (total order of sends).
-    pub seq: u64,
-    pub(crate) queue: usize,
 }
 
 /// The adversary: chooses which pending message is delivered next.
@@ -285,7 +210,7 @@ pub const DEFAULT_MAX_DELIVERIES: u64 = 50_000_000;
 /// Driver for an asynchronous ring computation.
 ///
 /// ```
-/// use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, RandomScheduler};
+/// use anonring_sim::r#async::{Actions, AsyncEngine, AsyncProcess, Emit, RandomScheduler};
 /// use anonring_sim::{Port, RingTopology};
 ///
 /// /// Every processor forwards one token and halts with its hop count.
@@ -367,97 +292,120 @@ impl<P: AsyncProcess> AsyncEngine<P> {
     ///   processor never halted (an algorithm deadlock);
     /// * [`SimError::MaxDeliveriesExceeded`] if the delivery budget runs
     ///   out (an algorithm livelock).
-    pub fn run(&mut self, scheduler: &mut dyn Scheduler) -> Result<AsyncReport<P::Output>, SimError> {
-        struct Envelope<M> {
-            msg: M,
-            epoch: u64,
-            seq: u64,
-        }
+    pub fn run(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<AsyncReport<P::Output>, SimError> {
+        self.run_with_observer(scheduler, &mut NullObserver)
+    }
 
+    /// Runs the computation while recording every message send into a
+    /// [`crate::trace::Trace`] — the same space-time rendering the sync
+    /// engine produces, with epochs in place of cycles.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AsyncEngine::run`].
+    pub fn run_traced(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<(AsyncReport<P::Output>, crate::trace::Trace), SimError> {
+        let mut trace = crate::trace::Trace::new(self.topology.n());
+        let report = self.run_with_observer(scheduler, &mut trace)?;
+        Ok((report, trace))
+    }
+
+    /// Runs the computation while streaming every [`TraceEvent`] to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AsyncEngine::run`].
+    pub fn run_with_observer(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        observer: &mut impl Observer,
+    ) -> Result<AsyncReport<P::Output>, SimError> {
         let n = self.topology.n();
-        // Queue index: receiver * 2 + (0 = left port, 1 = right port).
-        let queue_index = |to: usize, port: Port| to * 2 + usize::from(port == Port::Right);
-        let mut queues: Vec<VecDeque<Envelope<P::Msg>>> =
-            (0..2 * n).map(|_| VecDeque::new()).collect();
+        let procs = &mut self.procs;
         let mut halted: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
-        let mut messages = 0u64;
-        let mut bits = 0u64;
-        let mut dropped = 0u64;
-        let mut deliveries = 0u64;
-        let mut seq = 0u64;
-        let mut max_epoch = 0u64;
-        let mut per_epoch: Vec<u64> = Vec::new();
+        let mut meter = CostMeter::new();
+        let mut fabric: LinkFabric<P::Msg> = LinkFabric::new(&self.topology);
 
-        let topology = &self.topology;
-        let mut dispatch = |from: usize,
-                            actions: Actions<P::Msg, P::Output>,
-                            event_epoch: u64,
-                            queues: &mut Vec<VecDeque<Envelope<P::Msg>>>,
-                            halted: &mut Vec<Option<P::Output>>| {
+        // Dispatch one event's reactions: sends are tagged with the arrival
+        // epoch (event epoch + 1), Theorem 5.1's bookkeeping.
+        fn dispatch<M: Message, O>(
+            from: usize,
+            actions: Actions<M, O>,
+            event_epoch: u64,
+            fabric: &mut LinkFabric<'_, M>,
+            meter: &mut CostMeter,
+            observer: &mut impl Observer,
+            halted: &mut [Option<O>],
+        ) {
             let send_epoch = event_epoch + 1;
             for (port, msg) in actions.sends {
-                messages += 1;
-                bits += msg.bit_len() as u64;
-                max_epoch = max_epoch.max(send_epoch);
-                if per_epoch.len() <= send_epoch as usize {
-                    per_epoch.resize(send_epoch as usize + 1, 0);
-                }
-                per_epoch[send_epoch as usize] += 1;
-                let (to, arrival) = topology.neighbor(from, port);
-                queues[queue_index(to, arrival)].push_back(Envelope {
-                    msg,
-                    epoch: send_epoch,
-                    seq,
-                });
-                seq += 1;
+                fabric.send(from, port, msg, send_epoch, send_epoch, meter, observer);
             }
             if let Some(output) = actions.halt {
                 halted[from] = Some(output);
+                observer.on_event(&TraceEvent::Halt {
+                    time: event_epoch,
+                    processor: from,
+                });
             }
-        };
+        }
 
         // Conceptual start messages: every processor's initial transition
         // happens at epoch 0.
-        for i in 0..n {
-            let actions = self.procs[i].on_start();
-            dispatch(i, actions, 0, &mut queues, &mut halted);
+        for (i, proc) in procs.iter_mut().enumerate() {
+            let actions = proc.on_start();
+            dispatch(
+                i,
+                actions,
+                0,
+                &mut fabric,
+                &mut meter,
+                observer,
+                &mut halted,
+            );
         }
 
         let mut candidates: Vec<Candidate> = Vec::new();
         loop {
-            candidates.clear();
-            for to in 0..n {
-                for port in [Port::Left, Port::Right] {
-                    let q = queue_index(to, port);
-                    if let Some(env) = queues[q].front() {
-                        candidates.push(Candidate {
-                            to,
-                            port,
-                            epoch: env.epoch,
-                            seq: env.seq,
-                            queue: q,
-                        });
-                    }
-                }
-            }
+            fabric.candidates(&mut candidates);
             if candidates.is_empty() {
                 break;
             }
-            if deliveries >= self.max_deliveries {
+            if meter.deliveries >= self.max_deliveries {
                 return Err(SimError::MaxDeliveriesExceeded {
                     max_deliveries: self.max_deliveries,
                 });
             }
-            let choice = scheduler.pick(&candidates);
-            let cand = candidates[choice];
-            let env = queues[cand.queue].pop_front().expect("candidate head");
-            deliveries += 1;
-            if halted[cand.to].is_some() {
-                dropped += 1;
+            let cand = candidates[scheduler.pick(&candidates)];
+            let popped = fabric.pop_candidate(&cand);
+            meter.record_delivery();
+            let is_drop = halted[cand.to].is_some();
+            observer.on_event(&TraceEvent::Deliver {
+                time: popped.time,
+                to: cand.to,
+                port: cand.port,
+                dropped: is_drop,
+            });
+            if is_drop {
+                meter.record_drop();
                 continue;
             }
-            let actions = self.procs[cand.to].on_message(cand.port, env.msg);
-            dispatch(cand.to, actions, env.epoch, &mut queues, &mut halted);
+            let actions = procs[cand.to].on_message(cand.port, popped.msg);
+            dispatch(
+                cand.to,
+                actions,
+                popped.time,
+                &mut fabric,
+                &mut meter,
+                observer,
+                &mut halted,
+            );
         }
 
         let running = halted.iter().filter(|h| h.is_none()).count();
@@ -465,12 +413,12 @@ impl<P: AsyncProcess> AsyncEngine<P> {
             return Err(SimError::QuiescentWithoutHalt { running });
         }
         Ok(AsyncReport {
-            messages,
-            bits,
-            deliveries,
-            dropped,
-            max_epoch,
-            per_epoch_messages: per_epoch,
+            messages: meter.messages,
+            bits: meter.bits,
+            deliveries: meter.deliveries,
+            dropped: meter.dropped,
+            max_epoch: meter.max_time,
+            per_epoch_messages: meter.per_time_messages,
             outputs: halted.into_iter().map(Option::unwrap).collect(),
         })
     }
@@ -579,7 +527,9 @@ mod tests {
         engine.set_max_deliveries(100);
         assert!(matches!(
             engine.run(&mut FifoScheduler),
-            Err(SimError::MaxDeliveriesExceeded { max_deliveries: 100 })
+            Err(SimError::MaxDeliveriesExceeded {
+                max_deliveries: 100
+            })
         ));
     }
 
@@ -591,7 +541,7 @@ mod tests {
             type Msg = ();
             type Output = ();
             fn on_start(&mut self) -> Actions<(), ()> {
-                Actions::send_both(()).and_halt(())
+                Actions::send_both((), ()).and_halt(())
             }
             fn on_message(&mut self, _f: Port, (): ()) -> Actions<(), ()> {
                 unreachable!("halted before any delivery")
@@ -647,12 +597,29 @@ mod tests {
             }
         }
         let topo = RingTopology::oriented(3).unwrap();
-        let mut engine =
-            AsyncEngine::new(topo, vec![Echo { bounces: 0 }, Echo { bounces: 0 }, Echo { bounces: 0 }])
-                .unwrap();
+        let mut engine = AsyncEngine::new(
+            topo,
+            vec![
+                Echo { bounces: 0 },
+                Echo { bounces: 0 },
+                Echo { bounces: 0 },
+            ],
+        )
+        .unwrap();
         let report = engine
             .run(&mut LinkStarvingScheduler::new(0, Port::Left))
             .unwrap();
         assert_eq!(report.deliveries, report.messages);
+    }
+
+    /// The async engine now shares the trace plumbing: `run_traced` records
+    /// one event per send, stamped with the arrival epoch.
+    #[test]
+    fn async_runs_can_be_traced() {
+        let topo = RingTopology::oriented(4).unwrap();
+        let mut engine = AsyncEngine::new(topo, (0..4).map(|_| Relay).collect()).unwrap();
+        let (report, trace) = engine.run_traced(&mut SynchronizingScheduler).unwrap();
+        assert_eq!(trace.events().len() as u64, report.messages);
+        assert_eq!(trace.per_cycle(), report.per_epoch_messages);
     }
 }

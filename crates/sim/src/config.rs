@@ -51,7 +51,10 @@ impl<V> RingConfig<V> {
     ///
     /// Returns [`SimError::LengthMismatch`] if the input vector does not
     /// match the topology size.
-    pub fn with_topology(inputs: Vec<V>, topology: RingTopology) -> Result<RingConfig<V>, SimError> {
+    pub fn with_topology(
+        inputs: Vec<V>,
+        topology: RingTopology,
+    ) -> Result<RingConfig<V>, SimError> {
         if inputs.len() != topology.n() {
             return Err(SimError::LengthMismatch {
                 expected: topology.n(),

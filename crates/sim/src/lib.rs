@@ -13,12 +13,33 @@
 //! * [`RingConfig`] — an initial ring configuration `R = ⟨D(i), I(i)⟩ᵢ`;
 //! * [`neighborhood`] — `k`-neighborhoods and the symmetry index `SI(R, k)`
 //!   used by all lower-bound arguments;
+//! * [`runtime`] — the shared execution core both engines drive: the
+//!   per-directed-link FIFO fabric, the single [`runtime::CostMeter`] every
+//!   message/bit/time figure comes from, the [`runtime::Emit`] send-helper
+//!   vocabulary, and the unified [`runtime::TraceEvent`] observer stream;
 //! * [`sync`] — the synchronous engine: clock-driven cycles, per-processor
 //!   wake-up times, message/bit/cycle accounting;
 //! * [`r#async`] — the asynchronous engine with pluggable schedulers
 //!   including the *synchronizing adversary* of Theorem 5.1;
 //! * [`synchronizer`] — the §3 local-synchronization adapter that runs any
-//!   synchronous algorithm on an asynchronous ring.
+//!   synchronous algorithm on an asynchronous ring;
+//! * [`trace`] — space-time diagrams, recorded through the observer stream
+//!   and therefore available for both models.
+//!
+//! ## Cost-model invariants
+//!
+//! The [`runtime`] layer owns these; the engines are thin drivers over it.
+//!
+//! * **One hop per cycle** (sync): a message sent at cycle `t` is consumed
+//!   by the neighbour at cycle `t + 1`, never earlier.
+//! * **FIFO links**: each directed link delivers in send order, in both
+//!   models — the async scheduler only ever picks among queue *heads*.
+//! * **Meter semantics**: `messages`/`bits` count sends (one
+//!   [`Message::bit_len`] call per send, in exactly one place); sync
+//!   histograms are indexed by *send cycle* and padded with explicit zeros
+//!   for quiet cycles, async histograms by *arrival epoch* (send epoch =
+//!   event epoch + 1, Theorem 5.1); messages reaching a halted processor
+//!   count as `dropped` — and, in the async model only, as deliveries.
 //!
 //! ## Example
 //!
@@ -26,7 +47,7 @@
 //! ring and halts with the pair of inputs:
 //!
 //! ```
-//! use anonring_sim::sync::{Received, Step, SyncEngine, SyncProcess};
+//! use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess};
 //! use anonring_sim::RingConfig;
 //!
 //! struct Exchange { input: u8 }
@@ -61,6 +82,7 @@ pub mod error;
 pub mod message;
 pub mod neighborhood;
 pub mod port;
+pub mod runtime;
 pub mod sync;
 pub mod synchronizer;
 pub mod topology;

@@ -82,10 +82,7 @@ pub fn neighborhood<V: Clone>(config: &RingConfig<V>, i: usize, k: usize) -> Nei
 /// The number of processors of `config` whose `k`-neighborhood equals `nb`
 /// — the paper's `g(R, σ)`.
 #[must_use]
-pub fn occurrences<V: Clone + Eq + Hash>(
-    config: &RingConfig<V>,
-    nb: &Neighborhood<V>,
-) -> usize {
+pub fn occurrences<V: Clone + Eq + Hash>(config: &RingConfig<V>, nb: &Neighborhood<V>) -> usize {
     let k = nb.radius();
     (0..config.n())
         .filter(|&i| &neighborhood(config, i, k) == nb)

@@ -1,0 +1,182 @@
+//! The shared send/halt vocabulary: one [`Emit`] trait providing the
+//! constructor helpers, implemented by the sync model's [`Step`] and the
+//! async model's [`Actions`].
+
+use crate::port::Port;
+
+/// What a synchronous processor does in one cycle: at most one message per
+/// port, and possibly halting with an output. Messages emitted in the
+/// halting step are still delivered (the paper's AND algorithm "forwards it
+/// and halts").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step<M, O> {
+    /// Message to send on the local left port.
+    pub to_left: Option<M>,
+    /// Message to send on the local right port.
+    pub to_right: Option<M>,
+    /// `Some(output)` to halt at the end of this cycle.
+    pub halt: Option<O>,
+}
+
+/// What an asynchronous processor does in response to an event: any number
+/// of sends plus an optional halt. Sends are delivered in the order listed
+/// (per link).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Actions<M, O> {
+    /// Messages to send, in order.
+    pub sends: Vec<(Port, M)>,
+    /// `Some(output)` to halt after this event.
+    pub halt: Option<O>,
+}
+
+/// Constructors shared by every emission type ([`Step`], [`Actions`]).
+///
+/// Implementors provide the three primitives ([`Emit::idle`],
+/// [`Emit::push_send`], [`Emit::set_halt`]); the builder vocabulary the
+/// algorithms use is defined once on top of them.
+pub trait Emit<M, O>: Sized {
+    /// Do nothing: no sends, keep running.
+    #[must_use]
+    fn idle() -> Self;
+
+    /// Appends a send of `msg` on `port`.
+    ///
+    /// For [`Step`] this fills the per-port slot (at most one message per
+    /// port per cycle — the synchronous model's constraint); for
+    /// [`Actions`] it appends to the ordered send list.
+    fn push_send(&mut self, port: Port, msg: M);
+
+    /// Marks this emission as halting with `output`.
+    fn set_halt(&mut self, output: O);
+
+    /// Send `msg` on `port`.
+    #[must_use]
+    fn send(port: Port, msg: M) -> Self {
+        Self::idle().and_send(port, msg)
+    }
+
+    /// Send `msg` on the left port only.
+    #[must_use]
+    fn send_left(msg: M) -> Self {
+        Self::send(Port::Left, msg)
+    }
+
+    /// Send `msg` on the right port only.
+    #[must_use]
+    fn send_right(msg: M) -> Self {
+        Self::send(Port::Right, msg)
+    }
+
+    /// Send on both ports (left first).
+    #[must_use]
+    fn send_both(left: M, right: M) -> Self {
+        Self::send(Port::Left, left).and_send(Port::Right, right)
+    }
+
+    /// Halt with `output`, sending nothing.
+    #[must_use]
+    fn halt(output: O) -> Self {
+        let mut this = Self::idle();
+        this.set_halt(output);
+        this
+    }
+
+    /// Adds a send to this emission.
+    #[must_use]
+    fn and_send(mut self, port: Port, msg: M) -> Self {
+        self.push_send(port, msg);
+        self
+    }
+
+    /// Adds a halt to this emission (sends still happen).
+    #[must_use]
+    fn and_halt(mut self, output: O) -> Self {
+        self.set_halt(output);
+        self
+    }
+}
+
+impl<M, O> Emit<M, O> for Step<M, O> {
+    fn idle() -> Self {
+        Step {
+            to_left: None,
+            to_right: None,
+            halt: None,
+        }
+    }
+
+    fn push_send(&mut self, port: Port, msg: M) {
+        let slot = match port {
+            Port::Left => &mut self.to_left,
+            Port::Right => &mut self.to_right,
+        };
+        debug_assert!(
+            slot.is_none(),
+            "synchronous step: at most one message per port per cycle"
+        );
+        *slot = Some(msg);
+    }
+
+    fn set_halt(&mut self, output: O) {
+        self.halt = Some(output);
+    }
+}
+
+impl<M, O> Emit<M, O> for Actions<M, O> {
+    fn idle() -> Self {
+        Actions {
+            sends: Vec::new(),
+            halt: None,
+        }
+    }
+
+    fn push_send(&mut self, port: Port, msg: M) {
+        self.sends.push((port, msg));
+    }
+
+    fn set_halt(&mut self, output: O) {
+        self.halt = Some(output);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Actions, Emit, Step};
+    use crate::port::Port;
+
+    #[test]
+    fn step_and_actions_share_the_constructor_vocabulary() {
+        let step: Step<u8, ()> = Step::send_both(1, 2);
+        assert_eq!(step.to_left, Some(1));
+        assert_eq!(step.to_right, Some(2));
+        assert!(step.halt.is_none());
+
+        let actions: Actions<u8, ()> = Actions::send_both(1, 2);
+        assert_eq!(actions.sends, vec![(Port::Left, 1), (Port::Right, 2)]);
+        assert!(actions.halt.is_none());
+    }
+
+    #[test]
+    fn halting_composes_with_sends() {
+        let step: Step<u8, u8> = Step::send_left(3).and_halt(9);
+        assert_eq!(
+            (step.to_left, step.to_right, step.halt),
+            (Some(3), None, Some(9))
+        );
+
+        let actions: Actions<u8, u8> = Actions::halt(9).and_send(Port::Right, 3);
+        assert_eq!(actions.sends, vec![(Port::Right, 3)]);
+        assert_eq!(actions.halt, Some(9));
+    }
+
+    #[test]
+    fn actions_preserve_send_order_across_repeated_ports() {
+        let actions: Actions<u8, ()> = Actions::send(Port::Right, 1)
+            .and_send(Port::Right, 2)
+            .and_send(Port::Left, 3);
+        assert_eq!(
+            actions.sends,
+            vec![(Port::Right, 1), (Port::Right, 2), (Port::Left, 3)]
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! The unified message substrate: per-directed-link FIFO queues and the
+//! single send path both engines use.
+
+use std::collections::VecDeque;
+
+use crate::message::Message;
+use crate::port::Port;
+use crate::runtime::meter::CostMeter;
+use crate::runtime::observer::{Observer, SendEvent, TraceEvent};
+use crate::topology::RingTopology;
+
+/// The messages a processor received at the start of a cycle (sent by its
+/// neighbours in the previous cycle). At most one message per port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Received<M> {
+    /// Message that arrived on the local left port, if any.
+    pub from_left: Option<M>,
+    /// Message that arrived on the local right port, if any.
+    pub from_right: Option<M>,
+}
+
+impl<M> Received<M> {
+    /// A reception with no messages.
+    #[must_use]
+    pub fn empty() -> Received<M> {
+        Received {
+            from_left: None,
+            from_right: None,
+        }
+    }
+
+    /// Whether no message arrived this cycle.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.from_left.is_none() && self.from_right.is_none()
+    }
+
+    /// Iterates over the (port, message) pairs that arrived.
+    pub fn iter(&self) -> impl Iterator<Item = (Port, &M)> {
+        self.from_left
+            .iter()
+            .map(|m| (Port::Left, m))
+            .chain(self.from_right.iter().map(|m| (Port::Right, m)))
+    }
+
+    /// The message that arrived on `port`, if any.
+    #[must_use]
+    pub fn on(&self, port: Port) -> Option<&M> {
+        match port {
+            Port::Left => self.from_left.as_ref(),
+            Port::Right => self.from_right.as_ref(),
+        }
+    }
+}
+
+impl<M> Default for Received<M> {
+    fn default() -> Self {
+        Received::empty()
+    }
+}
+
+/// A deliverable message the scheduler may choose: the head of one directed
+/// link's FIFO queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Receiving processor.
+    pub to: usize,
+    /// Arrival port at the receiver.
+    pub port: Port,
+    /// The message's epoch (delivery "cycle" under the synchronizing
+    /// adversary: sender's event epoch + 1).
+    pub epoch: u64,
+    /// Global send sequence number (total order of sends).
+    pub seq: u64,
+    pub(crate) queue: usize,
+}
+
+/// One queued message.
+#[derive(Debug, Clone)]
+struct InFlight<M> {
+    msg: M,
+    /// Due time at the receiver: arrival cycle (sync) or epoch (async).
+    time: u64,
+    /// Global send sequence number.
+    seq: u64,
+}
+
+/// A message popped from the fabric, with its timing metadata.
+#[derive(Debug, Clone)]
+pub(crate) struct Popped<M> {
+    /// The message itself.
+    pub msg: M,
+    /// Its due time (arrival cycle / epoch).
+    pub time: u64,
+}
+
+/// The `2n` directed-link FIFO queues of a ring, plus the one send path:
+/// route via the topology, meter the cost, notify observers, enqueue.
+///
+/// Queue `to * 2 + (port == Right)` holds messages awaiting consumption by
+/// processor `to` on local port `port`, in FIFO order — the model invariant
+/// every paper argument assumes. Constructed per run; the topology is
+/// borrowed from the engine.
+#[derive(Debug)]
+pub struct LinkFabric<'t, M> {
+    topology: &'t RingTopology,
+    queues: Vec<VecDeque<InFlight<M>>>,
+    seq: u64,
+}
+
+impl<'t, M: Message> LinkFabric<'t, M> {
+    /// Empty fabric over `topology`.
+    #[must_use]
+    pub fn new(topology: &'t RingTopology) -> LinkFabric<'t, M> {
+        LinkFabric {
+            topology,
+            queues: (0..2 * topology.n()).map(|_| VecDeque::new()).collect(),
+            seq: 0,
+        }
+    }
+
+    fn queue_index(to: usize, port: Port) -> usize {
+        to * 2 + usize::from(port == Port::Right)
+    }
+
+    /// Sends `msg` from processor `from` on its local `port`: routes it via
+    /// the topology, accounts it on `meter` at time `send_time`, emits a
+    /// [`TraceEvent::Send`], and enqueues it due at `due_time`.
+    ///
+    /// In the sync model `send_time` is the send cycle and `due_time` the
+    /// arrival cycle (`send + 1`: one hop per cycle); in the async model
+    /// both are the arrival epoch (event epoch + 1, Theorem 5.1).
+    #[allow(clippy::too_many_arguments)] // THE send path: every parameter is load-bearing
+    pub fn send(
+        &mut self,
+        from: usize,
+        port: Port,
+        msg: M,
+        send_time: u64,
+        due_time: u64,
+        meter: &mut CostMeter,
+        observer: &mut impl Observer,
+    ) {
+        let bits = msg.bit_len();
+        let (to, arrival) = self.topology.neighbor(from, port);
+        meter.record_send(send_time, bits);
+        observer.on_event(&TraceEvent::Send(SendEvent {
+            cycle: send_time,
+            from,
+            to,
+            bits,
+        }));
+        self.queues[Self::queue_index(to, arrival)].push_back(InFlight {
+            msg,
+            time: due_time,
+            seq: self.seq,
+        });
+        self.seq += 1;
+    }
+
+    /// Whether processor `to` has a message due at or before time `now`.
+    #[must_use]
+    pub fn has_due(&self, to: usize, now: u64) -> bool {
+        [Port::Left, Port::Right].iter().any(|&port| {
+            self.queues[Self::queue_index(to, port)]
+                .front()
+                .is_some_and(|m| m.time <= now)
+        })
+    }
+
+    /// Removes and returns the messages due for processor `to` at time
+    /// `now` — the sync model's per-cycle reception (at most one message
+    /// per port: senders emit at most one per port per cycle, and nothing
+    /// is released before it is due).
+    pub fn take_due(&mut self, to: usize, now: u64) -> Received<M> {
+        let mut take = |port| {
+            let q = &mut self.queues[Self::queue_index(to, port)];
+            let due = q.front().is_some_and(|m| m.time <= now);
+            let popped = due.then(|| q.pop_front().expect("checked front"));
+            debug_assert!(
+                q.front().is_none_or(|m| m.time > now),
+                "one message per port per cycle"
+            );
+            popped.map(|m| m.msg)
+        };
+        Received {
+            from_left: take(Port::Left),
+            from_right: take(Port::Right),
+        }
+    }
+
+    /// Collects the current queue heads as scheduler candidates — the async
+    /// model's delivery choices. Clears and refills `out`.
+    pub fn candidates(&self, out: &mut Vec<Candidate>) {
+        out.clear();
+        for to in 0..self.topology.n() {
+            for port in [Port::Left, Port::Right] {
+                let q = Self::queue_index(to, port);
+                if let Some(head) = self.queues[q].front() {
+                    out.push(Candidate {
+                        to,
+                        port,
+                        epoch: head.time,
+                        seq: head.seq,
+                        queue: q,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Pops the head of the queue `candidate` points at.
+    pub(crate) fn pop_candidate(&mut self, candidate: &Candidate) -> Popped<M> {
+        let head = self.queues[candidate.queue]
+            .pop_front()
+            .expect("candidate refers to a nonempty queue head");
+        Popped {
+            msg: head.msg,
+            time: head.time,
+        }
+    }
+
+    /// Discards everything still queued, returning the count — the sync
+    /// engine's end-of-run accounting of in-flight messages to halted
+    /// processors.
+    pub fn drain_remaining(&mut self) -> u64 {
+        self.queues
+            .iter_mut()
+            .map(|q| {
+                let len = q.len() as u64;
+                q.clear();
+                len
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Candidate, LinkFabric, Received};
+    use crate::port::Port;
+    use crate::runtime::meter::CostMeter;
+    use crate::runtime::observer::NullObserver;
+    use crate::topology::RingTopology;
+
+    #[test]
+    fn received_accessors_cover_both_ports() {
+        let rx = Received {
+            from_left: Some(1u8),
+            from_right: None,
+        };
+        assert!(!rx.is_empty());
+        assert_eq!(rx.on(Port::Left), Some(&1));
+        assert_eq!(rx.on(Port::Right), None);
+        assert_eq!(rx.iter().count(), 1);
+        assert!(Received::<u8>::empty().is_empty());
+    }
+
+    #[test]
+    fn messages_are_not_released_before_their_due_time() {
+        let topo = RingTopology::oriented(3).unwrap();
+        let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
+        let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
+        // Sent at cycle 0, due at cycle 1 — one hop per cycle.
+        fabric.send(0, Port::Right, 7, 0, 1, &mut meter, &mut obs);
+        assert!(!fabric.has_due(1, 0));
+        assert!(fabric.take_due(1, 0).is_empty());
+        assert!(fabric.has_due(1, 1));
+        assert_eq!(fabric.take_due(1, 1).from_left, Some(7));
+        assert_eq!(meter.messages, 1);
+        assert_eq!(meter.bits, 8);
+    }
+
+    #[test]
+    fn routing_respects_per_processor_orientation() {
+        use crate::port::Orientation;
+        // Processor 1 is counterclockwise: 0's rightward message arrives
+        // on 1's *right* port.
+        let topo = RingTopology::new(vec![
+            Orientation::Clockwise,
+            Orientation::Counterclockwise,
+            Orientation::Clockwise,
+        ])
+        .unwrap();
+        let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
+        let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
+        fabric.send(0, Port::Right, 42, 0, 1, &mut meter, &mut obs);
+        let rx = fabric.take_due(1, 1);
+        assert_eq!(rx.from_right, Some(42));
+        assert_eq!(rx.from_left, None);
+    }
+
+    #[test]
+    fn candidates_expose_fifo_heads_in_seq_order() {
+        let topo = RingTopology::oriented(2).unwrap();
+        let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
+        let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
+        fabric.send(0, Port::Right, 1, 1, 1, &mut meter, &mut obs);
+        fabric.send(0, Port::Right, 2, 1, 1, &mut meter, &mut obs);
+        fabric.send(1, Port::Right, 3, 1, 1, &mut meter, &mut obs);
+        let mut cands: Vec<Candidate> = Vec::new();
+        fabric.candidates(&mut cands);
+        assert_eq!(cands.len(), 2, "one head per nonempty directed link");
+        let first = cands.iter().find(|c| c.to == 1).unwrap();
+        let popped = fabric.pop_candidate(first);
+        assert_eq!(popped.msg, 1, "per-link FIFO: first send pops first");
+        fabric.candidates(&mut cands);
+        assert_eq!(cands.iter().find(|c| c.to == 1).unwrap().seq, 1);
+        assert_eq!(fabric.drain_remaining(), 2);
+        fabric.candidates(&mut cands);
+        assert!(cands.is_empty());
+    }
+}

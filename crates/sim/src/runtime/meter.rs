@@ -1,0 +1,108 @@
+//! The single cost-accounting layer.
+//!
+//! Every number in `SyncReport` and `AsyncReport` — and therefore every
+//! EXPERIMENTS table — comes from one `CostMeter`, so the paper's message,
+//! bit and time complexities are defined in exactly one place.
+
+/// Accumulates the costs of one run.
+///
+/// "Time" is the model's notion of it: the **send cycle** in the
+/// synchronous model, the **arrival epoch** (sender's event epoch + 1,
+/// Theorem 5.1's bookkeeping) in the asynchronous model. The engine passes
+/// the appropriate value to [`CostMeter::record_send`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CostMeter {
+    /// Total messages sent (the paper's message complexity).
+    pub messages: u64,
+    /// Total bits sent (the paper's bit complexity), summing
+    /// [`crate::Message::bit_len`] over every send.
+    pub bits: u64,
+    /// Deliveries performed (async model only; includes drops).
+    pub deliveries: u64,
+    /// Messages that reached an already-halted processor and were
+    /// discarded.
+    pub dropped: u64,
+    /// Highest time index of any send.
+    pub max_time: u64,
+    /// Messages per time index (send cycle / arrival epoch).
+    pub per_time_messages: Vec<u64>,
+}
+
+impl CostMeter {
+    /// A zeroed meter.
+    #[must_use]
+    pub fn new() -> CostMeter {
+        CostMeter::default()
+    }
+
+    /// Accounts one sent message of `bits` length at time index `time`.
+    pub fn record_send(&mut self, time: u64, bits: usize) {
+        self.messages += 1;
+        self.bits += bits as u64;
+        self.max_time = self.max_time.max(time);
+        let slot = usize::try_from(time).expect("time index fits usize");
+        if self.per_time_messages.len() <= slot {
+            self.per_time_messages.resize(slot + 1, 0);
+        }
+        self.per_time_messages[slot] += 1;
+    }
+
+    /// Accounts one delivery (async model; called for drops too).
+    pub fn record_delivery(&mut self) {
+        self.deliveries += 1;
+    }
+
+    /// Accounts one message discarded at a halted processor.
+    pub fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Marks time index `time` as executed, so the per-time histogram has
+    /// a (possibly zero) slot for it. The sync engine calls this each
+    /// cycle: quiet cycles appear as explicit zeros, and
+    /// `per_cycle_messages.len()` equals the cycle count.
+    pub fn close_time(&mut self, time: u64) {
+        let want = usize::try_from(time).expect("time index fits usize") + 1;
+        if self.per_time_messages.len() < want {
+            self.per_time_messages.resize(want, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CostMeter;
+
+    #[test]
+    fn sends_fill_the_per_time_histogram() {
+        let mut m = CostMeter::new();
+        m.record_send(1, 8);
+        m.record_send(1, 8);
+        m.record_send(3, 2);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.bits, 18);
+        assert_eq!(m.max_time, 3);
+        assert_eq!(m.per_time_messages, vec![0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn close_time_pads_quiet_cycles_without_overwriting() {
+        let mut m = CostMeter::new();
+        m.record_send(0, 1);
+        m.close_time(0);
+        m.close_time(1);
+        m.close_time(2);
+        assert_eq!(m.per_time_messages, vec![1, 0, 0]);
+        assert_eq!(m.max_time, 0, "close_time does not move max send time");
+    }
+
+    #[test]
+    fn drops_and_deliveries_are_independent_tallies() {
+        let mut m = CostMeter::new();
+        m.record_delivery();
+        m.record_drop();
+        m.record_delivery();
+        assert_eq!((m.deliveries, m.dropped), (2, 1));
+        assert_eq!(m.messages, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! The shared execution substrate both engines drive.
+//!
+//! The synchronous ([`crate::sync::SyncEngine`]) and asynchronous
+//! ([`crate::r#async::AsyncEngine`]) models of the paper differ only in *who
+//! decides when a message is consumed*: the global clock, or an adversarial
+//! scheduler. Everything else — per-directed-link FIFO queues, message/bit
+//! accounting, halt bookkeeping, trace emission, and the send-helper
+//! constructors algorithms use — is model-independent and lives here, with
+//! exactly one implementation:
+//!
+//! * [`LinkFabric`] — the `2n` directed-link FIFO queues plus the single
+//!   send path (route via the topology, meter, notify observers, enqueue).
+//!   The sync engine consumes messages due at the current cycle; the async
+//!   engine exposes the queue heads to a scheduler.
+//! * [`CostMeter`] — messages, bits, deliveries, drops and the per-time
+//!   histogram behind both `SyncReport` and `AsyncReport`.
+//! * [`Emit`] — the send/halt constructor vocabulary (`send`, `send_both`,
+//!   `and_send`, `halt`, `idle`, …) shared by [`Step`] and [`Actions`].
+//! * [`Observer`]/[`TraceEvent`] — a pluggable event stream; the space-time
+//!   [`crate::trace::Trace`] is one observer, and both engines emit the
+//!   same events.
+//!
+//! ## Cost-model invariants
+//!
+//! The runtime pins down the semantics every experiment and lower-bound
+//! argument relies on:
+//!
+//! * **One hop per cycle (sync):** a message sent at cycle `t` is consumed
+//!   at cycle `t + 1`, never earlier — information travels exactly one hop
+//!   per cycle (Lemma 3.1). [`LinkFabric::send`] tags the message with its
+//!   due time and [`LinkFabric::take_due`] refuses to release it early.
+//! * **FIFO links (async):** delivery order within one directed link is
+//!   fixed; the scheduler only chooses *between* links, structurally
+//!   enforced by handing it queue heads ([`LinkFabric::candidates`]).
+//! * **Meter semantics:** a message is counted (messages, bits, per-time
+//!   slot) exactly once, at its send; `bits` adds
+//!   [`crate::Message::bit_len`]. The per-time histogram indexes *send
+//!   cycle* in the sync model and *arrival epoch* (the sender's event
+//!   epoch plus one) in the async model — the paper's Theorem 5.1
+//!   bookkeeping. Deliveries to halted processors count as drops; in the
+//!   async model they also count as deliveries.
+
+mod actions;
+mod mailbox;
+mod meter;
+mod observer;
+
+pub use actions::{Actions, Emit, Step};
+pub use mailbox::{Candidate, LinkFabric, Received};
+pub use meter::CostMeter;
+pub use observer::{NullObserver, Observer, SendEvent, TraceEvent};

@@ -1,0 +1,94 @@
+//! The unified trace-event stream.
+//!
+//! Both engines emit the same [`TraceEvent`]s through an [`Observer`], so
+//! tooling written against the stream — the space-time
+//! [`crate::trace::Trace`], test probes, future structured logging — works
+//! for either model without knowing which engine produced the run.
+
+use crate::port::Port;
+
+/// One message transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendEvent {
+    /// Time of the send: the global cycle in the synchronous model, the
+    /// arrival epoch in the asynchronous model.
+    pub cycle: u64,
+    /// Sending processor.
+    pub from: usize,
+    /// Receiving processor.
+    pub to: usize,
+    /// Encoded length of the message.
+    pub bits: usize,
+}
+
+/// One event of a run, as emitted by either engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was sent.
+    Send(SendEvent),
+    /// A message was consumed at (or discarded by) its receiver.
+    Deliver {
+        /// Consumption time: cycle (sync) or delivery epoch (async).
+        time: u64,
+        /// Receiving processor.
+        to: usize,
+        /// Local arrival port.
+        port: Port,
+        /// True when the receiver had already halted and the message was
+        /// discarded.
+        dropped: bool,
+    },
+    /// A processor halted.
+    Halt {
+        /// Halt time: cycle (sync) or event epoch (async).
+        time: u64,
+        /// The halting processor.
+        processor: usize,
+    },
+}
+
+/// A sink for [`TraceEvent`]s.
+pub trait Observer {
+    /// Receives one event, in execution order.
+    fn on_event(&mut self, event: &TraceEvent);
+}
+
+/// Discards every event; the observer behind the plain `run` entry points.
+/// Engines are generic over the observer, so this compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_event(&mut self, _event: &TraceEvent) {}
+}
+
+impl<F: FnMut(&TraceEvent)> Observer for F {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{NullObserver, Observer, SendEvent, TraceEvent};
+
+    #[test]
+    fn closures_are_observers() {
+        let mut seen = Vec::new();
+        {
+            let mut obs = |ev: &TraceEvent| seen.push(*ev);
+            obs.on_event(&TraceEvent::Halt {
+                time: 1,
+                processor: 0,
+            });
+            obs.on_event(&TraceEvent::Send(SendEvent {
+                cycle: 0,
+                from: 0,
+                to: 1,
+                bits: 4,
+            }));
+        }
+        assert_eq!(seen.len(), 2);
+        NullObserver.on_event(&seen[0]);
+    }
+}

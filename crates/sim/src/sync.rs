@@ -4,12 +4,17 @@
 //! one message to each neighbour; messages sent in cycle `t` are available
 //! to the receiver in cycle `t + 1`, so information travels exactly one hop
 //! per cycle — the property Lemma 3.1 (and every lower bound in the paper)
-//! depends on. The engine enforces this by double-buffering inboxes.
+//! depends on. The engine enforces this by tagging each message with its
+//! due cycle in the shared [`LinkFabric`], which refuses to release it
+//! early.
 //!
 //! Processors may have individual *wake-up* cycles (paper §4.2.3): a
 //! processor is idle until its spontaneous wake-up time or until a message
 //! arrives, whichever comes first, and its `local_cycle` counts from that
 //! moment.
+//!
+//! This engine is a thin driver over [`crate::runtime`]: queues, cost
+//! accounting and trace events all come from the shared substrate.
 
 use std::fmt;
 
@@ -17,138 +22,10 @@ use crate::config::RingConfig;
 use crate::error::SimError;
 use crate::message::Message;
 use crate::port::Port;
+use crate::runtime::{CostMeter, LinkFabric, NullObserver, Observer, TraceEvent};
 use crate::topology::RingTopology;
 
-/// The messages a processor received at the start of a cycle (sent by its
-/// neighbours in the previous cycle). At most one message per port.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Received<M> {
-    /// Message that arrived on the local left port, if any.
-    pub from_left: Option<M>,
-    /// Message that arrived on the local right port, if any.
-    pub from_right: Option<M>,
-}
-
-impl<M> Received<M> {
-    /// A reception with no messages.
-    #[must_use]
-    pub fn empty() -> Received<M> {
-        Received {
-            from_left: None,
-            from_right: None,
-        }
-    }
-
-    /// Whether no message arrived this cycle.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.from_left.is_none() && self.from_right.is_none()
-    }
-
-    /// Iterates over the (port, message) pairs that arrived.
-    pub fn iter(&self) -> impl Iterator<Item = (Port, &M)> {
-        self.from_left
-            .iter()
-            .map(|m| (Port::Left, m))
-            .chain(self.from_right.iter().map(|m| (Port::Right, m)))
-    }
-
-    /// The message that arrived on `port`, if any.
-    #[must_use]
-    pub fn on(&self, port: Port) -> Option<&M> {
-        match port {
-            Port::Left => self.from_left.as_ref(),
-            Port::Right => self.from_right.as_ref(),
-        }
-    }
-}
-
-impl<M> Default for Received<M> {
-    fn default() -> Self {
-        Received::empty()
-    }
-}
-
-/// What a processor does in one cycle: at most one message per port, and
-/// possibly halting with an output. Messages emitted in the halting step
-/// are still delivered (the paper's AND algorithm "forwards it and halts").
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Step<M, O> {
-    /// Message to send on the local left port.
-    pub to_left: Option<M>,
-    /// Message to send on the local right port.
-    pub to_right: Option<M>,
-    /// `Some(output)` to halt at the end of this cycle.
-    pub halt: Option<O>,
-}
-
-impl<M, O> Step<M, O> {
-    /// Do nothing this cycle.
-    #[must_use]
-    pub fn idle() -> Step<M, O> {
-        Step {
-            to_left: None,
-            to_right: None,
-            halt: None,
-        }
-    }
-
-    /// Send `m` on the left port only.
-    #[must_use]
-    pub fn send_left(m: M) -> Step<M, O> {
-        Step {
-            to_left: Some(m),
-            to_right: None,
-            halt: None,
-        }
-    }
-
-    /// Send `m` on the right port only.
-    #[must_use]
-    pub fn send_right(m: M) -> Step<M, O> {
-        Step {
-            to_left: None,
-            to_right: Some(m),
-            halt: None,
-        }
-    }
-
-    /// Send on both ports.
-    #[must_use]
-    pub fn send_both(left: M, right: M) -> Step<M, O> {
-        Step {
-            to_left: Some(left),
-            to_right: Some(right),
-            halt: None,
-        }
-    }
-
-    /// Send `m` on `port`.
-    #[must_use]
-    pub fn send(port: Port, m: M) -> Step<M, O> {
-        match port {
-            Port::Left => Step::send_left(m),
-            Port::Right => Step::send_right(m),
-        }
-    }
-
-    /// Halt immediately with `output`, sending nothing.
-    #[must_use]
-    pub fn halt(output: O) -> Step<M, O> {
-        Step {
-            to_left: None,
-            to_right: None,
-            halt: Some(output),
-        }
-    }
-
-    /// Adds a halt to this step (messages are still sent).
-    #[must_use]
-    pub fn and_halt(mut self, output: O) -> Step<M, O> {
-        self.halt = Some(output);
-        self
-    }
-}
+pub use crate::runtime::{Emit, Received, Step};
 
 /// A processor of a synchronous ring algorithm.
 ///
@@ -205,9 +82,6 @@ impl<O> SyncReport<O> {
     }
 }
 
-/// One cycle's collected emissions: (sender, step) pairs.
-type Emissions<M, O> = Vec<(usize, Step<M, O>)>;
-
 /// Driver for a synchronous ring computation.
 #[derive(Debug, Clone)]
 pub struct SyncEngine<P: SyncProcess> {
@@ -251,7 +125,10 @@ impl<P: SyncProcess> SyncEngine<P> {
     ///
     /// Panics only if the configuration is internally inconsistent, which
     /// [`RingConfig`] constructors prevent.
-    pub fn from_config<V>(config: &RingConfig<V>, mut make: impl FnMut(usize, &V) -> P) -> SyncEngine<P> {
+    pub fn from_config<V>(
+        config: &RingConfig<V>,
+        mut make: impl FnMut(usize, &V) -> P,
+    ) -> SyncEngine<P> {
         let procs = config
             .inputs()
             .iter()
@@ -293,7 +170,7 @@ impl<P: SyncProcess> SyncEngine<P> {
     /// Returns [`SimError::MaxCyclesExceeded`] if some processor fails to
     /// halt within the cycle budget.
     pub fn run(&mut self) -> Result<SyncReport<P::Output>, SimError> {
-        self.run_inner(|_, _| {}, |_| {})
+        self.run_inner(|_, _| {}, &mut NullObserver)
     }
 
     /// Runs the computation, invoking `observe(cycle, procs)` after every
@@ -308,7 +185,21 @@ impl<P: SyncProcess> SyncEngine<P> {
         &mut self,
         observe: impl FnMut(u64, &[P]),
     ) -> Result<SyncReport<P::Output>, SimError> {
-        self.run_inner(observe, |_| {})
+        self.run_inner(observe, &mut NullObserver)
+    }
+
+    /// Runs the computation while streaming every [`TraceEvent`] to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MaxCyclesExceeded`] if some processor fails to
+    /// halt within the cycle budget.
+    pub fn run_with_observer(
+        &mut self,
+        observer: &mut impl Observer,
+    ) -> Result<SyncReport<P::Output>, SimError> {
+        self.run_inner(|_, _| {}, observer)
     }
 
     /// Runs the computation while recording every message send into a
@@ -318,98 +209,95 @@ impl<P: SyncProcess> SyncEngine<P> {
     ///
     /// Returns [`SimError::MaxCyclesExceeded`] if some processor fails to
     /// halt within the cycle budget.
-    pub fn run_traced(
-        &mut self,
-    ) -> Result<(SyncReport<P::Output>, crate::trace::Trace), SimError> {
+    pub fn run_traced(&mut self) -> Result<(SyncReport<P::Output>, crate::trace::Trace), SimError> {
         let mut trace = crate::trace::Trace::new(self.topology.n());
-        let report = self.run_inner(|_, _| {}, |ev| trace.record(ev))?;
+        let report = self.run_inner(|_, _| {}, &mut trace)?;
         Ok((report, trace))
     }
 
     fn run_inner(
         &mut self,
         mut observe: impl FnMut(u64, &[P]),
-        mut on_send: impl FnMut(crate::trace::SendEvent),
+        observer: &mut impl Observer,
     ) -> Result<SyncReport<P::Output>, SimError> {
         let n = self.topology.n();
+        let procs = &mut self.procs;
+        let wake_at = &self.wake_at;
         let mut halted: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
         let mut halt_cycles = vec![0u64; n];
         let mut awake = vec![false; n];
         let mut local_cycle = vec![0u64; n];
-        let mut inbox: Vec<Received<P::Msg>> = (0..n).map(|_| Received::empty()).collect();
-        let mut messages = 0u64;
-        let mut bits = 0u64;
-        let mut dropped = 0u64;
-        let mut per_cycle = Vec::new();
+        let mut meter = CostMeter::new();
+        let mut fabric: LinkFabric<P::Msg> = LinkFabric::new(&self.topology);
 
         for cycle in 0..self.max_cycles {
-            // Wake-ups: spontaneous or message-triggered.
+            // Wake-ups: spontaneous or message-triggered. Messages due this
+            // cycle were sent last cycle, so the due set is fixed before any
+            // processor steps.
             for i in 0..n {
-                if !awake[i] && (cycle >= self.wake_at[i] || !inbox[i].is_empty()) {
+                if !awake[i] && (cycle >= wake_at[i] || fabric.has_due(i, cycle)) {
                     awake[i] = true;
                 }
             }
 
-            // Step every awake, running processor on last cycle's inbox.
-            let mut outgoing: Emissions<P::Msg, P::Output> = Vec::new();
+            // Step every awake, running processor on last cycle's sends;
+            // emissions go back into the fabric due next cycle, so they
+            // cannot be consumed within this one.
             for i in 0..n {
-                if !awake[i] || halted[i].is_some() {
-                    if halted[i].is_some() && !inbox[i].is_empty() {
-                        dropped += u64::from(inbox[i].from_left.is_some())
-                            + u64::from(inbox[i].from_right.is_some());
+                if halted[i].is_some() {
+                    for (port, _) in fabric.take_due(i, cycle).iter() {
+                        meter.record_drop();
+                        observer.on_event(&TraceEvent::Deliver {
+                            time: cycle,
+                            to: i,
+                            port,
+                            dropped: true,
+                        });
                     }
-                    inbox[i] = Received::empty();
                     continue;
                 }
-                let rx = std::mem::take(&mut inbox[i]);
-                let step = self.procs[i].step(local_cycle[i], rx);
+                if !awake[i] {
+                    continue;
+                }
+                let rx = fabric.take_due(i, cycle);
+                for (port, _) in rx.iter() {
+                    observer.on_event(&TraceEvent::Deliver {
+                        time: cycle,
+                        to: i,
+                        port,
+                        dropped: false,
+                    });
+                }
+                let step = procs[i].step(local_cycle[i], rx);
                 local_cycle[i] += 1;
-                outgoing.push((i, step));
-            }
-
-            // Deliver into the next cycle's inboxes and account costs.
-            let mut sent_this_cycle = 0u64;
-            for (i, step) in outgoing {
                 for (port, msg) in [(Port::Left, step.to_left), (Port::Right, step.to_right)] {
                     if let Some(msg) = msg {
-                        sent_this_cycle += 1;
-                        bits += msg.bit_len() as u64;
-                        let (j, arrival) = self.topology.neighbor(i, port);
-                        on_send(crate::trace::SendEvent {
-                            cycle,
-                            from: i,
-                            to: j,
-                            bits: msg.bit_len(),
-                        });
-                        let slot = match arrival {
-                            Port::Left => &mut inbox[j].from_left,
-                            Port::Right => &mut inbox[j].from_right,
-                        };
-                        debug_assert!(slot.is_none(), "one message per port per cycle");
-                        *slot = Some(msg);
+                        fabric.send(i, port, msg, cycle, cycle + 1, &mut meter, observer);
                     }
                 }
                 if let Some(output) = step.halt {
                     halted[i] = Some(output);
                     halt_cycles[i] = cycle;
+                    observer.on_event(&TraceEvent::Halt {
+                        time: cycle,
+                        processor: i,
+                    });
                 }
             }
-            messages += sent_this_cycle;
-            per_cycle.push(sent_this_cycle);
-            observe(cycle, &self.procs);
+            meter.close_time(cycle);
+            observe(cycle, procs);
 
             if halted.iter().all(Option::is_some) {
                 // Anything still in flight at halt time is dropped.
-                dropped += inbox
-                    .iter()
-                    .map(|r| u64::from(r.from_left.is_some()) + u64::from(r.from_right.is_some()))
-                    .sum::<u64>();
+                for _ in 0..fabric.drain_remaining() {
+                    meter.record_drop();
+                }
                 return Ok(SyncReport {
-                    messages,
-                    bits,
+                    messages: meter.messages,
+                    bits: meter.bits,
                     cycles: cycle + 1,
-                    dropped,
-                    per_cycle_messages: per_cycle,
+                    dropped: meter.dropped,
+                    per_cycle_messages: meter.per_time_messages,
                     halt_cycles,
                     outputs: halted.into_iter().map(Option::unwrap).collect(),
                 });
@@ -475,7 +363,10 @@ mod tests {
         assert_eq!(report.messages, n);
         assert_eq!(report.cycles, n + 1);
         // Exactly one message per cycle for the first n cycles.
-        assert_eq!(&report.per_cycle_messages[..n as usize], vec![1; 6].as_slice());
+        assert_eq!(
+            &report.per_cycle_messages[..n as usize],
+            vec![1; 6].as_slice()
+        );
     }
 
     #[derive(Debug)]
@@ -531,8 +422,12 @@ mod tests {
         let mut engine = SyncEngine::new(
             topo,
             vec![
-                WakeProbe { woken_by_msg: false },
-                WakeProbe { woken_by_msg: false },
+                WakeProbe {
+                    woken_by_msg: false,
+                },
+                WakeProbe {
+                    woken_by_msg: false,
+                },
             ],
         )
         .unwrap();
@@ -585,8 +480,11 @@ mod tests {
     #[test]
     fn final_step_messages_are_sent_then_dropped_at_halted_peers() {
         let topo = RingTopology::oriented(3).unwrap();
-        let mut engine =
-            SyncEngine::new(topo, vec![SendOnceAndHalt, SendOnceAndHalt, SendOnceAndHalt]).unwrap();
+        let mut engine = SyncEngine::new(
+            topo,
+            vec![SendOnceAndHalt, SendOnceAndHalt, SendOnceAndHalt],
+        )
+        .unwrap();
         let report = engine.run().unwrap();
         assert_eq!(report.messages, 6);
         assert_eq!(report.bits, 48);
@@ -626,13 +524,39 @@ mod tests {
             Orientation::Clockwise,
         ])
         .unwrap();
-        let mut engine = SyncEngine::new(
-            topo,
-            (0..3).map(|idx| Probe { idx, got: None }).collect(),
-        )
-        .unwrap();
+        let mut engine =
+            SyncEngine::new(topo, (0..3).map(|idx| Probe { idx, got: None }).collect()).unwrap();
         let report = engine.run().unwrap();
         assert_eq!(report.outputs()[1], Some((Port::Right, 42)));
         assert_eq!(report.outputs()[2], None);
+    }
+
+    /// The halting-cycle drop path also streams `Deliver { dropped: true }`
+    /// events — the unified stream covers drops, not just sends.
+    #[test]
+    fn observer_sees_sends_deliveries_and_halts() {
+        let topo = RingTopology::oriented(3).unwrap();
+        let mut engine = SyncEngine::new(
+            topo,
+            vec![SendOnceAndHalt, SendOnceAndHalt, SendOnceAndHalt],
+        )
+        .unwrap();
+        let mut sends = 0u64;
+        let mut drops = 0u64;
+        let mut halts = 0u64;
+        let report = {
+            let mut obs = |ev: &TraceEvent| match ev {
+                TraceEvent::Send(_) => sends += 1,
+                TraceEvent::Deliver { dropped, .. } => drops += u64::from(*dropped),
+                TraceEvent::Halt { .. } => halts += 1,
+            };
+            engine.run_with_observer(&mut obs).unwrap()
+        };
+        assert_eq!(sends, report.messages);
+        assert_eq!(halts, 3);
+        // The six in-flight messages are drained at end of run, not
+        // delivered, so no dropped Deliver events fire here.
+        assert_eq!(drops, 0);
+        assert_eq!(report.dropped, 6);
     }
 }

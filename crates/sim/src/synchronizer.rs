@@ -15,6 +15,7 @@
 use crate::message::Message;
 use crate::port::Port;
 use crate::r#async::{Actions, AsyncProcess};
+use crate::runtime::Emit;
 use crate::sync::{Received, Step, SyncProcess};
 use std::collections::VecDeque;
 
@@ -84,7 +85,7 @@ impl<M> PortState<M> {
 ///
 /// ```
 /// use anonring_sim::r#async::{AsyncEngine, RandomScheduler};
-/// use anonring_sim::sync::{Received, Step, SyncProcess};
+/// use anonring_sim::sync::{Emit, Received, Step, SyncProcess};
 /// use anonring_sim::synchronizer::Synchronized;
 /// use anonring_sim::RingTopology;
 ///
@@ -186,7 +187,11 @@ impl<P: SyncProcess> AsyncProcess for Synchronized<P> {
         self.advance()
     }
 
-    fn on_message(&mut self, from: Port, env: Envelope<P::Msg>) -> Actions<Self::Msg, Self::Output> {
+    fn on_message(
+        &mut self,
+        from: Port,
+        env: Envelope<P::Msg>,
+    ) -> Actions<Self::Msg, Self::Output> {
         let port = match from {
             Port::Left => &mut self.left,
             Port::Right => &mut self.right,
@@ -247,7 +252,10 @@ mod tests {
         engine.run().unwrap().into_outputs()
     }
 
-    fn async_outputs(config: &RingConfig<u8>, sched: &mut dyn crate::r#async::Scheduler) -> Vec<Vec<u8>> {
+    fn async_outputs(
+        config: &RingConfig<u8>,
+        sched: &mut dyn crate::r#async::Scheduler,
+    ) -> Vec<Vec<u8>> {
         let mut engine = AsyncEngine::from_config(config, |_, &input| {
             Synchronized::new(Gossip {
                 input,

@@ -267,7 +267,12 @@ mod tests {
 
     #[test]
     fn oriented_iff_left_of_right_is_identity() {
-        for bits in [vec![1, 1, 1, 1], vec![0, 0, 0], vec![1, 0, 1], vec![1, 1, 0]] {
+        for bits in [
+            vec![1, 1, 1, 1],
+            vec![0, 0, 0],
+            vec![1, 0, 1],
+            vec![1, 1, 0],
+        ] {
             let r = RingTopology::from_bits(&bits).unwrap();
             let paper_oriented = (0..r.n()).all(|i| r.left_of(r.right_of(i)) == i);
             assert_eq!(r.is_oriented(), paper_oriented, "bits {bits:?}");
@@ -276,11 +281,19 @@ mod tests {
 
     #[test]
     fn quasi_orientation() {
-        assert!(RingTopology::from_bits(&[1, 1, 1]).unwrap().is_quasi_oriented());
-        assert!(RingTopology::from_bits(&[1, 0, 1, 0]).unwrap().is_quasi_oriented());
-        assert!(!RingTopology::from_bits(&[1, 1, 0]).unwrap().is_quasi_oriented());
+        assert!(RingTopology::from_bits(&[1, 1, 1])
+            .unwrap()
+            .is_quasi_oriented());
+        assert!(RingTopology::from_bits(&[1, 0, 1, 0])
+            .unwrap()
+            .is_quasi_oriented());
+        assert!(!RingTopology::from_bits(&[1, 1, 0])
+            .unwrap()
+            .is_quasi_oriented());
         // Odd rings cannot alternate.
-        assert!(!RingTopology::from_bits(&[1, 0, 1]).unwrap().is_quasi_oriented());
+        assert!(!RingTopology::from_bits(&[1, 0, 1])
+            .unwrap()
+            .is_quasi_oriented());
     }
 
     #[test]

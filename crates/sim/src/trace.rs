@@ -1,25 +1,21 @@
-//! Space-time traces of synchronous runs.
+//! Space-time traces of ring computations.
 //!
 //! The paper's arguments are all about *which cycles carry messages and
 //! where*: symmetry means many processors send simultaneously; silence
 //! carries information. A [`Trace`] records every send and renders an
 //! ASCII space-time diagram — one row per cycle, one column per
 //! processor — that makes both phenomena visible.
+//!
+//! `Trace` is an [`Observer`] over the unified
+//! [`crate::runtime::TraceEvent`] stream, so the same rendering works for
+//! synchronous runs (rows are cycles) and asynchronous runs (rows are
+//! arrival epochs).
 
 use std::fmt;
 
-/// One message transmission.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SendEvent {
-    /// Global cycle of the send.
-    pub cycle: u64,
-    /// Sending processor.
-    pub from: usize,
-    /// Receiving processor.
-    pub to: usize,
-    /// Encoded length of the message.
-    pub bits: usize,
-}
+use crate::runtime::{Observer, TraceEvent};
+
+pub use crate::runtime::SendEvent;
 
 /// A recorded synchronous run.
 #[derive(Debug, Clone, Default)]
@@ -52,7 +48,12 @@ impl Trace {
     /// Messages sent per cycle (index = cycle).
     #[must_use]
     pub fn per_cycle(&self) -> Vec<u64> {
-        let cycles = self.events.iter().map(|e| e.cycle).max().map_or(0, |c| c + 1);
+        let cycles = self
+            .events
+            .iter()
+            .map(|e| e.cycle)
+            .max()
+            .map_or(0, |c| c + 1);
         let mut counts = vec![0u64; cycles as usize];
         for e in &self.events {
             counts[e.cycle as usize] += 1;
@@ -68,7 +69,9 @@ impl Trace {
         let mut out = String::new();
         let per_cycle = self.per_cycle();
         let total_cycles = per_cycle.len();
-        let header: String = (0..self.n).map(|i| ((i % 10) as u8 + b'0') as char).collect();
+        let header: String = (0..self.n)
+            .map(|i| ((i % 10) as u8 + b'0') as char)
+            .collect();
         out.push_str(&format!("cycle  {header}\n"));
         let mut rendered = 0usize;
         for cycle in 0..total_cycles {
@@ -108,6 +111,14 @@ impl Trace {
     }
 }
 
+impl Observer for Trace {
+    fn on_event(&mut self, event: &TraceEvent) {
+        if let TraceEvent::Send(send) = event {
+            self.record(*send);
+        }
+    }
+}
+
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.render(40))
@@ -116,7 +127,7 @@ impl fmt::Display for Trace {
 
 #[cfg(test)]
 mod tests {
-    use crate::sync::{Received, Step, SyncEngine, SyncProcess};
+    use crate::sync::{Emit, Received, Step, SyncEngine, SyncProcess};
     use crate::RingTopology;
 
     #[derive(Debug)]

@@ -8,9 +8,8 @@ use anonring_sim::{
 use proptest::prelude::*;
 
 fn arb_orientations(max_n: usize) -> impl Strategy<Value = Vec<Orientation>> {
-    (2..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0u8..=1).prop_map(Orientation::from_bit), n)
-    })
+    (2..=max_n)
+        .prop_flat_map(|n| proptest::collection::vec((0u8..=1).prop_map(Orientation::from_bit), n))
 }
 
 fn arb_config(max_n: usize) -> impl Strategy<Value = RingConfig<u8>> {

@@ -80,7 +80,10 @@ pub const START_SYNC_ARBITRARY_MIN_N: usize = 486;
 ///   (does not happen for supported sizes).
 pub fn start_sync_arbitrary(n: usize) -> Result<StartSyncWitness, ConstructionError> {
     if !n.is_multiple_of(2) {
-        return Err(ConstructionError::WrongParity { n, needs_even: true });
+        return Err(ConstructionError::WrongParity {
+            n,
+            needs_even: true,
+        });
     }
     if n < START_SYNC_ARBITRARY_MIN_N {
         return Err(ConstructionError::TooSmall {

@@ -45,7 +45,11 @@ pub fn lemma_7_8(p: u64, q: u64, n: u64) -> (i64, i64) {
     debug_assert_eq!(r * p_i + s * q_i, n_i);
     // Minimise |r - s| by stepping along the solution lattice.
     loop {
-        let better = if r > s { (r - q_i, s + p_i) } else { (r + q_i, s - p_i) };
+        let better = if r > s {
+            (r - q_i, s + p_i)
+        } else {
+            (r + q_i, s - p_i)
+        };
         if (better.0 - better.1).abs() < (r - s).abs() {
             r = better.0;
             s = better.1;

@@ -247,8 +247,7 @@ impl Word {
     /// Whether `other` is a cyclic rotation of `self`.
     #[must_use]
     pub fn is_rotation_of(&self, other: &Word) -> bool {
-        self.len() == other.len()
-            && (self.is_empty() || self.concat(self).occurrences(other) > 0)
+        self.len() == other.len() && (self.is_empty() || self.concat(self).occurrences(other) > 0)
     }
 
     /// Prefix-XOR: `out[i] = ω₁ ⊕ … ⊕ ω_{i+1}` — the paper's §7.2.1 map

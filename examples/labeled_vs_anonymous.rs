@@ -16,7 +16,10 @@ use anonring::sim::r#async::SynchronizingScheduler;
 use anonring::sim::RingConfig;
 
 fn main() {
-    println!("{:>6} {:>12} {:>12} {:>14} {:>14}", "n", "HS elect", "Peterson", "elect+collect", "anonymous");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>14}",
+        "n", "HS elect", "Peterson", "elect+collect", "anonymous"
+    );
     for n in [16usize, 64, 256, 1024] {
         let ids: Vec<u64> = (0..n as u64).map(|i| (i * 48271) % 999983).collect();
         let config = RingConfig::oriented(ids);

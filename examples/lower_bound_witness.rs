@@ -53,11 +53,15 @@ fn main() {
         c1.messages.max(c2.messages),
     );
 
-    if let Some(n) = std::env::args().nth(1).and_then(|s| s.parse::<usize>().ok()) {
+    if let Some(n) = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<usize>().ok())
+    {
         println!("== §7.1.1: XOR at your arbitrary n = {n} ==");
         match xor_sync_pair_arbitrary(n, 8) {
             Ok(pair) => {
-                pair.verify_structure().expect("measured beta always verifies");
+                pair.verify_structure()
+                    .expect("measured beta always verifies");
                 let c1 = compute_sync(&pair.r1, &Xor).expect("run");
                 println!(
                     "certified lower bound {:.1}, measured {} messages — \

@@ -16,13 +16,16 @@ fn main() {
     // identifier; everybody runs exactly the same code.
     let config = RingConfig::oriented_bits("10110100").expect("valid ring");
     let n = config.n();
-    println!("ring of {n} anonymous processors, inputs {:?}\n", config.inputs());
+    println!(
+        "ring of {n} anonymous processors, inputs {:?}\n",
+        config.inputs()
+    );
 
     for f in [&And as &dyn RingFunction, &Or, &Xor, &Sum] {
         // The asynchronous route: full input distribution under an
         // adversarial (here random) message schedule.
-        let asynchronous = compute_async(&config, f, &mut RandomScheduler::new(42))
-            .expect("engine run");
+        let asynchronous =
+            compute_async(&config, f, &mut RandomScheduler::new(42)).expect("engine run");
         // The synchronous route: the Figure 2 label-manufacturing
         // algorithm, exponentially cheaper in messages.
         let synchronous = compute_sync(&config, f).expect("engine run");

@@ -51,12 +51,10 @@ fn all_three_compute_routes_agree_on_arbitrary_rings() {
                 RingConfig::new(pseudo_bits(n, seed), pseudo_orientations(n, seed)).unwrap();
             for f in [&And as &dyn RingFunction, &Or, &Xor, &Sum, &Max] {
                 let truth = {
-                    let xs: Vec<u64> =
-                        config.inputs().iter().map(|&b| u64::from(b)).collect();
+                    let xs: Vec<u64> = config.inputs().iter().map(|&b| u64::from(b)).collect();
                     f.evaluate(&xs)
                 };
-                let via_async =
-                    compute_async(&config, f, &mut RandomScheduler::new(seed)).unwrap();
+                let via_async = compute_async(&config, f, &mut RandomScheduler::new(seed)).unwrap();
                 assert_eq!(via_async.value(), truth, "{} async n={n}", f.name());
                 let via_general = compute_sync_general(&config, f).unwrap();
                 assert_eq!(via_general.value(), truth, "{} general n={n}", f.name());

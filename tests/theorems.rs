@@ -1,6 +1,7 @@
 //! The paper's theorems, checked end to end at integration level.
 
 use anonring::core::algorithms::compute::compute_sync;
+use anonring::core::algorithms::sync_input_dist::SyncInputDist;
 use anonring::core::bounds;
 use anonring::core::computability::{
     states_agree, theorem_3_2_witness, theorem_3_3_witness, theorem_3_5_witness,
@@ -12,7 +13,6 @@ use anonring::core::lower_bounds::witnesses::{
     and_async_pair, constant_gap_async_pair, orientation_async_pair, orientation_sync_pair,
     start_sync_pair, xor_sync_pair, xor_sync_pair_arbitrary,
 };
-use anonring::core::algorithms::sync_input_dist::SyncInputDist;
 use anonring::sim::neighborhood;
 
 #[test]
@@ -76,10 +76,7 @@ fn theorem_3_5_even_rings_cannot_be_oriented() {
         let n = 2 * half;
         for i in 0..half {
             let j = n - 1 - i;
-            assert_eq!(
-                neighborhood(&config, i, n),
-                neighborhood(&config, j, n)
-            );
+            assert_eq!(neighborhood(&config, i, n), neighborhood(&config, j, n));
             assert_ne!(
                 config.topology().orientation(i),
                 config.topology().orientation(j)
@@ -95,7 +92,9 @@ fn lemma_3_1_engine_level() {
     let c1 = anonring::sim::RingConfig::oriented_bits("011011011").unwrap();
     let c2 = anonring::sim::RingConfig::oriented_bits("011011000").unwrap();
     assert_eq!(neighborhood(&c1, 2, 2), neighborhood(&c2, 2, 2));
-    assert!(states_agree(&c1, 2, &c2, 2, 2, |_, &b| SyncInputDist::new(9, b)));
+    assert!(states_agree(&c1, 2, &c2, 2, 2, |_, &b| SyncInputDist::new(
+        9, b
+    )));
 }
 
 #[test]
@@ -179,13 +178,13 @@ fn every_paper_bound_formula_is_respected_by_its_algorithm() {
     let inputs: Vec<u8> = (0..n).map(|i| ((i * 37) % 5 == 0) as u8).collect();
     let config = anonring::sim::RingConfig::oriented(inputs);
     let fig2 = anonring::core::algorithms::sync_input_dist::run(&config).unwrap();
-    assert!(
-        (fig2.messages as f64) <= bounds::sync_input_dist_messages(n as u64) + n as f64
-    );
+    assert!((fig2.messages as f64) <= bounds::sync_input_dist_messages(n as u64) + n as f64);
     assert!((fig2.cycles as f64) <= bounds::sync_input_dist_cycles(n as u64));
 
     let topo = anonring::sim::RingTopology::from_bits(
-        &(0..n).map(|i| ((i * 29) % 3 == 0) as u8).collect::<Vec<_>>(),
+        &(0..n)
+            .map(|i| ((i * 29) % 3 == 0) as u8)
+            .collect::<Vec<_>>(),
     )
     .unwrap();
     let fig4 = anonring::core::algorithms::orientation::run(&topo).unwrap();
