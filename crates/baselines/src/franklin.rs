@@ -38,6 +38,8 @@ pub struct Franklin {
     id: u64,
     active: bool,
     announced: bool,
+    /// Election round this candidate is in (survivals increment it).
+    round: u64,
     /// Buffered candidate values per port, in FIFO (= round) order.
     pending: [VecDeque<u64>; 2],
 }
@@ -50,6 +52,7 @@ impl Franklin {
             id,
             active: true,
             announced: false,
+            round: 0,
             pending: [VecDeque::new(), VecDeque::new()],
         }
     }
@@ -64,13 +67,17 @@ impl Franklin {
                 // Our label circumnavigated: sole survivor.
                 self.active = false;
                 self.announced = true;
-                return actions.and_send(Port::Right, FranklinMsg::Announce(self.id));
+                return actions
+                    .and_send(Port::Right, FranklinMsg::Announce(self.id))
+                    .in_span("announce", self.round);
             }
             if self.id > left && self.id > right {
                 // Strict local maximum: next round.
+                self.round += 1;
                 actions = actions
                     .and_send(Port::Left, FranklinMsg::Value(self.id))
-                    .and_send(Port::Right, FranklinMsg::Value(self.id));
+                    .and_send(Port::Right, FranklinMsg::Value(self.id))
+                    .in_span("value", self.round);
             } else {
                 self.active = false;
                 // Retired candidates relay anything still buffered.
@@ -92,6 +99,7 @@ impl AsyncProcess for Franklin {
     fn on_start(&mut self) -> Actions<FranklinMsg, Elected> {
         Actions::send(Port::Left, FranklinMsg::Value(self.id))
             .and_send(Port::Right, FranklinMsg::Value(self.id))
+            .in_span("value", 0)
     }
 
     fn on_message(&mut self, from: Port, msg: FranklinMsg) -> Actions<FranklinMsg, Elected> {
@@ -101,8 +109,9 @@ impl AsyncProcess for Franklin {
                     self.pending[usize::from(from == Port::Right)].push_back(v);
                     self.decide()
                 } else {
-                    // Relay onwards in the same rotational direction.
-                    Actions::send(from.opposite(), FranklinMsg::Value(v))
+                    // Relay onwards in the same rotational direction (a
+                    // relay cannot know the value's round; see HS).
+                    Actions::send(from.opposite(), FranklinMsg::Value(v)).in_span("relay", 0)
                 }
             }
             FranklinMsg::Announce(leader) => {
@@ -113,10 +122,12 @@ impl AsyncProcess for Franklin {
                     })
                 } else {
                     self.announced = true;
-                    Actions::send(Port::Right, FranklinMsg::Announce(leader)).and_halt(Elected {
-                        leader,
-                        is_leader: self.id == leader,
-                    })
+                    Actions::send(Port::Right, FranklinMsg::Announce(leader))
+                        .and_halt(Elected {
+                            leader,
+                            is_leader: self.id == leader,
+                        })
+                        .in_span("announce", 0)
                 }
             }
         }

@@ -69,7 +69,9 @@ impl HirschbergSinclair {
             id: self.id,
             hops_left: 1 << self.phase,
         };
-        Actions::send(Port::Left, probe).and_send(Port::Right, probe)
+        Actions::send(Port::Left, probe)
+            .and_send(Port::Right, probe)
+            .in_span("probe", u64::from(self.phase))
     }
 }
 
@@ -86,11 +88,16 @@ impl AsyncProcess for HirschbergSinclair {
             HsMsg::Probe { id, hops_left } => {
                 if id == self.id {
                     // Our own probe circled the whole ring: we dominate it.
-                    return Actions::send(Port::Right, HsMsg::Announce { id });
+                    return Actions::send(Port::Right, HsMsg::Announce { id })
+                        .in_span("announce", 0);
                 }
                 if id < self.id {
                     return Actions::idle(); // swallowed
                 }
+                // Relays cannot recover the probe's phase number (the
+                // message carries only the remaining budget), so forwarded
+                // traffic aggregates under round 0; the per-phase profile
+                // counts launches, which the paper's 4·2ᵏ bound is about.
                 if hops_left > 1 {
                     Actions::send(
                         from.opposite(),
@@ -99,14 +106,15 @@ impl AsyncProcess for HirschbergSinclair {
                             hops_left: hops_left - 1,
                         },
                     )
+                    .in_span("forward", 0)
                 } else {
                     // Budget exhausted here: acknowledge back.
-                    Actions::send(from, HsMsg::Reply { id })
+                    Actions::send(from, HsMsg::Reply { id }).in_span("reply", 0)
                 }
             }
             HsMsg::Reply { id } => {
                 if id != self.id {
-                    return Actions::send(from.opposite(), HsMsg::Reply { id });
+                    return Actions::send(from.opposite(), HsMsg::Reply { id }).in_span("reply", 0);
                 }
                 self.replies += 1;
                 if self.replies == 2 {
@@ -124,10 +132,12 @@ impl AsyncProcess for HirschbergSinclair {
                         is_leader: true,
                     })
                 } else {
-                    Actions::send(Port::Right, HsMsg::Announce { id }).and_halt(Elected {
-                        leader: id,
-                        is_leader: false,
-                    })
+                    Actions::send(Port::Right, HsMsg::Announce { id })
+                        .and_halt(Elected {
+                            leader: id,
+                            is_leader: false,
+                        })
+                        .in_span("announce", 0)
                 }
             }
         }

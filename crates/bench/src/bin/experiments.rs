@@ -7,7 +7,9 @@
 //! With no arguments all experiments run in DESIGN.md order; arguments
 //! filter by experiment id. Markdown tables go to stdout (EXPERIMENTS.md
 //! records them); machine-readable per-cell costs go to
-//! `BENCH_sweep.json` in the working directory.
+//! `BENCH_sweep.json` in the working directory, and recorded telemetry
+//! runs (flight-recorder events + metrics snapshots, replayable with the
+//! `tracer` binary) to `TELEMETRY_<id>.jsonl` / `TELEMETRY_<id>.metrics.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -87,6 +89,22 @@ fn main() {
     match std::fs::write("BENCH_sweep.json", render_json(&results)) {
         Ok(()) => eprintln!("wrote BENCH_sweep.json ({} experiments)", results.len()),
         Err(err) => eprintln!("could not write BENCH_sweep.json: {err}"),
+    }
+    for artifacts in anonring_bench::telemetry_runs::default_artifacts() {
+        if !filters.is_empty() && !filters.iter().any(|f| f == artifacts.id) {
+            continue;
+        }
+        let events = format!("TELEMETRY_{}.jsonl", artifacts.id);
+        let metrics = format!("TELEMETRY_{}.metrics.json", artifacts.id);
+        match std::fs::write(&events, &artifacts.events_jsonl)
+            .and_then(|()| std::fs::write(&metrics, &artifacts.metrics_json))
+        {
+            Ok(()) => eprintln!(
+                "wrote {events} + {metrics} ({} messages)",
+                artifacts.messages
+            ),
+            Err(err) => eprintln!("could not write {events}: {err}"),
+        }
     }
     if failures > 0 {
         eprintln!("{failures} experiment(s) reported violations");

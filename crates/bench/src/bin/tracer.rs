@@ -1,0 +1,162 @@
+//! Inspects recorded telemetry runs (`TELEMETRY_*.jsonl`).
+//!
+//! ```text
+//! cargo run -p anonring-bench --bin tracer -- <recording.jsonl> [sections...]
+//! ```
+//!
+//! Sections (all by default): `summary` (totals), `phases` (per-span
+//! message/bit counts), `profile` (per-cycle activity), `diagram` (the
+//! space-time diagram, reusing the live [`Trace`] renderer on the
+//! replayed sends).
+
+use std::process::ExitCode;
+
+use anonring_sim::runtime::SendEvent;
+use anonring_sim::telemetry::{Recording, ReplayEvent};
+use anonring_sim::trace::Trace;
+
+const SECTIONS: [&str; 4] = ["summary", "phases", "profile", "diagram"];
+
+fn print_summary(rec: &Recording) {
+    println!("## summary\n");
+    println!("label:      {}", rec.label);
+    println!("ring size:  {}", rec.n);
+    println!("events:     {}", rec.events.len());
+    if rec.truncated > 0 {
+        println!(
+            "truncated:  {} (bounded recorder evicted older events)",
+            rec.truncated
+        );
+    }
+    println!("messages:   {}", rec.messages());
+    println!("bits:       {}", rec.bits());
+    let (mut delivers, mut drops, mut halts) = (0u64, 0u64, 0u64);
+    for e in &rec.events {
+        match e {
+            ReplayEvent::Deliver { dropped, .. } => {
+                delivers += 1;
+                drops += u64::from(*dropped);
+            }
+            ReplayEvent::Halt { .. } => halts += 1,
+            ReplayEvent::Send { .. } => {}
+        }
+    }
+    println!("deliveries: {delivers} ({drops} dropped at halted receivers)");
+    println!("halts:      {halts} of {}", rec.n);
+    let horizon = rec.events.iter().map(ReplayEvent::time).max();
+    if let Some(h) = horizon {
+        println!("time span:  0..={h}");
+    }
+    println!();
+}
+
+fn print_phases(rec: &Recording) {
+    println!("## phases\n");
+    let profile = rec.phase_profile();
+    if profile.is_empty() {
+        println!("(no sends recorded)\n");
+        return;
+    }
+    println!("| phase | round | messages | bits |");
+    println!("|---|---|---|---|");
+    for ((phase, round), (messages, bits)) in profile {
+        let name = if phase.is_empty() {
+            "(unspanned)"
+        } else {
+            &phase
+        };
+        println!("| {name} | {round} | {messages} | {bits} |");
+    }
+    println!();
+}
+
+fn print_profile(rec: &Recording) {
+    println!("## per-cycle activity\n");
+    println!("| t | sends | delivers | drops | halts |");
+    println!("|---|---|---|---|---|");
+    let rows = rec.per_time_activity();
+    let mut elided = 0usize;
+    for (t, (sends, delivers, drops, halts)) in rows.iter().enumerate() {
+        if sends + delivers + drops + halts == 0 {
+            elided += 1;
+            continue;
+        }
+        println!("| {t} | {sends} | {delivers} | {drops} | {halts} |");
+    }
+    if elided > 0 {
+        println!("\n({elided} quiet cycles elided)");
+    }
+    println!();
+}
+
+fn print_diagram(rec: &Recording) {
+    println!("## space-time diagram\n");
+    let mut trace = Trace::new(rec.n);
+    for event in &rec.events {
+        match *event {
+            ReplayEvent::Send {
+                time,
+                from,
+                to,
+                port,
+                bits,
+                ..
+            } => trace.record(SendEvent {
+                cycle: time,
+                from,
+                to,
+                port,
+                bits,
+                // Parsed phases are owned strings; the diagram doesn't use
+                // spans, so replayed sends carry none.
+                span: None,
+            }),
+            ReplayEvent::Deliver { time, .. } | ReplayEvent::Halt { time, .. } => {
+                trace.extend_horizon(time);
+            }
+        }
+    }
+    println!("{}", trace.render(60));
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .ok_or_else(|| format!("usage: tracer <recording.jsonl> [{}]", SECTIONS.join("|")))?;
+    let sections: Vec<String> = args.collect();
+    for s in &sections {
+        if !SECTIONS.contains(&s.as_str()) {
+            return Err(format!(
+                "unknown section {s:?} (expected one of {SECTIONS:?})"
+            ));
+        }
+    }
+    let wants = |name: &str| sections.is_empty() || sections.iter().any(|s| s == name);
+    let input = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let rec = Recording::parse_jsonl(&input).map_err(|e| format!("parse {path}: {e}"))?;
+    println!("# trace: {path}\n");
+    if wants("summary") {
+        print_summary(&rec);
+    }
+    if wants("phases") {
+        print_phases(&rec);
+    }
+    if wants("profile") {
+        print_profile(&rec);
+    }
+    if wants("diagram") {
+        print_diagram(&rec);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tracer: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

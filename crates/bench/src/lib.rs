@@ -21,6 +21,7 @@ pub mod lower_sync;
 pub mod microbench;
 pub mod sweep;
 pub mod table;
+pub mod telemetry_runs;
 pub mod upper;
 
 pub use table::{CellMetrics, Table};

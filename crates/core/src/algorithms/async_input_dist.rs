@@ -137,6 +137,7 @@ impl<V: Message + PartialEq> AsyncProcess for AsyncInputDist<V> {
                 input: self.input.clone(),
             },
         )
+        .in_span("scatter", 0)
     }
 
     fn on_message(&mut self, from: Port, msg: DistMsg<V>) -> Actions<Self::Msg, Self::Output> {
@@ -152,7 +153,9 @@ impl<V: Message + PartialEq> AsyncProcess for AsyncInputDist<V> {
         };
         self.record(from, j, &msg);
         let mut actions = if self.should_forward(j, msg.origin_port) {
-            Actions::send(from.opposite(), msg)
+            // Span round = hops already travelled; the forward reaches
+            // distance j + 1, giving a per-distance traffic profile.
+            Actions::send(from.opposite(), msg).in_span("forward", j as u64)
         } else {
             Actions::idle()
         };

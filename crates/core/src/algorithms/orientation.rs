@@ -88,6 +88,7 @@ pub struct OrientationProc {
     heard_this_round: bool,
     seg_seen: bool,
     rc: u64,
+    round: u64,
     mode: Mode,
     fin_sent: bool,
     /// Lead final-pass token per port: (parity bit, anchor tag).
@@ -113,6 +114,7 @@ impl OrientationProc {
             heard_this_round: false,
             seg_seen: false,
             rc: 0,
+            round: 0,
             mode: Mode::Rounds,
             fin_sent: false,
             fin_first: [None, None],
@@ -207,6 +209,7 @@ impl OrientationProc {
             }
             if self.heard_this_round {
                 self.rc = 0;
+                self.round += 1;
                 self.endpoint_mark = false;
                 self.got_one = false;
                 self.heard_this_round = false;
@@ -217,7 +220,17 @@ impl OrientationProc {
         } else {
             self.rc += 1;
         }
-        step
+        // Markers move in cycles 0..=n of a round and segment tokens in
+        // n+1..=2n+1, so a cycle's emissions share one phase.
+        let phase = match (&step.to_left, &step.to_right) {
+            (Some(OrientMsg::Marker(_)), _) | (_, Some(OrientMsg::Marker(_))) => Some("markers"),
+            (Some(OrientMsg::Seg(_)), _) | (_, Some(OrientMsg::Seg(_))) => Some("segment"),
+            _ => None,
+        };
+        match phase {
+            Some(phase) => step.in_span(phase, self.round),
+            None => step,
+        }
     }
 
     fn final_step(&mut self, rx: Received<OrientMsg>) -> Step<OrientMsg, bool> {
@@ -276,9 +289,9 @@ impl OrientationProc {
                 !same_l
             };
             self.switched = switch;
-            return step.and_halt(self.switched);
+            return step.and_halt(self.switched).in_span("final", self.round);
         }
-        step
+        step.in_span("final", self.round)
     }
 }
 

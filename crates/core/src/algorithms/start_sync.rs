@@ -66,7 +66,7 @@ impl SyncProcess for StartSync {
             // Spontaneous wake-up iff no message triggered it.
             self.active = rx.is_empty();
             if self.active {
-                return Step::send_both(0, 0);
+                return Step::send_both(0, 0).in_span("wakeup", 0);
             }
         } else {
             self.count += 1;
@@ -107,6 +107,10 @@ impl SyncProcess for StartSync {
                 step.to_left = Some(self.count);
                 step.to_right = Some(self.count);
             }
+        }
+        if step.to_left.is_some() || step.to_right.is_some() {
+            // Span round = tournament round (counts advance 2n per round).
+            step = step.in_span("tournament", self.count / self.round());
         }
         step
     }

@@ -61,6 +61,7 @@ pub struct SyncInputDist {
     got_right: Option<Word>,
     heard_phase_b: bool,
     rc: u64,
+    round: u64,
     mode: Mode,
 }
 
@@ -85,6 +86,7 @@ impl SyncInputDist {
             got_right: None,
             heard_phase_b: false,
             rc: 0,
+            round: 0,
             mode: Mode::Rounds,
         }
     }
@@ -170,6 +172,7 @@ impl SyncInputDist {
         if self.rc == 2 * n + 1 {
             if self.heard_phase_b {
                 self.rc = 0;
+                self.round += 1;
                 self.winner = false;
                 self.heard_phase_b = false;
                 self.got_left = None;
@@ -182,7 +185,18 @@ impl SyncInputDist {
         } else {
             self.rc += 1;
         }
-        step
+        // Within a cycle, every emission belongs to the same phase (labels
+        // move in cycles 0..n of a round, collections in n+1..2n+1), so
+        // one span per step is faithful.
+        let phase = match (&step.to_left, &step.to_right) {
+            (Some(IdMsg::Label(_)), _) | (_, Some(IdMsg::Label(_))) => Some("labels"),
+            (Some(IdMsg::Collect(_)), _) | (_, Some(IdMsg::Collect(_))) => Some("collect"),
+            _ => None,
+        };
+        match phase {
+            Some(phase) => step.in_span(phase, self.round),
+            None => step,
+        }
     }
 
     fn broadcast_step(&mut self, rx: Received<IdMsg>) -> Step<IdMsg, RingView<u8>> {
@@ -191,11 +205,14 @@ impl SyncInputDist {
             // the period starting at me.
             let period = self.label.rotated(self.label.len() - 1);
             return Step::send_right(IdMsg::Broadcast(self.label.clone()))
-                .and_halt(self.view_from_period(&period));
+                .and_halt(self.view_from_period(&period))
+                .in_span("broadcast", self.round);
         }
         if let Some(IdMsg::Broadcast(w)) = rx.from_left {
             let view = self.view_from_period(&w);
-            return Step::send_right(IdMsg::Broadcast(w.rotated(1))).and_halt(view);
+            return Step::send_right(IdMsg::Broadcast(w.rotated(1)))
+                .and_halt(view)
+                .in_span("broadcast", self.round);
         }
         debug_assert!(rx.is_empty(), "unexpected message in broadcast mode");
         Step::idle()

@@ -345,7 +345,16 @@ impl<P: AsyncProcess> AsyncEngine<P> {
         ) {
             let send_epoch = event_epoch + 1;
             for (port, msg) in actions.sends {
-                fabric.send(from, port, msg, send_epoch, send_epoch, meter, observer);
+                fabric.send(
+                    from,
+                    port,
+                    msg,
+                    send_epoch,
+                    send_epoch,
+                    actions.span,
+                    meter,
+                    observer,
+                );
             }
             if let Some(output) = actions.halt {
                 halted[from] = Some(output);

@@ -24,7 +24,10 @@
 //! * [`synchronizer`] — the §3 local-synchronization adapter that runs any
 //!   synchronous algorithm on an asynchronous ring;
 //! * [`trace`] — space-time diagrams, recorded through the observer stream
-//!   and therefore available for both models.
+//!   and therefore available for both models;
+//! * [`telemetry`] — the observability layer over the same stream: a
+//!   labelled metrics registry, per-phase span profiles, and a JSONL
+//!   flight recorder with offline replay.
 //!
 //! ## Cost-model invariants
 //!
@@ -85,6 +88,7 @@ pub mod port;
 pub mod runtime;
 pub mod sync;
 pub mod synchronizer;
+pub mod telemetry;
 pub mod topology;
 pub mod trace;
 pub mod wake;

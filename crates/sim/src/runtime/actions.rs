@@ -3,6 +3,7 @@
 //! async model's [`Actions`].
 
 use crate::port::Port;
+use crate::runtime::span::Span;
 
 /// What a synchronous processor does in one cycle: at most one message per
 /// port, and possibly halting with an output. Messages emitted in the
@@ -16,6 +17,9 @@ pub struct Step<M, O> {
     pub to_right: Option<M>,
     /// `Some(output)` to halt at the end of this cycle.
     pub halt: Option<O>,
+    /// Phase annotation stamped onto this cycle's sends (telemetry only;
+    /// no effect on execution).
+    pub span: Option<Span>,
 }
 
 /// What an asynchronous processor does in response to an event: any number
@@ -27,6 +31,9 @@ pub struct Actions<M, O> {
     pub sends: Vec<(Port, M)>,
     /// `Some(output)` to halt after this event.
     pub halt: Option<O>,
+    /// Phase annotation stamped onto this event's sends (telemetry only;
+    /// no effect on execution).
+    pub span: Option<Span>,
 }
 
 /// Constructors shared by every emission type ([`Step`], [`Actions`]).
@@ -48,6 +55,10 @@ pub trait Emit<M, O>: Sized {
 
     /// Marks this emission as halting with `output`.
     fn set_halt(&mut self, output: O);
+
+    /// Attaches a phase [`Span`] to this emission; the engines stamp it
+    /// onto every send the emission produces. Purely observational.
+    fn set_span(&mut self, span: Span);
 
     /// Send `msg` on `port`.
     #[must_use]
@@ -94,6 +105,14 @@ pub trait Emit<M, O>: Sized {
         self.set_halt(output);
         self
     }
+
+    /// Annotates this emission's sends as belonging to round `round` of
+    /// `phase` — the telemetry layer's messages-per-phase accounting hook.
+    #[must_use]
+    fn in_span(mut self, phase: &'static str, round: u64) -> Self {
+        self.set_span(Span::new(phase, round));
+        self
+    }
 }
 
 impl<M, O> Emit<M, O> for Step<M, O> {
@@ -102,6 +121,7 @@ impl<M, O> Emit<M, O> for Step<M, O> {
             to_left: None,
             to_right: None,
             halt: None,
+            span: None,
         }
     }
 
@@ -120,6 +140,10 @@ impl<M, O> Emit<M, O> for Step<M, O> {
     fn set_halt(&mut self, output: O) {
         self.halt = Some(output);
     }
+
+    fn set_span(&mut self, span: Span) {
+        self.span = Some(span);
+    }
 }
 
 impl<M, O> Emit<M, O> for Actions<M, O> {
@@ -127,6 +151,7 @@ impl<M, O> Emit<M, O> for Actions<M, O> {
         Actions {
             sends: Vec::new(),
             halt: None,
+            span: None,
         }
     }
 
@@ -136,6 +161,10 @@ impl<M, O> Emit<M, O> for Actions<M, O> {
 
     fn set_halt(&mut self, output: O) {
         self.halt = Some(output);
+    }
+
+    fn set_span(&mut self, span: Span) {
+        self.span = Some(span);
     }
 }
 
@@ -167,6 +196,17 @@ mod tests {
         let actions: Actions<u8, u8> = Actions::halt(9).and_send(Port::Right, 3);
         assert_eq!(actions.sends, vec![(Port::Right, 3)]);
         assert_eq!(actions.halt, Some(9));
+    }
+
+    #[test]
+    fn spans_attach_to_both_emission_types() {
+        use crate::runtime::span::Span;
+        let step: Step<u8, ()> = Step::send_left(1).in_span("labels", 2);
+        assert_eq!(step.span, Some(Span::new("labels", 2)));
+        let actions: Actions<u8, ()> = Actions::idle().in_span("probe", 0);
+        assert_eq!(actions.span, Some(Span::new("probe", 0)));
+        let plain: Step<u8, ()> = Step::idle();
+        assert_eq!(plain.span, None);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::message::Message;
 use crate::port::Port;
 use crate::runtime::meter::CostMeter;
 use crate::runtime::observer::{Observer, SendEvent, TraceEvent};
+use crate::runtime::span::Span;
 use crate::topology::RingTopology;
 
 /// The messages a processor received at the start of a cycle (sent by its
@@ -125,7 +126,8 @@ impl<'t, M: Message> LinkFabric<'t, M> {
 
     /// Sends `msg` from processor `from` on its local `port`: routes it via
     /// the topology, accounts it on `meter` at time `send_time`, emits a
-    /// [`TraceEvent::Send`], and enqueues it due at `due_time`.
+    /// [`TraceEvent::Send`] (stamped with the emission's `span`, if any),
+    /// and enqueues it due at `due_time`.
     ///
     /// In the sync model `send_time` is the send cycle and `due_time` the
     /// arrival cycle (`send + 1`: one hop per cycle); in the async model
@@ -138,6 +140,7 @@ impl<'t, M: Message> LinkFabric<'t, M> {
         msg: M,
         send_time: u64,
         due_time: u64,
+        span: Option<Span>,
         meter: &mut CostMeter,
         observer: &mut impl Observer,
     ) {
@@ -148,7 +151,9 @@ impl<'t, M: Message> LinkFabric<'t, M> {
             cycle: send_time,
             from,
             to,
+            port: arrival,
             bits,
+            span,
         }));
         self.queues[Self::queue_index(to, arrival)].push_back(InFlight {
             msg,
@@ -262,7 +267,7 @@ mod tests {
         let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
         let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
         // Sent at cycle 0, due at cycle 1 — one hop per cycle.
-        fabric.send(0, Port::Right, 7, 0, 1, &mut meter, &mut obs);
+        fabric.send(0, Port::Right, 7, 0, 1, None, &mut meter, &mut obs);
         assert!(!fabric.has_due(1, 0));
         assert!(fabric.take_due(1, 0).is_empty());
         assert!(fabric.has_due(1, 1));
@@ -284,7 +289,7 @@ mod tests {
         .unwrap();
         let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
         let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
-        fabric.send(0, Port::Right, 42, 0, 1, &mut meter, &mut obs);
+        fabric.send(0, Port::Right, 42, 0, 1, None, &mut meter, &mut obs);
         let rx = fabric.take_due(1, 1);
         assert_eq!(rx.from_right, Some(42));
         assert_eq!(rx.from_left, None);
@@ -295,9 +300,9 @@ mod tests {
         let topo = RingTopology::oriented(2).unwrap();
         let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
         let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
-        fabric.send(0, Port::Right, 1, 1, 1, &mut meter, &mut obs);
-        fabric.send(0, Port::Right, 2, 1, 1, &mut meter, &mut obs);
-        fabric.send(1, Port::Right, 3, 1, 1, &mut meter, &mut obs);
+        fabric.send(0, Port::Right, 1, 1, 1, None, &mut meter, &mut obs);
+        fabric.send(0, Port::Right, 2, 1, 1, None, &mut meter, &mut obs);
+        fabric.send(1, Port::Right, 3, 1, 1, None, &mut meter, &mut obs);
         let mut cands: Vec<Candidate> = Vec::new();
         fabric.candidates(&mut cands);
         assert_eq!(cands.len(), 2, "one head per nonempty directed link");

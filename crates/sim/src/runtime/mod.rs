@@ -17,8 +17,14 @@
 //! * [`Emit`] — the send/halt constructor vocabulary (`send`, `send_both`,
 //!   `and_send`, `halt`, `idle`, …) shared by [`Step`] and [`Actions`].
 //! * [`Observer`]/[`TraceEvent`] — a pluggable event stream; the space-time
-//!   [`crate::trace::Trace`] is one observer, and both engines emit the
+//!   [`crate::trace::Trace`] is one observer, the [`crate::telemetry`]
+//!   metrics registry and flight recorder are others, and [`FanOut`]
+//!   composes any number of them over a single run. Both engines emit the
 //!   same events.
+//! * [`Span`] — the phase/round annotation algorithms attach to emissions
+//!   (via [`Emit::in_span`]); engines stamp it onto each [`SendEvent`], so
+//!   telemetry can report messages-per-phase against the paper's
+//!   per-phase budgets.
 //!
 //! ## Cost-model invariants
 //!
@@ -44,8 +50,10 @@ mod actions;
 mod mailbox;
 mod meter;
 mod observer;
+mod span;
 
 pub use actions::{Actions, Emit, Step};
 pub use mailbox::{Candidate, LinkFabric, Received};
 pub use meter::CostMeter;
-pub use observer::{NullObserver, Observer, SendEvent, TraceEvent};
+pub use observer::{FanOut, NullObserver, Observer, SendEvent, TraceEvent};
+pub use span::Span;

@@ -2,10 +2,14 @@
 //!
 //! Both engines emit the same [`TraceEvent`]s through an [`Observer`], so
 //! tooling written against the stream — the space-time
-//! [`crate::trace::Trace`], test probes, future structured logging — works
-//! for either model without knowing which engine produced the run.
+//! [`crate::trace::Trace`], the [`crate::telemetry`] metrics and flight
+//! recorder, test probes — works for either model without knowing which
+//! engine produced the run. [`FanOut`] composes several observers over one
+//! run, so a single execution can feed a trace, a metrics registry and a
+//! recorder simultaneously.
 
 use crate::port::Port;
+use crate::runtime::span::Span;
 
 /// One message transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,8 +21,15 @@ pub struct SendEvent {
     pub from: usize,
     /// Receiving processor.
     pub to: usize,
+    /// Local port at the *receiver* on which the message will arrive —
+    /// identifies the directed link, so queue-depth accounting can match
+    /// this send with its [`TraceEvent::Deliver`].
+    pub port: Port,
     /// Encoded length of the message.
     pub bits: usize,
+    /// Phase annotation of the emission that produced this send, if the
+    /// algorithm attached one (see [`crate::runtime::Emit::in_span`]).
+    pub span: Option<Span>,
 }
 
 /// One event of a run, as emitted by either engine.
@@ -47,6 +58,18 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// The event's time index (cycle in the sync model, epoch in the
+    /// async model).
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        match self {
+            TraceEvent::Send(send) => send.cycle,
+            TraceEvent::Deliver { time, .. } | TraceEvent::Halt { time, .. } => *time,
+        }
+    }
+}
+
 /// A sink for [`TraceEvent`]s.
 pub trait Observer {
     /// Receives one event, in execution order.
@@ -68,9 +91,93 @@ impl<F: FnMut(&TraceEvent)> Observer for F {
     }
 }
 
+/// Broadcasts each event to every registered observer, in registration
+/// order — so one run can feed a [`crate::trace::Trace`], a
+/// [`crate::telemetry::Telemetry`] registry and a
+/// [`crate::telemetry::FlightRecorder`] without bespoke glue:
+///
+/// ```
+/// use anonring_sim::runtime::{FanOut, Observer, TraceEvent};
+/// use anonring_sim::telemetry::{FlightRecorder, Telemetry};
+/// use anonring_sim::trace::Trace;
+///
+/// let mut trace = Trace::new(3);
+/// let mut telemetry = Telemetry::new(3);
+/// let mut recorder = FlightRecorder::new(3, "demo");
+/// let mut fan = FanOut::new()
+///     .with(&mut trace)
+///     .with(&mut telemetry)
+///     .with(&mut recorder);
+/// fan.on_event(&TraceEvent::Halt { time: 0, processor: 1 });
+/// ```
+#[derive(Default)]
+pub struct FanOut<'a> {
+    sinks: Vec<&'a mut dyn Observer>,
+}
+
+impl<'a> FanOut<'a> {
+    /// An empty fan-out (a no-op observer until sinks are added).
+    #[must_use]
+    pub fn new() -> FanOut<'a> {
+        FanOut { sinks: Vec::new() }
+    }
+
+    /// Adds a sink, builder style.
+    #[must_use]
+    pub fn with(mut self, sink: &'a mut dyn Observer) -> FanOut<'a> {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a sink in place.
+    pub fn push(&mut self, sink: &'a mut dyn Observer) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of registered sinks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl core::fmt::Debug for FanOut<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FanOut")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Observer for FanOut<'_> {
+    fn on_event(&mut self, event: &TraceEvent) {
+        for sink in &mut self.sinks {
+            sink.on_event(event);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{NullObserver, Observer, SendEvent, TraceEvent};
+    use super::{FanOut, NullObserver, Observer, SendEvent, TraceEvent};
+    use crate::port::Port;
+
+    fn send_event() -> TraceEvent {
+        TraceEvent::Send(SendEvent {
+            cycle: 0,
+            from: 0,
+            to: 1,
+            port: Port::Left,
+            bits: 4,
+            span: None,
+        })
+    }
 
     #[test]
     fn closures_are_observers() {
@@ -81,14 +188,59 @@ mod tests {
                 time: 1,
                 processor: 0,
             });
-            obs.on_event(&TraceEvent::Send(SendEvent {
-                cycle: 0,
-                from: 0,
-                to: 1,
-                bits: 4,
-            }));
+            obs.on_event(&send_event());
         }
         assert_eq!(seen.len(), 2);
         NullObserver.on_event(&seen[0]);
+    }
+
+    #[test]
+    fn fan_out_broadcasts_to_every_sink_in_order() {
+        let mut a = Vec::new();
+        let mut b = 0u64;
+        {
+            let mut collect = |ev: &TraceEvent| a.push(*ev);
+            let mut count = |_: &TraceEvent| b += 1;
+            let mut fan = FanOut::new().with(&mut collect).with(&mut count);
+            assert_eq!(fan.len(), 2);
+            assert!(!fan.is_empty());
+            fan.on_event(&send_event());
+            fan.on_event(&TraceEvent::Halt {
+                time: 2,
+                processor: 1,
+            });
+        }
+        assert_eq!(a.len(), 2);
+        assert_eq!(b, 2);
+    }
+
+    #[test]
+    fn empty_fan_out_is_a_no_op() {
+        let mut fan = FanOut::new();
+        assert!(fan.is_empty());
+        fan.on_event(&send_event());
+    }
+
+    #[test]
+    fn event_time_covers_all_variants() {
+        assert_eq!(send_event().time(), 0);
+        assert_eq!(
+            TraceEvent::Deliver {
+                time: 3,
+                to: 0,
+                port: Port::Right,
+                dropped: false
+            }
+            .time(),
+            3
+        );
+        assert_eq!(
+            TraceEvent::Halt {
+                time: 7,
+                processor: 0
+            }
+            .time(),
+            7
+        );
     }
 }

@@ -272,7 +272,16 @@ impl<P: SyncProcess> SyncEngine<P> {
                 local_cycle[i] += 1;
                 for (port, msg) in [(Port::Left, step.to_left), (Port::Right, step.to_right)] {
                     if let Some(msg) = msg {
-                        fabric.send(i, port, msg, cycle, cycle + 1, &mut meter, observer);
+                        fabric.send(
+                            i,
+                            port,
+                            msg,
+                            cycle,
+                            cycle + 1,
+                            step.span,
+                            &mut meter,
+                            observer,
+                        );
                     }
                 }
                 if let Some(output) = step.halt {

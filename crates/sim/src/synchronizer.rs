@@ -146,10 +146,14 @@ impl<P: SyncProcess> Synchronized<P> {
                     from_right: self.right.pop(),
                 }
             };
+            // An envelope batch can straddle several simulated cycles, so a
+            // single outer span cannot represent the inner steps' spans
+            // faithfully; envelope traffic is deliberately unannotated.
             let Step {
                 to_left,
                 to_right,
                 halt,
+                span: _,
             } = self.inner.step(self.cycle, rx);
             let closing = halt.is_some();
             actions = actions

@@ -1,0 +1,309 @@
+//! A small, dependency-free metrics registry: counters, gauges and
+//! histograms, each addressable by a static name plus a label set.
+//!
+//! The registry is the *export* surface of the telemetry layer: the
+//! [`crate::telemetry::Telemetry`] observer keeps its hot tallies in plain
+//! vectors and folds them into a registry snapshot on demand, so the
+//! per-event path never allocates label strings. Storage is `BTreeMap`
+//! keyed by `(name, labels)`, which makes iteration — and therefore the
+//! JSON snapshot — deterministic, a property the golden tests pin.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A metric address: static name plus an ordered list of label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId {
+    /// Metric name (e.g. `"messages_total"`).
+    pub name: &'static str,
+    /// Label pairs, in the order given at registration.
+    pub labels: Vec<(&'static str, String)>,
+}
+
+impl MetricId {
+    /// An unlabelled metric id.
+    #[must_use]
+    pub fn plain(name: &'static str) -> MetricId {
+        MetricId {
+            name,
+            labels: Vec::new(),
+        }
+    }
+
+    /// A labelled metric id.
+    #[must_use]
+    pub fn with_labels(name: &'static str, labels: &[(&'static str, &str)]) -> MetricId {
+        MetricId {
+            name,
+            labels: labels.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+        }
+    }
+}
+
+impl core::fmt::Display for MetricId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.labels.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                write!(f, "{}{k}={v}", if i > 0 { "," } else { "" })?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A power-of-two-bucket histogram over `u64` observations.
+///
+/// Bucket `i` counts observations `v` with `2^(i−1) ≤ v < 2^i` (bucket 0
+/// counts zeros), so 65 buckets cover the whole `u64` range with no
+/// configuration — adequate for message counts, bit lengths and queue
+/// depths, whose interesting structure is their order of magnitude.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        let idx = Self::bucket_index(value);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// The mean observation, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(upper_bound_exclusive, count)` per nonempty bucket, ascending.
+    /// Bucket with upper bound `2^i` holds values in `[2^(i−1), 2^i)`.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64.checked_shl(i as u32).unwrap_or(u64::MAX), c))
+            .collect()
+    }
+}
+
+/// The registry: three kinds of metrics behind one deterministic map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricId, u64>,
+    gauges: BTreeMap<MetricId, i64>,
+    histograms: BTreeMap<MetricId, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `id`, creating it at zero.
+    pub fn add_counter(&mut self, id: MetricId, delta: u64) {
+        *self.counters.entry(id).or_insert(0) += delta;
+    }
+
+    /// Increments the counter `id` by one.
+    pub fn inc_counter(&mut self, id: MetricId) {
+        self.add_counter(id, 1);
+    }
+
+    /// Reads a counter (0 when never written).
+    #[must_use]
+    pub fn counter(&self, id: &MetricId) -> u64 {
+        self.counters.get(id).copied().unwrap_or(0)
+    }
+
+    /// Sets the gauge `id` to `value`.
+    pub fn set_gauge(&mut self, id: MetricId, value: i64) {
+        self.gauges.insert(id, value);
+    }
+
+    /// Reads a gauge, if ever set.
+    #[must_use]
+    pub fn gauge(&self, id: &MetricId) -> Option<i64> {
+        self.gauges.get(id).copied()
+    }
+
+    /// Records `value` into the histogram `id`, creating it when absent.
+    pub fn observe(&mut self, id: MetricId, value: u64) {
+        self.histograms.entry(id).or_default().observe(value);
+    }
+
+    /// Reads a histogram, if any observation was recorded.
+    #[must_use]
+    pub fn histogram(&self, id: &MetricId) -> Option<&Histogram> {
+        self.histograms.get(id)
+    }
+
+    /// Iterates counters in deterministic (name, labels) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricId, u64)> {
+        self.counters.iter().map(|(id, &v)| (id, v))
+    }
+
+    /// Iterates gauges in deterministic order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricId, i64)> {
+        self.gauges.iter().map(|(id, &v)| (id, v))
+    }
+
+    /// Iterates histograms in deterministic order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricId, &Histogram)> {
+        self.histograms.iter()
+    }
+
+    /// Serializes the whole registry as a deterministic JSON object —
+    /// hand-rolled, like every artifact in this workspace (no external
+    /// deps; see `BENCH_sweep.json`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn metric_entry(out: &mut String, id: &MetricId, body: &str, last: bool) {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\"",
+                crate::telemetry::json_escape(id.name)
+            );
+            if !id.labels.is_empty() {
+                out.push_str(", \"labels\": {");
+                for (i, (k, v)) in id.labels.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "{}\"{}\": \"{}\"",
+                        if i > 0 { ", " } else { "" },
+                        crate::telemetry::json_escape(k),
+                        crate::telemetry::json_escape(v)
+                    );
+                }
+                out.push('}');
+            }
+            let _ = writeln!(out, ", {body}}}{}", if last { "" } else { "," });
+        }
+
+        let mut out = String::from("{\n  \"counters\": [\n");
+        let total = self.counters.len();
+        for (i, (id, v)) in self.counters.iter().enumerate() {
+            metric_entry(&mut out, id, &format!("\"value\": {v}"), i + 1 == total);
+        }
+        out.push_str("  ],\n  \"gauges\": [\n");
+        let total = self.gauges.len();
+        for (i, (id, v)) in self.gauges.iter().enumerate() {
+            metric_entry(&mut out, id, &format!("\"value\": {v}"), i + 1 == total);
+        }
+        out.push_str("  ],\n  \"histograms\": [\n");
+        let total = self.histograms.len();
+        for (i, (id, h)) in self.histograms.iter().enumerate() {
+            let mut body = format!(
+                "\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                h.count, h.sum, h.min, h.max
+            );
+            for (j, (le, c)) in h.buckets().iter().enumerate() {
+                let _ = write!(
+                    body,
+                    "{}{{\"le\": {le}, \"count\": {c}}}",
+                    if j > 0 { ", " } else { "" }
+                );
+            }
+            body.push(']');
+            metric_entry(&mut out, id, &body, i + 1 == total);
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Histogram, MetricId, MetricsRegistry};
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let mut reg = MetricsRegistry::new();
+        let total = MetricId::plain("messages_total");
+        let p0 = MetricId::with_labels("messages_total", &[("proc", "0")]);
+        let p1 = MetricId::with_labels("messages_total", &[("proc", "1")]);
+        reg.inc_counter(total.clone());
+        reg.add_counter(total.clone(), 2);
+        reg.inc_counter(p0.clone());
+        assert_eq!(reg.counter(&total), 3);
+        assert_eq!(reg.counter(&p0), 1);
+        assert_eq!(reg.counter(&p1), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        let id = MetricId::with_labels("queue_depth", &[("to", "3"), ("port", "left")]);
+        assert_eq!(reg.gauge(&id), None);
+        reg.set_gauge(id.clone(), 4);
+        reg.set_gauge(id.clone(), 2);
+        assert_eq!(reg.gauge(&id), Some(2));
+        assert_eq!(id.to_string(), "queue_depth{to=3,port=left}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 8, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 1015);
+        assert_eq!((h.min, h.max), (0, 1000));
+        // 0 → bucket le 1; 1,1 → le 2; 2,3 → le 4; 8 → le 16; 1000 → le 1024.
+        assert_eq!(
+            h.buckets(),
+            vec![(1, 1), (2, 2), (4, 2), (16, 1), (1024, 1)]
+        );
+        assert!((h.mean() - 1015.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_well_formed() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter(MetricId::plain("bits_total"), 7);
+        reg.add_counter(MetricId::with_labels("messages_total", &[("proc", "0")]), 2);
+        reg.set_gauge(MetricId::plain("halt_time_max"), 5);
+        reg.observe(MetricId::plain("message_bits"), 3);
+        let a = reg.to_json();
+        let b = reg.clone().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"name\": \"bits_total\", \"value\": 7"));
+        assert!(a.contains("\"labels\": {\"proc\": \"0\"}"));
+        assert!(a.contains("\"histograms\""));
+    }
+}

@@ -1,0 +1,705 @@
+//! The flight recorder: serializes the full [`TraceEvent`] stream to JSONL
+//! and parses it back for offline replay.
+//!
+//! ## Format (version 1, pinned by a golden test)
+//!
+//! One JSON object per line, no external dependencies (hand-rolled like
+//! `BENCH_sweep.json`). The first line is a `meta` record; every further
+//! line is one event, in execution order:
+//!
+//! ```text
+//! {"type":"meta","version":1,"n":4,"label":"E1 n=16","truncated":0}
+//! {"type":"send","t":1,"from":0,"to":1,"port":"left","bits":2,"phase":"scatter","round":0}
+//! {"type":"deliver","t":1,"to":1,"port":"left","dropped":false}
+//! {"type":"halt","t":3,"proc":2}
+//! ```
+//!
+//! `phase`/`round` appear only on annotated sends. Keys are emitted in the
+//! fixed order shown, so parse → re-serialize round-trips **byte
+//! identically** — the invariant that keeps recorded artifacts diffable.
+//!
+//! ## Bounded memory
+//!
+//! [`FlightRecorder::bounded`] keeps only the most recent `capacity`
+//! events in a ring buffer, counting evictions in the meta record's
+//! `truncated` field — so recording an `O(n²)` run at large `n` costs
+//! `O(capacity)` memory, not `O(messages)`.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::port::Port;
+use crate::runtime::{Observer, TraceEvent};
+use crate::telemetry::json_escape;
+
+/// Current serialization version; bump when the line format changes.
+pub const RECORDING_VERSION: u64 = 1;
+
+/// An owned mirror of [`TraceEvent`], as reconstructed by the replay
+/// parser (phase names become owned strings — the `&'static str` of a
+/// live [`crate::runtime::Span`] cannot survive serialization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayEvent {
+    /// A message was sent.
+    Send {
+        /// Send cycle (sync) or arrival epoch (async).
+        time: u64,
+        /// Sending processor.
+        from: usize,
+        /// Receiving processor.
+        to: usize,
+        /// Arrival port at the receiver.
+        port: Port,
+        /// Encoded message length.
+        bits: usize,
+        /// Phase annotation, if the emission carried one.
+        phase: Option<String>,
+        /// Round within the phase (present iff `phase` is).
+        round: u64,
+    },
+    /// A message was consumed (or discarded) at its receiver.
+    Deliver {
+        /// Consumption time.
+        time: u64,
+        /// Receiving processor.
+        to: usize,
+        /// Local arrival port.
+        port: Port,
+        /// True when the receiver had already halted.
+        dropped: bool,
+    },
+    /// A processor halted.
+    Halt {
+        /// Halt time.
+        time: u64,
+        /// The halting processor.
+        processor: usize,
+    },
+}
+
+impl ReplayEvent {
+    /// The event's time index.
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        match self {
+            ReplayEvent::Send { time, .. }
+            | ReplayEvent::Deliver { time, .. }
+            | ReplayEvent::Halt { time, .. } => *time,
+        }
+    }
+
+    fn from_trace(event: &TraceEvent) -> ReplayEvent {
+        match *event {
+            TraceEvent::Send(s) => ReplayEvent::Send {
+                time: s.cycle,
+                from: s.from,
+                to: s.to,
+                port: s.port,
+                bits: s.bits,
+                phase: s.span.map(|sp| sp.phase.to_string()),
+                round: s.span.map_or(0, |sp| sp.round),
+            },
+            TraceEvent::Deliver {
+                time,
+                to,
+                port,
+                dropped,
+            } => ReplayEvent::Deliver {
+                time,
+                to,
+                port,
+                dropped,
+            },
+            TraceEvent::Halt { time, processor } => ReplayEvent::Halt { time, processor },
+        }
+    }
+
+    fn write_line(&self, out: &mut String) {
+        match self {
+            ReplayEvent::Send {
+                time,
+                from,
+                to,
+                port,
+                bits,
+                phase,
+                round,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"send\",\"t\":{time},\"from\":{from},\"to\":{to},\
+                     \"port\":\"{}\",\"bits\":{bits}",
+                    port_name(*port)
+                );
+                if let Some(phase) = phase {
+                    let _ = write!(
+                        out,
+                        ",\"phase\":\"{}\",\"round\":{round}",
+                        json_escape(phase)
+                    );
+                }
+                out.push_str("}\n");
+            }
+            ReplayEvent::Deliver {
+                time,
+                to,
+                port,
+                dropped,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"deliver\",\"t\":{time},\"to\":{to},\
+                     \"port\":\"{}\",\"dropped\":{dropped}}}",
+                    port_name(*port)
+                );
+            }
+            ReplayEvent::Halt { time, processor } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"halt\",\"t\":{time},\"proc\":{processor}}}"
+                );
+            }
+        }
+    }
+}
+
+fn port_name(port: Port) -> &'static str {
+    match port {
+        Port::Left => "left",
+        Port::Right => "right",
+    }
+}
+
+fn write_meta(out: &mut String, n: usize, label: &str, truncated: u64) {
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"version\":{RECORDING_VERSION},\"n\":{n},\
+         \"label\":\"{}\",\"truncated\":{truncated}}}",
+        json_escape(label)
+    );
+}
+
+/// Records every event of a run for JSONL export. Plug it into
+/// `run_with_observer` (optionally through [`crate::runtime::FanOut`]).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    n: usize,
+    label: String,
+    events: VecDeque<ReplayEvent>,
+    capacity: Option<usize>,
+    truncated: u64,
+}
+
+impl FlightRecorder {
+    /// An unbounded recorder for a ring of `n` processors; `label` names
+    /// the run in the meta record (experiment id, workload, …).
+    #[must_use]
+    pub fn new(n: usize, label: impl Into<String>) -> FlightRecorder {
+        FlightRecorder {
+            n,
+            label: label.into(),
+            events: VecDeque::new(),
+            capacity: None,
+            truncated: 0,
+        }
+    }
+
+    /// A bounded recorder keeping only the most recent `capacity` events
+    /// (ring-buffer mode); evicted events are counted as `truncated`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn bounded(n: usize, label: impl Into<String>, capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "a zero-capacity recorder records nothing");
+        FlightRecorder {
+            n,
+            label: label.into(),
+            events: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            truncated: 0,
+        }
+    }
+
+    /// Events currently held (the most recent `capacity` in bounded mode).
+    pub fn events(&self) -> impl Iterator<Item = &ReplayEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events evicted by the ring buffer.
+    #[must_use]
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Serializes the recording (meta line + one line per event).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        write_meta(&mut out, self.n, &self.label, self.truncated);
+        for event in &self.events {
+            event.write_line(&mut out);
+        }
+        out
+    }
+
+    /// Converts into an owned [`Recording`] (e.g. to aggregate without
+    /// going through serialization).
+    #[must_use]
+    pub fn into_recording(self) -> Recording {
+        Recording {
+            n: self.n,
+            label: self.label,
+            truncated: self.truncated,
+            events: self.events.into_iter().collect(),
+        }
+    }
+}
+
+impl Observer for FlightRecorder {
+    fn on_event(&mut self, event: &TraceEvent) {
+        if let Some(cap) = self.capacity {
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.truncated += 1;
+            }
+        }
+        self.events.push_back(ReplayEvent::from_trace(event));
+    }
+}
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordingError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for RecordingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RecordingError {}
+
+/// A parsed recording: what [`FlightRecorder::to_jsonl`] wrote, read back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recording {
+    /// Ring size of the recorded run.
+    pub n: usize,
+    /// Run label from the meta record.
+    pub label: String,
+    /// Events evicted by ring-buffer mode before serialization.
+    pub truncated: u64,
+    /// The recorded events, in execution order.
+    pub events: Vec<ReplayEvent>,
+}
+
+impl Recording {
+    /// Parses a JSONL recording. Strict: every line must parse, the first
+    /// line must be a version-1 `meta` record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecordingError`] naming the offending line.
+    pub fn parse_jsonl(input: &str) -> Result<Recording, RecordingError> {
+        let mut lines = input.lines().enumerate();
+        let (idx, meta_line) = lines.next().ok_or_else(|| RecordingError {
+            line: 1,
+            message: "empty recording".into(),
+        })?;
+        let meta = JsonObject::parse(meta_line).map_err(|m| RecordingError {
+            line: idx + 1,
+            message: m,
+        })?;
+        let err = |line: usize, message: String| RecordingError { line, message };
+        if meta.string("type") != Some("meta") {
+            return Err(err(1, "first line must be a meta record".into()));
+        }
+        let version = meta
+            .number("version")
+            .ok_or_else(|| err(1, "meta record missing \"version\"".into()))?;
+        if version != RECORDING_VERSION {
+            return Err(err(1, format!("unsupported version {version}")));
+        }
+        let n = meta
+            .number("n")
+            .ok_or_else(|| err(1, "meta record missing \"n\"".into()))?;
+        let mut recording = Recording {
+            n: usize::try_from(n).map_err(|_| err(1, "n out of range".into()))?,
+            label: meta.string("label").unwrap_or_default().to_string(),
+            truncated: meta.number("truncated").unwrap_or(0),
+            events: Vec::new(),
+        };
+        for (idx, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let obj = JsonObject::parse(line).map_err(|m| err(lineno, m))?;
+            let time = obj
+                .number("t")
+                .ok_or_else(|| err(lineno, "event missing \"t\"".into()))?;
+            let field = |name: &str| -> Result<usize, RecordingError> {
+                obj.number(name)
+                    .and_then(|v| usize::try_from(v).ok())
+                    .ok_or_else(|| err(lineno, format!("event missing \"{name}\"")))
+            };
+            let port = |obj: &JsonObject| -> Result<Port, RecordingError> {
+                match obj.string("port") {
+                    Some("left") => Ok(Port::Left),
+                    Some("right") => Ok(Port::Right),
+                    _ => Err(err(lineno, "bad \"port\"".into())),
+                }
+            };
+            let event = match obj.string("type") {
+                Some("send") => ReplayEvent::Send {
+                    time,
+                    from: field("from")?,
+                    to: field("to")?,
+                    port: port(&obj)?,
+                    bits: field("bits")?,
+                    phase: obj.string("phase").map(str::to_string),
+                    round: obj.number("round").unwrap_or(0),
+                },
+                Some("deliver") => ReplayEvent::Deliver {
+                    time,
+                    to: field("to")?,
+                    port: port(&obj)?,
+                    dropped: obj
+                        .boolean("dropped")
+                        .ok_or_else(|| err(lineno, "deliver missing \"dropped\"".into()))?,
+                },
+                Some("halt") => ReplayEvent::Halt {
+                    time,
+                    processor: field("proc")?,
+                },
+                other => {
+                    return Err(err(lineno, format!("unknown event type {other:?}")));
+                }
+            };
+            recording.events.push(event);
+        }
+        Ok(recording)
+    }
+
+    /// Re-serializes exactly as [`FlightRecorder::to_jsonl`] would — parse
+    /// followed by `to_jsonl` is byte-identical (the golden test pins it).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        write_meta(&mut out, self.n, &self.label, self.truncated);
+        for event in &self.events {
+            event.write_line(&mut out);
+        }
+        out
+    }
+
+    /// Total messages recorded.
+    #[must_use]
+    pub fn messages(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ReplayEvent::Send { .. }))
+            .count() as u64
+    }
+
+    /// Total bits recorded.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                ReplayEvent::Send { bits, .. } => *bits as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// `(sends, delivers, drops, halts)` per time index; the vector covers
+    /// `0 ..= max event time` even where all four are zero.
+    #[must_use]
+    pub fn per_time_activity(&self) -> Vec<(u64, u64, u64, u64)> {
+        let horizon = self.events.iter().map(ReplayEvent::time).max();
+        let mut rows = vec![(0u64, 0u64, 0u64, 0u64); horizon.map_or(0, |h| h as usize + 1)];
+        for event in &self.events {
+            let row = &mut rows[event.time() as usize];
+            match event {
+                ReplayEvent::Send { .. } => row.0 += 1,
+                ReplayEvent::Deliver { dropped, .. } => {
+                    row.1 += 1;
+                    row.2 += u64::from(*dropped);
+                }
+                ReplayEvent::Halt { .. } => row.3 += 1,
+            }
+        }
+        rows
+    }
+
+    /// `(phase, round) → (messages, bits)` over annotated sends, sorted;
+    /// unannotated sends aggregate under the empty phase name.
+    #[must_use]
+    pub fn phase_profile(&self) -> Vec<((String, u64), (u64, u64))> {
+        let mut map: std::collections::BTreeMap<(String, u64), (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for event in &self.events {
+            if let ReplayEvent::Send {
+                bits, phase, round, ..
+            } = event
+            {
+                let key = (phase.clone().unwrap_or_default(), *round);
+                let entry = map.entry(key).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += *bits as u64;
+            }
+        }
+        map.into_iter().collect()
+    }
+}
+
+/// A flat JSON object of string/number/bool values — the only shape the
+/// recording format uses.
+struct JsonObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+enum JsonValue {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+}
+
+impl JsonObject {
+    fn string(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            JsonValue::Str(s) if k == key => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    fn number(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            JsonValue::Num(n) if k == key => Some(*n),
+            _ => None,
+        })
+    }
+
+    fn boolean(&self, key: &str) -> Option<bool> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            JsonValue::Bool(b) if k == key => Some(*b),
+            _ => None,
+        })
+    }
+
+    fn parse(line: &str) -> Result<JsonObject, String> {
+        let mut chars = line.char_indices().peekable();
+        let mut fields = Vec::new();
+        skip_ws(&mut chars);
+        expect(&mut chars, '{')?;
+        skip_ws(&mut chars);
+        if matches!(chars.peek(), Some((_, '}'))) {
+            chars.next();
+            return Ok(JsonObject { fields });
+        }
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            expect(&mut chars, ':')?;
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some((_, '"')) => JsonValue::Str(parse_string(&mut chars)?),
+                Some((_, 't')) => {
+                    expect_literal(&mut chars, "true")?;
+                    JsonValue::Bool(true)
+                }
+                Some((_, 'f')) => {
+                    expect_literal(&mut chars, "false")?;
+                    JsonValue::Bool(false)
+                }
+                Some((_, c)) if c.is_ascii_digit() => {
+                    let mut num = 0u64;
+                    while let Some(&(_, c)) = chars.peek() {
+                        let Some(d) = c.to_digit(10) else { break };
+                        num = num
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(u64::from(d)))
+                            .ok_or("number overflow")?;
+                        chars.next();
+                    }
+                    JsonValue::Num(num)
+                }
+                other => return Err(format!("unexpected value start {other:?}")),
+            };
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+        skip_ws(&mut chars);
+        if let Some((_, c)) = chars.next() {
+            return Err(format!("trailing content starting at {c:?}"));
+        }
+        Ok(JsonObject { fields })
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(chars: &mut Chars<'_>) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut Chars<'_>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some((_, c)) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, got {other:?}")),
+    }
+}
+
+fn expect_literal(chars: &mut Chars<'_>, literal: &str) -> Result<(), String> {
+    for want in literal.chars() {
+        expect(chars, want)?;
+    }
+    Ok(())
+}
+
+fn parse_string(chars: &mut Chars<'_>) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Ok(out),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, c) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + c.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            Some((_, c)) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{FlightRecorder, Recording, ReplayEvent};
+    use crate::port::Port;
+    use crate::runtime::{Observer, SendEvent, Span, TraceEvent};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Send(SendEvent {
+                cycle: 0,
+                from: 0,
+                to: 1,
+                port: Port::Left,
+                bits: 3,
+                span: Some(Span::new("labels", 1)),
+            }),
+            TraceEvent::Send(SendEvent {
+                cycle: 0,
+                from: 2,
+                to: 1,
+                port: Port::Right,
+                bits: 2,
+                span: None,
+            }),
+            TraceEvent::Deliver {
+                time: 1,
+                to: 1,
+                port: Port::Left,
+                dropped: false,
+            },
+            TraceEvent::Halt {
+                time: 2,
+                processor: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_through_the_parser_byte_identically() {
+        let mut rec = FlightRecorder::new(3, "unit \"quoted\" label");
+        for event in sample_events() {
+            rec.on_event(&event);
+        }
+        let jsonl = rec.to_jsonl();
+        let parsed = Recording::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed.n, 3);
+        assert_eq!(parsed.label, "unit \"quoted\" label");
+        assert_eq!(parsed.events.len(), 4);
+        assert_eq!(parsed.to_jsonl(), jsonl);
+    }
+
+    #[test]
+    fn bounded_mode_keeps_the_most_recent_events() {
+        let mut rec = FlightRecorder::bounded(3, "ring", 2);
+        for event in sample_events() {
+            rec.on_event(&event);
+        }
+        assert_eq!(rec.truncated(), 2);
+        assert_eq!(rec.events().count(), 2);
+        let recording = rec.into_recording();
+        assert_eq!(recording.truncated, 2);
+        assert!(matches!(recording.events[1], ReplayEvent::Halt { .. }));
+        let reparsed = Recording::parse_jsonl(&recording.to_jsonl()).unwrap();
+        assert_eq!(reparsed, recording);
+    }
+
+    #[test]
+    fn aggregations_cover_sends_and_activity() {
+        let mut rec = FlightRecorder::new(3, "agg");
+        for event in sample_events() {
+            rec.on_event(&event);
+        }
+        let recording = rec.into_recording();
+        assert_eq!(recording.messages(), 2);
+        assert_eq!(recording.bits(), 5);
+        assert_eq!(
+            recording.per_time_activity(),
+            vec![(2, 0, 0, 0), (0, 1, 0, 0), (0, 0, 0, 1)]
+        );
+        let profile = recording.phase_profile();
+        assert_eq!(
+            profile,
+            vec![
+                ((String::new(), 0), (1, 2)),
+                (("labels".to_string(), 1), (1, 3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(Recording::parse_jsonl("").is_err());
+        assert!(Recording::parse_jsonl("{\"type\":\"send\"}").is_err());
+        let bad_version =
+            "{\"type\":\"meta\",\"version\":99,\"n\":2,\"label\":\"x\",\"truncated\":0}";
+        let err = Recording::parse_jsonl(bad_version).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        let bad_event = "{\"type\":\"meta\",\"version\":1,\"n\":2,\"label\":\"x\",\
+                         \"truncated\":0}\n{\"type\":\"warp\",\"t\":0}";
+        let err = Recording::parse_jsonl(bad_event).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -22,6 +22,10 @@ pub use crate::runtime::SendEvent;
 pub struct Trace {
     n: usize,
     events: Vec<SendEvent>,
+    /// One past the latest time index observed on *any* event (sends,
+    /// deliveries, halts) — so a run that goes quiet, or never sends at
+    /// all, still reports its full extent.
+    horizon: u64,
 }
 
 impl Trace {
@@ -31,12 +35,21 @@ impl Trace {
         Trace {
             n,
             events: Vec::new(),
+            horizon: 0,
         }
     }
 
     /// Records one send.
     pub fn record(&mut self, event: SendEvent) {
+        self.extend_horizon(event.cycle);
         self.events.push(event);
+    }
+
+    /// Extends the trace's extent to cover time index `time` without
+    /// recording a send — used when replaying recordings whose non-send
+    /// events (deliveries, halts) outlast the final send.
+    pub fn extend_horizon(&mut self, time: u64) {
+        self.horizon = self.horizon.max(time + 1);
     }
 
     /// All recorded sends, in chronological order.
@@ -45,16 +58,16 @@ impl Trace {
         &self.events
     }
 
-    /// Messages sent per cycle (index = cycle).
+    /// Messages sent per cycle.
+    ///
+    /// Index 0 is always the run's **first cycle**, even when no send
+    /// happens before some cycle `k` — leading quiet cycles appear as
+    /// explicit zeros, and the vector extends through the latest observed
+    /// event of any kind (a zero-send run over `c` cycles yields `c`
+    /// zeros, not an empty vector).
     #[must_use]
     pub fn per_cycle(&self) -> Vec<u64> {
-        let cycles = self
-            .events
-            .iter()
-            .map(|e| e.cycle)
-            .max()
-            .map_or(0, |c| c + 1);
-        let mut counts = vec![0u64; cycles as usize];
+        let mut counts = vec![0u64; self.horizon as usize];
         for e in &self.events {
             counts[e.cycle as usize] += 1;
         }
@@ -113,8 +126,11 @@ impl Trace {
 
 impl Observer for Trace {
     fn on_event(&mut self, event: &TraceEvent) {
-        if let TraceEvent::Send(send) = event {
-            self.record(*send);
+        match event {
+            TraceEvent::Send(send) => self.record(*send),
+            TraceEvent::Deliver { .. } | TraceEvent::Halt { .. } => {
+                self.extend_horizon(event.time());
+            }
         }
     }
 }
@@ -154,6 +170,52 @@ mod tests {
         let art = trace.render(10);
         assert!(art.contains(">>>>"), "{art}");
         assert!(art.contains("4 messages"));
+    }
+
+    #[test]
+    fn zero_send_runs_report_their_full_extent() {
+        #[derive(Debug)]
+        struct Mute;
+        impl SyncProcess for Mute {
+            type Msg = u8;
+            type Output = ();
+            fn step(&mut self, cycle: u64, _rx: Received<u8>) -> Step<u8, ()> {
+                if cycle == 3 {
+                    Step::halt(())
+                } else {
+                    Step::idle()
+                }
+            }
+        }
+        let topo = RingTopology::oriented(3).unwrap();
+        let mut engine = SyncEngine::new(topo, vec![Mute, Mute, Mute]).unwrap();
+        let (report, trace) = engine.run_traced().unwrap();
+        assert_eq!(report.messages, 0);
+        // Index 0 is the first cycle even though nothing was ever sent:
+        // four quiet cycles (0..=3, the halt cycle) as explicit zeros.
+        assert_eq!(trace.per_cycle(), vec![0, 0, 0, 0]);
+        let art = trace.render(10);
+        assert!(art.contains("0 messages over 4 cycles"), "{art}");
+    }
+
+    #[test]
+    fn late_start_runs_pad_leading_quiet_cycles() {
+        #[derive(Debug)]
+        struct LateSend;
+        impl SyncProcess for LateSend {
+            type Msg = u8;
+            type Output = ();
+            fn step(&mut self, cycle: u64, _rx: Received<u8>) -> Step<u8, ()> {
+                match cycle {
+                    2 => Step::send_right(1).and_halt(()),
+                    _ => Step::idle(),
+                }
+            }
+        }
+        let topo = RingTopology::oriented(2).unwrap();
+        let mut engine = SyncEngine::new(topo, vec![LateSend, LateSend]).unwrap();
+        let (_, trace) = engine.run_traced().unwrap();
+        assert_eq!(trace.per_cycle(), vec![0, 0, 2]);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Golden test: the flight-recorder JSONL format is pinned byte for byte.
+//!
+//! Downstream tooling (the `tracer` binary, external analysis scripts)
+//! parses these artifacts; changing the format requires bumping
+//! `RECORDING_VERSION` and updating the expected text here deliberately.
+
+use anonring_sim::port::Port;
+use anonring_sim::runtime::{FanOut, Observer, SendEvent, Span, TraceEvent};
+use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess};
+use anonring_sim::telemetry::{FlightRecorder, Recording, Telemetry, RECORDING_VERSION};
+use anonring_sim::RingTopology;
+
+const GOLDEN: &str = r#"{"type":"meta","version":1,"n":3,"label":"golden \"v1\"","truncated":0}
+{"type":"send","t":0,"from":0,"to":1,"port":"left","bits":4,"phase":"labels","round":2}
+{"type":"send","t":0,"from":2,"to":1,"port":"right","bits":7}
+{"type":"deliver","t":1,"to":1,"port":"left","dropped":false}
+{"type":"deliver","t":1,"to":1,"port":"right","dropped":true}
+{"type":"halt","t":2,"proc":1}
+"#;
+
+fn golden_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::Send(SendEvent {
+            cycle: 0,
+            from: 0,
+            to: 1,
+            port: Port::Left,
+            bits: 4,
+            span: Some(Span::new("labels", 2)),
+        }),
+        TraceEvent::Send(SendEvent {
+            cycle: 0,
+            from: 2,
+            to: 1,
+            port: Port::Right,
+            bits: 7,
+            span: None,
+        }),
+        TraceEvent::Deliver {
+            time: 1,
+            to: 1,
+            port: Port::Left,
+            dropped: false,
+        },
+        TraceEvent::Deliver {
+            time: 1,
+            to: 1,
+            port: Port::Right,
+            dropped: true,
+        },
+        TraceEvent::Halt {
+            time: 2,
+            processor: 1,
+        },
+    ]
+}
+
+#[test]
+fn serialization_matches_the_golden_text_exactly() {
+    assert_eq!(RECORDING_VERSION, 1, "format change requires a new golden");
+    let mut recorder = FlightRecorder::new(3, "golden \"v1\"");
+    for event in golden_events() {
+        recorder.on_event(&event);
+    }
+    assert_eq!(recorder.to_jsonl(), GOLDEN);
+}
+
+#[test]
+fn golden_text_round_trips_byte_identically() {
+    let recording = Recording::parse_jsonl(GOLDEN).unwrap();
+    assert_eq!(recording.n, 3);
+    assert_eq!(recording.label, "golden \"v1\"");
+    assert_eq!(recording.events.len(), 5);
+    assert_eq!(recording.to_jsonl(), GOLDEN);
+}
+
+/// A real engine run, recorded through FanOut, must round-trip through
+/// the parser byte-identically too — not just hand-picked events.
+#[test]
+fn live_run_round_trips_through_the_replay_parser() {
+    #[derive(Debug)]
+    struct PingRing;
+    impl SyncProcess for PingRing {
+        type Msg = u8;
+        type Output = ();
+        fn step(&mut self, cycle: u64, rx: Received<u8>) -> Step<u8, ()> {
+            match cycle {
+                0 => Step::send_right(1).in_span("ping", 0),
+                1 => {
+                    let got = rx.from_left.unwrap_or(0);
+                    Step::send_right(got + 1).in_span("ping", 1)
+                }
+                _ => Step::halt(()),
+            }
+        }
+    }
+    let n = 4;
+    let topology = RingTopology::oriented(n).unwrap();
+    let procs = (0..n).map(|_| PingRing).collect();
+    let mut engine = SyncEngine::new(topology, procs).unwrap();
+    let mut telemetry = Telemetry::new(n);
+    let mut recorder = FlightRecorder::new(n, "live");
+    {
+        let mut fan = FanOut::new().with(&mut telemetry).with(&mut recorder);
+        engine.run_with_observer(&mut fan).unwrap();
+    }
+    let jsonl = recorder.to_jsonl();
+    let recording = Recording::parse_jsonl(&jsonl).unwrap();
+    assert_eq!(recording.to_jsonl(), jsonl, "byte-identical round-trip");
+    // The recording and the aggregating observer saw the same stream.
+    assert_eq!(recording.messages(), telemetry.messages());
+    assert_eq!(recording.bits(), telemetry.bits());
+    assert_eq!(
+        recording.phase_profile().len(),
+        telemetry.phase_profile().len()
+    );
+}
