@@ -1,0 +1,441 @@
+//! A minimal hand-rolled Rust lexer — just enough structure for the lint
+//! pass: identifiers, punctuation, literals and (crucially) comments, each
+//! tagged with its 1-based source line.
+//!
+//! The lexer deliberately does **not** parse Rust; the lints work on the
+//! token stream plus brace depth. What it must get right is the token
+//! *boundaries* real Rust uses, so that lint-relevant identifiers inside
+//! strings, doc comments or `//` comments are never mistaken for code:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments;
+//! * string literals with escapes, raw strings `r#"…"#`, byte strings;
+//! * char literals versus lifetimes (`'a'` versus `'a`);
+//! * raw identifiers (`r#async`).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (raw identifiers are unescaped: `r#async`
+    /// lexes as `async`).
+    Ident,
+    /// A lifetime such as `'a` (without the quote).
+    Lifetime,
+    /// Any numeric literal, uninterpreted.
+    Number,
+    /// A string, raw-string, byte-string or char literal (text excludes
+    /// the delimiters and is *not* unescaped).
+    Literal,
+    /// A `//` line comment, including `///` and `//!` doc comments (text
+    /// excludes the leading slashes).
+    LineComment,
+    /// A `/* … */` block comment, nesting handled (text excludes the
+    /// delimiters).
+    BlockComment,
+    /// A single punctuation character (`{`, `}`, `(`, `|`, `#`, …).
+    Punct,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokenKind,
+    /// The lexeme text (see [`TokenKind`] for what is included).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `source` into tokens. Never fails: unterminated literals consume
+/// to end of input (the lint pass runs on code that already compiles, so
+/// this only matters for robustness on garbage input).
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: usize) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line),
+                'b' if self.peek_at(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal(line);
+                }
+                'r' if self.raw_string_ahead(1) => self.raw_string(line, 1),
+                'b' if self.peek_at(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.raw_string(line, 1)
+                }
+                'r' if self.peek_at(1) == Some('#')
+                    && self.peek_at(2).is_some_and(is_ident_start) =>
+                {
+                    // Raw identifier: skip `r#`, lex the identifier proper.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                '\'' => self.quote(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if is_ident_start(c) => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    fn string_literal(&mut self, line: usize) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    text.push('\\');
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                c => text.push(c),
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    /// Whether `r`/`br` at the current position starts a raw string
+    /// (`r"`, `r#"`, `r##"`, …), looking from `offset` past the `r`.
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek_at(i) == Some('#') {
+            i += 1;
+        }
+        self.peek_at(i) == Some('"')
+    }
+
+    fn raw_string(&mut self, line: usize, offset_past_r: usize) {
+        debug_assert_eq!(offset_past_r, 1);
+        self.bump(); // the `r`
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote must be followed by `hashes` hash marks.
+                for i in 0..hashes {
+                    if self.peek_at(i) != Some('#') {
+                        text.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    /// A single quote: either a char literal (`'x'`, `'\n'`) or a
+    /// lifetime (`'a`, `'static`).
+    fn quote(&mut self, line: usize) {
+        self.bump(); // the quote
+        match self.peek() {
+            Some('\\') => {
+                // Escaped char literal.
+                let mut text = String::new();
+                text.push('\\');
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                    if esc == 'u' {
+                        while let Some(c) = self.peek() {
+                            if c == '\'' {
+                                break;
+                            }
+                            text.push(c);
+                            self.bump();
+                        }
+                    }
+                }
+                self.bump(); // closing quote
+                self.push(TokenKind::Literal, text, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char literal; `'a` (no closing quote right
+                // after one ident char) is a lifetime — but `'ab'` is
+                // still a (weird) char token sequence we won't meet in
+                // compiling code. Scan the identifier, then look for a
+                // closing quote.
+                let mut text = String::new();
+                while let Some(c) = self.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                if self.peek() == Some('\'') {
+                    self.bump();
+                    self.push(TokenKind::Literal, text, line);
+                } else {
+                    self.push(TokenKind::Lifetime, text, line);
+                }
+            }
+            Some(c) => {
+                // Non-identifier char literal: `'+'`, `' '`, …
+                let mut text = String::new();
+                text.push(c);
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Literal, text, line);
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            // Good enough for lint purposes: swallows ints, floats, type
+            // suffixes, hex/oct/bin and `_` separators. `1.max(2)` keeps
+            // `max` out of the number because `.m` is not a digit/ident
+            // continuation pair we accept after a `.`.
+            let in_number = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek_at(1).is_some_and(|d| d.is_ascii_digit()));
+            if !in_number {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+
+    fn ident(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{lex, TokenKind};
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_keep_code_identifiers_out_of_the_stream() {
+        let toks = kinds("let x = 1; // unwrap() here is prose\n/* unsafe */ y");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.contains("unsafe")));
+        // No Ident token named unwrap/unsafe leaked out.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "unwrap" || t == "unsafe")));
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_leak_identifiers() {
+        let toks = kinds(r#"call("unwrap()", 'u', '\n', "esc \" quote")"#);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let toks = kinds(r###"let s = r#"has "quotes" and unsafe"#; next"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("quotes")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "next"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "x"));
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        let toks = kinds("use crate::r#async::AsyncEngine;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "async"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(
+            toks.iter()
+                .map(|t| (t.text.as_str(), t.line))
+                .collect::<Vec<_>>(),
+            vec![("a", 1), ("b", 2), ("c", 3)]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "code"));
+    }
+}

@@ -1,0 +1,923 @@
+//! # anonring-anonlint
+//!
+//! A source-level lint pass enforcing the *anonymity model* of the paper
+//! mechanically. The paper's results hold only for identical deterministic
+//! processors whose every cost flows through the metered send path; nothing
+//! in the type system stops an algorithm from branching on a processor
+//! index or bypassing the meter. This crate walks the workspace source with
+//! a small hand-rolled lexer ([`lexer`]) and reports violations as named
+//! findings.
+//!
+//! ## Lint catalog
+//!
+//! | lint | scope | invariant |
+//! |---|---|---|
+//! | `anonymity-breach` | `core/src/algorithms` | algorithm code must not read the processor index (the `from_config` index parameter stays unbound; no topology introspection) |
+//! | `unmetered-send` | `core/src/algorithms`, `sim/src` | all sends route through `Emit`; raw fabric/queue access and `CostMeter::record_send` are reserved to `sim::runtime` |
+//! | `span-coverage` | `core/src/algorithms` | every algorithm that sends stamps at least one telemetry `Span` |
+//! | `no-unwrap-in-runtime` | `sim/src` | runtime code uses `expect` with an invariant message, never bare `unwrap` |
+//! | `forbid-unsafe` | both | no `unsafe` token anywhere; crate roots carry `#![forbid(unsafe_code)]` |
+//! | `malformed-suppression` | both | every `anonlint: allow(…)` names a known lint and gives a `-- reason` |
+//!
+//! Test code (`#[cfg(test)]` items) and comments/doc examples are excluded.
+//!
+//! ## Suppression syntax
+//!
+//! A finding is suppressed by a comment on the same line or the line
+//! directly above, naming the lint and justifying itself:
+//!
+//! ```text
+//! // anonlint: allow(no-unwrap-in-runtime) -- capacity checked two lines up
+//! let head = queue.pop_front().unwrap();
+//! ```
+//!
+//! `anonlint: allow-file(lint-name) -- reason` at any line suppresses the
+//! lint for the whole file. A suppression without a reason (or naming an
+//! unknown lint) is itself reported as `malformed-suppression`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lexer::{lex, Token, TokenKind};
+
+/// The named lints anonlint can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lint {
+    /// Algorithm code reads the processor index or ring wiring directly.
+    AnonymityBreach,
+    /// A send bypasses the `Emit`/`LinkFabric` metered path.
+    UnmeteredSend,
+    /// An algorithm sends messages but never stamps a telemetry `Span`.
+    SpanCoverage,
+    /// Runtime code calls bare `unwrap` instead of `expect("invariant")`.
+    NoUnwrapInRuntime,
+    /// An `unsafe` token, or a crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// An `anonlint:` suppression comment that does not parse.
+    MalformedSuppression,
+}
+
+impl Lint {
+    /// All lints, in catalog order.
+    pub const ALL: [Lint; 6] = [
+        Lint::AnonymityBreach,
+        Lint::UnmeteredSend,
+        Lint::SpanCoverage,
+        Lint::NoUnwrapInRuntime,
+        Lint::ForbidUnsafe,
+        Lint::MalformedSuppression,
+    ];
+
+    /// The lint's kebab-case name, as used in suppressions and baselines.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::AnonymityBreach => "anonymity-breach",
+            Lint::UnmeteredSend => "unmetered-send",
+            Lint::SpanCoverage => "span-coverage",
+            Lint::NoUnwrapInRuntime => "no-unwrap-in-runtime",
+            Lint::ForbidUnsafe => "forbid-unsafe",
+            Lint::MalformedSuppression => "malformed-suppression",
+        }
+    }
+
+    /// Parses a lint name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.name() == name)
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which invariant set applies to a file (scopes differ in what the
+/// sanctioned API surface is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// `crates/core/src/algorithms/**`: paper-algorithm code, the most
+    /// restricted surface.
+    Algorithms,
+    /// `crates/sim/src/**`: the runtime itself; `sim/src/runtime/` is the
+    /// sole owner of the raw send path.
+    Runtime,
+}
+
+impl Scope {
+    /// The lints enforced in this scope.
+    #[must_use]
+    pub fn lints(self) -> &'static [Lint] {
+        match self {
+            Scope::Algorithms => &[
+                Lint::AnonymityBreach,
+                Lint::UnmeteredSend,
+                Lint::SpanCoverage,
+                Lint::ForbidUnsafe,
+            ],
+            Scope::Runtime => &[
+                Lint::UnmeteredSend,
+                Lint::NoUnwrapInRuntime,
+                Lint::ForbidUnsafe,
+            ],
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the violation.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Identifiers that read ring wiring or processor identity — off limits to
+/// algorithm code, which must see the world only through its local ports.
+const ANONYMITY_DENYLIST: [&str; 3] = ["neighbor", "processor_index", "with_switched"];
+
+/// Raw send-path surface reserved to `sim::runtime` — algorithm code
+/// touching any of these is constructing or delivering messages outside
+/// the metered `Emit` vocabulary.
+const RAW_SEND_SURFACE: [&str; 5] = [
+    "LinkFabric",
+    "record_send",
+    "pop_candidate",
+    "push_back",
+    "take_due",
+];
+
+/// Emission vocabulary whose presence marks a file as "this algorithm
+/// sends messages" for `span-coverage`.
+const SEND_VOCABULARY: [&str; 6] = [
+    "send",
+    "send_left",
+    "send_right",
+    "send_both",
+    "and_send",
+    "push_send",
+];
+
+/// Lints `source` (from `file`, repo-relative, under `scope`).
+///
+/// This is the pure core: no filesystem access, deterministic output
+/// (findings in source order).
+#[must_use]
+pub fn lint_source(file: &str, source: &str, scope: Scope) -> Vec<Finding> {
+    let tokens = lex(source);
+    let in_test = test_code_mask(&tokens);
+    let (suppressions, mut findings) = collect_suppressions(file, &tokens);
+
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            !in_test[*i] && !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+        })
+        .collect();
+
+    for lint in scope.lints() {
+        match lint {
+            Lint::ForbidUnsafe => check_forbid_unsafe(file, &code, &mut findings),
+            Lint::NoUnwrapInRuntime => check_no_unwrap(file, &code, &mut findings),
+            Lint::UnmeteredSend => check_unmetered_send(file, scope, &code, &mut findings),
+            Lint::AnonymityBreach => check_anonymity_breach(file, &code, &mut findings),
+            Lint::SpanCoverage => check_span_coverage(file, &code, &mut findings),
+            Lint::MalformedSuppression => {}
+        }
+    }
+
+    findings.retain(|f| !suppressions.suppresses(f));
+    findings.sort_by_key(|f| (f.line, f.lint));
+    findings
+}
+
+/// Marks tokens inside `#[cfg(test)]` items (the attribute, and the item
+/// it attaches to, through the matching `;` or closing brace).
+fn test_code_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            let attr_end = skip_attr(tokens, i);
+            let mut j = attr_end;
+            // Further attributes on the same item (`#[cfg(test)] #[derive(..)]`).
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attr(tokens, j);
+            }
+            // The item body: through the matching close of the first brace
+            // block, or a top-level `;` before any brace opens.
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if t.is_punct(';') && depth == 0 {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            for m in &mut mask[i..j.min(tokens.len())] {
+                *m = true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Whether tokens at `i` start `#[cfg(test)]` (possibly with whitespace
+/// already stripped by the lexer).
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let non_comment = |k: usize| -> Option<&Token> {
+        tokens
+            .get(k)
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    };
+    tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && non_comment(i + 1).is_some_and(|t| t.is_punct('['))
+        && non_comment(i + 2).is_some_and(|t| t.is_ident("cfg"))
+        && non_comment(i + 3).is_some_and(|t| t.is_punct('('))
+        && non_comment(i + 4).is_some_and(|t| t.is_ident("test"))
+}
+
+/// Returns the index just past the attribute starting at `i` (`#[ … ]`,
+/// bracket-balanced).
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1; // past `#`
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parsed suppression directives of one file.
+struct Suppressions {
+    /// Lines on which each lint is allowed (the directive's own line and
+    /// the next line).
+    lines: BTreeMap<Lint, BTreeSet<usize>>,
+    /// Lints allowed for the whole file.
+    whole_file: BTreeSet<Lint>,
+}
+
+impl Suppressions {
+    fn suppresses(&self, finding: &Finding) -> bool {
+        if finding.lint == Lint::MalformedSuppression {
+            return false;
+        }
+        self.whole_file.contains(&finding.lint)
+            || self
+                .lines
+                .get(&finding.lint)
+                .is_some_and(|lines| lines.contains(&finding.line))
+    }
+}
+
+/// Scans comment tokens for `anonlint:` directives; malformed ones become
+/// findings immediately.
+fn collect_suppressions(file: &str, tokens: &[Token]) -> (Suppressions, Vec<Finding>) {
+    let mut sup = Suppressions {
+        lines: BTreeMap::new(),
+        whole_file: BTreeSet::new(),
+    };
+    let mut findings = Vec::new();
+    for token in tokens {
+        if !matches!(token.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let Some(directive) = token.text.split("anonlint:").nth(1) else {
+            continue;
+        };
+        match parse_directive(directive.trim()) {
+            Ok((lint, whole_file)) => {
+                if whole_file {
+                    sup.whole_file.insert(lint);
+                } else {
+                    let entry = sup.lines.entry(lint).or_default();
+                    entry.insert(token.line);
+                    entry.insert(token.line + 1);
+                }
+            }
+            Err(why) => findings.push(Finding {
+                lint: Lint::MalformedSuppression,
+                file: file.to_string(),
+                line: token.line,
+                message: why,
+            }),
+        }
+    }
+    (sup, findings)
+}
+
+/// Parses `allow(lint-name) -- reason` / `allow-file(lint-name) -- reason`.
+/// Returns `(lint, is_whole_file)`.
+fn parse_directive(directive: &str) -> Result<(Lint, bool), String> {
+    let (head, reason) = directive
+        .split_once("--")
+        .ok_or_else(|| "suppression missing `-- reason`".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("suppression reason is empty".to_string());
+    }
+    let head = head.trim();
+    let (whole_file, rest) = if let Some(rest) = head.strip_prefix("allow-file(") {
+        (true, rest)
+    } else if let Some(rest) = head.strip_prefix("allow(") {
+        (false, rest)
+    } else {
+        return Err(format!("expected allow(…) or allow-file(…), got {head:?}"));
+    };
+    let name = rest
+        .strip_suffix(')')
+        .ok_or_else(|| "unclosed allow(".to_string())?
+        .trim();
+    let lint =
+        Lint::from_name(name).ok_or_else(|| format!("unknown lint {name:?} in suppression"))?;
+    Ok((lint, whole_file))
+}
+
+fn finding(lint: Lint, file: &str, line: usize, message: impl Into<String>) -> Finding {
+    Finding {
+        lint,
+        file: file.to_string(),
+        line,
+        message: message.into(),
+    }
+}
+
+fn check_forbid_unsafe(file: &str, code: &[(usize, &Token)], findings: &mut Vec<Finding>) {
+    for (_, t) in code {
+        if t.is_ident("unsafe") {
+            findings.push(finding(
+                Lint::ForbidUnsafe,
+                file,
+                t.line,
+                "`unsafe` is forbidden in this workspace",
+            ));
+        }
+    }
+    // Crate roots must pin the guarantee declaratively too.
+    if file.ends_with("lib.rs") {
+        let has_forbid = code.windows(4).any(|w| {
+            w[0].1.is_ident("forbid")
+                && w[1].1.is_punct('(')
+                && w[2].1.is_ident("unsafe_code")
+                && w[3].1.is_punct(')')
+        });
+        if !has_forbid {
+            findings.push(finding(
+                Lint::ForbidUnsafe,
+                file,
+                1,
+                "crate root missing `#![forbid(unsafe_code)]`",
+            ));
+        }
+    }
+}
+
+fn check_no_unwrap(file: &str, code: &[(usize, &Token)], findings: &mut Vec<Finding>) {
+    for (_, t) in code {
+        if t.is_ident("unwrap") {
+            findings.push(finding(
+                Lint::NoUnwrapInRuntime,
+                file,
+                t.line,
+                "bare `unwrap` in runtime code: use `expect(\"<invariant>\")` \
+                 or suppress with a justification",
+            ));
+        }
+    }
+}
+
+fn check_unmetered_send(
+    file: &str,
+    scope: Scope,
+    code: &[(usize, &Token)],
+    findings: &mut Vec<Finding>,
+) {
+    let surface: &[&str] = match scope {
+        // Algorithm code must not even name the raw machinery.
+        Scope::Algorithms => &RAW_SEND_SURFACE,
+        // Inside sim, only the runtime module owns meter writes; the
+        // engines drive `LinkFabric` (which meters internally) but must
+        // never account a send themselves.
+        Scope::Runtime => {
+            if file.contains("/runtime/") {
+                return;
+            }
+            &["record_send"]
+        }
+    };
+    for (_, t) in code {
+        if surface.iter().any(|s| t.is_ident(s)) {
+            findings.push(finding(
+                Lint::UnmeteredSend,
+                file,
+                t.line,
+                format!(
+                    "`{}` belongs to the metered send path in sim::runtime; \
+                     sends must go through `Emit`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+fn check_anonymity_breach(file: &str, code: &[(usize, &Token)], findings: &mut Vec<Finding>) {
+    for (_, t) in code {
+        if ANONYMITY_DENYLIST.iter().any(|s| t.is_ident(s)) {
+            findings.push(finding(
+                Lint::AnonymityBreach,
+                file,
+                t.line,
+                format!(
+                    "`{}` reads ring wiring or processor identity; algorithm \
+                     code sees only its local ports",
+                    t.text
+                ),
+            ));
+        }
+    }
+    // The `from_config(config, |index, input| …)` construction closure: the
+    // index parameter exists so engines can build per-processor state, but
+    // an *anonymous* algorithm must leave it unbound (`_` / `_foo`).
+    for (pos, window) in code.windows(12).enumerate() {
+        if !window[0].1.is_ident("from_config") {
+            continue;
+        }
+        let Some(bar) = window.iter().skip(1).position(|(_, t)| t.is_punct('|')) else {
+            continue;
+        };
+        let Some((_, param)) = code.get(pos + 1 + bar + 1) else {
+            continue;
+        };
+        if param.kind == TokenKind::Ident && !param.text.starts_with('_') {
+            findings.push(finding(
+                Lint::AnonymityBreach,
+                file,
+                param.line,
+                format!(
+                    "construction closure binds the processor index as `{}`; \
+                     anonymous algorithms must not read it (rename to `_`)",
+                    param.text
+                ),
+            ));
+        }
+    }
+}
+
+fn check_span_coverage(file: &str, code: &[(usize, &Token)], findings: &mut Vec<Finding>) {
+    let mut first_send: Option<usize> = None;
+    let mut has_span = false;
+    for (i, (_, t)) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if SEND_VOCABULARY.contains(&t.text.as_str()) {
+            first_send.get_or_insert(t.line);
+        }
+        // Field-built steps (`step.to_left = Some(..)`) count as sends too.
+        if (t.text == "to_left" || t.text == "to_right")
+            && code.get(i + 1).is_some_and(|(_, n)| n.is_punct('='))
+        {
+            first_send.get_or_insert(t.line);
+        }
+        if t.text == "in_span" || t.text == "set_span" {
+            has_span = true;
+        }
+    }
+    if let Some(line) = first_send {
+        if !has_span {
+            findings.push(finding(
+                Lint::SpanCoverage,
+                file,
+                line,
+                "this algorithm sends messages but never stamps a telemetry \
+                 `Span` (use `Emit::in_span`); per-phase budgets are invisible",
+            ));
+        }
+    }
+}
+
+/// A directory to lint and the scope that applies to it.
+#[derive(Debug, Clone)]
+pub struct ScopedRoot {
+    /// Repo-relative directory.
+    pub dir: &'static str,
+    /// Invariant set for files under it.
+    pub scope: Scope,
+}
+
+/// The scopes the repo enforces, as named by the lint charter.
+#[must_use]
+pub fn default_roots() -> Vec<ScopedRoot> {
+    vec![
+        ScopedRoot {
+            dir: "crates/core/src/algorithms",
+            scope: Scope::Algorithms,
+        },
+        ScopedRoot {
+            dir: "crates/sim/src",
+            scope: Scope::Runtime,
+        },
+    ]
+}
+
+/// Lints every `.rs` file under the default roots of `repo_root`.
+/// Deterministic: files are visited in sorted path order.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (missing roots, unreadable files).
+pub fn lint_repo(repo_root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for root in default_roots() {
+        let dir = repo_root.join(root.dir);
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let source = std::fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(repo_root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            findings.extend(lint_source(&rel, &source, root.scope));
+        }
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// A committed set of grandfathered findings: per `(lint, file)` counts.
+/// The lint CLI fails only when a file's count for some lint *exceeds* its
+/// baseline (so old debt does not block CI, but new debt does).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), u64>,
+}
+
+impl Baseline {
+    /// An empty baseline: every finding is new.
+    #[must_use]
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Parses the baseline format: one `lint-name<TAB>file<TAB>count` per
+    /// line; `#` lines and blank lines are comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line.
+    pub fn parse(input: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (Some(lint), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected lint<TAB>file<TAB>count",
+                    idx + 1
+                ));
+            };
+            if Lint::from_name(lint).is_none() {
+                return Err(format!("baseline line {}: unknown lint {lint:?}", idx + 1));
+            }
+            let count: u64 = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count {count:?}", idx + 1))?;
+            entries.insert((lint.to_string(), file.to_string()), count);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes `findings` as a baseline file.
+    #[must_use]
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.lint.name().to_string(), f.file.clone()))
+                .or_default() += 1;
+        }
+        let mut out = String::from(
+            "# anonlint baseline: grandfathered findings as lint<TAB>file<TAB>count.\n\
+             # CI fails when a count grows; shrink freely.\n",
+        );
+        for ((lint, file), count) in counts {
+            out.push_str(&format!("{lint}\t{file}\t{count}\n"));
+        }
+        out
+    }
+
+    /// Splits findings into `(new, grandfathered)` against this baseline,
+    /// plus stale entries whose debt has been paid off.
+    #[must_use]
+    pub fn diff<'f>(
+        &self,
+        findings: &'f [Finding],
+    ) -> (Vec<&'f Finding>, Vec<&'f Finding>, Vec<(String, String)>) {
+        let mut used: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut fresh = Vec::new();
+        let mut old = Vec::new();
+        for f in findings {
+            let key = (f.lint.name().to_string(), f.file.clone());
+            let budget = self.entries.get(&key).copied().unwrap_or(0);
+            let slot = used.entry(key).or_default();
+            if *slot < budget {
+                *slot += 1;
+                old.push(f);
+            } else {
+                fresh.push(f);
+            }
+        }
+        let stale = self
+            .entries
+            .iter()
+            .filter(|(key, budget)| used.get(*key).copied().unwrap_or(0) < **budget)
+            .map(|(key, _)| key.clone())
+            .collect();
+        (fresh, old, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_algo(src: &str) -> Vec<Finding> {
+        lint_source(
+            "crates/core/src/algorithms/fixture.rs",
+            src,
+            Scope::Algorithms,
+        )
+    }
+
+    fn lint_sim(src: &str) -> Vec<Finding> {
+        lint_source("crates/sim/src/fixture.rs", src, Scope::Runtime)
+    }
+
+    fn names(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.lint.name()).collect()
+    }
+
+    #[test]
+    fn seeded_anonymity_breach_is_detected() {
+        let src = r"
+            pub fn run(config: &RingConfig<u8>) -> SyncReport<u8> {
+                let mut engine = SyncEngine::from_config(config, |i, &input| {
+                    Proc::new(i, input) // branches on the processor index!
+                });
+                engine.run().unwrap()
+            }
+        ";
+        let f = lint_algo(src);
+        assert_eq!(names(&f), vec!["anonymity-breach"], "{f:?}");
+        assert!(f[0].message.contains("`i`"));
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn underscore_index_parameter_is_sanctioned() {
+        let src = r#"
+            pub fn run(config: &RingConfig<u8>) -> SyncReport<u8> {
+                let mut engine = SyncEngine::from_config(config, |_, &input| Proc::new(input));
+                engine.run().expect("engine cannot fail on a valid config")
+            }
+        "#;
+        assert_eq!(lint_algo(src), vec![]);
+    }
+
+    #[test]
+    fn seeded_unmetered_send_is_detected() {
+        let src = r"
+            fn sneak(&mut self, fabric: &mut LinkFabric<u8>) {
+                fabric.queues[0].push_back(message); // bypasses the meter
+            }
+        ";
+        let f = lint_algo(src);
+        assert!(names(&f).contains(&"unmetered-send"), "{f:?}");
+    }
+
+    #[test]
+    fn record_send_outside_runtime_module_is_flagged() {
+        let f = lint_sim("fn cheat(m: &mut CostMeter) { m.record_send(0, 8); }");
+        assert_eq!(names(&f), vec!["unmetered-send"]);
+        // … but inside sim/src/runtime it is the sanctioned implementation.
+        let ok = lint_source(
+            "crates/sim/src/runtime/mailbox.rs",
+            "fn send(m: &mut CostMeter) { m.record_send(0, 8); }",
+            Scope::Runtime,
+        );
+        assert_eq!(ok, vec![]);
+    }
+
+    #[test]
+    fn span_coverage_requires_in_span_when_sending() {
+        let bare = "fn step(&mut self) -> Step<u8, u8> { Step::send_left(1) }";
+        let f = lint_algo(bare);
+        assert_eq!(names(&f), vec!["span-coverage"]);
+        let spanned =
+            "fn step(&mut self) -> Step<u8, u8> { Step::send_left(1).in_span(\"probe\", 0) }";
+        assert_eq!(lint_algo(spanned), vec![]);
+        let silent = "fn helper() -> u64 { 42 }";
+        assert_eq!(lint_algo(silent), vec![]);
+    }
+
+    #[test]
+    fn field_built_sends_count_for_span_coverage() {
+        let src = "fn step(&mut self) { step.to_right = Some(Msg::Token); }";
+        assert_eq!(names(&lint_algo(src)), vec!["span-coverage"]);
+    }
+
+    #[test]
+    fn unwrap_in_runtime_is_flagged_but_not_in_tests_or_docs() {
+        let src = r#"
+            /// ```
+            /// engine.run().unwrap(); // doc example: fine
+            /// ```
+            fn hot_path(q: &mut Queue) { let head = q.pop().unwrap(); }
+
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn probe() { build().unwrap(); }
+            }
+        "#;
+        let f = lint_sim(src);
+        assert_eq!(names(&f), vec!["no-unwrap-in-runtime"]);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn option_unwrap_path_form_is_flagged_too() {
+        let f = lint_sim("fn f(v: Vec<Option<u8>>) { v.into_iter().map(Option::unwrap); }");
+        assert_eq!(names(&f), vec!["no-unwrap-in-runtime"]);
+    }
+
+    #[test]
+    fn unsafe_is_always_a_finding() {
+        let f = lint_sim("fn f() { unsafe { core::hint::unreachable_unchecked() } }");
+        assert!(names(&f).contains(&"forbid-unsafe"));
+    }
+
+    #[test]
+    fn crate_roots_must_forbid_unsafe_declaratively() {
+        let f = lint_source("crates/sim/src/lib.rs", "pub mod runtime;", Scope::Runtime);
+        assert!(names(&f).contains(&"forbid-unsafe"), "{f:?}");
+        let ok = lint_source(
+            "crates/sim/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod runtime;",
+            Scope::Runtime,
+        );
+        assert_eq!(ok, vec![]);
+    }
+
+    #[test]
+    fn suppressions_require_a_reason_and_a_known_lint() {
+        let justified = r#"
+            // anonlint: allow(no-unwrap-in-runtime) -- head checked by caller
+            fn f(q: &mut Queue) { q.pop().unwrap(); }
+        "#;
+        assert_eq!(lint_sim(justified), vec![]);
+
+        let trailing = "fn f(q: &mut Queue) { q.pop().unwrap(); } \
+                        // anonlint: allow(no-unwrap-in-runtime) -- head checked above";
+        assert_eq!(lint_sim(trailing), vec![]);
+
+        let unjustified = r#"
+            // anonlint: allow(no-unwrap-in-runtime)
+            fn f(q: &mut Queue) { q.pop().unwrap(); }
+        "#;
+        let f = lint_sim(unjustified);
+        assert_eq!(
+            names(&f),
+            vec!["malformed-suppression", "no-unwrap-in-runtime"],
+            "{f:?}"
+        );
+
+        let unknown = "// anonlint: allow(made-up-lint) -- because\nfn f() {}";
+        assert_eq!(names(&lint_sim(unknown)), vec!["malformed-suppression"]);
+    }
+
+    #[test]
+    fn file_level_suppression_covers_every_occurrence() {
+        let src = r#"
+            //! anonlint: allow-file(no-unwrap-in-runtime) -- shim crate, test-only surface
+            fn a(q: &mut Queue) { q.pop().unwrap(); }
+            fn b(q: &mut Queue) { q.pop().unwrap(); }
+        "#;
+        assert_eq!(lint_sim(src), vec![]);
+    }
+
+    #[test]
+    fn suppression_does_not_leak_past_the_next_line() {
+        let src = r#"
+            // anonlint: allow(no-unwrap-in-runtime) -- only the next line
+            fn a(q: &mut Queue) { q.pop().unwrap(); }
+            fn b(q: &mut Queue) { q.pop().unwrap(); }
+        "#;
+        let f = lint_sim(src);
+        assert_eq!(names(&f), vec!["no-unwrap-in-runtime"]);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn anonymity_denylist_catches_topology_introspection() {
+        let f =
+            lint_algo("fn peek(t: &RingTopology) { let (to, port) = t.neighbor(0, Port::Left); }");
+        assert_eq!(names(&f), vec!["anonymity-breach"]);
+    }
+
+    #[test]
+    fn baseline_grandfathers_exact_counts_and_flags_growth() {
+        let findings = vec![
+            finding(Lint::NoUnwrapInRuntime, "a.rs", 3, "x"),
+            finding(Lint::NoUnwrapInRuntime, "a.rs", 9, "y"),
+            finding(Lint::SpanCoverage, "b.rs", 1, "z"),
+        ];
+        let baseline = Baseline::parse("no-unwrap-in-runtime\ta.rs\t1\n").unwrap();
+        let (fresh, old, stale) = baseline.diff(&findings);
+        assert_eq!(fresh.len(), 2, "one unwrap over budget + uncovered span");
+        assert_eq!(old.len(), 1);
+        assert!(stale.is_empty());
+
+        // Round trip: render → parse covers everything.
+        let full = Baseline::parse(&Baseline::render(&findings)).unwrap();
+        let (fresh, old, stale) = full.diff(&findings);
+        assert!(fresh.is_empty());
+        assert_eq!(old.len(), 3);
+        assert!(stale.is_empty());
+
+        // Paid-off debt shows up as stale.
+        let (_, _, stale) = full.diff(&findings[..1]);
+        assert!(!stale.is_empty());
+    }
+
+    #[test]
+    fn baseline_rejects_garbage() {
+        assert!(Baseline::parse("not-a-lint\ta.rs\t1\n").is_err());
+        assert!(Baseline::parse("no-unwrap-in-runtime a.rs 1\n").is_err());
+        assert!(Baseline::parse("no-unwrap-in-runtime\ta.rs\tmany\n").is_err());
+        assert!(Baseline::parse("# comment\n\n").unwrap().entries.is_empty());
+    }
+}

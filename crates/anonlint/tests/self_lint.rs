@@ -1,0 +1,29 @@
+//! The repo lints itself: `anonlint` must report zero findings over the
+//! workspace (the committed baseline is empty). A finding here means new
+//! code broke a model invariant — fix it or add a justified
+//! `anonlint: allow(...)` suppression.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/anonlint sits two levels below the repo root");
+    assert!(
+        repo_root.join("crates/sim/src").is_dir(),
+        "resolved repo root {repo_root:?} looks wrong"
+    );
+    let findings = anonring_anonlint::lint_repo(repo_root).expect("workspace sources readable");
+    assert!(
+        findings.is_empty(),
+        "anonlint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -22,7 +22,7 @@
 //! extrema finding costs `Θ(n log n)`; without them, `Θ(n²)`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chang_roberts;
 pub mod flood_all;

@@ -1,0 +1,112 @@
+//! `lint` — run the anonlint model-invariant pass over the workspace.
+//!
+//! ```text
+//! lint [--root DIR] [--baseline FILE] [--write-baseline FILE]
+//! ```
+//!
+//! Exit codes: `0` clean (or fully grandfathered), `1` new findings,
+//! `2` usage/IO error. With `--baseline`, findings covered by the
+//! committed baseline are reported but do not fail the run; stale
+//! baseline entries (paid-off debt) fail the run so the file shrinks.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use anonring_anonlint::{lint_repo, Baseline};
+
+fn locate_repo_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates/sim/src").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut path_arg = |name: &str| {
+            args.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} needs a path argument"))
+        };
+        match arg.as_str() {
+            "--root" => root = Some(path_arg("--root")?),
+            "--baseline" => baseline_path = Some(path_arg("--baseline")?),
+            "--write-baseline" => write_baseline = Some(path_arg("--write-baseline")?),
+            "--help" | "-h" => {
+                println!("usage: lint [--root DIR] [--baseline FILE] [--write-baseline FILE]");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => locate_repo_root().ok_or("cannot locate repo root (run from the workspace)")?,
+    };
+    let findings = lint_repo(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    if let Some(path) = write_baseline {
+        std::fs::write(&path, Baseline::render(&findings))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "lint: wrote baseline with {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = match &baseline_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            Baseline::parse(&text)?
+        }
+        None => Baseline::empty(),
+    };
+
+    let (fresh, grandfathered, stale) = baseline.diff(&findings);
+    for f in &grandfathered {
+        println!("{f} (grandfathered)");
+    }
+    for f in &fresh {
+        println!("{f}");
+    }
+    for (lint, file) in &stale {
+        println!("stale baseline entry: {lint}\t{file} (debt paid off — shrink the baseline)");
+    }
+
+    println!(
+        "lint: {} finding(s): {} new, {} grandfathered, {} stale baseline entr(y/ies)",
+        findings.len(),
+        fresh.len(),
+        grandfathered.len(),
+        stale.len()
+    );
+    if fresh.is_empty() && stale.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -11,7 +11,7 @@
 //! simulator run against the corresponding closed-form bound.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ablations;
 pub mod arbitrary;

@@ -1,0 +1,138 @@
+//! End-to-end tests for the `tracer`, `lint` and `explore` CLIs (ISSUE 3:
+//! nonzero exits and stderr diagnostics on bad input must stay covered).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use anonring_sim::runtime::{Observer, SendEvent, Span, TraceEvent};
+use anonring_sim::telemetry::FlightRecorder;
+use anonring_sim::Port;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn valid_recording() -> String {
+    let mut rec = FlightRecorder::new(3, "cli-test");
+    rec.on_event(&TraceEvent::Send(SendEvent {
+        cycle: 1,
+        from: 0,
+        to: 1,
+        port: Port::Left,
+        bits: 4,
+        span: Some(Span::new("probe", 0)),
+    }));
+    rec.on_event(&TraceEvent::Deliver {
+        time: 1,
+        to: 1,
+        port: Port::Left,
+        dropped: false,
+    });
+    rec.on_event(&TraceEvent::Halt {
+        time: 2,
+        processor: 1,
+    });
+    rec.to_jsonl()
+}
+
+fn tracer(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tracer"))
+        .args(args)
+        .output()
+        .expect("spawn tracer")
+}
+
+#[test]
+fn tracer_renders_a_valid_recording() {
+    let dir = scratch_dir("tracer-valid");
+    let path = dir.join("run.jsonl");
+    std::fs::write(&path, valid_recording()).expect("write recording");
+    let out = tracer(&[path.to_str().expect("utf-8 path")]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("## summary"), "{stdout}");
+    assert!(stdout.contains("messages:   1"), "{stdout}");
+}
+
+#[test]
+fn tracer_rejects_unparseable_recordings_with_diagnostics() {
+    let dir = scratch_dir("tracer-malformed");
+    let path = dir.join("bad.jsonl");
+    let mut jsonl = valid_recording();
+    jsonl.push_str("{\"type\":\"send\",\"t\":broken}\n");
+    std::fs::write(&path, &jsonl).expect("write recording");
+    let out = tracer(&[path.to_str().expect("utf-8 path")]);
+    assert!(!out.status.success(), "must exit nonzero on parse failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tracer:"), "{stderr}");
+    // The parse error carries the 1-based line number and a snippet of
+    // the offending line (the RecordingError bugfix of this PR).
+    let bad_line = jsonl.lines().count();
+    assert!(stderr.contains(&format!("line {bad_line}")), "{stderr}");
+    assert!(stderr.contains("broken"), "{stderr}");
+}
+
+#[test]
+fn tracer_rejects_missing_files_and_unknown_sections() {
+    let out = tracer(&["/nonexistent/recording.jsonl"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("tracer:"));
+
+    let dir = scratch_dir("tracer-sections");
+    let path = dir.join("run.jsonl");
+    std::fs::write(&path, valid_recording()).expect("write recording");
+    let out = tracer(&[path.to_str().expect("utf-8 path"), "no-such-section"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown section"), "{stderr}");
+}
+
+#[test]
+fn lint_cli_flags_a_seeded_violation_and_passes_a_clean_tree() {
+    // A miniature repo layout with one seeded anonymity breach.
+    let root = scratch_dir("lint-seeded");
+    let algos = root.join("crates/core/src/algorithms");
+    let sim = root.join("crates/sim/src");
+    std::fs::create_dir_all(&algos).expect("mkdir");
+    std::fs::create_dir_all(&sim).expect("mkdir");
+    std::fs::write(
+        algos.join("bad.rs"),
+        "fn make(config: &C) { E::from_config(config, |i, v| P::new(i, v)); }\n",
+    )
+    .expect("write fixture");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_lint"))
+        .args(["--root", root.to_str().expect("utf-8 path")])
+        .output()
+        .expect("spawn lint");
+    assert!(!out.status.success(), "seeded violation must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("anonymity-breach"), "{stdout}");
+    assert!(stdout.contains("bad.rs:1"), "{stdout}");
+
+    std::fs::write(algos.join("bad.rs"), "fn quiet() {}\n").expect("rewrite fixture");
+    let out = Command::new(env!("CARGO_BIN_EXE_lint"))
+        .args(["--root", root.to_str().expect("utf-8 path")])
+        .output()
+        .expect("spawn lint");
+    assert!(out.status.success(), "clean tree must pass: {out:?}");
+}
+
+#[test]
+fn explore_smoke_certifies() {
+    let dir = scratch_dir("explore-smoke");
+    let out = Command::new(env!("CARGO_BIN_EXE_explore"))
+        .args([
+            "--smoke",
+            "--witness-dir",
+            dir.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("spawn explore");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("certified"), "{stdout}");
+    assert!(stdout.contains("input-dist"), "{stdout}");
+}

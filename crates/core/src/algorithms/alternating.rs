@@ -183,9 +183,16 @@ impl SyncProcess for AlternatingInputDist {
         }
 
         if self.exchange_sent && self.partner_view.is_some() {
-            return step.and_halt(self.finish());
+            return step.in_span("exchange", cycle).and_halt(self.finish());
         }
-        step
+        step.in_span(
+            if cycle.is_multiple_of(2) {
+                "compute"
+            } else {
+                "relay"
+            },
+            cycle,
+        )
     }
 }
 
@@ -202,7 +209,8 @@ impl SyncProcess for ExchangeTwo {
 
     fn step(&mut self, cycle: u64, rx: Received<AltMsg>) -> Step<AltMsg, RingView<u8>> {
         if cycle == 0 {
-            return Step::send(Port::Right, AltMsg::Exchange(vec![self.input]));
+            return Step::send(Port::Right, AltMsg::Exchange(vec![self.input]))
+                .in_span("exchange", 0);
         }
         let Some(AltMsg::Exchange(theirs)) = rx.from_right else {
             unreachable!("partners face right-to-right on an alternating 2-ring")

@@ -116,8 +116,11 @@ pub fn compute_sync_general(
     if config.topology().is_oriented() {
         return compute_sync(config, f);
     }
-    // Figure 4 quasi-orients any ring (fully orients odd ones).
+    // Figure 4 quasi-orients any ring (fully orients odd ones). Rewiring
+    // the topology from the orientation outputs is driver-side surgery on
+    // the experiment configuration, not a processor reading its identity.
     let orient_report = orientation::run(config.topology())?;
+    // anonlint: allow(anonymity-breach) -- topology rewiring happens outside the ring, from per-processor orientation outputs
     let switched = config.topology().with_switched(orient_report.outputs());
     let switched_config = RingConfig::with_topology(config.inputs().to_vec(), switched)?;
     let mut outcome = if switched_config.topology().is_oriented() {

@@ -93,7 +93,7 @@ impl SyncProcess for StartSyncBits {
             self.active = rx.is_empty();
             if self.active {
                 self.steps += 1;
-                return Step::send_both(Token::Fast, Token::Fast);
+                return Step::send_both(Token::Fast, Token::Fast).in_span("wakeup", 0);
             }
         } else {
             self.count += 1;
@@ -164,7 +164,7 @@ impl SyncProcess for StartSyncBits {
             step.to_left = Some(Token::Slow);
             step.to_right = Some(Token::Slow);
         }
-        step
+        step.in_span("round", self.count)
     }
 }
 

@@ -39,7 +39,7 @@ impl SyncProcess for SyncAnd {
     fn step(&mut self, cycle: u64, rx: Received<()>) -> Step<(), u8> {
         if self.input == 0 {
             debug_assert_eq!(cycle, 0);
-            return Step::send_both((), ()).and_halt(0);
+            return Step::send_both((), ()).in_span("flood", 0).and_halt(0);
         }
         // Input 1: forward-and-halt on any token.
         if !rx.is_empty() {
@@ -50,7 +50,7 @@ impl SyncProcess for SyncAnd {
             if rx.on(Port::Right).is_some() {
                 step.to_left = Some(());
             }
-            return step.and_halt(0);
+            return step.in_span("forward", cycle).and_halt(0);
         }
         if cycle == (self.n / 2) as u64 {
             return Step::halt(1);

@@ -161,18 +161,21 @@ impl UniInputDist {
         } else {
             self.rc += 1;
         }
-        step
+        step.in_span("rounds", self.rc)
     }
 
     fn broadcast_step(&mut self, rx: Received<IdMsg>) -> Step<IdMsg, RingView<u8>> {
         if self.active {
             let period = self.label.rotated(self.label.len() - 1);
             return Step::send_right(IdMsg::Broadcast(self.label.clone()))
+                .in_span("broadcast", self.rc)
                 .and_halt(self.view_from_period(&period));
         }
         if let Some(IdMsg::Broadcast(w)) = rx.from_left {
             let view = self.view_from_period(&w);
-            return Step::send_right(IdMsg::Broadcast(w.rotated(1))).and_halt(view);
+            return Step::send_right(IdMsg::Broadcast(w.rotated(1)))
+                .in_span("broadcast", self.rc)
+                .and_halt(view);
         }
         Step::idle()
     }

@@ -230,7 +230,7 @@ where
                 }
             }
         }
-        step
+        step.in_span("encode", cycle)
     }
 }
 

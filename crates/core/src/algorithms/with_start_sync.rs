@@ -85,7 +85,7 @@ impl<P: SyncProcess> SyncProcess for WithStartSync<P> {
                 // simultaneously everywhere.
                 self.synced = true;
             }
-            return out;
+            return out.in_span("start-sync", cycle);
         }
         let inner_rx = Received {
             from_left: rx.from_left.map(|m| match m {
@@ -98,8 +98,9 @@ impl<P: SyncProcess> SyncProcess for WithStartSync<P> {
             }),
         };
         let s = self.inner.step(self.inner_cycle, inner_rx);
+        let mut out: Step<PrefixedMsg<P::Msg>, P::Output> =
+            Step::idle().in_span("inner", self.inner_cycle);
         self.inner_cycle += 1;
-        let mut out: Step<PrefixedMsg<P::Msg>, P::Output> = Step::idle();
         out.to_left = s.to_left.map(PrefixedMsg::Inner);
         out.to_right = s.to_right.map(PrefixedMsg::Inner);
         if let Some(output) = s.halt {
@@ -118,10 +119,10 @@ impl<P: SyncProcess> SyncProcess for WithStartSync<P> {
 pub fn run_with_wakeups<P: SyncProcess, V>(
     config: &RingConfig<V>,
     wake: &WakeSchedule,
-    mut make: impl FnMut(usize, &V) -> P,
+    mut make: impl FnMut(&V) -> P,
 ) -> Result<SyncReport<P::Output>, SimError> {
     let n = config.n();
-    let mut engine = SyncEngine::from_config(config, |i, v| WithStartSync::new(make(i, v), n));
+    let mut engine = SyncEngine::from_config(config, |_, v| WithStartSync::new(make(v), n));
     engine.set_wakeups(wake.as_slice().to_vec())?;
     engine.set_max_cycles(((2 * n as u64 + 2) * (2 * n as u64 + 2)).max(100_000));
     engine.run()
@@ -146,8 +147,7 @@ mod tests {
                 ] {
                     let want = u8::from(inputs.iter().all(|&b| b == 1));
                     let config = RingConfig::oriented(inputs.clone());
-                    let report =
-                        run_with_wakeups(&config, &wake, |_, &b| SyncAnd::new(n, b)).unwrap();
+                    let report = run_with_wakeups(&config, &wake, |&b| SyncAnd::new(n, b)).unwrap();
                     assert!(
                         report.outputs().iter().all(|&o| o == want),
                         "n={n} seed={seed} inputs={inputs:?}"
@@ -162,7 +162,7 @@ mod tests {
         let n = 9usize;
         let wake = WakeSchedule::from_word(&[0, 1, 1, 0, 1, 0, 0, 1, 0]).unwrap();
         let config = RingConfig::oriented_bits("011010110").unwrap();
-        let report = run_with_wakeups(&config, &wake, |_, &b| SyncInputDist::new(n, b)).unwrap();
+        let report = run_with_wakeups(&config, &wake, |&b| SyncInputDist::new(n, b)).unwrap();
         for (i, view) in report.outputs().iter().enumerate() {
             assert_eq!(view, &ground_truth_view(&config, i), "processor {i}");
         }
@@ -175,7 +175,7 @@ mod tests {
         let inputs: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
         let config = RingConfig::oriented(inputs);
         let plain = crate::algorithms::sync_input_dist::run(&config).unwrap();
-        let wrapped = run_with_wakeups(&config, &wake, |_, &b| SyncInputDist::new(n, b)).unwrap();
+        let wrapped = run_with_wakeups(&config, &wake, |&b| SyncInputDist::new(n, b)).unwrap();
         let sync_budget = crate::bounds::start_sync_messages(n as u64) + 2.0 * n as f64;
         assert!(
             (wrapped.messages as f64) <= plain.messages as f64 + sync_budget,

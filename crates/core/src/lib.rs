@@ -35,7 +35,7 @@
 //! values live in [`bounds`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algorithms;
 pub mod bounds;

@@ -18,7 +18,7 @@
 //!   20× that many attempts (matching proptest's spirit, not its letter).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use core::ops::{Range, RangeInclusive};
 

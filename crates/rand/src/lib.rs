@@ -12,7 +12,7 @@
 //! this implementation is stable across platforms and releases.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use core::ops::{Range, RangeInclusive};
 

@@ -284,6 +284,12 @@ impl<P: AsyncProcess> AsyncEngine<P> {
         self
     }
 
+    /// The ring size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.topology.n()
+    }
+
     /// Runs the computation under `scheduler` until quiescence.
     ///
     /// # Errors
@@ -428,7 +434,10 @@ impl<P: AsyncProcess> AsyncEngine<P> {
             dropped: meter.dropped,
             max_epoch: meter.max_time,
             per_epoch_messages: meter.per_time_messages,
-            outputs: halted.into_iter().map(Option::unwrap).collect(),
+            outputs: halted
+                .into_iter()
+                .map(|h| h.expect("running == 0 was checked: every processor has halted"))
+                .collect(),
         })
     }
 }

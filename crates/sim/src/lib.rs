@@ -77,11 +77,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod r#async;
 pub mod config;
 pub mod error;
+pub mod explore;
 pub mod message;
 pub mod neighborhood;
 pub mod port;

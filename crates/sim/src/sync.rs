@@ -308,7 +308,10 @@ impl<P: SyncProcess> SyncEngine<P> {
                     dropped: meter.dropped,
                     per_cycle_messages: meter.per_time_messages,
                     halt_cycles,
-                    outputs: halted.into_iter().map(Option::unwrap).collect(),
+                    outputs: halted
+                        .into_iter()
+                        .map(|h| h.expect("all_halted branch: every slot is Some"))
+                        .collect(),
                 });
             }
         }

@@ -269,18 +269,40 @@ impl Observer for FlightRecorder {
     }
 }
 
-/// A parse failure, with the 1-based line it occurred on.
+/// A parse failure, with the 1-based line it occurred on and a snippet of
+/// the offending input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecordingError {
     /// 1-based line number.
     pub line: usize,
     /// What went wrong.
     pub message: String,
+    /// The offending line, truncated to [`SNIPPET_MAX`] characters (empty
+    /// when there is no line to show, e.g. an empty input).
+    pub snippet: String,
+}
+
+/// Maximum characters of input quoted in a [`RecordingError`] snippet.
+pub const SNIPPET_MAX: usize = 80;
+
+/// Truncates `line` to [`SNIPPET_MAX`] characters, marking elision.
+fn snippet_of(line: &str) -> String {
+    if line.chars().count() <= SNIPPET_MAX {
+        line.to_string()
+    } else {
+        let mut s: String = line.chars().take(SNIPPET_MAX).collect();
+        s.push('…');
+        s
+    }
 }
 
 impl core::fmt::Display for RecordingError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.message)?;
+        if !self.snippet.is_empty() {
+            write!(f, " (in: {:?})", self.snippet)?;
+        }
+        Ok(())
     }
 }
 
@@ -311,12 +333,18 @@ impl Recording {
         let (idx, meta_line) = lines.next().ok_or_else(|| RecordingError {
             line: 1,
             message: "empty recording".into(),
+            snippet: String::new(),
         })?;
         let meta = JsonObject::parse(meta_line).map_err(|m| RecordingError {
             line: idx + 1,
             message: m,
+            snippet: snippet_of(meta_line),
         })?;
-        let err = |line: usize, message: String| RecordingError { line, message };
+        let err = |line: usize, message: String| RecordingError {
+            line,
+            message,
+            snippet: snippet_of(meta_line),
+        };
         if meta.string("type") != Some("meta") {
             return Err(err(1, "first line must be a meta record".into()));
         }
@@ -340,20 +368,25 @@ impl Recording {
                 continue;
             }
             let lineno = idx + 1;
-            let obj = JsonObject::parse(line).map_err(|m| err(lineno, m))?;
+            let err = |message: String| RecordingError {
+                line: lineno,
+                message,
+                snippet: snippet_of(line),
+            };
+            let obj = JsonObject::parse(line).map_err(&err)?;
             let time = obj
                 .number("t")
-                .ok_or_else(|| err(lineno, "event missing \"t\"".into()))?;
+                .ok_or_else(|| err("event missing \"t\"".into()))?;
             let field = |name: &str| -> Result<usize, RecordingError> {
                 obj.number(name)
                     .and_then(|v| usize::try_from(v).ok())
-                    .ok_or_else(|| err(lineno, format!("event missing \"{name}\"")))
+                    .ok_or_else(|| err(format!("event missing \"{name}\"")))
             };
             let port = |obj: &JsonObject| -> Result<Port, RecordingError> {
                 match obj.string("port") {
                     Some("left") => Ok(Port::Left),
                     Some("right") => Ok(Port::Right),
-                    _ => Err(err(lineno, "bad \"port\"".into())),
+                    _ => Err(err("bad \"port\"".into())),
                 }
             };
             let event = match obj.string("type") {
@@ -372,14 +405,14 @@ impl Recording {
                     port: port(&obj)?,
                     dropped: obj
                         .boolean("dropped")
-                        .ok_or_else(|| err(lineno, "deliver missing \"dropped\"".into()))?,
+                        .ok_or_else(|| err("deliver missing \"dropped\"".into()))?,
                 },
                 Some("halt") => ReplayEvent::Halt {
                     time,
                     processor: field("proc")?,
                 },
                 other => {
-                    return Err(err(lineno, format!("unknown event type {other:?}")));
+                    return Err(err(format!("unknown event type {other:?}")));
                 }
             };
             recording.events.push(event);
@@ -649,6 +682,42 @@ mod tests {
         assert_eq!(parsed.label, "unit \"quoted\" label");
         assert_eq!(parsed.events.len(), 4);
         assert_eq!(parsed.to_jsonl(), jsonl);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers_and_snippets() {
+        let mut rec = FlightRecorder::new(3, "malformed");
+        for event in sample_events() {
+            rec.on_event(&event);
+        }
+        let jsonl = rec.to_jsonl();
+
+        // Corrupt the third line (1 meta + 4 events): the error must name
+        // it by 1-based number and quote it.
+        let mut lines: Vec<&str> = jsonl.lines().collect();
+        lines[2] = "{\"type\":\"send\",\"t\":oops}";
+        let err = Recording::parse_jsonl(&lines.join("\n")).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.snippet, "{\"type\":\"send\",\"t\":oops}");
+        let shown = err.to_string();
+        assert!(shown.contains("line 3"), "{shown}");
+        assert!(shown.contains("oops"), "{shown}");
+
+        // A bad meta line snippets line 1.
+        let err = Recording::parse_jsonl("{\"type\":\"send\"}").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.snippet, "{\"type\":\"send\"}");
+
+        // Empty input has nothing to quote.
+        let err = Recording::parse_jsonl("").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.snippet, "");
+
+        // Long lines are truncated to SNIPPET_MAX with an ellipsis.
+        let long = format!("{{\"type\":\"meta\",\"junk\":\"{}\"}}", "x".repeat(200));
+        let err = Recording::parse_jsonl(&long).unwrap_err();
+        assert_eq!(err.snippet.chars().count(), super::SNIPPET_MAX + 1);
+        assert!(err.snippet.ends_with('…'));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! the full map from paper results to code.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use anonring_baselines as baselines;
 pub use anonring_core as core;
