@@ -4,22 +4,34 @@
 //! cargo run -p anonring-bench --bin tracer -- <recording.jsonl> [sections...]
 //! ```
 //!
-//! Sections (all by default): `summary` (totals), `phases` (per-span
-//! message/bit counts), `profile` (per-cycle activity), `diagram` (the
-//! space-time diagram, reusing the live [`Trace`] renderer on the
-//! replayed sends).
+//! Sections (all by default): `summary` (totals and quantiles), `phases`
+//! (per-span message/bit counts), `profile` (per-cycle activity),
+//! `diagram` (the space-time diagram, reusing the live [`Trace`] renderer
+//! on the replayed sends).
+//!
+//! Two further sections replay the causal structure of version-2
+//! recordings and must be requested explicitly: `critical-path` (the
+//! longest causal chain, by hops and by bits, with per-phase attribution)
+//! and `dag` (the full causal DAG as Graphviz DOT, critical path
+//! highlighted). Both fail with a diagnostic on version-1 recordings,
+//! which carry no causal stamps.
 
 use std::process::ExitCode;
 
 use anonring_sim::runtime::SendEvent;
+use anonring_sim::telemetry::{CausalDag, CriticalPath, Histogram, PathWeight};
 use anonring_sim::telemetry::{Recording, ReplayEvent};
 use anonring_sim::trace::Trace;
 
-const SECTIONS: [&str; 4] = ["summary", "phases", "profile", "diagram"];
+/// Sections printed when none are named on the command line.
+const DEFAULT_SECTIONS: [&str; 4] = ["summary", "phases", "profile", "diagram"];
+/// Sections that exist but only render when explicitly requested.
+const EXPLICIT_SECTIONS: [&str; 2] = ["critical-path", "dag"];
 
 fn print_summary(rec: &Recording) {
     println!("## summary\n");
     println!("label:      {}", rec.label);
+    println!("format:     version {}", rec.version);
     println!("ring size:  {}", rec.n);
     println!("events:     {}", rec.events.len());
     if rec.truncated > 0 {
@@ -47,7 +59,46 @@ fn print_summary(rec: &Recording) {
     if let Some(h) = horizon {
         println!("time span:  0..={h}");
     }
+    print_quantiles(rec);
     println!();
+}
+
+/// Derived distributions over the replayed events: message sizes and
+/// per-cycle send activity, with the registry's quantile estimators.
+fn print_quantiles(rec: &Recording) {
+    let mut message_bits = Histogram::default();
+    for event in &rec.events {
+        if let ReplayEvent::Send { bits, .. } = event {
+            message_bits.observe(*bits as u64);
+        }
+    }
+    let mut sends_per_cycle = Histogram::default();
+    for (sends, _, _, _) in rec.per_time_activity() {
+        sends_per_cycle.observe(sends);
+    }
+    let rows = [
+        ("message bits", &message_bits),
+        ("sends per cycle", &sends_per_cycle),
+    ];
+    if rows.iter().all(|(_, h)| h.count == 0) {
+        return;
+    }
+    println!("\n| distribution | count | max | mean | p50 | p95 | p99 |");
+    println!("|---|---|---|---|---|---|---|");
+    for (name, h) in rows {
+        if h.count == 0 {
+            continue;
+        }
+        println!(
+            "| {name} | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} |",
+            h.count,
+            h.max,
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99)
+        );
+    }
 }
 
 fn print_phases(rec: &Recording) {
@@ -100,6 +151,9 @@ fn print_diagram(rec: &Recording) {
                 to,
                 port,
                 bits,
+                seq,
+                lamport,
+                parent,
                 ..
             } => trace.record(SendEvent {
                 cycle: time,
@@ -107,6 +161,9 @@ fn print_diagram(rec: &Recording) {
                 to,
                 port,
                 bits,
+                seq,
+                lamport,
+                parent,
                 // Parsed phases are owned strings; the diagram doesn't use
                 // spans, so replayed sends carry none.
                 span: None,
@@ -119,34 +176,99 @@ fn print_diagram(rec: &Recording) {
     println!("{}", trace.render(60));
 }
 
+fn describe_path(title: &str, path: &CriticalPath) {
+    println!("{title}");
+    println!("  hops:       {}", path.hops);
+    println!("  bits:       {}", path.bits);
+    println!(
+        "  time span:  {}..={} (elapsed {})",
+        path.start_time,
+        path.end_time,
+        path.elapsed()
+    );
+    let chain: Vec<String> = path.seqs.iter().map(|s| format!("#{s}")).collect();
+    println!("  chain:      {}", chain.join(" -> "));
+    println!("\n  | phase | messages | bits |");
+    println!("  |---|---|---|");
+    for (phase, stats) in &path.per_phase {
+        let name = if phase.is_empty() {
+            "(unspanned)"
+        } else {
+            phase
+        };
+        println!("  | {name} | {} | {} |", stats.messages, stats.bits);
+    }
+    println!();
+}
+
+fn print_critical_path(dag: &CausalDag) {
+    println!("## critical path\n");
+    println!("causal DAG: {} sends, {} roots", dag.len(), dag.roots());
+    match dag.critical_path(PathWeight::Hops) {
+        Some(path) => describe_path("\nlongest chain (by hops):", &path),
+        None => println!("(no sends recorded)\n"),
+    }
+    if let Some(path) = dag.critical_path(PathWeight::Bits) {
+        describe_path("heaviest chain (by bits):", &path);
+    }
+}
+
+fn print_dag(dag: &CausalDag) {
+    println!("## causal dag (graphviz dot)\n");
+    let path = dag.critical_path(PathWeight::Hops);
+    println!("{}", dag.to_dot(path.as_ref()));
+}
+
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
-    let path = args
-        .next()
-        .ok_or_else(|| format!("usage: tracer <recording.jsonl> [{}]", SECTIONS.join("|")))?;
+    let path = args.next().ok_or_else(|| {
+        format!(
+            "usage: tracer <recording.jsonl> [{}|{}]",
+            DEFAULT_SECTIONS.join("|"),
+            EXPLICIT_SECTIONS.join("|")
+        )
+    })?;
     let sections: Vec<String> = args.collect();
     for s in &sections {
-        if !SECTIONS.contains(&s.as_str()) {
+        let known = |name: &&str| *name == s.as_str();
+        if !DEFAULT_SECTIONS.iter().any(known) && !EXPLICIT_SECTIONS.iter().any(known) {
             return Err(format!(
-                "unknown section {s:?} (expected one of {SECTIONS:?})"
+                "unknown section {s:?} (expected one of {DEFAULT_SECTIONS:?} or {EXPLICIT_SECTIONS:?})"
             ));
         }
     }
-    let wants = |name: &str| sections.is_empty() || sections.iter().any(|s| s == name);
+    let wants = |name: &str| sections.iter().any(|s| s == name);
+    let defaulted = |name: &str| sections.is_empty() || wants(name);
     let input = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
     let rec = Recording::parse_jsonl(&input).map_err(|e| format!("parse {path}: {e}"))?;
+    // Causal sections replay the DAG; a version-1 recording has nothing to
+    // replay and requesting them must fail loudly rather than print an
+    // empty graph.
+    let dag = if wants("critical-path") || wants("dag") {
+        Some(CausalDag::from_recording(&rec).map_err(|e| format!("replay {path}: {e}"))?)
+    } else {
+        None
+    };
     println!("# trace: {path}\n");
-    if wants("summary") {
+    if defaulted("summary") {
         print_summary(&rec);
     }
-    if wants("phases") {
+    if defaulted("phases") {
         print_phases(&rec);
     }
-    if wants("profile") {
+    if defaulted("profile") {
         print_profile(&rec);
     }
-    if wants("diagram") {
+    if defaulted("diagram") {
         print_diagram(&rec);
+    }
+    if let Some(dag) = &dag {
+        if wants("critical-path") {
+            print_critical_path(dag);
+        }
+        if wants("dag") {
+            print_dag(dag);
+        }
     }
     Ok(())
 }

@@ -15,6 +15,8 @@
 
 pub mod ablations;
 pub mod arbitrary;
+pub mod audit;
+pub mod json;
 pub mod labeled;
 pub mod lower_async;
 pub mod lower_sync;

@@ -22,12 +22,16 @@ fn valid_recording() -> String {
         to: 1,
         port: Port::Left,
         bits: 4,
+        seq: 0,
+        lamport: 1,
+        parent: None,
         span: Some(Span::new("probe", 0)),
     }));
     rec.on_event(&TraceEvent::Deliver {
         time: 1,
         to: 1,
         port: Port::Left,
+        seq: 0,
         dropped: false,
     });
     rec.on_event(&TraceEvent::Halt {
@@ -87,6 +91,66 @@ fn tracer_rejects_missing_files_and_unknown_sections() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown section"), "{stderr}");
+}
+
+#[test]
+fn tracer_summary_includes_the_quantile_table() {
+    let dir = scratch_dir("tracer-quantiles");
+    let path = dir.join("run.jsonl");
+    std::fs::write(&path, valid_recording()).expect("write recording");
+    let out = tracer(&[path.to_str().expect("utf-8 path"), "summary"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("| distribution | count | max | mean | p50 | p95 | p99 |"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("| message bits | 1 | 4 |"), "{stdout}");
+    assert!(stdout.contains("| sends per cycle |"), "{stdout}");
+}
+
+#[test]
+fn tracer_renders_causal_sections_on_explicit_request_only() {
+    let dir = scratch_dir("tracer-causal");
+    let path = dir.join("run.jsonl");
+    std::fs::write(&path, valid_recording()).expect("write recording");
+
+    // Default output: the original four sections, no causal replay.
+    let out = tracer(&[path.to_str().expect("utf-8 path")]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("## critical path"), "{stdout}");
+    assert!(!stdout.contains("digraph causal"), "{stdout}");
+
+    let out = tracer(&[path.to_str().expect("utf-8 path"), "critical-path", "dag"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("## critical path"), "{stdout}");
+    assert!(stdout.contains("longest chain (by hops):"), "{stdout}");
+    assert!(stdout.contains("chain:      #0"), "{stdout}");
+    assert!(stdout.contains("| probe | 1 | 4 |"), "{stdout}");
+    assert!(stdout.contains("digraph causal"), "{stdout}");
+    assert!(stdout.contains("color=red"), "{stdout}");
+}
+
+#[test]
+fn tracer_rejects_causal_sections_on_version_1_recordings() {
+    let dir = scratch_dir("tracer-causal-v1");
+    let path = dir.join("v1.jsonl");
+    let v1 = "{\"type\":\"meta\",\"version\":1,\"n\":2,\"label\":\"old\",\"truncated\":0}\n\
+              {\"type\":\"send\",\"t\":0,\"from\":0,\"to\":1,\"port\":\"left\",\"bits\":2}\n";
+    std::fs::write(&path, v1).expect("write recording");
+
+    // The default sections still render a v1 recording…
+    let out = tracer(&[path.to_str().expect("utf-8 path")]);
+    assert!(out.status.success(), "{out:?}");
+
+    // …but asking for causal replay is a hard error naming the version.
+    let out = tracer(&[path.to_str().expect("utf-8 path"), "critical-path"]);
+    assert!(!out.status.success(), "v1 has no causal stamps");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("version 1"), "{stderr}");
+    assert!(stderr.contains("re-record"), "{stderr}");
 }
 
 #[test]

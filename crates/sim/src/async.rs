@@ -22,7 +22,9 @@ use crate::config::RingConfig;
 use crate::error::SimError;
 use crate::message::Message;
 use crate::port::Port;
-use crate::runtime::{CostMeter, LinkFabric, NullObserver, Observer, TraceEvent};
+use crate::runtime::{
+    CausalClocks, CostMeter, LinkFabric, NullObserver, Observer, SendMeta, TraceEvent,
+};
 use crate::topology::RingTopology;
 
 pub use crate::runtime::{Actions, Candidate, Emit};
@@ -337,30 +339,32 @@ impl<P: AsyncProcess> AsyncEngine<P> {
         let mut halted: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
         let mut meter = CostMeter::new();
         let mut fabric: LinkFabric<P::Msg> = LinkFabric::new(&self.topology);
+        let mut clocks = CausalClocks::new(n);
 
         // Dispatch one event's reactions: sends are tagged with the arrival
         // epoch (event epoch + 1), Theorem 5.1's bookkeeping.
+        #[allow(clippy::too_many_arguments)] // engine internals threaded through one helper
         fn dispatch<M: Message, O>(
             from: usize,
             actions: Actions<M, O>,
             event_epoch: u64,
             fabric: &mut LinkFabric<'_, M>,
+            clocks: &mut CausalClocks,
             meter: &mut CostMeter,
             observer: &mut impl Observer,
             halted: &mut [Option<O>],
         ) {
             let send_epoch = event_epoch + 1;
             for (port, msg) in actions.sends {
-                fabric.send(
-                    from,
-                    port,
-                    msg,
-                    send_epoch,
-                    send_epoch,
-                    actions.span,
-                    meter,
-                    observer,
-                );
+                let (lamport, parent) = clocks.stamp_send(from);
+                let meta = SendMeta {
+                    send_time: send_epoch,
+                    due_time: send_epoch,
+                    span: actions.span,
+                    lamport,
+                    parent,
+                };
+                fabric.send(from, port, msg, meta, meter, observer);
             }
             if let Some(output) = actions.halt {
                 halted[from] = Some(output);
@@ -380,6 +384,7 @@ impl<P: AsyncProcess> AsyncEngine<P> {
                 actions,
                 0,
                 &mut fabric,
+                &mut clocks,
                 &mut meter,
                 observer,
                 &mut halted,
@@ -405,18 +410,21 @@ impl<P: AsyncProcess> AsyncEngine<P> {
                 time: popped.time,
                 to: cand.to,
                 port: cand.port,
+                seq: popped.stamp.seq,
                 dropped: is_drop,
             });
             if is_drop {
                 meter.record_drop();
                 continue;
             }
+            clocks.consume(cand.to, popped.stamp);
             let actions = procs[cand.to].on_message(cand.port, popped.msg);
             dispatch(
                 cand.to,
                 actions,
                 popped.time,
                 &mut fabric,
+                &mut clocks,
                 &mut meter,
                 observer,
                 &mut halted,

@@ -1,0 +1,146 @@
+//! Lamport clocks and causal parent edges for the trace-event stream.
+//!
+//! Both engines stamp every send with a Lamport timestamp and a *parent
+//! edge*: the delivery that causally enabled the send. The paper's lower
+//! bounds (§5–§6) reason about chains of causally-dependent deliveries;
+//! these stamps make that chain structure observable, so
+//! [`crate::telemetry::causality`] can rebuild the causal DAG of a run
+//! and extract its critical path.
+
+/// Causal identity of one sent message, as stamped at the send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalStamp {
+    /// Global send sequence number — unique per run, assigned in send
+    /// order by the [`crate::runtime::LinkFabric`].
+    pub seq: u64,
+    /// Sender's Lamport timestamp at the send (first send of a run is 1).
+    pub lamport: u64,
+    /// `seq` of the send whose delivery causally enabled this one, or
+    /// `None` for a spontaneous send (nothing consumed yet).
+    pub parent: Option<u64>,
+}
+
+/// The consumed message a processor remembers as the cause of its
+/// subsequent sends.
+#[derive(Debug, Clone, Copy)]
+struct Cause {
+    seq: u64,
+    lamport: u64,
+}
+
+/// Per-processor Lamport clocks plus the causal-parent bookkeeping.
+///
+/// Engines own one of these per run. On every consumption they call
+/// [`CausalClocks::consume`]; before every send they call
+/// [`CausalClocks::stamp_send`] to obtain the `(lamport, parent)` pair the
+/// fabric stamps onto the outgoing message.
+///
+/// The parent of a send is the highest-Lamport message its sender has
+/// consumed so far (ties broken by `seq`). Any consumed message
+/// happened-before the send, so the edge is causally sound; picking the
+/// maximal timestamp extends the longest chain, which is what the critical
+/// path measures. The choice is deterministic, so recordings replay
+/// byte-identically.
+#[derive(Debug, Clone)]
+pub struct CausalClocks {
+    clocks: Vec<u64>,
+    cause: Vec<Option<Cause>>,
+}
+
+impl CausalClocks {
+    /// Fresh clocks (all zero) for `n` processors.
+    #[must_use]
+    pub fn new(n: usize) -> CausalClocks {
+        CausalClocks {
+            clocks: vec![0; n],
+            cause: vec![None; n],
+        }
+    }
+
+    /// Accounts the consumption of a message carrying `stamp` by processor
+    /// `to`: advances `to`'s clock past the sender's, and remembers the
+    /// highest-Lamport consumed message as the causal parent of `to`'s
+    /// subsequent sends.
+    pub fn consume(&mut self, to: usize, stamp: CausalStamp) {
+        self.clocks[to] = self.clocks[to].max(stamp.lamport) + 1;
+        let stronger =
+            self.cause[to].is_none_or(|held| (held.lamport, held.seq) < (stamp.lamport, stamp.seq));
+        if stronger {
+            self.cause[to] = Some(Cause {
+                seq: stamp.seq,
+                lamport: stamp.lamport,
+            });
+        }
+    }
+
+    /// Stamps a new send by processor `from`: ticks its clock and returns
+    /// the `(lamport, parent)` pair for the outgoing message.
+    pub fn stamp_send(&mut self, from: usize) -> (u64, Option<u64>) {
+        self.clocks[from] += 1;
+        (self.clocks[from], self.cause[from].map(|c| c.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{CausalClocks, CausalStamp};
+
+    #[test]
+    fn spontaneous_sends_have_no_parent_and_tick_the_clock() {
+        let mut clocks = CausalClocks::new(2);
+        assert_eq!(clocks.stamp_send(0), (1, None));
+        assert_eq!(clocks.stamp_send(0), (2, None));
+        assert_eq!(clocks.stamp_send(1), (1, None), "clocks are per-processor");
+    }
+
+    #[test]
+    fn consumption_advances_past_the_sender_and_sets_the_parent() {
+        let mut clocks = CausalClocks::new(2);
+        clocks.consume(
+            1,
+            CausalStamp {
+                seq: 0,
+                lamport: 5,
+                parent: None,
+            },
+        );
+        // max(0, 5) + 1 = 6, then the send ticks to 7.
+        assert_eq!(clocks.stamp_send(1), (7, Some(0)));
+    }
+
+    #[test]
+    fn the_parent_is_the_highest_lamport_consumed_message() {
+        let mut clocks = CausalClocks::new(1);
+        clocks.consume(
+            0,
+            CausalStamp {
+                seq: 3,
+                lamport: 9,
+                parent: None,
+            },
+        );
+        clocks.consume(
+            0,
+            CausalStamp {
+                seq: 7,
+                lamport: 2,
+                parent: None,
+            },
+        );
+        let (_, parent) = clocks.stamp_send(0);
+        assert_eq!(parent, Some(3), "lamport 9 beats lamport 2");
+        // Equal lamports: the higher seq wins the tie.
+        let mut clocks = CausalClocks::new(1);
+        for seq in [4, 8] {
+            clocks.consume(
+                0,
+                CausalStamp {
+                    seq,
+                    lamport: 6,
+                    parent: None,
+                },
+            );
+        }
+        assert_eq!(clocks.stamp_send(0).1, Some(8));
+    }
+}

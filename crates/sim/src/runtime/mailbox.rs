@@ -5,10 +5,29 @@ use std::collections::VecDeque;
 
 use crate::message::Message;
 use crate::port::Port;
+use crate::runtime::causal::CausalStamp;
 use crate::runtime::meter::CostMeter;
 use crate::runtime::observer::{Observer, SendEvent, TraceEvent};
 use crate::runtime::span::Span;
 use crate::topology::RingTopology;
+
+/// Everything the engine stamps onto one send besides the routing: timing,
+/// phase annotation, and the causal fields from
+/// [`crate::runtime::CausalClocks`]. Bundled so the send path keeps one
+/// signature as the stamp grows.
+#[derive(Debug, Clone, Copy)]
+pub struct SendMeta {
+    /// Time of the send: cycle (sync) or arrival epoch (async).
+    pub send_time: u64,
+    /// Due time at the receiver: arrival cycle (sync) or epoch (async).
+    pub due_time: u64,
+    /// Phase annotation of the emission, if any.
+    pub span: Option<Span>,
+    /// Sender's Lamport timestamp at the send.
+    pub lamport: u64,
+    /// `seq` of the send whose delivery causally enabled this one.
+    pub parent: Option<u64>,
+}
 
 /// The messages a processor received at the start of a cycle (sent by its
 /// neighbours in the previous cycle). At most one message per port.
@@ -82,8 +101,8 @@ struct InFlight<M> {
     msg: M,
     /// Due time at the receiver: arrival cycle (sync) or epoch (async).
     time: u64,
-    /// Global send sequence number.
-    seq: u64,
+    /// The send's causal identity (seq, Lamport timestamp, parent edge).
+    stamp: CausalStamp,
 }
 
 /// A message popped from the fabric, with its timing metadata.
@@ -93,6 +112,8 @@ pub(crate) struct Popped<M> {
     pub msg: M,
     /// Its due time (arrival cycle / epoch).
     pub time: u64,
+    /// The causal stamp it was sent with.
+    pub stamp: CausalStamp,
 }
 
 /// The `2n` directed-link FIFO queues of a ring, plus the one send path:
@@ -125,40 +146,45 @@ impl<'t, M: Message> LinkFabric<'t, M> {
     }
 
     /// Sends `msg` from processor `from` on its local `port`: routes it via
-    /// the topology, accounts it on `meter` at time `send_time`, emits a
-    /// [`TraceEvent::Send`] (stamped with the emission's `span`, if any),
-    /// and enqueues it due at `due_time`.
+    /// the topology, accounts it on `meter` at time `meta.send_time`, emits
+    /// a [`TraceEvent::Send`] carrying the causal stamp, and enqueues it
+    /// due at `meta.due_time`.
     ///
     /// In the sync model `send_time` is the send cycle and `due_time` the
     /// arrival cycle (`send + 1`: one hop per cycle); in the async model
     /// both are the arrival epoch (event epoch + 1, Theorem 5.1).
-    #[allow(clippy::too_many_arguments)] // THE send path: every parameter is load-bearing
     pub fn send(
         &mut self,
         from: usize,
         port: Port,
         msg: M,
-        send_time: u64,
-        due_time: u64,
-        span: Option<Span>,
+        meta: SendMeta,
         meter: &mut CostMeter,
         observer: &mut impl Observer,
     ) {
         let bits = msg.bit_len();
         let (to, arrival) = self.topology.neighbor(from, port);
-        meter.record_send(send_time, bits);
+        let stamp = CausalStamp {
+            seq: self.seq,
+            lamport: meta.lamport,
+            parent: meta.parent,
+        };
+        meter.record_send(meta.send_time, bits);
         observer.on_event(&TraceEvent::Send(SendEvent {
-            cycle: send_time,
+            cycle: meta.send_time,
             from,
             to,
             port: arrival,
             bits,
-            span,
+            seq: stamp.seq,
+            lamport: stamp.lamport,
+            parent: stamp.parent,
+            span: meta.span,
         }));
         self.queues[Self::queue_index(to, arrival)].push_back(InFlight {
             msg,
-            time: due_time,
-            seq: self.seq,
+            time: meta.due_time,
+            stamp,
         });
         self.seq += 1;
     }
@@ -176,8 +202,11 @@ impl<'t, M: Message> LinkFabric<'t, M> {
     /// Removes and returns the messages due for processor `to` at time
     /// `now` — the sync model's per-cycle reception (at most one message
     /// per port: senders emit at most one per port per cycle, and nothing
-    /// is released before it is due).
-    pub fn take_due(&mut self, to: usize, now: u64) -> Received<M> {
+    /// is released before it is due). The second component carries the
+    /// causal stamps of the taken messages, port for port, so the engine
+    /// can account the consumptions on its [`crate::runtime::CausalClocks`]
+    /// and emit seq-carrying [`TraceEvent::Deliver`]s.
+    pub fn take_due(&mut self, to: usize, now: u64) -> (Received<M>, Received<CausalStamp>) {
         let mut take = |port| {
             let q = &mut self.queues[Self::queue_index(to, port)];
             let due = q.front().is_some_and(|m| m.time <= now);
@@ -186,12 +215,21 @@ impl<'t, M: Message> LinkFabric<'t, M> {
                 q.front().is_none_or(|m| m.time > now),
                 "one message per port per cycle"
             );
-            popped.map(|m| m.msg)
+            popped.map(|m| (m.msg, m.stamp))
         };
-        Received {
-            from_left: take(Port::Left),
-            from_right: take(Port::Right),
-        }
+        let (left, right) = (take(Port::Left), take(Port::Right));
+        let (from_left, left_stamp) = left.map_or((None, None), |(m, s)| (Some(m), Some(s)));
+        let (from_right, right_stamp) = right.map_or((None, None), |(m, s)| (Some(m), Some(s)));
+        (
+            Received {
+                from_left,
+                from_right,
+            },
+            Received {
+                from_left: left_stamp,
+                from_right: right_stamp,
+            },
+        )
     }
 
     /// Collects the current queue heads as scheduler candidates — the async
@@ -206,7 +244,7 @@ impl<'t, M: Message> LinkFabric<'t, M> {
                         to,
                         port,
                         epoch: head.time,
-                        seq: head.seq,
+                        seq: head.stamp.seq,
                         queue: q,
                     });
                 }
@@ -222,6 +260,7 @@ impl<'t, M: Message> LinkFabric<'t, M> {
         Popped {
             msg: head.msg,
             time: head.time,
+            stamp: head.stamp,
         }
     }
 
@@ -242,11 +281,21 @@ impl<'t, M: Message> LinkFabric<'t, M> {
 
 #[cfg(test)]
 mod tests {
-    use super::{Candidate, LinkFabric, Received};
+    use super::{Candidate, LinkFabric, Received, SendMeta};
     use crate::port::Port;
     use crate::runtime::meter::CostMeter;
     use crate::runtime::observer::NullObserver;
     use crate::topology::RingTopology;
+
+    fn meta(send_time: u64, due_time: u64) -> SendMeta {
+        SendMeta {
+            send_time,
+            due_time,
+            span: None,
+            lamport: 1,
+            parent: None,
+        }
+    }
 
     #[test]
     fn received_accessors_cover_both_ports() {
@@ -267,11 +316,14 @@ mod tests {
         let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
         let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
         // Sent at cycle 0, due at cycle 1 — one hop per cycle.
-        fabric.send(0, Port::Right, 7, 0, 1, None, &mut meter, &mut obs);
+        fabric.send(0, Port::Right, 7, meta(0, 1), &mut meter, &mut obs);
         assert!(!fabric.has_due(1, 0));
-        assert!(fabric.take_due(1, 0).is_empty());
+        assert!(fabric.take_due(1, 0).0.is_empty());
         assert!(fabric.has_due(1, 1));
-        assert_eq!(fabric.take_due(1, 1).from_left, Some(7));
+        let (rx, stamps) = fabric.take_due(1, 1);
+        assert_eq!(rx.from_left, Some(7));
+        let stamp = stamps.from_left.expect("stamp travels with the message");
+        assert_eq!((stamp.seq, stamp.lamport, stamp.parent), (0, 1, None));
         assert_eq!(meter.messages, 1);
         assert_eq!(meter.bits, 8);
     }
@@ -289,8 +341,8 @@ mod tests {
         .unwrap();
         let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
         let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
-        fabric.send(0, Port::Right, 42, 0, 1, None, &mut meter, &mut obs);
-        let rx = fabric.take_due(1, 1);
+        fabric.send(0, Port::Right, 42, meta(0, 1), &mut meter, &mut obs);
+        let (rx, _) = fabric.take_due(1, 1);
         assert_eq!(rx.from_right, Some(42));
         assert_eq!(rx.from_left, None);
     }
@@ -300,9 +352,9 @@ mod tests {
         let topo = RingTopology::oriented(2).unwrap();
         let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
         let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
-        fabric.send(0, Port::Right, 1, 1, 1, None, &mut meter, &mut obs);
-        fabric.send(0, Port::Right, 2, 1, 1, None, &mut meter, &mut obs);
-        fabric.send(1, Port::Right, 3, 1, 1, None, &mut meter, &mut obs);
+        fabric.send(0, Port::Right, 1, meta(1, 1), &mut meter, &mut obs);
+        fabric.send(0, Port::Right, 2, meta(1, 1), &mut meter, &mut obs);
+        fabric.send(1, Port::Right, 3, meta(1, 1), &mut meter, &mut obs);
         let mut cands: Vec<Candidate> = Vec::new();
         fabric.candidates(&mut cands);
         assert_eq!(cands.len(), 2, "one head per nonempty directed link");

@@ -45,15 +45,23 @@
 //!   epoch plus one) in the async model — the paper's Theorem 5.1
 //!   bookkeeping. Deliveries to halted processors count as drops; in the
 //!   async model they also count as deliveries.
+//! * **Causal stamps:** every send carries a global sequence number, a
+//!   Lamport timestamp, and a parent edge naming the delivery that
+//!   causally enabled it ([`CausalClocks`]); the matching
+//!   [`TraceEvent::Deliver`] echoes the seq. The stamps are derived
+//!   deterministically from the execution, so identical schedules produce
+//!   identical causal DAGs (see [`crate::telemetry::causality`]).
 
 mod actions;
+mod causal;
 mod mailbox;
 mod meter;
 mod observer;
 mod span;
 
 pub use actions::{Actions, Emit, Step};
-pub use mailbox::{Candidate, LinkFabric, Received};
+pub use causal::{CausalClocks, CausalStamp};
+pub use mailbox::{Candidate, LinkFabric, Received, SendMeta};
 pub use meter::CostMeter;
 pub use observer::{FanOut, NullObserver, Observer, SendEvent, TraceEvent};
 pub use span::Span;

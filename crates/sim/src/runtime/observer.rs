@@ -27,6 +27,15 @@ pub struct SendEvent {
     pub port: Port,
     /// Encoded length of the message.
     pub bits: usize,
+    /// Global send sequence number — unique per run, assigned in send
+    /// order, and echoed by the matching [`TraceEvent::Deliver`].
+    pub seq: u64,
+    /// Sender's Lamport timestamp at the send.
+    pub lamport: u64,
+    /// `seq` of the send whose delivery causally enabled this one, or
+    /// `None` for a spontaneous send (see
+    /// [`crate::runtime::CausalClocks`]).
+    pub parent: Option<u64>,
     /// Phase annotation of the emission that produced this send, if the
     /// algorithm attached one (see [`crate::runtime::Emit::in_span`]).
     pub span: Option<Span>,
@@ -45,6 +54,8 @@ pub enum TraceEvent {
         to: usize,
         /// Local arrival port.
         port: Port,
+        /// `seq` of the [`SendEvent`] this delivery consumes.
+        seq: u64,
         /// True when the receiver had already halted and the message was
         /// discarded.
         dropped: bool,
@@ -175,6 +186,9 @@ mod tests {
             to: 1,
             port: Port::Left,
             bits: 4,
+            seq: 0,
+            lamport: 1,
+            parent: None,
             span: None,
         })
     }
@@ -229,6 +243,7 @@ mod tests {
                 time: 3,
                 to: 0,
                 port: Port::Right,
+                seq: 0,
                 dropped: false
             }
             .time(),

@@ -22,7 +22,9 @@ use crate::config::RingConfig;
 use crate::error::SimError;
 use crate::message::Message;
 use crate::port::Port;
-use crate::runtime::{CostMeter, LinkFabric, NullObserver, Observer, TraceEvent};
+use crate::runtime::{
+    CausalClocks, CostMeter, LinkFabric, NullObserver, Observer, SendMeta, TraceEvent,
+};
 use crate::topology::RingTopology;
 
 pub use crate::runtime::{Emit, Received, Step};
@@ -229,6 +231,7 @@ impl<P: SyncProcess> SyncEngine<P> {
         let mut local_cycle = vec![0u64; n];
         let mut meter = CostMeter::new();
         let mut fabric: LinkFabric<P::Msg> = LinkFabric::new(&self.topology);
+        let mut clocks = CausalClocks::new(n);
 
         for cycle in 0..self.max_cycles {
             // Wake-ups: spontaneous or message-triggered. Messages due this
@@ -245,12 +248,14 @@ impl<P: SyncProcess> SyncEngine<P> {
             // cannot be consumed within this one.
             for i in 0..n {
                 if halted[i].is_some() {
-                    for (port, _) in fabric.take_due(i, cycle).iter() {
+                    let (_, stamps) = fabric.take_due(i, cycle);
+                    for (port, stamp) in stamps.iter() {
                         meter.record_drop();
                         observer.on_event(&TraceEvent::Deliver {
                             time: cycle,
                             to: i,
                             port,
+                            seq: stamp.seq,
                             dropped: true,
                         });
                     }
@@ -259,12 +264,14 @@ impl<P: SyncProcess> SyncEngine<P> {
                 if !awake[i] {
                     continue;
                 }
-                let rx = fabric.take_due(i, cycle);
-                for (port, _) in rx.iter() {
+                let (rx, stamps) = fabric.take_due(i, cycle);
+                for (port, stamp) in stamps.iter() {
+                    clocks.consume(i, *stamp);
                     observer.on_event(&TraceEvent::Deliver {
                         time: cycle,
                         to: i,
                         port,
+                        seq: stamp.seq,
                         dropped: false,
                     });
                 }
@@ -272,16 +279,15 @@ impl<P: SyncProcess> SyncEngine<P> {
                 local_cycle[i] += 1;
                 for (port, msg) in [(Port::Left, step.to_left), (Port::Right, step.to_right)] {
                     if let Some(msg) = msg {
-                        fabric.send(
-                            i,
-                            port,
-                            msg,
-                            cycle,
-                            cycle + 1,
-                            step.span,
-                            &mut meter,
-                            observer,
-                        );
+                        let (lamport, parent) = clocks.stamp_send(i);
+                        let meta = SendMeta {
+                            send_time: cycle,
+                            due_time: cycle + 1,
+                            span: step.span,
+                            lamport,
+                            parent,
+                        };
+                        fabric.send(i, port, msg, meta, &mut meter, observer);
                     }
                 }
                 if let Some(output) = step.halt {

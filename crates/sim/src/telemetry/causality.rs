@@ -1,0 +1,465 @@
+//! The causal DAG of a run and its critical path.
+//!
+//! Every version-2 send carries a Lamport timestamp and a *parent edge* —
+//! the `seq` of the send whose delivery causally enabled it (see
+//! [`crate::runtime::CausalClocks`]). This module rebuilds that structure
+//! from either a live [`TraceEvent`] stream or a parsed [`Recording`],
+//! and answers the questions the paper's lower-bound arguments reason
+//! about: how long is the longest chain of causally-dependent deliveries
+//! (the *critical path*), how many bits does it carry, and which `Span`
+//! phases it spends its length in.
+//!
+//! With one parent per send the "DAG" is a forest: every spontaneous send
+//! roots a tree, and each message extends the chain of the strongest
+//! (highest-Lamport) message its sender had consumed. Under the
+//! synchronizing adversary of Theorem 5.1 the critical-path hop count
+//! equals the run's epoch count — a consistency invariant the bench suite
+//! pins — so causal depth *is* the paper's time measure, while weighting
+//! the same chains by bits exposes the bit-budget tradeoffs of §4.2.
+
+use std::collections::BTreeMap;
+
+use crate::runtime::TraceEvent;
+use crate::telemetry::recorder::{Recording, ReplayEvent};
+use crate::telemetry::{json_escape, SpanStats};
+
+/// One send in the causal DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalNode {
+    /// Global send sequence number (the node's identity).
+    pub seq: u64,
+    /// `seq` of the enabling send, or `None` for a root (spontaneous
+    /// send, or a send whose parent was evicted by a bounded recorder).
+    pub parent: Option<u64>,
+    /// Sender's Lamport timestamp at the send.
+    pub lamport: u64,
+    /// Send time (cycle / arrival epoch).
+    pub time: u64,
+    /// Sending processor.
+    pub from: usize,
+    /// Receiving processor.
+    pub to: usize,
+    /// Encoded message length.
+    pub bits: u64,
+    /// Phase annotation of the emission, if any.
+    pub phase: Option<String>,
+    /// Round within the phase (0 when unannotated).
+    pub round: u64,
+}
+
+/// Why a causal DAG could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CausalityError {
+    /// The recording predates the causal fields (format version 1): there
+    /// are no Lamport timestamps or parent edges to rebuild from.
+    UncausalRecording {
+        /// The recording's serialization version.
+        version: u64,
+    },
+}
+
+impl core::fmt::Display for CausalityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CausalityError::UncausalRecording { version } => write!(
+                f,
+                "recording is format version {version}, which predates causal \
+                 stamps (version 2); re-record to analyse causality"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CausalityError {}
+
+/// Which edge weight the critical path maximises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathWeight {
+    /// Longest chain by hop count — the paper's causal time measure.
+    Hops,
+    /// Longest chain by elapsed time (`leaf time − root time`).
+    Time,
+    /// Heaviest chain by total bits carried.
+    Bits,
+}
+
+/// The extracted critical path: one maximal causal chain, root → leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The chain's sends, root first.
+    pub seqs: Vec<u64>,
+    /// Number of sends on the chain.
+    pub hops: u64,
+    /// Total bits carried along the chain.
+    pub bits: u64,
+    /// Send time of the chain's root.
+    pub start_time: u64,
+    /// Send time of the chain's leaf.
+    pub end_time: u64,
+    /// Per-phase attribution of the chain's sends, sorted by phase name;
+    /// unannotated sends aggregate under the empty name.
+    pub per_phase: Vec<(String, SpanStats)>,
+}
+
+impl CriticalPath {
+    /// Elapsed time the chain spans (`end_time − start_time`).
+    #[must_use]
+    pub fn elapsed(&self) -> u64 {
+        self.end_time - self.start_time
+    }
+}
+
+/// The causal DAG (a forest, with one parent edge per send) of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalDag {
+    nodes: Vec<CausalNode>,
+    /// `seq` → position in `nodes`.
+    index: BTreeMap<u64, usize>,
+}
+
+impl CausalDag {
+    /// Builds the DAG from a live event stream (as collected by an
+    /// observer during `run_with_observer`).
+    #[must_use]
+    pub fn from_events(events: &[TraceEvent]) -> CausalDag {
+        Self::build(events.iter().filter_map(|event| match *event {
+            TraceEvent::Send(s) => Some(CausalNode {
+                seq: s.seq,
+                parent: s.parent,
+                lamport: s.lamport,
+                time: s.cycle,
+                from: s.from,
+                to: s.to,
+                bits: s.bits as u64,
+                phase: s.span.map(|sp| sp.phase.to_string()),
+                round: s.span.map_or(0, |sp| sp.round),
+            }),
+            _ => None,
+        }))
+    }
+
+    /// Builds the DAG from a parsed recording.
+    ///
+    /// A truncated (ring-buffered) recording still builds: sends whose
+    /// parents were evicted become roots, so chain lengths are lower
+    /// bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`CausalityError::UncausalRecording`] when the recording is format
+    /// version 1 (no causal fields).
+    pub fn from_recording(recording: &Recording) -> Result<CausalDag, CausalityError> {
+        if recording.version < 2 {
+            return Err(CausalityError::UncausalRecording {
+                version: recording.version,
+            });
+        }
+        Ok(Self::build(recording.events.iter().filter_map(
+            |event| match event {
+                ReplayEvent::Send {
+                    time,
+                    from,
+                    to,
+                    bits,
+                    seq,
+                    lamport,
+                    parent,
+                    phase,
+                    round,
+                    ..
+                } => Some(CausalNode {
+                    seq: *seq,
+                    parent: *parent,
+                    lamport: *lamport,
+                    time: *time,
+                    from: *from,
+                    to: *to,
+                    bits: *bits as u64,
+                    phase: phase.clone(),
+                    round: *round,
+                }),
+                _ => None,
+            },
+        )))
+    }
+
+    fn build(nodes: impl Iterator<Item = CausalNode>) -> CausalDag {
+        let nodes: Vec<CausalNode> = nodes.collect();
+        let index = nodes
+            .iter()
+            .enumerate()
+            .map(|(pos, node)| (node.seq, pos))
+            .collect();
+        CausalDag { nodes, index }
+    }
+
+    /// Number of sends in the DAG.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the DAG has no sends.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The sends, in stream order.
+    #[must_use]
+    pub fn nodes(&self) -> &[CausalNode] {
+        &self.nodes
+    }
+
+    /// Number of roots (spontaneous sends).
+    #[must_use]
+    pub fn roots(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| self.parent_pos(n).is_none())
+            .count()
+    }
+
+    /// Resolves a node's parent to its position, if the parent is present
+    /// in the DAG (it may have been evicted by a bounded recorder).
+    fn parent_pos(&self, node: &CausalNode) -> Option<usize> {
+        node.parent.and_then(|p| self.index.get(&p).copied())
+    }
+
+    /// Extracts the critical path — the causal chain maximising `weight`
+    /// (ties broken toward the smallest leaf `seq`, so the choice is
+    /// deterministic). Returns `None` on an empty DAG.
+    #[must_use]
+    pub fn critical_path(&self, weight: PathWeight) -> Option<CriticalPath> {
+        // One DP pass in stream order: every parent edge points at an
+        // earlier send, so chain aggregates for the parent are final by
+        // the time a child needs them.
+        let mut hops = vec![0u64; self.nodes.len()];
+        let mut bits = vec![0u64; self.nodes.len()];
+        let mut root_time = vec![0u64; self.nodes.len()];
+        let mut best: Option<(u64, usize)> = None;
+        for (pos, node) in self.nodes.iter().enumerate() {
+            match self.parent_pos(node) {
+                Some(p) => {
+                    hops[pos] = hops[p] + 1;
+                    bits[pos] = bits[p] + node.bits;
+                    root_time[pos] = root_time[p];
+                }
+                None => {
+                    hops[pos] = 1;
+                    bits[pos] = node.bits;
+                    root_time[pos] = node.time;
+                }
+            }
+            let w = match weight {
+                PathWeight::Hops => hops[pos],
+                PathWeight::Time => node.time.saturating_sub(root_time[pos]),
+                PathWeight::Bits => bits[pos],
+            };
+            if best.is_none_or(|(bw, _)| w > bw) {
+                best = Some((w, pos));
+            }
+        }
+        let (_, leaf) = best?;
+
+        let mut seqs = Vec::new();
+        let mut phase_map: BTreeMap<String, SpanStats> = BTreeMap::new();
+        let mut pos = leaf;
+        loop {
+            let node = &self.nodes[pos];
+            seqs.push(node.seq);
+            let stats = phase_map
+                .entry(node.phase.clone().unwrap_or_default())
+                .or_default();
+            stats.messages += 1;
+            stats.bits += node.bits;
+            match self.parent_pos(node) {
+                Some(p) => pos = p,
+                None => break,
+            }
+        }
+        seqs.reverse();
+        Some(CriticalPath {
+            hops: hops[leaf],
+            bits: bits[leaf],
+            start_time: root_time[leaf],
+            end_time: self.nodes[leaf].time,
+            per_phase: phase_map.into_iter().collect(),
+            seqs,
+        })
+    }
+
+    /// Exports the DAG in Graphviz DOT syntax. When `highlight` is given,
+    /// its chain's nodes and edges are drawn bold red.
+    #[must_use]
+    pub fn to_dot(&self, highlight: Option<&CriticalPath>) -> String {
+        use std::fmt::Write as _;
+        // A parent always has a smaller seq than its child, so the
+        // root-first chain is sorted and binary-searchable.
+        let on_path =
+            |seq: u64| highlight.is_some_and(|path| path.seqs.binary_search(&seq).is_ok());
+        let mut out = String::from("digraph causal {\n  rankdir=LR;\n  node [shape=box];\n");
+        for node in &self.nodes {
+            let label = match &node.phase {
+                Some(phase) => format!(
+                    "#{} p{}→p{} t{} b{} {}#{}",
+                    node.seq,
+                    node.from,
+                    node.to,
+                    node.time,
+                    node.bits,
+                    json_escape(phase),
+                    node.round
+                ),
+                None => format!(
+                    "#{} p{}→p{} t{} b{}",
+                    node.seq, node.from, node.to, node.time, node.bits
+                ),
+            };
+            let style = if on_path(node.seq) {
+                ", color=red, penwidth=2"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  s{} [label=\"{label}\"{style}];", node.seq);
+        }
+        for node in &self.nodes {
+            if let Some(parent) = node.parent {
+                if self.index.contains_key(&parent) {
+                    let style = if on_path(parent) && on_path(node.seq) {
+                        " [color=red, penwidth=2]"
+                    } else {
+                        ""
+                    };
+                    let _ = writeln!(out, "  s{parent} -> s{}{style};", node.seq);
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{CausalDag, CausalityError, PathWeight};
+    use crate::port::Port;
+    use crate::runtime::{SendEvent, Span, TraceEvent};
+    use crate::telemetry::Recording;
+
+    fn send(
+        seq: u64,
+        parent: Option<u64>,
+        time: u64,
+        bits: usize,
+        phase: Option<&'static str>,
+    ) -> TraceEvent {
+        TraceEvent::Send(SendEvent {
+            cycle: time,
+            from: (seq % 3) as usize,
+            to: ((seq + 1) % 3) as usize,
+            port: Port::Left,
+            bits,
+            seq,
+            lamport: time,
+            parent,
+            span: phase.map(|p| Span::new(p, 0)),
+        })
+    }
+
+    /// Two chains: 0→1→2 (3 hops, light) and 3→4 (2 hops, heavy bits).
+    fn forest() -> CausalDag {
+        CausalDag::from_events(&[
+            send(0, None, 1, 1, Some("scatter")),
+            send(3, None, 1, 100, None),
+            send(1, Some(0), 2, 1, Some("scatter")),
+            send(4, Some(3), 2, 100, None),
+            send(2, Some(1), 3, 1, Some("gather")),
+        ])
+    }
+
+    #[test]
+    fn hops_and_bits_pick_different_chains() {
+        let dag = forest();
+        assert_eq!(dag.len(), 5);
+        assert_eq!(dag.roots(), 2);
+
+        let by_hops = dag.critical_path(PathWeight::Hops).unwrap();
+        assert_eq!(by_hops.seqs, vec![0, 1, 2]);
+        assert_eq!(by_hops.hops, 3);
+        assert_eq!(by_hops.bits, 3);
+        assert_eq!((by_hops.start_time, by_hops.end_time), (1, 3));
+        assert_eq!(by_hops.elapsed(), 2);
+        assert_eq!(by_hops.per_phase.len(), 2, "scatter and gather");
+        assert_eq!(by_hops.per_phase[0].0, "gather");
+        assert_eq!(by_hops.per_phase[0].1.messages, 1);
+        assert_eq!(by_hops.per_phase[1].1.messages, 2);
+
+        let by_bits = dag.critical_path(PathWeight::Bits).unwrap();
+        assert_eq!(by_bits.seqs, vec![3, 4]);
+        assert_eq!(by_bits.bits, 200);
+    }
+
+    #[test]
+    fn empty_dag_has_no_critical_path() {
+        let dag = CausalDag::from_events(&[]);
+        assert!(dag.is_empty());
+        assert!(dag.critical_path(PathWeight::Hops).is_none());
+    }
+
+    #[test]
+    fn version_1_recordings_are_rejected() {
+        let v1 = "{\"type\":\"meta\",\"version\":1,\"n\":2,\"label\":\"old\",\"truncated\":0}\n\
+                  {\"type\":\"send\",\"t\":1,\"from\":0,\"to\":1,\"port\":\"left\",\"bits\":2}\n";
+        let rec = Recording::parse_jsonl(v1).unwrap();
+        assert_eq!(
+            CausalDag::from_recording(&rec),
+            Err(CausalityError::UncausalRecording { version: 1 })
+        );
+        let shown = CausalityError::UncausalRecording { version: 1 }.to_string();
+        assert!(shown.contains("version 1"), "{shown}");
+    }
+
+    #[test]
+    fn recordings_and_live_streams_build_the_same_dag() {
+        let events = [
+            send(0, None, 1, 2, Some("probe")),
+            send(1, Some(0), 2, 3, None),
+        ];
+        let mut recorder = crate::telemetry::FlightRecorder::new(3, "dag");
+        for event in &events {
+            use crate::runtime::Observer as _;
+            recorder.on_event(event);
+        }
+        let recording = Recording::parse_jsonl(&recorder.to_jsonl()).unwrap();
+        let from_rec = CausalDag::from_recording(&recording).unwrap();
+        let from_live = CausalDag::from_events(&events);
+        assert_eq!(from_rec, from_live);
+    }
+
+    #[test]
+    fn dot_export_highlights_the_critical_path() {
+        let dag = forest();
+        let path = dag.critical_path(PathWeight::Hops).unwrap();
+        let dot = dag.to_dot(Some(&path));
+        assert!(dot.starts_with("digraph causal {"), "{dot}");
+        assert!(dot.contains("s0 -> s1 [color=red, penwidth=2];"), "{dot}");
+        assert!(dot.contains("s3 -> s4;"), "{dot}");
+        assert!(dot.contains("scatter#0"), "{dot}");
+        let plain = dag.to_dot(None);
+        assert!(!plain.contains("penwidth"), "{plain}");
+    }
+
+    #[test]
+    fn truncated_chains_treat_evicted_parents_as_roots() {
+        // Parent seq 10 was never recorded: node 11 becomes a root.
+        let dag = CausalDag::from_events(&[
+            send(11, Some(10), 5, 2, None),
+            send(12, Some(11), 6, 2, None),
+        ]);
+        assert_eq!(dag.roots(), 1);
+        let path = dag.critical_path(PathWeight::Hops).unwrap();
+        assert_eq!(path.seqs, vec![11, 12]);
+        assert_eq!(path.hops, 2);
+    }
+}

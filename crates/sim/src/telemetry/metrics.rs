@@ -117,6 +117,41 @@ impl Histogram {
             .map(|(i, &c)| (1u64.checked_shl(i as u32).unwrap_or(u64::MAX), c))
             .collect()
     }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`; 0 when empty).
+    ///
+    /// Rank-based with linear interpolation inside the containing
+    /// power-of-two bucket: the target rank is `q · (count − 1)`, the
+    /// bucket's bounds are tightened by the observed `min`/`max`, and the
+    /// estimate interpolates linearly across the surplus rank within the
+    /// bucket. For values spread uniformly over a bucket the estimate
+    /// matches the exact linear-interpolation quantile (the unit test
+    /// pins this on 1..=100).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * (self.count - 1) as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if ((below + c - 1) as f64) >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = 1u64.checked_shl(i as u32).unwrap_or(u64::MAX);
+                let lo = lo.max(self.min) as f64;
+                let hi = (hi.min(self.max.saturating_add(1)) as f64).max(lo);
+                let est = lo + (hi - lo) * ((rank - below as f64) / c as f64);
+                // Never report above the observed maximum (the half-open
+                // bucket upper bound overshoots it by up to one).
+                return est.min(self.max as f64);
+            }
+            below += c;
+        }
+        self.max as f64
+    }
 }
 
 /// The registry: three kinds of metrics behind one deterministic map.
@@ -228,8 +263,17 @@ impl MetricsRegistry {
         let total = self.histograms.len();
         for (i, (id, h)) in self.histograms.iter().enumerate() {
             let mut body = format!(
-                "\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
-                h.count, h.sum, h.min, h.max
+                "\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {:.3}, \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \
+                 \"buckets\": [",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99)
             );
             for (j, (le, c)) in h.buckets().iter().enumerate() {
                 let _ = write!(
@@ -290,6 +334,62 @@ mod tests {
             vec![(1, 1), (2, 2), (4, 2), (16, 1), (1024, 1)]
         );
         assert!((h.mean() - 1015.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_power_of_two_buckets() {
+        // Known distribution: 1..=100, one observation each. Values fill
+        // each power-of-two bucket contiguously, so the interpolated
+        // estimates equal the exact linear-interpolation quantiles.
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        assert!((h.quantile(0.0) - 1.0).abs() < 1e-9, "{}", h.quantile(0.0));
+        assert!(
+            (h.quantile(0.50) - 50.5).abs() < 1e-9,
+            "{}",
+            h.quantile(0.50)
+        );
+        assert!(
+            (h.quantile(0.95) - 95.05).abs() < 1e-9,
+            "{}",
+            h.quantile(0.95)
+        );
+        assert!(
+            (h.quantile(0.99) - 99.01).abs() < 1e-9,
+            "{}",
+            h.quantile(0.99)
+        );
+        assert!(
+            (h.quantile(1.0) - 100.0).abs() < 1e-9,
+            "{}",
+            h.quantile(1.0)
+        );
+        // Out-of-range q clamps; empty and degenerate histograms are total.
+        assert!((h.quantile(7.0) - 100.0).abs() < 1e-9);
+        assert!((Histogram::default().quantile(0.5) - 0.0).abs() < 1e-9);
+        let mut zeros = Histogram::default();
+        for _ in 0..10 {
+            zeros.observe(0);
+        }
+        assert!((zeros.quantile(0.99) - 0.0).abs() < 1e-9);
+        let mut single = Histogram::default();
+        single.observe(1000);
+        assert!((single.quantile(0.5) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_snapshot_carries_quantiles() {
+        let mut reg = MetricsRegistry::new();
+        for v in 1..=100u64 {
+            reg.observe(MetricId::plain("message_bits"), v);
+        }
+        let json = reg.to_json();
+        assert!(
+            json.contains("\"mean\": 50.500, \"p50\": 50.500, \"p95\": 95.050, \"p99\": 99.010"),
+            "{json}"
+        );
     }
 
     #[test]

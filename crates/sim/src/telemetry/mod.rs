@@ -1,5 +1,5 @@
 //! Telemetry over the runtime's observer stream: a metrics registry,
-//! phase-span profiles, and a JSONL flight recorder.
+//! phase-span profiles, a JSONL flight recorder, and causal replay.
 //!
 //! The layer is strictly downstream of the single send path
 //! ([`crate::runtime::LinkFabric`]): every number here is derived from the
@@ -12,7 +12,8 @@
 //! ```text
 //! engine ──TraceEvent──▶ Telemetry (hot Vec tallies, no allocation)
 //!                   │         └─▶ registry() → MetricsRegistry → to_json()
-//!                   └────▶ FlightRecorder → to_jsonl() ⇄ Recording (replay)
+//!                   ├────▶ FlightRecorder → to_jsonl() ⇄ Recording (replay)
+//!                   └────▶ CausalDag → critical_path() / to_dot()
 //! ```
 //!
 //! [`Telemetry`] is the *aggregating* observer: it keeps plain vectors
@@ -23,11 +24,16 @@
 //! and offline replay by the `tracer` CLI. Run both at once with
 //! [`crate::runtime::FanOut`].
 
+pub mod causality;
 mod metrics;
 mod recorder;
 
+pub use causality::{CausalDag, CausalNode, CausalityError, CriticalPath, PathWeight};
 pub use metrics::{Histogram, MetricId, MetricsRegistry};
-pub use recorder::{FlightRecorder, Recording, RecordingError, ReplayEvent, RECORDING_VERSION};
+pub use recorder::{
+    FlightRecorder, Recording, RecordingError, ReplayEvent, OLDEST_PARSEABLE_VERSION,
+    RECORDING_VERSION,
+};
 
 use std::collections::BTreeMap;
 
@@ -295,6 +301,7 @@ impl Observer for Telemetry {
                 time,
                 to,
                 port,
+                seq: _,
                 dropped,
             } => {
                 self.note_time(time);
@@ -328,6 +335,9 @@ mod tests {
             to,
             port,
             bits,
+            seq: 0,
+            lamport: 1,
+            parent: None,
             span: None,
         })
     }
@@ -341,12 +351,14 @@ mod tests {
             time: 1,
             to: 1,
             port: Port::Left,
+            seq: 0,
             dropped: false,
         });
         t.on_event(&TraceEvent::Deliver {
             time: 1,
             to: 1,
             port: Port::Right,
+            seq: 0,
             dropped: true,
         });
         t.on_event(&TraceEvent::Halt {
@@ -380,12 +392,14 @@ mod tests {
             time: 2,
             to: 1,
             port: Port::Left,
+            seq: 0,
             dropped: false,
         });
         t.on_event(&TraceEvent::Deliver {
             time: 3,
             to: 1,
             port: Port::Left,
+            seq: 0,
             dropped: false,
         });
         let reg = t.registry();
@@ -405,6 +419,9 @@ mod tests {
                 to: 1,
                 port: Port::Left,
                 bits: 3,
+                seq: 0,
+                lamport: 1,
+                parent: None,
                 span: Some(Span::new("labels", round)),
             }));
         }

@@ -1,22 +1,35 @@
 //! The flight recorder: serializes the full [`TraceEvent`] stream to JSONL
 //! and parses it back for offline replay.
 //!
-//! ## Format (version 1, pinned by a golden test)
+//! ## Format (version 2, pinned by a golden test)
 //!
 //! One JSON object per line, no external dependencies (hand-rolled like
 //! `BENCH_sweep.json`). The first line is a `meta` record; every further
 //! line is one event, in execution order:
 //!
 //! ```text
-//! {"type":"meta","version":1,"n":4,"label":"E1 n=16","truncated":0}
-//! {"type":"send","t":1,"from":0,"to":1,"port":"left","bits":2,"phase":"scatter","round":0}
-//! {"type":"deliver","t":1,"to":1,"port":"left","dropped":false}
+//! {"type":"meta","version":2,"n":4,"label":"E1 n=16","truncated":0}
+//! {"type":"send","t":1,"from":0,"to":1,"port":"left","bits":2,"seq":0,"lam":1,"phase":"scatter","round":0}
+//! {"type":"send","t":2,"from":1,"to":2,"port":"left","bits":2,"seq":1,"lam":3,"parent":0}
+//! {"type":"deliver","t":1,"to":1,"port":"left","seq":0,"dropped":false}
 //! {"type":"halt","t":3,"proc":2}
 //! ```
 //!
-//! `phase`/`round` appear only on annotated sends. Keys are emitted in the
-//! fixed order shown, so parse → re-serialize round-trips **byte
-//! identically** — the invariant that keeps recorded artifacts diffable.
+//! Version 2 adds the causal fields of [`crate::runtime::CausalClocks`]:
+//! `seq` (global send sequence number, echoed by the matching deliver),
+//! `lam` (sender's Lamport timestamp), and `parent` (the enabling send's
+//! `seq`; omitted on spontaneous sends). `phase`/`round` appear only on
+//! annotated sends. Keys are emitted in the fixed order shown, so parse →
+//! re-serialize round-trips **byte identically** — the invariant that
+//! keeps recorded artifacts diffable.
+//!
+//! [`Recording::parse_jsonl`] still accepts version-1 recordings (causal
+//! fields default to zero / absent) and re-serializes them as version 1,
+//! preserving the byte-identity invariant for archived artifacts. On
+//! untruncated version-2 input the parser *validates* the causal edges:
+//! send `seq`s must strictly increase, a `parent` must name an earlier
+//! send, and a deliver's `seq` must name a seen send — a malformed edge
+//! reports its 1-based line number and snippet like any other parse error.
 //!
 //! ## Bounded memory
 //!
@@ -33,7 +46,10 @@ use crate::runtime::{Observer, TraceEvent};
 use crate::telemetry::json_escape;
 
 /// Current serialization version; bump when the line format changes.
-pub const RECORDING_VERSION: u64 = 1;
+pub const RECORDING_VERSION: u64 = 2;
+
+/// Oldest serialization version [`Recording::parse_jsonl`] still accepts.
+pub const OLDEST_PARSEABLE_VERSION: u64 = 1;
 
 /// An owned mirror of [`TraceEvent`], as reconstructed by the replay
 /// parser (phase names become owned strings — the `&'static str` of a
@@ -52,6 +68,13 @@ pub enum ReplayEvent {
         port: Port,
         /// Encoded message length.
         bits: usize,
+        /// Global send sequence number (0 on version-1 recordings).
+        seq: u64,
+        /// Sender's Lamport timestamp (0 on version-1 recordings).
+        lamport: u64,
+        /// `seq` of the enabling send (`None` when spontaneous, and on
+        /// version-1 recordings).
+        parent: Option<u64>,
         /// Phase annotation, if the emission carried one.
         phase: Option<String>,
         /// Round within the phase (present iff `phase` is).
@@ -65,6 +88,8 @@ pub enum ReplayEvent {
         to: usize,
         /// Local arrival port.
         port: Port,
+        /// `seq` of the consumed send (0 on version-1 recordings).
+        seq: u64,
         /// True when the receiver had already halted.
         dropped: bool,
     },
@@ -96,6 +121,9 @@ impl ReplayEvent {
                 to: s.to,
                 port: s.port,
                 bits: s.bits,
+                seq: s.seq,
+                lamport: s.lamport,
+                parent: s.parent,
                 phase: s.span.map(|sp| sp.phase.to_string()),
                 round: s.span.map_or(0, |sp| sp.round),
             },
@@ -103,18 +131,23 @@ impl ReplayEvent {
                 time,
                 to,
                 port,
+                seq,
                 dropped,
             } => ReplayEvent::Deliver {
                 time,
                 to,
                 port,
+                seq,
                 dropped,
             },
             TraceEvent::Halt { time, processor } => ReplayEvent::Halt { time, processor },
         }
     }
 
-    fn write_line(&self, out: &mut String) {
+    /// Writes one JSONL line in the given serialization `version` —
+    /// version 1 omits the causal fields, so version-1 recordings keep
+    /// round-tripping byte-identically.
+    fn write_line(&self, out: &mut String, version: u64) {
         match self {
             ReplayEvent::Send {
                 time,
@@ -122,6 +155,9 @@ impl ReplayEvent {
                 to,
                 port,
                 bits,
+                seq,
+                lamport,
+                parent,
                 phase,
                 round,
             } => {
@@ -131,6 +167,12 @@ impl ReplayEvent {
                      \"port\":\"{}\",\"bits\":{bits}",
                     port_name(*port)
                 );
+                if version >= 2 {
+                    let _ = write!(out, ",\"seq\":{seq},\"lam\":{lamport}");
+                    if let Some(parent) = parent {
+                        let _ = write!(out, ",\"parent\":{parent}");
+                    }
+                }
                 if let Some(phase) = phase {
                     let _ = write!(
                         out,
@@ -144,14 +186,18 @@ impl ReplayEvent {
                 time,
                 to,
                 port,
+                seq,
                 dropped,
             } => {
-                let _ = writeln!(
+                let _ = write!(
                     out,
-                    "{{\"type\":\"deliver\",\"t\":{time},\"to\":{to},\
-                     \"port\":\"{}\",\"dropped\":{dropped}}}",
+                    "{{\"type\":\"deliver\",\"t\":{time},\"to\":{to},\"port\":\"{}\"",
                     port_name(*port)
                 );
+                if version >= 2 {
+                    let _ = write!(out, ",\"seq\":{seq}");
+                }
+                let _ = writeln!(out, ",\"dropped\":{dropped}}}");
             }
             ReplayEvent::Halt { time, processor } => {
                 let _ = writeln!(
@@ -170,10 +216,10 @@ fn port_name(port: Port) -> &'static str {
     }
 }
 
-fn write_meta(out: &mut String, n: usize, label: &str, truncated: u64) {
+fn write_meta(out: &mut String, version: u64, n: usize, label: &str, truncated: u64) {
     let _ = writeln!(
         out,
-        "{{\"type\":\"meta\",\"version\":{RECORDING_VERSION},\"n\":{n},\
+        "{{\"type\":\"meta\",\"version\":{version},\"n\":{n},\
          \"label\":\"{}\",\"truncated\":{truncated}}}",
         json_escape(label)
     );
@@ -233,13 +279,20 @@ impl FlightRecorder {
         self.truncated
     }
 
-    /// Serializes the recording (meta line + one line per event).
+    /// Serializes the recording (meta line + one line per event) in the
+    /// current format version.
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        write_meta(&mut out, self.n, &self.label, self.truncated);
+        write_meta(
+            &mut out,
+            RECORDING_VERSION,
+            self.n,
+            &self.label,
+            self.truncated,
+        );
         for event in &self.events {
-            event.write_line(&mut out);
+            event.write_line(&mut out, RECORDING_VERSION);
         }
         out
     }
@@ -249,6 +302,7 @@ impl FlightRecorder {
     #[must_use]
     pub fn into_recording(self) -> Recording {
         Recording {
+            version: RECORDING_VERSION,
             n: self.n,
             label: self.label,
             truncated: self.truncated,
@@ -311,6 +365,9 @@ impl std::error::Error for RecordingError {}
 /// A parsed recording: what [`FlightRecorder::to_jsonl`] wrote, read back.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Recording {
+    /// Serialization version the recording was parsed from (and will
+    /// re-serialize as — archived version-1 artifacts stay version 1).
+    pub version: u64,
     /// Ring size of the recorded run.
     pub n: usize,
     /// Run label from the meta record.
@@ -323,7 +380,8 @@ pub struct Recording {
 
 impl Recording {
     /// Parses a JSONL recording. Strict: every line must parse, the first
-    /// line must be a version-1 `meta` record.
+    /// line must be a `meta` record of a supported version
+    /// ([`OLDEST_PARSEABLE_VERSION`] ..= [`RECORDING_VERSION`]).
     ///
     /// # Errors
     ///
@@ -351,18 +409,22 @@ impl Recording {
         let version = meta
             .number("version")
             .ok_or_else(|| err(1, "meta record missing \"version\"".into()))?;
-        if version != RECORDING_VERSION {
+        if !(OLDEST_PARSEABLE_VERSION..=RECORDING_VERSION).contains(&version) {
             return Err(err(1, format!("unsupported version {version}")));
         }
         let n = meta
             .number("n")
             .ok_or_else(|| err(1, "meta record missing \"n\"".into()))?;
         let mut recording = Recording {
+            version,
             n: usize::try_from(n).map_err(|_| err(1, "n out of range".into()))?,
             label: meta.string("label").unwrap_or_default().to_string(),
             truncated: meta.number("truncated").unwrap_or(0),
             events: Vec::new(),
         };
+        // Causal-edge validation only makes sense when the full prefix is
+        // present: a ring-buffered recording may have evicted the parents.
+        let mut causal = (version >= 2 && recording.truncated == 0).then(CausalCheck::new);
         for (idx, line) in lines {
             if line.is_empty() {
                 continue;
@@ -390,23 +452,54 @@ impl Recording {
                 }
             };
             let event = match obj.string("type") {
-                Some("send") => ReplayEvent::Send {
-                    time,
-                    from: field("from")?,
-                    to: field("to")?,
-                    port: port(&obj)?,
-                    bits: field("bits")?,
-                    phase: obj.string("phase").map(str::to_string),
-                    round: obj.number("round").unwrap_or(0),
-                },
-                Some("deliver") => ReplayEvent::Deliver {
-                    time,
-                    to: field("to")?,
-                    port: port(&obj)?,
-                    dropped: obj
-                        .boolean("dropped")
-                        .ok_or_else(|| err("deliver missing \"dropped\"".into()))?,
-                },
+                Some("send") => {
+                    let (seq, lamport) = if version >= 2 {
+                        (
+                            obj.number("seq")
+                                .ok_or_else(|| err("send missing \"seq\"".into()))?,
+                            obj.number("lam")
+                                .ok_or_else(|| err("send missing \"lam\"".into()))?,
+                        )
+                    } else {
+                        (0, 0)
+                    };
+                    let parent = (version >= 2).then(|| obj.number("parent")).flatten();
+                    if let Some(check) = causal.as_mut() {
+                        check.on_send(seq, parent).map_err(&err)?;
+                    }
+                    ReplayEvent::Send {
+                        time,
+                        from: field("from")?,
+                        to: field("to")?,
+                        port: port(&obj)?,
+                        bits: field("bits")?,
+                        seq,
+                        lamport,
+                        parent,
+                        phase: obj.string("phase").map(str::to_string),
+                        round: obj.number("round").unwrap_or(0),
+                    }
+                }
+                Some("deliver") => {
+                    let seq = if version >= 2 {
+                        obj.number("seq")
+                            .ok_or_else(|| err("deliver missing \"seq\"".into()))?
+                    } else {
+                        0
+                    };
+                    if let Some(check) = causal.as_mut() {
+                        check.on_deliver(seq).map_err(&err)?;
+                    }
+                    ReplayEvent::Deliver {
+                        time,
+                        to: field("to")?,
+                        port: port(&obj)?,
+                        seq,
+                        dropped: obj
+                            .boolean("dropped")
+                            .ok_or_else(|| err("deliver missing \"dropped\"".into()))?,
+                    }
+                }
                 Some("halt") => ReplayEvent::Halt {
                     time,
                     processor: field("proc")?,
@@ -421,13 +514,14 @@ impl Recording {
     }
 
     /// Re-serializes exactly as [`FlightRecorder::to_jsonl`] would — parse
-    /// followed by `to_jsonl` is byte-identical (the golden test pins it).
+    /// followed by `to_jsonl` is byte-identical (the golden test pins it),
+    /// in the version the recording was parsed from.
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        write_meta(&mut out, self.n, &self.label, self.truncated);
+        write_meta(&mut out, self.version, self.n, &self.label, self.truncated);
         for event in &self.events {
-            event.write_line(&mut out);
+            event.write_line(&mut out, self.version);
         }
         out
     }
@@ -491,6 +585,46 @@ impl Recording {
             }
         }
         map.into_iter().collect()
+    }
+}
+
+/// Streaming validator for the version-2 causal fields: send `seq`s must
+/// strictly increase, a `parent` must name an earlier send, a deliver's
+/// `seq` must name a seen send.
+struct CausalCheck {
+    seen: std::collections::BTreeSet<u64>,
+    last_seq: Option<u64>,
+}
+
+impl CausalCheck {
+    fn new() -> CausalCheck {
+        CausalCheck {
+            seen: std::collections::BTreeSet::new(),
+            last_seq: None,
+        }
+    }
+
+    fn on_send(&mut self, seq: u64, parent: Option<u64>) -> Result<(), String> {
+        if self.last_seq.is_some_and(|last| seq <= last) {
+            return Err(format!("send \"seq\":{seq} out of order"));
+        }
+        if let Some(parent) = parent {
+            if !self.seen.contains(&parent) {
+                return Err(format!(
+                    "causal edge \"parent\":{parent} does not name an earlier send"
+                ));
+            }
+        }
+        self.last_seq = Some(seq);
+        self.seen.insert(seq);
+        Ok(())
+    }
+
+    fn on_deliver(&mut self, seq: u64) -> Result<(), String> {
+        if !self.seen.contains(&seq) {
+            return Err(format!("deliver \"seq\":{seq} does not name a seen send"));
+        }
+        Ok(())
     }
 }
 
@@ -647,6 +781,9 @@ mod tests {
                 to: 1,
                 port: Port::Left,
                 bits: 3,
+                seq: 0,
+                lamport: 1,
+                parent: None,
                 span: Some(Span::new("labels", 1)),
             }),
             TraceEvent::Send(SendEvent {
@@ -655,12 +792,16 @@ mod tests {
                 to: 1,
                 port: Port::Right,
                 bits: 2,
+                seq: 1,
+                lamport: 1,
+                parent: Some(0),
                 span: None,
             }),
             TraceEvent::Deliver {
                 time: 1,
                 to: 1,
                 port: Port::Left,
+                seq: 0,
                 dropped: false,
             },
             TraceEvent::Halt {

@@ -1,16 +1,30 @@
 //! Golden test: the flight-recorder JSONL format is pinned byte for byte.
 //!
-//! Downstream tooling (the `tracer` binary, external analysis scripts)
-//! parses these artifacts; changing the format requires bumping
-//! `RECORDING_VERSION` and updating the expected text here deliberately.
+//! Downstream tooling (the `tracer` and `audit` binaries, external
+//! analysis scripts) parses these artifacts; changing the format requires
+//! bumping `RECORDING_VERSION` and updating the expected text here
+//! deliberately. Version-1 artifacts (recorded before causal stamps) must
+//! keep parsing and re-serializing byte-identically forever.
 
 use anonring_sim::port::Port;
 use anonring_sim::runtime::{FanOut, Observer, SendEvent, Span, TraceEvent};
 use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess};
-use anonring_sim::telemetry::{FlightRecorder, Recording, Telemetry, RECORDING_VERSION};
+use anonring_sim::telemetry::{
+    FlightRecorder, Recording, Telemetry, OLDEST_PARSEABLE_VERSION, RECORDING_VERSION,
+};
 use anonring_sim::RingTopology;
 
-const GOLDEN: &str = r#"{"type":"meta","version":1,"n":3,"label":"golden \"v1\"","truncated":0}
+const GOLDEN_V2: &str = r#"{"type":"meta","version":2,"n":3,"label":"golden \"v2\"","truncated":0}
+{"type":"send","t":0,"from":0,"to":1,"port":"left","bits":4,"seq":0,"lam":1,"phase":"labels","round":2}
+{"type":"send","t":0,"from":2,"to":1,"port":"right","bits":7,"seq":1,"lam":1}
+{"type":"deliver","t":1,"to":1,"port":"left","seq":0,"dropped":false}
+{"type":"deliver","t":1,"to":1,"port":"right","seq":1,"dropped":true}
+{"type":"send","t":1,"from":1,"to":2,"port":"right","bits":2,"seq":2,"lam":2,"parent":0}
+{"type":"halt","t":2,"proc":1}
+"#;
+
+/// A pre-causal artifact, as committed by earlier revisions of the repo.
+const GOLDEN_V1: &str = r#"{"type":"meta","version":1,"n":3,"label":"golden \"v1\"","truncated":0}
 {"type":"send","t":0,"from":0,"to":1,"port":"left","bits":4,"phase":"labels","round":2}
 {"type":"send","t":0,"from":2,"to":1,"port":"right","bits":7}
 {"type":"deliver","t":1,"to":1,"port":"left","dropped":false}
@@ -26,6 +40,9 @@ fn golden_events() -> Vec<TraceEvent> {
             to: 1,
             port: Port::Left,
             bits: 4,
+            seq: 0,
+            lamport: 1,
+            parent: None,
             span: Some(Span::new("labels", 2)),
         }),
         TraceEvent::Send(SendEvent {
@@ -34,20 +51,36 @@ fn golden_events() -> Vec<TraceEvent> {
             to: 1,
             port: Port::Right,
             bits: 7,
+            seq: 1,
+            lamport: 1,
+            parent: None,
             span: None,
         }),
         TraceEvent::Deliver {
             time: 1,
             to: 1,
             port: Port::Left,
+            seq: 0,
             dropped: false,
         },
         TraceEvent::Deliver {
             time: 1,
             to: 1,
             port: Port::Right,
+            seq: 1,
             dropped: true,
         },
+        TraceEvent::Send(SendEvent {
+            cycle: 1,
+            from: 1,
+            to: 2,
+            port: Port::Right,
+            bits: 2,
+            seq: 2,
+            lamport: 2,
+            parent: Some(0),
+            span: None,
+        }),
         TraceEvent::Halt {
             time: 2,
             processor: 1,
@@ -57,25 +90,81 @@ fn golden_events() -> Vec<TraceEvent> {
 
 #[test]
 fn serialization_matches_the_golden_text_exactly() {
-    assert_eq!(RECORDING_VERSION, 1, "format change requires a new golden");
-    let mut recorder = FlightRecorder::new(3, "golden \"v1\"");
+    assert_eq!(RECORDING_VERSION, 2, "format change requires a new golden");
+    assert_eq!(
+        OLDEST_PARSEABLE_VERSION, 1,
+        "v1 artifacts must keep parsing"
+    );
+    let mut recorder = FlightRecorder::new(3, "golden \"v2\"");
     for event in golden_events() {
         recorder.on_event(&event);
     }
-    assert_eq!(recorder.to_jsonl(), GOLDEN);
+    assert_eq!(recorder.to_jsonl(), GOLDEN_V2);
 }
 
 #[test]
 fn golden_text_round_trips_byte_identically() {
-    let recording = Recording::parse_jsonl(GOLDEN).unwrap();
+    let recording = Recording::parse_jsonl(GOLDEN_V2).unwrap();
+    assert_eq!(recording.version, 2);
     assert_eq!(recording.n, 3);
-    assert_eq!(recording.label, "golden \"v1\"");
+    assert_eq!(recording.label, "golden \"v2\"");
+    assert_eq!(recording.events.len(), 6);
+    assert_eq!(recording.to_jsonl(), GOLDEN_V2);
+}
+
+/// Archived v1 recordings parse (causal fields default to zero / absent)
+/// and re-serialize in their own version, byte-identically.
+#[test]
+fn version_1_artifacts_still_parse_and_round_trip() {
+    let recording = Recording::parse_jsonl(GOLDEN_V1).unwrap();
+    assert_eq!(recording.version, 1);
     assert_eq!(recording.events.len(), 5);
-    assert_eq!(recording.to_jsonl(), GOLDEN);
+    assert_eq!(recording.to_jsonl(), GOLDEN_V1);
+}
+
+/// Malformed causal edges are parse errors with the 1-based line number
+/// and a snippet of the offending line, like any other parse failure.
+#[test]
+fn malformed_causal_edges_report_line_and_snippet() {
+    // A parent edge naming a send that never happened.
+    let orphan = "{\"type\":\"meta\",\"version\":2,\"n\":2,\"label\":\"bad\",\"truncated\":0}\n\
+                  {\"type\":\"send\",\"t\":0,\"from\":0,\"to\":1,\"port\":\"left\",\"bits\":1,\"seq\":0,\"lam\":1}\n\
+                  {\"type\":\"send\",\"t\":1,\"from\":1,\"to\":0,\"port\":\"left\",\"bits\":1,\"seq\":1,\"lam\":2,\"parent\":7}\n";
+    let err = Recording::parse_jsonl(orphan).unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.message.contains("\"parent\":7"), "{err}");
+    assert!(err.to_string().contains("line 3"), "{err}");
+    assert!(err.to_string().contains("(in: "), "snippet shown: {err}");
+
+    // Send sequence numbers must be strictly increasing.
+    let out_of_order = "{\"type\":\"meta\",\"version\":2,\"n\":2,\"label\":\"bad\",\"truncated\":0}\n\
+                        {\"type\":\"send\",\"t\":0,\"from\":0,\"to\":1,\"port\":\"left\",\"bits\":1,\"seq\":5,\"lam\":1}\n\
+                        {\"type\":\"send\",\"t\":1,\"from\":1,\"to\":0,\"port\":\"left\",\"bits\":1,\"seq\":5,\"lam\":2}\n";
+    let err = Recording::parse_jsonl(out_of_order).unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.message.contains("out of order"), "{err}");
+
+    // A delivery of a send that was never recorded.
+    let ghost = "{\"type\":\"meta\",\"version\":2,\"n\":2,\"label\":\"bad\",\"truncated\":0}\n\
+                 {\"type\":\"deliver\",\"t\":1,\"to\":1,\"port\":\"left\",\"seq\":9,\"dropped\":false}\n";
+    let err = Recording::parse_jsonl(ghost).unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.message.contains("\"seq\":9"), "{err}");
+}
+
+/// Truncated (ring-buffered) recordings skip causal validation: the
+/// evicted prefix may hold the parents and earlier sequence numbers.
+#[test]
+fn truncated_recordings_skip_causal_validation() {
+    let truncated = "{\"type\":\"meta\",\"version\":2,\"n\":2,\"label\":\"cut\",\"truncated\":3}\n\
+                     {\"type\":\"send\",\"t\":4,\"from\":0,\"to\":1,\"port\":\"left\",\"bits\":1,\"seq\":8,\"lam\":9,\"parent\":2}\n";
+    let recording = Recording::parse_jsonl(truncated).unwrap();
+    assert_eq!(recording.truncated, 3);
+    assert_eq!(recording.events.len(), 1);
 }
 
 /// A real engine run, recorded through FanOut, must round-trip through
-/// the parser byte-identically too — not just hand-picked events.
+/// the replay parser byte-identically too — not just hand-picked events.
 #[test]
 fn live_run_round_trips_through_the_replay_parser() {
     #[derive(Debug)]
@@ -106,6 +195,7 @@ fn live_run_round_trips_through_the_replay_parser() {
     }
     let jsonl = recorder.to_jsonl();
     let recording = Recording::parse_jsonl(&jsonl).unwrap();
+    assert_eq!(recording.version, RECORDING_VERSION);
     assert_eq!(recording.to_jsonl(), jsonl, "byte-identical round-trip");
     // The recording and the aggregating observer saw the same stream.
     assert_eq!(recording.messages(), telemetry.messages());
