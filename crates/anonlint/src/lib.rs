@@ -12,12 +12,12 @@
 //!
 //! | lint | scope | invariant |
 //! |---|---|---|
-//! | `anonymity-breach` | `core/src/algorithms` | algorithm code must not read the processor index (the `from_config` index parameter stays unbound; no topology introspection) |
-//! | `unmetered-send` | `core/src/algorithms`, `sim/src` | all sends route through `Emit`; raw fabric/queue access and `CostMeter::record_send` are reserved to `sim::runtime` |
+//! | `anonymity-breach` | `core/src/algorithms`, `net/src` | algorithm and transport-driver code must not read the processor index (the `from_config` index parameter stays unbound; no topology introspection) |
+//! | `unmetered-send` | `core/src/algorithms`, `sim/src`, `net/src` | all sends route through `Emit`; raw fabric/queue access and `CostMeter::record_send` are reserved to `sim::runtime` (and, net-side, the hub) |
 //! | `span-coverage` | `core/src/algorithms` | every algorithm that sends stamps at least one telemetry `Span` |
-//! | `no-unwrap-in-runtime` | `sim/src` | runtime code uses `expect` with an invariant message, never bare `unwrap` |
-//! | `forbid-unsafe` | both | no `unsafe` token anywhere; crate roots carry `#![forbid(unsafe_code)]` |
-//! | `malformed-suppression` | both | every `anonlint: allow(…)` names a known lint and gives a `-- reason` |
+//! | `no-unwrap-in-runtime` | `sim/src`, `net/src` | runtime code uses `expect` with an invariant message, never bare `unwrap` |
+//! | `forbid-unsafe` | all | no `unsafe` token anywhere; crate roots carry `#![forbid(unsafe_code)]` |
+//! | `malformed-suppression` | all | every `anonlint: allow(…)` names a known lint and gives a `-- reason` |
 //!
 //! Test code (`#[cfg(test)]` items) and comments/doc examples are excluded.
 //!
@@ -110,6 +110,11 @@ pub enum Scope {
     /// `crates/sim/src/**`: the runtime itself; `sim/src/runtime/` is the
     /// sole owner of the raw send path.
     Runtime,
+    /// `crates/net/src/**`: the real-transport driver; its hub module is
+    /// the sole owner of the net-side meter writes, and everything else
+    /// obeys the runtime rules (plus the anonymity denylist, since the
+    /// driver hosts algorithm processes directly).
+    NetDriver,
 }
 
 impl Scope {
@@ -124,6 +129,12 @@ impl Scope {
                 Lint::ForbidUnsafe,
             ],
             Scope::Runtime => &[
+                Lint::UnmeteredSend,
+                Lint::NoUnwrapInRuntime,
+                Lint::ForbidUnsafe,
+            ],
+            Scope::NetDriver => &[
+                Lint::AnonymityBreach,
                 Lint::UnmeteredSend,
                 Lint::NoUnwrapInRuntime,
                 Lint::ForbidUnsafe,
@@ -447,6 +458,15 @@ fn check_unmetered_send(
             }
             &["record_send"]
         }
+        // The hub is the net-side mirror of `sim::runtime`: it alone may
+        // write the meter. Workers, transports and the conformance oracle
+        // must route every send through it.
+        Scope::NetDriver => {
+            if file.contains("/hub") {
+                return;
+            }
+            &["record_send", "LinkFabric"]
+        }
     };
     for (_, t) in code {
         if surface.iter().any(|s| t.is_ident(s)) {
@@ -560,6 +580,10 @@ pub fn default_roots() -> Vec<ScopedRoot> {
         ScopedRoot {
             dir: "crates/sim/src",
             scope: Scope::Runtime,
+        },
+        ScopedRoot {
+            dir: "crates/net/src",
+            scope: Scope::NetDriver,
         },
     ]
 }
@@ -716,8 +740,45 @@ mod tests {
         lint_source("crates/sim/src/fixture.rs", src, Scope::Runtime)
     }
 
+    fn lint_net(src: &str) -> Vec<Finding> {
+        lint_source("crates/net/src/fixture.rs", src, Scope::NetDriver)
+    }
+
     fn names(findings: &[Finding]) -> Vec<&'static str> {
         findings.iter().map(|f| f.lint.name()).collect()
+    }
+
+    #[test]
+    fn net_driver_code_must_not_write_the_meter() {
+        let src = r"
+            pub fn route(&self, meter: &mut CostMeter) {
+                meter.record_send(bits);
+            }
+        ";
+        let f = lint_net(src);
+        assert_eq!(names(&f), vec!["unmetered-send"], "{f:?}");
+    }
+
+    #[test]
+    fn the_net_hub_is_exempt_like_sim_runtime() {
+        let src = "pub fn route(&self) { self.meter.record_send(bits); }";
+        let f = lint_source("crates/net/src/hub.rs", src, Scope::NetDriver);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn net_driver_code_must_not_read_ring_wiring() {
+        let src = "pub fn wire(t: &RingTopology) { let x = t.neighbor(0, Port::Left); }";
+        let f = lint_net(src);
+        assert_eq!(names(&f), vec!["anonymity-breach"], "{f:?}");
+        let suppressed = format!("// anonlint: allow(anonymity-breach) -- substrate wiring\n{src}");
+        assert!(lint_net(&suppressed).is_empty());
+    }
+
+    #[test]
+    fn net_driver_scope_keeps_the_runtime_unwrap_rule() {
+        let f = lint_net("pub fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert_eq!(names(&f), vec!["no-unwrap-in-runtime"], "{f:?}");
     }
 
     #[test]

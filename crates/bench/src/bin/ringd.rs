@@ -1,0 +1,112 @@
+//! `ringd` — the batched ring-job server over real transports.
+//!
+//! ```text
+//! cargo run --release -p anonring-bench --bin ringd -- [flags] < jobs.jsonl
+//! ```
+//!
+//! Reads one JSON job per line (see [`anonring_bench::ringd`] for the
+//! schema), runs each on the `anonring_net` runtime, certifies every run
+//! against the asynchronous simulator unless the job opts out, and
+//! streams one JSON result line per job plus a final `"done"` summary.
+//!
+//! Flags:
+//!
+//! - `--workers N` — worker-pool size (default: one per core)
+//! - `--record-dir DIR` — write a per-job v2 flight recording
+//!   (`<id>.jsonl`, engine-stamped `"net"`) into `DIR`
+//! - `--socket PATH` (unix) — serve batches over a unix socket instead
+//!   of stdin/stdout; each connection is one batch
+//!
+//! Exits nonzero if any job in the (stdin) batch failed.
+
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use anonring_bench::ringd::{serve, ServeOptions};
+
+struct Cli {
+    options: ServeOptions,
+    socket: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        options: ServeOptions::default(),
+        socket: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--workers" => {
+                cli.options.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--record-dir" => cli.options.record_dir = Some(PathBuf::from(value("--record-dir")?)),
+            "--socket" => cli.socket = Some(PathBuf::from(value("--socket")?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if let Some(dir) = &cli.options.record_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--record-dir {}: {e}", dir.display()))?;
+    }
+    Ok(cli)
+}
+
+#[cfg(unix)]
+fn serve_socket(path: &std::path::Path, options: &ServeOptions) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("ringd: listening on {}", path.display());
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = BufReader::new(stream.try_clone()?);
+        if let Err(e) = serve(reader, stream, options) {
+            eprintln!("ringd: batch aborted: {e}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_path: &std::path::Path, _options: &ServeOptions) -> std::io::Result<()> {
+    Err(std::io::Error::other("--socket requires a unix platform"))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("ringd: {e}");
+            eprintln!("usage: ringd [--workers N] [--record-dir DIR] [--socket PATH] < jobs.jsonl");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &cli.socket {
+        return match serve_socket(path, &cli.options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ringd: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let stdin = std::io::stdin();
+    match serve(stdin.lock(), std::io::stdout(), &cli.options) {
+        Ok(summary) => {
+            let _ = std::io::stderr().flush();
+            if summary.failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ringd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

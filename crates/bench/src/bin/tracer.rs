@@ -32,6 +32,12 @@ fn print_summary(rec: &Recording) {
     println!("## summary\n");
     println!("label:      {}", rec.label);
     println!("format:     version {}", rec.version);
+    let engine = if rec.engine.is_empty() {
+        "(not recorded)"
+    } else {
+        &rec.engine
+    };
+    println!("engine:     {engine}");
     println!("ring size:  {}", rec.n);
     println!("events:     {}", rec.events.len());
     if rec.truncated > 0 {

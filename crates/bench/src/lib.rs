@@ -21,6 +21,7 @@ pub mod labeled;
 pub mod lower_async;
 pub mod lower_sync;
 pub mod microbench;
+pub mod ringd;
 pub mod sweep;
 pub mod table;
 pub mod telemetry_runs;

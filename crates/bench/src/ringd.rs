@@ -1,0 +1,500 @@
+//! The `ringd` job server: batched ring jobs over real transports.
+//!
+//! `ringd` reads one JSON job per line — `{"id": …, "algorithm": …,
+//! "n": …, "inputs": […], "seed": …}` — runs each on the
+//! [`anonring_net`] real-transport runtime, certifies it against the
+//! asynchronous simulator (the conformance oracle; on by default), and
+//! streams one JSON result per line. A worker pool shards the batch;
+//! per-job wall-clock budgets abort runaway jobs without taking the
+//! server down. With a recording directory configured, every job also
+//! leaves a v2 flight-recorder JSONL stamped `"engine":"net"` that the
+//! `tracer` CLI and the causal-DAG tooling consume unchanged.
+//!
+//! ## Job schema (one JSON object per line)
+//!
+//! | field         | type         | default                       |
+//! |---------------|--------------|-------------------------------|
+//! | `id`          | string       | `job-<line number>`           |
+//! | `algorithm`   | string       | — (required; audit-table name)|
+//! | `n`           | integer      | — (required; ≥ 2)             |
+//! | `inputs`      | `[int]`      | audit harness mixed pattern   |
+//! | `seed`        | integer      | `0` (delivery-jitter seed)    |
+//! | `capacity`    | integer      | `8` (per-link buffer)         |
+//! | `max_delay_us`| integer      | `0` (link-delay bound)        |
+//! | `transport`   | string       | `"threads"` (or `"tcp"`)      |
+//! | `timeout_ms`  | integer      | `10000`                       |
+//! | `conformance` | bool         | `true`                        |
+//!
+//! ## Result stream
+//!
+//! One line per job, in completion order (`"type"` is `"result"` or
+//! `"error"`), then a final `{"type":"done", …}` summary line.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use anonring_core::algorithms::driver::Audited;
+use anonring_net::conformance::compare;
+use anonring_net::{run, NetOptions, NetReport, Transport};
+use anonring_sim::r#async::{AsyncEngine, SynchronizingScheduler};
+use anonring_sim::telemetry::FlightRecorder;
+
+use crate::json::{json_escape, Value};
+
+/// One parsed job description.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Caller-chosen job identifier, echoed in the result line.
+    pub id: String,
+    /// Which audited algorithm to run.
+    pub algorithm: Audited,
+    /// Ring size.
+    pub n: usize,
+    /// Per-processor inputs (`inputs.len() == n`).
+    pub inputs: Vec<u8>,
+    /// Delivery-jitter seed.
+    pub seed: u64,
+    /// Net-runtime options derived from the job fields.
+    pub options: NetOptions,
+    /// Whether to certify against the simulator.
+    pub conformance: bool,
+}
+
+fn get_u64(value: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("{key} must be an integer")),
+    }
+}
+
+impl JobSpec {
+    /// Parses one job line. Line numbers (zero-based) supply the default
+    /// job id.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed field.
+    pub fn parse(line: &str, line_number: usize) -> Result<JobSpec, String> {
+        let value = Value::parse(line)?;
+        let id = match value.get("id") {
+            None | Some(Value::Null) => format!("job-{line_number}"),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| "id must be a string".to_string())?
+                .to_string(),
+        };
+        let name = value
+            .get("algorithm")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "missing algorithm name".to_string())?;
+        let algorithm = Audited::from_name(name)
+            .ok_or_else(|| format!("unknown algorithm {name:?} (audit-table names only)"))?;
+        let n = usize::try_from(
+            value
+                .get("n")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| "missing ring size n".to_string())?,
+        )
+        .map_err(|_| "n overflows usize".to_string())?;
+        let inputs = match value.get("inputs") {
+            None | Some(Value::Null) => default_inputs(algorithm, n),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| "inputs must be an array".to_string())?
+                .iter()
+                .map(|item| {
+                    item.as_u64()
+                        .and_then(|b| u8::try_from(b).ok())
+                        .ok_or_else(|| "inputs must be bytes (0–255)".to_string())
+                })
+                .collect::<Result<Vec<u8>, String>>()?,
+        };
+        let seed = get_u64(&value, "seed", 0)?;
+        let transport = match value.get("transport") {
+            None | Some(Value::Null) => Transport::Threads,
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| "transport must be a string".to_string())?;
+                Transport::from_name(name)
+                    .ok_or_else(|| format!("unknown transport {name:?} (threads|tcp)"))?
+            }
+        };
+        let options = NetOptions {
+            capacity: usize::try_from(get_u64(&value, "capacity", 8)?)
+                .map_err(|_| "capacity overflows usize".to_string())?,
+            jitter_seed: seed,
+            max_delay_us: get_u64(&value, "max_delay_us", 0)?,
+            transport,
+            timeout: Duration::from_millis(get_u64(&value, "timeout_ms", 10_000)?),
+        };
+        let conformance = match value.get("conformance") {
+            None | Some(Value::Null) => true,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err("conformance must be a boolean".to_string()),
+        };
+        Ok(JobSpec {
+            id,
+            algorithm,
+            n,
+            inputs,
+            seed,
+            options,
+            conformance,
+        })
+    }
+}
+
+/// The audit harness's deterministic mixed input pattern — bits for the
+/// bit-input algorithms, spread bytes for the §4.1 distribution.
+#[must_use]
+pub fn default_inputs(algorithm: Audited, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| {
+            let mixed = (i * 2654435761) >> 7;
+            if algorithm.wants_bit_inputs() {
+                (mixed & 1) as u8
+            } else {
+                (mixed & 0xff) as u8
+            }
+        })
+        .collect()
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Worker-pool size; `0` means one worker per available core.
+    pub workers: usize,
+    /// Where to write one per-job flight recording (`<id>.jsonl`), if
+    /// anywhere.
+    pub record_dir: Option<PathBuf>,
+}
+
+/// End-of-batch accounting, also emitted as the final `"done"` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Job lines consumed.
+    pub jobs: usize,
+    /// Jobs that produced a result.
+    pub ok: usize,
+    /// Jobs that failed (parse, run, conformance or recording I/O).
+    pub failed: usize,
+}
+
+fn render_outputs<O: std::fmt::Debug>(report: &NetReport<O>) -> String {
+    let mut out = String::from("[");
+    for (i, output) in report.outputs().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", json_escape(&format!("{output:?}")));
+    }
+    out.push(']');
+    out
+}
+
+/// Runs one job to its result line (without the trailing newline).
+///
+/// # Errors
+///
+/// A rendered error message (the caller wraps it into an `"error"` line).
+pub fn run_job(spec: &JobSpec, record_dir: Option<&Path>) -> Result<String, String> {
+    let topology = spec
+        .algorithm
+        .topology(spec.n, &spec.inputs)
+        .map_err(|e| e.to_string())?;
+    let procs = || {
+        spec.algorithm
+            .procs(spec.n, &spec.inputs)
+            .expect("topology() already validated the job shape")
+    };
+    let report = run(&topology, procs(), &spec.options).map_err(|e| e.to_string())?;
+
+    let conformance = if spec.conformance {
+        let mut engine = AsyncEngine::new(topology.clone(), procs()).map_err(|e| e.to_string())?;
+        let sim = engine
+            .run(&mut SynchronizingScheduler)
+            .map_err(|e| format!("reference simulation failed: {e}"))?;
+        compare(&report, &sim).map_err(|e| e.to_string())?;
+        "certified"
+    } else {
+        "skipped"
+    };
+
+    let mut recording_path = String::new();
+    if let Some(dir) = record_dir {
+        let mut recorder = FlightRecorder::new(
+            spec.n,
+            format!("ringd {} {} n={}", spec.id, spec.algorithm, spec.n),
+        )
+        .with_engine("net");
+        report.replay(&mut recorder);
+        let path = dir.join(format!("{}.jsonl", sanitize(&spec.id)));
+        std::fs::write(&path, recorder.to_jsonl())
+            .map_err(|e| format!("writing recording {}: {e}", path.display()))?;
+        recording_path = path.display().to_string();
+    }
+
+    let mut line = String::from("{\"type\":\"result\"");
+    let _ = write!(line, ",\"id\":\"{}\"", json_escape(&spec.id));
+    let _ = write!(line, ",\"algorithm\":\"{}\"", spec.algorithm);
+    let _ = write!(line, ",\"n\":{}", spec.n);
+    let _ = write!(line, ",\"transport\":\"{}\"", spec.options.transport);
+    let _ = write!(line, ",\"seed\":{}", spec.seed);
+    let _ = write!(line, ",\"outputs\":{}", render_outputs(&report));
+    let _ = write!(line, ",\"messages\":{}", report.messages);
+    let _ = write!(line, ",\"bits\":{}", report.bits);
+    let _ = write!(line, ",\"deliveries\":{}", report.deliveries);
+    let _ = write!(line, ",\"dropped\":{}", report.dropped);
+    let _ = write!(line, ",\"max_epoch\":{}", report.max_epoch);
+    let _ = write!(line, ",\"conformance\":\"{conformance}\"");
+    let _ = write!(line, ",\"recording\":\"{}\"", json_escape(&recording_path));
+    line.push('}');
+    Ok(line)
+}
+
+/// Keeps job-supplied ids safe as file names.
+fn sanitize(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Serves one batch: reads job lines from `input`, shards them across a
+/// worker pool, and streams result lines (completion order) plus a final
+/// summary line to `output`.
+///
+/// # Errors
+///
+/// Only output I/O errors abort the batch; per-job failures become
+/// `"error"` lines.
+pub fn serve<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    options: &ServeOptions,
+) -> std::io::Result<ServeSummary> {
+    let lines: Vec<String> = input
+        .lines()
+        .collect::<std::io::Result<Vec<String>>>()?
+        .into_iter()
+        .filter(|line| !line.trim().is_empty())
+        .collect();
+    let workers = if options.workers == 0 {
+        std::thread::available_parallelism().map_or(2, usize::from)
+    } else {
+        options.workers
+    }
+    .min(lines.len().max(1));
+
+    let sink = Mutex::new(output);
+    let next = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let io_failure: Mutex<Option<std::io::Error>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let Some(line) = lines.get(i) else { break };
+                let outcome = JobSpec::parse(line, i)
+                    .and_then(|spec| run_job(&spec, options.record_dir.as_deref()));
+                let rendered = match outcome {
+                    Ok(result) => {
+                        ok.fetch_add(1, Ordering::SeqCst);
+                        result
+                    }
+                    Err(error) => {
+                        failed.fetch_add(1, Ordering::SeqCst);
+                        format!(
+                            "{{\"type\":\"error\",\"job\":{i},\"error\":\"{}\"}}",
+                            json_escape(&error)
+                        )
+                    }
+                };
+                let mut guard = sink.lock().expect("output lock poisoned");
+                if let Err(e) = writeln!(guard, "{rendered}") {
+                    *io_failure.lock().expect("io failure lock poisoned") = Some(e);
+                    break;
+                }
+            });
+        }
+    });
+
+    if let Some(e) = io_failure.into_inner().expect("io failure lock poisoned") {
+        return Err(e);
+    }
+    let summary = ServeSummary {
+        jobs: lines.len(),
+        ok: ok.load(Ordering::SeqCst),
+        failed: failed.load(Ordering::SeqCst),
+    };
+    let mut guard = sink.into_inner().expect("output lock poisoned");
+    writeln!(
+        guard,
+        "{{\"type\":\"done\",\"jobs\":{},\"ok\":{},\"failed\":{}}}",
+        summary.jobs, summary.ok, summary.failed
+    )?;
+    guard.flush()?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{default_inputs, serve, JobSpec, ServeOptions, ServeSummary};
+    use crate::json::Value;
+    use anonring_core::algorithms::driver::Audited;
+    use anonring_net::Transport;
+
+    #[test]
+    fn job_lines_parse_with_defaults() {
+        let spec = JobSpec::parse(r#"{"algorithm":"sync_and","n":3}"#, 7).expect("parses");
+        assert_eq!(spec.id, "job-7");
+        assert_eq!(spec.algorithm, Audited::SyncAnd);
+        assert_eq!(spec.inputs, default_inputs(Audited::SyncAnd, 3));
+        assert_eq!(spec.options.transport, Transport::Threads);
+        assert!(spec.conformance);
+        assert_eq!(spec.options.timeout.as_millis(), 10_000);
+    }
+
+    #[test]
+    fn job_lines_honor_explicit_fields() {
+        let line = r#"{"id":"x1","algorithm":"orientation","n":4,"inputs":[1,0,1,1],
+            "seed":42,"capacity":2,"transport":"tcp","timeout_ms":500,"conformance":false}"#;
+        let spec = JobSpec::parse(&line.replace('\n', " "), 0).expect("parses");
+        assert_eq!(spec.id, "x1");
+        assert_eq!(spec.inputs, vec![1, 0, 1, 1]);
+        assert_eq!(spec.options.jitter_seed, 42);
+        assert_eq!(spec.options.capacity, 2);
+        assert_eq!(spec.options.transport, Transport::TcpLoopback);
+        assert_eq!(spec.options.timeout.as_millis(), 500);
+        assert!(!spec.conformance);
+    }
+
+    #[test]
+    fn malformed_jobs_are_named_errors() {
+        assert!(JobSpec::parse("{}", 0).unwrap_err().contains("algorithm"));
+        assert!(JobSpec::parse(r#"{"algorithm":"nope","n":3}"#, 0)
+            .unwrap_err()
+            .contains("unknown algorithm"));
+        assert!(JobSpec::parse(r#"{"algorithm":"sync_and"}"#, 0)
+            .unwrap_err()
+            .contains("ring size"));
+    }
+
+    #[test]
+    fn serve_streams_results_and_a_summary() {
+        let batch = concat!(
+            r#"{"id":"a","algorithm":"sync_and","n":3,"inputs":[1,1,1]}"#,
+            "\n",
+            r#"{"id":"b","algorithm":"async_input_dist","n":4}"#,
+            "\n",
+            r#"{"broken"#,
+            "\n"
+        );
+        let mut out = Vec::new();
+        let summary = serve(
+            batch.as_bytes(),
+            &mut out,
+            &ServeOptions {
+                workers: 2,
+                record_dir: None,
+            },
+        )
+        .expect("serves");
+        assert_eq!(
+            summary,
+            ServeSummary {
+                jobs: 3,
+                ok: 2,
+                failed: 1
+            }
+        );
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        for line in &lines {
+            Value::parse(line).expect("every emitted line is JSON");
+        }
+        let last = Value::parse(lines[3]).expect("summary");
+        assert_eq!(last.get("type").and_then(Value::as_str), Some("done"));
+        assert_eq!(last.get("ok").and_then(Value::as_u64), Some(2));
+        // The sync_and job of all-ones certifies and ANDs to 1.
+        let a = lines
+            .iter()
+            .map(|l| Value::parse(l).expect("json"))
+            .find(|v| v.get("id").and_then(Value::as_str) == Some("a"))
+            .expect("job a reported");
+        assert_eq!(
+            a.get("conformance").and_then(Value::as_str),
+            Some("certified")
+        );
+        let outputs = a.get("outputs").and_then(Value::as_array).expect("outputs");
+        assert_eq!(outputs.len(), 3);
+        assert!(
+            outputs.iter().all(|o| o.as_str() == Some("Bit(1)")),
+            "{outputs:?}"
+        );
+    }
+
+    #[test]
+    fn per_job_timeouts_fail_the_job_not_the_batch() {
+        // A 0 ms budget cannot finish; the job errors, the batch survives.
+        let batch = concat!(
+            r#"{"id":"t","algorithm":"sync_and","n":8,"timeout_ms":0}"#,
+            "\n",
+            r#"{"id":"fine","algorithm":"sync_and","n":3,"inputs":[1,1,1]}"#,
+            "\n"
+        );
+        let mut out = Vec::new();
+        let summary = serve(
+            batch.as_bytes(),
+            &mut out,
+            &ServeOptions {
+                workers: 1,
+                record_dir: None,
+            },
+        )
+        .expect("serves");
+        assert_eq!(summary.ok, 1);
+        assert_eq!(summary.failed, 1);
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("\"type\":\"error\""), "{text}");
+        assert!(text.contains("budget"), "{text}");
+    }
+
+    #[test]
+    fn recordings_land_in_the_record_dir() {
+        let dir = std::env::temp_dir().join("anonring-ringd-test-recordings");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let batch = r#"{"id":"rec/1","algorithm":"start_sync","n":3}"#;
+        let mut out = Vec::new();
+        let summary = serve(
+            batch.as_bytes(),
+            &mut out,
+            &ServeOptions {
+                workers: 1,
+                record_dir: Some(dir.clone()),
+            },
+        )
+        .expect("serves");
+        assert_eq!(summary.ok, 1);
+        let recorded = std::fs::read_to_string(dir.join("rec_1.jsonl")).expect("recording file");
+        assert!(recorded.contains("\"engine\":\"net\""), "{recorded}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -40,7 +40,8 @@ fn mixed_bits(n: usize) -> Vec<u8> {
 pub fn record_e1(n: usize) -> TelemetryArtifacts {
     let config = RingConfig::oriented(mixed_bits(n));
     let mut telemetry = Telemetry::new(n);
-    let mut recorder = FlightRecorder::new(n, format!("E1 async_input_dist n={n}"));
+    let mut recorder =
+        FlightRecorder::new(n, format!("E1 async_input_dist n={n}")).with_engine("sim-async");
     let mut engine = AsyncEngine::from_config(&config, |_, &input| AsyncInputDist::new(n, input));
     {
         let mut fan = FanOut::new().with(&mut telemetry).with(&mut recorder);
@@ -61,7 +62,8 @@ pub fn record_e1(n: usize) -> TelemetryArtifacts {
 pub fn record_e3(n: usize) -> TelemetryArtifacts {
     let config = RingConfig::oriented(mixed_bits(n));
     let mut telemetry = Telemetry::new(n);
-    let mut recorder = FlightRecorder::new(n, format!("E3 sync_input_dist n={n}"));
+    let mut recorder =
+        FlightRecorder::new(n, format!("E3 sync_input_dist n={n}")).with_engine("sim-sync");
     let mut engine = SyncEngine::from_config(&config, |_, &input| SyncInputDist::new(n, input));
     {
         let mut fan = FanOut::new().with(&mut telemetry).with(&mut recorder);

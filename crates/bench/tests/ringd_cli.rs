@@ -1,0 +1,131 @@
+//! End-to-end test of the `ringd` job server binary: a small batch over
+//! stdin produces one result line per job, a `"done"` summary, per-job
+//! flight recordings that the `tracer` CLI replays (critical path
+//! included), and a nonzero exit when a job fails.
+
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+use anonring_bench::json::Value;
+use anonring_sim::telemetry::{CausalDag, PathWeight, Recording};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn ringd(args: &[&str], batch: &str) -> Output {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ringd"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ringd");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(batch.as_bytes())
+        .expect("write batch");
+    child.wait_with_output().expect("ringd exits")
+}
+
+#[test]
+fn a_batch_streams_certified_results_and_replayable_recordings() {
+    let dir = scratch_dir("ringd-batch");
+    let batch = concat!(
+        r#"{"id":"and","algorithm":"sync_and","n":4,"inputs":[1,1,1,1]}"#,
+        "\n",
+        r#"{"id":"dist","algorithm":"async_input_dist","n":5,"seed":7,"transport":"tcp"}"#,
+        "\n",
+        r#"{"id":"orient","algorithm":"orientation","n":4}"#,
+        "\n"
+    );
+    let out = ringd(
+        &[
+            "--workers",
+            "2",
+            "--record-dir",
+            dir.to_str().expect("utf8 path"),
+        ],
+        batch,
+    );
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let lines: Vec<Value> = stdout
+        .lines()
+        .map(|l| Value::parse(l).unwrap_or_else(|e| panic!("bad line {l:?}: {e}")))
+        .collect();
+    assert_eq!(lines.len(), 4, "{stdout}");
+    let done = lines.last().expect("summary line");
+    assert_eq!(done.get("type").and_then(Value::as_str), Some("done"));
+    assert_eq!(done.get("ok").and_then(Value::as_u64), Some(3));
+    assert_eq!(done.get("failed").and_then(Value::as_u64), Some(0));
+    for line in &lines[..3] {
+        assert_eq!(line.get("type").and_then(Value::as_str), Some("result"));
+        assert_eq!(
+            line.get("conformance").and_then(Value::as_str),
+            Some("certified")
+        );
+    }
+
+    // Every job left a v2 recording that parses (causal check included),
+    // carries the net engine stamp, and yields a critical path.
+    for id in ["and", "dist", "orient"] {
+        let path = dir.join(format!("{id}.jsonl"));
+        let jsonl =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let rec = Recording::parse_jsonl(&jsonl).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(rec.engine, "net", "{id}");
+        let dag = CausalDag::from_recording(&rec).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert!(dag.critical_path(PathWeight::Hops).is_some(), "{id}");
+
+        // The tracer CLI consumes the wire recording unchanged.
+        let tracer = Command::new(env!("CARGO_BIN_EXE_tracer"))
+            .args([
+                path.to_str().expect("utf8 path"),
+                "summary",
+                "critical-path",
+            ])
+            .output()
+            .expect("spawn tracer");
+        assert!(tracer.status.success(), "{id}");
+        let text = String::from_utf8(tracer.stdout).expect("utf8");
+        assert!(text.contains("engine:     net"), "{id}: {text}");
+        assert!(text.contains("critical path"), "{id}: {text}");
+    }
+}
+
+#[test]
+fn failed_jobs_surface_on_stdout_and_in_the_exit_code() {
+    let batch = concat!(
+        r#"{"id":"bad","algorithm":"no_such_algorithm","n":3}"#,
+        "\n",
+        r#"{"id":"good","algorithm":"start_sync","n":3}"#,
+        "\n"
+    );
+    let out = ringd(&["--workers", "1"], batch);
+    assert!(!out.status.success(), "a failed job must fail the batch");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("\"type\":\"error\""), "{stdout}");
+    assert!(stdout.contains("unknown algorithm"), "{stdout}");
+    assert!(stdout.contains("\"id\":\"good\""), "{stdout}");
+    assert!(stdout.contains("\"failed\":1"), "{stdout}");
+}
+
+#[test]
+fn unknown_flags_exit_with_usage() {
+    let out = ringd(&["--bogus"], "");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("usage"), "{stderr}");
+}

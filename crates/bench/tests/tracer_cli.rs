@@ -159,8 +159,10 @@ fn lint_cli_flags_a_seeded_violation_and_passes_a_clean_tree() {
     let root = scratch_dir("lint-seeded");
     let algos = root.join("crates/core/src/algorithms");
     let sim = root.join("crates/sim/src");
+    let net = root.join("crates/net/src");
     std::fs::create_dir_all(&algos).expect("mkdir");
     std::fs::create_dir_all(&sim).expect("mkdir");
+    std::fs::create_dir_all(&net).expect("mkdir");
     std::fs::write(
         algos.join("bad.rs"),
         "fn make(config: &C) { E::from_config(config, |i, v| P::new(i, v)); }\n",

@@ -1,0 +1,379 @@
+//! Engine-agnostic job driver over the audited §4 algorithms.
+//!
+//! Every execution substrate in the workspace — the synchronous and
+//! asynchronous simulators, and the real-transport `anonring_net` runtime —
+//! drives processes through the same [`AsyncProcess`] interface. This
+//! module packages the five complexity-audited algorithms behind one
+//! uniform process type, [`JobProc`], so a job description of the form
+//! *(algorithm, n, inputs)* can be instantiated once and then run by **any**
+//! engine: the `ringd` job server executes it on real threads while the
+//! conformance oracle re-executes the identical construction under the
+//! async simulator.
+//!
+//! Synchronous algorithms are lifted through the §3 α-synchronizer
+//! ([`Synchronized`]), exactly as the audit harness runs them in the
+//! asynchronous model; the §4.1 input distribution is natively
+//! asynchronous. Because each processor is constructed from the same
+//! `(algorithm, n, input)` data with no index in sight, the anonymity model
+//! is preserved: two engines given the same job build indistinguishable
+//! rings.
+
+use core::fmt;
+
+use anonring_sim::message::Message;
+use anonring_sim::r#async::{Actions, AsyncProcess};
+use anonring_sim::synchronizer::{Envelope, Synchronized};
+use anonring_sim::{Port, RingTopology};
+
+use crate::algorithms::async_input_dist::{AsyncInputDist, DistMsg};
+use crate::algorithms::orientation::{OrientMsg, OrientationProc};
+use crate::algorithms::start_sync::StartSync;
+use crate::algorithms::sync_and::SyncAnd;
+use crate::algorithms::sync_input_dist::{IdMsg, SyncInputDist};
+use crate::view::RingView;
+
+/// The five algorithms under the complexity audit, by their audit-table
+/// names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Audited {
+    /// §4.1 asynchronous input distribution (`n(n−1)` messages).
+    AsyncInputDist,
+    /// Figure 2 synchronous input distribution (`O(n log n)` bits).
+    SyncInputDist,
+    /// Figure 4 ring orientation.
+    Orientation,
+    /// Figure 5 start synchronization.
+    StartSync,
+    /// §4.2 AND of the input bits.
+    SyncAnd,
+}
+
+impl Audited {
+    /// All audited algorithms, in audit-table order.
+    pub const ALL: [Audited; 5] = [
+        Audited::AsyncInputDist,
+        Audited::SyncInputDist,
+        Audited::Orientation,
+        Audited::StartSync,
+        Audited::SyncAnd,
+    ];
+
+    /// The audit-table name (`"async_input_dist"`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Audited::AsyncInputDist => "async_input_dist",
+            Audited::SyncInputDist => "sync_input_dist",
+            Audited::Orientation => "orientation",
+            Audited::StartSync => "start_sync",
+            Audited::SyncAnd => "sync_and",
+        }
+    }
+
+    /// Parses an audit-table name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Audited> {
+        Audited::ALL.into_iter().find(|a| a.name() == name)
+    }
+
+    /// Whether per-processor inputs must be `{0,1}` bits for this
+    /// algorithm (`async_input_dist` takes arbitrary bytes; `start_sync`
+    /// ignores inputs entirely).
+    #[must_use]
+    pub fn wants_bit_inputs(self) -> bool {
+        matches!(
+            self,
+            Audited::SyncInputDist | Audited::Orientation | Audited::SyncAnd
+        )
+    }
+
+    /// The ring wiring a job of this algorithm runs on. All algorithms run
+    /// on the oriented ring except `orientation`, whose whole point is a
+    /// scrambled ring: its inputs double as the per-processor orientation
+    /// bits, mirroring the audit harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError`] on an invalid job shape.
+    pub fn topology(self, n: usize, inputs: &[u8]) -> Result<RingTopology, DriverError> {
+        validate(self, n, inputs)?;
+        let topology = match self {
+            Audited::Orientation => RingTopology::from_bits(inputs),
+            _ => RingTopology::oriented(n),
+        };
+        topology.map_err(|e| DriverError::BadJob {
+            message: format!("topology construction failed: {e}"),
+        })
+    }
+
+    /// Builds the `n` identical processes of a job. Deterministic in
+    /// `(self, n, inputs)`: every engine handed this vector runs the same
+    /// computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError`] on an invalid job shape.
+    pub fn procs(self, n: usize, inputs: &[u8]) -> Result<Vec<JobProc>, DriverError> {
+        validate(self, n, inputs)?;
+        Ok(inputs
+            .iter()
+            .map(|&input| match self {
+                Audited::AsyncInputDist => JobProc::Dist(AsyncInputDist::new(n, input)),
+                Audited::SyncInputDist => {
+                    JobProc::SyncDist(Box::new(Synchronized::new(SyncInputDist::new(n, input))))
+                }
+                // The orientation bits live in the topology; the process
+                // itself is input-free.
+                Audited::Orientation => JobProc::Orient(Synchronized::new(OrientationProc::new(n))),
+                Audited::StartSync => JobProc::Start(Synchronized::new(StartSync::new(n))),
+                Audited::SyncAnd => JobProc::And(Synchronized::new(SyncAnd::new(n, input))),
+            })
+            .collect())
+    }
+}
+
+impl fmt::Display for Audited {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn validate(algorithm: Audited, n: usize, inputs: &[u8]) -> Result<(), DriverError> {
+    if n < 2 {
+        return Err(DriverError::BadJob {
+            message: format!("ring size {n} below the model minimum of 2"),
+        });
+    }
+    if inputs.len() != n {
+        return Err(DriverError::BadJob {
+            message: format!("{} inputs for a ring of {n}", inputs.len()),
+        });
+    }
+    let needs_bits = algorithm.wants_bit_inputs() || algorithm == Audited::Orientation;
+    if needs_bits {
+        if let Some(bad) = inputs.iter().find(|&&b| b > 1) {
+            return Err(DriverError::BadJob {
+                message: format!("{algorithm} takes {{0,1}} inputs, got {bad}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// An invalid job description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The (algorithm, n, inputs) triple does not describe a runnable job.
+    BadJob {
+        /// What is wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::BadJob { message } => write!(f, "bad job: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// One ring processor of a job: the audited algorithm behind a uniform
+/// message/output alphabet, runnable by any [`AsyncProcess`] engine.
+#[derive(Debug)]
+pub enum JobProc {
+    /// §4.1 asynchronous input distribution.
+    Dist(AsyncInputDist<u8>),
+    /// Figure 2 input distribution, synchronized (boxed: its state machine
+    /// dwarfs the other variants).
+    SyncDist(Box<Synchronized<SyncInputDist>>),
+    /// Figure 4 orientation, synchronized.
+    Orient(Synchronized<OrientationProc>),
+    /// Figure 5 start synchronization, synchronized.
+    Start(Synchronized<StartSync>),
+    /// §4.2 AND, synchronized.
+    And(Synchronized<SyncAnd>),
+}
+
+/// The uniform message alphabet of [`JobProc`]: each variant wraps one
+/// algorithm's wire type and delegates its accounted [`Message::bit_len`]
+/// unchanged, so metered costs are identical to running the algorithm
+/// directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobMsg {
+    /// §4.1 distribution message.
+    Dist(DistMsg<u8>),
+    /// Synchronizer envelope around a Figure 2 message.
+    SyncDist(Envelope<IdMsg>),
+    /// Synchronizer envelope around a Figure 4 message.
+    Orient(Envelope<OrientMsg>),
+    /// Synchronizer envelope around a Figure 5 wake count.
+    Start(Envelope<u64>),
+    /// Synchronizer envelope around the AND token.
+    And(Envelope<()>),
+}
+
+impl Message for JobMsg {
+    fn bit_len(&self) -> usize {
+        match self {
+            JobMsg::Dist(m) => m.bit_len(),
+            JobMsg::SyncDist(m) => m.bit_len(),
+            JobMsg::Orient(m) => m.bit_len(),
+            JobMsg::Start(m) => m.bit_len(),
+            JobMsg::And(m) => m.bit_len(),
+        }
+    }
+}
+
+/// The uniform output alphabet of [`JobProc`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// A reconstructed ring view (both input-distribution algorithms).
+    View(RingView<u8>),
+    /// The orientation verdict.
+    Oriented(bool),
+    /// The synchronized clock value.
+    Clock(u64),
+    /// The AND of the input bits.
+    Bit(u8),
+}
+
+/// Lifts one algorithm's emission into the job alphabet, preserving sends
+/// (order and ports), halt, and the telemetry span untouched.
+fn lift<M, O>(
+    actions: Actions<M, O>,
+    msg: impl Fn(M) -> JobMsg,
+    out: impl Fn(O) -> JobOutput,
+) -> Actions<JobMsg, JobOutput> {
+    Actions {
+        sends: actions
+            .sends
+            .into_iter()
+            .map(|(port, m)| (port, msg(m)))
+            .collect(),
+        halt: actions.halt.map(out),
+        span: actions.span,
+    }
+}
+
+impl AsyncProcess for JobProc {
+    type Msg = JobMsg;
+    type Output = JobOutput;
+
+    fn on_start(&mut self) -> Actions<JobMsg, JobOutput> {
+        match self {
+            JobProc::Dist(p) => lift(p.on_start(), JobMsg::Dist, JobOutput::View),
+            JobProc::SyncDist(p) => lift(p.on_start(), JobMsg::SyncDist, JobOutput::View),
+            JobProc::Orient(p) => lift(p.on_start(), JobMsg::Orient, JobOutput::Oriented),
+            JobProc::Start(p) => lift(p.on_start(), JobMsg::Start, JobOutput::Clock),
+            JobProc::And(p) => lift(p.on_start(), JobMsg::And, JobOutput::Bit),
+        }
+    }
+
+    fn on_message(&mut self, from: Port, msg: JobMsg) -> Actions<JobMsg, JobOutput> {
+        // A ring is built from one `Audited` variant, so every message a
+        // processor receives is of its own algorithm's alphabet.
+        match (self, msg) {
+            (JobProc::Dist(p), JobMsg::Dist(m)) => {
+                lift(p.on_message(from, m), JobMsg::Dist, JobOutput::View)
+            }
+            (JobProc::SyncDist(p), JobMsg::SyncDist(m)) => {
+                lift(p.on_message(from, m), JobMsg::SyncDist, JobOutput::View)
+            }
+            (JobProc::Orient(p), JobMsg::Orient(m)) => {
+                lift(p.on_message(from, m), JobMsg::Orient, JobOutput::Oriented)
+            }
+            (JobProc::Start(p), JobMsg::Start(m)) => {
+                lift(p.on_message(from, m), JobMsg::Start, JobOutput::Clock)
+            }
+            (JobProc::And(p), JobMsg::And(m)) => {
+                lift(p.on_message(from, m), JobMsg::And, JobOutput::Bit)
+            }
+            (proc, msg) => {
+                unreachable!("homogeneous ring: {proc:?} cannot receive a {msg:?} message")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Audited, DriverError, JobOutput, JobProc};
+    use anonring_sim::r#async::{AsyncEngine, RandomScheduler, SynchronizingScheduler};
+
+    fn bits(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 2654435761) >> 7 & 1) as u8).collect()
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for algorithm in Audited::ALL {
+            assert_eq!(Audited::from_name(algorithm.name()), Some(algorithm));
+        }
+        assert_eq!(Audited::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn job_shapes_are_validated() {
+        let bad = Audited::SyncAnd.procs(4, &[0, 1, 2, 1]).unwrap_err();
+        assert!(matches!(bad, DriverError::BadJob { .. }), "{bad}");
+        assert!(Audited::SyncAnd.procs(1, &[1]).is_err());
+        assert!(Audited::AsyncInputDist.procs(3, &[9, 9]).is_err(), "len");
+        // Arbitrary bytes are fine for the §4.1 distribution.
+        assert!(Audited::AsyncInputDist.procs(2, &[200, 9]).is_ok());
+    }
+
+    /// Each packaged algorithm halts under the async engine with outputs of
+    /// the expected variant, and its message count matches running the raw
+    /// algorithm — the wrapper adds no traffic.
+    #[test]
+    fn packaged_algorithms_run_and_agree_across_schedules() {
+        for algorithm in Audited::ALL {
+            for n in [2usize, 5] {
+                let inputs = bits(n);
+                let topology = algorithm.topology(n, &inputs).unwrap();
+                let run = |procs: Vec<JobProc>, seed: Option<u64>| {
+                    let mut engine = AsyncEngine::new(topology.clone(), procs).unwrap();
+                    match seed {
+                        None => engine.run(&mut SynchronizingScheduler),
+                        Some(s) => engine.run(&mut RandomScheduler::new(s)),
+                    }
+                    .unwrap_or_else(|e| panic!("{algorithm} n={n}: {e}"))
+                };
+                let base = run(algorithm.procs(n, &inputs).unwrap(), None);
+                for output in base.outputs() {
+                    let ok = match algorithm {
+                        Audited::AsyncInputDist | Audited::SyncInputDist => {
+                            matches!(output, JobOutput::View(_))
+                        }
+                        Audited::Orientation => matches!(output, JobOutput::Oriented(_)),
+                        Audited::StartSync => matches!(output, JobOutput::Clock(_)),
+                        Audited::SyncAnd => matches!(output, JobOutput::Bit(_)),
+                    };
+                    assert!(ok, "{algorithm} n={n}: {output:?}");
+                }
+                // Schedule independence carries over to the packaged form.
+                for seed in [1u64, 7] {
+                    let other = run(algorithm.procs(n, &inputs).unwrap(), Some(seed));
+                    assert_eq!(other.outputs(), base.outputs(), "{algorithm} n={n}");
+                    assert_eq!(other.messages, base.messages, "{algorithm} n={n}");
+                    assert_eq!(other.bits, base.bits, "{algorithm} n={n}");
+                }
+            }
+        }
+    }
+
+    /// The wrapper must not distort the §4.1 cost: exactly n(n−1) messages.
+    #[test]
+    fn packaged_async_input_dist_keeps_the_quadratic_count() {
+        let n = 6;
+        let inputs = bits(n);
+        let topology = Audited::AsyncInputDist.topology(n, &inputs).unwrap();
+        let procs = Audited::AsyncInputDist.procs(n, &inputs).unwrap();
+        let mut engine = AsyncEngine::new(topology, procs).unwrap();
+        let report = engine.run(&mut SynchronizingScheduler).unwrap();
+        assert_eq!(report.messages, (n * (n - 1)) as u64);
+    }
+}

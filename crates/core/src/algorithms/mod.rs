@@ -3,6 +3,7 @@
 pub mod alternating;
 pub mod async_input_dist;
 pub mod compute;
+pub mod driver;
 pub mod orientation;
 pub mod start_sync;
 pub mod start_sync_bits;

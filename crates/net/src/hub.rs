@@ -1,0 +1,325 @@
+//! The metering hub: one lock, one meter, one event log.
+//!
+//! The simulators funnel every send through `LinkFabric::send`, so the
+//! message, bit and per-epoch numbers have exactly one definition. The real
+//! transport keeps that property with the [`Hub`]: every worker thread
+//! reports each send, delivery and halt to the hub, which assigns the
+//! global send sequence number, meters the cost, and appends the
+//! [`TraceEvent`] — all inside a single critical section per event, so the
+//! recorded stream satisfies the same causal-ordering invariants
+//! (seq-in-file-order, parent-before-child, send-before-deliver) the
+//! flight-recorder checker enforces on simulator recordings.
+//!
+//! The hub also owns the ring wiring. Workers speak only in terms of their
+//! local ports; the hub routes a send to the destination inbox and arrival
+//! port. This is the **substrate** side of the anonymity boundary — the
+//! same place `LinkFabric` sits in the simulators — which is why the
+//! topology lookup below carries the lint exemption the simulator runtime
+//! enjoys by location.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use anonring_sim::runtime::{CausalStamp, CostMeter, SendEvent, Span, TraceEvent};
+use anonring_sim::{Port, RingTopology};
+
+/// Destination of one directed link: receiving processor and its local
+/// arrival port.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LinkEnd {
+    /// Receiving processor index.
+    pub to: usize,
+    /// The receiver's local port the message shows up on.
+    pub arrival: Port,
+}
+
+/// Mutable run state, guarded by the hub's single mutex.
+struct HubInner {
+    meter: CostMeter,
+    events: Vec<TraceEvent>,
+    next_seq: u64,
+    /// Sends routed but not yet delivered (or dropped).
+    in_flight: u64,
+    /// Processors that have halted.
+    halted: usize,
+    /// Workers currently parked with an empty inbox.
+    waiting: usize,
+    /// All processors halted and no message in flight.
+    done: bool,
+    /// Quiescent (nothing in flight, everyone parked) but not all halted —
+    /// the transport analogue of `SimError::QuiescentWithoutHalt`.
+    stalled: bool,
+    /// The coordinator gave up (deadline or external abort).
+    cancelled: bool,
+}
+
+/// Terminal state of a run, as observed by the coordinator.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Outcome {
+    /// Every processor halted and the links drained.
+    pub done: bool,
+    /// Quiescent without all processors halting.
+    pub stalled: bool,
+    /// Deadline elapsed first.
+    pub cancelled: bool,
+    /// Processors halted by the end.
+    pub halted: usize,
+}
+
+/// Shared run coordinator: wiring, meter, trace log and termination state.
+pub(crate) struct Hub {
+    n: usize,
+    /// `wiring[from][pidx(local port)]` — fixed for the run.
+    wiring: Vec<[LinkEnd; 2]>,
+    inner: Mutex<HubInner>,
+    /// Signalled on every state change that could end the run.
+    progress: Condvar,
+}
+
+impl Hub {
+    /// Builds the hub for `topology`, resolving every directed link once.
+    pub(crate) fn new(topology: &RingTopology) -> Hub {
+        let wiring = (0..topology.n())
+            .map(|i| {
+                [Port::Left, Port::Right].map(|port| {
+                    // anonlint: allow(anonymity-breach) -- substrate wiring: the hub realises the ring like LinkFabric does; algorithms only ever see local ports
+                    let (to, arrival) = topology.neighbor(i, port);
+                    LinkEnd { to, arrival }
+                })
+            })
+            .collect();
+        Hub {
+            n: topology.n(),
+            wiring,
+            inner: Mutex::new(HubInner {
+                meter: CostMeter::new(),
+                events: Vec::new(),
+                next_seq: 0,
+                in_flight: 0,
+                halted: 0,
+                waiting: 0,
+                done: false,
+                stalled: false,
+                cancelled: false,
+            }),
+            progress: Condvar::new(),
+        }
+    }
+
+    /// The two outgoing link ends of processor `from`, indexed by
+    /// [`crate::inbox::pidx`] of the local send port.
+    pub(crate) fn links_of(&self, from: usize) -> [LinkEnd; 2] {
+        self.wiring[from]
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HubInner> {
+        self.inner.lock().expect("hub lock poisoned")
+    }
+
+    /// Meters one send by `from` on its local `port` and logs the
+    /// [`TraceEvent::Send`]; returns the causal stamp the parcel carries.
+    /// Seq assignment and event append happen atomically, so seqs appear
+    /// in increasing order in the recorded stream.
+    #[allow(clippy::too_many_arguments)] // the full send metadata, same shape as the fabric's SendMeta
+    pub(crate) fn route_send(
+        &self,
+        from: usize,
+        port: Port,
+        bits: usize,
+        time: u64,
+        lamport: u64,
+        parent: Option<u64>,
+        span: Option<Span>,
+    ) -> CausalStamp {
+        let end = self.wiring[from][crate::inbox::pidx(port)];
+        let mut inner = self.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.in_flight += 1;
+        inner.meter.record_send(time, bits);
+        inner.events.push(TraceEvent::Send(SendEvent {
+            cycle: time,
+            from,
+            to: end.to,
+            port: end.arrival,
+            bits,
+            seq,
+            lamport,
+            parent,
+            span,
+        }));
+        CausalStamp {
+            seq,
+            lamport,
+            parent,
+        }
+    }
+
+    /// Meters one delivery (or drop, when the receiver already halted) and
+    /// logs the [`TraceEvent::Deliver`].
+    pub(crate) fn deliver(&self, time: u64, to: usize, port: Port, seq: u64, dropped: bool) {
+        let mut inner = self.lock();
+        inner.meter.record_delivery();
+        if dropped {
+            inner.meter.record_drop();
+        }
+        inner.events.push(TraceEvent::Deliver {
+            time,
+            to,
+            port,
+            seq,
+            dropped,
+        });
+        inner.in_flight -= 1;
+        self.check_done(&mut inner);
+    }
+
+    /// Logs a processor's halt.
+    pub(crate) fn halt(&self, processor: usize, time: u64) {
+        let mut inner = self.lock();
+        inner.events.push(TraceEvent::Halt { time, processor });
+        inner.halted += 1;
+        self.check_done(&mut inner);
+    }
+
+    /// Records that a worker is parking on an empty inbox. If every worker
+    /// is now parked with nothing in flight, the run has terminated —
+    /// successfully if everyone halted, as a stall otherwise.
+    pub(crate) fn enter_wait(&self) {
+        let mut inner = self.lock();
+        inner.waiting += 1;
+        if inner.waiting == self.n && inner.in_flight == 0 && !inner.done && !inner.cancelled {
+            if inner.halted < self.n {
+                inner.stalled = true;
+            }
+            inner.done = true;
+            self.progress.notify_all();
+        }
+    }
+
+    /// Records that a parked worker woke up again.
+    pub(crate) fn exit_wait(&self) {
+        self.lock().waiting -= 1;
+    }
+
+    /// Whether the run has reached a terminal state (done, stalled or
+    /// cancelled) — workers poll this to know when to exit.
+    pub(crate) fn is_over(&self) -> bool {
+        let inner = self.lock();
+        inner.done || inner.cancelled
+    }
+
+    /// Aborts the run (deadline or external cancellation).
+    pub(crate) fn cancel(&self) {
+        let mut inner = self.lock();
+        inner.cancelled = true;
+        self.progress.notify_all();
+    }
+
+    fn check_done(&self, inner: &mut HubInner) {
+        if inner.halted == self.n && inner.in_flight == 0 && !inner.done {
+            inner.done = true;
+            self.progress.notify_all();
+        }
+    }
+
+    /// Blocks the coordinator until the run terminates or `deadline`
+    /// passes; a missed deadline cancels the run.
+    pub(crate) fn await_outcome(&self, deadline: Instant) -> Outcome {
+        let mut inner = self.lock();
+        loop {
+            if inner.done || inner.cancelled {
+                return Outcome {
+                    done: inner.done,
+                    stalled: inner.stalled,
+                    cancelled: inner.cancelled,
+                    halted: inner.halted,
+                };
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                inner.cancelled = true;
+                self.progress.notify_all();
+                return Outcome {
+                    done: false,
+                    stalled: false,
+                    cancelled: true,
+                    halted: inner.halted,
+                };
+            }
+            (inner, _) = self
+                .progress
+                .wait_timeout(inner, (deadline - now).min(Duration::from_millis(20)))
+                .expect("hub lock poisoned");
+        }
+    }
+
+    /// Consumes the hub, yielding the meter and the recorded event stream.
+    pub(crate) fn into_parts(self) -> (CostMeter, Vec<TraceEvent>) {
+        let inner = self.inner.into_inner().expect("hub lock poisoned");
+        (inner.meter, inner.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Hub;
+    use anonring_sim::{Port, RingTopology};
+    use std::time::{Duration, Instant};
+
+    fn hub(n: usize) -> Hub {
+        Hub::new(&RingTopology::oriented(n).expect("n >= 2"))
+    }
+
+    #[test]
+    fn wiring_matches_the_topology() {
+        let h = hub(3);
+        let right = h.links_of(0)[crate::inbox::pidx(Port::Right)];
+        assert_eq!((right.to, right.arrival), (1, Port::Left));
+        let left = h.links_of(0)[crate::inbox::pidx(Port::Left)];
+        assert_eq!((left.to, left.arrival), (2, Port::Right));
+    }
+
+    #[test]
+    fn seqs_are_assigned_in_event_log_order() {
+        let h = hub(2);
+        let a = h.route_send(0, Port::Right, 4, 1, 1, None, None);
+        let b = h.route_send(1, Port::Right, 4, 1, 1, None, None);
+        assert_eq!((a.seq, b.seq), (0, 1));
+        let (meter, events) = h.into_parts();
+        assert_eq!(meter.messages, 2);
+        assert_eq!(meter.bits, 8);
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn run_completes_when_all_halt_and_links_drain() {
+        let h = hub(2);
+        let s = h.route_send(0, Port::Right, 1, 1, 1, None, None);
+        h.halt(0, 0);
+        h.halt(1, 0);
+        assert!(!h.is_over(), "a message is still in flight");
+        h.deliver(1, 1, Port::Left, s.seq, true);
+        assert!(h.is_over());
+        let outcome = h.await_outcome(Instant::now() + Duration::from_secs(1));
+        assert!(outcome.done && !outcome.stalled && !outcome.cancelled);
+        assert_eq!(outcome.halted, 2);
+    }
+
+    #[test]
+    fn full_quiescence_without_halts_is_a_stall() {
+        let h = hub(2);
+        h.enter_wait();
+        h.enter_wait();
+        let outcome = h.await_outcome(Instant::now() + Duration::from_secs(1));
+        assert!(outcome.done && outcome.stalled);
+    }
+
+    #[test]
+    fn a_missed_deadline_cancels_the_run() {
+        let h = hub(2);
+        let outcome = h.await_outcome(Instant::now());
+        assert!(outcome.cancelled && !outcome.done);
+        assert!(h.is_over());
+    }
+}

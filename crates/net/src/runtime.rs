@@ -1,0 +1,526 @@
+//! The real-transport runtime: one OS thread per ring processor.
+//!
+//! This is a third driver over the same algorithm interface the simulators
+//! use: processes implement [`AsyncProcess`] and never learn which
+//! substrate runs them. Each processor becomes a worker thread with a
+//! bounded two-queue [`crate::inbox::Inbox`] (one FIFO per local port);
+//! workers deliver from their own inbox, react, and push the reactions
+//! into their neighbours' inboxes. Every send, delivery and halt is
+//! metered and logged by the shared [`crate::hub::Hub`], so a net run
+//! yields the same message/bit accounting and the same causal
+//! [`TraceEvent`] stream as a simulated one.
+//!
+//! ## Backpressure without deadlock
+//!
+//! Queues are bounded, so a send into a full queue blocks. A ring of
+//! processors all sending "forward" can then block in a full cycle — the
+//! classical ring deadlock. The runtime breaks it structurally: while a
+//! worker is blocked on a send it keeps *draining its own inbox* into its
+//! local staging queues (which frees its neighbour's send). Draining never
+//! consumes a message mid-send — delivery order within a link is preserved
+//! — so per-link FIFO still holds, and some worker on any blocked cycle
+//! always has a drainable message.
+//!
+//! ## Time and termination
+//!
+//! Sends are stamped with Theorem 5.1's bookkeeping (arrival epoch =
+//! sender's event epoch + 1), exactly like the async simulator. The run
+//! ends when every processor has halted and no message is in flight;
+//! full quiescence with a processor still running reproduces the
+//! simulator's `QuiescentWithoutHalt` error; a wall-clock deadline guards
+//! against livelock and is reported as [`NetError::Timeout`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use anonring_sim::message::Message;
+use anonring_sim::r#async::{Actions, AsyncProcess};
+use anonring_sim::runtime::{CausalClocks, Observer, TraceEvent};
+use anonring_sim::{Port, RingTopology};
+
+use crate::hub::{Hub, Outcome};
+use crate::inbox::{pidx, Inbox, Parcel, PushOutcome, WorkOutcome};
+use crate::jitter::Jitter;
+use crate::wire::Wire;
+
+/// How the ring's links are realised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// In-process: one OS thread per processor, links are bounded
+    /// channels. No serialization; any message type runs.
+    Threads,
+    /// One OS thread per processor, each directed link a TCP connection
+    /// over loopback; messages cross the wire via their [`Wire`] encoding.
+    TcpLoopback,
+}
+
+impl Transport {
+    /// Stable name, as used by the `ringd` job schema.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Threads => "threads",
+            Transport::TcpLoopback => "tcp",
+        }
+    }
+
+    /// Parses [`Transport::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Transport> {
+        match name {
+            "threads" => Some(Transport::Threads),
+            "tcp" => Some(Transport::TcpLoopback),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Transport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tuning knobs of a net run.
+#[derive(Debug, Clone)]
+pub struct NetOptions {
+    /// Per-port inbox capacity (≥ 1): how many undelivered messages one
+    /// directed link buffers before the sender blocks.
+    pub capacity: usize,
+    /// Seed of the deterministic delivery jitter (which local port a
+    /// worker consumes from when both have pending messages).
+    pub jitter_seed: u64,
+    /// Upper bound, in microseconds, of the random per-delivery sleep
+    /// modelling link delay. `0` (default) never sleeps.
+    pub max_delay_us: u64,
+    /// Link realisation.
+    pub transport: Transport,
+    /// Wall-clock budget; exceeding it aborts with [`NetError::Timeout`].
+    pub timeout: Duration,
+}
+
+impl Default for NetOptions {
+    fn default() -> NetOptions {
+        NetOptions {
+            capacity: 8,
+            jitter_seed: 0,
+            max_delay_us: 0,
+            transport: Transport::Threads,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of a completed net run: the same cost accounting as an
+/// `AsyncReport`, plus the recorded [`TraceEvent`] stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetReport<O> {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total bits sent.
+    pub bits: u64,
+    /// Total deliveries performed (drops included).
+    pub deliveries: u64,
+    /// Messages that arrived at an already-halted processor.
+    pub dropped: u64,
+    /// Highest arrival epoch of any send. **Interleaving-dependent**:
+    /// real threads batch differently than the simulator's adversaries,
+    /// so only `messages`/`bits`/outputs are conformance-comparable.
+    pub max_epoch: u64,
+    /// Messages per arrival epoch (interleaving-dependent, like
+    /// [`NetReport::max_epoch`]).
+    pub per_epoch_messages: Vec<u64>,
+    outputs: Vec<O>,
+    events: Vec<TraceEvent>,
+}
+
+impl<O> NetReport<O> {
+    /// The ring output `O(1), …, O(n)`.
+    #[must_use]
+    pub fn outputs(&self) -> &[O] {
+        &self.outputs
+    }
+
+    /// Consumes the report, returning the ring output.
+    #[must_use]
+    pub fn into_outputs(self) -> Vec<O> {
+        self.outputs
+    }
+
+    /// The recorded event stream, in hub (= global causal) order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Replays the recorded events into `observer` — the bridge to every
+    /// simulator-side consumer (flight recorder, telemetry registry,
+    /// space-time trace).
+    pub fn replay(&self, observer: &mut impl Observer) {
+        for event in &self.events {
+            observer.on_event(event);
+        }
+    }
+}
+
+/// A failed net run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// `procs.len()` does not match the ring size.
+    LengthMismatch {
+        /// The ring size.
+        expected: usize,
+        /// The process count provided.
+        actual: usize,
+    },
+    /// The wall-clock budget elapsed before termination (livelock, or a
+    /// budget too tight for the configured jitter delays).
+    Timeout {
+        /// The configured budget, in milliseconds.
+        timeout_ms: u64,
+        /// Processors that had halted by the deadline.
+        halted: usize,
+    },
+    /// Every link drained and every worker idled, but some processors
+    /// never halted — the transport analogue of the simulator's
+    /// `QuiescentWithoutHalt` (an algorithm deadlock).
+    QuiescentWithoutHalt {
+        /// How many processors were still running.
+        running: usize,
+    },
+    /// A worker thread panicked (an algorithm bug; the panic message goes
+    /// to stderr).
+    WorkerPanic {
+        /// The processor whose worker died.
+        processor: usize,
+    },
+    /// A transport-level I/O failure (TCP mode).
+    Io {
+        /// The underlying error, rendered.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} processes, got {actual}")
+            }
+            NetError::Timeout { timeout_ms, halted } => write!(
+                f,
+                "run exceeded its {timeout_ms} ms budget ({halted} processors halted)"
+            ),
+            NetError::QuiescentWithoutHalt { running } => {
+                write!(f, "links drained but {running} processors never halted")
+            }
+            NetError::WorkerPanic { processor } => {
+                write!(f, "worker thread of processor {processor} panicked")
+            }
+            NetError::Io { detail } => write!(f, "transport I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Why a send could not complete.
+pub(crate) enum PushError {
+    /// The run is over (done, stalled or cancelled); exit quietly.
+    Stopped,
+    /// The transport broke.
+    Io(String),
+}
+
+/// One outgoing directed link, as seen by a worker: local in-process
+/// channel or TCP socket.
+pub(crate) trait SendPort<M> {
+    /// Pushes `parcel` toward the peer, blocking under backpressure.
+    /// While blocked the implementation must periodically call `relieve`
+    /// (which drains the sender's own inbox — the ring's deadlock
+    /// breaker) and give up once `over` reports the run finished.
+    fn push(
+        &mut self,
+        parcel: Parcel<M>,
+        relieve: &mut dyn FnMut(),
+        over: &dyn Fn() -> bool,
+    ) -> Result<(), PushError>;
+}
+
+/// In-process link: pushes straight into the peer's bounded inbox.
+pub(crate) struct LocalPort<M> {
+    pub peer: Arc<Inbox<M>>,
+    pub arrival: Port,
+}
+
+impl<M> SendPort<M> for LocalPort<M> {
+    fn push(
+        &mut self,
+        mut parcel: Parcel<M>,
+        relieve: &mut dyn FnMut(),
+        over: &dyn Fn() -> bool,
+    ) -> Result<(), PushError> {
+        loop {
+            match self.peer.try_push(self.arrival, parcel) {
+                PushOutcome::Pushed => return Ok(()),
+                PushOutcome::Closed => return Err(PushError::Stopped),
+                PushOutcome::Full(returned) => {
+                    parcel = returned;
+                    relieve();
+                    if over() {
+                        return Err(PushError::Stopped);
+                    }
+                    self.peer
+                        .wait_space(self.arrival, Duration::from_micros(200));
+                }
+            }
+        }
+    }
+}
+
+/// Emits one event's reactions: meters and logs each send through the hub
+/// (arrival epoch = event epoch + 1, Theorem 5.1's bookkeeping), pushes
+/// the parcels out, and logs the halt if the process stopped.
+#[allow(clippy::too_many_arguments)] // worker internals threaded through one helper, like the engines'
+pub(crate) fn emit_actions<M: Message, O, L: SendPort<M>>(
+    me: usize,
+    actions: Actions<M, O>,
+    event_epoch: u64,
+    hub: &Hub,
+    clocks: &mut CausalClocks,
+    inbox: &Inbox<M>,
+    links: &mut [L; 2],
+    staging: &mut [VecDeque<Parcel<M>>; 2],
+    output: &mut Option<O>,
+) -> Result<(), PushError> {
+    let send_epoch = event_epoch + 1;
+    let span = actions.span;
+    for (port, msg) in actions.sends {
+        let (lamport, parent) = clocks.stamp_send(0);
+        let bits = msg.bit_len();
+        let stamp = hub.route_send(me, port, bits, send_epoch, lamport, parent, span);
+        let parcel = Parcel {
+            msg,
+            time: send_epoch,
+            stamp,
+        };
+        let relieve = &mut || {
+            inbox.drain_into(staging);
+        };
+        links[pidx(port)].push(parcel, relieve, &|| hub.is_over())?;
+    }
+    if let Some(out) = actions.halt {
+        if output.is_none() {
+            *output = Some(out);
+            hub.halt(me, event_epoch);
+        }
+    }
+    Ok(())
+}
+
+/// The body of one processor's thread: deliver → react → send, until the
+/// hub declares the run over.
+pub(crate) fn worker<P: AsyncProcess, L: SendPort<P::Msg>>(
+    me: usize,
+    mut proc: P,
+    hub: &Hub,
+    inbox: &Inbox<P::Msg>,
+    mut links: [L; 2],
+    mut jitter: Jitter,
+) -> Result<Option<P::Output>, NetError> {
+    let mut clocks = CausalClocks::new(1);
+    let mut staging: [VecDeque<Parcel<P::Msg>>; 2] = [VecDeque::new(), VecDeque::new()];
+    let mut output: Option<P::Output> = None;
+
+    let started = proc.on_start();
+    match emit_actions(
+        me,
+        started,
+        0,
+        hub,
+        &mut clocks,
+        inbox,
+        &mut links,
+        &mut staging,
+        &mut output,
+    ) {
+        Ok(()) => {}
+        Err(PushError::Stopped) => return Ok(output),
+        Err(PushError::Io(detail)) => return Err(NetError::Io { detail }),
+    }
+
+    loop {
+        // Staged-but-undelivered parcels keep `in_flight` nonzero, so a
+        // `done` verdict implies the staging queues are empty too.
+        if hub.is_over() {
+            break;
+        }
+        inbox.drain_into(&mut staging);
+        let left = !staging[0].is_empty();
+        let right = !staging[1].is_empty();
+        if !left && !right {
+            hub.enter_wait();
+            let wait = inbox.wait_work(Duration::from_millis(1));
+            hub.exit_wait();
+            if wait == WorkOutcome::Closed {
+                break;
+            }
+            continue;
+        }
+        let port = jitter.pick(left, right);
+        let parcel = staging[pidx(port)]
+            .pop_front()
+            .expect("picked a nonempty staging queue");
+        jitter.delay();
+        let dropped = output.is_some();
+        hub.deliver(parcel.time, me, port, parcel.stamp.seq, dropped);
+        if dropped {
+            continue;
+        }
+        clocks.consume(0, parcel.stamp);
+        let actions = proc.on_message(port, parcel.msg);
+        match emit_actions(
+            me,
+            actions,
+            parcel.time,
+            hub,
+            &mut clocks,
+            inbox,
+            &mut links,
+            &mut staging,
+            &mut output,
+        ) {
+            Ok(()) => {}
+            Err(PushError::Stopped) => break,
+            Err(PushError::Io(detail)) => return Err(NetError::Io { detail }),
+        }
+    }
+    Ok(output)
+}
+
+/// Folds the hub state and per-worker results into a report (or the run's
+/// first error).
+pub(crate) fn finish<O>(
+    hub: Hub,
+    outcome: Outcome,
+    results: Vec<Result<Option<O>, NetError>>,
+    options: &NetOptions,
+) -> Result<NetReport<O>, NetError> {
+    let n = results.len();
+    let mut outputs = Vec::with_capacity(n);
+    for result in results {
+        outputs.push(result?);
+    }
+    if outcome.stalled {
+        return Err(NetError::QuiescentWithoutHalt {
+            running: n - outcome.halted,
+        });
+    }
+    if outcome.cancelled || !outcome.done {
+        return Err(NetError::Timeout {
+            timeout_ms: u64::try_from(options.timeout.as_millis()).unwrap_or(u64::MAX),
+            halted: outcome.halted,
+        });
+    }
+    let outputs = outputs
+        .into_iter()
+        .map(|out| out.expect("done verdict implies every processor halted"))
+        .collect();
+    let (meter, events) = hub.into_parts();
+    Ok(NetReport {
+        messages: meter.messages,
+        bits: meter.bits,
+        deliveries: meter.deliveries,
+        dropped: meter.dropped,
+        max_epoch: meter.max_time,
+        per_epoch_messages: meter.per_time_messages,
+        outputs,
+        events,
+    })
+}
+
+/// Runs `procs` on real threads over in-process bounded links.
+///
+/// # Errors
+///
+/// See [`NetError`].
+pub fn run_threads<P>(
+    topology: &RingTopology,
+    procs: Vec<P>,
+    options: &NetOptions,
+) -> Result<NetReport<P::Output>, NetError>
+where
+    P: AsyncProcess + Send,
+    P::Msg: Send,
+    P::Output: Send,
+{
+    let n = topology.n();
+    if procs.len() != n {
+        return Err(NetError::LengthMismatch {
+            expected: n,
+            actual: procs.len(),
+        });
+    }
+    let hub = Hub::new(topology);
+    let inboxes: Vec<Arc<Inbox<P::Msg>>> = (0..n)
+        .map(|_| Arc::new(Inbox::new(options.capacity)))
+        .collect();
+    let deadline = Instant::now() + options.timeout;
+
+    let (outcome, results) = std::thread::scope(|scope| {
+        let hub = &hub;
+        let handles: Vec<_> = procs
+            .into_iter()
+            .enumerate()
+            .map(|(i, proc)| {
+                let links = hub.links_of(i).map(|end| LocalPort {
+                    peer: Arc::clone(&inboxes[end.to]),
+                    arrival: end.arrival,
+                });
+                let inbox = Arc::clone(&inboxes[i]);
+                let jitter = Jitter::new(options.jitter_seed, i as u64, options.max_delay_us);
+                scope.spawn(move || worker(i, proc, hub, &inbox, links, jitter))
+            })
+            .collect();
+        let outcome = hub.await_outcome(deadline);
+        for inbox in &inboxes {
+            inbox.close();
+        }
+        let results = handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, handle)| {
+                handle
+                    .join()
+                    .unwrap_or(Err(NetError::WorkerPanic { processor: i }))
+            })
+            .collect();
+        (outcome, results)
+    });
+    finish(hub, outcome, results, options)
+}
+
+/// Runs `procs` under the transport selected in `options`. The TCP
+/// transport needs a [`Wire`] encoding for the message type; the threads
+/// transport ignores it.
+///
+/// # Errors
+///
+/// See [`NetError`].
+pub fn run<P>(
+    topology: &RingTopology,
+    procs: Vec<P>,
+    options: &NetOptions,
+) -> Result<NetReport<P::Output>, NetError>
+where
+    P: AsyncProcess + Send,
+    P::Msg: Wire + Send,
+    P::Output: Send,
+{
+    match options.transport {
+        Transport::Threads => run_threads(topology, procs, options),
+        Transport::TcpLoopback => crate::tcp::run_tcp(topology, procs, options),
+    }
+}

@@ -1,0 +1,393 @@
+//! Binary codecs for messages crossing a real link.
+//!
+//! The TCP transport needs an octet encoding of each algorithm's message
+//! alphabet. [`Wire`] is deliberately *not* the cost model:
+//! [`anonring_sim::message::Message::bit_len`] defines the paper's
+//! accounted bit complexity, while `Wire` is a practical framing (whole
+//! bytes, length prefixes) whose size is irrelevant to every reported
+//! number. Codecs must round-trip exactly — the conformance oracle
+//! compares outputs across transports, so a lossy codec would surface as
+//! a conformance failure.
+
+use std::fmt;
+
+use anonring_core::algorithms::async_input_dist::DistMsg;
+use anonring_core::algorithms::driver::JobMsg;
+use anonring_core::algorithms::orientation::OrientMsg;
+use anonring_core::algorithms::sync_input_dist::IdMsg;
+use anonring_sim::synchronizer::Envelope;
+use anonring_sim::Port;
+use anonring_words::Word;
+
+/// A malformed or truncated wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was wrong with the bytes.
+    pub detail: String,
+}
+
+impl WireError {
+    fn new(detail: impl Into<String>) -> WireError {
+        WireError {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An octet encoding for one message type. Implementations append to the
+/// output buffer and consume from the front of the input slice, so codecs
+/// compose by concatenation.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `input`, advancing it past the
+    /// consumed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated input or an invalid tag.
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError>;
+}
+
+/// Splits `n` bytes off the front of `input`.
+fn take<'a>(input: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], WireError> {
+    if input.len() < n {
+        return Err(WireError::new(format!(
+            "truncated {what}: need {n} bytes, have {}",
+            input.len()
+        )));
+    }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Ok(head)
+}
+
+impl Wire for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<u8, WireError> {
+        Ok(take(input, 1, "u8")?[0])
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<u64, WireError> {
+        let bytes = take(input, 8, "u64")?;
+        Ok(u64::from_le_bytes(
+            bytes.try_into().expect("take returned 8 bytes"),
+        ))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<bool, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::new(format!("invalid bool tag {tag}"))),
+        }
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+
+    fn decode(_input: &mut &[u8]) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl Wire for Port {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Port::Left => 0,
+            Port::Right => 1,
+        });
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Port, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(Port::Left),
+            1 => Ok(Port::Right),
+            tag => Err(WireError::new(format!("invalid port tag {tag}"))),
+        }
+    }
+}
+
+impl<M: Wire> Wire for Option<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(value) => {
+                out.push(1);
+                value.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Option<M>, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(M::decode(input)?)),
+            tag => Err(WireError::new(format!("invalid option tag {tag}"))),
+        }
+    }
+}
+
+impl Wire for Word {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_slice());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Word, WireError> {
+        let len = usize::try_from(u64::decode(input)?)
+            .map_err(|_| WireError::new("word length overflows usize"))?;
+        let symbols = take(input, len, "word symbols")?.to_vec();
+        Ok(Word::from_symbols(symbols))
+    }
+}
+
+impl<M: Wire> Wire for Envelope<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cycle.encode(out);
+        self.closing.encode(out);
+        self.payload.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Envelope<M>, WireError> {
+        Ok(Envelope {
+            cycle: u64::decode(input)?,
+            closing: bool::decode(input)?,
+            payload: Option::<M>::decode(input)?,
+        })
+    }
+}
+
+impl Wire for DistMsg<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.origin_port.encode(out);
+        self.input.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<DistMsg<u8>, WireError> {
+        Ok(DistMsg {
+            origin_port: Port::decode(input)?,
+            input: u8::decode(input)?,
+        })
+    }
+}
+
+impl Wire for IdMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let (tag, word) = match self {
+            IdMsg::Label(w) => (0u8, w),
+            IdMsg::Collect(w) => (1, w),
+            IdMsg::Broadcast(w) => (2, w),
+        };
+        out.push(tag);
+        word.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<IdMsg, WireError> {
+        let tag = u8::decode(input)?;
+        let word = Word::decode(input)?;
+        match tag {
+            0 => Ok(IdMsg::Label(word)),
+            1 => Ok(IdMsg::Collect(word)),
+            2 => Ok(IdMsg::Broadcast(word)),
+            _ => Err(WireError::new(format!("invalid IdMsg tag {tag}"))),
+        }
+    }
+}
+
+impl Wire for OrientMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            OrientMsg::Marker(port) => {
+                out.push(0);
+                port.encode(out);
+            }
+            OrientMsg::Seg(bit) => {
+                out.push(1);
+                bit.encode(out);
+            }
+            OrientMsg::Fin(bit, port) => {
+                out.push(2);
+                bit.encode(out);
+                port.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<OrientMsg, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(OrientMsg::Marker(Port::decode(input)?)),
+            1 => Ok(OrientMsg::Seg(u8::decode(input)?)),
+            2 => Ok(OrientMsg::Fin(u8::decode(input)?, Port::decode(input)?)),
+            tag => Err(WireError::new(format!("invalid OrientMsg tag {tag}"))),
+        }
+    }
+}
+
+impl Wire for JobMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            JobMsg::Dist(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            JobMsg::SyncDist(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+            JobMsg::Orient(m) => {
+                out.push(2);
+                m.encode(out);
+            }
+            JobMsg::Start(m) => {
+                out.push(3);
+                m.encode(out);
+            }
+            JobMsg::And(m) => {
+                out.push(4);
+                m.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<JobMsg, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(JobMsg::Dist(DistMsg::decode(input)?)),
+            1 => Ok(JobMsg::SyncDist(Envelope::decode(input)?)),
+            2 => Ok(JobMsg::Orient(Envelope::decode(input)?)),
+            3 => Ok(JobMsg::Start(Envelope::decode(input)?)),
+            4 => Ok(JobMsg::And(Envelope::decode(input)?)),
+            tag => Err(WireError::new(format!("invalid JobMsg tag {tag}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Wire, WireError};
+    use anonring_core::algorithms::async_input_dist::DistMsg;
+    use anonring_core::algorithms::driver::JobMsg;
+    use anonring_core::algorithms::orientation::OrientMsg;
+    use anonring_core::algorithms::sync_input_dist::IdMsg;
+    use anonring_sim::synchronizer::Envelope;
+    use anonring_sim::Port;
+    use anonring_words::Word;
+
+    fn round_trip<M: Wire + PartialEq + std::fmt::Debug>(value: M) {
+        let mut bytes = Vec::new();
+        value.encode(&mut bytes);
+        let mut input = bytes.as_slice();
+        let back = M::decode(&mut input).expect("decodes");
+        assert_eq!(back, value);
+        assert!(input.is_empty(), "no trailing bytes for {value:?}");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(true);
+        round_trip(Port::Left);
+        round_trip(Port::Right);
+        round_trip(Some(7u64));
+        round_trip(None::<u64>);
+        round_trip(Word::from_symbols(vec![0, 1, 1, 0]));
+        round_trip(Word::from_symbols(vec![]));
+    }
+
+    #[test]
+    fn every_job_message_variant_round_trips() {
+        let samples = vec![
+            JobMsg::Dist(DistMsg {
+                origin_port: Port::Right,
+                input: 200,
+            }),
+            JobMsg::SyncDist(Envelope {
+                cycle: 3,
+                payload: Some(IdMsg::Label(Word::from_symbols(vec![1, 0]))),
+                closing: false,
+            }),
+            JobMsg::SyncDist(Envelope {
+                cycle: 9,
+                payload: Some(IdMsg::Collect(Word::from_symbols(vec![0]))),
+                closing: true,
+            }),
+            JobMsg::SyncDist(Envelope {
+                cycle: 1,
+                payload: Some(IdMsg::Broadcast(Word::from_symbols(vec![1, 1, 0]))),
+                closing: false,
+            }),
+            JobMsg::Orient(Envelope {
+                cycle: 0,
+                payload: Some(OrientMsg::Marker(Port::Left)),
+                closing: false,
+            }),
+            JobMsg::Orient(Envelope {
+                cycle: 2,
+                payload: Some(OrientMsg::Seg(1)),
+                closing: false,
+            }),
+            JobMsg::Orient(Envelope {
+                cycle: 5,
+                payload: Some(OrientMsg::Fin(0, Port::Right)),
+                closing: true,
+            }),
+            JobMsg::Start(Envelope {
+                cycle: 7,
+                payload: Some(42),
+                closing: false,
+            }),
+            JobMsg::And(Envelope {
+                cycle: 4,
+                payload: None,
+                closing: true,
+            }),
+        ];
+        for sample in samples {
+            round_trip(sample);
+        }
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_errors_not_panics() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(u64::decode(&mut empty), Err(WireError { .. })));
+        let mut bad_tag: &[u8] = &[9];
+        assert!(Port::decode(&mut bad_tag).is_err());
+        let mut bad_job: &[u8] = &[200];
+        assert!(JobMsg::decode(&mut bad_job).is_err());
+        // A word claiming more symbols than the frame holds.
+        let mut lying: Vec<u8> = Vec::new();
+        1000u64.encode(&mut lying);
+        lying.push(1);
+        let mut input = lying.as_slice();
+        assert!(Word::decode(&mut input).is_err());
+    }
+}

@@ -23,6 +23,12 @@
 //! re-serialize round-trips **byte identically** — the invariant that
 //! keeps recorded artifacts diffable.
 //!
+//! The meta record may additionally carry an `engine` key (after `label`)
+//! naming the producing driver — `"sim-sync"`, `"sim-async"` or `"net"`.
+//! It is omitted when unset, so recordings made before the field existed
+//! (and recorders that never call [`FlightRecorder::with_engine`])
+//! serialize byte-identically to the pinned goldens.
+//!
 //! [`Recording::parse_jsonl`] still accepts version-1 recordings (causal
 //! fields default to zero / absent) and re-serializes them as version 1,
 //! preserving the byte-identity invariant for archived artifacts. On
@@ -216,13 +222,16 @@ fn port_name(port: Port) -> &'static str {
     }
 }
 
-fn write_meta(out: &mut String, version: u64, n: usize, label: &str, truncated: u64) {
-    let _ = writeln!(
+fn write_meta(out: &mut String, version: u64, n: usize, label: &str, engine: &str, truncated: u64) {
+    let _ = write!(
         out,
-        "{{\"type\":\"meta\",\"version\":{version},\"n\":{n},\
-         \"label\":\"{}\",\"truncated\":{truncated}}}",
+        "{{\"type\":\"meta\",\"version\":{version},\"n\":{n},\"label\":\"{}\"",
         json_escape(label)
     );
+    if !engine.is_empty() {
+        let _ = write!(out, ",\"engine\":\"{}\"", json_escape(engine));
+    }
+    let _ = writeln!(out, ",\"truncated\":{truncated}}}");
 }
 
 /// Records every event of a run for JSONL export. Plug it into
@@ -231,6 +240,7 @@ fn write_meta(out: &mut String, version: u64, n: usize, label: &str, truncated: 
 pub struct FlightRecorder {
     n: usize,
     label: String,
+    engine: String,
     events: VecDeque<ReplayEvent>,
     capacity: Option<usize>,
     truncated: u64,
@@ -244,10 +254,20 @@ impl FlightRecorder {
         FlightRecorder {
             n,
             label: label.into(),
+            engine: String::new(),
             events: VecDeque::new(),
             capacity: None,
             truncated: 0,
         }
+    }
+
+    /// Names the producing engine/driver in the meta record (`"sim-sync"`,
+    /// `"sim-async"`, `"net"`, …). Unset recorders omit the key entirely,
+    /// preserving byte-identity with pre-engine artifacts.
+    #[must_use]
+    pub fn with_engine(mut self, engine: impl Into<String>) -> FlightRecorder {
+        self.engine = engine.into();
+        self
     }
 
     /// A bounded recorder keeping only the most recent `capacity` events
@@ -262,6 +282,7 @@ impl FlightRecorder {
         FlightRecorder {
             n,
             label: label.into(),
+            engine: String::new(),
             events: VecDeque::with_capacity(capacity),
             capacity: Some(capacity),
             truncated: 0,
@@ -289,6 +310,7 @@ impl FlightRecorder {
             RECORDING_VERSION,
             self.n,
             &self.label,
+            &self.engine,
             self.truncated,
         );
         for event in &self.events {
@@ -305,6 +327,7 @@ impl FlightRecorder {
             version: RECORDING_VERSION,
             n: self.n,
             label: self.label,
+            engine: self.engine,
             truncated: self.truncated,
             events: self.events.into_iter().collect(),
         }
@@ -372,6 +395,10 @@ pub struct Recording {
     pub n: usize,
     /// Run label from the meta record.
     pub label: String,
+    /// Producing engine/driver from the meta record (`"sim-sync"`,
+    /// `"sim-async"`, `"net"`); empty when the recording predates the
+    /// field or the recorder never set it.
+    pub engine: String,
     /// Events evicted by ring-buffer mode before serialization.
     pub truncated: u64,
     /// The recorded events, in execution order.
@@ -419,6 +446,7 @@ impl Recording {
             version,
             n: usize::try_from(n).map_err(|_| err(1, "n out of range".into()))?,
             label: meta.string("label").unwrap_or_default().to_string(),
+            engine: meta.string("engine").unwrap_or_default().to_string(),
             truncated: meta.number("truncated").unwrap_or(0),
             events: Vec::new(),
         };
@@ -519,7 +547,14 @@ impl Recording {
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        write_meta(&mut out, self.version, self.n, &self.label, self.truncated);
+        write_meta(
+            &mut out,
+            self.version,
+            self.n,
+            &self.label,
+            &self.engine,
+            self.truncated,
+        );
         for event in &self.events {
             event.write_line(&mut out, self.version);
         }
@@ -823,6 +858,33 @@ mod tests {
         assert_eq!(parsed.label, "unit \"quoted\" label");
         assert_eq!(parsed.events.len(), 4);
         assert_eq!(parsed.to_jsonl(), jsonl);
+    }
+
+    #[test]
+    fn engine_field_round_trips_and_is_omitted_when_unset() {
+        // Unset: the meta line must look exactly like the pre-engine format.
+        let bare = FlightRecorder::new(2, "bare").to_jsonl();
+        assert!(!bare.contains("engine"), "{bare}");
+        let parsed = Recording::parse_jsonl(&bare).unwrap();
+        assert_eq!(parsed.engine, "");
+        assert_eq!(parsed.to_jsonl(), bare);
+
+        // Set: the key appears after "label" and survives the round-trip.
+        let mut rec = FlightRecorder::new(3, "net run").with_engine("net");
+        for event in sample_events() {
+            rec.on_event(&event);
+        }
+        let jsonl = rec.to_jsonl();
+        assert!(
+            jsonl.starts_with(
+                "{\"type\":\"meta\",\"version\":2,\"n\":3,\
+                 \"label\":\"net run\",\"engine\":\"net\",\"truncated\":0}"
+            ),
+            "{jsonl}"
+        );
+        let parsed = Recording::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed.engine, "net");
+        assert_eq!(parsed.to_jsonl(), jsonl, "byte-identical round-trip");
     }
 
     #[test]
