@@ -12,7 +12,7 @@
 //!
 //! | lint | scope | invariant |
 //! |---|---|---|
-//! | `anonymity-breach` | `core/src/algorithms`, `net/src` | algorithm and transport-driver code must not read the processor index (the `from_config` index parameter stays unbound; no topology introspection) |
+//! | `anonymity-breach` | `core/src/algorithms`, `net/src` | algorithm and transport-driver code must not read the processor index (the `from_config` index parameter stays unbound) or introspect wiring through the topology API (`neighbor_port`, digests, schedules); `impl … Topology for …` blocks are exempt — a topology *definition* realises wiring, it does not spy on it |
 //! | `unmetered-send` | `core/src/algorithms`, `sim/src`, `net/src` | all sends route through `Emit`; raw fabric/queue access and `CostMeter::record_send` are reserved to `sim::runtime` (and, net-side, the hub) |
 //! | `span-coverage` | `core/src/algorithms` | every algorithm that sends stamps at least one telemetry `Span` |
 //! | `no-unwrap-in-runtime` | `sim/src`, `net/src` | runtime code uses `expect` with an invariant message, never bare `unwrap` |
@@ -168,7 +168,23 @@ impl fmt::Display for Finding {
 
 /// Identifiers that read ring wiring or processor identity — off limits to
 /// algorithm code, which must see the world only through its local ports.
-const ANONYMITY_DENYLIST: [&str; 3] = ["neighbor", "processor_index", "with_switched"];
+/// The second row is the port-labelled topology API: `neighbor_port` and
+/// the digests reveal global wiring, `active_edges`/`components` reveal
+/// the global footprint, `is_active` reveals another processor's
+/// schedule, and `local_schedule(i)` is ensemble construction (engines
+/// hand each node *its own* schedule; a process must never pull one).
+const ANONYMITY_DENYLIST: [&str; 10] = [
+    "neighbor",
+    "processor_index",
+    "with_switched",
+    "neighbor_port",
+    "wiring_digest",
+    "round_digest",
+    "active_edges",
+    "components",
+    "is_active",
+    "local_schedule",
+];
 
 /// Raw send-path surface reserved to `sim::runtime` — algorithm code
 /// touching any of these is constructing or delivering messages outside
@@ -484,8 +500,61 @@ fn check_unmetered_send(
     }
 }
 
+/// Marks tokens inside `impl … Topology for …` blocks. Implementing the
+/// [`Topology`] trait is *defining* wiring (the sanctioned substrate
+/// surface, like `sim::runtime` for the meter), so the anonymity denylist
+/// does not apply there; everything outside such a block still does.
+fn topology_impl_mask(code: &[(usize, &Token)]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].1.is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // The header runs to the block's `{`; it qualifies when it names
+        // the Topology trait with a `for` (a trait impl, not inherent).
+        let mut j = i + 1;
+        let mut names_topology = false;
+        let mut has_for = false;
+        while j < code.len() && !code[j].1.is_punct('{') {
+            names_topology |= code[j].1.is_ident("Topology");
+            has_for |= code[j].1.is_ident("for");
+            j += 1;
+        }
+        if !(names_topology && has_for) || j == code.len() {
+            i = j;
+            continue;
+        }
+        // Mask the header and the brace-balanced body.
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < code.len() {
+            if code[k].1.is_punct('{') {
+                depth += 1;
+            } else if code[k].1.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        for m in &mut mask[i..k] {
+            *m = true;
+        }
+        i = k;
+    }
+    mask
+}
+
 fn check_anonymity_breach(file: &str, code: &[(usize, &Token)], findings: &mut Vec<Finding>) {
-    for (_, t) in code {
+    let in_topology_impl = topology_impl_mask(code);
+    for (k, (_, t)) in code.iter().enumerate() {
+        if in_topology_impl[k] {
+            continue;
+        }
         if ANONYMITY_DENYLIST.iter().any(|s| t.is_ident(s)) {
             findings.push(finding(
                 Lint::AnonymityBreach,
@@ -947,6 +1016,44 @@ mod tests {
         let f =
             lint_algo("fn peek(t: &RingTopology) { let (to, port) = t.neighbor(0, Port::Left); }");
         assert_eq!(names(&f), vec!["anonymity-breach"]);
+    }
+
+    #[test]
+    fn anonymity_denylist_covers_the_port_topology_api() {
+        for probe in [
+            "fn peek(t: &dyn Topology) { let (to, p) = t.neighbor_port(0, PortId::LEFT); }",
+            "fn peek(t: &GraphTopology) { let d = t.wiring_digest(); }",
+            "fn peek(t: &DynamicTopology) { let d = t.round_digest(3); }",
+            "fn peek(t: &DynamicTopology) { let e = t.active_edges(0); }",
+            "fn peek(t: &GraphTopology) { let c = t.components(); }",
+            "fn peek(t: &dyn Topology) { let a = t.is_active(0, 1, PortId::LEFT); }",
+            "fn grab(t: &DynamicTopology) { let s = t.local_schedule(7); }",
+        ] {
+            let f = lint_algo(probe);
+            assert_eq!(names(&f), vec!["anonymity-breach"], "{probe}");
+        }
+    }
+
+    #[test]
+    fn topology_trait_impls_are_sanctioned_wiring_definitions() {
+        let src = r"
+            impl Topology for Wheel {
+                fn neighbor_port(&self, i: usize, p: PortId) -> (usize, PortId) {
+                    self.inner.neighbor_port(i, p)
+                }
+                fn is_active(&self, r: u64, i: usize, p: PortId) -> bool {
+                    self.inner.is_active(r, i, p)
+                }
+            }
+        ";
+        assert_eq!(lint_algo(src), vec![]);
+        // …but an inherent impl (no `for`) gets no exemption.
+        let inherent = r"
+            impl Sneaky {
+                fn peek(&self, t: &dyn Topology) -> bool { t.is_active(0, 0, PortId::LEFT) }
+            }
+        ";
+        assert_eq!(names(&lint_algo(inherent)), vec!["anonymity-breach"]);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use std::fmt::Write as _;
 
 use anonring_core::algorithms::async_input_dist::AsyncInputDist;
+use anonring_core::algorithms::dyn_broadcast;
 use anonring_core::algorithms::orientation::OrientationProc;
 use anonring_core::algorithms::start_sync::StartSync;
 use anonring_core::algorithms::sync_and::SyncAnd;
@@ -97,6 +98,11 @@ pub enum Theorem {
     NLogN,
     /// `O(n)` messages: the best-fit model must be [`Model::Linear`].
     Linear,
+    /// `Θ(n²)` messages: the best-fit model must be [`Model::Quadratic`]
+    /// (the dynamic-broadcast adversary floods `2·Σ|E_r|` messages, not an
+    /// exact closed form, so the check is the fit rather than a
+    /// predicate).
+    Quadratic,
 }
 
 impl Theorem {
@@ -107,6 +113,7 @@ impl Theorem {
             Theorem::ExactQuadratic => "exact-n(n-1)",
             Theorem::NLogN => "n-log-n",
             Theorem::Linear => "linear",
+            Theorem::Quadratic => "quadratic",
         }
     }
 
@@ -117,6 +124,7 @@ impl Theorem {
             "exact-n(n-1)" => Some(Theorem::ExactQuadratic),
             "n-log-n" => Some(Theorem::NLogN),
             "linear" => Some(Theorem::Linear),
+            "quadratic" => Some(Theorem::Quadratic),
             _ => None,
         }
     }
@@ -566,9 +574,33 @@ fn measure_sync_and(n: usize, wall: bool) -> AuditCell {
     )
 }
 
+/// One audited cell: dynamic-network one-bit broadcast under the seeded
+/// connectivity adversary (`Θ(n²)` single-bit messages).
+fn measure_dyn_broadcast(n: usize, wall: bool) -> AuditCell {
+    let topology = dyn_broadcast::audited_topology(n).expect("audit topology");
+    let inputs = mixed_bits(n);
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let (report, wall_ms) = timed(wall, || {
+        let procs = dyn_broadcast::processes(&topology, &inputs).expect("audit job shape");
+        let mut engine = AsyncEngine::new(topology.clone(), procs).expect("dyn_broadcast engine");
+        let mut obs = |e: &TraceEvent| events.push(*e);
+        engine
+            .run_with_observer(&mut SynchronizingScheduler, &mut obs)
+            .expect("dyn_broadcast audit run")
+    });
+    cell_from(
+        n,
+        report.messages,
+        report.bits,
+        report.max_epoch,
+        &events,
+        wall_ms,
+    )
+}
+
 /// The audited algorithms: `(name, theorem, measure)` in sweep order.
 type Measure = fn(usize, bool) -> AuditCell;
-const AUDITED: [(&str, Theorem, Measure); 5] = [
+const AUDITED: [(&str, Theorem, Measure); 6] = [
     (
         "async_input_dist",
         Theorem::ExactQuadratic,
@@ -578,6 +610,7 @@ const AUDITED: [(&str, Theorem, Measure); 5] = [
     ("orientation", Theorem::NLogN, measure_orientation),
     ("start_sync", Theorem::NLogN, measure_start_sync),
     ("sync_and", Theorem::Linear, measure_sync_and),
+    ("dyn_broadcast", Theorem::Quadratic, measure_dyn_broadcast),
 ];
 
 /// Sweeps every audited algorithm over `grid` and returns one snapshot
@@ -690,9 +723,13 @@ pub fn audit_fits(snapshot: &Snapshot) -> Vec<FitReport> {
                         )
                     }
                 }
-                Theorem::Linear => {
+                Theorem::Linear | Theorem::Quadratic => {
+                    let want = match algo.theorem {
+                        Theorem::Linear => Model::Linear,
+                        _ => Model::Quadratic,
+                    };
                     let best = fits[0];
-                    if best.model == Model::Linear {
+                    if best.model == want {
                         (
                             true,
                             format!(
@@ -709,7 +746,7 @@ pub fn audit_fits(snapshot: &Snapshot) -> Vec<FitReport> {
                                 "best fit is {} (residual {:.4}), want {}",
                                 best.model.name(),
                                 best.residual,
-                                Model::Linear.name()
+                                want.name()
                             ),
                         )
                     }
@@ -959,7 +996,7 @@ mod tests {
     #[test]
     fn measured_curves_match_the_paper_theorems() {
         let snap = measure_snapshot("test", &[16, 32, 64, 128], false);
-        assert_eq!(snap.algorithms.len(), 5);
+        assert_eq!(snap.algorithms.len(), 6);
         for report in audit_fits(&snap) {
             assert!(
                 report.pass,

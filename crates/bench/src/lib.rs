@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod arbitrary;
 pub mod audit;
+pub mod dynamic;
 pub mod json;
 pub mod labeled;
 pub mod lower_async;
@@ -58,5 +59,6 @@ pub fn experiment_runners() -> Vec<(&'static str, ExperimentRunner)> {
         ("E20", ablations::e20_bound_tightness),
         ("E21", ablations::e21_scheduler_robustness),
         ("E22", ablations::e22_bits_time_frontier),
+        ("E23", dynamic::e23_dyn_broadcast),
     ]
 }

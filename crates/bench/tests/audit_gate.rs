@@ -164,7 +164,7 @@ fn run_then_fit_roundtrip_on_a_small_grid() {
     assert!(out.status.success(), "{out:?}");
     let trajectory = Trajectory::parse(&std::fs::read_to_string(&path).expect("read")).unwrap();
     assert_eq!(trajectory.snapshots.len(), 1, "same revision must upsert");
-    assert_eq!(trajectory.latest().unwrap().algorithms.len(), 5);
+    assert_eq!(trajectory.latest().unwrap().algorithms.len(), 6);
 
     let out = audit(&["fit", "--trajectory", path_str]);
     assert!(

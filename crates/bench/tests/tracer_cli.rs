@@ -6,7 +6,7 @@ use std::process::{Command, Output};
 
 use anonring_sim::runtime::{Observer, SendEvent, Span, TraceEvent};
 use anonring_sim::telemetry::FlightRecorder;
-use anonring_sim::Port;
+use anonring_sim::PortId;
 
 fn scratch_dir(tag: &str) -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(tag);
@@ -20,7 +20,7 @@ fn valid_recording() -> String {
         cycle: 1,
         from: 0,
         to: 1,
-        port: Port::Left,
+        port: PortId::LEFT,
         bits: 4,
         seq: 0,
         lamport: 1,
@@ -30,7 +30,7 @@ fn valid_recording() -> String {
     rec.on_event(&TraceEvent::Deliver {
         time: 1,
         to: 1,
-        port: Port::Left,
+        port: PortId::LEFT,
         seq: 0,
         dropped: false,
     });

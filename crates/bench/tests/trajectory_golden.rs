@@ -123,6 +123,7 @@ fn committed_baseline_parses() {
         "orientation",
         "start_sync",
         "sync_and",
+        "dyn_broadcast",
     ] {
         assert!(names.contains(&required), "{names:?} missing {required}");
     }

@@ -2,8 +2,8 @@
 //!
 //! Every execution substrate in the workspace — the synchronous and
 //! asynchronous simulators, and the real-transport `anonring_net` runtime —
-//! drives processes through the same [`AsyncProcess`] interface. This
-//! module packages the five complexity-audited algorithms behind one
+//! drives processes through the same [`AsyncPortProcess`] interface. This
+//! module packages the six complexity-audited algorithms behind one
 //! uniform process type, [`JobProc`], so a job description of the form
 //! *(algorithm, n, inputs)* can be instantiated once and then run by **any**
 //! engine: the `ringd` job server executes it on real threads while the
@@ -12,27 +12,31 @@
 //!
 //! Synchronous algorithms are lifted through the §3 α-synchronizer
 //! ([`Synchronized`]), exactly as the audit harness runs them in the
-//! asynchronous model; the §4.1 input distribution is natively
-//! asynchronous. Because each processor is constructed from the same
-//! `(algorithm, n, input)` data with no index in sight, the anonymity model
-//! is preserved: two engines given the same job build indistinguishable
-//! rings.
+//! asynchronous model; the §4.1 input distribution and the dynamic-network
+//! broadcast are natively asynchronous. Because each processor is
+//! constructed from `(algorithm, n, input)` plus at most its *local*
+//! schedule (dynamic broadcast — per-round active ports of its own links,
+//! knowledge the dynamic-network model grants every node), the anonymity
+//! model is preserved: two engines given the same job build
+//! indistinguishable ensembles.
 
 use core::fmt;
 
 use anonring_sim::message::Message;
-use anonring_sim::r#async::{Actions, AsyncProcess};
+use anonring_sim::r#async::{Actions, AsyncPortProcess, AsyncProcess};
+use anonring_sim::runtime::PortActions;
 use anonring_sim::synchronizer::{Envelope, Synchronized};
-use anonring_sim::{Port, RingTopology};
+use anonring_sim::{DynamicTopology, Port, PortId, RingTopology, Topology};
 
 use crate::algorithms::async_input_dist::{AsyncInputDist, DistMsg};
+use crate::algorithms::dyn_broadcast::{audited_topology, BcastMsg, DynBroadcast};
 use crate::algorithms::orientation::{OrientMsg, OrientationProc};
 use crate::algorithms::start_sync::StartSync;
 use crate::algorithms::sync_and::SyncAnd;
 use crate::algorithms::sync_input_dist::{IdMsg, SyncInputDist};
 use crate::view::RingView;
 
-/// The five algorithms under the complexity audit, by their audit-table
+/// The six algorithms under the complexity audit, by their audit-table
 /// names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Audited {
@@ -46,16 +50,21 @@ pub enum Audited {
     StartSync,
     /// §4.2 AND of the input bits.
     SyncAnd,
+    /// One-bit broadcast in anonymous dynamic networks (`Θ(n²)`
+    /// messages under the connectivity adversary) — the first non-ring
+    /// family.
+    DynBroadcast,
 }
 
 impl Audited {
     /// All audited algorithms, in audit-table order.
-    pub const ALL: [Audited; 5] = [
+    pub const ALL: [Audited; 6] = [
         Audited::AsyncInputDist,
         Audited::SyncInputDist,
         Audited::Orientation,
         Audited::StartSync,
         Audited::SyncAnd,
+        Audited::DynBroadcast,
     ];
 
     /// The audit-table name (`"async_input_dist"`, …).
@@ -67,6 +76,7 @@ impl Audited {
             Audited::Orientation => "orientation",
             Audited::StartSync => "start_sync",
             Audited::SyncAnd => "sync_and",
+            Audited::DynBroadcast => "dyn_broadcast",
         }
     }
 
@@ -83,23 +93,29 @@ impl Audited {
     pub fn wants_bit_inputs(self) -> bool {
         matches!(
             self,
-            Audited::SyncInputDist | Audited::Orientation | Audited::SyncAnd
+            Audited::SyncInputDist
+                | Audited::Orientation
+                | Audited::SyncAnd
+                | Audited::DynBroadcast
         )
     }
 
-    /// The ring wiring a job of this algorithm runs on. All algorithms run
+    /// The wiring a job of this algorithm runs on. The ring families run
     /// on the oriented ring except `orientation`, whose whole point is a
-    /// scrambled ring: its inputs double as the per-processor orientation
-    /// bits, mirroring the audit harness.
+    /// scrambled ring (its inputs double as the per-processor orientation
+    /// bits, mirroring the audit harness); `dyn_broadcast` runs on the
+    /// seeded dynamic-network connectivity adversary over the complete
+    /// footprint.
     ///
     /// # Errors
     ///
     /// Returns [`DriverError`] on an invalid job shape.
-    pub fn topology(self, n: usize, inputs: &[u8]) -> Result<RingTopology, DriverError> {
+    pub fn topology(self, n: usize, inputs: &[u8]) -> Result<JobTopology, DriverError> {
         validate(self, n, inputs)?;
         let topology = match self {
-            Audited::Orientation => RingTopology::from_bits(inputs),
-            _ => RingTopology::oriented(n),
+            Audited::Orientation => RingTopology::from_bits(inputs).map(JobTopology::Ring),
+            Audited::DynBroadcast => audited_topology(n).map(JobTopology::Dynamic),
+            _ => RingTopology::oriented(n).map(JobTopology::Ring),
         };
         topology.map_err(|e| DriverError::BadJob {
             message: format!("topology construction failed: {e}"),
@@ -115,9 +131,20 @@ impl Audited {
     /// Returns [`DriverError`] on an invalid job shape.
     pub fn procs(self, n: usize, inputs: &[u8]) -> Result<Vec<JobProc>, DriverError> {
         validate(self, n, inputs)?;
+        // The dynamic adversary is substrate state; each process receives
+        // only its own local activity schedule from it.
+        let adversary = match self {
+            Audited::DynBroadcast => {
+                Some(audited_topology(n).map_err(|e| DriverError::BadJob {
+                    message: format!("topology construction failed: {e}"),
+                })?)
+            }
+            _ => None,
+        };
         Ok(inputs
             .iter()
-            .map(|&input| match self {
+            .enumerate()
+            .map(|(i, &input)| match self {
                 Audited::AsyncInputDist => JobProc::Dist(AsyncInputDist::new(n, input)),
                 Audited::SyncInputDist => {
                     JobProc::SyncDist(Box::new(Synchronized::new(SyncInputDist::new(n, input))))
@@ -127,6 +154,14 @@ impl Audited {
                 Audited::Orientation => JobProc::Orient(Synchronized::new(OrientationProc::new(n))),
                 Audited::StartSync => JobProc::Start(Synchronized::new(StartSync::new(n))),
                 Audited::SyncAnd => JobProc::And(Synchronized::new(SyncAnd::new(n, input))),
+                Audited::DynBroadcast => JobProc::Bcast(DynBroadcast::new(
+                    input,
+                    adversary
+                        .as_ref()
+                        .expect("adversary built for dyn_broadcast")
+                        // anonlint: allow(anonymity-breach) -- ensemble construction: the engine hands each node its own schedule; the process never pulls one
+                        .local_schedule(i),
+                )),
             })
             .collect())
     }
@@ -180,8 +215,56 @@ impl fmt::Display for DriverError {
 
 impl std::error::Error for DriverError {}
 
-/// One ring processor of a job: the audited algorithm behind a uniform
-/// message/output alphabet, runnable by any [`AsyncProcess`] engine.
+/// The wiring a packaged job runs on: one of the audited ring wirings, or
+/// the dynamic-network adversary. Implements [`Topology`], so any engine
+/// or transport generic over the trait accepts it directly.
+#[derive(Debug, Clone)]
+pub enum JobTopology {
+    /// A ring (the five §4 families).
+    Ring(RingTopology),
+    /// The seeded connectivity adversary (`dyn_broadcast`).
+    Dynamic(DynamicTopology),
+}
+
+impl Topology for JobTopology {
+    fn n(&self) -> usize {
+        match self {
+            JobTopology::Ring(t) => t.n(),
+            JobTopology::Dynamic(t) => Topology::n(t),
+        }
+    }
+
+    fn ports(&self, i: usize) -> usize {
+        match self {
+            JobTopology::Ring(t) => Topology::ports(t, i),
+            JobTopology::Dynamic(t) => Topology::ports(t, i),
+        }
+    }
+
+    fn neighbor_port(&self, i: usize, port: PortId) -> (usize, PortId) {
+        match self {
+            JobTopology::Ring(t) => Topology::neighbor_port(t, i, port),
+            JobTopology::Dynamic(t) => Topology::neighbor_port(t, i, port),
+        }
+    }
+
+    fn is_active(&self, round: u64, i: usize, port: PortId) -> bool {
+        match self {
+            JobTopology::Ring(t) => Topology::is_active(t, round, i, port),
+            JobTopology::Dynamic(t) => Topology::is_active(t, round, i, port),
+        }
+    }
+
+    fn is_dynamic(&self) -> bool {
+        match self {
+            JobTopology::Ring(t) => Topology::is_dynamic(t),
+            JobTopology::Dynamic(t) => Topology::is_dynamic(t),
+        }
+    }
+}
+
+/// One processor of a job: the audited algorithm behind a uniform
+/// message/output alphabet, runnable by any [`AsyncPortProcess`] engine.
 #[derive(Debug)]
 pub enum JobProc {
     /// §4.1 asynchronous input distribution.
@@ -195,6 +278,8 @@ pub enum JobProc {
     Start(Synchronized<StartSync>),
     /// §4.2 AND, synchronized.
     And(Synchronized<SyncAnd>),
+    /// Dynamic-network one-bit broadcast (general ports).
+    Bcast(DynBroadcast),
 }
 
 /// The uniform message alphabet of [`JobProc`]: each variant wraps one
@@ -213,6 +298,8 @@ pub enum JobMsg {
     Start(Envelope<u64>),
     /// Synchronizer envelope around the AND token.
     And(Envelope<()>),
+    /// Dynamic-broadcast flooding token.
+    Bcast(BcastMsg),
 }
 
 impl Message for JobMsg {
@@ -223,6 +310,7 @@ impl Message for JobMsg {
             JobMsg::Orient(m) => m.bit_len(),
             JobMsg::Start(m) => m.bit_len(),
             JobMsg::And(m) => m.bit_len(),
+            JobMsg::Bcast(m) => m.bit_len(),
         }
     }
 }
@@ -236,18 +324,19 @@ pub enum JobOutput {
     Oriented(bool),
     /// The synchronized clock value.
     Clock(u64),
-    /// The AND of the input bits.
+    /// The AND of the input bits (`sync_and`), or the OR of the input
+    /// bits (`dyn_broadcast`).
     Bit(u8),
 }
 
-/// Lifts one algorithm's emission into the job alphabet, preserving sends
-/// (order and ports), halt, and the telemetry span untouched.
-fn lift<M, O>(
-    actions: Actions<M, O>,
+/// Lifts a port-addressed emission into the job alphabet, preserving
+/// sends (order and ports), halt, and the telemetry span untouched.
+fn lift_ports<M, O>(
+    actions: PortActions<M, O>,
     msg: impl Fn(M) -> JobMsg,
     out: impl Fn(O) -> JobOutput,
-) -> Actions<JobMsg, JobOutput> {
-    Actions {
+) -> PortActions<JobMsg, JobOutput> {
+    PortActions {
         sends: actions
             .sends
             .into_iter()
@@ -258,41 +347,71 @@ fn lift<M, O>(
     }
 }
 
-impl AsyncProcess for JobProc {
+/// Lifts a ring emission into the job alphabet (left ↦ port 0, right ↦
+/// port 1, the lossless [`PortActions`] conversion).
+fn lift<M, O>(
+    actions: Actions<M, O>,
+    msg: impl Fn(M) -> JobMsg,
+    out: impl Fn(O) -> JobOutput,
+) -> PortActions<JobMsg, JobOutput> {
+    lift_ports(PortActions::from(actions), msg, out)
+}
+
+/// Arrival port of a two-port (ring) job variant.
+fn ring_port(port: PortId) -> Port {
+    port.as_ring()
+        .expect("ring job variants run on two-port topologies")
+}
+
+impl AsyncPortProcess for JobProc {
     type Msg = JobMsg;
     type Output = JobOutput;
 
-    fn on_start(&mut self) -> Actions<JobMsg, JobOutput> {
+    fn on_start_ports(&mut self) -> PortActions<JobMsg, JobOutput> {
         match self {
             JobProc::Dist(p) => lift(p.on_start(), JobMsg::Dist, JobOutput::View),
             JobProc::SyncDist(p) => lift(p.on_start(), JobMsg::SyncDist, JobOutput::View),
             JobProc::Orient(p) => lift(p.on_start(), JobMsg::Orient, JobOutput::Oriented),
             JobProc::Start(p) => lift(p.on_start(), JobMsg::Start, JobOutput::Clock),
             JobProc::And(p) => lift(p.on_start(), JobMsg::And, JobOutput::Bit),
+            JobProc::Bcast(p) => lift_ports(p.on_start_ports(), JobMsg::Bcast, JobOutput::Bit),
         }
     }
 
-    fn on_message(&mut self, from: Port, msg: JobMsg) -> Actions<JobMsg, JobOutput> {
-        // A ring is built from one `Audited` variant, so every message a
-        // processor receives is of its own algorithm's alphabet.
+    fn on_message_port(&mut self, from: PortId, msg: JobMsg) -> PortActions<JobMsg, JobOutput> {
+        // An ensemble is built from one `Audited` variant, so every message
+        // a processor receives is of its own algorithm's alphabet.
         match (self, msg) {
-            (JobProc::Dist(p), JobMsg::Dist(m)) => {
-                lift(p.on_message(from, m), JobMsg::Dist, JobOutput::View)
-            }
-            (JobProc::SyncDist(p), JobMsg::SyncDist(m)) => {
-                lift(p.on_message(from, m), JobMsg::SyncDist, JobOutput::View)
-            }
-            (JobProc::Orient(p), JobMsg::Orient(m)) => {
-                lift(p.on_message(from, m), JobMsg::Orient, JobOutput::Oriented)
-            }
-            (JobProc::Start(p), JobMsg::Start(m)) => {
-                lift(p.on_message(from, m), JobMsg::Start, JobOutput::Clock)
-            }
-            (JobProc::And(p), JobMsg::And(m)) => {
-                lift(p.on_message(from, m), JobMsg::And, JobOutput::Bit)
+            (JobProc::Dist(p), JobMsg::Dist(m)) => lift(
+                p.on_message(ring_port(from), m),
+                JobMsg::Dist,
+                JobOutput::View,
+            ),
+            (JobProc::SyncDist(p), JobMsg::SyncDist(m)) => lift(
+                p.on_message(ring_port(from), m),
+                JobMsg::SyncDist,
+                JobOutput::View,
+            ),
+            (JobProc::Orient(p), JobMsg::Orient(m)) => lift(
+                p.on_message(ring_port(from), m),
+                JobMsg::Orient,
+                JobOutput::Oriented,
+            ),
+            (JobProc::Start(p), JobMsg::Start(m)) => lift(
+                p.on_message(ring_port(from), m),
+                JobMsg::Start,
+                JobOutput::Clock,
+            ),
+            (JobProc::And(p), JobMsg::And(m)) => lift(
+                p.on_message(ring_port(from), m),
+                JobMsg::And,
+                JobOutput::Bit,
+            ),
+            (JobProc::Bcast(p), JobMsg::Bcast(m)) => {
+                lift_ports(p.on_message_port(from, m), JobMsg::Bcast, JobOutput::Bit)
             }
             (proc, msg) => {
-                unreachable!("homogeneous ring: {proc:?} cannot receive a {msg:?} message")
+                unreachable!("homogeneous ensemble: {proc:?} cannot receive a {msg:?} message")
             }
         }
     }
@@ -350,7 +469,9 @@ mod tests {
                         }
                         Audited::Orientation => matches!(output, JobOutput::Oriented(_)),
                         Audited::StartSync => matches!(output, JobOutput::Clock(_)),
-                        Audited::SyncAnd => matches!(output, JobOutput::Bit(_)),
+                        Audited::SyncAnd | Audited::DynBroadcast => {
+                            matches!(output, JobOutput::Bit(_))
+                        }
                     };
                     assert!(ok, "{algorithm} n={n}: {output:?}");
                 }

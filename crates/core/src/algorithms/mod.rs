@@ -1,9 +1,12 @@
-//! The paper's algorithms (§4), implemented as [`anonring_sim`] processes.
+//! The paper's algorithms (§4), implemented as [`anonring_sim`]
+//! processes, plus the first beyond-the-ring family (dynamic-network
+//! one-bit broadcast).
 
 pub mod alternating;
 pub mod async_input_dist;
 pub mod compute;
 pub mod driver;
+pub mod dyn_broadcast;
 pub mod orientation;
 pub mod start_sync;
 pub mod start_sync_bits;

@@ -1,0 +1,238 @@
+//! Observational identity of the ring through the `Topology` trait.
+//!
+//! After the port-topology refactor the ring is *one instance* of
+//! [`Topology`], and nothing in either engine may special-case it. This
+//! suite proves it behaviorally: the same ring wiring re-expressed as a
+//! [`GraphTopology`] (via explicit port assignments, so the orientation-
+//! induced port labelling is reproduced exactly) must be
+//! **indistinguishable** from [`RingTopology`] — identical outputs,
+//! message totals, bit totals, and the full causal event stream (send
+//! sequence numbers, Lamport stamps, causal parents, spans) — for every
+//! audited ring algorithm, under both the synchronous and the
+//! asynchronous engine, across ring sizes and schedulers.
+
+use anonring_core::algorithms::async_input_dist::AsyncInputDist;
+use anonring_core::algorithms::orientation::OrientationProc;
+use anonring_core::algorithms::start_sync::StartSync;
+use anonring_core::algorithms::sync_and::SyncAnd;
+use anonring_core::algorithms::sync_input_dist::SyncInputDist;
+use anonring_sim::r#async::{
+    AsyncEngine, AsyncPortProcess, RandomScheduler, SynchronizingScheduler,
+};
+use anonring_sim::runtime::TraceEvent;
+use anonring_sim::sync::{SyncEngine, SyncProcess};
+use anonring_sim::synchronizer::Synchronized;
+use anonring_sim::{GraphTopology, Port, PortId, RingTopology, Topology, WakeSchedule};
+use proptest::prelude::*;
+
+const SIZES: [usize; 4] = [3, 4, 8, 16];
+
+/// Re-expresses `ring` as a port-identical [`GraphTopology`]: channel `k`
+/// joins processors `k` and `k + 1 (mod n)`, and each endpoint keeps the
+/// exact port its orientation gives it on the ring.
+fn ring_as_graph(ring: &RingTopology) -> GraphTopology {
+    let n = ring.n();
+    let port_facing = |i: usize, channel: usize| -> u16 {
+        for port in [Port::Left, Port::Right] {
+            if ring.port_channel(i, port) == channel {
+                return PortId::from(port).index() as u16;
+            }
+        }
+        unreachable!("every channel touches two ports");
+    };
+    let edges: Vec<((usize, u16), (usize, u16))> = (0..n)
+        .map(|k| {
+            let (a, b) = (k, (k + 1) % n);
+            ((a, port_facing(a, k)), (b, port_facing(b, k)))
+        })
+        .collect();
+    GraphTopology::from_port_edges(n, &edges).expect("rings are loop-free and gap-free")
+}
+
+/// One run's complete observable footprint.
+#[derive(Debug, PartialEq)]
+struct Footprint<O> {
+    outcome: Result<(Vec<O>, u64, u64), String>,
+    events: Vec<TraceEvent>,
+}
+
+fn run_async<P, T>(topology: T, procs: Vec<P>, seed: Option<u64>) -> Footprint<P::Output>
+where
+    P: AsyncPortProcess,
+    P::Output: Clone,
+    T: Topology,
+{
+    let mut events = Vec::new();
+    let outcome = AsyncEngine::new(topology, procs)
+        .map_err(|e| e.to_string())
+        .and_then(|mut engine| {
+            let mut obs = |e: &TraceEvent| events.push(*e);
+            let result = match seed {
+                None => engine.run_with_observer(&mut SynchronizingScheduler, &mut obs),
+                Some(s) => engine.run_with_observer(&mut RandomScheduler::new(s), &mut obs),
+            };
+            result
+                .map(|r| (r.outputs().to_vec(), r.messages, r.bits))
+                .map_err(|e| e.to_string())
+        });
+    Footprint { outcome, events }
+}
+
+fn run_sync<P, T>(topology: T, procs: Vec<P>, wake: Option<&WakeSchedule>) -> Footprint<P::Output>
+where
+    P: SyncProcess,
+    P::Output: Clone,
+    T: Topology,
+{
+    let mut events = Vec::new();
+    let outcome = SyncEngine::new(topology, procs)
+        .map_err(|e| e.to_string())
+        .and_then(|mut engine| {
+            engine.set_max_cycles(20_000);
+            if let Some(w) = wake {
+                engine
+                    .set_wakeups(w.as_slice().to_vec())
+                    .map_err(|e| e.to_string())?;
+            }
+            let mut obs = |e: &TraceEvent| events.push(*e);
+            engine
+                .run_with_observer(&mut obs)
+                .map(|r| (r.outputs().to_vec(), r.messages, r.bits))
+                .map_err(|e| e.to_string())
+        });
+    Footprint { outcome, events }
+}
+
+/// The wiring itself must agree port for port before any engine runs.
+fn assert_wiring_identical(ring: &RingTopology, graph: &GraphTopology) {
+    assert_eq!(Topology::n(ring), graph.n());
+    for i in 0..graph.n() {
+        assert_eq!(Topology::ports(ring, i), graph.ports(i));
+        for p in 0..2u16 {
+            let port = PortId::new(p);
+            assert_eq!(
+                ring.neighbor_port(i, port),
+                graph.neighbor_port(i, port),
+                "processor {i} port {p}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// §4.1 asynchronous input distribution on arbitrarily scrambled
+    /// rings: identical traces on the two wiring descriptions, under the
+    /// synchronizing adversary and a random scheduler.
+    #[test]
+    fn async_input_dist_is_wiring_representation_independent(
+        bits in proptest::collection::vec(0u8..=1, 8),
+        inputs in proptest::collection::vec(any::<u8>(), 8),
+        seed in any::<u64>(),
+    ) {
+        let ring = RingTopology::from_bits(&bits).expect("n = 8");
+        let graph = ring_as_graph(&ring);
+        assert_wiring_identical(&ring, &graph);
+        let procs = |n: usize| -> Vec<AsyncInputDist<u8>> {
+            inputs.iter().map(|&v| AsyncInputDist::new(n, v)).collect()
+        };
+        for scheduler in [None, Some(seed)] {
+            let on_ring = run_async(ring.clone(), procs(8), scheduler);
+            let on_graph = run_async(graph.clone(), procs(8), scheduler);
+            prop_assert_eq!(&on_ring.outcome, &on_graph.outcome);
+            prop_assert_eq!(&on_ring.events, &on_graph.events);
+        }
+    }
+
+    /// The four synchronous algorithms in their audited configurations
+    /// (oriented ring; scrambled for orientation, whose whole point it
+    /// is), at every tested size, under **both engines**: the synchronous
+    /// engine natively and the asynchronous engine through the
+    /// α-synchronizer — exactly the two substrates the audit and the job
+    /// driver use.
+    #[test]
+    fn sync_algorithms_are_wiring_representation_independent(
+        seed in any::<u64>(),
+    ) {
+        for n in SIZES {
+            let oriented = RingTopology::oriented(n).expect("n >= 3");
+            let mut bits = vec![1u8; n];
+            bits[seed as usize % n] = 0;
+            let scrambled = RingTopology::from_bits(&bits).expect("n >= 3");
+            for ring in [&oriented, &scrambled] {
+                assert_wiring_identical(ring, &ring_as_graph(ring));
+            }
+            let graph = ring_as_graph(&oriented);
+            let scrambled_graph = ring_as_graph(&scrambled);
+            let input = |i: usize| (i % 2) as u8;
+            let wake = WakeSchedule::random(n, seed);
+
+            // orientation (the scrambled ring is its natural habitat).
+            let orient = |_: usize| OrientationProc::new(n);
+            prop_assert_eq!(
+                run_sync(scrambled.clone(), (0..n).map(orient).collect(), None),
+                run_sync(scrambled_graph.clone(), (0..n).map(orient).collect(), None),
+                "orientation/sync n={}", n
+            );
+            prop_assert_eq!(
+                run_async(scrambled.clone(), (0..n).map(|_| Synchronized::new(OrientationProc::new(n))).collect(), None),
+                run_async(scrambled_graph.clone(), (0..n).map(|_| Synchronized::new(OrientationProc::new(n))).collect(), None),
+                "orientation/synchronized n={}", n
+            );
+
+            // sync_input_dist.
+            prop_assert_eq!(
+                run_sync(oriented.clone(), (0..n).map(|i| SyncInputDist::new(n, input(i))).collect(), None),
+                run_sync(graph.clone(), (0..n).map(|i| SyncInputDist::new(n, input(i))).collect(), None),
+                "sync_input_dist/sync n={}", n
+            );
+            prop_assert_eq!(
+                run_async(oriented.clone(), (0..n).map(|i| Synchronized::new(SyncInputDist::new(n, input(i)))).collect(), None),
+                run_async(graph.clone(), (0..n).map(|i| Synchronized::new(SyncInputDist::new(n, input(i)))).collect(), None),
+                "sync_input_dist/synchronized n={}", n
+            );
+
+            // sync_and.
+            prop_assert_eq!(
+                run_sync(oriented.clone(), (0..n).map(|i| SyncAnd::new(n, input(i))).collect(), None),
+                run_sync(graph.clone(), (0..n).map(|i| SyncAnd::new(n, input(i))).collect(), None),
+                "sync_and/sync n={}", n
+            );
+
+            // start_sync, under a random wake schedule on the sync engine.
+            prop_assert_eq!(
+                run_sync(oriented.clone(), (0..n).map(|_| StartSync::new(n)).collect(), Some(&wake)),
+                run_sync(graph.clone(), (0..n).map(|_| StartSync::new(n)).collect(), Some(&wake)),
+                "start_sync/sync n={}", n
+            );
+            prop_assert_eq!(
+                run_async(oriented.clone(), (0..n).map(|_| Synchronized::new(StartSync::new(n))).collect(), None),
+                run_async(graph.clone(), (0..n).map(|_| Synchronized::new(StartSync::new(n))).collect(), None),
+                "start_sync/synchronized n={}", n
+            );
+        }
+    }
+}
+
+/// Deterministic spot check at every size for the natively asynchronous
+/// algorithm (kept outside the proptest loop so all four sizes always
+/// run, not only the sampled cases) — on the oriented ring, where §4.1's
+/// exact `n(n−1)` count also pins the totals to the paper.
+#[test]
+fn async_input_dist_identity_at_every_size() {
+    for n in SIZES {
+        let ring = RingTopology::oriented(n).expect("n >= 3");
+        let graph = ring_as_graph(&ring);
+        assert_wiring_identical(&ring, &graph);
+        let inputs: Vec<u8> = (0..n).map(|i| ((i * 2654435761) >> 7) as u8).collect();
+        let procs = || -> Vec<AsyncInputDist<u8>> {
+            inputs.iter().map(|&v| AsyncInputDist::new(n, v)).collect()
+        };
+        let on_ring = run_async(ring.clone(), procs(), None);
+        let on_graph = run_async(graph, procs(), None);
+        assert_eq!(on_ring, on_graph, "n={n}");
+        let (_, messages, _) = on_ring.outcome.expect("distribution completes");
+        assert_eq!(messages, (n * (n - 1)) as u64, "§4.1 exact count, n={n}");
+    }
+}

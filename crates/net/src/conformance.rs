@@ -20,8 +20,8 @@
 
 use std::fmt;
 
-use anonring_sim::r#async::{AsyncEngine, AsyncProcess, AsyncReport, Scheduler};
-use anonring_sim::{RingTopology, SimError};
+use anonring_sim::r#async::{AsyncEngine, AsyncPortProcess, AsyncReport, Scheduler};
+use anonring_sim::{SimError, Topology};
 
 use crate::runtime::{run, NetError, NetOptions, NetReport};
 use crate::wire::Wire;
@@ -103,22 +103,23 @@ pub fn compare<O: fmt::Debug>(
 
 /// Runs a job on the real transport, re-executes it under the async
 /// simulator with `scheduler`, and certifies agreement. `make` must build
-/// the same ring both times — handing it the same `(algorithm, n,
+/// the same processors both times — handing it the same `(algorithm, n,
 /// inputs)` data twice is exactly how the `ringd` server uses this.
 ///
 /// # Errors
 ///
 /// See [`ConformanceError`].
-pub fn certify_with<P, F, S>(
-    topology: &RingTopology,
+pub fn certify_with<P, T, F, S>(
+    topology: &T,
     make: F,
     options: &NetOptions,
     scheduler: &mut S,
 ) -> Result<Certified<P::Output>, ConformanceError>
 where
-    P: AsyncProcess + Send,
+    P: AsyncPortProcess + Send,
     P::Msg: Wire + Send,
     P::Output: Send,
+    T: Topology + Clone,
     F: Fn() -> Vec<P>,
     S: Scheduler,
 {
@@ -135,15 +136,16 @@ where
 /// # Errors
 ///
 /// See [`ConformanceError`].
-pub fn certify<P, F>(
-    topology: &RingTopology,
+pub fn certify<P, T, F>(
+    topology: &T,
     make: F,
     options: &NetOptions,
 ) -> Result<Certified<P::Output>, ConformanceError>
 where
-    P: AsyncProcess + Send,
+    P: AsyncPortProcess + Send,
     P::Msg: Wire + Send,
     P::Output: Send,
+    T: Topology + Clone,
     F: Fn() -> Vec<P>,
 {
     certify_with(

@@ -10,9 +10,9 @@
 //! (seq-in-file-order, parent-before-child, send-before-deliver) the
 //! flight-recorder checker enforces on simulator recordings.
 //!
-//! The hub also owns the ring wiring. Workers speak only in terms of their
-//! local ports; the hub routes a send to the destination inbox and arrival
-//! port. This is the **substrate** side of the anonymity boundary — the
+//! The hub also owns the topology wiring. Workers speak only in terms of
+//! their local ports; the hub routes a send to the destination inbox and
+//! arrival port. This is the **substrate** side of the anonymity boundary — the
 //! same place `LinkFabric` sits in the simulators — which is why the
 //! topology lookup below carries the lint exemption the simulator runtime
 //! enjoys by location.
@@ -21,7 +21,7 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use anonring_sim::runtime::{CausalStamp, CostMeter, SendEvent, Span, TraceEvent};
-use anonring_sim::{Port, RingTopology};
+use anonring_sim::{PortId, Topology};
 
 /// Destination of one directed link: receiving processor and its local
 /// arrival port.
@@ -30,7 +30,7 @@ pub(crate) struct LinkEnd {
     /// Receiving processor index.
     pub to: usize,
     /// The receiver's local port the message shows up on.
-    pub arrival: Port,
+    pub arrival: PortId,
 }
 
 /// Mutable run state, guarded by the hub's single mutex.
@@ -70,7 +70,7 @@ pub(crate) struct Outcome {
 pub(crate) struct Hub {
     n: usize,
     /// `wiring[from][pidx(local port)]` — fixed for the run.
-    wiring: Vec<[LinkEnd; 2]>,
+    wiring: Vec<Vec<LinkEnd>>,
     inner: Mutex<HubInner>,
     /// Signalled on every state change that could end the run.
     progress: Condvar,
@@ -78,14 +78,16 @@ pub(crate) struct Hub {
 
 impl Hub {
     /// Builds the hub for `topology`, resolving every directed link once.
-    pub(crate) fn new(topology: &RingTopology) -> Hub {
+    pub(crate) fn new(topology: &dyn Topology) -> Hub {
         let wiring = (0..topology.n())
             .map(|i| {
-                [Port::Left, Port::Right].map(|port| {
-                    // anonlint: allow(anonymity-breach) -- substrate wiring: the hub realises the ring like LinkFabric does; algorithms only ever see local ports
-                    let (to, arrival) = topology.neighbor(i, port);
-                    LinkEnd { to, arrival }
-                })
+                (0..topology.ports(i))
+                    .map(|k| {
+                        // anonlint: allow(anonymity-breach) -- substrate wiring: the hub realises the topology like LinkFabric does; algorithms only ever see local ports
+                        let (to, arrival) = topology.neighbor_port(i, PortId::new(k as u16));
+                        LinkEnd { to, arrival }
+                    })
+                    .collect()
             })
             .collect();
         Hub {
@@ -106,10 +108,10 @@ impl Hub {
         }
     }
 
-    /// The two outgoing link ends of processor `from`, indexed by
+    /// The outgoing link ends of processor `from`, indexed by
     /// [`crate::inbox::pidx`] of the local send port.
-    pub(crate) fn links_of(&self, from: usize) -> [LinkEnd; 2] {
-        self.wiring[from]
+    pub(crate) fn links_of(&self, from: usize) -> &[LinkEnd] {
+        &self.wiring[from]
     }
 
     fn lock(&self) -> MutexGuard<'_, HubInner> {
@@ -124,7 +126,7 @@ impl Hub {
     pub(crate) fn route_send(
         &self,
         from: usize,
-        port: Port,
+        port: PortId,
         bits: usize,
         time: u64,
         lamport: u64,
@@ -157,7 +159,7 @@ impl Hub {
 
     /// Meters one delivery (or drop, when the receiver already halted) and
     /// logs the [`TraceEvent::Deliver`].
-    pub(crate) fn deliver(&self, time: u64, to: usize, port: Port, seq: u64, dropped: bool) {
+    pub(crate) fn deliver(&self, time: u64, to: usize, port: PortId, seq: u64, dropped: bool) {
         let mut inner = self.lock();
         inner.meter.record_delivery();
         if dropped {
@@ -264,7 +266,7 @@ impl Hub {
 #[cfg(test)]
 mod tests {
     use super::Hub;
-    use anonring_sim::{Port, RingTopology};
+    use anonring_sim::{PortId, RingTopology};
     use std::time::{Duration, Instant};
 
     fn hub(n: usize) -> Hub {
@@ -274,17 +276,17 @@ mod tests {
     #[test]
     fn wiring_matches_the_topology() {
         let h = hub(3);
-        let right = h.links_of(0)[crate::inbox::pidx(Port::Right)];
-        assert_eq!((right.to, right.arrival), (1, Port::Left));
-        let left = h.links_of(0)[crate::inbox::pidx(Port::Left)];
-        assert_eq!((left.to, left.arrival), (2, Port::Right));
+        let right = h.links_of(0)[crate::inbox::pidx(PortId::RIGHT)];
+        assert_eq!((right.to, right.arrival), (1, PortId::LEFT));
+        let left = h.links_of(0)[crate::inbox::pidx(PortId::LEFT)];
+        assert_eq!((left.to, left.arrival), (2, PortId::RIGHT));
     }
 
     #[test]
     fn seqs_are_assigned_in_event_log_order() {
         let h = hub(2);
-        let a = h.route_send(0, Port::Right, 4, 1, 1, None, None);
-        let b = h.route_send(1, Port::Right, 4, 1, 1, None, None);
+        let a = h.route_send(0, PortId::RIGHT, 4, 1, 1, None, None);
+        let b = h.route_send(1, PortId::RIGHT, 4, 1, 1, None, None);
         assert_eq!((a.seq, b.seq), (0, 1));
         let (meter, events) = h.into_parts();
         assert_eq!(meter.messages, 2);
@@ -295,11 +297,11 @@ mod tests {
     #[test]
     fn run_completes_when_all_halt_and_links_drain() {
         let h = hub(2);
-        let s = h.route_send(0, Port::Right, 1, 1, 1, None, None);
+        let s = h.route_send(0, PortId::RIGHT, 1, 1, 1, None, None);
         h.halt(0, 0);
         h.halt(1, 0);
         assert!(!h.is_over(), "a message is still in flight");
-        h.deliver(1, 1, Port::Left, s.seq, true);
+        h.deliver(1, 1, PortId::LEFT, s.seq, true);
         assert!(h.is_over());
         let outcome = h.await_outcome(Instant::now() + Duration::from_secs(1));
         assert!(outcome.done && !outcome.stalled && !outcome.cancelled);

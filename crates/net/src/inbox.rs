@@ -11,7 +11,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 use anonring_sim::runtime::CausalStamp;
-use anonring_sim::Port;
+use anonring_sim::PortId;
 
 /// One message in transit on the real transport: the payload plus the
 /// metadata the simulators attach to every send.
@@ -26,15 +26,12 @@ pub(crate) struct Parcel<M> {
 }
 
 /// Queue index of a local port.
-pub(crate) fn pidx(port: Port) -> usize {
-    match port {
-        Port::Left => 0,
-        Port::Right => 1,
-    }
+pub(crate) fn pidx(port: PortId) -> usize {
+    port.index()
 }
 
 struct InboxState<M> {
-    queues: [VecDeque<Parcel<M>>; 2],
+    queues: Vec<VecDeque<Parcel<M>>>,
     capacity: usize,
     shutdown: bool,
 }
@@ -60,19 +57,20 @@ pub(crate) enum WorkOutcome {
     Closed,
 }
 
-/// A processor's two bounded arrival queues (left port, right port).
+/// A processor's bounded arrival queues, one per local port (a ring
+/// processor has two: left then right).
 pub(crate) struct Inbox<M> {
     state: Mutex<InboxState<M>>,
     changed: Condvar,
 }
 
 impl<M> Inbox<M> {
-    /// An empty inbox whose per-port queues hold at most `capacity`
-    /// parcels each (`capacity ≥ 1`).
-    pub(crate) fn new(capacity: usize) -> Inbox<M> {
+    /// An empty inbox with one queue per local port, each holding at most
+    /// `capacity` parcels (`capacity ≥ 1`).
+    pub(crate) fn new(ports: usize, capacity: usize) -> Inbox<M> {
         Inbox {
             state: Mutex::new(InboxState {
-                queues: [VecDeque::new(), VecDeque::new()],
+                queues: (0..ports).map(|_| VecDeque::new()).collect(),
                 capacity: capacity.max(1),
                 shutdown: false,
             }),
@@ -85,7 +83,7 @@ impl<M> Inbox<M> {
     }
 
     /// Attempts to enqueue `parcel` on the queue for arrival port `port`.
-    pub(crate) fn try_push(&self, port: Port, parcel: Parcel<M>) -> PushOutcome<M> {
+    pub(crate) fn try_push(&self, port: PortId, parcel: Parcel<M>) -> PushOutcome<M> {
         let mut state = self.lock();
         if state.shutdown {
             return PushOutcome::Closed;
@@ -102,7 +100,7 @@ impl<M> Inbox<M> {
     /// Parks until the queue for `port` has room, the inbox shuts down, or
     /// `timeout` elapses — whichever comes first. Callers re-attempt the
     /// push afterwards; spurious wakeups are harmless.
-    pub(crate) fn wait_space(&self, port: Port, timeout: Duration) {
+    pub(crate) fn wait_space(&self, port: PortId, timeout: Duration) {
         let state = self.lock();
         if state.shutdown || state.queues[pidx(port)].len() < state.capacity {
             return;
@@ -116,7 +114,7 @@ impl<M> Inbox<M> {
     /// Moves every queued parcel into `staging` (per-port, preserving FIFO
     /// order) and returns whether anything was moved. Draining frees queue
     /// capacity, which unblocks senders.
-    pub(crate) fn drain_into(&self, staging: &mut [VecDeque<Parcel<M>>; 2]) -> bool {
+    pub(crate) fn drain_into(&self, staging: &mut [VecDeque<Parcel<M>>]) -> bool {
         let mut state = self.lock();
         let mut moved = false;
         for (k, queue) in state.queues.iter_mut().enumerate() {
@@ -168,7 +166,7 @@ impl<M> Inbox<M> {
 mod tests {
     use super::{pidx, Inbox, Parcel, PushOutcome, WorkOutcome};
     use anonring_sim::runtime::CausalStamp;
-    use anonring_sim::Port;
+    use anonring_sim::PortId;
     use std::collections::VecDeque;
     use std::time::Duration;
 
@@ -186,37 +184,38 @@ mod tests {
 
     #[test]
     fn port_indexing_is_a_bijection() {
-        assert_ne!(pidx(Port::Left), pidx(Port::Right));
-        assert!(pidx(Port::Left) < 2 && pidx(Port::Right) < 2);
+        assert_ne!(pidx(PortId::LEFT), pidx(PortId::RIGHT));
+        assert!(pidx(PortId::LEFT) < 2 && pidx(PortId::RIGHT) < 2);
+        assert_eq!(pidx(PortId::new(5)), 5);
     }
 
     #[test]
     fn capacity_bounds_each_port_queue_independently() {
-        let inbox: Inbox<u8> = Inbox::new(1);
+        let inbox: Inbox<u8> = Inbox::new(2, 1);
         assert!(matches!(
-            inbox.try_push(Port::Left, parcel(1)),
+            inbox.try_push(PortId::LEFT, parcel(1)),
             PushOutcome::Pushed
         ));
         assert!(matches!(
-            inbox.try_push(Port::Left, parcel(2)),
+            inbox.try_push(PortId::LEFT, parcel(2)),
             PushOutcome::Full(p) if p.msg == 2
         ));
         assert!(matches!(
-            inbox.try_push(Port::Right, parcel(3)),
+            inbox.try_push(PortId::RIGHT, parcel(3)),
             PushOutcome::Pushed
         ));
     }
 
     #[test]
     fn draining_preserves_per_port_fifo_order_and_frees_capacity() {
-        let inbox: Inbox<u8> = Inbox::new(2);
+        let inbox: Inbox<u8> = Inbox::new(2, 2);
         for m in [1, 2] {
             assert!(matches!(
-                inbox.try_push(Port::Right, parcel(m)),
+                inbox.try_push(PortId::RIGHT, parcel(m)),
                 PushOutcome::Pushed
             ));
         }
-        let mut staging: [VecDeque<Parcel<u8>>; 2] = [VecDeque::new(), VecDeque::new()];
+        let mut staging: Vec<VecDeque<Parcel<u8>>> = vec![VecDeque::new(), VecDeque::new()];
         assert!(inbox.drain_into(&mut staging));
         assert!(
             !inbox.drain_into(&mut staging),
@@ -225,17 +224,17 @@ mod tests {
         let order: Vec<u8> = staging[1].iter().map(|p| p.msg).collect();
         assert_eq!(order, vec![1, 2]);
         assert!(matches!(
-            inbox.try_push(Port::Right, parcel(3)),
+            inbox.try_push(PortId::RIGHT, parcel(3)),
             PushOutcome::Pushed
         ));
     }
 
     #[test]
     fn close_rejects_pushes_and_unblocks_waiters() {
-        let inbox: Inbox<u8> = Inbox::new(1);
+        let inbox: Inbox<u8> = Inbox::new(2, 1);
         inbox.close();
         assert!(matches!(
-            inbox.try_push(Port::Left, parcel(1)),
+            inbox.try_push(PortId::LEFT, parcel(1)),
             PushOutcome::Closed
         ));
         assert_eq!(
@@ -246,10 +245,10 @@ mod tests {
 
     #[test]
     fn wait_work_reports_ready_and_idle() {
-        let inbox: Inbox<u8> = Inbox::new(1);
+        let inbox: Inbox<u8> = Inbox::new(2, 1);
         assert_eq!(inbox.wait_work(Duration::from_millis(1)), WorkOutcome::Idle);
         assert!(matches!(
-            inbox.try_push(Port::Right, parcel(9)),
+            inbox.try_push(PortId::RIGHT, parcel(9)),
             PushOutcome::Pushed
         ));
         assert_eq!(

@@ -9,8 +9,6 @@
 
 use std::time::Duration;
 
-use anonring_sim::Port;
-
 /// SplitMix64 stream driving one worker's delivery choices.
 #[derive(Debug, Clone)]
 pub(crate) struct Jitter {
@@ -38,18 +36,18 @@ impl Jitter {
         z ^ (z >> 31)
     }
 
-    /// Chooses which local port to consume from next, given which staged
-    /// queues are nonempty. At least one of `left`/`right` must be true.
-    pub(crate) fn pick(&mut self, left: bool, right: bool) -> Port {
-        match (left, right) {
-            (true, false) => Port::Left,
-            (false, true) => Port::Right,
+    /// Chooses which local port to consume from next among the nonempty
+    /// staged queues. `ready` must be non-empty; a single candidate is
+    /// returned without consuming the stream, so forced picks don't
+    /// perturb later choices (the same property the old two-port picker
+    /// had).
+    pub(crate) fn pick(&mut self, ready: &[usize]) -> usize {
+        match ready {
+            [only] => *only,
             _ => {
-                if self.next_u64() & 1 == 0 {
-                    Port::Left
-                } else {
-                    Port::Right
-                }
+                let k = usize::try_from(self.next_u64() % ready.len() as u64)
+                    .expect("port counts fit in usize");
+                ready[k]
             }
         }
     }
@@ -70,24 +68,33 @@ impl Jitter {
 #[cfg(test)]
 mod tests {
     use super::Jitter;
-    use anonring_sim::Port;
 
     #[test]
     fn forced_picks_respect_the_only_nonempty_queue() {
         let mut j = Jitter::new(1, 0, 0);
-        assert_eq!(j.pick(true, false), Port::Left);
-        assert_eq!(j.pick(false, true), Port::Right);
+        assert_eq!(j.pick(&[0]), 0);
+        assert_eq!(j.pick(&[1]), 1);
+        assert_eq!(j.pick(&[5]), 5);
     }
 
     #[test]
     fn streams_are_deterministic_per_seed_and_lane() {
         let picks = |seed, lane| {
             let mut j = Jitter::new(seed, lane, 0);
-            (0..64).map(|_| j.pick(true, true)).collect::<Vec<_>>()
+            (0..64).map(|_| j.pick(&[0, 1])).collect::<Vec<_>>()
         };
         assert_eq!(picks(7, 0), picks(7, 0));
         assert_ne!(picks(7, 0), picks(8, 0), "seed changes the stream");
         assert_ne!(picks(7, 0), picks(7, 1), "lane changes the stream");
+    }
+
+    #[test]
+    fn many_port_picks_stay_in_range() {
+        let mut j = Jitter::new(11, 3, 0);
+        let ready = [0, 2, 5, 6];
+        for _ in 0..128 {
+            assert!(ready.contains(&j.pick(&ready)));
+        }
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! The real-transport runtime: one OS thread per ring processor.
+//! The real-transport runtime: one OS thread per processor.
 //!
 //! This is a third driver over the same algorithm interface the simulators
-//! use: processes implement [`AsyncProcess`] and never learn which
-//! substrate runs them. Each processor becomes a worker thread with a
-//! bounded two-queue [`crate::inbox::Inbox`] (one FIFO per local port);
+//! use: processes implement [`AsyncPortProcess`] (every ring
+//! [`anonring_sim::r#async::AsyncProcess`] qualifies automatically) and
+//! never learn which substrate runs them. Each processor becomes a worker
+//! thread with a bounded [`crate::inbox::Inbox`] (one FIFO per local port);
 //! workers deliver from their own inbox, react, and push the reactions
 //! into their neighbours' inboxes. Every send, delivery and halt is
 //! metered and logged by the shared [`crate::hub::Hub`], so a net run
@@ -36,16 +37,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use anonring_sim::message::Message;
-use anonring_sim::r#async::{Actions, AsyncProcess};
-use anonring_sim::runtime::{CausalClocks, Observer, TraceEvent};
-use anonring_sim::{Port, RingTopology};
+use anonring_sim::r#async::AsyncPortProcess;
+use anonring_sim::runtime::{CausalClocks, Observer, PortActions, TraceEvent};
+use anonring_sim::{PortId, Topology};
 
 use crate::hub::{Hub, Outcome};
 use crate::inbox::{pidx, Inbox, Parcel, PushOutcome, WorkOutcome};
 use crate::jitter::Jitter;
 use crate::wire::Wire;
 
-/// How the ring's links are realised.
+/// How the topology's links are realised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Transport {
     /// In-process: one OS thread per processor, links are bounded
@@ -252,7 +253,7 @@ pub(crate) trait SendPort<M> {
 /// In-process link: pushes straight into the peer's bounded inbox.
 pub(crate) struct LocalPort<M> {
     pub peer: Arc<Inbox<M>>,
-    pub arrival: Port,
+    pub arrival: PortId,
 }
 
 impl<M> SendPort<M> for LocalPort<M> {
@@ -286,13 +287,13 @@ impl<M> SendPort<M> for LocalPort<M> {
 #[allow(clippy::too_many_arguments)] // worker internals threaded through one helper, like the engines'
 pub(crate) fn emit_actions<M: Message, O, L: SendPort<M>>(
     me: usize,
-    actions: Actions<M, O>,
+    actions: PortActions<M, O>,
     event_epoch: u64,
     hub: &Hub,
     clocks: &mut CausalClocks,
     inbox: &Inbox<M>,
-    links: &mut [L; 2],
-    staging: &mut [VecDeque<Parcel<M>>; 2],
+    links: &mut [L],
+    staging: &mut [VecDeque<Parcel<M>>],
     output: &mut Option<O>,
 ) -> Result<(), PushError> {
     let send_epoch = event_epoch + 1;
@@ -322,19 +323,20 @@ pub(crate) fn emit_actions<M: Message, O, L: SendPort<M>>(
 
 /// The body of one processor's thread: deliver → react → send, until the
 /// hub declares the run over.
-pub(crate) fn worker<P: AsyncProcess, L: SendPort<P::Msg>>(
+pub(crate) fn worker<P: AsyncPortProcess, L: SendPort<P::Msg>>(
     me: usize,
     mut proc: P,
     hub: &Hub,
     inbox: &Inbox<P::Msg>,
-    mut links: [L; 2],
+    mut links: Vec<L>,
     mut jitter: Jitter,
 ) -> Result<Option<P::Output>, NetError> {
     let mut clocks = CausalClocks::new(1);
-    let mut staging: [VecDeque<Parcel<P::Msg>>; 2] = [VecDeque::new(), VecDeque::new()];
+    let mut staging: Vec<VecDeque<Parcel<P::Msg>>> =
+        (0..links.len()).map(|_| VecDeque::new()).collect();
     let mut output: Option<P::Output> = None;
 
-    let started = proc.on_start();
+    let started = proc.on_start_ports();
     match emit_actions(
         me,
         started,
@@ -358,9 +360,10 @@ pub(crate) fn worker<P: AsyncProcess, L: SendPort<P::Msg>>(
             break;
         }
         inbox.drain_into(&mut staging);
-        let left = !staging[0].is_empty();
-        let right = !staging[1].is_empty();
-        if !left && !right {
+        let ready: Vec<usize> = (0..staging.len())
+            .filter(|&k| !staging[k].is_empty())
+            .collect();
+        if ready.is_empty() {
             hub.enter_wait();
             let wait = inbox.wait_work(Duration::from_millis(1));
             hub.exit_wait();
@@ -369,7 +372,7 @@ pub(crate) fn worker<P: AsyncProcess, L: SendPort<P::Msg>>(
             }
             continue;
         }
-        let port = jitter.pick(left, right);
+        let port = PortId::new(jitter.pick(&ready) as u16);
         let parcel = staging[pidx(port)]
             .pop_front()
             .expect("picked a nonempty staging queue");
@@ -380,7 +383,7 @@ pub(crate) fn worker<P: AsyncProcess, L: SendPort<P::Msg>>(
             continue;
         }
         clocks.consume(0, parcel.stamp);
-        let actions = proc.on_message(port, parcel.msg);
+        let actions = proc.on_message_port(port, parcel.msg);
         match emit_actions(
             me,
             actions,
@@ -446,15 +449,16 @@ pub(crate) fn finish<O>(
 /// # Errors
 ///
 /// See [`NetError`].
-pub fn run_threads<P>(
-    topology: &RingTopology,
+pub fn run_threads<P, T>(
+    topology: &T,
     procs: Vec<P>,
     options: &NetOptions,
 ) -> Result<NetReport<P::Output>, NetError>
 where
-    P: AsyncProcess + Send,
+    P: AsyncPortProcess + Send,
     P::Msg: Send,
     P::Output: Send,
+    T: Topology,
 {
     let n = topology.n();
     if procs.len() != n {
@@ -465,7 +469,7 @@ where
     }
     let hub = Hub::new(topology);
     let inboxes: Vec<Arc<Inbox<P::Msg>>> = (0..n)
-        .map(|_| Arc::new(Inbox::new(options.capacity)))
+        .map(|i| Arc::new(Inbox::new(topology.ports(i), options.capacity)))
         .collect();
     let deadline = Instant::now() + options.timeout;
 
@@ -475,10 +479,14 @@ where
             .into_iter()
             .enumerate()
             .map(|(i, proc)| {
-                let links = hub.links_of(i).map(|end| LocalPort {
-                    peer: Arc::clone(&inboxes[end.to]),
-                    arrival: end.arrival,
-                });
+                let links: Vec<_> = hub
+                    .links_of(i)
+                    .iter()
+                    .map(|end| LocalPort {
+                        peer: Arc::clone(&inboxes[end.to]),
+                        arrival: end.arrival,
+                    })
+                    .collect();
                 let inbox = Arc::clone(&inboxes[i]);
                 let jitter = Jitter::new(options.jitter_seed, i as u64, options.max_delay_us);
                 scope.spawn(move || worker(i, proc, hub, &inbox, links, jitter))
@@ -509,15 +517,16 @@ where
 /// # Errors
 ///
 /// See [`NetError`].
-pub fn run<P>(
-    topology: &RingTopology,
+pub fn run<P, T>(
+    topology: &T,
     procs: Vec<P>,
     options: &NetOptions,
 ) -> Result<NetReport<P::Output>, NetError>
 where
-    P: AsyncProcess + Send,
+    P: AsyncPortProcess + Send,
     P::Msg: Wire + Send,
     P::Output: Send,
+    T: Topology,
 {
     match options.transport {
         Transport::Threads => run_threads(topology, procs, options),

@@ -29,9 +29,9 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use anonring_sim::r#async::AsyncProcess;
+use anonring_sim::r#async::AsyncPortProcess;
 use anonring_sim::runtime::CausalStamp;
-use anonring_sim::{Port, RingTopology};
+use anonring_sim::{PortId, Topology};
 
 use crate::hub::Hub;
 use crate::inbox::{Inbox, Parcel, PushOutcome};
@@ -117,7 +117,7 @@ fn read_frame_bytes(
 fn read_link<M: Wire>(
     mut stream: TcpStream,
     inbox: &Inbox<M>,
-    arrival: Port,
+    arrival: PortId,
     hub: &Hub,
     faults: &Mutex<Vec<String>>,
 ) {
@@ -208,15 +208,16 @@ fn connect_pair() -> Result<LinkPair, NetError> {
 /// # Errors
 ///
 /// See [`NetError`]; transport failures surface as [`NetError::Io`].
-pub(crate) fn run_tcp<P>(
-    topology: &RingTopology,
+pub(crate) fn run_tcp<P, T>(
+    topology: &T,
     procs: Vec<P>,
     options: &NetOptions,
 ) -> Result<NetReport<P::Output>, NetError>
 where
-    P: AsyncProcess + Send,
+    P: AsyncPortProcess + Send,
     P::Msg: Wire + Send,
     P::Output: Send,
+    T: Topology,
 {
     let n = topology.n();
     if procs.len() != n {
@@ -227,16 +228,20 @@ where
     }
     let hub = Hub::new(topology);
     let inboxes: Vec<Arc<Inbox<P::Msg>>> = (0..n)
-        .map(|_| Arc::new(Inbox::new(options.capacity)))
+        .map(|i| Arc::new(Inbox::new(topology.ports(i), options.capacity)))
         .collect();
     let faults = Mutex::new(Vec::new());
     let deadline = Instant::now() + options.timeout;
 
-    // Establish all 2n directed links up front; per sender, index 0 is the
-    // left-port link and index 1 the right-port link.
+    // Establish every directed link up front; per sender, index k is the
+    // link its local port k sends on (left then right on a ring).
     let mut links: Vec<Vec<LinkPair>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        links.push(vec![connect_pair()?, connect_pair()?]);
+    for i in 0..n {
+        let mut out = Vec::with_capacity(topology.ports(i));
+        for _ in 0..topology.ports(i) {
+            out.push(connect_pair()?);
+        }
+        links.push(out);
     }
 
     let (outcome, results) = std::thread::scope(|scope| {
@@ -258,7 +263,8 @@ where
                     )
                 })
                 .collect::<Vec<_>>();
-            let mut writers = Vec::with_capacity(2);
+            let degree = ends.len();
+            let mut writers = Vec::with_capacity(degree);
             for (k, (writer, reader)) in ports.into_iter().enumerate() {
                 let (writer, reader) = match (writer, reader) {
                     (Ok(w), Ok(r)) => (w, r),
@@ -280,15 +286,10 @@ where
                 let arrival = ends[k].arrival;
                 scope.spawn(move || read_link(reader, &peer, arrival, hub, faults));
             }
-            if writers.len() == 2 {
-                let mut writers = writers.into_iter();
-                let pair = [
-                    writers.next().expect("two writers"),
-                    writers.next().expect("two writers"),
-                ];
+            if writers.len() == degree {
                 let inbox = Arc::clone(&inboxes[i]);
                 let jitter = Jitter::new(options.jitter_seed, i as u64, options.max_delay_us);
-                handles.push(scope.spawn(move || worker(i, proc, hub, &inbox, pair, jitter)));
+                handles.push(scope.spawn(move || worker(i, proc, hub, &inbox, writers, jitter)));
             }
         }
         let outcome = hub.await_outcome(deadline);

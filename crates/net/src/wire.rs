@@ -13,6 +13,7 @@ use std::fmt;
 
 use anonring_core::algorithms::async_input_dist::DistMsg;
 use anonring_core::algorithms::driver::JobMsg;
+use anonring_core::algorithms::dyn_broadcast::BcastMsg;
 use anonring_core::algorithms::orientation::OrientMsg;
 use anonring_core::algorithms::sync_input_dist::IdMsg;
 use anonring_sim::synchronizer::Envelope;
@@ -272,6 +273,10 @@ impl Wire for JobMsg {
                 out.push(4);
                 m.encode(out);
             }
+            JobMsg::Bcast(m) => {
+                out.push(5);
+                m.0.encode(out);
+            }
         }
     }
 
@@ -282,6 +287,7 @@ impl Wire for JobMsg {
             2 => Ok(JobMsg::Orient(Envelope::decode(input)?)),
             3 => Ok(JobMsg::Start(Envelope::decode(input)?)),
             4 => Ok(JobMsg::And(Envelope::decode(input)?)),
+            5 => Ok(JobMsg::Bcast(BcastMsg(u8::decode(input)?))),
             tag => Err(WireError::new(format!("invalid JobMsg tag {tag}"))),
         }
     }

@@ -10,7 +10,7 @@ use anonring_net::{certify, compare, run_threads, NetError, NetOptions, Transpor
 use anonring_sim::r#async::{AsyncEngine, SynchronizingScheduler};
 use proptest::prelude::*;
 
-/// The ring sizes the conformance suite certifies.
+/// The ensemble sizes the conformance suite certifies.
 const SIZES: [usize; 4] = [3, 4, 8, 16];
 
 /// Deterministic mixed inputs: the audit harness's bit pattern for the
@@ -49,7 +49,7 @@ fn certify_job(algorithm: Audited, n: usize, options: &NetOptions) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// All five audited algorithms, at every tested size, under a random
+    /// All six audited algorithms, at every tested size, under a random
     /// jitter seed and a random (small) link capacity: the net run's
     /// outputs, message total and bit total equal the simulator's.
     #[test]

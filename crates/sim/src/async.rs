@@ -21,11 +21,11 @@ use std::fmt;
 use crate::config::RingConfig;
 use crate::error::SimError;
 use crate::message::Message;
-use crate::port::Port;
+use crate::port::{Port, PortId};
 use crate::runtime::{
-    CausalClocks, CostMeter, LinkFabric, NullObserver, Observer, SendMeta, TraceEvent,
+    CausalClocks, CostMeter, LinkFabric, NullObserver, Observer, PortActions, SendMeta, TraceEvent,
 };
-use crate::topology::RingTopology;
+use crate::topology::{RingTopology, Topology};
 
 pub use crate::runtime::{Actions, Candidate, Emit};
 
@@ -44,6 +44,50 @@ pub trait AsyncProcess {
 
     /// Reaction to a message arriving on local port `from`.
     fn on_message(&mut self, from: Port, msg: Self::Msg) -> Actions<Self::Msg, Self::Output>;
+}
+
+/// A processor of an asynchronous algorithm on an arbitrary port-labelled
+/// topology: the general form the engine (and the `net` driver) actually
+/// executes.
+///
+/// Every [`AsyncProcess`] is automatically an `AsyncPortProcess` (ports 0
+/// and 1 are the ring's left and right), so ring algorithms run
+/// unchanged. Higher-degree processes implement this trait directly.
+pub trait AsyncPortProcess {
+    /// Message type sent on the channels.
+    type Msg: Message;
+    /// Output state when the processor halts.
+    type Output: Clone + fmt::Debug + PartialEq;
+
+    /// Reaction to the conceptual start message.
+    fn on_start_ports(&mut self) -> PortActions<Self::Msg, Self::Output>;
+
+    /// Reaction to a message arriving on local port `from`.
+    fn on_message_port(
+        &mut self,
+        from: PortId,
+        msg: Self::Msg,
+    ) -> PortActions<Self::Msg, Self::Output>;
+}
+
+impl<P: AsyncProcess> AsyncPortProcess for P {
+    type Msg = P::Msg;
+    type Output = P::Output;
+
+    fn on_start_ports(&mut self) -> PortActions<Self::Msg, Self::Output> {
+        self.on_start().into()
+    }
+
+    fn on_message_port(
+        &mut self,
+        from: PortId,
+        msg: Self::Msg,
+    ) -> PortActions<Self::Msg, Self::Output> {
+        let from = from
+            .as_ring()
+            .expect("two-port process on a many-port topology");
+        self.on_message(from, msg).into()
+    }
 }
 
 /// The adversary: chooses which pending message is delivered next.
@@ -112,16 +156,17 @@ impl Scheduler for LifoScheduler {
 #[derive(Debug, Clone, Copy)]
 pub struct LinkStarvingScheduler {
     victim_to: usize,
-    victim_port: Port,
+    victim_port: PortId,
 }
 
 impl LinkStarvingScheduler {
-    /// Starves the link delivering to processor `to` on its `port`.
+    /// Starves the link delivering to processor `to` on its `port` (either
+    /// a ring [`Port`] or a general [`PortId`]).
     #[must_use]
-    pub fn new(to: usize, port: Port) -> LinkStarvingScheduler {
+    pub fn new(to: usize, port: impl Into<PortId>) -> LinkStarvingScheduler {
         LinkStarvingScheduler {
             victim_to: to,
-            victim_port: port,
+            victim_port: port.into(),
         }
     }
 }
@@ -239,19 +284,36 @@ pub const DEFAULT_MAX_DELIVERIES: u64 = 50_000_000;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct AsyncEngine<P: AsyncProcess> {
-    topology: RingTopology,
+pub struct AsyncEngine<P: AsyncPortProcess, T: Topology = RingTopology> {
+    topology: T,
     procs: Vec<P>,
     max_deliveries: u64,
 }
 
-impl<P: AsyncProcess> AsyncEngine<P> {
+impl<P: AsyncPortProcess> AsyncEngine<P, RingTopology> {
+    /// Builds an engine from a ring configuration, constructing each
+    /// process from its index and input.
+    pub fn from_config<V>(
+        config: &RingConfig<V>,
+        mut make: impl FnMut(usize, &V) -> P,
+    ) -> AsyncEngine<P, RingTopology> {
+        let procs = config
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| make(i, v))
+            .collect();
+        AsyncEngine::new(config.topology().clone(), procs).expect("config is self-consistent")
+    }
+}
+
+impl<P: AsyncPortProcess, T: Topology> AsyncEngine<P, T> {
     /// Builds an engine over `topology` with one process per processor.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::LengthMismatch`] if `procs.len() != n`.
-    pub fn new(topology: RingTopology, procs: Vec<P>) -> Result<AsyncEngine<P>, SimError> {
+    pub fn new(topology: T, procs: Vec<P>) -> Result<AsyncEngine<P, T>, SimError> {
         if procs.len() != topology.n() {
             return Err(SimError::LengthMismatch {
                 expected: topology.n(),
@@ -263,21 +325,6 @@ impl<P: AsyncProcess> AsyncEngine<P> {
             procs,
             max_deliveries: DEFAULT_MAX_DELIVERIES,
         })
-    }
-
-    /// Builds an engine from a ring configuration, constructing each
-    /// process from its index and input.
-    pub fn from_config<V>(
-        config: &RingConfig<V>,
-        mut make: impl FnMut(usize, &V) -> P,
-    ) -> AsyncEngine<P> {
-        let procs = config
-            .inputs()
-            .iter()
-            .enumerate()
-            .map(|(i, v)| make(i, v))
-            .collect();
-        AsyncEngine::new(config.topology().clone(), procs).expect("config is self-consistent")
     }
 
     /// Sets the delivery budget after which the run aborts.
@@ -292,12 +339,20 @@ impl<P: AsyncProcess> AsyncEngine<P> {
         self.topology.n()
     }
 
+    /// The topology the engine runs over.
+    #[must_use]
+    pub fn topology(&self) -> &T {
+        &self.topology
+    }
+
     /// Runs the computation under `scheduler` until quiescence.
     ///
     /// # Errors
     ///
     /// * [`SimError::QuiescentWithoutHalt`] if no messages remain but some
     ///   processor never halted (an algorithm deadlock);
+    /// * [`SimError::DisconnectedTopology`] for the same quiescence on a
+    ///   topology with more than one connected component;
     /// * [`SimError::MaxDeliveriesExceeded`] if the delivery budget runs
     ///   out (an algorithm livelock).
     pub fn run(
@@ -346,7 +401,7 @@ impl<P: AsyncProcess> AsyncEngine<P> {
         #[allow(clippy::too_many_arguments)] // engine internals threaded through one helper
         fn dispatch<M: Message, O>(
             from: usize,
-            actions: Actions<M, O>,
+            actions: PortActions<M, O>,
             event_epoch: u64,
             fabric: &mut LinkFabric<'_, M>,
             clocks: &mut CausalClocks,
@@ -378,7 +433,7 @@ impl<P: AsyncProcess> AsyncEngine<P> {
         // Conceptual start messages: every processor's initial transition
         // happens at epoch 0.
         for (i, proc) in procs.iter_mut().enumerate() {
-            let actions = proc.on_start();
+            let actions = proc.on_start_ports();
             dispatch(
                 i,
                 actions,
@@ -418,7 +473,7 @@ impl<P: AsyncProcess> AsyncEngine<P> {
                 continue;
             }
             clocks.consume(cand.to, popped.stamp);
-            let actions = procs[cand.to].on_message(cand.port, popped.msg);
+            let actions = procs[cand.to].on_message_port(cand.port, popped.msg);
             dispatch(
                 cand.to,
                 actions,
@@ -433,6 +488,16 @@ impl<P: AsyncProcess> AsyncEngine<P> {
 
         let running = halted.iter().filter(|h| h.is_none()).count();
         if running > 0 {
+            // Distinguish "the algorithm deadlocked" from "the graph cannot
+            // carry the information at all": quiescence on a disconnected
+            // topology gets its own verdict.
+            let components = self.topology.components();
+            if components > 1 {
+                return Err(SimError::DisconnectedTopology {
+                    components,
+                    running,
+                });
+            }
             return Err(SimError::QuiescentWithoutHalt { running });
         }
         Ok(AsyncReport {
@@ -636,6 +701,93 @@ mod tests {
             .run(&mut LinkStarvingScheduler::new(0, Port::Left))
             .unwrap();
         assert_eq!(report.deliveries, report.messages);
+    }
+
+    /// An [`AsyncPortProcess`] on a general graph: every processor echoes
+    /// the first message on each port back once, then halts once every port
+    /// has spoken.
+    #[derive(Debug)]
+    struct EchoAll {
+        ports: usize,
+        heard: usize,
+    }
+
+    impl AsyncPortProcess for EchoAll {
+        type Msg = u8;
+        type Output = usize;
+        fn on_start_ports(&mut self) -> PortActions<u8, usize> {
+            let everywhere: Vec<PortId> = (0..self.ports as u16).map(PortId::new).collect();
+            PortActions::send_each(&everywhere, 1)
+        }
+        fn on_message_port(&mut self, from: PortId, msg: u8) -> PortActions<u8, usize> {
+            self.heard += 1;
+            let step = if msg == 1 {
+                PortActions::send(from, 2)
+            } else {
+                PortActions::idle()
+            };
+            if self.heard == 2 * self.ports {
+                step.and_halt(self.heard)
+            } else {
+                step
+            }
+        }
+    }
+
+    #[test]
+    fn general_graphs_run_on_the_async_engine() {
+        // K_4: each processor sends one token per port and echoes each
+        // token once — 12 first-generation + 12 echo messages.
+        let graph = crate::graph::GraphTopology::complete(4).unwrap();
+        let procs = (0..4).map(|_| EchoAll { ports: 3, heard: 0 }).collect();
+        let mut engine = AsyncEngine::new(graph, procs).unwrap();
+        let report = engine.run(&mut FifoScheduler).unwrap();
+        assert_eq!(report.messages, 24);
+        assert_eq!(report.outputs(), &[6, 6, 6, 6]);
+
+        // The same run survives an adversarial schedule.
+        let graph = crate::graph::GraphTopology::complete(4).unwrap();
+        let procs = (0..4).map(|_| EchoAll { ports: 3, heard: 0 }).collect();
+        let mut engine = AsyncEngine::new(graph, procs).unwrap();
+        let report = engine.run(&mut RandomScheduler::new(9)).unwrap();
+        assert_eq!(report.messages, 24);
+        assert_eq!(report.outputs(), &[6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn async_quiescence_on_a_disconnected_graph_names_the_components() {
+        // Two disjoint edges: every processor emits once and waits for
+        // three deliveries, but only one can ever arrive across a single
+        // edge — the run goes quiescent and the verdict names the split.
+        #[derive(Debug)]
+        struct WaitForThree {
+            heard: u64,
+        }
+        impl AsyncPortProcess for WaitForThree {
+            type Msg = u8;
+            type Output = u64;
+            fn on_start_ports(&mut self) -> PortActions<u8, u64> {
+                PortActions::send(PortId::new(0), 1)
+            }
+            fn on_message_port(&mut self, _from: PortId, _msg: u8) -> PortActions<u8, u64> {
+                self.heard += 1;
+                if self.heard >= 3 {
+                    PortActions::halt(self.heard)
+                } else {
+                    PortActions::idle()
+                }
+            }
+        }
+        let graph = crate::graph::GraphTopology::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let procs = (0..4).map(|_| WaitForThree { heard: 0 }).collect();
+        let mut engine: AsyncEngine<WaitForThree, _> = AsyncEngine::new(graph, procs).unwrap();
+        assert!(matches!(
+            engine.run(&mut FifoScheduler),
+            Err(SimError::DisconnectedTopology {
+                components: 2,
+                running: 4
+            })
+        ));
     }
 
     /// The async engine now shares the trace plumbing: `run_traced` records

@@ -39,6 +39,41 @@ pub enum SimError {
         /// What was provided.
         actual: usize,
     },
+    /// A topology edge joins a processor to itself. Self-loops are
+    /// rejected at construction: an anonymous processor cannot tell a
+    /// self-loop from a genuine neighbour, so a looped port would silently
+    /// corrupt every neighbourhood argument.
+    SelfLoop {
+        /// The processor with the looped edge.
+        processor: usize,
+    },
+    /// A topology edge references a processor outside `0..n`.
+    EdgeOutOfRange {
+        /// The offending endpoint.
+        processor: usize,
+        /// The topology size.
+        n: usize,
+    },
+    /// The run could not terminate because the topology is disconnected —
+    /// the distinct non-termination verdict for partitioned graphs, so a
+    /// partition is not misdiagnosed as an algorithm deadlock.
+    DisconnectedTopology {
+        /// Number of connected components (≥ 2).
+        components: usize,
+        /// How many processors were still running.
+        running: usize,
+    },
+    /// An explicit port assignment reuses or skips a port slot: each
+    /// processor's ports must be `0..ports(i)` with exactly one wire per
+    /// port.
+    PortClash {
+        /// The processor whose port space is malformed.
+        processor: usize,
+        /// The clashing or missing port index.
+        port: u16,
+    },
+    /// A dynamic topology was built with an empty round schedule.
+    EmptySchedule,
 }
 
 impl fmt::Display for SimError {
@@ -63,6 +98,39 @@ impl fmt::Display for SimError {
             }
             SimError::LengthMismatch { expected, actual } => {
                 write!(f, "expected {expected} elements, got {actual}")
+            }
+            SimError::SelfLoop { processor } => {
+                write!(
+                    f,
+                    "self-loop at processor {processor}: edges must join distinct processors"
+                )
+            }
+            SimError::EdgeOutOfRange { processor, n } => {
+                write!(
+                    f,
+                    "edge endpoint {processor} out of range for {n} processors"
+                )
+            }
+            SimError::DisconnectedTopology {
+                components,
+                running,
+            } => write!(
+                f,
+                "topology has {components} connected components; {running} processors cannot \
+                 be reached and never halted"
+            ),
+            SimError::PortClash { processor, port } => {
+                write!(
+                    f,
+                    "processor {processor} port {port} is assigned twice or never: ports must \
+                     be a gap-free 0..k with one wire each"
+                )
+            }
+            SimError::EmptySchedule => {
+                write!(
+                    f,
+                    "dynamic topology needs at least one round in its schedule"
+                )
             }
         }
     }

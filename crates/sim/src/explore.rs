@@ -34,9 +34,12 @@
 //! # Certification
 //!
 //! Every complete execution is reduced to a [`Fingerprint`]: the output
-//! vector plus total messages and bits. (Delivery counts, drops and epoch
-//! histograms legitimately vary across schedules; the paper's claims are
-//! about outputs and message costs.) The first execution is canonical;
+//! vector, total messages and bits, and a digest of the wiring the run
+//! actually executed over (for dynamic topologies, the per-round active
+//! edge sets — two runs with the same outputs over different wiring are
+//! distinct observations). Delivery counts, drops and epoch histograms
+//! legitimately vary across schedules; the paper's claims are about
+//! outputs and message costs. The first execution is canonical;
 //! any later execution with a different fingerprint is a **schedule
 //! race**, reported with both schedules replayed under a
 //! [`FlightRecorder`] so the divergence ships as two witness JSONL
@@ -76,13 +79,14 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::error::SimError;
-use crate::port::Port;
-use crate::r#async::{AsyncEngine, AsyncProcess, Candidate, Scheduler};
+use crate::port::PortId;
+use crate::r#async::{AsyncEngine, AsyncPortProcess, Candidate, Scheduler};
 use crate::telemetry::FlightRecorder;
+use crate::topology::Topology;
 
 /// One scheduling move: deliver the head of the directed link into
 /// processor `to` via its local `port`.
-pub type Move = (usize, Port);
+pub type Move = (usize, PortId);
 
 fn move_of(c: &Candidate) -> Move {
     (c.to, c.port)
@@ -103,6 +107,12 @@ pub struct Fingerprint<O> {
     pub messages: u64,
     /// Total bits sent.
     pub bits: u64,
+    /// Digest of the wiring the execution ran over: the static topology
+    /// digest, folded (for dynamic topologies) with the active edge set of
+    /// every executed round. Two runs with identical outputs but different
+    /// wiring are *different* observations, not the same equivalence
+    /// class.
+    pub wiring: u64,
 }
 
 /// A successful certification: every explored interleaving produced the
@@ -359,12 +369,12 @@ impl Explorer {
     /// [`ExploreError::Engine`] if a schedule deadlocks or exhausts the
     /// engine's own budgets, [`ExploreError::Budget`] if the search space
     /// exceeds the execution cap.
-    pub fn explore<P: AsyncProcess, F>(
+    pub fn explore<P: AsyncPortProcess, T: Topology, F>(
         &self,
         mut make: F,
     ) -> Result<Certificate<P::Output>, ExploreError<P::Output>>
     where
-        F: FnMut() -> AsyncEngine<P>,
+        F: FnMut() -> AsyncEngine<P, T>,
     {
         let mut dfs = Dfs {
             path: Vec::new(),
@@ -382,7 +392,8 @@ impl Explorer {
             }
             dfs.depth = 0;
             dfs.blocked = false;
-            let report = make().run(&mut dfs);
+            let mut engine = make();
+            let report = engine.run(&mut dfs);
             if dfs.blocked {
                 sleep_blocked += 1;
             } else {
@@ -394,6 +405,7 @@ impl Explorer {
                 let fp = Fingerprint {
                     messages: report.messages,
                     bits: report.bits,
+                    wiring: wiring_digest_of(engine.topology(), report.max_epoch),
                     outputs: report.into_outputs(),
                 };
                 match &canonical {
@@ -426,11 +438,24 @@ impl Explorer {
     }
 }
 
+/// The wiring observable of one execution: the topology digest, folded
+/// with each executed round's active edge set when the topology is
+/// dynamic (see [`Fingerprint::wiring`]).
+fn wiring_digest_of(topology: &impl Topology, max_epoch: u64) -> u64 {
+    let mut digest = topology.wiring_digest();
+    if topology.is_dynamic() {
+        for round in 0..=max_epoch {
+            digest = crate::topology::fnv_fold(digest, topology.round_digest(round));
+        }
+    }
+    digest
+}
+
 /// Re-runs `schedule` with a [`FlightRecorder`] attached and returns the
 /// witness JSONL.
-fn witness<P: AsyncProcess, F>(make: &mut F, schedule: &[Move]) -> String
+fn witness<P: AsyncPortProcess, T: Topology, F>(make: &mut F, schedule: &[Move]) -> String
 where
-    F: FnMut() -> AsyncEngine<P>,
+    F: FnMut() -> AsyncEngine<P, T>,
 {
     let mut engine = make();
     let mut recorder = FlightRecorder::new(engine.n(), "explore-witness");
@@ -444,7 +469,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::r#async::{Actions, Emit};
+    use crate::port::Port;
+    use crate::r#async::{Actions, AsyncProcess, Emit};
     use crate::topology::RingTopology;
 
     /// Deterministic under any schedule: forward one token, halt.

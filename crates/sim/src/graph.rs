@@ -1,0 +1,336 @@
+//! Static general-graph topologies: arbitrary port-labelled wirings
+//! beyond the ring.
+//!
+//! A [`GraphTopology`] is built from an undirected edge list. Each edge
+//! `{i, j}` consumes the next free port at both endpoints, so port labels
+//! are a *local* artifact of insertion order — processors remain
+//! anonymous, and nothing global leaks through the labels. Multi-edges
+//! are allowed (they get distinct ports, exactly like the `n = 2` ring's
+//! two channels); self-loops are rejected at construction.
+
+use crate::error::SimError;
+use crate::port::PortId;
+use crate::topology::Topology;
+
+/// One endpoint of an explicitly port-labelled edge: `(processor, port)`.
+pub type PortEnd = (usize, u16);
+
+/// An arbitrary static port-labelled topology over `n ≥ 2` processors.
+///
+/// ```
+/// use anonring_sim::{GraphTopology, PortId, Topology};
+///
+/// // A triangle with a pendant vertex.
+/// let g = GraphTopology::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+/// assert_eq!(g.ports(2), 3);
+/// assert_eq!(g.ports(3), 1);
+/// let (j, q) = g.neighbor_port(3, PortId::new(0));
+/// assert_eq!(g.neighbor_port(j, q), (3, PortId::new(0)));
+/// assert_eq!(g.components(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphTopology {
+    /// `wires[i][p] = (j, q)`: the fixed far end of processor `i`'s port
+    /// `p`.
+    wires: Vec<Vec<(usize, PortId)>>,
+    /// `edge_ids[i][p]`: index of the undirected edge behind `(i, p)` in
+    /// the constructing edge list — the key dynamic schedules use.
+    edge_ids: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl GraphTopology {
+    /// Builds a topology from an undirected edge list over processors
+    /// `0..n`. Edge `k` of the list takes the next free port at each of
+    /// its endpoints and gets edge id `k`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::RingTooSmall`] when `n < 2` (a lone processor has
+    ///   nobody to compute with);
+    /// * [`SimError::SelfLoop`] when an edge joins a processor to itself;
+    /// * [`SimError::EdgeOutOfRange`] when an endpoint is `≥ n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<GraphTopology, SimError> {
+        if n < 2 {
+            return Err(SimError::RingTooSmall { n });
+        }
+        let mut wires: Vec<Vec<(usize, PortId)>> = vec![Vec::new(); n];
+        let mut edge_ids: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, &(a, b)) in edges.iter().enumerate() {
+            if a == b {
+                return Err(SimError::SelfLoop { processor: a });
+            }
+            for end in [a, b] {
+                if end >= n {
+                    return Err(SimError::EdgeOutOfRange { processor: end, n });
+                }
+            }
+            let pa = PortId::new(wires[a].len() as u16);
+            let pb = PortId::new(wires[b].len() as u16);
+            wires[a].push((b, pb));
+            wires[b].push((a, pa));
+            edge_ids[a].push(k);
+            edge_ids[b].push(k);
+        }
+        Ok(GraphTopology {
+            wires,
+            edge_ids,
+            edges: edges.len(),
+        })
+    }
+
+    /// Builds a topology from an undirected edge list with **explicit**
+    /// port assignments: edge `k` of the list wires processor `a`'s port
+    /// `pa` to processor `b`'s port `pb` and gets edge id `k`. Use this
+    /// when a wiring's port labels carry meaning [`from_edges`]'s
+    /// insertion order cannot express — e.g. re-expressing an oriented
+    /// ring, whose every processor must see its left channel on port 0.
+    ///
+    /// [`from_edges`]: GraphTopology::from_edges
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::RingTooSmall`] when `n < 2`;
+    /// * [`SimError::SelfLoop`] when an edge joins a processor to itself;
+    /// * [`SimError::EdgeOutOfRange`] when an endpoint is `≥ n`;
+    /// * [`SimError::PortClash`] when a port is assigned twice, or a
+    ///   processor's ports are not the gap-free range `0..ports(i)`.
+    pub fn from_port_edges(
+        n: usize,
+        edges: &[(PortEnd, PortEnd)],
+    ) -> Result<GraphTopology, SimError> {
+        if n < 2 {
+            return Err(SimError::RingTooSmall { n });
+        }
+        let mut wires: Vec<Vec<Option<(usize, PortId)>>> = vec![Vec::new(); n];
+        let mut edge_ids: Vec<Vec<Option<usize>>> = vec![Vec::new(); n];
+        for (k, &((a, pa), (b, pb))) in edges.iter().enumerate() {
+            if a == b {
+                return Err(SimError::SelfLoop { processor: a });
+            }
+            for end in [a, b] {
+                if end >= n {
+                    return Err(SimError::EdgeOutOfRange { processor: end, n });
+                }
+            }
+            for ((node, port), far) in [((a, pa), (b, pb)), ((b, pb), (a, pa))] {
+                let slot = port as usize;
+                if wires[node].len() <= slot {
+                    wires[node].resize(slot + 1, None);
+                    edge_ids[node].resize(slot + 1, None);
+                }
+                if wires[node][slot].is_some() {
+                    return Err(SimError::PortClash {
+                        processor: node,
+                        port,
+                    });
+                }
+                wires[node][slot] = Some((far.0, PortId::new(far.1)));
+                edge_ids[node][slot] = Some(k);
+            }
+        }
+        // Every declared slot must be wired: a gap would leave a port
+        // that sends into nowhere.
+        let mut full_wires = Vec::with_capacity(n);
+        let mut full_ids = Vec::with_capacity(n);
+        for (i, (w, ids)) in wires.into_iter().zip(edge_ids).enumerate() {
+            let mut fw = Vec::with_capacity(w.len());
+            let mut fi = Vec::with_capacity(ids.len());
+            for (p, (wire, id)) in w.into_iter().zip(ids).enumerate() {
+                match (wire, id) {
+                    (Some(wire), Some(id)) => {
+                        fw.push(wire);
+                        fi.push(id);
+                    }
+                    _ => {
+                        return Err(SimError::PortClash {
+                            processor: i,
+                            port: p as u16,
+                        })
+                    }
+                }
+            }
+            full_wires.push(fw);
+            full_ids.push(fi);
+        }
+        Ok(GraphTopology {
+            wires: full_wires,
+            edge_ids: full_ids,
+            edges: edges.len(),
+        })
+    }
+
+    /// The complete graph `K_n`: every pair of processors shares one
+    /// edge. The usual *footprint* (potential-neighbour port space) for
+    /// dynamic topologies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RingTooSmall`] when `n < 2`.
+    pub fn complete(n: usize) -> Result<GraphTopology, SimError> {
+        let mut edges = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((i, j));
+            }
+        }
+        GraphTopology::from_edges(n, &edges)
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The edge id (index into the constructing edge list) behind
+    /// `(i, port)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n` or `port ≥ ports(i)`.
+    #[must_use]
+    pub fn edge_id(&self, i: usize, port: PortId) -> usize {
+        self.edge_ids[i][port.index()]
+    }
+
+    /// Whether the wiring is connected.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.components() == 1
+    }
+}
+
+impl Topology for GraphTopology {
+    fn n(&self) -> usize {
+        self.wires.len()
+    }
+
+    fn ports(&self, i: usize) -> usize {
+        self.wires[i].len()
+    }
+
+    fn neighbor_port(&self, i: usize, port: PortId) -> (usize, PortId) {
+        self.wires[i][port.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_loops_are_rejected() {
+        assert!(matches!(
+            GraphTopology::from_edges(3, &[(0, 1), (2, 2)]),
+            Err(SimError::SelfLoop { processor: 2 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_rejected() {
+        assert!(matches!(
+            GraphTopology::from_edges(3, &[(0, 5)]),
+            Err(SimError::EdgeOutOfRange { processor: 5, n: 3 })
+        ));
+        assert!(matches!(
+            GraphTopology::from_edges(1, &[]),
+            Err(SimError::RingTooSmall { n: 1 })
+        ));
+    }
+
+    #[test]
+    fn wiring_is_an_involution() {
+        let g = GraphTopology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)])
+            .unwrap();
+        for i in 0..g.n() {
+            for p in 0..g.ports(i) {
+                let p = PortId::new(p as u16);
+                let (j, q) = g.neighbor_port(i, p);
+                assert_ne!(j, i, "no self-loops");
+                assert_eq!(g.neighbor_port(j, q), (i, p), "round trip from {i}/{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_edges_get_distinct_ports() {
+        // Two processors joined by two distinct channels — the general
+        // analogue of the n = 2 ring.
+        let g = GraphTopology::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        assert_eq!(g.ports(0), 2);
+        assert_eq!(g.edge_id(0, PortId::new(0)), 0);
+        assert_eq!(g.edge_id(0, PortId::new(1)), 1);
+        assert_ne!(
+            g.neighbor_port(0, PortId::new(0)).1,
+            g.neighbor_port(0, PortId::new(1)).1
+        );
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let disconnected = GraphTopology::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(disconnected.components(), 2);
+        assert!(!disconnected.is_connected());
+        let complete = GraphTopology::complete(4).unwrap();
+        assert_eq!(complete.edge_count(), 6);
+        assert!(complete.is_connected());
+        assert_eq!(complete.ports(0), 3);
+        // An isolated processor is its own component.
+        let isolated = GraphTopology::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(isolated.components(), 2);
+    }
+
+    #[test]
+    fn explicit_port_edges_express_any_labelling() {
+        // The oriented 3-ring: every processor's port 0 faces its left
+        // neighbour — a labelling from_edges insertion order cannot
+        // produce.
+        let g = GraphTopology::from_port_edges(
+            3,
+            &[((0, 1), (1, 0)), ((1, 1), (2, 0)), ((2, 1), (0, 0))],
+        )
+        .unwrap();
+        for i in 0..3 {
+            assert_eq!(
+                g.neighbor_port(i, PortId::new(1)),
+                ((i + 1) % 3, PortId::new(0))
+            );
+            assert_eq!(
+                g.neighbor_port(i, PortId::new(0)),
+                ((i + 2) % 3, PortId::new(1))
+            );
+        }
+        assert_eq!(g.edge_id(0, PortId::new(1)), 0);
+
+        // A reused port clashes…
+        assert!(matches!(
+            GraphTopology::from_port_edges(3, &[((0, 0), (1, 0)), ((0, 0), (2, 0))]),
+            Err(SimError::PortClash {
+                processor: 0,
+                port: 0
+            })
+        ));
+        // …and so does a gap in the port space.
+        assert!(matches!(
+            GraphTopology::from_port_edges(3, &[((0, 1), (1, 0)), ((1, 1), (2, 0))]),
+            Err(SimError::PortClash {
+                processor: 0,
+                port: 0
+            })
+        ));
+        // Self-loops and range checks match from_edges.
+        assert!(matches!(
+            GraphTopology::from_port_edges(2, &[((0, 0), (0, 1))]),
+            Err(SimError::SelfLoop { processor: 0 })
+        ));
+    }
+
+    #[test]
+    fn digests_distinguish_wirings() {
+        let a = GraphTopology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let b = GraphTopology::from_edges(4, &[(0, 1), (1, 3), (3, 2)]).unwrap();
+        assert_ne!(a.wiring_digest(), b.wiring_digest());
+        assert_eq!(a.wiring_digest(), a.clone().wiring_digest());
+    }
+}

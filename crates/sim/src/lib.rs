@@ -7,6 +7,10 @@
 //!
 //! The crate provides the substrate every other `anonring` crate builds on:
 //!
+//! * [`Topology`] — the port-labelled directed-multigraph abstraction all
+//!   routing goes through, with three instances: the ring, arbitrary
+//!   static graphs ([`GraphTopology`]) and per-round dynamic edge sets
+//!   ([`DynamicTopology`]);
 //! * [`RingTopology`] — channel wiring with *per-processor orientations*
 //!   `D(i)`, so that "left" and "right" are local, possibly inconsistent
 //!   notions, exactly as in the paper;
@@ -81,8 +85,10 @@
 
 pub mod r#async;
 pub mod config;
+pub mod dynamic;
 pub mod error;
 pub mod explore;
+pub mod graph;
 pub mod message;
 pub mod neighborhood;
 pub mod port;
@@ -95,9 +101,11 @@ pub mod trace;
 pub mod wake;
 
 pub use config::RingConfig;
+pub use dynamic::DynamicTopology;
 pub use error::SimError;
+pub use graph::GraphTopology;
 pub use message::Message;
 pub use neighborhood::{joint_symmetry_index, neighborhood, symmetry_index, Neighborhood};
-pub use port::{Orientation, Port};
-pub use topology::RingTopology;
+pub use port::{Orientation, Port, PortId};
+pub use topology::{RingTopology, Topology};
 pub use wake::WakeSchedule;

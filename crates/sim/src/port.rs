@@ -40,6 +40,76 @@ impl fmt::Display for Port {
     }
 }
 
+/// A local port label on a processor of an arbitrary port-labelled
+/// topology.
+///
+/// Ports are numbered `0..ports(i)` per processor. On a ring the two ports
+/// keep their historical names: `PortId(0)` *is* [`Port::Left`] and
+/// `PortId(1)` *is* [`Port::Right`], and they render identically
+/// (`"left"`/`"right"`), so every ring-era artifact — flight-recorder
+/// JSONL, telemetry tallies, wire frames — is byte-for-byte unchanged.
+/// Ports `2..` render as `"p2"`, `"p3"`, …
+///
+/// ```
+/// use anonring_sim::{Port, PortId};
+/// assert_eq!(PortId::from(Port::Right), PortId::new(1));
+/// assert_eq!(PortId::new(0).to_string(), "left");
+/// assert_eq!(PortId::new(5).to_string(), "p5");
+/// assert_eq!(PortId::new(1).as_ring(), Some(Port::Right));
+/// assert_eq!(PortId::new(2).as_ring(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(u16);
+
+impl PortId {
+    /// The ring's left port, as a general port label.
+    pub const LEFT: PortId = PortId(0);
+    /// The ring's right port, as a general port label.
+    pub const RIGHT: PortId = PortId(1);
+
+    /// Port number `k` as a label.
+    #[must_use]
+    pub const fn new(k: u16) -> PortId {
+        PortId(k)
+    }
+
+    /// The port number, usable as a vector index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The ring-port view of this label, when it has one (`0` ↦ `Left`,
+    /// `1` ↦ `Right`). Ports `2..` have no ring equivalent.
+    #[must_use]
+    pub fn as_ring(self) -> Option<Port> {
+        match self.0 {
+            0 => Some(Port::Left),
+            1 => Some(Port::Right),
+            _ => None,
+        }
+    }
+}
+
+impl From<Port> for PortId {
+    fn from(port: Port) -> PortId {
+        match port {
+            Port::Left => PortId::LEFT,
+            Port::Right => PortId::RIGHT,
+        }
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "left"),
+            1 => write!(f, "right"),
+            k => write!(f, "p{k}"),
+        }
+    }
+}
+
 /// The orientation `D(i)` of a processor (paper §2).
 ///
 /// `Clockwise` is the paper's `D(i) = 1` (`right(i) = i + 1`);
@@ -129,5 +199,21 @@ mod tests {
     fn display_is_nonempty() {
         assert_eq!(Port::Left.to_string(), "left");
         assert_eq!(Orientation::Clockwise.to_string(), "clockwise");
+    }
+
+    #[test]
+    fn port_ids_extend_ring_ports() {
+        assert_eq!(PortId::from(Port::Left), PortId::LEFT);
+        assert_eq!(PortId::from(Port::Right), PortId::RIGHT);
+        assert_eq!(PortId::LEFT.as_ring(), Some(Port::Left));
+        assert_eq!(PortId::new(7).as_ring(), None);
+        assert_eq!(PortId::new(3).index(), 3);
+        // Ring ports keep their historical rendering; higher ports are
+        // numbered.
+        assert_eq!(PortId::LEFT.to_string(), Port::Left.to_string());
+        assert_eq!(PortId::RIGHT.to_string(), Port::Right.to_string());
+        assert_eq!(PortId::new(2).to_string(), "p2");
+        // Ordering matches the ring convention (left before right).
+        assert!(PortId::LEFT < PortId::RIGHT);
     }
 }

@@ -1,8 +1,9 @@
 //! The shared send/halt vocabulary: one [`Emit`] trait providing the
 //! constructor helpers, implemented by the sync model's [`Step`] and the
-//! async model's [`Actions`].
+//! async model's [`Actions`]; [`PortActions`] is the general-topology
+//! emission both engines execute internally.
 
-use crate::port::Port;
+use crate::port::{Port, PortId};
 use crate::runtime::span::Span;
 
 /// What a synchronous processor does in one cycle: at most one message per
@@ -34,6 +35,118 @@ pub struct Actions<M, O> {
     /// Phase annotation stamped onto this event's sends (telemetry only;
     /// no effect on execution).
     pub span: Option<Span>,
+}
+
+/// What a general-topology processor does in response to one step or
+/// event: sends addressed by [`PortId`], plus an optional halt and span.
+///
+/// Both engines execute this form internally; the ring-era [`Step`] and
+/// [`Actions`] convert into it losslessly (`Left` ↦ port 0, `Right` ↦
+/// port 1), so ring algorithms compile to exactly the emissions they
+/// always produced. Processors written directly against the general API
+/// (for example the dynamic-broadcast family) construct it with the
+/// inherent builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortActions<M, O> {
+    /// Messages to send, in order, addressed by local port.
+    pub sends: Vec<(PortId, M)>,
+    /// `Some(output)` to halt after this emission.
+    pub halt: Option<O>,
+    /// Phase annotation stamped onto this emission's sends (telemetry
+    /// only; no effect on execution).
+    pub span: Option<Span>,
+}
+
+impl<M, O> PortActions<M, O> {
+    /// Do nothing: no sends, keep running.
+    #[must_use]
+    pub fn idle() -> Self {
+        PortActions {
+            sends: Vec::new(),
+            halt: None,
+            span: None,
+        }
+    }
+
+    /// Send `msg` on local port `port`.
+    #[must_use]
+    pub fn send(port: PortId, msg: M) -> Self {
+        Self::idle().and_send(port, msg)
+    }
+
+    /// Send a copy of `msg` on every port in `ports`, in order.
+    #[must_use]
+    pub fn send_each(ports: &[PortId], msg: M) -> Self
+    where
+        M: Clone,
+    {
+        let mut this = Self::idle();
+        for &port in ports {
+            this.sends.push((port, msg.clone()));
+        }
+        this
+    }
+
+    /// Halt with `output`, sending nothing.
+    #[must_use]
+    pub fn halt(output: O) -> Self {
+        let mut this = Self::idle();
+        this.halt = Some(output);
+        this
+    }
+
+    /// Adds a send to this emission.
+    #[must_use]
+    pub fn and_send(mut self, port: PortId, msg: M) -> Self {
+        self.sends.push((port, msg));
+        self
+    }
+
+    /// Adds a halt to this emission (sends still happen).
+    #[must_use]
+    pub fn and_halt(mut self, output: O) -> Self {
+        self.halt = Some(output);
+        self
+    }
+
+    /// Annotates this emission's sends as belonging to round `round` of
+    /// `phase`.
+    #[must_use]
+    pub fn in_span(mut self, phase: &'static str, round: u64) -> Self {
+        self.span = Some(Span::new(phase, round));
+        self
+    }
+}
+
+impl<M, O> From<Step<M, O>> for PortActions<M, O> {
+    fn from(step: Step<M, O>) -> PortActions<M, O> {
+        let mut sends = Vec::new();
+        if let Some(m) = step.to_left {
+            sends.push((PortId::LEFT, m));
+        }
+        if let Some(m) = step.to_right {
+            sends.push((PortId::RIGHT, m));
+        }
+        PortActions {
+            sends,
+            halt: step.halt,
+            span: step.span,
+        }
+    }
+}
+
+impl<M, O> From<Actions<M, O>> for PortActions<M, O> {
+    fn from(actions: Actions<M, O>) -> PortActions<M, O> {
+        PortActions {
+            sends: actions
+                .sends
+                .into_iter()
+                .map(|(port, m)| (PortId::from(port), m))
+                .collect(),
+            halt: actions.halt,
+            span: actions.span,
+        }
+    }
 }
 
 /// Constructors shared by every emission type ([`Step`], [`Actions`]).
@@ -207,6 +320,32 @@ mod tests {
         assert_eq!(actions.span, Some(Span::new("probe", 0)));
         let plain: Step<u8, ()> = Step::idle();
         assert_eq!(plain.span, None);
+    }
+
+    #[test]
+    fn ring_emissions_lower_to_port_actions() {
+        use crate::port::PortId;
+        use crate::runtime::actions::PortActions;
+
+        let step: Step<u8, u8> = Step::send_both(1, 2).and_halt(9);
+        let lowered = PortActions::from(step);
+        assert_eq!(lowered.sends, vec![(PortId::LEFT, 1), (PortId::RIGHT, 2)]);
+        assert_eq!(lowered.halt, Some(9));
+
+        let actions: Actions<u8, ()> = Actions::send(Port::Right, 7).and_send(Port::Left, 8);
+        let lowered = PortActions::from(actions);
+        assert_eq!(lowered.sends, vec![(PortId::RIGHT, 7), (PortId::LEFT, 8)]);
+
+        let general: PortActions<u8, u8> =
+            PortActions::send_each(&[PortId::new(0), PortId::new(2)], 5).and_halt(1);
+        assert_eq!(
+            general.sends,
+            vec![(PortId::new(0), 5), (PortId::new(2), 5)]
+        );
+        assert_eq!(PortActions::<u8, u8>::halt(3).halt, Some(3));
+        assert!(PortActions::<u8, ()>::idle().sends.is_empty());
+        let spanned: PortActions<u8, ()> = PortActions::idle().in_span("flood", 2);
+        assert!(spanned.span.is_some());
     }
 
     #[test]

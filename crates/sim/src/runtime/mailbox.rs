@@ -4,12 +4,12 @@
 use std::collections::VecDeque;
 
 use crate::message::Message;
-use crate::port::Port;
+use crate::port::{Port, PortId};
 use crate::runtime::causal::CausalStamp;
 use crate::runtime::meter::CostMeter;
 use crate::runtime::observer::{Observer, SendEvent, TraceEvent};
 use crate::runtime::span::Span;
-use crate::topology::RingTopology;
+use crate::topology::Topology;
 
 /// Everything the engine stamps onto one send besides the routing: timing,
 /// phase annotation, and the causal fields from
@@ -79,6 +79,82 @@ impl<M> Default for Received<M> {
     }
 }
 
+/// The messages a processor received in one step of a general-topology
+/// run: one optional slot per local port. The port-vector analogue of the
+/// ring's [`Received`], which it lowers to via [`PortRx::into_ring`] for
+/// two-port processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortRx<M> {
+    slots: Vec<Option<M>>,
+}
+
+impl<M> PortRx<M> {
+    /// An empty reception for a processor with `ports` local ports.
+    #[must_use]
+    pub fn with_ports(ports: usize) -> PortRx<M> {
+        PortRx {
+            slots: (0..ports).map(|_| None).collect(),
+        }
+    }
+
+    /// The processor's local port count — the only topology knowledge an
+    /// anonymous process is entitled to.
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no message arrived.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// The message that arrived on `port`, if any.
+    #[must_use]
+    pub fn get(&self, port: PortId) -> Option<&M> {
+        self.slots.get(port.index()).and_then(Option::as_ref)
+    }
+
+    /// Removes and returns the message that arrived on `port`.
+    pub fn take(&mut self, port: PortId) -> Option<M> {
+        self.slots.get_mut(port.index()).and_then(Option::take)
+    }
+
+    /// Fills `port`'s slot.
+    pub fn put(&mut self, port: PortId, msg: M) {
+        self.slots[port.index()] = Some(msg);
+    }
+
+    /// Iterates over the (port, message) pairs that arrived, in port
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (PortId, &M)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(p, m)| m.as_ref().map(|m| (PortId::new(p as u16), m)))
+    }
+
+    /// Lowers a two-port reception to the ring's [`Received`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the processor has more than two ports — a ring-era
+    /// process cannot run on a higher-degree topology.
+    #[must_use]
+    pub fn into_ring(mut self) -> Received<M> {
+        assert!(
+            self.slots.len() <= 2,
+            "two-port process on a {}-port topology",
+            self.slots.len()
+        );
+        Received {
+            from_left: self.take(PortId::LEFT),
+            from_right: self.take(PortId::RIGHT),
+        }
+    }
+}
+
 /// A deliverable message the scheduler may choose: the head of one directed
 /// link's FIFO queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +162,7 @@ pub struct Candidate {
     /// Receiving processor.
     pub to: usize,
     /// Arrival port at the receiver.
-    pub port: Port,
+    pub port: PortId,
     /// The message's epoch (delivery "cycle" under the synchronizing
     /// adversary: sender's event epoch + 1).
     pub epoch: u64,
@@ -116,33 +192,54 @@ pub(crate) struct Popped<M> {
     pub stamp: CausalStamp,
 }
 
-/// The `2n` directed-link FIFO queues of a ring, plus the one send path:
-/// route via the topology, meter the cost, notify observers, enqueue.
+/// The per-directed-link FIFO queues of a topology, plus the one send
+/// path: route via the topology, meter the cost, notify observers,
+/// enqueue.
 ///
-/// Queue `to * 2 + (port == Right)` holds messages awaiting consumption by
-/// processor `to` on local port `port`, in FIFO order — the model invariant
-/// every paper argument assumes. Constructed per run; the topology is
-/// borrowed from the engine.
-#[derive(Debug)]
+/// One queue per `(processor, local port)` pair holds the messages
+/// awaiting consumption there, in FIFO order — the model invariant every
+/// paper argument assumes. On a ring this is exactly the historical `2n`
+/// queues. Constructed per run; the topology is borrowed from the engine.
 pub struct LinkFabric<'t, M> {
-    topology: &'t RingTopology,
+    topology: &'t dyn Topology,
+    /// `offsets[i]` = index of processor `i`'s port-0 queue; queues for
+    /// `i`'s ports are contiguous.
+    offsets: Vec<usize>,
     queues: Vec<VecDeque<InFlight<M>>>,
     seq: u64,
+}
+
+impl<M> core::fmt::Debug for LinkFabric<'_, M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LinkFabric")
+            .field("n", &self.topology.n())
+            .field("queues", &self.queues.len())
+            .field("seq", &self.seq)
+            .finish()
+    }
 }
 
 impl<'t, M: Message> LinkFabric<'t, M> {
     /// Empty fabric over `topology`.
     #[must_use]
-    pub fn new(topology: &'t RingTopology) -> LinkFabric<'t, M> {
+    pub fn new(topology: &'t dyn Topology) -> LinkFabric<'t, M> {
+        let mut offsets = Vec::with_capacity(topology.n());
+        let mut total = 0;
+        for i in 0..topology.n() {
+            offsets.push(total);
+            total += topology.ports(i);
+        }
         LinkFabric {
             topology,
-            queues: (0..2 * topology.n()).map(|_| VecDeque::new()).collect(),
+            offsets,
+            queues: (0..total).map(|_| VecDeque::new()).collect(),
             seq: 0,
         }
     }
 
-    fn queue_index(to: usize, port: Port) -> usize {
-        to * 2 + usize::from(port == Port::Right)
+    fn queue_index(&self, to: usize, port: PortId) -> usize {
+        debug_assert!(port.index() < self.topology.ports(to), "port out of range");
+        self.offsets[to] + port.index()
     }
 
     /// Sends `msg` from processor `from` on its local `port`: routes it via
@@ -156,14 +253,14 @@ impl<'t, M: Message> LinkFabric<'t, M> {
     pub fn send(
         &mut self,
         from: usize,
-        port: Port,
+        port: PortId,
         msg: M,
         meta: SendMeta,
         meter: &mut CostMeter,
         observer: &mut impl Observer,
     ) {
         let bits = msg.bit_len();
-        let (to, arrival) = self.topology.neighbor(from, port);
+        let (to, arrival) = self.topology.neighbor_port(from, port);
         let stamp = CausalStamp {
             seq: self.seq,
             lamport: meta.lamport,
@@ -181,7 +278,8 @@ impl<'t, M: Message> LinkFabric<'t, M> {
             parent: stamp.parent,
             span: meta.span,
         }));
-        self.queues[Self::queue_index(to, arrival)].push_back(InFlight {
+        let queue = self.queue_index(to, arrival);
+        self.queues[queue].push_back(InFlight {
             msg,
             time: meta.due_time,
             stamp,
@@ -192,8 +290,8 @@ impl<'t, M: Message> LinkFabric<'t, M> {
     /// Whether processor `to` has a message due at or before time `now`.
     #[must_use]
     pub fn has_due(&self, to: usize, now: u64) -> bool {
-        [Port::Left, Port::Right].iter().any(|&port| {
-            self.queues[Self::queue_index(to, port)]
+        (0..self.topology.ports(to)).any(|p| {
+            self.queues[self.queue_index(to, PortId::new(p as u16))]
                 .front()
                 .is_some_and(|m| m.time <= now)
         })
@@ -206,30 +304,25 @@ impl<'t, M: Message> LinkFabric<'t, M> {
     /// causal stamps of the taken messages, port for port, so the engine
     /// can account the consumptions on its [`crate::runtime::CausalClocks`]
     /// and emit seq-carrying [`TraceEvent::Deliver`]s.
-    pub fn take_due(&mut self, to: usize, now: u64) -> (Received<M>, Received<CausalStamp>) {
-        let mut take = |port| {
-            let q = &mut self.queues[Self::queue_index(to, port)];
+    pub fn take_due(&mut self, to: usize, now: u64) -> (PortRx<M>, PortRx<CausalStamp>) {
+        let ports = self.topology.ports(to);
+        let mut rx = PortRx::with_ports(ports);
+        let mut stamps = PortRx::with_ports(ports);
+        for p in 0..ports {
+            let port = PortId::new(p as u16);
+            let q = &mut self.queues[self.offsets[to] + p];
             let due = q.front().is_some_and(|m| m.time <= now);
-            let popped = due.then(|| q.pop_front().expect("checked front"));
+            if due {
+                let m = q.pop_front().expect("checked front");
+                rx.put(port, m.msg);
+                stamps.put(port, m.stamp);
+            }
             debug_assert!(
                 q.front().is_none_or(|m| m.time > now),
                 "one message per port per cycle"
             );
-            popped.map(|m| (m.msg, m.stamp))
-        };
-        let (left, right) = (take(Port::Left), take(Port::Right));
-        let (from_left, left_stamp) = left.map_or((None, None), |(m, s)| (Some(m), Some(s)));
-        let (from_right, right_stamp) = right.map_or((None, None), |(m, s)| (Some(m), Some(s)));
-        (
-            Received {
-                from_left,
-                from_right,
-            },
-            Received {
-                from_left: left_stamp,
-                from_right: right_stamp,
-            },
-        )
+        }
+        (rx, stamps)
     }
 
     /// Collects the current queue heads as scheduler candidates — the async
@@ -237,12 +330,12 @@ impl<'t, M: Message> LinkFabric<'t, M> {
     pub fn candidates(&self, out: &mut Vec<Candidate>) {
         out.clear();
         for to in 0..self.topology.n() {
-            for port in [Port::Left, Port::Right] {
-                let q = Self::queue_index(to, port);
+            for p in 0..self.topology.ports(to) {
+                let q = self.offsets[to] + p;
                 if let Some(head) = self.queues[q].front() {
                     out.push(Candidate {
                         to,
-                        port,
+                        port: PortId::new(p as u16),
                         epoch: head.time,
                         seq: head.stamp.seq,
                         queue: q,
@@ -281,8 +374,9 @@ impl<'t, M: Message> LinkFabric<'t, M> {
 
 #[cfg(test)]
 mod tests {
-    use super::{Candidate, LinkFabric, Received, SendMeta};
-    use crate::port::Port;
+    use super::{Candidate, LinkFabric, PortRx, Received, SendMeta};
+    use crate::graph::GraphTopology;
+    use crate::port::{Port, PortId};
     use crate::runtime::meter::CostMeter;
     use crate::runtime::observer::NullObserver;
     use crate::topology::RingTopology;
@@ -316,13 +410,16 @@ mod tests {
         let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
         let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
         // Sent at cycle 0, due at cycle 1 — one hop per cycle.
-        fabric.send(0, Port::Right, 7, meta(0, 1), &mut meter, &mut obs);
+        fabric.send(0, PortId::RIGHT, 7, meta(0, 1), &mut meter, &mut obs);
         assert!(!fabric.has_due(1, 0));
         assert!(fabric.take_due(1, 0).0.is_empty());
         assert!(fabric.has_due(1, 1));
         let (rx, stamps) = fabric.take_due(1, 1);
+        let rx = rx.into_ring();
         assert_eq!(rx.from_left, Some(7));
-        let stamp = stamps.from_left.expect("stamp travels with the message");
+        let stamp = stamps
+            .get(PortId::LEFT)
+            .expect("stamp travels with the message");
         assert_eq!((stamp.seq, stamp.lamport, stamp.parent), (0, 1, None));
         assert_eq!(meter.messages, 1);
         assert_eq!(meter.bits, 8);
@@ -341,8 +438,9 @@ mod tests {
         .unwrap();
         let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
         let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
-        fabric.send(0, Port::Right, 42, meta(0, 1), &mut meter, &mut obs);
+        fabric.send(0, PortId::RIGHT, 42, meta(0, 1), &mut meter, &mut obs);
         let (rx, _) = fabric.take_due(1, 1);
+        let rx = rx.into_ring();
         assert_eq!(rx.from_right, Some(42));
         assert_eq!(rx.from_left, None);
     }
@@ -352,9 +450,9 @@ mod tests {
         let topo = RingTopology::oriented(2).unwrap();
         let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
         let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
-        fabric.send(0, Port::Right, 1, meta(1, 1), &mut meter, &mut obs);
-        fabric.send(0, Port::Right, 2, meta(1, 1), &mut meter, &mut obs);
-        fabric.send(1, Port::Right, 3, meta(1, 1), &mut meter, &mut obs);
+        fabric.send(0, PortId::RIGHT, 1, meta(1, 1), &mut meter, &mut obs);
+        fabric.send(0, PortId::RIGHT, 2, meta(1, 1), &mut meter, &mut obs);
+        fabric.send(1, PortId::RIGHT, 3, meta(1, 1), &mut meter, &mut obs);
         let mut cands: Vec<Candidate> = Vec::new();
         fabric.candidates(&mut cands);
         assert_eq!(cands.len(), 2, "one head per nonempty directed link");
@@ -366,5 +464,55 @@ mod tests {
         assert_eq!(fabric.drain_remaining(), 2);
         fabric.candidates(&mut cands);
         assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn port_rx_covers_the_port_vector() {
+        let mut rx: PortRx<u8> = PortRx::with_ports(3);
+        assert_eq!(rx.ports(), 3);
+        assert!(rx.is_empty());
+        rx.put(PortId::new(2), 9);
+        assert!(!rx.is_empty());
+        assert_eq!(rx.get(PortId::new(2)), Some(&9));
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![(PortId::new(2), &9)]);
+        assert_eq!(rx.take(PortId::new(2)), Some(9));
+        assert_eq!(rx.take(PortId::new(2)), None);
+        // Out-of-range lookups are None, not panics (a two-port ring
+        // reception probed at port 5).
+        assert_eq!(rx.get(PortId::new(5)), None);
+    }
+
+    #[test]
+    fn fabric_routes_over_general_graphs() {
+        // A star: processor 0 is the hub with three ports.
+        let topo = GraphTopology::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let mut fabric: LinkFabric<u8> = LinkFabric::new(&topo);
+        let (mut meter, mut obs) = (CostMeter::new(), NullObserver);
+        for p in 0..3u16 {
+            fabric.send(0, PortId::new(p), p as u8, meta(0, 1), &mut meter, &mut obs);
+        }
+        for leaf in 1..4usize {
+            let (rx, _) = fabric.take_due(leaf, 1);
+            assert_eq!(rx.ports(), 1, "leaves have one port");
+            assert_eq!(rx.get(PortId::new(0)), Some(&(leaf as u8 - 1)));
+        }
+        // Replies land on the hub's distinct ports.
+        for leaf in 1..4usize {
+            fabric.send(
+                leaf,
+                PortId::new(0),
+                10 + leaf as u8,
+                meta(1, 2),
+                &mut meter,
+                &mut obs,
+            );
+        }
+        let (rx, _) = fabric.take_due(0, 2);
+        assert_eq!(rx.ports(), 3);
+        assert_eq!(
+            rx.iter().map(|(_, &m)| m).collect::<Vec<_>>(),
+            vec![11, 12, 13]
+        );
+        assert_eq!(meter.messages, 6);
     }
 }

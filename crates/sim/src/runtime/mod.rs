@@ -59,9 +59,9 @@ mod meter;
 mod observer;
 mod span;
 
-pub use actions::{Actions, Emit, Step};
+pub use actions::{Actions, Emit, PortActions, Step};
 pub use causal::{CausalClocks, CausalStamp};
-pub use mailbox::{Candidate, LinkFabric, Received, SendMeta};
+pub use mailbox::{Candidate, LinkFabric, PortRx, Received, SendMeta};
 pub use meter::CostMeter;
 pub use observer::{FanOut, NullObserver, Observer, SendEvent, TraceEvent};
 pub use span::Span;

@@ -8,7 +8,7 @@
 //! run, so a single execution can feed a trace, a metrics registry and a
 //! recorder simultaneously.
 
-use crate::port::Port;
+use crate::port::PortId;
 use crate::runtime::span::Span;
 
 /// One message transmission.
@@ -24,7 +24,7 @@ pub struct SendEvent {
     /// Local port at the *receiver* on which the message will arrive —
     /// identifies the directed link, so queue-depth accounting can match
     /// this send with its [`TraceEvent::Deliver`].
-    pub port: Port,
+    pub port: PortId,
     /// Encoded length of the message.
     pub bits: usize,
     /// Global send sequence number — unique per run, assigned in send
@@ -53,7 +53,7 @@ pub enum TraceEvent {
         /// Receiving processor.
         to: usize,
         /// Local arrival port.
-        port: Port,
+        port: PortId,
         /// `seq` of the [`SendEvent`] this delivery consumes.
         seq: u64,
         /// True when the receiver had already halted and the message was
@@ -177,14 +177,14 @@ impl Observer for FanOut<'_> {
 #[cfg(test)]
 mod tests {
     use super::{FanOut, NullObserver, Observer, SendEvent, TraceEvent};
-    use crate::port::Port;
+    use crate::port::PortId;
 
     fn send_event() -> TraceEvent {
         TraceEvent::Send(SendEvent {
             cycle: 0,
             from: 0,
             to: 1,
-            port: Port::Left,
+            port: PortId::LEFT,
             bits: 4,
             seq: 0,
             lamport: 1,
@@ -242,7 +242,7 @@ mod tests {
             TraceEvent::Deliver {
                 time: 3,
                 to: 0,
-                port: Port::Right,
+                port: PortId::RIGHT,
                 seq: 0,
                 dropped: false
             }

@@ -13,6 +13,13 @@
 //! arrives, whichever comes first, and its `local_cycle` counts from that
 //! moment.
 //!
+//! The engine runs over any [`Topology`]. On a *dynamic* topology
+//! ([`Topology::is_dynamic`]), a send on a port whose wire is inactive in
+//! the current round (`round` = global cycle) is absorbed: the edge does
+//! not exist this round, so nothing is transmitted, metered or observed —
+//! the dynamic-network convention that a processor may broadcast blindly
+//! and only its current neighbours hear it.
+//!
 //! This engine is a thin driver over [`crate::runtime`]: queues, cost
 //! accounting and trace events all come from the shared substrate.
 
@@ -21,11 +28,11 @@ use std::fmt;
 use crate::config::RingConfig;
 use crate::error::SimError;
 use crate::message::Message;
-use crate::port::Port;
 use crate::runtime::{
-    CausalClocks, CostMeter, LinkFabric, NullObserver, Observer, SendMeta, TraceEvent,
+    CausalClocks, CostMeter, LinkFabric, NullObserver, Observer, PortActions, PortRx, SendMeta,
+    TraceEvent,
 };
-use crate::topology::RingTopology;
+use crate::topology::{RingTopology, Topology};
 
 pub use crate::runtime::{Emit, Received, Step};
 
@@ -43,6 +50,41 @@ pub trait SyncProcess {
 
     /// Executes one cycle.
     fn step(&mut self, local_cycle: u64, rx: Received<Self::Msg>) -> Step<Self::Msg, Self::Output>;
+}
+
+/// A processor of a synchronous algorithm on an arbitrary port-labelled
+/// topology: the general form the engine actually executes.
+///
+/// Every [`SyncProcess`] is automatically a `SyncPortProcess` (its
+/// two-port `step` is lifted port-for-port), so ring algorithms run
+/// unchanged. Processes for higher-degree topologies implement this trait
+/// directly; `rx.ports()` is their local degree — the only topology
+/// knowledge an anonymous process may use.
+pub trait SyncPortProcess {
+    /// Message type sent on the channels.
+    type Msg: Message;
+    /// Output state when the processor halts.
+    type Output: Clone + fmt::Debug + PartialEq;
+
+    /// Executes one cycle: at most one message per port.
+    fn step_ports(
+        &mut self,
+        local_cycle: u64,
+        rx: PortRx<Self::Msg>,
+    ) -> PortActions<Self::Msg, Self::Output>;
+}
+
+impl<P: SyncProcess> SyncPortProcess for P {
+    type Msg = P::Msg;
+    type Output = P::Output;
+
+    fn step_ports(
+        &mut self,
+        local_cycle: u64,
+        rx: PortRx<Self::Msg>,
+    ) -> PortActions<Self::Msg, Self::Output> {
+        self.step(local_cycle, rx.into_ring()).into()
+    }
 }
 
 /// Outcome of a completed synchronous run.
@@ -84,10 +126,11 @@ impl<O> SyncReport<O> {
     }
 }
 
-/// Driver for a synchronous ring computation.
+/// Driver for a synchronous computation over any [`Topology`] (defaults
+/// to the ring).
 #[derive(Debug, Clone)]
-pub struct SyncEngine<P: SyncProcess> {
-    topology: RingTopology,
+pub struct SyncEngine<P: SyncPortProcess, T: Topology = RingTopology> {
+    topology: T,
     procs: Vec<P>,
     wake_at: Vec<u64>,
     max_cycles: u64,
@@ -98,28 +141,7 @@ pub struct SyncEngine<P: SyncProcess> {
 /// deadlocks quickly.
 pub const DEFAULT_MAX_CYCLES: u64 = 50_000_000;
 
-impl<P: SyncProcess> SyncEngine<P> {
-    /// Builds an engine over `topology` with one process per processor.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::LengthMismatch`] if `procs.len() != n`.
-    pub fn new(topology: RingTopology, procs: Vec<P>) -> Result<SyncEngine<P>, SimError> {
-        if procs.len() != topology.n() {
-            return Err(SimError::LengthMismatch {
-                expected: topology.n(),
-                actual: procs.len(),
-            });
-        }
-        let n = topology.n();
-        Ok(SyncEngine {
-            topology,
-            procs,
-            wake_at: vec![0; n],
-            max_cycles: DEFAULT_MAX_CYCLES,
-        })
-    }
-
+impl<P: SyncPortProcess> SyncEngine<P, RingTopology> {
     /// Builds an engine from a ring configuration, constructing each
     /// process from its index and input.
     ///
@@ -138,6 +160,29 @@ impl<P: SyncProcess> SyncEngine<P> {
             .map(|(i, v)| make(i, v))
             .collect();
         SyncEngine::new(config.topology().clone(), procs).expect("config is self-consistent")
+    }
+}
+
+impl<P: SyncPortProcess, T: Topology> SyncEngine<P, T> {
+    /// Builds an engine over `topology` with one process per processor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LengthMismatch`] if `procs.len() != n`.
+    pub fn new(topology: T, procs: Vec<P>) -> Result<SyncEngine<P, T>, SimError> {
+        if procs.len() != topology.n() {
+            return Err(SimError::LengthMismatch {
+                expected: topology.n(),
+                actual: procs.len(),
+            });
+        }
+        let n = topology.n();
+        Ok(SyncEngine {
+            topology,
+            procs,
+            wake_at: vec![0; n],
+            max_cycles: DEFAULT_MAX_CYCLES,
+        })
     }
 
     /// Sets per-processor spontaneous wake-up cycles (default: all zero,
@@ -275,20 +320,23 @@ impl<P: SyncProcess> SyncEngine<P> {
                         dropped: false,
                     });
                 }
-                let step = procs[i].step(local_cycle[i], rx);
+                let step = procs[i].step_ports(local_cycle[i], rx);
                 local_cycle[i] += 1;
-                for (port, msg) in [(Port::Left, step.to_left), (Port::Right, step.to_right)] {
-                    if let Some(msg) = msg {
-                        let (lamport, parent) = clocks.stamp_send(i);
-                        let meta = SendMeta {
-                            send_time: cycle,
-                            due_time: cycle + 1,
-                            span: step.span,
-                            lamport,
-                            parent,
-                        };
-                        fabric.send(i, port, msg, meta, &mut meter, observer);
+                for (port, msg) in step.sends {
+                    // Dynamic topologies: a send on an inactive wire is
+                    // absorbed — the edge does not exist this round.
+                    if !self.topology.is_active(cycle, i, port) {
+                        continue;
                     }
+                    let (lamport, parent) = clocks.stamp_send(i);
+                    let meta = SendMeta {
+                        send_time: cycle,
+                        due_time: cycle + 1,
+                        span: step.span,
+                        lamport,
+                        parent,
+                    };
+                    fabric.send(i, port, msg, meta, &mut meter, observer);
                 }
                 if let Some(output) = step.halt {
                     halted[i] = Some(output);
@@ -322,9 +370,18 @@ impl<P: SyncProcess> SyncEngine<P> {
             }
         }
 
+        let running = halted.iter().filter(|h| h.is_none()).count();
+        let components = self.topology.components();
+        if components > 1 {
+            // A partition is not an algorithm bug: report it as such.
+            return Err(SimError::DisconnectedTopology {
+                components,
+                running,
+            });
+        }
         Err(SimError::MaxCyclesExceeded {
             max_cycles: self.max_cycles,
-            running: halted.iter().filter(|h| h.is_none()).count(),
+            running,
         })
     }
 }
@@ -333,7 +390,7 @@ impl<P: SyncProcess> SyncEngine<P> {
 mod tests {
     use super::*;
     use crate::config::RingConfig;
-    use crate::port::Orientation;
+    use crate::port::{Orientation, Port, PortId};
 
     /// Forwards a token right for `ttl` hops, then halts everyone via a
     /// final broadcast-free timeout.
@@ -547,6 +604,94 @@ mod tests {
         let report = engine.run().unwrap();
         assert_eq!(report.outputs()[1], Some((Port::Right, 42)));
         assert_eq!(report.outputs()[2], None);
+    }
+
+    /// A general-topology process: floods a counter on every port until a
+    /// fixed cycle, then halts with the number of messages it heard.
+    #[derive(Debug)]
+    struct Chatter {
+        heard: u64,
+        until: u64,
+    }
+    impl SyncPortProcess for Chatter {
+        type Msg = u8;
+        type Output = u64;
+        fn step_ports(&mut self, cycle: u64, rx: PortRx<u8>) -> PortActions<u8, u64> {
+            self.heard += rx.iter().count() as u64;
+            if cycle == self.until {
+                return PortActions::halt(self.heard);
+            }
+            let everywhere: Vec<PortId> = (0..rx.ports()).map(|p| PortId::new(p as u16)).collect();
+            PortActions::send_each(&everywhere, 1)
+        }
+    }
+
+    #[test]
+    fn general_graphs_run_on_the_sync_engine() {
+        use crate::graph::GraphTopology;
+        // A star: the hub has three ports, the leaves one each.
+        let topo = GraphTopology::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let procs = (0..4).map(|_| Chatter { heard: 0, until: 2 }).collect();
+        let mut engine = SyncEngine::new(topo, procs).unwrap();
+        let report = engine.run().unwrap();
+        // Cycles 0 and 1 broadcast on every directed link: 2 * 6 sends.
+        assert_eq!(report.messages, 12);
+        // Hub hears 3 per reception cycle, each leaf 1.
+        assert_eq!(report.outputs(), &[6, 2, 2, 2]);
+    }
+
+    #[test]
+    fn inactive_wires_absorb_sends_unmetered() {
+        use crate::dynamic::DynamicTopology;
+        use crate::graph::GraphTopology;
+        let base = GraphTopology::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        // Round 0 activates only {0,1}; round 1 activates only {1,2};
+        // later rounds clamp to round 1's edge set.
+        let topo = DynamicTopology::new(
+            base,
+            vec![vec![true, false, false], vec![false, true, false]],
+        )
+        .unwrap();
+        let procs = (0..3).map(|_| Chatter { heard: 0, until: 2 }).collect();
+        let mut engine = SyncEngine::new(topo, procs).unwrap();
+        let report = engine.run().unwrap();
+        // Each broadcast cycle offers 6 directed sends but only the active
+        // edge's 2 survive; the rest are absorbed without metering.
+        assert_eq!(report.messages, 4);
+        assert_eq!(report.outputs(), &[1, 2, 1]);
+    }
+
+    #[test]
+    fn disconnected_graphs_get_a_distinct_verdict() {
+        use crate::graph::GraphTopology;
+        let topo = GraphTopology::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        // Processes that wait forever for a cycle delivering two messages
+        // at once — impossible for degree-1 nodes across a partition.
+        #[derive(Debug)]
+        struct WaitForPair;
+        impl SyncPortProcess for WaitForPair {
+            type Msg = u8;
+            type Output = u64;
+            fn step_ports(&mut self, _cycle: u64, rx: PortRx<u8>) -> PortActions<u8, u64> {
+                let heard = rx.iter().count() as u64;
+                if heard >= 2 {
+                    return PortActions::halt(heard);
+                }
+                let everywhere: Vec<PortId> =
+                    (0..rx.ports()).map(|p| PortId::new(p as u16)).collect();
+                PortActions::send_each(&everywhere, 0)
+            }
+        }
+        let procs = (0..4).map(|_| WaitForPair).collect();
+        let mut engine = SyncEngine::new(topo, procs).unwrap();
+        engine.set_max_cycles(64);
+        assert!(matches!(
+            engine.run(),
+            Err(SimError::DisconnectedTopology {
+                components: 2,
+                running: 4
+            })
+        ));
     }
 
     /// The halting-cycle drop path also streams `Deliver { dropped: true }`

@@ -343,7 +343,7 @@ impl CausalDag {
 #[cfg(test)]
 mod tests {
     use super::{CausalDag, CausalityError, PathWeight};
-    use crate::port::Port;
+    use crate::port::PortId;
     use crate::runtime::{SendEvent, Span, TraceEvent};
     use crate::telemetry::Recording;
 
@@ -358,7 +358,7 @@ mod tests {
             cycle: time,
             from: (seq % 3) as usize,
             to: ((seq + 1) % 3) as usize,
-            port: Port::Left,
+            port: PortId::LEFT,
             bits,
             seq,
             lamport: time,

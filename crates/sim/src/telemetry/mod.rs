@@ -37,7 +37,7 @@ pub use recorder::{
 
 use std::collections::BTreeMap;
 
-use crate::port::Port;
+use crate::port::PortId;
 use crate::runtime::{Observer, Span, TraceEvent};
 
 /// Escapes a string for inclusion in a JSON string literal.
@@ -67,14 +67,6 @@ pub struct SpanStats {
     pub bits: u64,
 }
 
-fn link_index(to: usize, port: Port) -> usize {
-    to * 2
-        + match port {
-            Port::Left => 0,
-            Port::Right => 1,
-        }
-}
-
 /// The aggregating telemetry observer.
 ///
 /// Hot-path updates touch only pre-sized vectors (per processor, per
@@ -92,9 +84,11 @@ pub struct Telemetry {
     per_proc_sent_bits: Vec<u64>,
     per_proc_received: Vec<u64>,
     per_time_messages: Vec<u64>,
-    /// Current queue depth per directed link, indexed `to * 2 + port`.
-    inflight: Vec<u64>,
-    max_inflight: Vec<u64>,
+    /// Current queue depth per directed link, indexed `[to][port]`; the
+    /// per-processor vectors grow with the highest port observed (every
+    /// processor starts with the ring's two).
+    inflight: Vec<Vec<u64>>,
+    max_inflight: Vec<Vec<u64>>,
     halt_times: Vec<Option<u64>>,
     spans: BTreeMap<Span, SpanStats>,
     unspanned: SpanStats,
@@ -114,8 +108,8 @@ impl Telemetry {
             per_proc_sent_bits: vec![0; n],
             per_proc_received: vec![0; n],
             per_time_messages: Vec::new(),
-            inflight: vec![0; 2 * n],
-            max_inflight: vec![0; 2 * n],
+            inflight: vec![vec![0; 2]; n],
+            max_inflight: vec![vec![0; 2]; n],
             halt_times: vec![None; n],
             spans: BTreeMap::new(),
             unspanned: SpanStats::default(),
@@ -194,6 +188,16 @@ impl Telemetry {
             .sum()
     }
 
+    /// Ensures the per-link vectors of `to` cover `port` (higher-degree
+    /// topologies reveal their ports through the event stream).
+    fn grow_link(&mut self, to: usize, port: PortId) {
+        let need = port.index() + 1;
+        if self.inflight[to].len() < need {
+            self.inflight[to].resize(need, 0);
+            self.max_inflight[to].resize(need, 0);
+        }
+    }
+
     fn note_time(&mut self, time: u64) {
         let idx = time as usize;
         if self.per_time_messages.len() <= idx {
@@ -246,10 +250,9 @@ impl Telemetry {
             reg.add_counter(MetricId::with_labels("span_bits", labels), stats.bits);
         }
         for to in 0..self.n {
-            for port in [Port::Left, Port::Right] {
-                let max = self.max_inflight[link_index(to, port)];
+            for (k, &max) in self.max_inflight[to].iter().enumerate() {
                 let to_label = to.to_string();
-                let port_label = port.to_string();
+                let port_label = PortId::new(k as u16).to_string();
                 reg.set_gauge(
                     MetricId::with_labels(
                         "queue_depth_max",
@@ -287,9 +290,11 @@ impl Observer for Telemetry {
                 self.per_proc_sent_bits[s.from] += s.bits as u64;
                 self.note_time(s.cycle);
                 self.per_time_messages[s.cycle as usize] += 1;
-                let link = link_index(s.to, s.port);
-                self.inflight[link] += 1;
-                self.max_inflight[link] = self.max_inflight[link].max(self.inflight[link]);
+                self.grow_link(s.to, s.port);
+                let link = s.port.index();
+                self.inflight[s.to][link] += 1;
+                self.max_inflight[s.to][link] =
+                    self.max_inflight[s.to][link].max(self.inflight[s.to][link]);
                 let stats = match s.span {
                     Some(span) => self.spans.entry(span).or_default(),
                     None => &mut self.unspanned,
@@ -305,8 +310,9 @@ impl Observer for Telemetry {
                 dropped,
             } => {
                 self.note_time(time);
-                let link = link_index(to, port);
-                self.inflight[link] = self.inflight[link].saturating_sub(1);
+                self.grow_link(to, port);
+                let link = port.index();
+                self.inflight[to][link] = self.inflight[to][link].saturating_sub(1);
                 if dropped {
                     self.drops += 1;
                 } else {
@@ -325,10 +331,10 @@ impl Observer for Telemetry {
 #[cfg(test)]
 mod tests {
     use super::{json_escape, MetricId, SpanStats, Telemetry};
-    use crate::port::Port;
+    use crate::port::PortId;
     use crate::runtime::{Observer, SendEvent, Span, TraceEvent};
 
-    fn send(cycle: u64, from: usize, to: usize, port: Port, bits: usize) -> TraceEvent {
+    fn send(cycle: u64, from: usize, to: usize, port: PortId, bits: usize) -> TraceEvent {
         TraceEvent::Send(SendEvent {
             cycle,
             from,
@@ -345,19 +351,19 @@ mod tests {
     #[test]
     fn tallies_follow_the_event_stream() {
         let mut t = Telemetry::new(3);
-        t.on_event(&send(0, 0, 1, Port::Left, 4));
-        t.on_event(&send(0, 2, 1, Port::Right, 2));
+        t.on_event(&send(0, 0, 1, PortId::LEFT, 4));
+        t.on_event(&send(0, 2, 1, PortId::RIGHT, 2));
         t.on_event(&TraceEvent::Deliver {
             time: 1,
             to: 1,
-            port: Port::Left,
+            port: PortId::LEFT,
             seq: 0,
             dropped: false,
         });
         t.on_event(&TraceEvent::Deliver {
             time: 1,
             to: 1,
-            port: Port::Right,
+            port: PortId::RIGHT,
             seq: 0,
             dropped: true,
         });
@@ -386,19 +392,19 @@ mod tests {
         let mut t = Telemetry::new(2);
         // Two sends land in proc 1's left-port queue before either is
         // consumed: the peak depth is 2 even though the final depth is 0.
-        t.on_event(&send(0, 0, 1, Port::Left, 1));
-        t.on_event(&send(1, 0, 1, Port::Left, 1));
+        t.on_event(&send(0, 0, 1, PortId::LEFT, 1));
+        t.on_event(&send(1, 0, 1, PortId::LEFT, 1));
         t.on_event(&TraceEvent::Deliver {
             time: 2,
             to: 1,
-            port: Port::Left,
+            port: PortId::LEFT,
             seq: 0,
             dropped: false,
         });
         t.on_event(&TraceEvent::Deliver {
             time: 3,
             to: 1,
-            port: Port::Left,
+            port: PortId::LEFT,
             seq: 0,
             dropped: false,
         });
@@ -417,7 +423,7 @@ mod tests {
                 cycle: round,
                 from: 0,
                 to: 1,
-                port: Port::Left,
+                port: PortId::LEFT,
                 bits: 3,
                 seq: 0,
                 lamport: 1,
@@ -425,7 +431,7 @@ mod tests {
                 span: Some(Span::new("labels", round)),
             }));
         }
-        t.on_event(&send(3, 1, 0, Port::Right, 1));
+        t.on_event(&send(3, 1, 0, PortId::RIGHT, 1));
         let profile = t.phase_profile();
         assert_eq!(profile.len(), 2);
         assert_eq!(profile[0].0, Span::new("labels", 1));
@@ -444,7 +450,7 @@ mod tests {
     #[test]
     fn registry_snapshot_reflects_totals() {
         let mut t = Telemetry::new(2);
-        t.on_event(&send(0, 0, 1, Port::Left, 5));
+        t.on_event(&send(0, 0, 1, PortId::LEFT, 5));
         t.on_event(&TraceEvent::Halt {
             time: 1,
             processor: 0,

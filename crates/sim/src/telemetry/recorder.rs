@@ -47,7 +47,7 @@
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 
-use crate::port::Port;
+use crate::port::PortId;
 use crate::runtime::{Observer, TraceEvent};
 use crate::telemetry::json_escape;
 
@@ -71,7 +71,7 @@ pub enum ReplayEvent {
         /// Receiving processor.
         to: usize,
         /// Arrival port at the receiver.
-        port: Port,
+        port: PortId,
         /// Encoded message length.
         bits: usize,
         /// Global send sequence number (0 on version-1 recordings).
@@ -93,7 +93,7 @@ pub enum ReplayEvent {
         /// Receiving processor.
         to: usize,
         /// Local arrival port.
-        port: Port,
+        port: PortId,
         /// `seq` of the consumed send (0 on version-1 recordings).
         seq: u64,
         /// True when the receiver had already halted.
@@ -170,8 +170,7 @@ impl ReplayEvent {
                 let _ = write!(
                     out,
                     "{{\"type\":\"send\",\"t\":{time},\"from\":{from},\"to\":{to},\
-                     \"port\":\"{}\",\"bits\":{bits}",
-                    port_name(*port)
+                     \"port\":\"{port}\",\"bits\":{bits}"
                 );
                 if version >= 2 {
                     let _ = write!(out, ",\"seq\":{seq},\"lam\":{lamport}");
@@ -197,8 +196,7 @@ impl ReplayEvent {
             } => {
                 let _ = write!(
                     out,
-                    "{{\"type\":\"deliver\",\"t\":{time},\"to\":{to},\"port\":\"{}\"",
-                    port_name(*port)
+                    "{{\"type\":\"deliver\",\"t\":{time},\"to\":{to},\"port\":\"{port}\""
                 );
                 if version >= 2 {
                     let _ = write!(out, ",\"seq\":{seq}");
@@ -212,13 +210,6 @@ impl ReplayEvent {
                 );
             }
         }
-    }
-}
-
-fn port_name(port: Port) -> &'static str {
-    match port {
-        Port::Left => "left",
-        Port::Right => "right",
     }
 }
 
@@ -472,11 +463,16 @@ impl Recording {
                     .and_then(|v| usize::try_from(v).ok())
                     .ok_or_else(|| err(format!("event missing \"{name}\"")))
             };
-            let port = |obj: &JsonObject| -> Result<Port, RecordingError> {
+            let port = |obj: &JsonObject| -> Result<PortId, RecordingError> {
                 match obj.string("port") {
-                    Some("left") => Ok(Port::Left),
-                    Some("right") => Ok(Port::Right),
-                    _ => Err(err("bad \"port\"".into())),
+                    Some("left") => Ok(PortId::LEFT),
+                    Some("right") => Ok(PortId::RIGHT),
+                    Some(p) => p
+                        .strip_prefix('p')
+                        .and_then(|k| k.parse::<u16>().ok())
+                        .map(PortId::new)
+                        .ok_or_else(|| err("bad \"port\"".into())),
+                    None => Err(err("bad \"port\"".into())),
                 }
             };
             let event = match obj.string("type") {
@@ -805,7 +801,7 @@ fn parse_string(chars: &mut Chars<'_>) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::{FlightRecorder, Recording, ReplayEvent};
-    use crate::port::Port;
+    use crate::port::PortId;
     use crate::runtime::{Observer, SendEvent, Span, TraceEvent};
 
     fn sample_events() -> Vec<TraceEvent> {
@@ -814,7 +810,7 @@ mod tests {
                 cycle: 0,
                 from: 0,
                 to: 1,
-                port: Port::Left,
+                port: PortId::LEFT,
                 bits: 3,
                 seq: 0,
                 lamport: 1,
@@ -825,7 +821,7 @@ mod tests {
                 cycle: 0,
                 from: 2,
                 to: 1,
-                port: Port::Right,
+                port: PortId::RIGHT,
                 bits: 2,
                 seq: 1,
                 lamport: 1,
@@ -835,7 +831,7 @@ mod tests {
             TraceEvent::Deliver {
                 time: 1,
                 to: 1,
-                port: Port::Left,
+                port: PortId::LEFT,
                 seq: 0,
                 dropped: false,
             },

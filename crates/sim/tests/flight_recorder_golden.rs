@@ -6,7 +6,7 @@
 //! deliberately. Version-1 artifacts (recorded before causal stamps) must
 //! keep parsing and re-serializing byte-identically forever.
 
-use anonring_sim::port::Port;
+use anonring_sim::port::PortId;
 use anonring_sim::runtime::{FanOut, Observer, SendEvent, Span, TraceEvent};
 use anonring_sim::sync::{Emit, Received, Step, SyncEngine, SyncProcess};
 use anonring_sim::telemetry::{
@@ -38,7 +38,7 @@ fn golden_events() -> Vec<TraceEvent> {
             cycle: 0,
             from: 0,
             to: 1,
-            port: Port::Left,
+            port: PortId::LEFT,
             bits: 4,
             seq: 0,
             lamport: 1,
@@ -49,7 +49,7 @@ fn golden_events() -> Vec<TraceEvent> {
             cycle: 0,
             from: 2,
             to: 1,
-            port: Port::Right,
+            port: PortId::RIGHT,
             bits: 7,
             seq: 1,
             lamport: 1,
@@ -59,14 +59,14 @@ fn golden_events() -> Vec<TraceEvent> {
         TraceEvent::Deliver {
             time: 1,
             to: 1,
-            port: Port::Left,
+            port: PortId::LEFT,
             seq: 0,
             dropped: false,
         },
         TraceEvent::Deliver {
             time: 1,
             to: 1,
-            port: Port::Right,
+            port: PortId::RIGHT,
             seq: 1,
             dropped: true,
         },
@@ -74,7 +74,7 @@ fn golden_events() -> Vec<TraceEvent> {
             cycle: 1,
             from: 1,
             to: 2,
-            port: Port::Right,
+            port: PortId::RIGHT,
             bits: 2,
             seq: 2,
             lamport: 2,
