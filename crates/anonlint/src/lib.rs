@@ -110,10 +110,11 @@ pub enum Scope {
     /// `crates/sim/src/**`: the runtime itself; `sim/src/runtime/` is the
     /// sole owner of the raw send path.
     Runtime,
-    /// `crates/net/src/**`: the real-transport driver; its hub module is
-    /// the sole owner of the net-side meter writes, and everything else
-    /// obeys the runtime rules (plus the anonymity denylist, since the
-    /// driver hosts algorithm processes directly).
+    /// `crates/net/src/**` plus the serving path in `bench`
+    /// (`ringd.rs`, `load.rs`): the real-transport driver; its hub
+    /// module is the sole owner of the net-side meter writes, and
+    /// everything else obeys the runtime rules (plus the anonymity
+    /// denylist, since the driver hosts algorithm processes directly).
     NetDriver,
 }
 
@@ -629,10 +630,12 @@ fn check_span_coverage(file: &str, code: &[(usize, &Token)], findings: &mut Vec<
     }
 }
 
-/// A directory to lint and the scope that applies to it.
+/// A directory (or single file) to lint and the scope that applies to it.
 #[derive(Debug, Clone)]
 pub struct ScopedRoot {
-    /// Repo-relative directory.
+    /// Repo-relative directory, or a single `.rs` file for code that
+    /// lives outside the scope's home crate (e.g. the serving path in
+    /// `bench` that drives the net runtime).
     pub dir: &'static str,
     /// Invariant set for files under it.
     pub scope: Scope,
@@ -654,10 +657,22 @@ pub fn default_roots() -> Vec<ScopedRoot> {
             dir: "crates/net/src",
             scope: Scope::NetDriver,
         },
+        // The serving path lives in `bench` but drives the net runtime
+        // on live jobs, so it carries the net-driver invariants (no bare
+        // `unwrap` on the runtime path in particular).
+        ScopedRoot {
+            dir: "crates/bench/src/ringd.rs",
+            scope: Scope::NetDriver,
+        },
+        ScopedRoot {
+            dir: "crates/bench/src/load.rs",
+            scope: Scope::NetDriver,
+        },
     ]
 }
 
-/// Lints every `.rs` file under the default roots of `repo_root`.
+/// Lints every `.rs` file under the default roots of `repo_root`
+/// (a root may name a single file rather than a directory).
 /// Deterministic: files are visited in sorted path order.
 ///
 /// # Errors
@@ -684,6 +699,10 @@ pub fn lint_repo(repo_root: &Path) -> std::io::Result<Vec<Finding>> {
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if dir.is_file() {
+        out.push(dir.to_path_buf());
+        return Ok(());
+    }
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();

@@ -16,6 +16,17 @@
 //!   (`<id>.jsonl`, engine-stamped `"net"`) into `DIR`
 //! - `--socket PATH` (unix) — serve batches over a unix socket instead
 //!   of stdin/stdout; each connection is one batch
+//! - `--log` — emit one-line JSON operational logs on stderr (job
+//!   admitted/started/finished/requeued, with durations)
+//! - `--retries N` — re-run failed jobs up to `N` extra times
+//! - `--max-queue N` — admission bound; the reader blocks once `N`
+//!   jobs are queued (default 4096)
+//! - `--max-line-bytes N` — reject longer job lines with an `"error"`
+//!   line (default 1 MiB)
+//!
+//! A `{"type":"metrics"}` line on any stream answers with a live
+//! [`ServingMetrics`](anonring_bench::ringd::ServingMetrics) snapshot
+//! (add `"format":"prometheus"` for the text exposition).
 //!
 //! Exits nonzero if any job in the (stdin) batch failed.
 
@@ -46,6 +57,22 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--record-dir" => cli.options.record_dir = Some(PathBuf::from(value("--record-dir")?)),
             "--socket" => cli.socket = Some(PathBuf::from(value("--socket")?)),
+            "--log" => cli.options.log = true,
+            "--retries" => {
+                cli.options.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--max-queue" => {
+                cli.options.max_queue = value("--max-queue")?
+                    .parse()
+                    .map_err(|e| format!("--max-queue: {e}"))?;
+            }
+            "--max-line-bytes" => {
+                cli.options.max_line_bytes = value("--max-line-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--max-line-bytes: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -81,7 +108,10 @@ fn main() -> ExitCode {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("ringd: {e}");
-            eprintln!("usage: ringd [--workers N] [--record-dir DIR] [--socket PATH] < jobs.jsonl");
+            eprintln!(
+                "usage: ringd [--workers N] [--record-dir DIR] [--socket PATH] [--log] \
+                 [--retries N] [--max-queue N] [--max-line-bytes N] < jobs.jsonl"
+            );
             return ExitCode::from(2);
         }
     };

@@ -66,7 +66,69 @@ fn print_summary(rec: &Recording) {
         println!("time span:  0..={h}");
     }
     print_quantiles(rec);
+    print_wall_latency(rec);
     println!();
+}
+
+/// Per-phase wall-clock delivery latency for real-time (`"engine":"net"`)
+/// recordings: each delivered message's latency is its deliver `wall`
+/// stamp minus its send's, matched by `seq`. Simulator recordings carry
+/// no wall stamps and print nothing here.
+fn print_wall_latency(rec: &Recording) {
+    if rec.engine != "net" {
+        return;
+    }
+    let mut sends: std::collections::HashMap<u64, (u64, String)> = std::collections::HashMap::new();
+    for event in &rec.events {
+        if let ReplayEvent::Send {
+            seq,
+            phase,
+            wall_us: Some(wall),
+            ..
+        } = event
+        {
+            sends.insert(*seq, (*wall, phase.clone().unwrap_or_default()));
+        }
+    }
+    // BTreeMap keys the table in deterministic phase order.
+    let mut per_phase: std::collections::BTreeMap<String, Histogram> =
+        std::collections::BTreeMap::new();
+    for event in &rec.events {
+        if let ReplayEvent::Deliver {
+            seq,
+            wall_us: Some(delivered),
+            ..
+        } = event
+        {
+            if let Some((sent, phase)) = sends.get(seq) {
+                per_phase
+                    .entry(phase.clone())
+                    .or_default()
+                    .observe(delivered.saturating_sub(*sent));
+            }
+        }
+    }
+    if per_phase.is_empty() {
+        return;
+    }
+    println!("\nwall latency (send -> deliver, microseconds):\n");
+    println!("| phase | deliveries | p50 | p95 | p99 | max |");
+    println!("|---|---|---|---|---|---|");
+    for (phase, h) in &per_phase {
+        let name = if phase.is_empty() {
+            "(unspanned)"
+        } else {
+            phase
+        };
+        println!(
+            "| {name} | {} | {:.3} | {:.3} | {:.3} | {} |",
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.max
+        );
+    }
 }
 
 /// Derived distributions over the replayed events: message sizes and

@@ -19,6 +19,7 @@ pub mod audit;
 pub mod dynamic;
 pub mod json;
 pub mod labeled;
+pub mod load;
 pub mod lower_async;
 pub mod lower_sync;
 pub mod microbench;

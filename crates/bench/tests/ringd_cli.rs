@@ -102,6 +102,13 @@ fn a_batch_streams_certified_results_and_replayable_recordings() {
         let text = String::from_utf8(tracer.stdout).expect("utf8");
         assert!(text.contains("engine:     net"), "{id}: {text}");
         assert!(text.contains("critical path"), "{id}: {text}");
+        // Net recordings carry wall stamps, so the summary includes the
+        // per-phase send->deliver latency table.
+        assert!(text.contains("wall latency"), "{id}: {text}");
+        assert!(
+            text.contains("| phase | deliveries | p50 | p95 | p99 | max |"),
+            "{id}: {text}"
+        );
     }
 }
 
@@ -120,6 +127,88 @@ fn failed_jobs_surface_on_stdout_and_in_the_exit_code() {
     assert!(stdout.contains("unknown algorithm"), "{stdout}");
     assert!(stdout.contains("\"id\":\"good\""), "{stdout}");
     assert!(stdout.contains("\"failed\":1"), "{stdout}");
+}
+
+#[test]
+fn malformed_and_oversized_lines_error_without_killing_the_stream() {
+    let huge = format!(r#"{{"id":"huge","pad":"{}"}}"#, "x".repeat(2048));
+    let batch = format!(
+        "{}\n{}\n{}\n",
+        "this is not json", huge, r#"{"id":"good","algorithm":"sync_and","n":3,"inputs":[1,1,1]}"#,
+    );
+    let out = ringd(&["--workers", "1", "--max-line-bytes", "1024"], &batch);
+    assert!(!out.status.success(), "errored lines must fail the batch");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let lines: Vec<Value> = stdout
+        .lines()
+        .map(|l| Value::parse(l).unwrap_or_else(|e| panic!("bad line {l:?}: {e}")))
+        .collect();
+    assert_eq!(lines.len(), 4, "{stdout}");
+    // Malformed json and the oversized line each produce a structured
+    // error naming the cause...
+    assert!(stdout.contains("\"type\":\"error\""), "{stdout}");
+    assert!(stdout.contains("exceeds the 1024-byte limit"), "{stdout}");
+    // ...and the stream continues: the well-formed job still certifies.
+    assert!(stdout.contains("\"id\":\"good\""), "{stdout}");
+    assert!(stdout.contains("\"conformance\":\"certified\""), "{stdout}");
+    let done = lines.last().expect("summary line");
+    assert_eq!(done.get("type").and_then(Value::as_str), Some("done"));
+    assert_eq!(done.get("ok").and_then(Value::as_u64), Some(1));
+    assert_eq!(done.get("failed").and_then(Value::as_u64), Some(2));
+}
+
+#[test]
+fn metrics_requests_are_answered_inline_in_both_formats() {
+    let batch = concat!(
+        r#"{"id":"one","algorithm":"sync_and","n":3,"inputs":[1,0,1]}"#,
+        "\n",
+        r#"{"type":"metrics"}"#,
+        "\n",
+        r#"{"type":"metrics","format":"prometheus"}"#,
+        "\n"
+    );
+    let out = ringd(&["--workers", "1"], batch);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let metrics: Vec<Value> = stdout
+        .lines()
+        .map(|l| Value::parse(l).unwrap_or_else(|e| panic!("bad line {l:?}: {e}")))
+        .filter(|v| v.get("type").and_then(Value::as_str) == Some("metrics"))
+        .collect();
+    assert_eq!(metrics.len(), 2, "{stdout}");
+
+    // JSON form: the full registry snapshot rides in "snapshot".
+    let snapshot = metrics[0].get("snapshot").expect("snapshot payload");
+    let counters = snapshot
+        .get("counters")
+        .and_then(Value::as_array)
+        .expect("counters array");
+    assert!(
+        counters.iter().any(|c| {
+            c.get("name").and_then(Value::as_str) == Some("ringd_jobs_accepted_total")
+        }),
+        "{stdout}"
+    );
+
+    // Prometheus form: the exposition text is a JSON-escaped body.
+    let body = metrics[1]
+        .get("body")
+        .and_then(Value::as_str)
+        .expect("prometheus body");
+    // Only admission-path series are asserted: the request is answered
+    // inline by the reader, so whether the job has finished (and its
+    // latency histograms exist) is a worker-timing race.
+    for needle in [
+        "# TYPE ringd_jobs_accepted_total counter",
+        "# TYPE ringd_queue_depth gauge",
+        "ringd_jobs_accepted_total 1",
+    ] {
+        assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+    }
 }
 
 #[test]

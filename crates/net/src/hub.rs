@@ -17,7 +17,8 @@
 //! topology lookup below carries the lint exemption the simulator runtime
 //! enjoys by location.
 
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use anonring_sim::runtime::{CausalStamp, CostMeter, SendEvent, Span, TraceEvent};
@@ -37,9 +38,15 @@ pub(crate) struct LinkEnd {
 struct HubInner {
     meter: CostMeter,
     events: Vec<TraceEvent>,
+    /// Wall-clock microseconds since hub creation, one per event, stamped
+    /// in the same critical section that appends the event — so stamp `k`
+    /// always belongs to event `k` and stamps are monotone in file order.
+    wall_stamps: Vec<u64>,
     next_seq: u64,
     /// Sends routed but not yet delivered (or dropped).
     in_flight: u64,
+    /// High-water mark of `in_flight` over the run.
+    peak_in_flight: u64,
     /// Processors that have halted.
     halted: usize,
     /// Workers currently parked with an empty inbox.
@@ -74,6 +81,22 @@ pub(crate) struct Hub {
     inner: Mutex<HubInner>,
     /// Signalled on every state change that could end the run.
     progress: Condvar,
+    /// Origin of the wall-clock stamps.
+    started: Instant,
+    /// Times a sender (or TCP reader pump) found a destination inbox full
+    /// and had to wait — lock-free so the hot backpressure path never
+    /// touches the hub mutex.
+    backpressure: Arc<AtomicU64>,
+}
+
+/// Serving-plane counters the hub accumulates alongside the meter:
+/// link-level congestion (peak in-flight) and backpressure stalls.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct HubStats {
+    /// High-water mark of routed-but-undelivered sends.
+    pub peak_in_flight: u64,
+    /// Full-inbox waits observed by senders and reader pumps.
+    pub backpressure_waits: u64,
 }
 
 impl Hub {
@@ -96,8 +119,10 @@ impl Hub {
             inner: Mutex::new(HubInner {
                 meter: CostMeter::new(),
                 events: Vec::new(),
+                wall_stamps: Vec::new(),
                 next_seq: 0,
                 in_flight: 0,
+                peak_in_flight: 0,
                 halted: 0,
                 waiting: 0,
                 done: false,
@@ -105,7 +130,24 @@ impl Hub {
                 cancelled: false,
             }),
             progress: Condvar::new(),
+            started: Instant::now(),
+            backpressure: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Microseconds since hub creation, saturating at `u64::MAX`.
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// A lock-free handle senders use to count full-inbox waits.
+    pub(crate) fn backpressure_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.backpressure)
+    }
+
+    /// Counts one full-inbox wait (TCP reader pumps call this directly).
+    pub(crate) fn note_backpressure(&self) {
+        self.backpressure.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The outgoing link ends of processor `from`, indexed by
@@ -135,10 +177,13 @@ impl Hub {
     ) -> CausalStamp {
         let end = self.wiring[from][crate::inbox::pidx(port)];
         let mut inner = self.lock();
+        let now = self.now_us();
         let seq = inner.next_seq;
         inner.next_seq += 1;
         inner.in_flight += 1;
+        inner.peak_in_flight = inner.peak_in_flight.max(inner.in_flight);
         inner.meter.record_send(time, bits);
+        inner.wall_stamps.push(now);
         inner.events.push(TraceEvent::Send(SendEvent {
             cycle: time,
             from,
@@ -161,10 +206,12 @@ impl Hub {
     /// logs the [`TraceEvent::Deliver`].
     pub(crate) fn deliver(&self, time: u64, to: usize, port: PortId, seq: u64, dropped: bool) {
         let mut inner = self.lock();
+        let now = self.now_us();
         inner.meter.record_delivery();
         if dropped {
             inner.meter.record_drop();
         }
+        inner.wall_stamps.push(now);
         inner.events.push(TraceEvent::Deliver {
             time,
             to,
@@ -179,6 +226,8 @@ impl Hub {
     /// Logs a processor's halt.
     pub(crate) fn halt(&self, processor: usize, time: u64) {
         let mut inner = self.lock();
+        let now = self.now_us();
+        inner.wall_stamps.push(now);
         inner.events.push(TraceEvent::Halt { time, processor });
         inner.halted += 1;
         self.check_done(&mut inner);
@@ -256,10 +305,21 @@ impl Hub {
         }
     }
 
-    /// Consumes the hub, yielding the meter and the recorded event stream.
-    pub(crate) fn into_parts(self) -> (CostMeter, Vec<TraceEvent>) {
+    /// Consumes the hub, yielding the meter, the recorded event stream,
+    /// the per-event wall stamps (same length and order as the events)
+    /// and the serving-plane counters.
+    pub(crate) fn into_parts(self) -> (CostMeter, Vec<TraceEvent>, Vec<u64>, HubStats) {
+        let backpressure_waits = self.backpressure.load(Ordering::Relaxed);
         let inner = self.inner.into_inner().expect("hub lock poisoned");
-        (inner.meter, inner.events)
+        (
+            inner.meter,
+            inner.events,
+            inner.wall_stamps,
+            HubStats {
+                peak_in_flight: inner.peak_in_flight,
+                backpressure_waits,
+            },
+        )
     }
 }
 
@@ -288,10 +348,32 @@ mod tests {
         let a = h.route_send(0, PortId::RIGHT, 4, 1, 1, None, None);
         let b = h.route_send(1, PortId::RIGHT, 4, 1, 1, None, None);
         assert_eq!((a.seq, b.seq), (0, 1));
-        let (meter, events) = h.into_parts();
+        let (meter, events, stamps, stats) = h.into_parts();
         assert_eq!(meter.messages, 2);
         assert_eq!(meter.bits, 8);
         assert_eq!(events.len(), 2);
+        assert_eq!(stamps.len(), events.len(), "one wall stamp per event");
+        assert!(stamps[0] <= stamps[1], "stamps monotone in log order");
+        assert_eq!(stats.peak_in_flight, 2);
+        assert_eq!(stats.backpressure_waits, 0);
+    }
+
+    #[test]
+    fn stats_track_peak_in_flight_and_backpressure() {
+        let h = hub(2);
+        let a = h.route_send(0, PortId::RIGHT, 1, 1, 1, None, None);
+        h.deliver(1, 1, PortId::LEFT, a.seq, false);
+        let b = h.route_send(0, PortId::RIGHT, 1, 2, 2, None, None);
+        let c = h.route_send(1, PortId::RIGHT, 1, 2, 2, None, None);
+        h.deliver(2, 1, PortId::LEFT, b.seq, false);
+        h.deliver(2, 0, PortId::LEFT, c.seq, false);
+        h.note_backpressure();
+        let pressure = h.backpressure_handle();
+        pressure.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        let (_, events, stamps, stats) = h.into_parts();
+        assert_eq!(stats.peak_in_flight, 2, "two concurrent in-flight sends");
+        assert_eq!(stats.backpressure_waits, 3);
+        assert_eq!(stamps.len(), events.len());
     }
 
     #[test]

@@ -99,6 +99,9 @@ pub struct NetOptions {
     /// Link realisation.
     pub transport: Transport,
     /// Wall-clock budget; exceeding it aborts with [`NetError::Timeout`].
+    /// A zero budget fails before the run starts — deterministically,
+    /// whatever the machine speed — making it a failure injector for
+    /// retry paths.
     pub timeout: Duration,
 }
 
@@ -133,8 +136,15 @@ pub struct NetReport<O> {
     /// Messages per arrival epoch (interleaving-dependent, like
     /// [`NetReport::max_epoch`]).
     pub per_epoch_messages: Vec<u64>,
+    /// High-water mark of routed-but-undelivered sends (hub-observed link
+    /// congestion; wall-clock-dependent, never conformance-compared).
+    pub peak_in_flight: u64,
+    /// Full-inbox waits observed by senders and TCP reader pumps
+    /// (wall-clock-dependent, never conformance-compared).
+    pub backpressure_waits: u64,
     outputs: Vec<O>,
     events: Vec<TraceEvent>,
+    wall_us: Vec<u64>,
 }
 
 impl<O> NetReport<O> {
@@ -154,6 +164,15 @@ impl<O> NetReport<O> {
     #[must_use]
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Wall-clock microseconds since run start, one stamp per recorded
+    /// event in [`NetReport::events`] order — feed them to
+    /// `Recording::attach_wall_stamps` so replay tooling can report real
+    /// latencies next to the metered epochs.
+    #[must_use]
+    pub fn wall_stamps(&self) -> &[u64] {
+        &self.wall_us
     }
 
     /// Replays the recorded events into `observer` — the bridge to every
@@ -254,6 +273,8 @@ pub(crate) trait SendPort<M> {
 pub(crate) struct LocalPort<M> {
     pub peer: Arc<Inbox<M>>,
     pub arrival: PortId,
+    /// Hub-shared counter of full-inbox waits (see `Hub::backpressure_handle`).
+    pub pressure: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl<M> SendPort<M> for LocalPort<M> {
@@ -269,6 +290,8 @@ impl<M> SendPort<M> for LocalPort<M> {
                 PushOutcome::Closed => return Err(PushError::Stopped),
                 PushOutcome::Full(returned) => {
                     parcel = returned;
+                    self.pressure
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     relieve();
                     if over() {
                         return Err(PushError::Stopped);
@@ -431,7 +454,7 @@ pub(crate) fn finish<O>(
         .into_iter()
         .map(|out| out.expect("done verdict implies every processor halted"))
         .collect();
-    let (meter, events) = hub.into_parts();
+    let (meter, events, wall_us, stats) = hub.into_parts();
     Ok(NetReport {
         messages: meter.messages,
         bits: meter.bits,
@@ -439,8 +462,11 @@ pub(crate) fn finish<O>(
         dropped: meter.dropped,
         max_epoch: meter.max_time,
         per_epoch_messages: meter.per_time_messages,
+        peak_in_flight: stats.peak_in_flight,
+        backpressure_waits: stats.backpressure_waits,
         outputs,
         events,
+        wall_us,
     })
 }
 
@@ -467,6 +493,16 @@ where
             actual: procs.len(),
         });
     }
+    // A zero budget can never be met; failing before spawning keeps the
+    // verdict deterministic (a fast run could otherwise finish before
+    // the coordinator's first deadline check), which makes
+    // `timeout_ms: 0` a reliable failure injector for retry paths.
+    if options.timeout.is_zero() {
+        return Err(NetError::Timeout {
+            timeout_ms: 0,
+            halted: 0,
+        });
+    }
     let hub = Hub::new(topology);
     let inboxes: Vec<Arc<Inbox<P::Msg>>> = (0..n)
         .map(|i| Arc::new(Inbox::new(topology.ports(i), options.capacity)))
@@ -485,6 +521,7 @@ where
                     .map(|end| LocalPort {
                         peer: Arc::clone(&inboxes[end.to]),
                         arrival: end.arrival,
+                        pressure: hub.backpressure_handle(),
                     })
                     .collect();
                 let inbox = Arc::clone(&inboxes[i]);

@@ -168,6 +168,7 @@ fn read_link<M: Wire>(
                 PushOutcome::Closed => return,
                 PushOutcome::Full(returned) => {
                     parcel = returned;
+                    hub.note_backpressure();
                     if hub.is_over() {
                         return;
                     }
@@ -224,6 +225,15 @@ where
         return Err(NetError::LengthMismatch {
             expected: n,
             actual: procs.len(),
+        });
+    }
+    // A zero budget fails before any socket is dialed, mirroring the
+    // thread transport: the verdict must not depend on how fast the
+    // run would have finished.
+    if options.timeout.is_zero() {
+        return Err(NetError::Timeout {
+            timeout_ms: 0,
+            halted: 0,
         });
     }
     let hub = Hub::new(topology);

@@ -64,7 +64,7 @@ impl core::fmt::Display for MetricId {
 pub struct Histogram {
     /// Number of observations.
     pub count: u64,
-    /// Sum of all observations.
+    /// Sum of all observations (saturating at `u64::MAX`).
     pub sum: u64,
     /// Smallest observation (0 when empty).
     pub min: u64,
@@ -88,7 +88,7 @@ impl Histogram {
             self.max = self.max.max(value);
         }
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         let idx = Self::bucket_index(value);
         if self.buckets.len() <= idx {
             self.buckets.resize(idx + 1, 0);
@@ -116,6 +116,31 @@ impl Histogram {
             .filter(|&(_, &c)| c > 0)
             .map(|(i, &c)| (1u64.checked_shl(i as u32).unwrap_or(u64::MAX), c))
             .collect()
+    }
+
+    /// Folds `other` into `self` (count/sum add, min/max widen, buckets
+    /// add index-wise). Merging is exact: the merged histogram equals the
+    /// one that would have observed both sample streams directly, which
+    /// is what lets per-worker shards be combined at scrape time.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
     }
 
     /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`; 0 when empty).
@@ -220,6 +245,120 @@ impl MetricsRegistry {
     /// Iterates histograms in deterministic order.
     pub fn histograms(&self) -> impl Iterator<Item = (&MetricId, &Histogram)> {
         self.histograms.iter()
+    }
+
+    /// Folds `other` into `self`: counters add, gauges overwrite
+    /// (last-write-wins — callers that need a sum should model the value
+    /// as a counter), histograms merge exactly via [`Histogram::merge`].
+    ///
+    /// This is the shard-combine operation behind the serving plane:
+    /// each `ringd` worker keeps a private registry on its hot path and
+    /// a `metrics` scrape merges the shards into one snapshot, so no
+    /// lock is shared between workers while jobs run.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (id, &v) in &other.counters {
+            *self.counters.entry(id.clone()).or_insert(0) += v;
+        }
+        for (id, &v) in &other.gauges {
+            self.gauges.insert(id.clone(), v);
+        }
+        for (id, h) in &other.histograms {
+            self.histograms.entry(id.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Serializes the registry in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE` line per metric name, one sample
+    /// line per label set, histograms as cumulative `_bucket{le=...}`
+    /// series plus `_sum` and `_count`. Deterministic because the
+    /// underlying maps iterate in `(name, labels)` order.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        fn prom_escape(value: &str) -> String {
+            let mut out = String::with_capacity(value.len());
+            for c in value.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    other => out.push(other),
+                }
+            }
+            out
+        }
+        fn label_block(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+            if labels.is_empty() && extra.is_none() {
+                return String::new();
+            }
+            let mut out = String::from("{");
+            let mut first = true;
+            for (k, v) in labels {
+                let _ = write!(
+                    out,
+                    "{}{k}=\"{}\"",
+                    if first { "" } else { "," },
+                    prom_escape(v)
+                );
+                first = false;
+            }
+            if let Some((k, v)) = extra {
+                let _ = write!(out, "{}{k}=\"{v}\"", if first { "" } else { "," });
+            }
+            out.push('}');
+            out
+        }
+        fn type_line(out: &mut String, last: &mut &'static str, name: &'static str, kind: &str) {
+            if *last != name {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                *last = name;
+            }
+        }
+
+        let mut out = String::new();
+        let mut last = "";
+        for (id, v) in &self.counters {
+            type_line(&mut out, &mut last, id.name, "counter");
+            let _ = writeln!(out, "{}{} {v}", id.name, label_block(&id.labels, None));
+        }
+        for (id, v) in &self.gauges {
+            type_line(&mut out, &mut last, id.name, "gauge");
+            let _ = writeln!(out, "{}{} {v}", id.name, label_block(&id.labels, None));
+        }
+        for (id, h) in &self.histograms {
+            type_line(&mut out, &mut last, id.name, "histogram");
+            let mut cumulative = 0u64;
+            for (le, c) in h.buckets() {
+                cumulative += c;
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {cumulative}",
+                    id.name,
+                    label_block(&id.labels, Some(("le", &le.to_string())))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                id.name,
+                label_block(&id.labels, Some(("le", "+Inf"))),
+                h.count
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                id.name,
+                label_block(&id.labels, None),
+                h.sum
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                id.name,
+                label_block(&id.labels, None),
+                h.count
+            );
+        }
+        out
     }
 
     /// Serializes the whole registry as a deterministic JSON object —
@@ -380,6 +519,59 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_survive_the_unbounded_top_bucket() {
+        // u64::MAX lands in the last bucket, whose upper bound would
+        // overflow `1 << 64`; the estimator must clamp to the observed
+        // max rather than wrap or report infinity.
+        let mut h = Histogram::default();
+        for _ in 0..5 {
+            h.observe(u64::MAX);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!(est.is_finite(), "q={q}: {est}");
+            assert!((est - u64::MAX as f64).abs() < 1.0, "q={q}: {est}");
+        }
+        // Mixed with a small value, estimates stay within [min, max].
+        h.observe(1);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!((1.0..=u64::MAX as f64).contains(&est), "q={q}: {est}");
+        }
+    }
+
+    mod properties {
+        use super::Histogram;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Quantile estimates never decrease in `q` and never leave
+            /// the observed `[min, max]` envelope, for any sample set.
+            #[test]
+            fn quantiles_are_monotone_and_bounded(
+                values in proptest::collection::vec(any::<u64>(), 1..=64),
+            ) {
+                let mut h = Histogram::default();
+                for &v in &values {
+                    h.observe(v);
+                }
+                let p50 = h.quantile(0.50);
+                let p95 = h.quantile(0.95);
+                let p99 = h.quantile(0.99);
+                prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95} for {values:?}");
+                prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99} for {values:?}");
+                let lo = *values.iter().min().expect("nonempty") as f64;
+                let hi = *values.iter().max().expect("nonempty") as f64;
+                prop_assert!(h.quantile(0.0) >= lo, "p0 {} < min {lo}", h.quantile(0.0));
+                prop_assert!(p99 <= hi, "p99 {p99} > max {hi}");
+                prop_assert!(h.quantile(1.0) <= hi, "p100 {} > max {hi}", h.quantile(1.0));
+            }
+        }
+    }
+
+    #[test]
     fn json_snapshot_carries_quantiles() {
         let mut reg = MetricsRegistry::new();
         for v in 1..=100u64 {
@@ -389,6 +581,99 @@ mod tests {
         assert!(
             json.contains("\"mean\": 50.500, \"p50\": 50.500, \"p95\": 95.050, \"p99\": 99.010"),
             "{json}"
+        );
+    }
+
+    #[test]
+    fn histogram_merge_equals_direct_observation() {
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        let mut both = Histogram::default();
+        for v in [0u64, 1, 7, 100, 5000] {
+            left.observe(v);
+            both.observe(v);
+        }
+        for v in [3u64, 3, 900, u64::MAX] {
+            right.observe(v);
+            both.observe(v);
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, both);
+        // Merging an empty histogram is a no-op; merging into empty copies.
+        merged.merge(&Histogram::default());
+        assert_eq!(merged, both);
+        let mut fresh = Histogram::default();
+        fresh.merge(&both);
+        assert_eq!(fresh, both);
+    }
+
+    #[test]
+    fn registry_merge_combines_shards() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.add_counter(MetricId::plain("jobs_total"), 3);
+        b.add_counter(MetricId::plain("jobs_total"), 4);
+        b.add_counter(MetricId::with_labels("jobs_total", &[("worker", "1")]), 1);
+        a.set_gauge(MetricId::plain("queue_depth"), 5);
+        b.set_gauge(MetricId::plain("queue_depth"), 2);
+        a.observe(MetricId::plain("latency_us"), 10);
+        b.observe(MetricId::plain("latency_us"), 1000);
+        a.merge(&b);
+        assert_eq!(a.counter(&MetricId::plain("jobs_total")), 7);
+        assert_eq!(
+            a.counter(&MetricId::with_labels("jobs_total", &[("worker", "1")])),
+            1
+        );
+        assert_eq!(a.gauge(&MetricId::plain("queue_depth")), Some(2));
+        let h = a.histogram(&MetricId::plain("latency_us")).expect("merged");
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 1010, 10, 1000));
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter(MetricId::plain("jobs_completed_total"), 4);
+        reg.add_counter(
+            MetricId::with_labels("jobs_completed_total", &[("algorithm", "sync_and")]),
+            2,
+        );
+        reg.set_gauge(MetricId::plain("queue_depth"), 3);
+        let mut h = MetricsRegistry::new();
+        for v in [1u64, 2, 2, 900] {
+            h.observe(
+                MetricId::with_labels("latency_us", &[("phase", "execute")]),
+                v,
+            );
+        }
+        reg.merge(&h);
+        let text = reg.to_prometheus();
+        let expected = "# TYPE jobs_completed_total counter\n\
+                        jobs_completed_total 4\n\
+                        jobs_completed_total{algorithm=\"sync_and\"} 2\n\
+                        # TYPE queue_depth gauge\n\
+                        queue_depth 3\n\
+                        # TYPE latency_us histogram\n\
+                        latency_us_bucket{phase=\"execute\",le=\"2\"} 1\n\
+                        latency_us_bucket{phase=\"execute\",le=\"4\"} 3\n\
+                        latency_us_bucket{phase=\"execute\",le=\"1024\"} 4\n\
+                        latency_us_bucket{phase=\"execute\",le=\"+Inf\"} 4\n\
+                        latency_us_sum{phase=\"execute\"} 905\n\
+                        latency_us_count{phase=\"execute\"} 4\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_counter(MetricId::with_labels(
+            "errors_total",
+            &[("detail", "a\"b\\c\nd")],
+        ));
+        let text = reg.to_prometheus();
+        assert!(
+            text.contains("errors_total{detail=\"a\\\"b\\\\c\\nd\"} 1"),
+            "{text}"
         );
     }
 

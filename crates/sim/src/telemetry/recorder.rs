@@ -85,6 +85,9 @@ pub enum ReplayEvent {
         phase: Option<String>,
         /// Round within the phase (present iff `phase` is).
         round: u64,
+        /// Wall-clock microseconds since run start, stamped by real-time
+        /// engines (`"engine":"net"`); absent on simulator recordings.
+        wall_us: Option<u64>,
     },
     /// A message was consumed (or discarded) at its receiver.
     Deliver {
@@ -98,6 +101,9 @@ pub enum ReplayEvent {
         seq: u64,
         /// True when the receiver had already halted.
         dropped: bool,
+        /// Wall-clock microseconds since run start, stamped by real-time
+        /// engines; absent on simulator recordings.
+        wall_us: Option<u64>,
     },
     /// A processor halted.
     Halt {
@@ -132,6 +138,7 @@ impl ReplayEvent {
                 parent: s.parent,
                 phase: s.span.map(|sp| sp.phase.to_string()),
                 round: s.span.map_or(0, |sp| sp.round),
+                wall_us: None,
             },
             TraceEvent::Deliver {
                 time,
@@ -145,6 +152,7 @@ impl ReplayEvent {
                 port,
                 seq,
                 dropped,
+                wall_us: None,
             },
             TraceEvent::Halt { time, processor } => ReplayEvent::Halt { time, processor },
         }
@@ -166,6 +174,7 @@ impl ReplayEvent {
                 parent,
                 phase,
                 round,
+                wall_us,
             } => {
                 let _ = write!(
                     out,
@@ -176,6 +185,9 @@ impl ReplayEvent {
                     let _ = write!(out, ",\"seq\":{seq},\"lam\":{lamport}");
                     if let Some(parent) = parent {
                         let _ = write!(out, ",\"parent\":{parent}");
+                    }
+                    if let Some(wall) = wall_us {
+                        let _ = write!(out, ",\"wall\":{wall}");
                     }
                 }
                 if let Some(phase) = phase {
@@ -193,6 +205,7 @@ impl ReplayEvent {
                 port,
                 seq,
                 dropped,
+                wall_us,
             } => {
                 let _ = write!(
                     out,
@@ -200,6 +213,9 @@ impl ReplayEvent {
                 );
                 if version >= 2 {
                     let _ = write!(out, ",\"seq\":{seq}");
+                    if let Some(wall) = wall_us {
+                        let _ = write!(out, ",\"wall\":{wall}");
+                    }
                 }
                 let _ = writeln!(out, ",\"dropped\":{dropped}}}");
             }
@@ -502,6 +518,7 @@ impl Recording {
                         parent,
                         phase: obj.string("phase").map(str::to_string),
                         round: obj.number("round").unwrap_or(0),
+                        wall_us: (version >= 2).then(|| obj.number("wall")).flatten(),
                     }
                 }
                 Some("deliver") => {
@@ -522,6 +539,7 @@ impl Recording {
                         dropped: obj
                             .boolean("dropped")
                             .ok_or_else(|| err("deliver missing \"dropped\"".into()))?,
+                        wall_us: (version >= 2).then(|| obj.number("wall")).flatten(),
                     }
                 }
                 Some("halt") => ReplayEvent::Halt {
@@ -555,6 +573,23 @@ impl Recording {
             event.write_line(&mut out, self.version);
         }
         out
+    }
+
+    /// Stamps events with wall-clock microsecond offsets, one stamp per
+    /// recorded event in order (the shape real-time engines hand back —
+    /// their event log and stamp vector grow in the same critical
+    /// section). Halt events take no stamp but still consume their slot.
+    /// Extra stamps beyond the event count are ignored; missing stamps
+    /// leave the tail unstamped.
+    pub fn attach_wall_stamps(&mut self, stamps: &[u64]) {
+        for (event, &stamp) in self.events.iter_mut().zip(stamps) {
+            match event {
+                ReplayEvent::Send { wall_us, .. } | ReplayEvent::Deliver { wall_us, .. } => {
+                    *wall_us = Some(stamp);
+                }
+                ReplayEvent::Halt { .. } => {}
+            }
+        }
     }
 
     /// Total messages recorded.
@@ -881,6 +916,46 @@ mod tests {
         let parsed = Recording::parse_jsonl(&jsonl).unwrap();
         assert_eq!(parsed.engine, "net");
         assert_eq!(parsed.to_jsonl(), jsonl, "byte-identical round-trip");
+    }
+
+    #[test]
+    fn wall_stamps_round_trip_and_stay_optional() {
+        let mut rec = FlightRecorder::new(3, "net run").with_engine("net");
+        for event in sample_events() {
+            rec.on_event(&event);
+        }
+        // Unstamped: no "wall" key anywhere (simulator recordings keep
+        // their exact pre-wall byte shape).
+        let bare = rec.to_jsonl();
+        assert!(!bare.contains("\"wall\""), "{bare}");
+
+        // Stamped: one stamp per event in order; the halt slot is
+        // consumed but not written.
+        let mut recording = rec.into_recording();
+        recording.attach_wall_stamps(&[10, 20, 35, 41]);
+        let jsonl = recording.to_jsonl();
+        assert!(
+            jsonl.contains(",\"seq\":0,\"lam\":1,\"wall\":10,\"phase\":\"labels\""),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains(",\"parent\":0,\"wall\":20}"), "{jsonl}");
+        assert!(
+            jsonl.contains("\"deliver\",\"t\":1,\"to\":1,\"port\":\"left\",\"seq\":0,\"wall\":35"),
+            "{jsonl}"
+        );
+        assert!(
+            !jsonl.contains("\"wall\":41"),
+            "halt takes no stamp: {jsonl}"
+        );
+        let parsed = Recording::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed, recording);
+        assert_eq!(parsed.to_jsonl(), jsonl, "byte-identical round-trip");
+
+        // Short stamp vectors leave the tail unstamped instead of panicking.
+        let mut partial = Recording::parse_jsonl(&bare).unwrap();
+        partial.attach_wall_stamps(&[7]);
+        let out = partial.to_jsonl();
+        assert_eq!(out.matches("\"wall\"").count(), 1, "{out}");
     }
 
     #[test]
