@@ -1,0 +1,413 @@
+//! A lightweight Rust AST — just the structure the dataflow lints need.
+//!
+//! The [`crate::parser`] produces this tree from the [`crate::lexer`]
+//! token stream. It is deliberately *lossy*: operators are not
+//! distinguished, types are kept as flat identifier lists, and anything
+//! the parser does not understand collapses into [`Expr::Opaque`]. What
+//! it must preserve is the shape the analyses read:
+//!
+//! * item nesting (functions inside `impl`/`mod`/`trait` blocks, with
+//!   trait-impl headers kept so `impl … Topology for …` exemptions work);
+//! * statement order and block structure (for path-sensitive span and
+//!   lock-region analysis);
+//! * expression structure: calls, method calls, field accesses,
+//!   assignments, branches and closures (for taint propagation);
+//! * the *bound names* of patterns (taint flows through `let`
+//!   destructuring), not the patterns themselves.
+
+/// A parsed source file: its top-level items.
+#[derive(Debug, Clone, Default)]
+pub struct File {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One item. Non-function items the lints do not look inside collapse to
+/// [`Item::Other`].
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// A free or associated function with its body.
+    Fn(FnItem),
+    /// An `impl` block (inherent or trait) with its associated items.
+    Impl(ImplItem),
+    /// A `trait` block (kept for default method bodies).
+    Trait(TraitItem),
+    /// An inline `mod name { … }`.
+    Mod(ModItem),
+    /// Anything else (`use`, `struct`, `enum`, `const`, …).
+    Other {
+        /// 1-based source line of the item's first token.
+        line: usize,
+    },
+}
+
+/// A function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Parameters, in order (`self` receivers appear with name `self`).
+    pub params: Vec<Param>,
+    /// The body; `None` for trait-method signatures.
+    pub body: Option<Block>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+/// One function (or closure) parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// The names the parameter pattern binds (one for a plain parameter,
+    /// several for a destructuring pattern, empty for `_`).
+    pub names: Vec<String>,
+    /// The identifier tokens of the declared type, in order, with all
+    /// punctuation dropped (`&mut Vec<PortId>` becomes `["Vec",
+    /// "PortId"]`; `mut`/`dyn`/`impl` and lifetimes are skipped). Empty
+    /// when no annotation was given (closure parameters).
+    pub ty: Vec<String>,
+    /// 1-based line the parameter starts on.
+    pub line: usize,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// The trait being implemented, when this is a trait impl
+    /// (identifier tokens of the trait path's last segment).
+    pub trait_name: Option<String>,
+    /// Associated items (functions, consts, …).
+    pub items: Vec<Item>,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+}
+
+/// A `trait` block (default method bodies are analyzed like any fn).
+#[derive(Debug, Clone)]
+pub struct TraitItem {
+    /// The trait's name.
+    pub name: String,
+    /// Associated items.
+    pub items: Vec<Item>,
+    /// 1-based line of the `trait` keyword.
+    pub line: usize,
+}
+
+/// An inline module.
+#[derive(Debug, Clone)]
+pub struct ModItem {
+    /// The module's name.
+    pub name: String,
+    /// Its items.
+    pub items: Vec<Item>,
+    /// 1-based line of the `mod` keyword.
+    pub line: usize,
+}
+
+/// A `{ … }` block: statements in order. A trailing expression without
+/// `;` is the last [`Stmt::Expr`].
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// The block's statements.
+    pub stmts: Vec<Stmt>,
+    /// 1-based line of the opening brace.
+    pub line: usize,
+}
+
+/// One statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let pat (= init)? (else { … })?;`
+    Let {
+        /// Names the pattern binds.
+        bound: Vec<String>,
+        /// The initializer, if any.
+        init: Option<Expr>,
+        /// The `let … else` diverging block, if any.
+        else_block: Option<Block>,
+        /// 1-based line of the `let`.
+        line: usize,
+    },
+    /// An expression statement (with or without a trailing `;`).
+    Expr(Expr),
+    /// A nested item (fn/struct/use inside a block).
+    Item(Box<Item>),
+}
+
+/// A match arm.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Names the arm's pattern binds.
+    pub bound: Vec<String>,
+    /// The `if` guard, when present.
+    pub guard: Option<Expr>,
+    /// The arm's body expression.
+    pub body: Expr,
+    /// 1-based line the arm starts on.
+    pub line: usize,
+}
+
+/// One expression. Lossy (operators and literal values are dropped) but
+/// structure-preserving.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A (possibly `::`-qualified) path: `x`, `self`, `Port::Left`.
+    Path {
+        /// The path's identifier segments.
+        segs: Vec<String>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// Any literal (number, string, char, bool is a Path).
+    Lit {
+        /// 1-based line.
+        line: usize,
+    },
+    /// `callee(args…)`.
+    Call {
+        /// The callee (usually a [`Expr::Path`]).
+        callee: Box<Expr>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// 1-based line of the call.
+        line: usize,
+    },
+    /// `recv.method(args…)`.
+    MethodCall {
+        /// The receiver.
+        recv: Box<Expr>,
+        /// The method name.
+        method: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// 1-based line of the method name.
+        line: usize,
+    },
+    /// `base.field` (tuple indices appear as their digits).
+    Field {
+        /// The base expression.
+        base: Box<Expr>,
+        /// The field name.
+        name: String,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `base[index]`.
+    Index {
+        /// The indexed expression.
+        base: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// A prefix operator: `&e` / `&mut e` (`'&'`), `*e`, `!e`, `-e`.
+    Unary {
+        /// Which operator (`'&'`, `'*'`, `'!'`, `'-'`).
+        op: char,
+        /// The operand.
+        expr: Box<Expr>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// Any binary operator chain node (`a + b`, `a == b`, `a .. b`, …).
+    Binary {
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// 1-based line of the operator.
+        line: usize,
+    },
+    /// `lhs = rhs` and compound assignments (`+=`, …).
+    Assign {
+        /// The assignment target.
+        lhs: Box<Expr>,
+        /// The assigned value.
+        rhs: Box<Expr>,
+        /// Whether this is a compound assignment (`+=`, `|=`, …), which
+        /// reads the target as well as writing it.
+        compound: bool,
+        /// 1-based line of the operator.
+        line: usize,
+    },
+    /// `if cond { … } (else …)?`, including `if let`.
+    If {
+        /// The condition (the scrutinee, for `if let`).
+        cond: Box<Expr>,
+        /// Names bound by an `if let` pattern (empty otherwise).
+        bound: Vec<String>,
+        /// The then-block.
+        then: Block,
+        /// The else branch: a [`Expr::Block`] or another [`Expr::If`].
+        els: Option<Box<Expr>>,
+        /// 1-based line of the `if`.
+        line: usize,
+    },
+    /// `match scrutinee { arms… }`.
+    Match {
+        /// The scrutinee.
+        scrutinee: Box<Expr>,
+        /// The arms, in order.
+        arms: Vec<Arm>,
+        /// 1-based line of the `match`.
+        line: usize,
+    },
+    /// `while cond { … }`, including `while let`.
+    While {
+        /// The condition (scrutinee for `while let`).
+        cond: Box<Expr>,
+        /// Names bound by a `while let` pattern.
+        bound: Vec<String>,
+        /// The loop body.
+        body: Block,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `loop { … }`.
+    Loop {
+        /// The loop body.
+        body: Block,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `for pat in iter { … }`.
+    For {
+        /// Names the loop pattern binds.
+        bound: Vec<String>,
+        /// The iterated expression.
+        iter: Box<Expr>,
+        /// The loop body.
+        body: Block,
+        /// 1-based line.
+        line: usize,
+    },
+    /// A closure `|params| body` (`move` is dropped).
+    Closure {
+        /// The closure's parameters.
+        params: Vec<Param>,
+        /// Its body expression.
+        body: Box<Expr>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// A block expression (also `unsafe { … }`).
+    Block(Block),
+    /// `return (e)?`.
+    Return {
+        /// The returned value, if any.
+        value: Option<Box<Expr>>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `break (e)?` / `continue`.
+    Jump {
+        /// The `break` value, if any.
+        value: Option<Box<Expr>>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// A struct literal `Path { field: e, … }`.
+    Struct {
+        /// The struct path's identifier segments.
+        path: Vec<String>,
+        /// `(field name, value)` pairs (shorthand fields get a
+        /// [`Expr::Path`] value); the `..base` tail is a field named
+        /// `..`.
+        fields: Vec<(String, Expr)>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// A tuple or array literal (and parenthesized expressions).
+    Tuple {
+        /// The element expressions.
+        items: Vec<Expr>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// A macro invocation `name!(…)`. Arguments that parse as
+    /// comma-separated expressions are kept; otherwise the raw
+    /// identifiers inside are preserved for conservative scanning.
+    Macro {
+        /// The macro's name (last path segment, no `!`).
+        name: String,
+        /// Parsed argument expressions (empty if the body did not parse).
+        args: Vec<Expr>,
+        /// Fallback: identifiers appearing in an unparsed body.
+        raw_idents: Vec<String>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `expr?`.
+    Try {
+        /// The inner expression.
+        expr: Box<Expr>,
+        /// 1-based line of the `?`.
+        line: usize,
+    },
+    /// Tokens the parser could not shape; analyses treat it as an
+    /// untainted, effect-free leaf (a documented soundness gap).
+    Opaque {
+        /// 1-based line.
+        line: usize,
+    },
+}
+
+impl Expr {
+    /// The 1-based source line of the expression's head token.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Path { line, .. }
+            | Expr::Lit { line }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::If { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::While { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::For { line, .. }
+            | Expr::Closure { line, .. }
+            | Expr::Return { line, .. }
+            | Expr::Jump { line, .. }
+            | Expr::Struct { line, .. }
+            | Expr::Tuple { line, .. }
+            | Expr::Macro { line, .. }
+            | Expr::Try { line, .. }
+            | Expr::Opaque { line } => *line,
+            Expr::Block(b) => b.line,
+        }
+    }
+
+    /// Whether this is a path consisting of exactly `segs`.
+    #[must_use]
+    pub fn is_path(&self, want: &[&str]) -> bool {
+        matches!(self, Expr::Path { segs, .. } if segs.len() == want.len()
+            && segs.iter().zip(want).all(|(a, b)| a == b))
+    }
+}
+
+/// Depth-first walk over every item in a file, calling `f` on each
+/// function (with the enclosing impl's trait name, if any).
+pub fn for_each_fn<'a>(file: &'a File, f: &mut impl FnMut(&'a FnItem, Option<&'a str>)) {
+    fn rec<'a>(
+        items: &'a [Item],
+        trait_ctx: Option<&'a str>,
+        f: &mut impl FnMut(&'a FnItem, Option<&'a str>),
+    ) {
+        for item in items {
+            match item {
+                Item::Fn(func) => f(func, trait_ctx),
+                Item::Impl(i) => rec(&i.items, i.trait_name.as_deref(), f),
+                Item::Trait(t) => rec(&t.items, None, f),
+                Item::Mod(m) => rec(&m.items, None, f),
+                Item::Other { .. } => {}
+            }
+        }
+    }
+    rec(&file.items, None, f);
+}

@@ -1,0 +1,1993 @@
+//! Intraprocedural forward dataflow over the [`crate::ast`] tree: the
+//! identity-taint, span-dominance and lock-discipline analyses.
+//!
+//! All three are *syntactic* analyses of one function body at a time
+//! (plus file-local call summaries for span application). Soundness
+//! caveats — what an intraprocedural pass structurally cannot see — are
+//! documented in DESIGN.md §S25; the headline ones:
+//!
+//! * taint does not cross function boundaries except as "calls with a
+//!   tainted argument return a tainted value";
+//! * containers are coarse: a `Vec<PortId>` *parameter* is not a taint
+//!   seed (only a value of type exactly `PortId` is), and mutating a
+//!   container through a method call does not taint the container;
+//! * [`crate::ast::Expr::Opaque`] regions are untainted and effect-free.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Arm, Block, Expr, File, FnItem, Param, Stmt};
+
+/// What kind of identity a tainted value derives from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TaintKind {
+    /// The processor index (a `from_config` construction-closure index
+    /// parameter bound to a name).
+    ProcessorIndex,
+    /// Global wiring knowledge: the result of a topology-introspection
+    /// accessor (`neighbor_port`, digests, schedules, …).
+    Wiring,
+    /// A port *label*: a value of type `PortId` (labels are arbitrary,
+    /// so any flow into a payload leaks symmetry-breaking information;
+    /// the semantic ring direction `Port` is **not** tainted — Figure 4
+    /// legitimately sends `Port::Left`/`Port::Right` as data).
+    PortIdentity,
+}
+
+impl TaintKind {
+    /// Human-readable noun for messages.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            TaintKind::ProcessorIndex => "processor-index",
+            TaintKind::Wiring => "wiring",
+            TaintKind::PortIdentity => "port-identity",
+        }
+    }
+}
+
+/// One origin of taint on a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintTag {
+    /// Which identity kind leaked.
+    pub kind: TaintKind,
+    /// What introduced it (a parameter, accessor call, …).
+    pub origin: String,
+    /// 1-based line of the origin.
+    pub line: usize,
+}
+
+/// A small taint set: at most one tag per [`TaintKind`] (the first
+/// origin encountered wins — good enough for a `why` line).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Taint {
+    tags: Vec<TaintTag>,
+}
+
+impl Taint {
+    /// The empty taint.
+    #[must_use]
+    pub fn none() -> Taint {
+        Taint::default()
+    }
+
+    /// A single-tag taint.
+    #[must_use]
+    pub fn of(kind: TaintKind, origin: impl Into<String>, line: usize) -> Taint {
+        Taint {
+            tags: vec![TaintTag {
+                kind,
+                origin: origin.into(),
+                line,
+            }],
+        }
+    }
+
+    /// Whether no identity flows through this value.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Folds `other` in, keeping the first origin seen per kind.
+    pub fn union(&mut self, other: &Taint) {
+        for tag in &other.tags {
+            if !self.tags.iter().any(|t| t.kind == tag.kind) {
+                self.tags.push(tag.clone());
+            }
+        }
+    }
+
+    /// The tags present.
+    #[must_use]
+    pub fn tags(&self) -> &[TaintTag] {
+        &self.tags
+    }
+
+    fn first_of(&self, kinds: &[TaintKind]) -> Option<&TaintTag> {
+        self.tags.iter().find(|t| kinds.contains(&t.kind))
+    }
+}
+
+/// Send vocabulary with argument roles: `(name, payload positions, port
+/// positions)`. Positions index the argument list (receivers excluded),
+/// which lines up for both method calls and associated-fn constructors.
+pub const SEND_SIGS: &[(&str, &[usize], &[usize])] = &[
+    ("send", &[1], &[0]),
+    ("send_left", &[0], &[]),
+    ("send_right", &[0], &[]),
+    ("send_both", &[0, 1], &[]),
+    ("and_send", &[1], &[0]),
+    ("send_each", &[1], &[0]),
+    ("push_send", &[1], &[0]),
+];
+
+/// Assert-family macros whose arguments are branch conditions.
+const BRANCH_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "matches",
+];
+
+fn send_sig(name: &str) -> Option<&'static (&'static str, &'static [usize], &'static [usize])> {
+    SEND_SIGS.iter().find(|(n, _, _)| *n == name)
+}
+
+/// One identity-taint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintFinding {
+    /// 1-based line of the sink.
+    pub line: usize,
+    /// The origin tag that reached the sink.
+    pub tag: TaintTag,
+    /// What the sink is ("payload of `and_send`", "branch condition", …).
+    pub sink: String,
+}
+
+/// Runs the identity-taint analysis over every function in `file`
+/// (functions inside `impl … Topology for …` blocks are exempt: a
+/// topology *definition* realises wiring). `wiring_accessors` are the
+/// method/fn names whose results carry [`TaintKind::Wiring`].
+#[must_use]
+pub fn identity_taint(file: &File, wiring_accessors: &[&str]) -> Vec<TaintFinding> {
+    let mut findings = Vec::new();
+    crate::ast::for_each_fn(file, &mut |f, trait_ctx| {
+        if trait_ctx == Some("Topology") {
+            return;
+        }
+        let Some(body) = &f.body else { return };
+        let mut walker = TaintWalker {
+            accessors: wiring_accessors,
+            findings: Vec::new(),
+        };
+        let mut env = Env::default();
+        for p in &f.params {
+            if p.ty == ["PortId"] {
+                for name in &p.names {
+                    if name != "self" {
+                        env.vars.insert(
+                            name.clone(),
+                            Taint::of(
+                                TaintKind::PortIdentity,
+                                format!("`{name}: PortId` parameter"),
+                                p.line,
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        walker.block(body, &mut env);
+        findings.append(&mut walker.findings);
+    });
+    findings.sort_by(|a, b| (a.line, &a.sink).cmp(&(b.line, &b.sink)));
+    findings.dedup();
+    findings
+}
+
+/// The evaluated facts about one expression.
+#[derive(Debug, Clone, Default)]
+struct Val {
+    taint: Taint,
+    /// Whether the value is (or may be) a `&mut step.to_left` /
+    /// `.to_right` borrow — a send slot awaiting a `*out = payload`.
+    slot_borrow: bool,
+}
+
+impl Val {
+    fn tainted(taint: Taint) -> Val {
+        Val {
+            taint,
+            slot_borrow: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Env {
+    /// Taint of locals and one-level `self.field` paths.
+    vars: BTreeMap<String, Taint>,
+    /// Locals currently bound to send-slot borrows.
+    slots: BTreeSet<String>,
+}
+
+struct TaintWalker<'a> {
+    accessors: &'a [&'a str],
+    findings: Vec<TaintFinding>,
+}
+
+impl TaintWalker<'_> {
+    fn sink(&mut self, line: usize, taint: &Taint, kinds: &[TaintKind], sink: String) {
+        if let Some(tag) = taint.first_of(kinds) {
+            self.findings.push(TaintFinding {
+                line,
+                tag: tag.clone(),
+                sink,
+            });
+        }
+    }
+
+    /// Payload sinks reject every taint kind; branch and port-routing
+    /// sinks reject wiring and processor-index taint only (algorithms
+    /// legitimately branch on and route by their own port values).
+    fn check_send_call(&mut self, name: &str, line: usize, args: &[Val]) {
+        let Some((_, payloads, ports)) = send_sig(name) else {
+            return;
+        };
+        for &i in *payloads {
+            if let Some(v) = args.get(i) {
+                self.sink(
+                    line,
+                    &v.taint,
+                    &[
+                        TaintKind::ProcessorIndex,
+                        TaintKind::Wiring,
+                        TaintKind::PortIdentity,
+                    ],
+                    format!("the payload of `{name}`"),
+                );
+            }
+        }
+        for &i in *ports {
+            if let Some(v) = args.get(i) {
+                self.sink(
+                    line,
+                    &v.taint,
+                    &[TaintKind::ProcessorIndex, TaintKind::Wiring],
+                    format!("the port argument of `{name}`"),
+                );
+            }
+        }
+    }
+
+    fn branch_sink(&mut self, line: usize, taint: &Taint, what: &str) {
+        self.sink(
+            line,
+            taint,
+            &[TaintKind::ProcessorIndex, TaintKind::Wiring],
+            what.to_string(),
+        );
+    }
+
+    /// Walks a block; the value is the last statement's expression value
+    /// (an approximation: trailing-semicolon information is not kept).
+    fn block(&mut self, b: &Block, env: &mut Env) -> Val {
+        let mut last = Val::default();
+        for stmt in &b.stmts {
+            last = self.stmt(stmt, env);
+        }
+        last
+    }
+
+    fn stmt(&mut self, s: &Stmt, env: &mut Env) -> Val {
+        match s {
+            Stmt::Let {
+                bound,
+                init,
+                else_block,
+                ..
+            } => {
+                let v = init.as_ref().map(|e| self.expr(e, env)).unwrap_or_default();
+                for name in bound {
+                    env.vars.insert(name.clone(), v.taint.clone());
+                    if v.slot_borrow {
+                        env.slots.insert(name.clone());
+                    } else {
+                        env.slots.remove(name);
+                    }
+                }
+                if let Some(eb) = else_block {
+                    self.block(eb, &mut env.clone());
+                }
+                Val::default()
+            }
+            Stmt::Expr(e) => self.expr(e, env),
+            Stmt::Item(_) => Val::default(),
+        }
+    }
+
+    /// Flattens `a.b.c` / `self.f` lvalues into an env key.
+    fn lvalue_key(e: &Expr) -> Option<String> {
+        match e {
+            Expr::Path { segs, .. } if segs.len() == 1 => Some(segs[0].clone()),
+            Expr::Field { base, name, .. } => Self::lvalue_key(base).map(|b| format!("{b}.{name}")),
+            _ => None,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn expr(&mut self, e: &Expr, env: &mut Env) -> Val {
+        match e {
+            Expr::Lit { .. } | Expr::Opaque { .. } => Val::default(),
+            Expr::Path { segs, line } => {
+                if segs.len() == 1 {
+                    if let Some(key) = segs.first() {
+                        if let Some(t) = env.vars.get(key) {
+                            return Val {
+                                taint: t.clone(),
+                                slot_borrow: env.slots.contains(key),
+                            };
+                        }
+                    }
+                    Val::default()
+                } else if segs.iter().any(|s| s == "PortId") {
+                    // `PortId::LEFT`, `PortId::RIGHT`, … are identity
+                    // constants: concrete labels, not semantic directions.
+                    Val::tainted(Taint::of(
+                        TaintKind::PortIdentity,
+                        format!("`{}`", segs.join("::")),
+                        *line,
+                    ))
+                } else {
+                    // Multi-segment paths: look up a dotted self-field
+                    // spelling is not possible here; constants untainted.
+                    Val::default()
+                }
+            }
+            Expr::Field { base, name, line } => {
+                let _ = line;
+                if let Some(key) = Self::lvalue_key(e) {
+                    if let Some(t) = env.vars.get(&key) {
+                        let mut v = Val::tainted(t.clone());
+                        v.slot_borrow = env.slots.contains(&key);
+                        // Also fold in the base's own taint.
+                        let b = self.expr(base, env);
+                        v.taint.union(&b.taint);
+                        return v;
+                    }
+                }
+                let mut v = self.expr(base, env);
+                v.slot_borrow = false;
+                let _ = name;
+                v
+            }
+            Expr::Index { base, index, .. } => {
+                // Index position never propagates: `pending[from.index()]`
+                // does not taint the loaded element.
+                let _ = self.expr(index, env);
+                let mut v = self.expr(base, env);
+                v.slot_borrow = false;
+                v
+            }
+            Expr::Unary { op, expr, line } => {
+                let _ = line;
+                let mut v = self.expr(expr, env);
+                if *op == '&' {
+                    if let Expr::Field { name, .. } = expr.as_ref() {
+                        if name == "to_left" || name == "to_right" {
+                            v.slot_borrow = true;
+                        }
+                    }
+                }
+                v
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                let mut v = self.expr(lhs, env);
+                let r = self.expr(rhs, env);
+                v.taint.union(&r.taint);
+                v.slot_borrow = false;
+                v
+            }
+            Expr::Try { expr, .. } => self.expr(expr, env),
+            Expr::Tuple { items, .. } => {
+                let mut t = Taint::none();
+                let mut slot = false;
+                for item in items {
+                    let v = self.expr(item, env);
+                    t.union(&v.taint);
+                    slot |= v.slot_borrow;
+                }
+                Val {
+                    taint: t,
+                    slot_borrow: slot,
+                }
+            }
+            Expr::Struct { fields, line, .. } => {
+                let mut t = Taint::none();
+                for (fname, value) in fields {
+                    let v = self.expr(value, env);
+                    // Building a step literally with a payload in a send
+                    // slot is a send site.
+                    if (fname == "to_left" || fname == "to_right") && !value.is_path(&["None"]) {
+                        self.sink(
+                            *line,
+                            &v.taint,
+                            &[
+                                TaintKind::ProcessorIndex,
+                                TaintKind::Wiring,
+                                TaintKind::PortIdentity,
+                            ],
+                            format!("the `{fname}` send slot"),
+                        );
+                    }
+                    t.union(&v.taint);
+                }
+                Val::tainted(t)
+            }
+            Expr::Assign {
+                lhs,
+                rhs,
+                compound,
+                line,
+            } => {
+                let v = self.expr(rhs, env);
+                // Send-slot sinks: `step.to_left = payload` and
+                // `*out = payload` through a tracked borrow.
+                match lhs.as_ref() {
+                    Expr::Field { name, .. }
+                        if (name == "to_left" || name == "to_right") && !rhs.is_path(&["None"]) =>
+                    {
+                        self.sink(
+                            *line,
+                            &v.taint,
+                            &[
+                                TaintKind::ProcessorIndex,
+                                TaintKind::Wiring,
+                                TaintKind::PortIdentity,
+                            ],
+                            format!("the `{name}` send slot"),
+                        );
+                    }
+                    Expr::Unary {
+                        op: '*',
+                        expr: inner,
+                        ..
+                    } => {
+                        if let Expr::Path { segs, .. } = inner.as_ref() {
+                            if segs.len() == 1 && env.slots.contains(&segs[0]) {
+                                self.sink(
+                                    *line,
+                                    &v.taint,
+                                    &[
+                                        TaintKind::ProcessorIndex,
+                                        TaintKind::Wiring,
+                                        TaintKind::PortIdentity,
+                                    ],
+                                    "a borrowed send slot".to_string(),
+                                );
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                if let Some(key) = Self::lvalue_key(lhs) {
+                    if *compound {
+                        let mut t = env.vars.get(&key).cloned().unwrap_or_default();
+                        t.union(&v.taint);
+                        env.vars.insert(key, t);
+                    } else {
+                        env.vars.insert(key.clone(), v.taint.clone());
+                        if v.slot_borrow {
+                            env.slots.insert(key);
+                        } else {
+                            env.slots.remove(&key);
+                        }
+                    }
+                } else {
+                    let _ = self.expr(lhs, env);
+                }
+                Val::default()
+            }
+            Expr::Call { callee, args, line } => {
+                let vals: Vec<Val> = args.iter().map(|a| self.expr(a, env)).collect();
+                let mut taint = Taint::none();
+                for v in &vals {
+                    taint.union(&v.taint);
+                }
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    if let Some(last) = segs.last() {
+                        if self.accessors.contains(&last.as_str()) {
+                            taint.union(&Taint::of(
+                                TaintKind::Wiring,
+                                format!("`{last}(..)` wiring read"),
+                                *line,
+                            ));
+                        }
+                        self.check_send_call(last, *line, &vals);
+                        self.bind_from_config_closures(last, args, env);
+                    }
+                    if segs.iter().any(|s| s == "PortId") {
+                        taint.union(&Taint::of(
+                            TaintKind::PortIdentity,
+                            format!("`{}`", segs.join("::")),
+                            *line,
+                        ));
+                    }
+                } else {
+                    let v = self.expr(callee, env);
+                    taint.union(&v.taint);
+                }
+                Val::tainted(taint)
+            }
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                line,
+            } => {
+                let r = self.expr(recv, env);
+                let vals: Vec<Val> = args.iter().map(|a| self.expr(a, env)).collect();
+                self.check_send_call(method, *line, &vals);
+                self.bind_from_config_closures(method, args, env);
+                if self.accessors.contains(&method.as_str()) {
+                    return Val::tainted(Taint::of(
+                        TaintKind::Wiring,
+                        format!("`{method}(..)` wiring read"),
+                        *line,
+                    ));
+                }
+                let mut taint = r.taint;
+                for v in &vals {
+                    taint.union(&v.taint);
+                }
+                Val::tainted(taint)
+            }
+            Expr::Closure { params, body, .. } => {
+                let mut inner = env.clone();
+                for p in params {
+                    if p.ty == ["PortId"] {
+                        for name in &p.names {
+                            inner.vars.insert(
+                                name.clone(),
+                                Taint::of(
+                                    TaintKind::PortIdentity,
+                                    format!("`{name}: PortId` closure parameter"),
+                                    p.line,
+                                ),
+                            );
+                        }
+                    } else {
+                        for name in &p.names {
+                            inner.vars.remove(name);
+                            inner.slots.remove(name);
+                        }
+                    }
+                }
+                let v = self.expr(body, &mut inner);
+                Val::tainted(v.taint)
+            }
+            Expr::If {
+                cond,
+                bound,
+                then,
+                els,
+                line,
+            } => {
+                let c = self.expr(cond, env);
+                self.branch_sink(*line, &c.taint, "a branch condition");
+                let mut then_env = env.clone();
+                for name in bound {
+                    then_env.vars.insert(name.clone(), c.taint.clone());
+                }
+                let mut v = self.block(then, &mut then_env);
+                if let Some(e) = els {
+                    let other = self.expr(e, &mut env.clone());
+                    v.taint.union(&other.taint);
+                    v.slot_borrow |= other.slot_borrow;
+                }
+                // Merge branch effects conservatively: keep the pre-branch
+                // env and fold in then-branch var taints.
+                for (k, t) in then_env.vars {
+                    env.vars.entry(k).or_default().union(&t);
+                }
+                v
+            }
+            Expr::Match {
+                scrutinee,
+                arms,
+                line,
+            } => {
+                let s = self.expr(scrutinee, env);
+                self.branch_sink(*line, &s.taint, "a match scrutinee");
+                let mut v = Val::default();
+                for arm in arms {
+                    let mut arm_env = env.clone();
+                    for name in &arm.bound {
+                        arm_env.vars.insert(name.clone(), s.taint.clone());
+                    }
+                    if let Some(g) = &arm.guard {
+                        let gv = self.expr(g, &mut arm_env);
+                        self.branch_sink(g.line(), &gv.taint, "a match guard");
+                    }
+                    let body = self.expr(&arm.body, &mut arm_env);
+                    v.taint.union(&body.taint);
+                    v.slot_borrow |= body.slot_borrow;
+                    for (k, t) in arm_env.vars {
+                        env.vars.entry(k).or_default().union(&t);
+                    }
+                }
+                v
+            }
+            Expr::While {
+                cond, bound, body, ..
+            } => {
+                // Two passes so taint assigned late in the body reaches
+                // earlier uses; findings dedup at the end.
+                for _ in 0..2 {
+                    let c = self.expr(cond, env);
+                    self.branch_sink(e.line(), &c.taint, "a loop condition");
+                    let mut body_env = env.clone();
+                    for name in bound {
+                        body_env.vars.insert(name.clone(), c.taint.clone());
+                    }
+                    self.block(body, &mut body_env);
+                    for (k, t) in body_env.vars {
+                        env.vars.entry(k).or_default().union(&t);
+                    }
+                }
+                Val::default()
+            }
+            Expr::Loop { body, .. } => {
+                for _ in 0..2 {
+                    let mut body_env = env.clone();
+                    self.block(body, &mut body_env);
+                    for (k, t) in body_env.vars {
+                        env.vars.entry(k).or_default().union(&t);
+                    }
+                }
+                Val::default()
+            }
+            Expr::For {
+                bound, iter, body, ..
+            } => {
+                let it = self.expr(iter, env);
+                for _ in 0..2 {
+                    let mut body_env = env.clone();
+                    for name in bound {
+                        body_env.vars.insert(name.clone(), it.taint.clone());
+                    }
+                    self.block(body, &mut body_env);
+                    for (k, t) in body_env.vars {
+                        env.vars.entry(k).or_default().union(&t);
+                    }
+                }
+                Val::default()
+            }
+            Expr::Block(b) => self.block(b, &mut env.clone()),
+            Expr::Return { value, .. } | Expr::Jump { value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v, env);
+                }
+                Val::default()
+            }
+            Expr::Macro {
+                name, args, line, ..
+            } => {
+                let mut taint = Taint::none();
+                for a in args {
+                    let v = self.expr(a, env);
+                    taint.union(&v.taint);
+                }
+                if BRANCH_MACROS.contains(&name.as_str()) {
+                    self.branch_sink(*line, &taint, &format!("a `{name}!` condition"));
+                }
+                Val::tainted(taint)
+            }
+        }
+    }
+
+    /// `from_config(config, |index, input| …)`: a closure argument whose
+    /// first parameter is bound (not `_`-prefixed) seeds processor-index
+    /// taint on that name for the closure body.
+    fn bind_from_config_closures(&mut self, name: &str, args: &[Expr], env: &mut Env) {
+        if name != "from_config" {
+            return;
+        }
+        for arg in args {
+            if let Expr::Closure { params, body, line } = arg {
+                let Some(first) = params.first() else {
+                    continue;
+                };
+                let mut inner = env.clone();
+                let mut bound_any = false;
+                for pname in &first.names {
+                    if !pname.starts_with('_') {
+                        inner.vars.insert(
+                            pname.clone(),
+                            Taint::of(
+                                TaintKind::ProcessorIndex,
+                                format!("`{pname}` construction-closure index"),
+                                *line,
+                            ),
+                        );
+                        bound_any = true;
+                    }
+                }
+                if bound_any {
+                    // Re-walk with the seed (the normal closure walk
+                    // already ran without it; findings dedup).
+                    let _ = self.expr(body, &mut inner);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span dominance
+// ---------------------------------------------------------------------------
+
+/// One undominated send site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanFinding {
+    /// 1-based line of the send site.
+    pub line: usize,
+    /// What the site is (`and_send`, `to_left` slot, …).
+    pub site: String,
+    /// The enclosing function's name.
+    pub func: String,
+}
+
+/// Checks that every send site is covered by a span: chained under
+/// `in_span`/`set_span`, preceded by a span establishment on *all* paths
+/// (must-before), or followed by one on *some* path (may-after — the
+/// repo's idiom applies the span to the accumulated action value at the
+/// function's tail, which still stamps every send it carries).
+#[must_use]
+pub fn span_dominance(file: &File) -> Vec<SpanFinding> {
+    let span_fns = span_fn_summaries(file);
+    let mut findings = Vec::new();
+    crate::ast::for_each_fn(file, &mut |f, _| {
+        let Some(body) = &f.body else { return };
+        let mut sw = SpanWalker {
+            span_fns: &span_fns,
+            sites: Vec::new(),
+        };
+        sw.forward_block(body, false, false);
+        let entry_may = sw.backward_block(body, false);
+        let _ = entry_may;
+        for site in sw.sites {
+            if !site.chained && !site.must_before && !site.may_after {
+                findings.push(SpanFinding {
+                    line: site.line,
+                    site: site.what,
+                    func: f.name.clone(),
+                });
+            }
+        }
+    });
+    findings.sort_by(|a, b| (a.line, &a.site).cmp(&(b.line, &b.site)));
+    findings.dedup();
+    findings
+}
+
+/// Fixpoint over file-local functions: which function names establish a
+/// span somewhere in their body (directly or by calling another local
+/// span-establishing function). Coarse — names, not paths.
+fn span_fn_summaries(file: &File) -> BTreeSet<String> {
+    let mut fns: Vec<(&FnItem, &Block)> = Vec::new();
+    crate::ast::for_each_fn(file, &mut |f, _| {
+        if let Some(b) = &f.body {
+            // SAFETY of lifetimes: for_each_fn hands out &'a references.
+            fns.push((f, b));
+        }
+    });
+    let mut known: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for (f, body) in &fns {
+            if known.contains(&f.name) {
+                continue;
+            }
+            if block_establishes(body, &known) {
+                known.insert(f.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return known;
+        }
+    }
+}
+
+/// Whether a span-establishing operation occurs anywhere in the block.
+fn block_establishes(b: &Block, span_fns: &BTreeSet<String>) -> bool {
+    b.stmts.iter().any(|s| stmt_establishes(s, span_fns))
+}
+
+fn stmt_establishes(s: &Stmt, span_fns: &BTreeSet<String>) -> bool {
+    match s {
+        Stmt::Let {
+            init, else_block, ..
+        } => {
+            init.as_ref().is_some_and(|e| expr_establishes(e, span_fns))
+                || else_block
+                    .as_ref()
+                    .is_some_and(|b| block_establishes(b, span_fns))
+        }
+        Stmt::Expr(e) => expr_establishes(e, span_fns),
+        Stmt::Item(_) => false,
+    }
+}
+
+fn arm_establishes(a: &Arm, span_fns: &BTreeSet<String>) -> bool {
+    expr_establishes(&a.body, span_fns)
+        || a.guard
+            .as_ref()
+            .is_some_and(|g| expr_establishes(g, span_fns))
+}
+
+fn expr_establishes(e: &Expr, span_fns: &BTreeSet<String>) -> bool {
+    match e {
+        Expr::MethodCall {
+            recv, method, args, ..
+        } => {
+            method == "in_span"
+                || method == "set_span"
+                || span_fns.contains(method)
+                || expr_establishes(recv, span_fns)
+                || args.iter().any(|a| expr_establishes(a, span_fns))
+        }
+        Expr::Call { callee, args, .. } => {
+            let named = match callee.as_ref() {
+                Expr::Path { segs, .. } => segs
+                    .last()
+                    .is_some_and(|n| n == "in_span" || n == "set_span" || span_fns.contains(n)),
+                _ => false,
+            };
+            named
+                || expr_establishes(callee, span_fns)
+                || args.iter().any(|a| expr_establishes(a, span_fns))
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            matches!(lhs.as_ref(), Expr::Field { name, .. } if name == "span")
+                || expr_establishes(rhs, span_fns)
+        }
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            expr_establishes(cond, span_fns)
+                || block_establishes(then, span_fns)
+                || els.as_ref().is_some_and(|e| expr_establishes(e, span_fns))
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            expr_establishes(scrutinee, span_fns)
+                || arms.iter().any(|a| arm_establishes(a, span_fns))
+        }
+        Expr::While { cond, body, .. } => {
+            expr_establishes(cond, span_fns) || block_establishes(body, span_fns)
+        }
+        Expr::Loop { body, .. } => block_establishes(body, span_fns),
+        Expr::For { iter, body, .. } => {
+            expr_establishes(iter, span_fns) || block_establishes(body, span_fns)
+        }
+        Expr::Block(b) => block_establishes(b, span_fns),
+        Expr::Closure { body, .. } => expr_establishes(body, span_fns),
+        Expr::Return { value, .. } | Expr::Jump { value, .. } => value
+            .as_ref()
+            .is_some_and(|v| expr_establishes(v, span_fns)),
+        Expr::Unary { expr, .. } | Expr::Try { expr, .. } => expr_establishes(expr, span_fns),
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_establishes(lhs, span_fns) || expr_establishes(rhs, span_fns)
+        }
+        Expr::Field { base, .. } => expr_establishes(base, span_fns),
+        Expr::Index { base, index, .. } => {
+            expr_establishes(base, span_fns) || expr_establishes(index, span_fns)
+        }
+        Expr::Tuple { items, .. } => items.iter().any(|i| expr_establishes(i, span_fns)),
+        Expr::Struct { fields, .. } => fields.iter().any(|(_, v)| expr_establishes(v, span_fns)),
+        Expr::Macro {
+            args, raw_idents, ..
+        } => {
+            args.iter().any(|a| expr_establishes(a, span_fns))
+                || raw_idents.iter().any(|i| i == "in_span" || i == "set_span")
+        }
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => false,
+    }
+}
+
+#[derive(Debug)]
+struct Site {
+    line: usize,
+    what: String,
+    chained: bool,
+    must_before: bool,
+    may_after: bool,
+}
+
+struct SpanWalker<'a> {
+    span_fns: &'a BTreeSet<String>,
+    sites: Vec<Site>,
+}
+
+impl SpanWalker<'_> {
+    /// Whether an expression is a send site head; returns its label.
+    fn call_site(name: &str) -> Option<String> {
+        send_sig(name).map(|(n, _, _)| format!("`{n}`"))
+    }
+
+    // --- forward must-analysis (records sites) -----------------------------
+
+    /// Walks the block in order; `must` = span established on all paths
+    /// so far; `chained` = inside the receiver of an `in_span`/`set_span`
+    /// chain. Returns the must-state at block exit.
+    fn forward_block(&mut self, b: &Block, mut must: bool, chained: bool) -> bool {
+        for stmt in &b.stmts {
+            must = self.forward_stmt(stmt, must, chained);
+        }
+        must
+    }
+
+    fn forward_stmt(&mut self, s: &Stmt, must: bool, chained: bool) -> bool {
+        match s {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                let mut out = must;
+                if let Some(e) = init {
+                    out = self.forward_expr(e, out, chained);
+                }
+                if let Some(b) = else_block {
+                    self.forward_block(b, out, chained);
+                }
+                out
+            }
+            Stmt::Expr(e) => self.forward_expr(e, must, chained),
+            Stmt::Item(_) => must,
+        }
+    }
+
+    fn record(&mut self, line: usize, what: String, must: bool, chained: bool) {
+        self.sites.push(Site {
+            line,
+            what,
+            chained,
+            must_before: must,
+            may_after: false,
+        });
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn forward_expr(&mut self, e: &Expr, must: bool, chained: bool) -> bool {
+        match e {
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                line,
+            } => {
+                let establishes = method == "in_span"
+                    || method == "set_span"
+                    || self.span_fns.contains(method.as_str());
+                // The receiver chain of an in_span call is span-covered.
+                let mut m = self.forward_expr(recv, must, chained || establishes);
+                for a in args {
+                    m = self.forward_expr(a, m, chained);
+                }
+                if let Some(what) = Self::call_site(method) {
+                    self.record(*line, what, must, chained);
+                }
+                m || establishes
+            }
+            Expr::Call { callee, args, line } => {
+                let mut m = must;
+                let mut establishes = false;
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    if let Some(last) = segs.last() {
+                        establishes = last == "in_span"
+                            || last == "set_span"
+                            || self.span_fns.contains(last.as_str());
+                        if let Some(what) = Self::call_site(last) {
+                            self.record(*line, what, must, chained);
+                        }
+                    }
+                } else {
+                    m = self.forward_expr(callee, m, chained);
+                }
+                for a in args {
+                    m = self.forward_expr(a, m, chained || establishes);
+                }
+                m || establishes
+            }
+            Expr::Assign { lhs, rhs, line, .. } => {
+                let m = self.forward_expr(rhs, must, chained);
+                match lhs.as_ref() {
+                    Expr::Field { name, .. } if name == "to_left" || name == "to_right" => {
+                        if !rhs.is_path(&["None"]) {
+                            self.record(*line, format!("`{name}` slot assignment"), must, chained);
+                        }
+                        m
+                    }
+                    Expr::Field { name, .. } if name == "span" => true,
+                    _ => m,
+                }
+            }
+            Expr::Struct { fields, line, .. } => {
+                let mut m = must;
+                for (fname, value) in fields {
+                    m = self.forward_expr(value, m, chained);
+                    if (fname == "to_left" || fname == "to_right") && !value.is_path(&["None"]) {
+                        self.record(*line, format!("`{fname}` slot literal"), must, chained);
+                    }
+                    if fname == "span" && !value.is_path(&["None"]) {
+                        m = true;
+                    }
+                }
+                m
+            }
+            Expr::Unary { op, expr, line } => {
+                let m = self.forward_expr(expr, must, chained);
+                if *op == '&' {
+                    if let Expr::Field { name, .. } = expr.as_ref() {
+                        if name == "to_left" || name == "to_right" {
+                            self.record(
+                                *line,
+                                format!("`&mut …{name}` slot borrow"),
+                                must,
+                                chained,
+                            );
+                        }
+                    }
+                }
+                m
+            }
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                let m0 = self.forward_expr(cond, must, chained);
+                let mt = self.forward_block(then, m0, chained);
+                let me = match els {
+                    Some(e) => self.forward_expr(e, m0, chained),
+                    None => m0,
+                };
+                mt && me
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                let m0 = self.forward_expr(scrutinee, must, chained);
+                let mut out = !arms.is_empty();
+                for arm in arms {
+                    let mut m = m0;
+                    if let Some(g) = &arm.guard {
+                        m = self.forward_expr(g, m, chained);
+                    }
+                    out &= self.forward_expr(&arm.body, m, chained);
+                }
+                out || m0
+            }
+            Expr::While { cond, body, .. } => {
+                let m = self.forward_expr(cond, must, chained);
+                self.forward_block(body, m, chained);
+                m // the body may run zero times
+            }
+            Expr::Loop { body, .. } => {
+                self.forward_block(body, must, chained);
+                must
+            }
+            Expr::For { iter, body, .. } => {
+                let m = self.forward_expr(iter, must, chained);
+                self.forward_block(body, m, chained);
+                m
+            }
+            Expr::Block(b) => self.forward_block(b, must, chained),
+            Expr::Closure { body, .. } => {
+                // A closure body runs at an unknown time; analyze it with
+                // the surrounding must-state (send-emitting closures in
+                // this codebase are immediate `map`-style helpers).
+                self.forward_expr(body, must, chained);
+                must
+            }
+            Expr::Return { value, .. } | Expr::Jump { value, .. } => {
+                if let Some(v) = value {
+                    self.forward_expr(v, must, chained);
+                }
+                must
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                let m = self.forward_expr(lhs, must, chained);
+                self.forward_expr(rhs, m, chained)
+            }
+            Expr::Try { expr, .. } => self.forward_expr(expr, must, chained),
+            Expr::Field { base, .. } => self.forward_expr(base, must, chained),
+            Expr::Index { base, index, .. } => {
+                let m = self.forward_expr(base, must, chained);
+                self.forward_expr(index, m, chained)
+            }
+            Expr::Tuple { items, .. } => {
+                let mut m = must;
+                for i in items {
+                    m = self.forward_expr(i, m, chained);
+                }
+                m
+            }
+            Expr::Macro { args, .. } => {
+                let mut m = must;
+                for a in args {
+                    m = self.forward_expr(a, m, chained);
+                }
+                m
+            }
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => must,
+        }
+    }
+
+    // --- backward may-analysis (fills may_after) ---------------------------
+
+    /// Folds the block backward; `after` = a span establishment is
+    /// reachable on some path after the block. Returns the may-state at
+    /// block entry. Sites inside statement `i` get the state holding
+    /// *after* statement `i` (statement granularity; same-statement
+    /// chains are covered by the `chained` flag).
+    fn backward_block(&mut self, b: &Block, after: bool) -> bool {
+        let mut state = after;
+        for stmt in b.stmts.iter().rev() {
+            state = self.backward_stmt(stmt, state);
+        }
+        state
+    }
+
+    fn backward_stmt(&mut self, s: &Stmt, after: bool) -> bool {
+        match s {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(b) = else_block {
+                    self.backward_block(b, false);
+                }
+                match init {
+                    Some(e) => self.backward_expr(e, after),
+                    None => after,
+                }
+            }
+            Stmt::Expr(e) => self.backward_expr(e, after),
+            Stmt::Item(_) => after,
+        }
+    }
+
+    /// Marks every site inside `e` (matching by line + label) with
+    /// `may_after = after`-or-later establishment, and returns the
+    /// may-state before `e`.
+    fn backward_expr(&mut self, e: &Expr, after: bool) -> bool {
+        match e {
+            // Control-flow nodes get real path treatment.
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                let t = self.backward_block(then, after);
+                let el = match els {
+                    Some(e) => self.backward_expr(e, after),
+                    None => after,
+                };
+                self.backward_expr(cond, t || el)
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                let mut any = arms.is_empty() && after;
+                for arm in arms {
+                    let mut a = self.backward_expr(&arm.body, after);
+                    if let Some(g) = &arm.guard {
+                        a = self.backward_expr(g, a);
+                    }
+                    any |= a;
+                }
+                self.backward_expr(scrutinee, any)
+            }
+            Expr::While { cond, body, .. } => {
+                // A site in the body may reach establishment after the
+                // loop, later in the body, or in the *next* iteration.
+                let loopback = block_establishes(body, self.span_fns);
+                self.backward_block(body, after || loopback);
+                self.backward_expr(cond, after || loopback)
+            }
+            Expr::Loop { body, .. } => {
+                let loopback = block_establishes(body, self.span_fns);
+                self.backward_block(body, after || loopback)
+            }
+            Expr::For { iter, body, .. } => {
+                let loopback = block_establishes(body, self.span_fns);
+                self.backward_block(body, after || loopback);
+                self.backward_expr(iter, after || loopback)
+            }
+            Expr::Block(b) => self.backward_block(b, after),
+            Expr::Return { value, .. } | Expr::Jump { value, .. } => {
+                // Paths end here: what counts is establishment inside the
+                // returned expression itself.
+                match value {
+                    Some(v) => self.backward_expr(v, false),
+                    None => false,
+                }
+            }
+            // Every other node: mark contained sites with `after`, and
+            // report whether the node itself establishes.
+            _ => {
+                self.mark_sites(e, after);
+                after || expr_establishes_shallow(e, self.span_fns)
+            }
+        }
+    }
+
+    /// Marks every recorded site whose (line, label) occurs within `e`.
+    fn mark_sites(&mut self, e: &Expr, after: bool) {
+        let mut found: Vec<(usize, String)> = Vec::new();
+        collect_site_keys(e, &mut found);
+        for (line, what) in found {
+            for site in &mut self.sites {
+                if site.line == line && site.what == what {
+                    site.may_after |= after;
+                }
+            }
+        }
+    }
+}
+
+/// `expr_establishes` without descending into control-flow bodies (those
+/// are handled path-sensitively by the backward walk) — but chains,
+/// calls and assignments count.
+fn expr_establishes_shallow(e: &Expr, span_fns: &BTreeSet<String>) -> bool {
+    expr_establishes(e, span_fns)
+}
+
+/// Collects `(line, label)` keys of the send sites syntactically inside
+/// `e`, mirroring the labels the forward walk records.
+fn collect_site_keys(e: &Expr, out: &mut Vec<(usize, String)>) {
+    match e {
+        Expr::MethodCall {
+            recv,
+            args,
+            method,
+            line,
+        } => {
+            if let Some(what) = SpanWalker::call_site(method) {
+                out.push((*line, what));
+            }
+            collect_site_keys(recv, out);
+            for a in args {
+                collect_site_keys(a, out);
+            }
+        }
+        Expr::Call { callee, args, line } => {
+            if let Expr::Path { segs, .. } = callee.as_ref() {
+                if let Some(last) = segs.last() {
+                    if let Some(what) = SpanWalker::call_site(last) {
+                        out.push((*line, what));
+                    }
+                }
+            }
+            collect_site_keys(callee, out);
+            for a in args {
+                collect_site_keys(a, out);
+            }
+        }
+        Expr::Assign { lhs, rhs, line, .. } => {
+            if let Expr::Field { name, .. } = lhs.as_ref() {
+                if (name == "to_left" || name == "to_right") && !rhs.is_path(&["None"]) {
+                    out.push((*line, format!("`{name}` slot assignment")));
+                }
+            }
+            collect_site_keys(lhs, out);
+            collect_site_keys(rhs, out);
+        }
+        Expr::Struct { fields, line, .. } => {
+            for (fname, value) in fields {
+                if (fname == "to_left" || fname == "to_right") && !value.is_path(&["None"]) {
+                    out.push((*line, format!("`{fname}` slot literal")));
+                }
+                collect_site_keys(value, out);
+            }
+        }
+        Expr::Unary { op, expr, line } => {
+            if *op == '&' {
+                if let Expr::Field { name, .. } = expr.as_ref() {
+                    if name == "to_left" || name == "to_right" {
+                        out.push((*line, format!("`&mut …{name}` slot borrow")));
+                    }
+                }
+            }
+            collect_site_keys(expr, out);
+        }
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            collect_site_keys(cond, out);
+            for s in &then.stmts {
+                collect_stmt_site_keys(s, out);
+            }
+            if let Some(e) = els {
+                collect_site_keys(e, out);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            collect_site_keys(scrutinee, out);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    collect_site_keys(g, out);
+                }
+                collect_site_keys(&arm.body, out);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            collect_site_keys(cond, out);
+            for s in &body.stmts {
+                collect_stmt_site_keys(s, out);
+            }
+        }
+        Expr::Loop { body, .. } => {
+            for s in &body.stmts {
+                collect_stmt_site_keys(s, out);
+            }
+        }
+        Expr::For { iter, body, .. } => {
+            collect_site_keys(iter, out);
+            for s in &body.stmts {
+                collect_stmt_site_keys(s, out);
+            }
+        }
+        Expr::Block(b) => {
+            for s in &b.stmts {
+                collect_stmt_site_keys(s, out);
+            }
+        }
+        Expr::Closure { body, .. } => collect_site_keys(body, out),
+        Expr::Return { value, .. } | Expr::Jump { value, .. } => {
+            if let Some(v) = value {
+                collect_site_keys(v, out);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_site_keys(lhs, out);
+            collect_site_keys(rhs, out);
+        }
+        Expr::Try { expr, .. } => collect_site_keys(expr, out),
+        Expr::Field { base, .. } => collect_site_keys(base, out),
+        Expr::Index { base, index, .. } => {
+            collect_site_keys(base, out);
+            collect_site_keys(index, out);
+        }
+        Expr::Tuple { items, .. } => {
+            for i in items {
+                collect_site_keys(i, out);
+            }
+        }
+        Expr::Macro { args, .. } => {
+            for a in args {
+                collect_site_keys(a, out);
+            }
+        }
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => {}
+    }
+}
+
+fn collect_stmt_site_keys(s: &Stmt, out: &mut Vec<(usize, String)>) {
+    match s {
+        Stmt::Let {
+            init, else_block, ..
+        } => {
+            if let Some(e) = init {
+                collect_site_keys(e, out);
+            }
+            if let Some(b) = else_block {
+                for s in &b.stmts {
+                    collect_stmt_site_keys(s, out);
+                }
+            }
+        }
+        Stmt::Expr(e) => collect_site_keys(e, out),
+        Stmt::Item(_) => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock discipline
+// ---------------------------------------------------------------------------
+
+/// One critical-section violation in the hub.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockFinding {
+    /// 1-based line of the offending operation.
+    pub line: usize,
+    /// The operation (`record_send`, `events.push`, …).
+    pub op: String,
+    /// The enclosing function.
+    pub func: String,
+    /// Whether the op ran outside any guard (vs. split across two).
+    pub outside: bool,
+}
+
+/// Meter-write method names (writes to the net-side `CostMeter`).
+const METER_OPS: &[&str] = &["record_send", "record_delivery", "record_drop"];
+
+/// Checks the S21 invariant syntactically: in every hub function, each
+/// meter write, causal stamp (`next_seq` update, `wall_stamps` push) and
+/// trace append (`events` push) must occur inside a lock-guard region
+/// (`let g = ….lock()` / `….into_inner()` to end of enclosing block, or
+/// a `MutexGuard`/`&mut HubInner` parameter), and all ops of one
+/// function must share a single region.
+#[must_use]
+pub fn lock_discipline(file: &File) -> Vec<LockFinding> {
+    let mut findings = Vec::new();
+    crate::ast::for_each_fn(file, &mut |f, _| {
+        let Some(body) = &f.body else { return };
+        let param_guarded = f.params.iter().any(param_is_guard);
+        let mut lw = LockWalker {
+            func: f.name.clone(),
+            active: if param_guarded {
+                vec![("<caller's guard>".to_string(), 0)]
+            } else {
+                Vec::new()
+            },
+            ops: Vec::new(),
+            findings: Vec::new(),
+        };
+        lw.block(body);
+        // All in-guard ops must share one region.
+        let regions: BTreeSet<usize> = lw.ops.iter().map(|(_, _, region)| *region).collect();
+        if regions.len() > 1 {
+            let first = lw.ops.first().map_or(0, |(_, _, r)| *r);
+            for (line, op, region) in &lw.ops {
+                if *region != first {
+                    lw.findings.push(LockFinding {
+                        line: *line,
+                        op: op.clone(),
+                        func: f.name.clone(),
+                        outside: false,
+                    });
+                }
+            }
+        }
+        findings.append(&mut lw.findings);
+    });
+    findings.sort_by(|a, b| (a.line, &a.op).cmp(&(b.line, &b.op)));
+    findings.dedup();
+    findings
+}
+
+fn param_is_guard(p: &Param) -> bool {
+    p.ty.iter().any(|t| t == "MutexGuard" || t == "HubInner")
+}
+
+struct LockWalker {
+    func: String,
+    /// Active guard regions: (binding name, region id = let line).
+    active: Vec<(String, usize)>,
+    /// In-guard ops seen: (line, op, region id).
+    ops: Vec<(usize, String, usize)>,
+    findings: Vec<LockFinding>,
+}
+
+impl LockWalker {
+    fn block(&mut self, b: &Block) {
+        let mark = self.active.len();
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let {
+                    bound,
+                    init,
+                    else_block,
+                    line,
+                } => {
+                    if let Some(e) = init {
+                        self.expr(e);
+                        if expr_takes_lock(e) {
+                            for name in bound {
+                                self.active.push((name.clone(), *line));
+                            }
+                            if bound.is_empty() {
+                                self.active.push(("<anonymous>".to_string(), *line));
+                            }
+                        }
+                    }
+                    if let Some(eb) = else_block {
+                        self.block(eb);
+                    }
+                }
+                Stmt::Expr(e) => self.expr(e),
+                Stmt::Item(_) => {}
+            }
+        }
+        self.active.truncate(mark);
+    }
+
+    fn op(&mut self, line: usize, op: String) {
+        match self.active.last() {
+            Some((_, region)) => self.ops.push((line, op, *region)),
+            None => self.findings.push(LockFinding {
+                line,
+                op,
+                func: self.func.clone(),
+                outside: true,
+            }),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                line,
+            } => {
+                if METER_OPS.contains(&method.as_str()) {
+                    self.op(*line, format!("meter write `{method}`"));
+                } else if method == "push" {
+                    if let Some(field) = stamp_field(recv) {
+                        self.op(*line, format!("`{field}.push` append"));
+                    }
+                }
+                self.expr(recv);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Assign { lhs, rhs, line, .. } => {
+                if let Some(field) = stamp_field(lhs) {
+                    if field == "next_seq" {
+                        self.op(*line, "`next_seq` stamp update".to_string());
+                    }
+                }
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(e) = els {
+                    self.expr(e);
+                }
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.expr(scrutinee);
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        self.expr(g);
+                    }
+                    self.expr(&arm.body);
+                }
+            }
+            Expr::While { cond, body, .. } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            Expr::Loop { body, .. } => self.block(body),
+            Expr::For { iter, body, .. } => {
+                self.expr(iter);
+                self.block(body);
+            }
+            Expr::Block(b) => self.block(b),
+            Expr::Closure { body, .. } => self.expr(body),
+            Expr::Call { callee, args, .. } => {
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Return { value, .. } | Expr::Jump { value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Unary { expr, .. } | Expr::Try { expr, .. } => self.expr(expr),
+            Expr::Field { base, .. } => self.expr(base),
+            Expr::Index { base, index, .. } => {
+                self.expr(base);
+                self.expr(index);
+            }
+            Expr::Tuple { items, .. } => {
+                for i in items {
+                    self.expr(i);
+                }
+            }
+            Expr::Struct { fields, .. } => {
+                for (_, v) in fields {
+                    self.expr(v);
+                }
+            }
+            Expr::Macro { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => {}
+        }
+    }
+}
+
+/// Whether the expression takes the hub lock (contains a `.lock()` or
+/// `.into_inner()` call — the latter is exclusive ownership, a critical
+/// section of one).
+fn expr_takes_lock(e: &Expr) -> bool {
+    match e {
+        Expr::MethodCall {
+            recv, method, args, ..
+        } => {
+            method == "lock"
+                || method == "into_inner"
+                || expr_takes_lock(recv)
+                || args.iter().any(expr_takes_lock)
+        }
+        Expr::Call { callee, args, .. } => {
+            expr_takes_lock(callee) || args.iter().any(expr_takes_lock)
+        }
+        Expr::Try { expr, .. } | Expr::Unary { expr, .. } => expr_takes_lock(expr),
+        Expr::Field { base, .. } => expr_takes_lock(base),
+        Expr::Tuple { items, .. } => items.iter().any(expr_takes_lock),
+        _ => false,
+    }
+}
+
+/// The stamp/append field a method-receiver or lvalue names, if it is one
+/// of the hub's critical-section fields.
+fn stamp_field(e: &Expr) -> Option<&'static str> {
+    if let Expr::Field { name, .. } = e {
+        for f in ["wall_stamps", "events", "next_seq"] {
+            if name == f {
+                return Some(f);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_source;
+
+    fn taints(src: &str) -> Vec<TaintFinding> {
+        identity_taint(
+            &parse_source(src),
+            &[
+                "neighbor",
+                "neighbor_port",
+                "with_switched",
+                "wiring_digest",
+                "round_digest",
+                "active_edges",
+                "components",
+                "is_active",
+                "local_schedule",
+            ],
+        )
+    }
+
+    #[test]
+    fn portid_parameter_into_payload_is_flagged() {
+        let f = taints(
+            r#"fn on_message_port(&mut self, from: PortId, msg: u8) -> Actions<u8> {
+                let echo = from.index() as u64;
+                Actions::idle().and_send(from, echo).in_span("echo", 0)
+            }"#,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].tag.kind, TaintKind::PortIdentity);
+        assert!(f[0].sink.contains("payload"), "{f:?}");
+    }
+
+    #[test]
+    fn sending_along_a_port_value_is_sanctioned() {
+        let f = taints(
+            r#"fn reply(&mut self, from: PortId) -> Actions<u8> {
+                Actions::idle().and_send(from, 1).in_span("reply", 0)
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wiring_read_flowing_into_a_branch_is_flagged() {
+        let f = taints(
+            r#"fn plan(&mut self, topo: &T) {
+                let oriented = topo.wiring_digest();
+                if oriented > 0 { self.mode = 1; }
+            }"#,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].tag.kind, TaintKind::Wiring);
+        assert!(f[0].tag.origin.contains("wiring_digest"), "{f:?}");
+    }
+
+    #[test]
+    fn index_position_does_not_propagate() {
+        let f = taints(
+            r#"fn store(&mut self, from: PortId, msg: u8) {
+                self.pending[from.index()].push(msg);
+                let head = self.pending[from.index()];
+                self.out = head;
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn from_config_bound_index_taints_the_closure_body() {
+        let f = taints(
+            r#"fn run(config: &C) {
+                let e = Engine::from_config(config, |i, input| {
+                    if i > 0 { Proc::a(input) } else { Proc::b(input) }
+                });
+            }"#,
+        );
+        assert!(
+            f.iter().any(|t| t.tag.kind == TaintKind::ProcessorIndex),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn taint_flows_through_let_chains_and_constructors() {
+        let f = taints(
+            r#"fn leak(&mut self, from: PortId) -> Step<Msg> {
+                let label = from;
+                let wrapped = Msg::Tag(label);
+                let mut step = Step::idle();
+                step.to_left = Some(wrapped);
+                step.in_span("leak", 0)
+            }"#,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].sink.contains("to_left"), "{f:?}");
+    }
+
+    #[test]
+    fn deref_assign_through_slot_borrow_is_a_payload_sink() {
+        let f = taints(
+            r#"fn emit(&mut self, step: &mut Step<u8>, from: PortId) {
+                let out = match dir {
+                    Port::Left => &mut step.to_right,
+                    Port::Right => &mut step.to_left,
+                };
+                *out = Some(from);
+            }"#,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].sink.contains("send slot"), "{f:?}");
+    }
+
+    #[test]
+    fn assert_macros_are_branch_sinks_for_wiring() {
+        let f = taints(
+            r#"fn check(topo: &T) {
+                let d = topo.round_digest(0);
+                debug_assert!(d != 0);
+            }"#,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].sink.contains("debug_assert"), "{f:?}");
+    }
+
+    #[test]
+    fn topology_impls_are_exempt_from_taint_seeding() {
+        let f = taints(
+            r#"impl Topology for Wheel {
+                fn neighbor_port(&self, i: usize, p: PortId) -> (usize, PortId) {
+                    let (to, back) = self.inner.neighbor_port(i, p);
+                    if to > i { (to, back) } else { (i, p) }
+                }
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    fn spans(src: &str) -> Vec<SpanFinding> {
+        span_dominance(&parse_source(src))
+    }
+
+    #[test]
+    fn chained_in_span_covers_the_whole_chain() {
+        let f = spans(
+            r#"fn step(&mut self) -> Step<u8, u8> {
+                Step::send_left(1).in_span("probe", 0)
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bare_send_with_no_span_anywhere_is_flagged() {
+        let f = spans("fn step(&mut self) -> Step<u8, u8> { Step::send_left(1) }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].func, "step");
+    }
+
+    #[test]
+    fn span_at_tail_covers_earlier_sends_via_may_after() {
+        let f = spans(
+            r#"fn advance(&mut self) -> Actions<u8> {
+                let mut actions = Actions::idle();
+                for p in ports {
+                    actions = actions.and_send(p, 1);
+                }
+                actions.in_span("flood", self.round)
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn span_assignment_after_send_in_loop_body_covers_it() {
+        let f = spans(
+            r#"fn advance(&mut self) -> Actions<u8> {
+                let mut actions = Actions::idle();
+                while self.round < self.limit {
+                    actions = actions.and_send(port, 1);
+                    actions.span = next.span;
+                }
+                actions
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn conditional_span_on_only_one_path_before_send_is_flagged() {
+        let f = spans(
+            r#"fn step(&mut self) -> Step<u8, u8> {
+                let mut s = Step::idle();
+                if self.noisy { s = s.in_span("noisy", 0); }
+                s.to_left = Some(1);
+                s
+            }"#,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].site.contains("to_left"), "{f:?}");
+    }
+
+    #[test]
+    fn must_before_on_all_paths_covers_later_sends() {
+        let f = spans(
+            r#"fn step(&mut self) -> Step<u8, u8> {
+                let mut s = Step::idle().in_span("inner", self.cycle);
+                s.to_left = Some(1);
+                s.to_right = Some(2);
+                s
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn local_fn_span_summaries_cover_calls() {
+        let f = spans(
+            r#"
+            fn flood(&mut self, round: u64) -> Actions<u8> {
+                Actions::idle().and_send(p, 1).in_span("flood", round)
+            }
+            fn on_start(&mut self) -> Actions<u8> {
+                let a = self.flood(0);
+                a.push_send(p, 2);
+                a
+            }
+            "#,
+        );
+        // `flood` establishes, so on_start's push_send is must-covered.
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn conditional_tail_span_keeps_marker_sends_covered() {
+        // The orientation idiom: sends happen mid-fn, the span is applied
+        // conditionally at the tail (may-after).
+        let f = spans(
+            r#"fn rounds_step(&mut self, phase: Option<&'static str>) -> Step<M, u8> {
+                let mut step = Step::idle();
+                step.to_left = Some(marker);
+                match phase {
+                    Some(phase) => step.in_span(phase, self.round),
+                    None => step,
+                }
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    fn locks(src: &str) -> Vec<LockFinding> {
+        lock_discipline(&parse_source(src))
+    }
+
+    #[test]
+    fn hub_ops_inside_one_guard_are_clean() {
+        let f = locks(
+            r#"fn route_send(&self, time: u64, bits: u64) {
+                let mut inner = self.lock();
+                inner.next_seq += 1;
+                inner.meter.record_send(time, bits);
+                inner.wall_stamps.push(now);
+                inner.events.push(ev);
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn meter_write_outside_the_lock_is_flagged() {
+        let f = locks(
+            r#"fn route_send(&self, time: u64, bits: u64) {
+                self.meter_shadow.record_send(time, bits);
+                let mut inner = self.lock();
+                inner.events.push(ev);
+            }"#,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].outside);
+        assert!(f[0].op.contains("record_send"), "{f:?}");
+    }
+
+    #[test]
+    fn ops_split_across_two_guard_regions_are_flagged() {
+        let f = locks(
+            r#"fn route_send(&self, time: u64, bits: u64) {
+                {
+                    let mut inner = self.lock();
+                    inner.meter.record_send(time, bits);
+                }
+                {
+                    let mut inner = self.lock();
+                    inner.events.push(ev);
+                }
+            }"#,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(!f[0].outside);
+        assert!(f[0].op.contains("events"), "{f:?}");
+    }
+
+    #[test]
+    fn guard_typed_parameters_count_as_in_guard() {
+        let f = locks(
+            r#"fn check_done(&self, inner: &mut HubInner) {
+                inner.events.push(ev);
+                inner.wall_stamps.push(now);
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn into_inner_is_exclusive_ownership() {
+        let f = locks(
+            r#"fn into_parts(self) -> (Meter, Vec<Ev>) {
+                let inner = self.inner.into_inner().expect("poisoned");
+                (inner.meter, inner.events)
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stamp_push_outside_any_guard_is_flagged() {
+        let f = locks(
+            r#"fn halt(&self) {
+                self.shadow.wall_stamps.push(now);
+            }"#,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].op.contains("wall_stamps"), "{f:?}");
+    }
+}

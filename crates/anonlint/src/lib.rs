@@ -6,18 +6,25 @@
 //! in the type system stops an algorithm from branching on a processor
 //! index or bypassing the meter. This crate walks the workspace source with
 //! a small hand-rolled lexer ([`lexer`]) and reports violations as named
-//! findings.
+//! findings. On top of the token pass, a total recursive-descent parser
+//! ([`parser`] → [`ast`]) feeds three intraprocedural dataflow analyses
+//! ([`dataflow`]): identity-taint, span-dominance, and the hub's
+//! critical-section discipline.
 //!
 //! ## Lint catalog
 //!
 //! | lint | scope | invariant |
 //! |---|---|---|
 //! | `anonymity-breach` | `core/src/algorithms`, `net/src` | algorithm and transport-driver code must not read the processor index (the `from_config` index parameter stays unbound) or introspect wiring through the topology API (`neighbor_port`, digests, schedules); `impl … Topology for …` blocks are exempt — a topology *definition* realises wiring, it does not spy on it |
+//! | `identity-taint` | `core/src/algorithms` | dataflow tier of the anonymity rule: no value derived from a processor index, a `PortId`, or a wiring accessor may flow into a send payload or a branch condition, even through local variables the denylist cannot see |
 //! | `unmetered-send` | `core/src/algorithms`, `sim/src`, `net/src` | all sends route through `Emit`; raw fabric/queue access and `CostMeter::record_send` are reserved to `sim::runtime` (and, net-side, the hub) |
 //! | `span-coverage` | `core/src/algorithms` | every algorithm that sends stamps at least one telemetry `Span` |
+//! | `span-dominance` | `core/src/algorithms` | dataflow tier of span coverage: every *send site* is chained under `in_span`, preceded by a span establishment on all paths, or followed by one on some path through its function |
 //! | `no-unwrap-in-runtime` | `sim/src`, `net/src` | runtime code uses `expect` with an invariant message, never bare `unwrap` |
+//! | `lock-discipline` | `net/src/hub*` | the S21 invariant: every meter write, causal stamp and trace append in the hub happens inside one lock-guard region per function |
 //! | `forbid-unsafe` | all | no `unsafe` token anywhere; crate roots carry `#![forbid(unsafe_code)]` |
 //! | `malformed-suppression` | all | every `anonlint: allow(…)` names a known lint and gives a `-- reason` |
+//! | `stale-suppression` | all | every suppression still suppresses something; a directive whose lint no longer fires on its lines is dead weight and is reported |
 //!
 //! Test code (`#[cfg(test)]` items) and comments/doc examples are excluded.
 //!
@@ -38,9 +45,12 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod ast;
+pub mod dataflow;
 pub mod lexer;
+pub mod parser;
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -51,27 +61,39 @@ use lexer::{lex, Token, TokenKind};
 pub enum Lint {
     /// Algorithm code reads the processor index or ring wiring directly.
     AnonymityBreach,
+    /// Identity-derived data flows into a send payload or branch condition.
+    IdentityTaint,
     /// A send bypasses the `Emit`/`LinkFabric` metered path.
     UnmeteredSend,
     /// An algorithm sends messages but never stamps a telemetry `Span`.
     SpanCoverage,
+    /// A send site is not dominated by an `in_span` scope on every path.
+    SpanDominance,
     /// Runtime code calls bare `unwrap` instead of `expect("invariant")`.
     NoUnwrapInRuntime,
+    /// A hub meter/stamp/trace op runs outside the single lock-guard region.
+    LockDiscipline,
     /// An `unsafe` token, or a crate root missing `#![forbid(unsafe_code)]`.
     ForbidUnsafe,
     /// An `anonlint:` suppression comment that does not parse.
     MalformedSuppression,
+    /// A suppression whose lint no longer fires on the lines it covers.
+    StaleSuppression,
 }
 
 impl Lint {
     /// All lints, in catalog order.
-    pub const ALL: [Lint; 6] = [
+    pub const ALL: [Lint; 10] = [
         Lint::AnonymityBreach,
+        Lint::IdentityTaint,
         Lint::UnmeteredSend,
         Lint::SpanCoverage,
+        Lint::SpanDominance,
         Lint::NoUnwrapInRuntime,
+        Lint::LockDiscipline,
         Lint::ForbidUnsafe,
         Lint::MalformedSuppression,
+        Lint::StaleSuppression,
     ];
 
     /// The lint's kebab-case name, as used in suppressions and baselines.
@@ -79,11 +101,60 @@ impl Lint {
     pub fn name(self) -> &'static str {
         match self {
             Lint::AnonymityBreach => "anonymity-breach",
+            Lint::IdentityTaint => "identity-taint",
             Lint::UnmeteredSend => "unmetered-send",
             Lint::SpanCoverage => "span-coverage",
+            Lint::SpanDominance => "span-dominance",
             Lint::NoUnwrapInRuntime => "no-unwrap-in-runtime",
+            Lint::LockDiscipline => "lock-discipline",
             Lint::ForbidUnsafe => "forbid-unsafe",
             Lint::MalformedSuppression => "malformed-suppression",
+            Lint::StaleSuppression => "stale-suppression",
+        }
+    }
+
+    /// One line on *why* the invariant matters — printed under findings so
+    /// a violation explains the paper-model stake, not just the rule.
+    #[must_use]
+    pub fn why(self) -> &'static str {
+        match self {
+            Lint::AnonymityBreach => {
+                "the paper's bounds assume identical anonymous processors; \
+                 naming the index or wiring collapses them"
+            }
+            Lint::IdentityTaint => {
+                "identity leaking through a local into a payload or branch \
+                 breaks anonymity just as surely as naming it directly"
+            }
+            Lint::UnmeteredSend => {
+                "every transmitted bit must cross the meter, or the measured \
+                 communication complexity understates the algorithm"
+            }
+            Lint::SpanCoverage => {
+                "un-spanned sends make per-phase cost budgets invisible in \
+                 telemetry"
+            }
+            Lint::SpanDominance => {
+                "a send reachable outside every span is charged to no phase; \
+                 phase accounting must cover all paths"
+            }
+            Lint::NoUnwrapInRuntime => {
+                "runtime panics must name the violated invariant, or field \
+                 failures are undebuggable"
+            }
+            Lint::LockDiscipline => {
+                "meter, causal stamps and trace must advance atomically (S21); \
+                 split critical sections reorder the observable history"
+            }
+            Lint::ForbidUnsafe => {
+                "the workspace proves its model properties by construction; \
+                 unsafe code voids that argument"
+            }
+            Lint::MalformedSuppression => {
+                "an unjustified or unparseable allow silently widens the \
+                 trusted surface"
+            }
+            Lint::StaleSuppression => "a dead allow masks the next real violation at the same spot",
         }
     }
 
@@ -125,8 +196,10 @@ impl Scope {
         match self {
             Scope::Algorithms => &[
                 Lint::AnonymityBreach,
+                Lint::IdentityTaint,
                 Lint::UnmeteredSend,
                 Lint::SpanCoverage,
+                Lint::SpanDominance,
                 Lint::ForbidUnsafe,
             ],
             Scope::Runtime => &[
@@ -138,6 +211,7 @@ impl Scope {
                 Lint::AnonymityBreach,
                 Lint::UnmeteredSend,
                 Lint::NoUnwrapInRuntime,
+                Lint::LockDiscipline,
                 Lint::ForbidUnsafe,
             ],
         }
@@ -155,6 +229,8 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// The offending source line, trimmed (empty when unavailable).
+    pub snippet: String,
 }
 
 impl fmt::Display for Finding {
@@ -163,7 +239,11 @@ impl fmt::Display for Finding {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.lint, self.message
-        )
+        )?;
+        if !self.snippet.is_empty() {
+            write!(f, "\n    | {}", self.snippet)?;
+        }
+        write!(f, "\n    = why: {}", self.lint.why())
     }
 }
 
@@ -234,13 +314,133 @@ pub fn lint_source(file: &str, source: &str, scope: Scope) -> Vec<Finding> {
             Lint::UnmeteredSend => check_unmetered_send(file, scope, &code, &mut findings),
             Lint::AnonymityBreach => check_anonymity_breach(file, &code, &mut findings),
             Lint::SpanCoverage => check_span_coverage(file, &code, &mut findings),
-            Lint::MalformedSuppression => {}
+            // AST-tier analyses run below; suppression health runs last.
+            Lint::IdentityTaint
+            | Lint::SpanDominance
+            | Lint::LockDiscipline
+            | Lint::MalformedSuppression
+            | Lint::StaleSuppression => {}
         }
     }
 
-    findings.retain(|f| !suppressions.suppresses(f));
+    check_ast_lints(file, scope, &tokens, &in_test, &mut findings);
+
+    // Apply suppressions, tracking which directives earn their keep; a
+    // directive that suppresses nothing is itself a finding (and, like
+    // malformed-suppression, cannot be suppressed away).
+    let mut used = vec![false; suppressions.directives.len()];
+    findings.retain(|f| {
+        let hits = suppressions.matching(f);
+        for &i in &hits {
+            used[i] = true;
+        }
+        hits.is_empty()
+    });
+    for (i, d) in suppressions.directives.iter().enumerate() {
+        if !used[i] {
+            findings.push(finding(
+                Lint::StaleSuppression,
+                file,
+                d.line,
+                format!(
+                    "suppression allows `{}` but that lint does not fire on \
+                     the lines it covers; remove the directive",
+                    d.lint
+                ),
+            ));
+        }
+    }
+
     findings.sort_by_key(|f| (f.line, f.lint));
+    for f in &mut findings {
+        f.snippet = snippet_at(source, f.line);
+    }
     findings
+}
+
+/// Parses the non-test tokens and runs whichever dataflow analyses the
+/// scope enables.
+fn check_ast_lints(
+    file: &str,
+    scope: Scope,
+    tokens: &[Token],
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    let wants = |l: Lint| scope.lints().contains(&l);
+    let lock_applies = wants(Lint::LockDiscipline) && file.contains("/hub");
+    if !wants(Lint::IdentityTaint) && !wants(Lint::SpanDominance) && !lock_applies {
+        return;
+    }
+    let non_test: Vec<Token> = tokens
+        .iter()
+        .zip(in_test)
+        .filter(|(_, &masked)| !masked)
+        .map(|(t, _)| t.clone())
+        .collect();
+    let ast = parser::parse_tokens(&non_test);
+
+    if wants(Lint::IdentityTaint) {
+        for tf in dataflow::identity_taint(&ast, &ANONYMITY_DENYLIST) {
+            findings.push(finding(
+                Lint::IdentityTaint,
+                file,
+                tf.line,
+                format!(
+                    "{} data from {} (line {}) flows into {}",
+                    tf.tag.kind.describe(),
+                    tf.tag.origin,
+                    tf.tag.line,
+                    tf.sink
+                ),
+            ));
+        }
+    }
+    if wants(Lint::SpanDominance) {
+        for sf in dataflow::span_dominance(&ast) {
+            findings.push(finding(
+                Lint::SpanDominance,
+                file,
+                sf.line,
+                format!(
+                    "send site `{}` in fn `{}` is not covered by a span on \
+                     every path (chain `.in_span(…)` or stamp the tail value)",
+                    sf.site, sf.func
+                ),
+            ));
+        }
+    }
+    if lock_applies {
+        for lf in dataflow::lock_discipline(&ast) {
+            let message = if lf.outside {
+                format!(
+                    "`{}` in fn `{}` runs outside any hub lock guard",
+                    lf.op, lf.func
+                )
+            } else {
+                format!(
+                    "`{}` in fn `{}` runs in a second lock region; all \
+                     meter/stamp/trace ops of one fn share one critical section",
+                    lf.op, lf.func
+                )
+            };
+            findings.push(finding(Lint::LockDiscipline, file, lf.line, message));
+        }
+    }
+}
+
+/// The source line a finding points at, trimmed and capped.
+fn snippet_at(source: &str, line: usize) -> String {
+    let raw = source
+        .lines()
+        .nth(line.saturating_sub(1))
+        .unwrap_or("")
+        .trim();
+    let mut out: String = raw.chars().take(120).collect();
+    if raw.chars().count() > 120 {
+        out.push('…');
+    }
+    out
 }
 
 /// Marks tokens inside `#[cfg(test)]` items (the attribute, and the item
@@ -320,25 +520,40 @@ fn skip_attr(tokens: &[Token], i: usize) -> usize {
     j
 }
 
+/// One well-formed suppression directive.
+struct Directive {
+    /// The lint it allows.
+    lint: Lint,
+    /// The comment's own line; a line directive also covers the next line.
+    line: usize,
+    /// `allow-file(…)` covers the whole file.
+    whole_file: bool,
+}
+
 /// Parsed suppression directives of one file.
 struct Suppressions {
-    /// Lines on which each lint is allowed (the directive's own line and
-    /// the next line).
-    lines: BTreeMap<Lint, BTreeSet<usize>>,
-    /// Lints allowed for the whole file.
-    whole_file: BTreeSet<Lint>,
+    directives: Vec<Directive>,
 }
 
 impl Suppressions {
-    fn suppresses(&self, finding: &Finding) -> bool {
-        if finding.lint == Lint::MalformedSuppression {
-            return false;
+    /// Indices of every directive that suppresses `finding`. The
+    /// suppression-health lints are never themselves suppressible.
+    fn matching(&self, finding: &Finding) -> Vec<usize> {
+        if matches!(
+            finding.lint,
+            Lint::MalformedSuppression | Lint::StaleSuppression
+        ) {
+            return Vec::new();
         }
-        self.whole_file.contains(&finding.lint)
-            || self
-                .lines
-                .get(&finding.lint)
-                .is_some_and(|lines| lines.contains(&finding.line))
+        self.directives
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| {
+                d.lint == finding.lint
+                    && (d.whole_file || finding.line == d.line || finding.line == d.line + 1)
+            })
+            .map(|(i, _)| i)
+            .collect()
     }
 }
 
@@ -346,8 +561,7 @@ impl Suppressions {
 /// findings immediately.
 fn collect_suppressions(file: &str, tokens: &[Token]) -> (Suppressions, Vec<Finding>) {
     let mut sup = Suppressions {
-        lines: BTreeMap::new(),
-        whole_file: BTreeSet::new(),
+        directives: Vec::new(),
     };
     let mut findings = Vec::new();
     for token in tokens {
@@ -358,21 +572,12 @@ fn collect_suppressions(file: &str, tokens: &[Token]) -> (Suppressions, Vec<Find
             continue;
         };
         match parse_directive(directive.trim()) {
-            Ok((lint, whole_file)) => {
-                if whole_file {
-                    sup.whole_file.insert(lint);
-                } else {
-                    let entry = sup.lines.entry(lint).or_default();
-                    entry.insert(token.line);
-                    entry.insert(token.line + 1);
-                }
-            }
-            Err(why) => findings.push(Finding {
-                lint: Lint::MalformedSuppression,
-                file: file.to_string(),
+            Ok((lint, whole_file)) => sup.directives.push(Directive {
+                lint,
                 line: token.line,
-                message: why,
+                whole_file,
             }),
+            Err(why) => findings.push(finding(Lint::MalformedSuppression, file, token.line, why)),
         }
     }
     (sup, findings)
@@ -410,6 +615,7 @@ fn finding(lint: Lint, file: &str, line: usize, message: impl Into<String>) -> F
         file: file.to_string(),
         line,
         message: message.into(),
+        snippet: String::new(),
     }
 }
 
@@ -630,70 +836,106 @@ fn check_span_coverage(file: &str, code: &[(usize, &Token)], findings: &mut Vec<
     }
 }
 
-/// A directory (or single file) to lint and the scope that applies to it.
-#[derive(Debug, Clone)]
-pub struct ScopedRoot {
-    /// Repo-relative directory, or a single `.rs` file for code that
-    /// lives outside the scope's home crate (e.g. the serving path in
-    /// `bench` that drives the net runtime).
-    pub dir: &'static str,
+/// How a [`SCOPE_TABLE`] row matches repo-relative, `/`-separated paths.
+/// Deliberately glob-free: a row either owns a directory subtree or names
+/// one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathMatch {
+    /// Every `.rs` file under this directory (the prefix must end at a
+    /// path-component boundary: `crates/net/src` matches
+    /// `crates/net/src/hub.rs`, not `crates/net/srcery.rs`).
+    Prefix(&'static str),
+    /// Exactly this file.
+    File(&'static str),
+}
+
+impl PathMatch {
+    /// Whether `path` (repo-relative, `/`-separated) falls under this row.
+    #[must_use]
+    pub fn matches(self, path: &str) -> bool {
+        match self {
+            PathMatch::Prefix(p) => path
+                .strip_prefix(p)
+                .is_some_and(|rest| rest.is_empty() || rest.starts_with('/')),
+            PathMatch::File(f) => path == f,
+        }
+    }
+}
+
+/// One row of the scope table.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeEntry {
+    /// Which paths the row claims.
+    pub path: PathMatch,
     /// Invariant set for files under it.
     pub scope: Scope,
 }
 
-/// The scopes the repo enforces, as named by the lint charter.
+/// The lint charter as data: which invariant set governs which paths.
+/// First match wins, so put narrower rows before wider ones. The two
+/// `File` rows are the serving path: it lives in `bench` but drives the
+/// net runtime on live jobs, so it carries the net-driver invariants.
+pub const SCOPE_TABLE: &[ScopeEntry] = &[
+    ScopeEntry {
+        path: PathMatch::Prefix("crates/core/src/algorithms"),
+        scope: Scope::Algorithms,
+    },
+    ScopeEntry {
+        path: PathMatch::Prefix("crates/sim/src"),
+        scope: Scope::Runtime,
+    },
+    ScopeEntry {
+        path: PathMatch::Prefix("crates/net/src"),
+        scope: Scope::NetDriver,
+    },
+    ScopeEntry {
+        path: PathMatch::File("crates/bench/src/ringd.rs"),
+        scope: Scope::NetDriver,
+    },
+    ScopeEntry {
+        path: PathMatch::File("crates/bench/src/load.rs"),
+        scope: Scope::NetDriver,
+    },
+];
+
+/// The scope governing `path`, if any row of [`SCOPE_TABLE`] claims it
+/// (first match wins).
 #[must_use]
-pub fn default_roots() -> Vec<ScopedRoot> {
-    vec![
-        ScopedRoot {
-            dir: "crates/core/src/algorithms",
-            scope: Scope::Algorithms,
-        },
-        ScopedRoot {
-            dir: "crates/sim/src",
-            scope: Scope::Runtime,
-        },
-        ScopedRoot {
-            dir: "crates/net/src",
-            scope: Scope::NetDriver,
-        },
-        // The serving path lives in `bench` but drives the net runtime
-        // on live jobs, so it carries the net-driver invariants (no bare
-        // `unwrap` on the runtime path in particular).
-        ScopedRoot {
-            dir: "crates/bench/src/ringd.rs",
-            scope: Scope::NetDriver,
-        },
-        ScopedRoot {
-            dir: "crates/bench/src/load.rs",
-            scope: Scope::NetDriver,
-        },
-    ]
+pub fn scope_for(path: &str) -> Option<Scope> {
+    SCOPE_TABLE
+        .iter()
+        .find(|e| e.path.matches(path))
+        .map(|e| e.scope)
 }
 
-/// Lints every `.rs` file under the default roots of `repo_root`
-/// (a root may name a single file rather than a directory).
-/// Deterministic: files are visited in sorted path order.
+/// Lints every `.rs` file claimed by the [`SCOPE_TABLE`] under
+/// `repo_root`. Deterministic: files are visited in sorted path order.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors (missing roots, unreadable files).
 pub fn lint_repo(repo_root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for root in default_roots() {
-        let dir = repo_root.join(root.dir);
-        let mut files = Vec::new();
-        collect_rs_files(&dir, &mut files)?;
-        files.sort();
-        for path in files {
-            let source = std::fs::read_to_string(&path)?;
-            let rel = path
-                .strip_prefix(repo_root)
-                .unwrap_or(&path)
-                .to_string_lossy()
-                .replace('\\', "/");
-            findings.extend(lint_source(&rel, &source, root.scope));
+    let mut files = Vec::new();
+    for entry in SCOPE_TABLE {
+        match entry.path {
+            PathMatch::Prefix(p) => collect_rs_files(&repo_root.join(p), &mut files)?,
+            PathMatch::File(f) => files.push(repo_root.join(f)),
         }
+    }
+    files.sort();
+    files.dedup();
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(repo_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(scope) = scope_for(&rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &source, scope));
     }
     Ok(findings)
 }
@@ -849,7 +1091,8 @@ mod tests {
 
     #[test]
     fn the_net_hub_is_exempt_like_sim_runtime() {
-        let src = "pub fn route(&self) { self.meter.record_send(bits); }";
+        let src =
+            "pub fn route(&self) { let mut inner = self.lock(); inner.meter.record_send(bits); }";
         let f = lint_source("crates/net/src/hub.rs", src, Scope::NetDriver);
         assert!(f.is_empty(), "{f:?}");
     }
@@ -924,7 +1167,9 @@ mod tests {
     fn span_coverage_requires_in_span_when_sending() {
         let bare = "fn step(&mut self) -> Step<u8, u8> { Step::send_left(1) }";
         let f = lint_algo(bare);
-        assert_eq!(names(&f), vec!["span-coverage"]);
+        // Both tiers agree: no span anywhere (file-level) and the send
+        // site itself is undominated (path-level).
+        assert_eq!(names(&f), vec!["span-coverage", "span-dominance"]);
         let spanned =
             "fn step(&mut self) -> Step<u8, u8> { Step::send_left(1).in_span(\"probe\", 0) }";
         assert_eq!(lint_algo(spanned), vec![]);
@@ -935,7 +1180,10 @@ mod tests {
     #[test]
     fn field_built_sends_count_for_span_coverage() {
         let src = "fn step(&mut self) { step.to_right = Some(Msg::Token); }";
-        assert_eq!(names(&lint_algo(src)), vec!["span-coverage"]);
+        assert_eq!(
+            names(&lint_algo(src)),
+            vec!["span-coverage", "span-dominance"]
+        );
     }
 
     #[test]
@@ -1098,6 +1346,137 @@ mod tests {
         // Paid-off debt shows up as stale.
         let (_, _, stale) = full.diff(&findings[..1]);
         assert!(!stale.is_empty());
+    }
+
+    #[test]
+    fn identity_taint_catches_flows_the_denylist_cannot_see() {
+        let src = r#"
+            fn step(&mut self, from: PortId) -> Step<Msg> {
+                let who = from;
+                Step::send(from, Msg::Claim(who)).in_span("claim", 0)
+            }
+        "#;
+        let f = lint_algo(src);
+        assert_eq!(names(&f), vec!["identity-taint"], "{f:?}");
+        assert!(f[0].message.contains("port-identity"), "{}", f[0].message);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn identity_taint_flags_wiring_dependent_branches() {
+        let src = r"
+            //! anonlint: allow-file(anonymity-breach) -- fixture reads wiring deliberately
+            fn peek(&mut self, t: &RingTopology) {
+                let d = t.wiring_digest();
+                if d == 0 { self.halt(); }
+            }
+        ";
+        let f = lint_algo(src);
+        assert_eq!(names(&f), vec!["identity-taint"], "{f:?}");
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("wiring"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn span_dominance_distinguishes_covered_and_bare_paths() {
+        let src = r#"
+            fn covered(&mut self) -> Step<u8> {
+                let mut step = Step::idle();
+                step.to_left = Some(Msg::Probe);
+                step.in_span("probe", self.phase)
+            }
+            fn bare(&mut self) -> Step<u8> {
+                Step::send_right(Msg::Probe)
+            }
+        "#;
+        let f = lint_algo(src);
+        assert_eq!(names(&f), vec!["span-dominance"], "{f:?}");
+        assert!(f[0].message.contains("`bare`"), "{}", f[0].message);
+        assert_eq!(f[0].line, 8);
+    }
+
+    #[test]
+    fn hub_ops_outside_the_lock_guard_are_flagged() {
+        let src = "pub fn sneak(&self) { self.inner.meter.record_send(8); }";
+        let f = lint_source("crates/net/src/hub.rs", src, Scope::NetDriver);
+        assert_eq!(names(&f), vec!["lock-discipline"], "{f:?}");
+        assert!(f[0].message.contains("outside"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn hub_ops_split_across_two_lock_regions_are_flagged() {
+        let src = r"
+            pub fn split(&self) {
+                { let mut a = self.lock(); a.meter.record_send(8); }
+                { let mut b = self.lock(); b.events.push(ev); }
+            }
+        ";
+        let f = lint_source("crates/net/src/hub.rs", src, Scope::NetDriver);
+        assert_eq!(names(&f), vec!["lock-discipline"], "{f:?}");
+        assert!(
+            f[0].message.contains("second lock region"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn stale_suppressions_are_reported() {
+        let src = r"
+            // anonlint: allow(no-unwrap-in-runtime) -- nothing left to allow
+            fn tidy(q: &mut Queue) -> Option<u8> { q.pop() }
+        ";
+        let f = lint_sim(src);
+        assert_eq!(names(&f), vec!["stale-suppression"], "{f:?}");
+        assert_eq!(f[0].line, 2);
+
+        // A stale directive cannot be excused by another suppression.
+        let doubled = r"
+            // anonlint: allow-file(stale-suppression) -- futile
+            // anonlint: allow(no-unwrap-in-runtime) -- nothing left to allow
+            fn tidy(q: &mut Queue) -> Option<u8> { q.pop() }
+        ";
+        let f = lint_sim(doubled);
+        assert_eq!(
+            names(&f),
+            vec!["stale-suppression", "stale-suppression"],
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn scope_table_claims_paths_at_component_boundaries() {
+        assert_eq!(
+            scope_for("crates/core/src/algorithms/leader.rs"),
+            Some(Scope::Algorithms)
+        );
+        assert_eq!(
+            scope_for("crates/sim/src/runtime/mailbox.rs"),
+            Some(Scope::Runtime)
+        );
+        assert_eq!(scope_for("crates/net/src/hub.rs"), Some(Scope::NetDriver));
+        // The serving-path rows claim exactly their files, nothing else.
+        assert_eq!(
+            scope_for("crates/bench/src/ringd.rs"),
+            Some(Scope::NetDriver)
+        );
+        assert_eq!(
+            scope_for("crates/bench/src/load.rs"),
+            Some(Scope::NetDriver)
+        );
+        assert_eq!(scope_for("crates/bench/src/report.rs"), None);
+        // Prefixes stop at path-component boundaries.
+        assert_eq!(scope_for("crates/net/srcery.rs"), None);
+        assert_eq!(scope_for("crates/core/src/algorithms_old/x.rs"), None);
+    }
+
+    #[test]
+    fn findings_carry_snippet_and_why() {
+        let f = lint_sim("fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert_eq!(f[0].snippet, "fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        let shown = f[0].to_string();
+        assert!(shown.contains("| fn f"), "{shown}");
+        assert!(shown.contains("= why:"), "{shown}");
     }
 
     #[test]

@@ -1,0 +1,1713 @@
+//! A best-effort recursive-descent parser from the [`crate::lexer`]
+//! token stream to the [`crate::ast`] tree.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Total.** The parser never panics and always terminates: every
+//!    loop consumes at least one token or exits, and expression
+//!    recursion is depth-capped. Tokens that do not fit the grammar
+//!    subset collapse into [`Expr::Opaque`] (an untainted, effect-free
+//!    leaf — a documented soundness gap, not an error).
+//! 2. **Shape-preserving where the lints look.** Item nesting, statement
+//!    order, calls/method calls/field accesses/assignments/branches, and
+//!    the *bound names* of patterns must come out right for the files
+//!    the dataflow lints analyze (`core/src/algorithms`, `net/src/hub.rs`).
+//! 3. **Lossy everywhere else.** Operators, types and literal values are
+//!    dropped or flattened; generics and where-clauses are skipped with
+//!    balanced-angle tracking (`->` inside `Fn(..) -> T` bounds is
+//!    consumed pairwise so its `>` never closes an angle).
+//!
+//! The token stream has no columns, so multi-character operators
+//! (`=>`, `->`, `::`, `..`, `+=`, …) are recognized as adjacent
+//! single-character puncts; in compiling Rust the reassembly is
+//! unambiguous at the positions the parser inspects them.
+
+use crate::ast::{Arm, Block, Expr, File, FnItem, ImplItem, Item, ModItem, Param, Stmt, TraitItem};
+use crate::lexer::{Token, TokenKind};
+
+/// Maximum expression nesting before the parser bails to
+/// [`Expr::Opaque`]; real code in this repo nests well under this.
+const MAX_DEPTH: usize = 200;
+
+/// Parses a token stream (comments are ignored; the caller usually also
+/// drops `#[cfg(test)]`-masked regions first) into a [`File`].
+#[must_use]
+pub fn parse_tokens(tokens: &[Token]) -> File {
+    let toks: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
+    File {
+        items: p.items_until_eof(),
+    }
+}
+
+/// Convenience: lex then parse a source string.
+#[must_use]
+pub fn parse_source(source: &str) -> File {
+    parse_tokens(&crate::lexer::lex(source))
+}
+
+struct Parser<'a> {
+    toks: Vec<&'a Token>,
+    pos: usize,
+    depth: usize,
+}
+
+/// Identifiers that never bind names in patterns.
+const PATTERN_KEYWORDS: &[&str] = &["mut", "ref", "box", "_", "true", "false"];
+
+impl<'a> Parser<'a> {
+    // ----- token primitives ------------------------------------------------
+
+    fn tok(&self, off: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + off).copied()
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tok(0)
+            .or_else(|| self.toks.last().copied())
+            .map_or(1, |t| t.line)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn is_p(&self, off: usize, c: char) -> bool {
+        self.tok(off).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn is_i(&self, off: usize, s: &str) -> bool {
+        self.tok(off).is_some_and(|t| t.is_ident(s))
+    }
+
+    fn is_kind(&self, off: usize, kind: TokenKind) -> bool {
+        self.tok(off).is_some_and(|t| t.kind == kind)
+    }
+
+    /// Eats punctuation `c` if present; reports whether it did.
+    fn eat_p(&mut self, c: char) -> bool {
+        if self.is_p(0, c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_i(&mut self, s: &str) -> bool {
+        if self.is_i(0, s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current ident text, if the current token is an identifier.
+    fn ident_text(&self) -> Option<&'a str> {
+        self.tok(0)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+    }
+
+    /// Whether the tokens at `off`, `off+1` are the puncts `a`, `b`.
+    fn pair(&self, off: usize, a: char, b: char) -> bool {
+        self.is_p(off, a) && self.is_p(off + 1, b)
+    }
+
+    // ----- skipping helpers ------------------------------------------------
+
+    /// Skips one `#[…]` / `#![…]` attribute if present.
+    fn skip_attr(&mut self) -> bool {
+        if !self.is_p(0, '#') {
+            return false;
+        }
+        let bracket = if self.is_p(1, '[') {
+            1
+        } else if self.is_p(1, '!') && self.is_p(2, '[') {
+            2
+        } else {
+            return false;
+        };
+        self.pos += bracket + 1; // past `[`
+        let mut depth = 1usize;
+        while !self.eof() && depth > 0 {
+            if self.is_p(0, '[') {
+                depth += 1;
+            } else if self.is_p(0, ']') {
+                depth -= 1;
+            }
+            self.bump();
+        }
+        true
+    }
+
+    fn skip_attrs(&mut self) {
+        while self.skip_attr() {}
+    }
+
+    /// Skips a balanced `<…>` region (current token must be `<`).
+    /// `->` inside (`Fn(u8) -> bool` bounds) is consumed pairwise so its
+    /// `>` never closes an angle; braces/parens inside are consumed
+    /// blindly (angle depth in valid code is self-consistent).
+    fn skip_angles(&mut self) {
+        debug_assert!(self.is_p(0, '<'));
+        self.bump();
+        let mut depth = 1usize;
+        while !self.eof() && depth > 0 {
+            if self.pair(0, '-', '>') || self.pair(0, '=', '>') {
+                self.pos += 2;
+            } else if self.is_p(0, '<') {
+                depth += 1;
+                self.bump();
+            } else if self.is_p(0, '>') {
+                depth -= 1;
+                self.bump();
+            } else if self.is_p(0, ';') {
+                break; // malformed input; bail rather than run away
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Skips a balanced bracket region; current token must be `open`.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        debug_assert!(self.is_p(0, open));
+        self.bump();
+        let mut depth = 1usize;
+        while !self.eof() && depth > 0 {
+            if self.is_p(0, open) {
+                depth += 1;
+            } else if self.is_p(0, close) {
+                depth -= 1;
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a type, collecting its identifier tokens (at every generic
+    /// depth) minus keywords and lifetimes. Stops at a `stop` punct or
+    /// `stop_ident` seen at zero bracket/angle depth.
+    fn skip_type(&mut self, stops: &[char], stop_idents: &[&str]) -> Vec<String> {
+        let mut idents = Vec::new();
+        let mut angle = 0usize;
+        let mut nest = 0usize; // (), [], {}
+        while let Some(t) = self.tok(0) {
+            if angle == 0 && nest == 0 {
+                if let Some(&c) = stops
+                    .iter()
+                    .find(|&&c| t.is_punct(c) && !(c == '=' && self.is_p(1, '=')))
+                {
+                    let _ = c;
+                    break;
+                }
+                if stop_idents.iter().any(|s| t.is_ident(s)) {
+                    break;
+                }
+            }
+            if self.pair(0, '-', '>') {
+                self.pos += 2;
+                continue;
+            }
+            match t.kind {
+                TokenKind::Ident => {
+                    if !matches!(t.text.as_str(), "mut" | "dyn" | "impl" | "ref" | "as") {
+                        idents.push(t.text.clone());
+                    }
+                    self.bump();
+                }
+                TokenKind::Punct => {
+                    let c = t.text.chars().next().unwrap_or(' ');
+                    match c {
+                        '<' => angle += 1,
+                        '>' => angle = angle.saturating_sub(1),
+                        '(' | '[' | '{' => nest += 1,
+                        ')' | ']' | '}' => {
+                            if nest == 0 {
+                                break; // closing a bracket we did not open
+                            }
+                            nest -= 1;
+                        }
+                        _ => {}
+                    }
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+        idents
+    }
+
+    /// Scans a pattern, collecting the names it binds. Stops at a `stop`
+    /// punct, the punct pair `=>`, or a `stop_ident`, each at zero
+    /// bracket depth. `=` in `stops` does not match `==` or `=>`.
+    fn scan_pattern(&mut self, stops: &[char], stop_idents: &[&str]) -> Vec<String> {
+        let mut bound = Vec::new();
+        let mut nest = 0usize;
+        while let Some(t) = self.tok(0) {
+            if nest == 0 {
+                let stop_hit = stops.iter().any(|&c| {
+                    t.is_punct(c)
+                        && !(c == '=' && (self.is_p(1, '=') || self.is_p(1, '>')))
+                        && !(c == ':'
+                            && (self.is_p(1, ':')
+                                || (self.pos >= 1
+                                    && self
+                                        .toks
+                                        .get(self.pos - 1)
+                                        .is_some_and(|p| p.is_punct(':')))))
+                });
+                if stop_hit || stop_idents.iter().any(|s| t.is_ident(s)) {
+                    break;
+                }
+                if self.pair(0, '=', '>') && stops.contains(&'=') {
+                    break;
+                }
+            }
+            match t.kind {
+                TokenKind::Ident => {
+                    let name = t.text.as_str();
+                    let is_path_seg =
+                        self.pair(1, ':', ':') || self.is_p(1, '(') || self.is_p(1, '{');
+                    // `field: pat` inside a struct pattern (at depth 0 a
+                    // `:` is a type ascription, not a field).
+                    let is_field_name = nest > 0 && self.is_p(1, ':') && !self.is_p(2, ':');
+                    let after_path = self.pos >= 2
+                        && self.toks.get(self.pos - 1).is_some_and(|p| p.is_punct(':'))
+                        && self.toks.get(self.pos - 2).is_some_and(|p| p.is_punct(':'));
+                    let camel = name.chars().next().is_some_and(char::is_uppercase);
+                    if !is_path_seg
+                        && !is_field_name
+                        && !after_path
+                        && !camel
+                        && !PATTERN_KEYWORDS.contains(&name)
+                    {
+                        bound.push(t.text.clone());
+                    }
+                    self.bump();
+                }
+                TokenKind::Punct => {
+                    let c = t.text.chars().next().unwrap_or(' ');
+                    match c {
+                        '(' | '[' | '{' => nest += 1,
+                        ')' | ']' | '}' => {
+                            if nest == 0 {
+                                break;
+                            }
+                            nest -= 1;
+                        }
+                        _ => {}
+                    }
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+        bound
+    }
+
+    // ----- items -----------------------------------------------------------
+
+    fn items_until_eof(&mut self) -> Vec<Item> {
+        let mut items = Vec::new();
+        while !self.eof() {
+            let before = self.pos;
+            if let Some(item) = self.parse_item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.bump(); // always make progress
+            }
+        }
+        items
+    }
+
+    fn items_until_close(&mut self) -> Vec<Item> {
+        let mut items = Vec::new();
+        while !self.eof() && !self.is_p(0, '}') {
+            let before = self.pos;
+            if let Some(item) = self.parse_item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_p('}');
+        items
+    }
+
+    fn parse_item(&mut self) -> Option<Item> {
+        self.skip_attrs();
+        // Visibility and item qualifiers.
+        if self.eat_i("pub") && self.is_p(0, '(') {
+            self.skip_balanced('(', ')');
+        }
+        self.eat_i("default");
+        // `const fn` / `unsafe fn` / `async fn` / `extern "C" fn`.
+        let line = self.line();
+        if self.is_i(0, "const") && self.is_i(1, "fn") {
+            self.bump();
+        }
+        if self.is_i(0, "unsafe") && self.is_i(1, "fn") {
+            self.bump();
+        }
+        if self.is_i(0, "async") && self.is_i(1, "fn") {
+            self.bump();
+        }
+        if self.is_i(0, "extern") {
+            if self.is_i(1, "crate") {
+                self.skip_to_semi();
+                return Some(Item::Other { line });
+            }
+            self.bump();
+            if self.is_kind(0, TokenKind::Literal) {
+                self.bump();
+            }
+        }
+        match self.ident_text() {
+            Some("fn") => Some(Item::Fn(self.parse_fn())),
+            Some("impl") => Some(self.parse_impl()),
+            Some("trait") => Some(self.parse_trait()),
+            Some("mod") => {
+                self.bump();
+                let name = self.ident_text().unwrap_or("?").to_string();
+                self.bump();
+                if self.is_p(0, '{') {
+                    self.bump();
+                    let items = self.items_until_close();
+                    Some(Item::Mod(ModItem { name, items, line }))
+                } else {
+                    self.eat_p(';');
+                    Some(Item::Other { line })
+                }
+            }
+            Some("use" | "type" | "static" | "const") => {
+                self.skip_to_semi();
+                Some(Item::Other { line })
+            }
+            Some("struct" | "enum" | "union") => {
+                self.skip_struct_like();
+                Some(Item::Other { line })
+            }
+            Some("macro_rules") => {
+                self.bump();
+                self.eat_p('!');
+                if self.is_kind(0, TokenKind::Ident) {
+                    self.bump();
+                }
+                if self.is_p(0, '{') {
+                    self.skip_balanced('{', '}');
+                } else if self.is_p(0, '(') {
+                    self.skip_balanced('(', ')');
+                    self.eat_p(';');
+                }
+                Some(Item::Other { line })
+            }
+            _ => None,
+        }
+    }
+
+    /// Skips to the end of a `use`/`const`/`static`/`type` item:
+    /// the first `;` outside brace groups (`use a::{b, c};`).
+    fn skip_to_semi(&mut self) {
+        let mut nest = 0usize;
+        while let Some(t) = self.tok(0) {
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                nest += 1;
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                if nest == 0 {
+                    return; // don't eat an enclosing block's closer
+                }
+                nest -= 1;
+            } else if t.is_punct(';') && nest == 0 {
+                self.bump();
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a `struct`/`enum`/`union` item: header, then either a
+    /// braced body or a tuple body plus `;`.
+    fn skip_struct_like(&mut self) {
+        self.bump(); // keyword
+        if self.is_kind(0, TokenKind::Ident) {
+            self.bump(); // name
+        }
+        if self.is_p(0, '<') {
+            self.skip_angles();
+        }
+        loop {
+            if self.eof() || self.is_p(0, '}') && !self.is_p(0, '{') {
+                // A stray `}` here belongs to an enclosing block.
+            }
+            if self.eof() {
+                return;
+            }
+            if self.is_p(0, '{') {
+                self.skip_balanced('{', '}');
+                return;
+            }
+            if self.is_p(0, '(') {
+                self.skip_balanced('(', ')');
+                continue; // `struct T(u8);` — semicolon follows
+            }
+            if self.eat_p(';') {
+                return;
+            }
+            if self.is_p(0, '}') {
+                return; // enclosing block's closer; leave it
+            }
+            self.bump(); // where-clauses etc.
+        }
+    }
+
+    fn parse_fn(&mut self) -> FnItem {
+        let line = self.line();
+        self.bump(); // `fn`
+        let name = self.ident_text().unwrap_or("?").to_string();
+        if self.is_kind(0, TokenKind::Ident) {
+            self.bump();
+        }
+        if self.is_p(0, '<') {
+            self.skip_angles();
+        }
+        let mut params = Vec::new();
+        if self.is_p(0, '(') {
+            self.bump();
+            params = self.parse_params(')');
+            self.eat_p(')');
+        }
+        if self.pair(0, '-', '>') {
+            self.pos += 2;
+            self.skip_type(&['{', ';'], &["where"]);
+        }
+        if self.is_i(0, "where") {
+            self.skip_type(&['{', ';'], &[]);
+        }
+        let body = if self.is_p(0, '{') {
+            Some(self.parse_block())
+        } else {
+            self.eat_p(';');
+            None
+        };
+        FnItem {
+            name,
+            params,
+            body,
+            line,
+        }
+    }
+
+    /// Parses a comma-separated parameter list up to (not including) the
+    /// punct `close` at depth zero.
+    fn parse_params(&mut self, close: char) -> Vec<Param> {
+        let mut params = Vec::new();
+        while !self.eof() && !self.is_p(0, close) {
+            self.skip_attrs();
+            let line = self.line();
+            // Receivers: `self`, `mut self`, `&self`, `&mut self`, `&'a self`.
+            let mut look = 0usize;
+            while self.is_p(look, '&')
+                || self.is_kind(look, TokenKind::Lifetime)
+                || self.is_i(look, "mut")
+            {
+                look += 1;
+            }
+            if self.is_i(look, "self") {
+                self.pos += look + 1;
+                if self.is_p(0, ':') {
+                    self.bump();
+                    self.skip_type(&[',', close], &[]);
+                }
+                params.push(Param {
+                    names: vec!["self".to_string()],
+                    ty: Vec::new(),
+                    line,
+                });
+            } else {
+                let names = self.scan_pattern(&[':', ',', close], &[]);
+                let ty = if self.eat_p(':') {
+                    self.skip_type(&[',', close], &[])
+                } else {
+                    Vec::new()
+                };
+                params.push(Param { names, ty, line });
+            }
+            if !self.eat_p(',') {
+                break;
+            }
+        }
+        params
+    }
+
+    fn parse_impl(&mut self) -> Item {
+        let line = self.line();
+        self.bump(); // `impl`
+        if self.is_p(0, '<') {
+            self.skip_angles();
+        }
+        // Header: idents at angle depth zero until `{`/`;`. A `for`
+        // separates `impl Trait for Type`.
+        let mut header: Vec<String> = Vec::new();
+        while let Some(t) = self.tok(0) {
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_angles();
+                continue;
+            }
+            if self.is_i(0, "where") {
+                self.skip_type(&['{', ';'], &[]);
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                header.push(t.text.clone());
+            }
+            self.bump();
+        }
+        let trait_name = header
+            .iter()
+            .position(|s| s == "for")
+            .and_then(|i| i.checked_sub(1))
+            .and_then(|i| header.get(i))
+            .cloned();
+        let items = if self.eat_p('{') {
+            self.items_until_close()
+        } else {
+            self.eat_p(';');
+            Vec::new()
+        };
+        Item::Impl(ImplItem {
+            trait_name,
+            items,
+            line,
+        })
+    }
+
+    fn parse_trait(&mut self) -> Item {
+        let line = self.line();
+        self.bump(); // `trait`
+        let name = self.ident_text().unwrap_or("?").to_string();
+        if self.is_kind(0, TokenKind::Ident) {
+            self.bump();
+        }
+        // Generics, supertrait bounds, where clause — skip to the body.
+        while !self.eof() && !self.is_p(0, '{') && !self.is_p(0, ';') {
+            if self.is_p(0, '<') {
+                self.skip_angles();
+            } else {
+                self.bump();
+            }
+        }
+        let items = if self.eat_p('{') {
+            self.items_until_close()
+        } else {
+            self.eat_p(';');
+            Vec::new()
+        };
+        Item::Trait(TraitItem { name, items, line })
+    }
+
+    // ----- statements ------------------------------------------------------
+
+    fn parse_block(&mut self) -> Block {
+        let line = self.line();
+        self.eat_p('{');
+        let mut stmts = Vec::new();
+        while !self.eof() && !self.is_p(0, '}') {
+            let before = self.pos;
+            self.skip_attrs();
+            if self.eat_p(';') {
+                continue;
+            }
+            if self.is_p(0, '}') {
+                break;
+            }
+            if self.is_i(0, "let") {
+                stmts.push(self.parse_let());
+            } else if matches!(
+                self.ident_text(),
+                Some(
+                    "fn" | "struct"
+                        | "enum"
+                        | "union"
+                        | "use"
+                        | "impl"
+                        | "mod"
+                        | "trait"
+                        | "static"
+                        | "type"
+                        | "macro_rules"
+                )
+            ) || (self.is_i(0, "const") && !self.is_p(1, '{'))
+            {
+                if let Some(item) = self.parse_item() {
+                    stmts.push(Stmt::Item(Box::new(item)));
+                }
+            } else {
+                let expr = self.parse_expr(true);
+                self.eat_p(';');
+                stmts.push(Stmt::Expr(expr));
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_p('}');
+        Block { stmts, line }
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let line = self.line();
+        self.bump(); // `let`
+        let bound = self.scan_pattern(&['=', ':', ';'], &[]);
+        if self.eat_p(':') {
+            self.skip_type(&['=', ';'], &[]);
+        }
+        let init = if self.eat_p('=') {
+            Some(self.parse_expr(true))
+        } else {
+            None
+        };
+        let else_block = if self.eat_i("else") {
+            Some(self.parse_block())
+        } else {
+            None
+        };
+        self.eat_p(';');
+        Stmt::Let {
+            bound,
+            init,
+            else_block,
+            line,
+        }
+    }
+
+    // ----- expressions -----------------------------------------------------
+
+    fn parse_expr(&mut self, allow_struct: bool) -> Expr {
+        if self.depth >= MAX_DEPTH {
+            let line = self.line();
+            self.bump();
+            return Expr::Opaque { line };
+        }
+        self.depth += 1;
+        let e = self.parse_assign(allow_struct);
+        self.depth -= 1;
+        e
+    }
+
+    fn parse_assign(&mut self, allow_struct: bool) -> Expr {
+        let lhs = self.parse_binary(allow_struct);
+        let line = self.line();
+        // `=` (not `==`, not `=>`).
+        if self.is_p(0, '=') && !self.is_p(1, '=') && !self.is_p(1, '>') {
+            self.bump();
+            let rhs = self.parse_expr(allow_struct);
+            return Expr::Assign {
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                compound: false,
+                line,
+            };
+        }
+        // Compound assignment: `+=` … and `<<=`/`>>=`.
+        let compound = if "+-*/%^&|".contains(self.punct_char(0)) && self.is_p(1, '=') {
+            Some(2)
+        } else if (self.pair(0, '<', '<') || self.pair(0, '>', '>')) && self.is_p(2, '=') {
+            Some(3)
+        } else {
+            None
+        };
+        if let Some(n) = compound {
+            self.pos += n;
+            let rhs = self.parse_expr(allow_struct);
+            return Expr::Assign {
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                compound: true,
+                line,
+            };
+        }
+        lhs
+    }
+
+    fn punct_char(&self, off: usize) -> char {
+        self.tok(off)
+            .filter(|t| t.kind == TokenKind::Punct)
+            .and_then(|t| t.text.chars().next())
+            .unwrap_or('\0')
+    }
+
+    /// How many tokens of binary operator sit at the cursor, or 0.
+    /// Assignment-shaped sequences (`+=`, `<<=`, lone `=`) return 0 so
+    /// [`Self::parse_assign`] can claim them.
+    fn binary_op_len(&self) -> usize {
+        let a = self.punct_char(0);
+        let b = self.punct_char(1);
+        match (a, b) {
+            ('=', '=') | ('!', '=') | ('<', '=') | ('>', '=') | ('&', '&') | ('|', '|') => 2,
+            ('<', '<') | ('>', '>') => {
+                if self.punct_char(2) == '=' {
+                    0 // `<<=` is a compound assignment
+                } else {
+                    2
+                }
+            }
+            ('.', '.') => {
+                if self.punct_char(2) == '=' {
+                    3 // `..=`
+                } else {
+                    2
+                }
+            }
+            ('-', '>') | ('=', '>') => 0,
+            ('+' | '-' | '*' | '/' | '%' | '^' | '&' | '|', '=') => 0,
+            ('+' | '-' | '*' | '/' | '%' | '^' | '&' | '|' | '<' | '>', _) => 1,
+            _ => 0,
+        }
+    }
+
+    /// Whether the cursor could start an expression (used for optional
+    /// operands after `return`/`break` and open-ended ranges).
+    fn starts_expr(&self) -> bool {
+        match self.tok(0) {
+            None => false,
+            Some(t) => match t.kind {
+                TokenKind::Punct => !matches!(
+                    t.text.chars().next().unwrap_or(' '),
+                    ')' | ']' | '}' | ',' | ';' | '=' | '>'
+                ),
+                TokenKind::Ident => t.text != "else",
+                _ => true,
+            },
+        }
+    }
+
+    fn parse_binary(&mut self, allow_struct: bool) -> Expr {
+        let mut lhs = self.parse_unary(allow_struct);
+        loop {
+            let n = self.binary_op_len();
+            if n == 0 {
+                break;
+            }
+            let line = self.line();
+            self.pos += n;
+            // Open-ended range: `a..` with nothing rangeable after.
+            let rhs = if !self.starts_expr() {
+                Expr::Lit { line }
+            } else {
+                self.parse_unary(allow_struct)
+            };
+            lhs = Expr::Binary {
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        lhs
+    }
+
+    fn parse_unary(&mut self, allow_struct: bool) -> Expr {
+        if self.depth >= MAX_DEPTH {
+            let line = self.line();
+            self.bump();
+            return Expr::Opaque { line };
+        }
+        self.depth += 1;
+        let e = self.parse_unary_inner(allow_struct);
+        self.depth -= 1;
+        e
+    }
+
+    fn parse_unary_inner(&mut self, allow_struct: bool) -> Expr {
+        let line = self.line();
+        // Prefix `..` / `..=`: open-start range.
+        if self.pair(0, '.', '.') {
+            self.pos += if self.punct_char(2) == '=' { 3 } else { 2 };
+            let rhs = if self.starts_expr() {
+                self.parse_unary(allow_struct)
+            } else {
+                Expr::Lit { line }
+            };
+            return Expr::Binary {
+                lhs: Box::new(Expr::Lit { line }),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        if self.is_p(0, '&') && !self.is_p(1, '&') || self.is_p(0, '&') && self.is_p(1, '&') {
+            // `&e`, `&mut e`, `&&e` (two refs — recursion handles it).
+            self.bump();
+            self.eat_i("mut");
+            let inner = self.parse_unary(allow_struct);
+            return Expr::Unary {
+                op: '&',
+                expr: Box::new(inner),
+                line,
+            };
+        }
+        for op in ['*', '!', '-'] {
+            if self.is_p(0, op) {
+                self.bump();
+                let inner = self.parse_unary(allow_struct);
+                return Expr::Unary {
+                    op,
+                    expr: Box::new(inner),
+                    line,
+                };
+            }
+        }
+        if self.is_i(0, "move") && (self.is_p(1, '|') || self.is_i(1, "async")) {
+            self.bump();
+        }
+        if self.is_p(0, '|') {
+            return self.parse_closure();
+        }
+        let primary = self.parse_primary(allow_struct);
+        self.parse_postfix(primary, allow_struct)
+    }
+
+    fn parse_closure(&mut self) -> Expr {
+        let line = self.line();
+        let params = if self.pair(0, '|', '|') {
+            self.pos += 2;
+            Vec::new()
+        } else {
+            self.bump(); // `|`
+            let params = self.parse_params('|');
+            self.eat_p('|');
+            params
+        };
+        if self.pair(0, '-', '>') {
+            self.pos += 2;
+            self.skip_type(&['{'], &[]);
+        }
+        let body = self.parse_expr(true);
+        Expr::Closure {
+            params,
+            body: Box::new(body),
+            line,
+        }
+    }
+
+    fn parse_postfix(&mut self, mut e: Expr, allow_struct: bool) -> Expr {
+        loop {
+            let line = self.line();
+            if self.is_p(0, '.') && !self.is_p(1, '.') {
+                if self.is_i(1, "await") {
+                    self.pos += 2;
+                    continue;
+                }
+                if self.is_kind(1, TokenKind::Number) {
+                    let name = self.tok(1).map_or_else(String::new, |t| t.text.clone());
+                    self.pos += 2;
+                    e = Expr::Field {
+                        base: Box::new(e),
+                        name,
+                        line,
+                    };
+                    continue;
+                }
+                if self.is_kind(1, TokenKind::Ident) {
+                    let name = self.tok(1).map_or_else(String::new, |t| t.text.clone());
+                    self.pos += 2;
+                    // Optional turbofish before a call.
+                    if self.pair(0, ':', ':') && self.is_p(2, '<') {
+                        self.pos += 2;
+                        self.skip_angles();
+                    }
+                    if self.is_p(0, '(') {
+                        self.bump();
+                        let args = self.parse_call_args();
+                        e = Expr::MethodCall {
+                            recv: Box::new(e),
+                            method: name,
+                            args,
+                            line,
+                        };
+                    } else {
+                        e = Expr::Field {
+                            base: Box::new(e),
+                            name,
+                            line,
+                        };
+                    }
+                    continue;
+                }
+                // `.` followed by something unexpected: consume the dot.
+                self.bump();
+                continue;
+            }
+            if self.is_p(0, '?') {
+                self.bump();
+                e = Expr::Try {
+                    expr: Box::new(e),
+                    line,
+                };
+                continue;
+            }
+            if self.is_p(0, '(') {
+                self.bump();
+                let args = self.parse_call_args();
+                e = Expr::Call {
+                    callee: Box::new(e),
+                    args,
+                    line,
+                };
+                continue;
+            }
+            if self.is_p(0, '[') {
+                self.bump();
+                let index = self.parse_expr(true);
+                self.eat_p(']');
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(index),
+                    line,
+                };
+                continue;
+            }
+            if self.is_i(0, "as") {
+                self.bump();
+                self.skip_cast_type();
+                continue;
+            }
+            let _ = allow_struct;
+            break;
+        }
+        e
+    }
+
+    /// Skips the type after `as`: identifiers, paths, one balanced angle
+    /// or paren group each time one opens.
+    fn skip_cast_type(&mut self) {
+        loop {
+            if self.is_kind(0, TokenKind::Ident)
+                && !matches!(self.ident_text(), Some("if" | "else" | "match" | "in"))
+            {
+                self.bump();
+            } else if self.pair(0, ':', ':') {
+                self.pos += 2;
+            } else if self.is_p(0, '<') {
+                self.skip_angles();
+            } else if self.is_p(0, '&')
+                || self.is_i(0, "mut")
+                || self.is_i(0, "dyn")
+                || self.is_kind(0, TokenKind::Lifetime)
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Parses comma-separated call arguments; the opening `(` is already
+    /// consumed. Consumes the closing `)`.
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        while !self.eof() && !self.is_p(0, ')') {
+            let before = self.pos;
+            args.push(self.parse_expr(true));
+            self.eat_p(',');
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_p(')');
+        args
+    }
+
+    fn parse_primary(&mut self, allow_struct: bool) -> Expr {
+        let line = self.line();
+        let Some(t) = self.tok(0) else {
+            return Expr::Opaque { line };
+        };
+        match t.kind {
+            TokenKind::Number | TokenKind::Literal | TokenKind::Lifetime => {
+                self.bump();
+                // A label: `'outer: loop { … }` — parse the loop itself.
+                if t.kind == TokenKind::Lifetime && self.eat_p(':') {
+                    return self.parse_primary(allow_struct);
+                }
+                Expr::Lit { line }
+            }
+            TokenKind::Punct => match t.text.chars().next().unwrap_or(' ') {
+                '(' => {
+                    self.bump();
+                    let mut items = Vec::new();
+                    while !self.eof() && !self.is_p(0, ')') {
+                        let before = self.pos;
+                        items.push(self.parse_expr(true));
+                        self.eat_p(',');
+                        if self.pos == before {
+                            self.bump();
+                        }
+                    }
+                    self.eat_p(')');
+                    Expr::Tuple { items, line }
+                }
+                '[' => {
+                    self.bump();
+                    let mut items = Vec::new();
+                    while !self.eof() && !self.is_p(0, ']') {
+                        let before = self.pos;
+                        items.push(self.parse_expr(true));
+                        if !self.eat_p(',') {
+                            self.eat_p(';'); // `[x; N]` repeat syntax
+                        }
+                        if self.pos == before {
+                            self.bump();
+                        }
+                    }
+                    self.eat_p(']');
+                    Expr::Tuple { items, line }
+                }
+                '{' => Expr::Block(self.parse_block()),
+                '<' => {
+                    // Qualified path `<T as Trait>::assoc(…)`.
+                    self.skip_angles();
+                    let mut segs = Vec::new();
+                    while self.pair(0, ':', ':') && self.is_kind(2, TokenKind::Ident) {
+                        segs.push(self.tok(2).map_or_else(String::new, |t| t.text.clone()));
+                        self.pos += 3;
+                    }
+                    Expr::Path { segs, line }
+                }
+                '#' => {
+                    self.skip_attrs();
+                    if self.starts_expr() {
+                        self.parse_primary(allow_struct)
+                    } else {
+                        Expr::Opaque { line }
+                    }
+                }
+                _ => {
+                    self.bump();
+                    Expr::Opaque { line }
+                }
+            },
+            TokenKind::Ident => match t.text.as_str() {
+                "if" => self.parse_if(),
+                "match" => self.parse_match(),
+                "while" => {
+                    self.bump();
+                    let (cond, bound) = self.parse_condition();
+                    let body = self.parse_block();
+                    Expr::While {
+                        cond: Box::new(cond),
+                        bound,
+                        body,
+                        line,
+                    }
+                }
+                "loop" => {
+                    self.bump();
+                    let body = self.parse_block();
+                    Expr::Loop { body, line }
+                }
+                "for" => {
+                    self.bump();
+                    let bound = self.scan_pattern(&[], &["in"]);
+                    self.eat_i("in");
+                    let iter = self.parse_expr(false);
+                    let body = self.parse_block();
+                    Expr::For {
+                        bound,
+                        iter: Box::new(iter),
+                        body,
+                        line,
+                    }
+                }
+                "return" => {
+                    self.bump();
+                    let value = if self.starts_expr() {
+                        Some(Box::new(self.parse_expr(true)))
+                    } else {
+                        None
+                    };
+                    Expr::Return { value, line }
+                }
+                "break" => {
+                    self.bump();
+                    if self.is_kind(0, TokenKind::Lifetime) {
+                        self.bump();
+                    }
+                    let value = if self.starts_expr() {
+                        Some(Box::new(self.parse_expr(true)))
+                    } else {
+                        None
+                    };
+                    Expr::Jump { value, line }
+                }
+                "continue" => {
+                    self.bump();
+                    if self.is_kind(0, TokenKind::Lifetime) {
+                        self.bump();
+                    }
+                    Expr::Jump { value: None, line }
+                }
+                "unsafe" | "async" => {
+                    self.bump();
+                    if self.is_p(0, '{') {
+                        Expr::Block(self.parse_block())
+                    } else {
+                        Expr::Opaque { line }
+                    }
+                }
+                "move" => {
+                    self.bump();
+                    if self.is_p(0, '|') {
+                        self.parse_closure()
+                    } else {
+                        Expr::Opaque { line }
+                    }
+                }
+                "else" | "in" | "where" | "as" | "let" => {
+                    self.bump();
+                    Expr::Opaque { line }
+                }
+                _ => self.parse_path_expr(allow_struct),
+            },
+            _ => {
+                self.bump();
+                Expr::Opaque { line }
+            }
+        }
+    }
+
+    /// A path, and whatever it heads: macro call, struct literal, or the
+    /// bare path (calls are handled by postfix).
+    fn parse_path_expr(&mut self, allow_struct: bool) -> Expr {
+        let line = self.line();
+        let mut segs = vec![self.tok(0).map_or_else(String::new, |t| t.text.clone())];
+        self.bump();
+        loop {
+            if self.pair(0, ':', ':') {
+                if self.is_p(2, '<') {
+                    self.pos += 2;
+                    self.skip_angles(); // turbofish
+                    continue;
+                }
+                if self.is_kind(2, TokenKind::Ident) {
+                    segs.push(self.tok(2).map_or_else(String::new, |t| t.text.clone()));
+                    self.pos += 3;
+                    continue;
+                }
+            }
+            break;
+        }
+        // Macro invocation.
+        if self.is_p(0, '!') && !self.is_p(1, '=') {
+            self.bump();
+            let name = segs.last().cloned().unwrap_or_default();
+            return self.parse_macro_body(name, line);
+        }
+        // Struct literal.
+        if allow_struct && self.is_p(0, '{') {
+            self.bump();
+            let mut fields = Vec::new();
+            while !self.eof() && !self.is_p(0, '}') {
+                let before = self.pos;
+                if self.pair(0, '.', '.') {
+                    self.pos += 2;
+                    let base = self.parse_expr(true);
+                    fields.push(("..".to_string(), base));
+                } else if self.is_kind(0, TokenKind::Ident) {
+                    let fname = self.tok(0).map_or_else(String::new, |t| t.text.clone());
+                    self.bump();
+                    let value = if self.is_p(0, ':') && !self.is_p(1, ':') {
+                        self.bump();
+                        self.parse_expr(true)
+                    } else {
+                        Expr::Path {
+                            segs: vec![fname.clone()],
+                            line: self.line(),
+                        }
+                    };
+                    fields.push((fname, value));
+                }
+                self.eat_p(',');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            self.eat_p('}');
+            return Expr::Struct {
+                path: segs,
+                fields,
+                line,
+            };
+        }
+        Expr::Path { segs, line }
+    }
+
+    /// Parses a macro body `(…)` / `[…]` / `{…}`: finds the balanced
+    /// close, attempts comma-separated expressions inside a bounded
+    /// sub-parser, and always records the raw identifiers as fallback.
+    fn parse_macro_body(&mut self, name: String, line: usize) -> Expr {
+        let (open, close) = if self.is_p(0, '(') {
+            ('(', ')')
+        } else if self.is_p(0, '[') {
+            ('[', ']')
+        } else if self.is_p(0, '{') {
+            ('{', '}')
+        } else {
+            return Expr::Macro {
+                name,
+                args: Vec::new(),
+                raw_idents: Vec::new(),
+                line,
+            };
+        };
+        // Find the matching close.
+        let start = self.pos + 1;
+        let mut depth = 0usize;
+        let mut end = start;
+        let mut i = self.pos;
+        while let Some(t) = self.toks.get(i) {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        if depth != 0 {
+            end = self.toks.len();
+        }
+        let raw_idents: Vec<String> = self.toks[start..end]
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        let mut sub = Parser {
+            toks: self.toks[start..end].to_vec(),
+            pos: 0,
+            depth: self.depth,
+        };
+        let mut args = Vec::new();
+        while !sub.eof() {
+            let before = sub.pos;
+            args.push(sub.parse_expr(true));
+            sub.eat_p(',');
+            if sub.pos == before {
+                sub.bump();
+            }
+        }
+        self.pos = (end + 1).min(self.toks.len());
+        Expr::Macro {
+            name,
+            args,
+            raw_idents,
+            line,
+        }
+    }
+
+    /// An `if`/`while` condition — plain expression or `let pat = expr`.
+    /// Returns the (scrutinee) expression and any bound names.
+    fn parse_condition(&mut self) -> (Expr, Vec<String>) {
+        if self.eat_i("let") {
+            let bound = self.scan_pattern(&['='], &[]);
+            self.eat_p('=');
+            let scrutinee = self.parse_expr(false);
+            (scrutinee, bound)
+        } else {
+            (self.parse_expr(false), Vec::new())
+        }
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        let line = self.line();
+        self.bump(); // `if`
+        let (cond, bound) = self.parse_condition();
+        let then = self.parse_block();
+        let els = if self.eat_i("else") {
+            if self.is_i(0, "if") {
+                Some(Box::new(self.parse_if()))
+            } else {
+                Some(Box::new(Expr::Block(self.parse_block())))
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            bound,
+            then,
+            els,
+            line,
+        }
+    }
+
+    fn parse_match(&mut self) -> Expr {
+        let line = self.line();
+        self.bump(); // `match`
+        let scrutinee = self.parse_expr(false);
+        let mut arms = Vec::new();
+        if self.eat_p('{') {
+            while !self.eof() && !self.is_p(0, '}') {
+                let before = self.pos;
+                self.skip_attrs();
+                let arm_line = self.line();
+                self.eat_p('|'); // leading `|` in or-patterns
+                let bound = self.scan_pattern(&['='], &["if"]);
+                let guard = if self.eat_i("if") {
+                    Some(self.parse_expr(false))
+                } else {
+                    None
+                };
+                if self.pair(0, '=', '>') {
+                    self.pos += 2;
+                } else {
+                    // Could not find the arrow: resynchronize.
+                    if self.pos == before {
+                        self.bump();
+                    }
+                    continue;
+                }
+                let body = self.parse_expr(true);
+                self.eat_p(',');
+                arms.push(Arm {
+                    bound,
+                    guard,
+                    body,
+                    line: arm_line,
+                });
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            self.eat_p('}');
+        }
+        Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_source;
+    use crate::ast::{for_each_fn, Block, Expr, File, Item, Stmt};
+
+    fn fns(file: &File) -> Vec<String> {
+        let mut names = Vec::new();
+        for_each_fn(file, &mut |f, _| names.push(f.name.clone()));
+        names
+    }
+
+    fn only_fn_body(file: &File) -> &Block {
+        let mut found = None;
+        for item in &file.items {
+            if let Item::Fn(f) = item {
+                assert!(found.is_none(), "expected exactly one fn");
+                found = f.body.as_ref();
+            }
+        }
+        found.expect("fn with body")
+    }
+
+    #[test]
+    fn items_and_nesting() {
+        let file = parse_source(
+            r#"
+            use std::fmt;
+            pub struct S { x: u8 }
+            enum E { A, B(u8) }
+            impl S { fn new() -> Self { S { x: 0 } } }
+            impl fmt::Display for S {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, "s") }
+            }
+            mod inner { pub fn helper() {} }
+            trait T { fn sig(&self); fn dflt(&self) -> u8 { 1 } }
+            pub fn free<A: Clone>(a: A, n: usize) -> Vec<A> where A: Sized { vec![a; n] }
+            "#,
+        );
+        assert_eq!(
+            fns(&file),
+            vec!["new", "fmt", "helper", "sig", "dflt", "free"]
+        );
+        let display_impl = file.items.iter().find_map(|i| match i {
+            Item::Impl(im) if im.trait_name.is_some() => Some(im),
+            _ => None,
+        });
+        assert_eq!(
+            display_impl.map(|im| im.trait_name.clone().unwrap()),
+            Some("Display".to_string())
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_with_generics() {
+        let file = parse_source(
+            "impl<M: Clone + Send> AsyncPortProcess<M> for Wrapper<M> { fn go(&mut self) {} }",
+        );
+        match &file.items[0] {
+            Item::Impl(im) => assert_eq!(im.trait_name.as_deref(), Some("AsyncPortProcess")),
+            other => panic!("expected impl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn params_carry_type_idents_and_bound_names() {
+        let file = parse_source(
+            "fn f(&mut self, from: PortId, sched: Vec<Vec<PortId>>, (a, b): (u8, u8)) {}",
+        );
+        let mut params = Vec::new();
+        for_each_fn(&file, &mut |f, _| params = f.params.clone());
+        assert_eq!(params[0].names, vec!["self"]);
+        assert_eq!(params[1].names, vec!["from"]);
+        assert_eq!(params[1].ty, vec!["PortId"]);
+        assert_eq!(params[2].ty, vec!["Vec", "Vec", "PortId"]);
+        assert_eq!(params[3].names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn let_patterns_bind_names() {
+        let file = parse_source(
+            r#"fn f() {
+                let (x, y) = pair();
+                let Some(msg) = inbox else { return };
+                let Fin { bit, port: p } = fin;
+                let OrientMsg::Marker(tag) = m;
+            }"#,
+        );
+        let body = only_fn_body(&file);
+        let bound: Vec<Vec<String>> = body
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Let { bound, .. } => Some(bound.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bound[0], vec!["x", "y"]);
+        assert_eq!(bound[1], vec!["msg"]);
+        assert_eq!(bound[2], vec!["bit", "p"]);
+        assert_eq!(bound[3], vec!["tag"]);
+    }
+
+    #[test]
+    fn method_chains_and_field_assigns() {
+        let file = parse_source(
+            r#"fn f(mut step: Step) {
+                step.to_left = Some(1);
+                let s = step.in_span("phase", 3).and_halt(0);
+                s.meter.record_send(t, bits);
+            }"#,
+        );
+        let body = only_fn_body(&file);
+        match &body.stmts[0] {
+            Stmt::Expr(Expr::Assign { lhs, .. }) => match lhs.as_ref() {
+                Expr::Field { name, .. } => assert_eq!(name, "to_left"),
+                other => panic!("expected field lhs, got {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+        match &body.stmts[1] {
+            Stmt::Let {
+                init: Some(Expr::MethodCall { method, recv, .. }),
+                ..
+            } => {
+                assert_eq!(method, "and_halt");
+                match recv.as_ref() {
+                    Expr::MethodCall { method, args, .. } => {
+                        assert_eq!(method, "in_span");
+                        assert_eq!(args.len(), 2);
+                    }
+                    other => panic!("expected inner call, got {other:?}"),
+                }
+            }
+            other => panic!("expected let chain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn match_if_while_for_and_closures() {
+        let file = parse_source(
+            r#"fn f(v: Vec<u8>) -> u8 {
+                let mut acc = 0;
+                for (i, x) in v.iter().enumerate() {
+                    if *x > 1 && i < 9 { acc += x; } else { acc -= 1; }
+                }
+                while acc > 100 { acc /= 2; }
+                let g = |a: u8, b| a + b;
+                match acc {
+                    0 => g(1, 2),
+                    n if n > 50 => n,
+                    _ => acc,
+                }
+            }"#,
+        );
+        let body = only_fn_body(&file);
+        let tail = match body.stmts.last() {
+            Some(Stmt::Expr(e)) => e,
+            other => panic!("expected tail expr, got {other:?}"),
+        };
+        match tail {
+            Expr::Match { arms, .. } => {
+                assert_eq!(arms.len(), 3);
+                assert_eq!(arms[1].bound, vec!["n"]);
+                assert!(arms[1].guard.is_some());
+            }
+            other => panic!("expected match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn struct_literals_vs_blocks() {
+        let file = parse_source(
+            r#"fn f(mode: Mode) -> Step {
+                match mode { Mode::A => {} _ => {} }
+                if ready { fire(); }
+                Step { to_left: None, to_right: None, ..Default::default() }
+            }"#,
+        );
+        let body = only_fn_body(&file);
+        match body.stmts.last() {
+            Some(Stmt::Expr(Expr::Struct { path, fields, .. })) => {
+                assert_eq!(path, &vec!["Step".to_string()]);
+                assert_eq!(fields.len(), 3);
+                assert_eq!(fields[2].0, "..");
+            }
+            other => panic!("expected struct literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn macros_parse_args_and_keep_raw_idents() {
+        let file = parse_source(
+            r#"fn f(x: u8) {
+                debug_assert!(topo.is_oriented(), "bad {}", x);
+                let v = vec![1, 2, 3];
+                matches!(x, 1 | 2);
+            }"#,
+        );
+        let body = only_fn_body(&file);
+        match &body.stmts[0] {
+            Stmt::Expr(Expr::Macro {
+                name,
+                args,
+                raw_idents,
+                ..
+            }) => {
+                assert_eq!(name, "debug_assert");
+                assert!(!args.is_empty());
+                assert!(raw_idents.contains(&"is_oriented".to_string()));
+            }
+            other => panic!("expected macro, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deref_assign_through_borrow() {
+        let file = parse_source(
+            r#"fn f(step: &mut Step, port: Port) {
+                let out = match port {
+                    Port::Left => &mut step.to_right,
+                    Port::Right => &mut step.to_left,
+                };
+                *out = Some(1);
+            }"#,
+        );
+        let body = only_fn_body(&file);
+        match &body.stmts[1] {
+            Stmt::Expr(Expr::Assign { lhs, .. }) => match lhs.as_ref() {
+                Expr::Unary { op: '*', expr, .. } => {
+                    assert!(expr.is_path(&["out"]), "got {expr:?}");
+                }
+                other => panic!("expected deref lhs, got {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_let_and_while_let_bind_and_keep_scrutinee() {
+        let file = parse_source(
+            r#"fn f(q: Queue) {
+                if let Some(x) = q.pop() { use_it(x); }
+                while let Some((a, b)) = q.next_pair() { use_both(a, b); }
+            }"#,
+        );
+        let body = only_fn_body(&file);
+        match &body.stmts[0] {
+            Stmt::Expr(Expr::If { bound, cond, .. }) => {
+                assert_eq!(bound, &vec!["x"]);
+                assert!(
+                    matches!(cond.as_ref(), Expr::MethodCall { method, .. } if method == "pop")
+                );
+            }
+            other => panic!("expected if-let, got {other:?}"),
+        }
+        match &body.stmts[1] {
+            Stmt::Expr(Expr::While { bound, .. }) => assert_eq!(bound, &vec!["a", "b"]),
+            other => panic!("expected while-let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ranges_casts_try_and_turbofish_do_not_derail() {
+        let file = parse_source(
+            r#"fn f(n: usize) -> Result<u8, E> {
+                let total = (0..n).map(|i| i as u64).sum::<u64>();
+                let slice = &data[1..];
+                let v = Vec::<u8>::new();
+                let cfg = RingConfig::with_topology(inputs, topo)?;
+                Ok((total % 251) as u8)
+            }"#,
+        );
+        assert_eq!(fns(&file).len(), 1);
+        let body = only_fn_body(&file);
+        assert_eq!(body.stmts.len(), 5);
+    }
+
+    #[test]
+    fn parser_is_total_on_garbage() {
+        for src in [
+            "fn f( {{{",
+            "impl for {",
+            "match",
+            "}} )) ]]",
+            "fn g() { let = ; 1 + }",
+            "fn h() { x.((((( }",
+        ] {
+            let _ = parse_source(src); // must neither panic nor hang
+        }
+    }
+
+    #[test]
+    fn labels_and_loops() {
+        let file = parse_source(
+            r#"fn f() {
+                'outer: loop {
+                    for i in 0..3 { if i == 1 { break 'outer; } }
+                }
+            }"#,
+        );
+        assert_eq!(fns(&file), vec!["f"]);
+    }
+}

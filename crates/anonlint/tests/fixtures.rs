@@ -1,0 +1,114 @@
+//! Seeded-violation corpus: every lint has a fixture under
+//! `tests/fixtures/` that triggers exactly that lint and nothing else.
+//! The corpus doubles as a regression net for false positives — a fixture
+//! lighting up a *second* lint means an analysis got too eager.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use anonring_anonlint::{lint_source, Lint, Scope};
+
+/// `(fixture file, path to lint it as, scope, the one lint it seeds)`.
+/// The lint-as path matters: scope rules key off it (the lock-discipline
+/// fixture must present as a hub file so the hub's meter exemption and
+/// the critical-section analysis both apply).
+const CASES: &[(&str, &str, Scope, Lint)] = &[
+    (
+        "anonymity_breach.rs",
+        "crates/core/src/algorithms/fixture.rs",
+        Scope::Algorithms,
+        Lint::AnonymityBreach,
+    ),
+    (
+        "identity_taint.rs",
+        "crates/core/src/algorithms/fixture.rs",
+        Scope::Algorithms,
+        Lint::IdentityTaint,
+    ),
+    (
+        "unmetered_send.rs",
+        "crates/core/src/algorithms/fixture.rs",
+        Scope::Algorithms,
+        Lint::UnmeteredSend,
+    ),
+    (
+        "span_coverage.rs",
+        "crates/core/src/algorithms/fixture.rs",
+        Scope::Algorithms,
+        Lint::SpanCoverage,
+    ),
+    (
+        "span_dominance.rs",
+        "crates/core/src/algorithms/fixture.rs",
+        Scope::Algorithms,
+        Lint::SpanDominance,
+    ),
+    (
+        "no_unwrap.rs",
+        "crates/sim/src/fixture.rs",
+        Scope::Runtime,
+        Lint::NoUnwrapInRuntime,
+    ),
+    (
+        "forbid_unsafe.rs",
+        "crates/sim/src/fixture.rs",
+        Scope::Runtime,
+        Lint::ForbidUnsafe,
+    ),
+    (
+        "lock_discipline.rs",
+        "crates/net/src/hub_fixture.rs",
+        Scope::NetDriver,
+        Lint::LockDiscipline,
+    ),
+    (
+        "malformed_suppression.rs",
+        "crates/sim/src/fixture.rs",
+        Scope::Runtime,
+        Lint::MalformedSuppression,
+    ),
+    (
+        "stale_suppression.rs",
+        "crates/sim/src/fixture.rs",
+        Scope::Runtime,
+        Lint::StaleSuppression,
+    ),
+];
+
+fn read_fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).expect("fixture file readable")
+}
+
+#[test]
+fn every_fixture_triggers_exactly_its_lint() {
+    for (fixture, as_path, scope, lint) in CASES {
+        let findings = lint_source(as_path, &read_fixture(fixture), *scope);
+        assert!(
+            !findings.is_empty(),
+            "{fixture}: the seeded violation was not detected"
+        );
+        let fired: BTreeSet<&str> = findings.iter().map(|f| f.lint.name()).collect();
+        assert_eq!(
+            fired,
+            BTreeSet::from([lint.name()]),
+            "{fixture}: expected exactly `{}`, got {findings:#?}",
+            lint.name()
+        );
+        for f in &findings {
+            assert!(!f.snippet.is_empty(), "{fixture}: finding lost its snippet");
+        }
+    }
+}
+
+#[test]
+fn the_corpus_covers_every_lint() {
+    let covered: BTreeSet<&str> = CASES.iter().map(|(_, _, _, l)| l.name()).collect();
+    let all: BTreeSet<&str> = Lint::ALL.into_iter().map(Lint::name).collect();
+    assert_eq!(
+        covered, all,
+        "every lint in the catalog needs a seeded-violation fixture"
+    );
+}

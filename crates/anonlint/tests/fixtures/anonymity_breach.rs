@@ -1,0 +1,6 @@
+// Seeded violation: algorithm code naming a wiring accessor. The token
+// tier catches the name itself even though the result flows nowhere (so
+// the dataflow tier stays silent -- no sink is reached).
+pub fn peek(t: &RingTopology) -> u64 {
+    t.wiring_digest()
+}

@@ -1,0 +1,4 @@
+// Seeded violation: an unsafe block in workspace code.
+pub fn read_raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}

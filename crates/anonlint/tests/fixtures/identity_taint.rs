@@ -1,0 +1,8 @@
+// Seeded violation: a ring-algorithm variant that leaks its port label
+// through a local into a send payload. No denylisted name appears, so
+// only the dataflow tier can see it: `who` copies the `PortId` parameter
+// and rides out inside the message.
+pub fn step(&mut self, from: PortId) -> Step<Msg> {
+    let who = from;
+    Step::send(from, Msg::Claim(who)).in_span("claim", 0)
+}

@@ -1,0 +1,8 @@
+// Seeded violation: a hub meter write outside any lock-guard region. The
+// S21 invariant requires the meter, causal stamps and trace to advance
+// inside one critical section; this fn never takes the lock at all.
+impl Hub {
+    pub fn sneak(&self, bits: u64) {
+        self.inner.meter.record_send(bits);
+    }
+}

@@ -1,0 +1,5 @@
+// Seeded violation: a suppression with no `-- reason`.
+// anonlint: allow(no-unwrap-in-runtime)
+pub fn head(q: &mut VecDeque<u8>) -> Option<u8> {
+    q.pop_front()
+}

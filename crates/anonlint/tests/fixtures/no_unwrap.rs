@@ -1,0 +1,5 @@
+// Seeded violation: a bare unwrap on the runtime path, with no invariant
+// message and no justification.
+pub fn head(q: &mut VecDeque<u8>) -> u8 {
+    q.pop_front().unwrap()
+}

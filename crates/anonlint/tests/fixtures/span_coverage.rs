@@ -1,0 +1,7 @@
+// Seeded violation for the file-level span heuristic: the send
+// vocabulary appears (a fn *named* send_left) with no span anywhere.
+// The AST tier sees there is no send call site, so span-dominance stays
+// silent -- this fixture is exactly the gap between the two tiers.
+pub fn send_left(buf: &mut Vec<Msg>, m: Msg) {
+    buf.push(m);
+}

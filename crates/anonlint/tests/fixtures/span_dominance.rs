@@ -1,0 +1,10 @@
+// Seeded violation for the path-sensitive span check: the file stamps a
+// span (so the file-level span-coverage heuristic is satisfied), but the
+// second fn has a send site no span ever covers.
+pub fn covered(phase: u32) -> Step<Msg> {
+    Step::send_left(Msg::Probe).in_span("probe", phase)
+}
+
+pub fn bare() -> Step<Msg> {
+    Step::send_right(Msg::Probe)
+}

@@ -1,0 +1,6 @@
+// Seeded violation: a well-formed suppression whose lint no longer fires
+// on the lines it covers (the unwrap it once excused is gone).
+// anonlint: allow(no-unwrap-in-runtime) -- head checked by the caller
+pub fn head(q: &mut VecDeque<u8>) -> Option<u8> {
+    q.pop_front()
+}

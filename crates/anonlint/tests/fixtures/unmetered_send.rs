@@ -1,0 +1,5 @@
+// Seeded violation: algorithm code driving the raw fabric queue, which
+// bypasses the cost meter entirely.
+pub fn sneak(fabric: &mut LinkFabric<u8>, m: Msg) {
+    fabric.queues[0].push_back(m);
+}

@@ -1,18 +1,55 @@
 //! `lint` — run the anonlint model-invariant pass over the workspace.
 //!
 //! ```text
-//! lint [--root DIR] [--baseline FILE] [--write-baseline FILE]
+//! lint [--root DIR] [--baseline FILE] [--write-baseline FILE] [--json FILE]
 //! ```
 //!
 //! Exit codes: `0` clean (or fully grandfathered), `1` new findings,
 //! `2` usage/IO error. With `--baseline`, findings covered by the
 //! committed baseline are reported but do not fail the run; stale
 //! baseline entries (paid-off debt) fail the run so the file shrinks.
+//!
+//! `--json FILE` additionally writes one JSON object per finding (fields
+//! `lint`, `file`, `line`, `snippet`, `message`, `why`, `state` where
+//! state is `new` or `grandfathered`), one per line, for CI annotation
+//! tooling; `-` writes to stdout instead of the human format.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use anonring_anonlint::{lint_repo, Baseline};
+use anonring_anonlint::{lint_repo, Baseline, Finding};
+
+/// Escapes `s` as a JSON string body (std-only, no serializer crate).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One finding as a single-line JSON object.
+fn json_line(f: &Finding, state: &str) -> String {
+    format!(
+        "{{\"lint\":\"{}\",\"file\":\"{}\",\"line\":{},\"snippet\":\"{}\",\
+         \"message\":\"{}\",\"why\":\"{}\",\"state\":\"{}\"}}",
+        f.lint.name(),
+        json_escape(&f.file),
+        f.line,
+        json_escape(&f.snippet),
+        json_escape(&f.message),
+        json_escape(f.lint.why()),
+        state,
+    )
+}
 
 fn locate_repo_root() -> Option<PathBuf> {
     let mut dir = std::env::current_dir().ok()?;
@@ -30,6 +67,7 @@ fn run() -> Result<ExitCode, String> {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,8 +80,12 @@ fn run() -> Result<ExitCode, String> {
             "--root" => root = Some(path_arg("--root")?),
             "--baseline" => baseline_path = Some(path_arg("--baseline")?),
             "--write-baseline" => write_baseline = Some(path_arg("--write-baseline")?),
+            "--json" => json_out = Some(path_arg("--json")?),
             "--help" | "-h" => {
-                println!("usage: lint [--root DIR] [--baseline FILE] [--write-baseline FILE]");
+                println!(
+                    "usage: lint [--root DIR] [--baseline FILE] \
+                     [--write-baseline FILE] [--json FILE]"
+                );
                 return Ok(ExitCode::SUCCESS);
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -77,23 +119,47 @@ fn run() -> Result<ExitCode, String> {
     };
 
     let (fresh, grandfathered, stale) = baseline.diff(&findings);
-    for f in &grandfathered {
-        println!("{f} (grandfathered)");
-    }
-    for f in &fresh {
-        println!("{f}");
-    }
-    for (lint, file) in &stale {
-        println!("stale baseline entry: {lint}\t{file} (debt paid off — shrink the baseline)");
+
+    let json_to_stdout = json_out.as_deref() == Some(std::path::Path::new("-"));
+    if let Some(path) = &json_out {
+        let mut report = String::new();
+        for f in &grandfathered {
+            report.push_str(&json_line(f, "grandfathered"));
+            report.push('\n');
+        }
+        for f in &fresh {
+            report.push_str(&json_line(f, "new"));
+            report.push('\n');
+        }
+        if json_to_stdout {
+            print!("{report}");
+        } else {
+            std::fs::write(path, &report)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
     }
 
-    println!(
-        "lint: {} finding(s): {} new, {} grandfathered, {} stale baseline entr(y/ies)",
-        findings.len(),
-        fresh.len(),
-        grandfathered.len(),
-        stale.len()
-    );
+    if !json_to_stdout {
+        for f in &grandfathered {
+            println!("{f} (grandfathered)");
+        }
+        for f in &fresh {
+            println!("{f}");
+        }
+        for (lint, file) in &stale {
+            println!("stale baseline entry: {lint}\t{file} (debt paid off — shrink the baseline)");
+        }
+    }
+
+    if !json_to_stdout {
+        println!(
+            "lint: {} finding(s): {} new, {} grandfathered, {} stale baseline entr(y/ies)",
+            findings.len(),
+            fresh.len(),
+            grandfathered.len(),
+            stale.len()
+        );
+    }
     if fresh.is_empty() && stale.is_empty() {
         Ok(ExitCode::SUCCESS)
     } else {

@@ -123,11 +123,13 @@ pub fn compute_sync_general(
     // anonlint: allow(anonymity-breach) -- topology rewiring happens outside the ring, from per-processor orientation outputs
     let switched = config.topology().with_switched(orient_report.outputs());
     let switched_config = RingConfig::with_topology(config.inputs().to_vec(), switched)?;
+    // anonlint: allow(identity-taint) -- the driver dispatches on the rewired topology's orientation; no processor sees this branch
     let mut outcome = if switched_config.topology().is_oriented() {
         compute_sync(&switched_config, f)?
     } else {
         // Alternating outcome (even rings only): the §4.2.2
         // two-computation algorithm keeps the cost at O(n log n).
+        // anonlint: allow(identity-taint) -- driver-side sanity check of the rewiring invariant, outside any processor
         debug_assert!(switched_config.topology().is_quasi_oriented());
         let report = alternating::run(&switched_config)?;
         ComputeOutcome {
