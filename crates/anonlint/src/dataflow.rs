@@ -1619,15 +1619,18 @@ impl LockWalker {
     }
 }
 
-/// Whether the expression takes the hub lock (contains a `.lock()` or
-/// `.into_inner()` call — the latter is exclusive ownership, a critical
-/// section of one).
+/// Whether the expression takes the hub lock (contains a `.lock()`,
+/// `.try_lock()`, `.lock_timed(…)` or `.into_inner()` call — the last is
+/// exclusive ownership, a critical section of one; `lock_timed` is the
+/// S26 profiled acquisition, which returns the guard in a tuple).
 fn expr_takes_lock(e: &Expr) -> bool {
     match e {
         Expr::MethodCall {
             recv, method, args, ..
         } => {
             method == "lock"
+                || method == "try_lock"
+                || method == "lock_timed"
                 || method == "into_inner"
                 || expr_takes_lock(recv)
                 || args.iter().any(expr_takes_lock)
@@ -1975,6 +1978,32 @@ mod tests {
             r#"fn into_parts(self) -> (Meter, Vec<Ev>) {
                 let inner = self.inner.into_inner().expect("poisoned");
                 (inner.meter, inner.events)
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn profiled_lock_timed_acquisition_opens_a_guard_region() {
+        // The S26 hub returns (guard, hold-timer) as a tuple; the
+        // destructured binding must count as one guard region.
+        let f = locks(
+            r#"fn route_send(&self, time: u64, bits: u64) {
+                let (mut inner, _hold) = self.lock_timed(op);
+                inner.next_seq += 1;
+                inner.meter.record_send(time, bits);
+                inner.events.push(ev);
+            }"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn try_lock_acquisition_opens_a_guard_region() {
+        let f = locks(
+            r#"fn drain(&self) {
+                let Ok(mut inner) = self.inner.try_lock() else { return };
+                inner.events.push(ev);
             }"#,
         );
         assert!(f.is_empty(), "{f:?}");

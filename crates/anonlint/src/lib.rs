@@ -21,7 +21,7 @@
 //! | `span-coverage` | `core/src/algorithms` | every algorithm that sends stamps at least one telemetry `Span` |
 //! | `span-dominance` | `core/src/algorithms` | dataflow tier of span coverage: every *send site* is chained under `in_span`, preceded by a span establishment on all paths, or followed by one on some path through its function |
 //! | `no-unwrap-in-runtime` | `sim/src`, `net/src` | runtime code uses `expect` with an invariant message, never bare `unwrap` |
-//! | `lock-discipline` | `net/src/hub*` | the S21 invariant: every meter write, causal stamp and trace append in the hub happens inside one lock-guard region per function |
+//! | `lock-discipline` | `net/src/hub*`, `sim/src/profile*` | the S21 invariant: every meter write, causal stamp and trace append in the hub happens inside one lock-guard region per function; the S26 profiler module is held to the same rule so its probes can never grow an unguarded meter write |
 //! | `forbid-unsafe` | all | no `unsafe` token anywhere; crate roots carry `#![forbid(unsafe_code)]` |
 //! | `malformed-suppression` | all | every `anonlint: allow(…)` names a known lint and gives a `-- reason` |
 //! | `stale-suppression` | all | every suppression still suppresses something; a directive whose lint no longer fires on its lines is dead weight and is reported |
@@ -179,7 +179,8 @@ pub enum Scope {
     /// restricted surface.
     Algorithms,
     /// `crates/sim/src/**`: the runtime itself; `sim/src/runtime/` is the
-    /// sole owner of the raw send path.
+    /// sole owner of the raw send path, and the S26 profiler module
+    /// (`sim/src/profile*`) obeys the hub lock discipline.
     Runtime,
     /// `crates/net/src/**` plus the serving path in `bench`
     /// (`ringd.rs`, `load.rs`): the real-transport driver; its hub
@@ -205,6 +206,7 @@ impl Scope {
             Scope::Runtime => &[
                 Lint::UnmeteredSend,
                 Lint::NoUnwrapInRuntime,
+                Lint::LockDiscipline,
                 Lint::ForbidUnsafe,
             ],
             Scope::NetDriver => &[
@@ -368,7 +370,8 @@ fn check_ast_lints(
     findings: &mut Vec<Finding>,
 ) {
     let wants = |l: Lint| scope.lints().contains(&l);
-    let lock_applies = wants(Lint::LockDiscipline) && file.contains("/hub");
+    let lock_applies =
+        wants(Lint::LockDiscipline) && (file.contains("/hub") || file.contains("/profile"));
     if !wants(Lint::IdentityTaint) && !wants(Lint::SpanDominance) && !lock_applies {
         return;
     }

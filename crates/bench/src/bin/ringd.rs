@@ -23,6 +23,9 @@
 //!   jobs are queued (default 4096)
 //! - `--max-line-bytes N` — reject longer job lines with an `"error"`
 //!   line (default 1 MiB)
+//! - `--profile` — enable the S26 hot-path profiler; lock wait/hold,
+//!   queue-dwell and allocation series then carry live tallies in every
+//!   metrics scrape (they are present but zero-valued otherwise)
 //!
 //! A `{"type":"metrics"}` line on any stream answers with a live
 //! [`ServingMetrics`](anonring_bench::ringd::ServingMetrics) snapshot
@@ -73,6 +76,7 @@ fn parse_args() -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("--max-line-bytes: {e}"))?;
             }
+            "--profile" => anonring_sim::profile::set_enabled(true),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -110,7 +114,7 @@ fn main() -> ExitCode {
             eprintln!("ringd: {e}");
             eprintln!(
                 "usage: ringd [--workers N] [--record-dir DIR] [--socket PATH] [--log] \
-                 [--retries N] [--max-queue N] [--max-line-bytes N] < jobs.jsonl"
+                 [--retries N] [--max-queue N] [--max-line-bytes N] [--profile] < jobs.jsonl"
             );
             return ExitCode::from(2);
         }

@@ -6,13 +6,16 @@
 //! ringload sweep --rates R1,R2,... --jobs K [--seed S] [spec flags]
 //!                [--out BENCH_serving.json --revision L] [--wall]
 //! ringload soak  --jobs K [--rate R] [--seed S] [spec flags]
+//! ringload overhead --jobs K [--seed S] [spec flags] [--passes P]
+//!                [--max-degradation PCT] [--out overhead.md]
 //! ringload diff  <old.json> <new.json>
 //! ```
 //!
 //! Spec flags: `--n N` (ring size, default 3), `--algorithms a,b,c`
 //! (audit-table names, default `sync_and,async_input_dist,start_sync`),
 //! `--transport threads|tcp`, `--no-conformance`, `--workers W`,
-//! `--max-queue N`, `--retries N`.
+//! `--max-queue N`, `--retries N`, `--profile` (enable the S26 hot-path
+//! profiler for the run).
 //!
 //! `run`/`sweep` drive an in-process `ringd` worker pool — or, with
 //! `--socket PATH` (unix), a live external `ringd --socket` server, in
@@ -24,7 +27,11 @@
 //! opts the advisory wall-clock fields into the artifact. `soak`
 //! additionally asserts the serving invariants: bounded queue depth and
 //! a fully-drained resident set (no counter-derived memory growth).
-//! `diff` is the 0%-tolerance gate over two artifacts.
+//! `diff` is the 0%-tolerance gate over two artifacts. `overhead` runs
+//! the same full-speed load with the S26 profiler off and then on
+//! (best of `--passes`, default 3), prints the comparison, optionally
+//! writes it to `--out`, and fails if profiler-on achieved/s degrades
+//! by more than `--max-degradation` percent (default 5).
 
 use std::process::ExitCode;
 
@@ -86,6 +93,7 @@ struct Shared {
     out: Option<String>,
     revision: Option<String>,
     wall: bool,
+    profile: bool,
 }
 
 fn parse_shared(args: &mut Vec<String>) -> Result<Shared, String> {
@@ -125,14 +133,19 @@ fn parse_shared(args: &mut Vec<String>) -> Result<Shared, String> {
         retries: take_number(args, "--retries", 0u32)?,
         ..ServeOptions::default()
     };
-    Ok(Shared {
+    let shared = Shared {
         spec,
         options,
         socket: take_option(args, "--socket")?,
         out: take_option(args, "--out")?,
         revision: take_option(args, "--revision")?,
         wall: take_flag(args, "--wall"),
-    })
+        profile: take_flag(args, "--profile"),
+    };
+    if shared.profile {
+        anonring_sim::profile::set_enabled(true);
+    }
+    Ok(shared)
 }
 
 fn print_report(rate: u64, report: &LoadReport) {
@@ -431,6 +444,101 @@ fn cmd_soak(mut args: Vec<String>) -> Result<ExitCode, String> {
     })
 }
 
+/// Measures the S26 profiler's end-to-end cost: the same full-speed load
+/// with the profiler off and then on, best of `--passes` runs each,
+/// compared on achieved jobs/s. The deterministic fields must agree
+/// between the two modes (the profiler observes, it must not steer).
+fn cmd_overhead(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let max_degradation: f64 = take_number(&mut args, "--max-degradation", 5.0)?;
+    let passes: usize = take_number(&mut args, "--passes", 3)?;
+    let shared = parse_shared(&mut args)?;
+    reject_leftovers(&args)?;
+    if shared.socket.is_some() {
+        return Err("overhead drives the in-process pool (it toggles the profiler)".into());
+    }
+    let best_of = |enabled: bool| -> Result<LoadReport, String> {
+        anonring_sim::profile::set_enabled(enabled);
+        let mut best: Option<LoadReport> = None;
+        for _ in 0..passes.max(1) {
+            anonring_sim::profile::reset();
+            let report = run_load(&shared.spec, &shared.options)?;
+            if report.summary.failed > 0 {
+                return Err(format!(
+                    "overhead load failed {} job(s) with profiler {}",
+                    report.summary.failed,
+                    if enabled { "on" } else { "off" }
+                ));
+            }
+            if best
+                .as_ref()
+                .is_none_or(|b| report.achieved_per_s > b.achieved_per_s)
+            {
+                best = Some(report);
+            }
+        }
+        best.ok_or_else(|| "no overhead pass ran".to_string())
+    };
+    // One unmeasured warmup absorbs cold caches and thread spin-up.
+    anonring_sim::profile::set_enabled(false);
+    run_load(&shared.spec, &shared.options)?;
+    let off = best_of(false)?;
+    let on = best_of(true)?;
+    anonring_sim::profile::set_enabled(false);
+    if (off.messages, off.bits, &off.digest) != (on.messages, on.bits, &on.digest) {
+        return Err(format!(
+            "profiler changed the deterministic fields: off ({}, {}, {}) vs on ({}, {}, {})",
+            off.messages, off.bits, off.digest, on.messages, on.bits, on.digest
+        ));
+    }
+    let degradation = if off.achieved_per_s > on.achieved_per_s && off.achieved_per_s > 0 {
+        ((off.achieved_per_s - on.achieved_per_s) as f64 / off.achieved_per_s as f64) * 100.0
+    } else {
+        0.0
+    };
+    let verdict = if degradation <= max_degradation {
+        "PASS"
+    } else {
+        "FAIL"
+    };
+    let mut comparison = String::new();
+    comparison.push_str("# Profiler overhead: ringload best-of comparison\n\n");
+    comparison.push_str(&format!(
+        "{} jobs, seed {}, n {}, transport {:?}, best of {} pass(es) per mode\n\n",
+        shared.spec.jobs,
+        shared.spec.seed,
+        shared.spec.n,
+        shared.spec.transport,
+        passes.max(1)
+    ));
+    comparison.push_str("| profiler | jobs | ok | achieved/s | wall ms | messages | bits |\n");
+    comparison.push_str("|---|---|---|---|---|---|---|\n");
+    for (mode, report) in [("off", &off), ("on", &on)] {
+        comparison.push_str(&format!(
+            "| {mode} | {} | {} | {} | {} | {} | {} |\n",
+            report.summary.jobs,
+            report.summary.ok,
+            report.achieved_per_s,
+            report.wall_us / 1000,
+            report.messages,
+            report.bits
+        ));
+    }
+    comparison.push_str(&format!(
+        "\ndegradation: {degradation:.2}% of profiler-off achieved/s \
+         (budget {max_degradation:.2}%) -> {verdict}\n"
+    ));
+    print!("{comparison}");
+    if let Some(path) = &shared.out {
+        std::fs::write(path, &comparison).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(if verdict == "PASS" {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn cmd_diff(mut args: Vec<String>) -> Result<ExitCode, String> {
     if args.len() != 2 {
         return Err("diff needs exactly two artifact files: diff <old> <new>".into());
@@ -476,8 +584,9 @@ fn run() -> Result<ExitCode, String> {
     if args.is_empty() {
         return Err(
             "usage: ringload run --jobs K [--rate R] [--seed S] [spec flags] [--socket PATH] \
-             [--out FILE --revision L] [--wall] | ringload sweep --rates r1,r2,... --jobs K \
-             [...] | ringload soak --jobs K [...] | ringload diff <old> <new>"
+             [--out FILE --revision L] [--wall] [--profile] | ringload sweep --rates r1,r2,... \
+             --jobs K [...] | ringload soak --jobs K [...] | ringload overhead --jobs K [...] \
+             [--passes P] [--max-degradation PCT] | ringload diff <old> <new>"
                 .into(),
         );
     }
@@ -486,9 +595,10 @@ fn run() -> Result<ExitCode, String> {
         "run" => cmd_run(args),
         "sweep" => cmd_sweep(args),
         "soak" => cmd_soak(args),
+        "overhead" => cmd_overhead(args),
         "diff" => cmd_diff(args),
         other => Err(format!(
-            "unknown command {other:?} (run | sweep | soak | diff)"
+            "unknown command {other:?} (run | sweep | soak | overhead | diff)"
         )),
     }
 }

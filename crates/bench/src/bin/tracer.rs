@@ -5,9 +5,11 @@
 //! ```
 //!
 //! Sections (all by default): `summary` (totals and quantiles), `phases`
-//! (per-span message/bit counts), `profile` (per-cycle activity),
-//! `diagram` (the space-time diagram, reusing the live [`Trace`] renderer
-//! on the replayed sends).
+//! (per-span message/bit counts), `profile` (per-cycle activity — and,
+//! for `"engine":"net"` recordings with wall stamps, collapsed-stack
+//! wall-time attribution in `flamegraph.pl` input format plus a top-K
+//! wall-time sink table), `diagram` (the space-time diagram, reusing the
+//! live [`Trace`] renderer on the replayed sends).
 //!
 //! Two further sections replay the causal structure of version-2
 //! recordings and must be requested explicitly: `critical-path` (the
@@ -112,8 +114,8 @@ fn print_wall_latency(rec: &Recording) {
         return;
     }
     println!("\nwall latency (send -> deliver, microseconds):\n");
-    println!("| phase | deliveries | p50 | p95 | p99 | max |");
-    println!("|---|---|---|---|---|---|");
+    println!("| phase | deliveries | p50 | p95 | p99 | p999 | max |");
+    println!("|---|---|---|---|---|---|---|");
     for (phase, h) in &per_phase {
         let name = if phase.is_empty() {
             "(unspanned)"
@@ -121,11 +123,12 @@ fn print_wall_latency(rec: &Recording) {
             phase
         };
         println!(
-            "| {name} | {} | {:.3} | {:.3} | {:.3} | {} |",
+            "| {name} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} |",
             h.count,
             h.quantile(0.50),
             h.quantile(0.95),
             h.quantile(0.99),
+            h.quantile(0.999),
             h.max
         );
     }
@@ -151,20 +154,21 @@ fn print_quantiles(rec: &Recording) {
     if rows.iter().all(|(_, h)| h.count == 0) {
         return;
     }
-    println!("\n| distribution | count | max | mean | p50 | p95 | p99 |");
-    println!("|---|---|---|---|---|---|---|");
+    println!("\n| distribution | count | max | mean | p50 | p95 | p99 | p999 |");
+    println!("|---|---|---|---|---|---|---|---|");
     for (name, h) in rows {
         if h.count == 0 {
             continue;
         }
         println!(
-            "| {name} | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} |",
+            "| {name} | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |",
             h.count,
             h.max,
             h.mean(),
             h.quantile(0.50),
             h.quantile(0.95),
-            h.quantile(0.99)
+            h.quantile(0.99),
+            h.quantile(0.999)
         );
     }
 }
@@ -204,6 +208,89 @@ fn print_profile(rec: &Recording) {
     }
     if elided > 0 {
         println!("\n({elided} quiet cycles elided)");
+    }
+    println!();
+    print_collapsed_stacks(rec);
+}
+
+/// Wall-time attribution for real-time (`"engine":"net"`) recordings,
+/// rendered as collapsed stacks — `phase;algorithm;operation wall_us`,
+/// the input format of Brendan Gregg's `flamegraph.pl` — plus a top-K
+/// table of the biggest sinks. The wall stamps are monotone in file
+/// order (the hub stamps them inside its critical section), so each
+/// event is charged the wall time since the previous event: the deltas
+/// partition the run's busy span. Simulator recordings carry no wall
+/// stamps and skip this section; the markdown table rows elsewhere in
+/// the output end in `|`, which `flamegraph.pl` ignores, so the whole
+/// section can be piped in unfiltered.
+fn print_collapsed_stacks(rec: &Recording) {
+    if rec.engine != "net" {
+        return;
+    }
+    let mut send_phase: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+    // (phase, operation) -> (accumulated us, events); BTreeMap keys the
+    // stack lines deterministically.
+    let mut sinks: std::collections::BTreeMap<(String, &'static str), (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut prev: Option<u64> = None;
+    for event in &rec.events {
+        let (wall, phase, operation) = match event {
+            ReplayEvent::Send {
+                seq,
+                phase,
+                wall_us: Some(wall),
+                ..
+            } => {
+                let phase = phase.clone().unwrap_or_default();
+                send_phase.insert(*seq, phase.clone());
+                (*wall, phase, "send")
+            }
+            ReplayEvent::Deliver {
+                seq,
+                wall_us: Some(wall),
+                ..
+            } => (
+                *wall,
+                send_phase.get(seq).cloned().unwrap_or_default(),
+                "deliver",
+            ),
+            _ => continue,
+        };
+        let charged = wall.saturating_sub(prev.unwrap_or(wall));
+        prev = Some(wall);
+        let slot = sinks.entry((phase, operation)).or_insert((0, 0));
+        slot.0 += charged;
+        slot.1 += 1;
+    }
+    if sinks.is_empty() {
+        return;
+    }
+    let algorithm = if rec.label.is_empty() {
+        "(unlabelled)"
+    } else {
+        &rec.label
+    };
+    println!("collapsed stacks (pipe to flamegraph.pl):\n");
+    for ((phase, operation), (us, _)) in &sinks {
+        let phase = if phase.is_empty() {
+            "(unspanned)"
+        } else {
+            phase
+        };
+        println!("{phase};{algorithm};{operation} {us}");
+    }
+    let mut ranked: Vec<_> = sinks.iter().collect();
+    ranked.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.0.cmp(b.0)));
+    println!("\ntop wall-time sinks:\n");
+    println!("| rank | phase | operation | events | wall us |");
+    println!("|---|---|---|---|---|");
+    for (rank, ((phase, operation), (us, events))) in ranked.iter().take(8).enumerate() {
+        let phase = if phase.is_empty() {
+            "(unspanned)"
+        } else {
+            phase
+        };
+        println!("| {} | {phase} | {operation} | {events} | {us} |", rank + 1);
     }
     println!();
 }

@@ -263,6 +263,7 @@ pub struct ServingMetrics {
     busy_workers: AtomicU64,
     live_job_bytes: AtomicU64,
     live_job_bytes_peak: AtomicU64,
+    scrapes: AtomicU64,
     shards: Vec<Mutex<MetricsRegistry>>,
 }
 
@@ -288,6 +289,7 @@ impl ServingMetrics {
             busy_workers: AtomicU64::new(0),
             live_job_bytes: AtomicU64::new(0),
             live_job_bytes_peak: AtomicU64::new(0),
+            scrapes: AtomicU64::new(0),
             shards: (0..workers.max(1))
                 .map(|_| Mutex::new(MetricsRegistry::new()))
                 .collect(),
@@ -389,6 +391,7 @@ impl ServingMetrics {
             ("ringd_jobs_requeued_total", &self.requeued),
             ("ringd_recording_bytes_total", &self.recording_bytes),
             ("ringd_net_backpressure_waits_total", &self.net_backpressure),
+            ("ringd_metrics_scrapes_total", &self.scrapes),
         ];
         for (name, cell) in counters {
             reg.add_counter(MetricId::plain(name), cell.load(Ordering::Relaxed));
@@ -410,9 +413,16 @@ impl ServingMetrics {
             MetricId::plain("ringd_uptime_us"),
             i64::try_from(as_us(self.started.elapsed())).unwrap_or(i64::MAX),
         );
+        reg.set_gauge(
+            MetricId::plain("ringd_uptime_seconds"),
+            i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX),
+        );
         for shard in &self.shards {
             reg.merge(&shard.lock().expect("metrics shard poisoned"));
         }
+        // The S26 hot-path profile rides every scrape: zero-valued series
+        // when the profiler is off, live tallies when it is on.
+        reg.merge(&anonring_sim::profile::snapshot());
         reg
     }
 
@@ -422,6 +432,7 @@ impl ServingMetrics {
     /// is embedded verbatim (flattened to one line).
     #[must_use]
     pub fn response_line(&self, prometheus: bool) -> String {
+        self.scrapes.fetch_add(1, Ordering::Relaxed);
         let snapshot = self.snapshot();
         if prometheus {
             format!(

@@ -106,7 +106,7 @@ fn a_batch_streams_certified_results_and_replayable_recordings() {
         // per-phase send->deliver latency table.
         assert!(text.contains("wall latency"), "{id}: {text}");
         assert!(
-            text.contains("| phase | deliveries | p50 | p95 | p99 | max |"),
+            text.contains("| phase | deliveries | p50 | p95 | p99 | p999 | max |"),
             "{id}: {text}"
         );
     }
@@ -194,6 +194,29 @@ fn metrics_requests_are_answered_inline_in_both_formats() {
         "{stdout}"
     );
 
+    // The scrape counter sees its own request: the first answer reports 1.
+    assert!(
+        counters.iter().any(|c| {
+            c.get("name").and_then(Value::as_str) == Some("ringd_metrics_scrapes_total")
+                && c.get("value").and_then(Value::as_u64) == Some(1)
+        }),
+        "{stdout}"
+    );
+    // The S26 profiler series ride the same snapshot — present (if
+    // zero-valued) whether or not `--profile` is on.
+    let histograms = snapshot
+        .get("histograms")
+        .and_then(Value::as_array)
+        .expect("histograms array");
+    for name in ["hub_lock_wait_us", "hub_lock_hold_us", "queue_dwell_us"] {
+        assert!(
+            histograms
+                .iter()
+                .any(|h| h.get("name").and_then(Value::as_str) == Some(name)),
+            "missing {name:?} in:\n{stdout}"
+        );
+    }
+
     // Prometheus form: the exposition text is a JSON-escaped body.
     let body = metrics[1]
         .get("body")
@@ -205,7 +228,18 @@ fn metrics_requests_are_answered_inline_in_both_formats() {
     for needle in [
         "# TYPE ringd_jobs_accepted_total counter",
         "# TYPE ringd_queue_depth gauge",
+        "# TYPE ringd_uptime_seconds gauge",
+        "# TYPE ringd_metrics_scrapes_total counter",
+        "# TYPE hub_lock_wait_us histogram",
+        "# TYPE hub_lock_hold_us histogram",
+        "# TYPE hub_lock_section_us histogram",
+        "# TYPE queue_dwell_us histogram",
+        "# TYPE hub_lock_contention_total counter",
+        "# TYPE profile_enabled gauge",
         "ringd_jobs_accepted_total 1",
+        "ringd_metrics_scrapes_total 2",
+        "hub_lock_wait_us_bucket{op=\"send\",le=\"+Inf\"}",
+        "queue_dwell_us_bucket{queue=\"inbox\",port=\"3+\",le=\"+Inf\"}",
     ] {
         assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
     }

@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 use anonring_sim::runtime::{Observer, SendEvent, Span, TraceEvent};
-use anonring_sim::telemetry::FlightRecorder;
+use anonring_sim::telemetry::{FlightRecorder, Recording};
 use anonring_sim::PortId;
 
 fn scratch_dir(tag: &str) -> PathBuf {
@@ -102,11 +102,68 @@ fn tracer_summary_includes_the_quantile_table() {
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("| distribution | count | max | mean | p50 | p95 | p99 |"),
+        stdout.contains("| distribution | count | max | mean | p50 | p95 | p99 | p999 |"),
         "{stdout}"
     );
     assert!(stdout.contains("| message bits | 1 | 4 |"), "{stdout}");
     assert!(stdout.contains("| sends per cycle |"), "{stdout}");
+}
+
+#[test]
+fn tracer_profile_emits_collapsed_stacks_for_net_recordings() {
+    let dir = scratch_dir("tracer-collapsed");
+    let path = dir.join("net.jsonl");
+    let mut rec = FlightRecorder::new(3, "cli-test").with_engine("net");
+    rec.on_event(&TraceEvent::Send(SendEvent {
+        cycle: 1,
+        from: 0,
+        to: 1,
+        port: PortId::LEFT,
+        bits: 4,
+        seq: 0,
+        lamport: 1,
+        parent: None,
+        span: Some(Span::new("probe", 0)),
+    }));
+    rec.on_event(&TraceEvent::Deliver {
+        time: 1,
+        to: 1,
+        port: PortId::LEFT,
+        seq: 0,
+        dropped: false,
+    });
+    rec.on_event(&TraceEvent::Halt {
+        time: 2,
+        processor: 1,
+    });
+    let mut recording = Recording::parse_jsonl(&rec.to_jsonl()).expect("parse recording");
+    recording.attach_wall_stamps(&[10, 35, 40]);
+    std::fs::write(&path, recording.to_jsonl()).expect("write recording");
+    let out = tracer(&[path.to_str().expect("utf-8 path"), "profile"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("collapsed stacks (pipe to flamegraph.pl):"),
+        "{stdout}"
+    );
+    // First event anchors the wall clock (charged 0); the deliver at 35
+    // is charged the 25us since the send at 10. Frame order is
+    // phase;algorithm;operation — flamegraph.pl input.
+    assert!(stdout.contains("probe;cli-test;send 0"), "{stdout}");
+    assert!(stdout.contains("probe;cli-test;deliver 25"), "{stdout}");
+    assert!(stdout.contains("top wall-time sinks:"), "{stdout}");
+    assert!(
+        stdout.contains("| 1 | probe | deliver | 1 | 25 |"),
+        "{stdout}"
+    );
+
+    // Simulator recordings carry no wall stamps: no collapsed stacks.
+    let sim_path = dir.join("sim.jsonl");
+    std::fs::write(&sim_path, valid_recording()).expect("write recording");
+    let out = tracer(&[sim_path.to_str().expect("utf-8 path"), "profile"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("collapsed stacks"), "{stdout}");
 }
 
 #[test]

@@ -18,9 +18,10 @@
 //! enjoys by location.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
 use std::time::{Duration, Instant};
 
+use anonring_sim::profile;
 use anonring_sim::runtime::{CausalStamp, CostMeter, SendEvent, Span, TraceEvent};
 use anonring_sim::{PortId, Topology};
 
@@ -160,6 +161,29 @@ impl Hub {
         self.inner.lock().expect("hub lock poisoned")
     }
 
+    /// Like [`Hub::lock`], but wrapped in the S26 profiler probes: a
+    /// `try_lock` first (a miss counts as contention), acquire-wait
+    /// recorded per [`profile::HubOp`], and a [`profile::HoldTimer`]
+    /// the caller binds alongside the guard so the hold duration is
+    /// recorded right before the unlock. When the profiler is off this
+    /// is one relaxed atomic load on top of the plain lock.
+    fn lock_timed(&self, op: profile::HubOp) -> (MutexGuard<'_, HubInner>, profile::HoldTimer) {
+        if !profile::enabled() {
+            return (self.lock(), profile::HoldTimer::start(op));
+        }
+        let waited = profile::stamp();
+        let guard = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                profile::record_contention();
+                self.inner.lock().expect("hub lock poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("hub lock poisoned"),
+        };
+        profile::record_lock_wait(op, waited);
+        (guard, profile::HoldTimer::start(op))
+    }
+
     /// Meters one send by `from` on its local `port` and logs the
     /// [`TraceEvent::Send`]; returns the causal stamp the parcel carries.
     /// Seq assignment and event append happen atomically, so seqs appear
@@ -176,14 +200,19 @@ impl Hub {
         span: Option<Span>,
     ) -> CausalStamp {
         let end = self.wiring[from][crate::inbox::pidx(port)];
-        let mut inner = self.lock();
+        let (mut inner, _hold) = self.lock_timed(profile::HubOp::Send);
         let now = self.now_us();
+        let timer = profile::SectionTimer::begin(profile::HubSection::Stamp);
         let seq = inner.next_seq;
         inner.next_seq += 1;
+        inner.wall_stamps.push(now);
+        timer.finish();
+        let timer = profile::SectionTimer::begin(profile::HubSection::Meter);
         inner.in_flight += 1;
         inner.peak_in_flight = inner.peak_in_flight.max(inner.in_flight);
         inner.meter.record_send(time, bits);
-        inner.wall_stamps.push(now);
+        timer.finish();
+        let timer = profile::SectionTimer::begin(profile::HubSection::Trace);
         inner.events.push(TraceEvent::Send(SendEvent {
             cycle: time,
             from,
@@ -195,6 +224,7 @@ impl Hub {
             parent,
             span,
         }));
+        timer.finish();
         CausalStamp {
             seq,
             lamport,
@@ -205,13 +235,19 @@ impl Hub {
     /// Meters one delivery (or drop, when the receiver already halted) and
     /// logs the [`TraceEvent::Deliver`].
     pub(crate) fn deliver(&self, time: u64, to: usize, port: PortId, seq: u64, dropped: bool) {
-        let mut inner = self.lock();
+        let (mut inner, _hold) = self.lock_timed(profile::HubOp::Deliver);
         let now = self.now_us();
+        let timer = profile::SectionTimer::begin(profile::HubSection::Meter);
         inner.meter.record_delivery();
         if dropped {
             inner.meter.record_drop();
         }
+        inner.in_flight -= 1;
+        timer.finish();
+        let timer = profile::SectionTimer::begin(profile::HubSection::Stamp);
         inner.wall_stamps.push(now);
+        timer.finish();
+        let timer = profile::SectionTimer::begin(profile::HubSection::Trace);
         inner.events.push(TraceEvent::Deliver {
             time,
             to,
@@ -219,13 +255,13 @@ impl Hub {
             seq,
             dropped,
         });
-        inner.in_flight -= 1;
+        timer.finish();
         self.check_done(&mut inner);
     }
 
     /// Logs a processor's halt.
     pub(crate) fn halt(&self, processor: usize, time: u64) {
-        let mut inner = self.lock();
+        let (mut inner, _hold) = self.lock_timed(profile::HubOp::Halt);
         let now = self.now_us();
         inner.wall_stamps.push(now);
         inner.events.push(TraceEvent::Halt { time, processor });
@@ -405,5 +441,39 @@ mod tests {
         let outcome = h.await_outcome(Instant::now());
         assert!(outcome.cancelled && !outcome.done);
         assert!(h.is_over());
+    }
+
+    #[test]
+    fn lock_probes_tally_waits_holds_and_sections_when_profiling() {
+        let session = anonring_sim::profile::session();
+        let h = hub(2);
+        let s = h.route_send(0, PortId::RIGHT, 1, 1, 1, None, None);
+        h.deliver(1, 1, PortId::LEFT, s.seq, false);
+        h.halt(0, 0);
+        let reg = anonring_sim::profile::snapshot();
+        let count = |name: &'static str, labels: &[(&'static str, &str)]| {
+            let id = anonring_sim::telemetry::MetricId::with_labels(name, labels);
+            reg.histograms()
+                .find(|(got, _)| **got == id)
+                .map(|(_, histogram)| histogram.count)
+        };
+        assert_eq!(count("hub_lock_wait_us", &[("op", "send")]), Some(1));
+        assert_eq!(count("hub_lock_hold_us", &[("op", "send")]), Some(1));
+        assert_eq!(count("hub_lock_hold_us", &[("op", "deliver")]), Some(1));
+        assert_eq!(count("hub_lock_hold_us", &[("op", "halt")]), Some(1));
+        // Send and deliver each time all three sections.
+        assert_eq!(
+            count("hub_lock_section_us", &[("section", "meter")]),
+            Some(2)
+        );
+        assert_eq!(
+            count("hub_lock_section_us", &[("section", "stamp")]),
+            Some(2)
+        );
+        assert_eq!(
+            count("hub_lock_section_us", &[("section", "trace")]),
+            Some(2)
+        );
+        drop(session);
     }
 }

@@ -8,8 +8,9 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use anonring_sim::profile;
 use anonring_sim::runtime::CausalStamp;
 use anonring_sim::PortId;
 
@@ -32,6 +33,11 @@ pub(crate) fn pidx(port: PortId) -> usize {
 
 struct InboxState<M> {
     queues: Vec<VecDeque<Parcel<M>>>,
+    /// Enqueue wall stamps parallel to `queues`, populated only while
+    /// the S26 profiler is enabled; popped at drain time to record
+    /// per-port queue dwell. May run behind `queues` when the profiler
+    /// is toggled mid-run — drains clear both, so it self-heals.
+    stamps: Vec<VecDeque<Instant>>,
     capacity: usize,
     shutdown: bool,
 }
@@ -71,6 +77,7 @@ impl<M> Inbox<M> {
         Inbox {
             state: Mutex::new(InboxState {
                 queues: (0..ports).map(|_| VecDeque::new()).collect(),
+                stamps: (0..ports).map(|_| VecDeque::new()).collect(),
                 capacity: capacity.max(1),
                 shutdown: false,
             }),
@@ -92,6 +99,9 @@ impl<M> Inbox<M> {
             return PushOutcome::Full(parcel);
         }
         state.queues[pidx(port)].push_back(parcel);
+        if let Some(now) = profile::stamp() {
+            state.stamps[pidx(port)].push_back(now);
+        }
         drop(state);
         self.changed.notify_all();
         PushOutcome::Pushed
@@ -117,10 +127,18 @@ impl<M> Inbox<M> {
     pub(crate) fn drain_into(&self, staging: &mut [VecDeque<Parcel<M>>]) -> bool {
         let mut state = self.lock();
         let mut moved = false;
+        let record = profile::enabled();
         for (k, queue) in state.queues.iter_mut().enumerate() {
             if !queue.is_empty() {
                 moved = true;
                 staging[k].append(queue);
+            }
+        }
+        for (k, stamps) in state.stamps.iter_mut().enumerate() {
+            for enqueued in stamps.drain(..) {
+                if record {
+                    profile::record_queue_dwell(profile::QueueKind::Inbox, k, Some(enqueued));
+                }
             }
         }
         drop(state);
@@ -241,6 +259,31 @@ mod tests {
             inbox.wait_work(Duration::from_millis(1)),
             WorkOutcome::Closed
         );
+    }
+
+    #[test]
+    fn draining_records_queue_dwell_while_profiling() {
+        let session = anonring_sim::profile::session();
+        let inbox: Inbox<u8> = Inbox::new(2, 4);
+        for m in [1, 2] {
+            assert!(matches!(
+                inbox.try_push(PortId::RIGHT, parcel(m)),
+                PushOutcome::Pushed
+            ));
+        }
+        let mut staging: Vec<VecDeque<Parcel<u8>>> = vec![VecDeque::new(), VecDeque::new()];
+        assert!(inbox.drain_into(&mut staging));
+        let reg = anonring_sim::profile::snapshot();
+        let id = anonring_sim::telemetry::MetricId::with_labels(
+            "queue_dwell_us",
+            &[("queue", "inbox"), ("port", "1")],
+        );
+        let count = reg
+            .histograms()
+            .find(|(got, _)| **got == id)
+            .map(|(_, histogram)| histogram.count);
+        assert_eq!(count, Some(2), "one dwell sample per drained parcel");
+        drop(session);
     }
 
     #[test]

@@ -59,12 +59,17 @@ impl<M: Wire> SendPort<M> for TcpPort<M> {
         // Draining our own inbox before a potentially-blocking write keeps
         // the deadlock-breaking discipline of the in-process transport.
         relieve();
+        let frame_capacity = self.frame.capacity();
         self.frame.clear();
         parcel.time.encode(&mut self.frame);
         parcel.stamp.seq.encode(&mut self.frame);
         parcel.stamp.lamport.encode(&mut self.frame);
         parcel.stamp.parent.encode(&mut self.frame);
         parcel.msg.encode(&mut self.frame);
+        anonring_sim::profile::record_wire_encode(
+            self.frame.len() as u64 + 4,
+            self.frame.capacity() > frame_capacity,
+        );
         let len = u32::try_from(self.frame.len()).map_err(|_| {
             PushError::Io(format!("frame of {} bytes overflows u32", self.frame.len()))
         })?;
@@ -162,6 +167,7 @@ fn read_link<M: Wire>(
             Ok(parcel) => parcel,
             Err(e) => return fail(e.to_string()),
         };
+        anonring_sim::profile::record_wire_decode(len as u64 + 4);
         loop {
             match inbox.try_push(arrival, parcel) {
                 PushOutcome::Pushed => break,

@@ -158,12 +158,16 @@ impl Wire for Word {
     fn encode(&self, out: &mut Vec<u8>) {
         (self.len() as u64).encode(out);
         out.extend_from_slice(self.as_slice());
+        // The copy into the frame is the codec's per-message allocation
+        // cost the S26 profiler accounts (symbol bytes, not framing).
+        anonring_sim::profile::record_word_clone_bytes(self.len() as u64);
     }
 
     fn decode(input: &mut &[u8]) -> Result<Word, WireError> {
         let len = usize::try_from(u64::decode(input)?)
             .map_err(|_| WireError::new("word length overflows usize"))?;
         let symbols = take(input, len, "word symbols")?.to_vec();
+        anonring_sim::profile::record_word_clone_bytes(len as u64);
         Ok(Word::from_symbols(symbols))
     }
 }

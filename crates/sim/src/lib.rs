@@ -31,7 +31,10 @@
 //!   and therefore available for both models;
 //! * [`telemetry`] — the observability layer over the same stream: a
 //!   labelled metrics registry, per-phase span profiles, and a JSONL
-//!   flight recorder with offline replay.
+//!   flight recorder with offline replay;
+//! * [`profile`] — the hot-path profiler: lock wait/hold/section
+//!   histograms, queue-dwell quantiles and allocation counters, gated
+//!   behind one atomic and merged into the same metrics registry.
 //!
 //! ## Cost-model invariants
 //!
@@ -92,6 +95,7 @@ pub mod graph;
 pub mod message;
 pub mod neighborhood;
 pub mod port;
+pub mod profile;
 pub mod runtime;
 pub mod sync;
 pub mod synchronizer;

@@ -74,7 +74,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn bucket_index(value: u64) -> usize {
+    pub(crate) fn bucket_index(value: u64) -> usize {
         (64 - value.leading_zeros()) as usize
     }
 
@@ -116,6 +116,33 @@ impl Histogram {
             .filter(|&(_, &c)| c > 0)
             .map(|(i, &c)| (1u64.checked_shl(i as u32).unwrap_or(u64::MAX), c))
             .collect()
+    }
+
+    /// Rebuilds a histogram from already-tallied parts — the bridge the
+    /// lock-free profiler uses to turn its atomic bucket arrays into
+    /// registry histograms at snapshot time. `buckets[i]` must count the
+    /// observations [`Histogram::bucket_index`] would have routed to
+    /// bucket `i`; `count`/`sum`/`min`/`max` must describe the same
+    /// sample stream (an empty stream passes zeros).
+    #[must_use]
+    pub(crate) fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: Vec<u64>,
+    ) -> Histogram {
+        let mut buckets = buckets;
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        }
     }
 
     /// Folds `other` into `self` (count/sum add, min/max widen, buckets
@@ -224,6 +251,13 @@ impl MetricsRegistry {
     /// Records `value` into the histogram `id`, creating it when absent.
     pub fn observe(&mut self, id: MetricId, value: u64) {
         self.histograms.entry(id).or_default().observe(value);
+    }
+
+    /// Installs an already-built histogram under `id` (replacing any
+    /// previous one) — used by the profiler snapshot, which tallies in
+    /// atomic buckets and materializes [`Histogram`]s only at scrape time.
+    pub(crate) fn put_histogram(&mut self, id: MetricId, histogram: Histogram) {
+        self.histograms.insert(id, histogram);
     }
 
     /// Reads a histogram, if any observation was recorded.
@@ -404,7 +438,7 @@ impl MetricsRegistry {
             let mut body = format!(
                 "\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
                  \"mean\": {:.3}, \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \
-                 \"buckets\": [",
+                 \"p999\": {:.3}, \"buckets\": [",
                 h.count,
                 h.sum,
                 h.min,
@@ -412,7 +446,8 @@ impl MetricsRegistry {
                 h.mean(),
                 h.quantile(0.50),
                 h.quantile(0.95),
-                h.quantile(0.99)
+                h.quantile(0.99),
+                h.quantile(0.999)
             );
             for (j, (le, c)) in h.buckets().iter().enumerate() {
                 let _ = write!(
@@ -574,14 +609,35 @@ mod tests {
     #[test]
     fn json_snapshot_carries_quantiles() {
         let mut reg = MetricsRegistry::new();
+        let mut h = Histogram::default();
         for v in 1..=100u64 {
             reg.observe(MetricId::plain("message_bits"), v);
+            h.observe(v);
         }
         let json = reg.to_json();
-        assert!(
-            json.contains("\"mean\": 50.500, \"p50\": 50.500, \"p95\": 95.050, \"p99\": 99.010"),
-            "{json}"
+        let expected = format!(
+            "\"mean\": 50.500, \"p50\": 50.500, \"p95\": 95.050, \"p99\": 99.010, \
+             \"p999\": {:.3}",
+            h.quantile(0.999)
         );
+        assert!(json.contains(&expected), "{json}");
+        // The tail quantile sits between p99 and the max.
+        assert!(h.quantile(0.999) >= h.quantile(0.99));
+        assert!(h.quantile(0.999) <= h.max as f64);
+    }
+
+    #[test]
+    fn from_parts_round_trips_an_observed_histogram() {
+        let mut h = Histogram::default();
+        let mut raw = vec![0u64; 65];
+        for v in [0u64, 1, 3, 8, 1000, u64::MAX] {
+            h.observe(v);
+            raw[Histogram::bucket_index(v)] += 1;
+        }
+        let rebuilt = Histogram::from_parts(h.count, h.sum, h.min, h.max, raw);
+        assert_eq!(rebuilt, h);
+        let empty = Histogram::from_parts(0, 0, 0, 0, vec![0u64; 65]);
+        assert_eq!(empty, Histogram::default());
     }
 
     #[test]
