@@ -887,6 +887,17 @@ pub const SCOPE_TABLE: &[ScopeEntry] = &[
         path: PathMatch::Prefix("crates/sim/src"),
         scope: Scope::Runtime,
     },
+    // The S27 cluster subsystem, named explicitly ahead of the net
+    // prefix row: these files realise cross-shard wiring and must carry
+    // the net-driver invariants even if the prefix row is ever narrowed.
+    ScopeEntry {
+        path: PathMatch::File("crates/net/src/cluster.rs"),
+        scope: Scope::NetDriver,
+    },
+    ScopeEntry {
+        path: PathMatch::File("crates/net/src/manifest.rs"),
+        scope: Scope::NetDriver,
+    },
     ScopeEntry {
         path: PathMatch::Prefix("crates/net/src"),
         scope: Scope::NetDriver,
@@ -897,6 +908,10 @@ pub const SCOPE_TABLE: &[ScopeEntry] = &[
     },
     ScopeEntry {
         path: PathMatch::File("crates/bench/src/load.rs"),
+        scope: Scope::NetDriver,
+    },
+    ScopeEntry {
+        path: PathMatch::File("crates/bench/src/cluster.rs"),
         scope: Scope::NetDriver,
     },
 ];

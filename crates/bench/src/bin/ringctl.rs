@@ -1,0 +1,141 @@
+//! `ringctl` — launch a loopback `ringd` cluster and certify the merge.
+//!
+//! ```text
+//! cargo run --release -p anonring-bench --bin ringctl -- \
+//!     --algorithm sync_and --n 6 --shards 3 --dir /tmp/cluster
+//! ```
+//!
+//! Builds a cluster manifest (driver-default inputs, freshly reserved
+//! loopback ports, processors tiled evenly), writes it to
+//! `DIR/manifest.json`, launches one `ringd --cluster` subprocess per
+//! shard, waits for all of them, merges the per-shard recordings into
+//! the canonical recording (`DIR/merged.jsonl`), and certifies the run
+//! against the asynchronous simulator: outputs, total messages and total
+//! bits must agree, and the merged recording must pass the v2 causal
+//! check. Prints one JSON summary line; exits nonzero on any failure.
+//!
+//! Flags:
+//!
+//! - `--algorithm NAME` — audit-table algorithm name (required)
+//! - `--n N` — ring size (required, ≥ 2)
+//! - `--shards M` — cluster size (default 2; `M ≤ N`)
+//! - `--seed S` — delivery-jitter seed (default 0)
+//! - `--capacity C` — per-link inbox capacity (default 8)
+//! - `--max-delay-us D` — delivery-jitter bound (default 0)
+//! - `--timeout-ms T` — cluster-wide deadline (default 30000)
+//! - `--dir DIR` — working directory for manifest + recordings
+//!   (required)
+//! - `--ringd PATH` — shard driver binary (default: `ringd` next to
+//!   this executable)
+//! - `--label TEXT` — manifest label (default `ringctl`)
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use anonring_bench::cluster::{build_manifest, launch_and_certify, sibling_ringd, ClusterConfig};
+use anonring_bench::json::json_escape;
+use anonring_core::algorithms::driver::Audited;
+
+struct Cli {
+    config: ClusterConfig,
+    dir: PathBuf,
+    ringd: PathBuf,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut config = ClusterConfig::default();
+    let mut algorithm: Option<Audited> = None;
+    let mut n: Option<usize> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut ringd: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parsed = |flag: &str, raw: String| -> Result<u64, String> {
+            raw.parse().map_err(|e| format!("{flag}: {e}"))
+        };
+        match arg.as_str() {
+            "--algorithm" => {
+                let name = value("--algorithm")?;
+                algorithm = Some(Audited::from_name(&name).ok_or_else(|| {
+                    format!("unknown algorithm {name:?} (audit-table names only)")
+                })?);
+            }
+            "--n" => n = Some(parsed("--n", value("--n")?)? as usize),
+            "--shards" => config.shards = parsed("--shards", value("--shards")?)? as usize,
+            "--seed" => config.seed = parsed("--seed", value("--seed")?)?,
+            "--capacity" => {
+                config.capacity = parsed("--capacity", value("--capacity")?)? as usize;
+            }
+            "--max-delay-us" => {
+                config.max_delay_us = parsed("--max-delay-us", value("--max-delay-us")?)?;
+            }
+            "--timeout-ms" => {
+                config.timeout_ms = parsed("--timeout-ms", value("--timeout-ms")?)?;
+            }
+            "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+            "--ringd" => ringd = Some(PathBuf::from(value("--ringd")?)),
+            "--label" => config.label = value("--label")?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    config.algorithm = algorithm.ok_or("missing --algorithm")?;
+    config.n = n.ok_or("missing --n")?;
+    let dir = dir.ok_or("missing --dir")?;
+    Ok(Cli {
+        config,
+        dir,
+        ringd: ringd.unwrap_or_else(sibling_ringd),
+    })
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("ringctl: {e}");
+            eprintln!(
+                "usage: ringctl --algorithm NAME --n N --dir DIR [--shards M] [--seed S] \
+                 [--capacity C] [--max-delay-us D] [--timeout-ms T] [--ringd PATH] [--label TEXT]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let manifest = match build_manifest(&cli.config) {
+        Ok(manifest) => manifest,
+        Err(e) => {
+            eprintln!("ringctl: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match launch_and_certify(&manifest, &cli.ringd, &cli.dir) {
+        Ok(certified) => {
+            let mut outputs = String::from("[");
+            for (i, output) in certified.outputs.iter().enumerate() {
+                if i > 0 {
+                    outputs.push(',');
+                }
+                outputs.push('"');
+                outputs.push_str(&json_escape(output));
+                outputs.push('"');
+            }
+            outputs.push(']');
+            println!(
+                "{{\"type\":\"cluster\",\"algorithm\":\"{}\",\"n\":{},\"shards\":{},\
+                 \"verdict\":\"certified\",\"messages\":{},\"bits\":{},\"outputs\":{outputs},\
+                 \"merged\":\"{}\"}}",
+                cli.config.algorithm.name(),
+                cli.config.n,
+                cli.config.shards,
+                certified.messages,
+                certified.bits,
+                json_escape(&cli.dir.join("merged.jsonl").display().to_string()),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ringctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

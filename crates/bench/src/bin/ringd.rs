@@ -31,28 +31,59 @@
 //! [`ServingMetrics`](anonring_bench::ringd::ServingMetrics) snapshot
 //! (add `"format":"prometheus"` for the text exposition).
 //!
+//! ## Cluster mode (S27)
+//!
+//! ```text
+//! ringd --cluster MANIFEST --shard K [--record PATH]
+//! ```
+//!
+//! Runs one shard of a multi-host cluster job instead of serving a
+//! batch: reads the shared manifest, owns the manifest's shard `K`,
+//! establishes the cross-shard links (handshaked TCP), runs the owned
+//! processors to the coordinated verdict, writes the per-shard v2
+//! recording to `PATH`, and prints one shard result line. `ringctl`
+//! launches one such process per shard and merges the recordings.
+//!
 //! Exits nonzero if any job in the (stdin) batch failed.
 
 use std::io::{BufReader, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use anonring_bench::cluster::shard_result_line;
 use anonring_bench::ringd::{serve, ServeOptions};
+use anonring_net::cluster::run_shard;
+use anonring_net::ClusterManifest;
 
 struct Cli {
     options: ServeOptions,
     socket: Option<PathBuf>,
+    cluster: Option<PathBuf>,
+    shard: Option<u64>,
+    record: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         options: ServeOptions::default(),
         socket: None,
+        cluster: None,
+        shard: None,
+        record: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
         match arg.as_str() {
+            "--cluster" => cli.cluster = Some(PathBuf::from(value("--cluster")?)),
+            "--shard" => {
+                cli.shard = Some(
+                    value("--shard")?
+                        .parse()
+                        .map_err(|e| format!("--shard: {e}"))?,
+                );
+            }
+            "--record" => cli.record = Some(PathBuf::from(value("--record")?)),
             "--workers" => {
                 cli.options.workers = value("--workers")?
                     .parse()
@@ -107,6 +138,45 @@ fn serve_socket(_path: &std::path::Path, _options: &ServeOptions) -> std::io::Re
     Err(std::io::Error::other("--socket requires a unix platform"))
 }
 
+/// `ringd --cluster <manifest> --shard K [--record PATH]`: run one shard
+/// of a cluster job to completion, write the per-shard recording, print
+/// the shard result line.
+fn run_cluster_shard(
+    manifest: &std::path::Path,
+    shard: u64,
+    record: Option<&std::path::Path>,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(manifest) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("ringd: read {}: {e}", manifest.display());
+            return ExitCode::from(2);
+        }
+    };
+    let manifest = match ClusterManifest::parse(&text) {
+        Ok(manifest) => manifest,
+        Err(e) => {
+            eprintln!("ringd: {}: {e}", manifest.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run_shard(&manifest, shard) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("ringd: shard {shard}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = record {
+        if let Err(e) = std::fs::write(path, report.recording.to_jsonl()) {
+            eprintln!("ringd: write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("{}", shard_result_line(&report));
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let cli = match parse_args() {
         Ok(cli) => cli,
@@ -114,11 +184,26 @@ fn main() -> ExitCode {
             eprintln!("ringd: {e}");
             eprintln!(
                 "usage: ringd [--workers N] [--record-dir DIR] [--socket PATH] [--log] \
-                 [--retries N] [--max-queue N] [--max-line-bytes N] [--profile] < jobs.jsonl"
+                 [--retries N] [--max-queue N] [--max-line-bytes N] [--profile] < jobs.jsonl\n\
+                        ringd --cluster MANIFEST --shard K [--record PATH]"
             );
             return ExitCode::from(2);
         }
     };
+    match (&cli.cluster, cli.shard) {
+        (Some(manifest), Some(shard)) => {
+            return run_cluster_shard(manifest, shard, cli.record.as_deref());
+        }
+        (Some(_), None) | (None, Some(_)) => {
+            eprintln!("ringd: --cluster and --shard go together");
+            return ExitCode::from(2);
+        }
+        (None, None) if cli.record.is_some() => {
+            eprintln!("ringd: --record is cluster-mode only (use --record-dir when serving)");
+            return ExitCode::from(2);
+        }
+        (None, None) => {}
+    }
     if let Some(path) = &cli.socket {
         return match serve_socket(path, &cli.options) {
             Ok(()) => ExitCode::SUCCESS,

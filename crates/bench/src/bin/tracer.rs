@@ -17,11 +17,21 @@
 //! and `dag` (the full causal DAG as Graphviz DOT, critical path
 //! highlighted). Both fail with a diagnostic on version-1 recordings,
 //! which carry no causal stamps.
+//!
+//! ```text
+//! tracer merge [--out PATH] <shard.jsonl>...
+//! ```
+//!
+//! Interleaves the per-shard recordings of one cluster run (S27) into
+//! the canonical merged recording — sends ordered by their Lamport
+//! stamps, seqs renumbered, cross-shard references resolved — written to
+//! `--out` or stdout. Refuses incomplete shard sets with a verdict
+//! naming the absent shard.
 
 use std::process::ExitCode;
 
 use anonring_sim::runtime::SendEvent;
-use anonring_sim::telemetry::{CausalDag, CriticalPath, Histogram, PathWeight};
+use anonring_sim::telemetry::{merge, CausalDag, CriticalPath, Histogram, PathWeight};
 use anonring_sim::telemetry::{Recording, ReplayEvent};
 use anonring_sim::trace::Trace;
 
@@ -374,15 +384,57 @@ fn print_dag(dag: &CausalDag) {
     println!("{}", dag.to_dot(path.as_ref()));
 }
 
+/// `tracer merge [--out PATH] <shard.jsonl>...` — interleave per-shard
+/// cluster recordings into the canonical merged recording (S27).
+fn run_merge(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut out: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            out = Some(args.next().ok_or("--out needs a value")?);
+        } else {
+            inputs.push(arg);
+        }
+    }
+    if inputs.is_empty() {
+        return Err("usage: tracer merge [--out PATH] <shard.jsonl>...".to_string());
+    }
+    let recordings = inputs
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            Recording::parse_jsonl(&text).map_err(|e| format!("parse {path}: {e}"))
+        })
+        .collect::<Result<Vec<Recording>, String>>()?;
+    let merged = merge::merge(&recordings).map_err(|e| e.to_string())?;
+    let rendered = merged.to_jsonl();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!(
+                "tracer: merged {} shards into {path} ({} events)",
+                recordings.len(),
+                merged.events.len()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let path = args.next().ok_or_else(|| {
         format!(
-            "usage: tracer <recording.jsonl> [{}|{}]",
+            "usage: tracer <recording.jsonl> [{}|{}]\n       tracer merge [--out PATH] <shard.jsonl>...",
             DEFAULT_SECTIONS.join("|"),
             EXPLICIT_SECTIONS.join("|")
         )
     })?;
+    if path == "merge" {
+        return run_merge(args);
+    }
     let sections: Vec<String> = args.collect();
     for s in &sections {
         let known = |name: &&str| *name == s.as_str();

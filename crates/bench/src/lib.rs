@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod arbitrary;
 pub mod audit;
+pub mod cluster;
 pub mod dynamic;
 pub mod json;
 pub mod labeled;

@@ -265,6 +265,7 @@ pub struct ServingMetrics {
     live_job_bytes_peak: AtomicU64,
     scrapes: AtomicU64,
     shards: Vec<Mutex<MetricsRegistry>>,
+    cluster: Option<(u64, u64)>,
 }
 
 fn as_us(elapsed: Duration) -> u64 {
@@ -293,7 +294,18 @@ impl ServingMetrics {
             shards: (0..workers.max(1))
                 .map(|_| Mutex::new(MetricsRegistry::new()))
                 .collect(),
+            cluster: None,
         }
+    }
+
+    /// Stamps the registry with a cluster identity: snapshots gain the
+    /// `ringd_shard_id` / `ringd_cluster_size` gauges and every series is
+    /// labelled `shard="<id>"`, so the expositions of all shards of one
+    /// cluster can feed a single Prometheus with no series collisions.
+    #[must_use]
+    pub fn with_cluster(mut self, shard: u64, shards: u64) -> ServingMetrics {
+        self.cluster = Some((shard, shards));
+        self
     }
 
     fn shard(&self, worker: usize) -> &Mutex<MetricsRegistry> {
@@ -423,6 +435,17 @@ impl ServingMetrics {
         // The S26 hot-path profile rides every scrape: zero-valued series
         // when the profiler is off, live tallies when it is on.
         reg.merge(&anonring_sim::profile::snapshot());
+        if let Some((shard, shards)) = self.cluster {
+            reg.set_gauge(
+                MetricId::plain("ringd_shard_id"),
+                i64::try_from(shard).unwrap_or(i64::MAX),
+            );
+            reg.set_gauge(
+                MetricId::plain("ringd_cluster_size"),
+                i64::try_from(shards).unwrap_or(i64::MAX),
+            );
+            reg = reg.labelled("shard", &shard.to_string());
+        }
         reg
     }
 

@@ -4,7 +4,10 @@
 //! metric name regardless of label-set fan-out, and label values must
 //! survive escaping.
 
+use std::collections::HashSet;
+
 use anonring_bench::json::Value;
+use anonring_bench::ringd::ServingMetrics;
 use anonring_sim::telemetry::{MetricId, MetricsRegistry};
 
 /// A registry with every metric kind and multi-label-set names, merged
@@ -188,4 +191,57 @@ fn json_and_text_expositions_cover_the_same_series() {
         text.contains(&format!("latency_us_count{{phase=\"probe\"}} {count}")),
         "{text}"
     );
+}
+
+/// Cluster-stamped registries (S27): the shard-identity gauges appear
+/// and every series carries the `shard` label, so the expositions of two
+/// shards of one cluster never collide on a Prometheus series.
+#[test]
+fn cluster_scrapes_are_shard_labelled_and_collision_free() {
+    let shard0 = ServingMetrics::new(2).with_cluster(0, 3);
+    let shard2 = ServingMetrics::new(2).with_cluster(2, 3);
+
+    let snap0 = shard0.snapshot();
+    assert_eq!(
+        snap0.gauge(&MetricId::with_labels("ringd_shard_id", &[("shard", "0")])),
+        Some(0),
+        "shard-id gauge, shard-labelled like everything else"
+    );
+    assert_eq!(
+        snap0.gauge(&MetricId::with_labels(
+            "ringd_cluster_size",
+            &[("shard", "0")]
+        )),
+        Some(3)
+    );
+    for (id, _) in snap0.counters() {
+        assert!(
+            id.labels.iter().any(|(k, v)| *k == "shard" && v == "0"),
+            "unlabelled counter {id} in a cluster scrape"
+        );
+    }
+
+    // Sample lines (name + label set) from the two shards are disjoint:
+    // a single Prometheus can scrape both with no series collisions.
+    let series = |reg: &MetricsRegistry| -> HashSet<String> {
+        reg.to_prometheus()
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .filter_map(|l| {
+                let cut = l.rfind(' ')?;
+                Some(l[..cut].to_string())
+            })
+            .collect()
+    };
+    let (a, b) = (series(&snap0), series(&shard2.snapshot()));
+    assert!(!a.is_empty() && !b.is_empty());
+    let collisions: Vec<_> = a.intersection(&b).collect();
+    assert!(collisions.is_empty(), "colliding series: {collisions:?}");
+
+    // Un-clustered registries are unchanged: no shard gauges, no labels.
+    let plain = ServingMetrics::new(2).snapshot();
+    assert_eq!(plain.gauge(&MetricId::plain("ringd_shard_id")), None);
+    assert!(plain
+        .gauges()
+        .all(|(id, _)| id.labels.iter().all(|(k, _)| *k != "shard")));
 }

@@ -222,9 +222,12 @@ fn lint_cli_flags_a_seeded_violation_and_passes_a_clean_tree() {
     std::fs::create_dir_all(&sim).expect("mkdir");
     std::fs::create_dir_all(&net).expect("mkdir");
     std::fs::create_dir_all(&bench).expect("mkdir");
-    // The serving path is linted as two single-file roots.
+    // The serving and cluster paths are linted as single-file roots.
     std::fs::write(bench.join("ringd.rs"), "fn quiet() {}\n").expect("write fixture");
     std::fs::write(bench.join("load.rs"), "fn quiet() {}\n").expect("write fixture");
+    std::fs::write(bench.join("cluster.rs"), "fn quiet() {}\n").expect("write fixture");
+    std::fs::write(net.join("cluster.rs"), "fn quiet() {}\n").expect("write fixture");
+    std::fs::write(net.join("manifest.rs"), "fn quiet() {}\n").expect("write fixture");
     std::fs::write(
         algos.join("bad.rs"),
         "fn make(config: &C) { E::from_config(config, |i, v| P::new(i, v)); }\n",

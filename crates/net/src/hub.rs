@@ -1,14 +1,24 @@
-//! The metering hub: one lock, one meter, one event log.
+//! The metering hub: one lock, one meter, one event log — per shard.
 //!
 //! The simulators funnel every send through `LinkFabric::send`, so the
 //! message, bit and per-epoch numbers have exactly one definition. The real
-//! transport keeps that property with the [`Hub`]: every worker thread
-//! reports each send, delivery and halt to the hub, which assigns the
-//! global send sequence number, meters the cost, and appends the
+//! transport keeps that property with the [`ShardHub`]: every worker thread
+//! reports each send, delivery and halt to its hub, which assigns the
+//! send sequence number, meters the cost, and appends the
 //! [`TraceEvent`] — all inside a single critical section per event, so the
 //! recorded stream satisfies the same causal-ordering invariants
 //! (seq-in-file-order, parent-before-child, send-before-deliver) the
 //! flight-recorder checker enforces on simulator recordings.
+//!
+//! A single-process run uses one hub for the whole ring (`ShardHub::new`,
+//! shard 0, self-terminating). A cluster run (S27) gives each `ringd
+//! --cluster` process its own hub over the *same* full-topology wiring:
+//! seqs carry the shard id in their high bits
+//! ([`anonring_sim::telemetry::SHARD_SEQ_SHIFT`]) so they stay globally
+//! unique without cross-host coordination, and termination moves to the
+//! cluster control plane — a coordinated hub never declares itself done;
+//! it exposes monotone sent/delivered/halted counters and accepts an
+//! external verdict ([`ShardHub::finish`]) from the coordinator instead.
 //!
 //! The hub also owns the topology wiring. Workers speak only in terms of
 //! their local ports; the hub routes a send to the destination inbox and
@@ -44,9 +54,16 @@ struct HubInner {
     /// always belongs to event `k` and stamps are monotone in file order.
     wall_stamps: Vec<u64>,
     next_seq: u64,
-    /// Sends routed but not yet delivered (or dropped).
-    in_flight: u64,
-    /// High-water mark of `in_flight` over the run.
+    /// Sends routed by this shard, monotone. `sent - delivered` is the
+    /// in-flight count only in single-process mode; a coordinated shard
+    /// delivers remote-origin sends it never routed, so the two counters
+    /// are reported to the control plane separately and only their
+    /// *cluster-wide* difference means "in flight".
+    sent: u64,
+    /// Deliveries (and drops) recorded by this shard, monotone.
+    delivered: u64,
+    /// High-water mark of `sent - delivered` over the run (saturating, so
+    /// a remote-heavy shard reports 0 rather than wrapping).
     peak_in_flight: u64,
     /// Processors that have halted.
     halted: usize,
@@ -75,8 +92,17 @@ pub(crate) struct Outcome {
 }
 
 /// Shared run coordinator: wiring, meter, trace log and termination state.
-pub(crate) struct Hub {
+/// One per process — the whole ring in single-process mode, one shard of
+/// it in cluster mode.
+pub(crate) struct ShardHub {
     n: usize,
+    /// High bits OR-ed onto every assigned seq (shard id shifted by
+    /// `SHARD_SEQ_SHIFT`); 0 in single-process mode.
+    seq_tag: u64,
+    /// True when termination is decided by the cluster control plane:
+    /// `enter_wait`/`check_done` never self-terminate and the run ends
+    /// only via [`ShardHub::finish`] or [`ShardHub::cancel`].
+    coordinated: bool,
     /// `wiring[from][pidx(local port)]` — fixed for the run.
     wiring: Vec<Vec<LinkEnd>>,
     inner: Mutex<HubInner>,
@@ -100,9 +126,20 @@ pub(crate) struct HubStats {
     pub backpressure_waits: u64,
 }
 
-impl Hub {
-    /// Builds the hub for `topology`, resolving every directed link once.
-    pub(crate) fn new(topology: &dyn Topology) -> Hub {
+impl ShardHub {
+    /// Builds the single-process hub for `topology` (shard 0 of 1,
+    /// self-terminating), resolving every directed link once.
+    pub(crate) fn new(topology: &dyn Topology) -> ShardHub {
+        ShardHub::with_shard(topology, 0, false)
+    }
+
+    /// Builds the hub for one cluster shard: seqs are tagged with
+    /// `shard`'s id and termination is left to the control plane.
+    pub(crate) fn sharded(topology: &dyn Topology, shard: u64) -> ShardHub {
+        ShardHub::with_shard(topology, shard, true)
+    }
+
+    fn with_shard(topology: &dyn Topology, shard: u64, coordinated: bool) -> ShardHub {
         let wiring = (0..topology.n())
             .map(|i| {
                 (0..topology.ports(i))
@@ -114,15 +151,18 @@ impl Hub {
                     .collect()
             })
             .collect();
-        Hub {
+        ShardHub {
             n: topology.n(),
+            seq_tag: shard << anonring_sim::telemetry::SHARD_SEQ_SHIFT,
+            coordinated,
             wiring,
             inner: Mutex::new(HubInner {
                 meter: CostMeter::new(),
                 events: Vec::new(),
                 wall_stamps: Vec::new(),
                 next_seq: 0,
-                in_flight: 0,
+                sent: 0,
+                delivered: 0,
                 peak_in_flight: 0,
                 halted: 0,
                 waiting: 0,
@@ -161,7 +201,7 @@ impl Hub {
         self.inner.lock().expect("hub lock poisoned")
     }
 
-    /// Like [`Hub::lock`], but wrapped in the S26 profiler probes: a
+    /// Like [`ShardHub::lock`], but wrapped in the S26 profiler probes: a
     /// `try_lock` first (a miss counts as contention), acquire-wait
     /// recorded per [`profile::HubOp`], and a [`profile::HoldTimer`]
     /// the caller binds alongside the guard so the hold duration is
@@ -203,13 +243,14 @@ impl Hub {
         let (mut inner, _hold) = self.lock_timed(profile::HubOp::Send);
         let now = self.now_us();
         let timer = profile::SectionTimer::begin(profile::HubSection::Stamp);
-        let seq = inner.next_seq;
+        let seq = self.seq_tag | inner.next_seq;
         inner.next_seq += 1;
         inner.wall_stamps.push(now);
         timer.finish();
         let timer = profile::SectionTimer::begin(profile::HubSection::Meter);
-        inner.in_flight += 1;
-        inner.peak_in_flight = inner.peak_in_flight.max(inner.in_flight);
+        inner.sent += 1;
+        let in_flight = inner.sent.saturating_sub(inner.delivered);
+        inner.peak_in_flight = inner.peak_in_flight.max(in_flight);
         inner.meter.record_send(time, bits);
         timer.finish();
         let timer = profile::SectionTimer::begin(profile::HubSection::Trace);
@@ -242,7 +283,7 @@ impl Hub {
         if dropped {
             inner.meter.record_drop();
         }
-        inner.in_flight -= 1;
+        inner.delivered += 1;
         timer.finish();
         let timer = profile::SectionTimer::begin(profile::HubSection::Stamp);
         inner.wall_stamps.push(now);
@@ -275,7 +316,14 @@ impl Hub {
     pub(crate) fn enter_wait(&self) {
         let mut inner = self.lock();
         inner.waiting += 1;
-        if inner.waiting == self.n && inner.in_flight == 0 && !inner.done && !inner.cancelled {
+        if self.coordinated {
+            return;
+        }
+        if inner.waiting == self.n
+            && inner.sent == inner.delivered
+            && !inner.done
+            && !inner.cancelled
+        {
             if inner.halted < self.n {
                 inner.stalled = true;
             }
@@ -304,10 +352,37 @@ impl Hub {
     }
 
     fn check_done(&self, inner: &mut HubInner) {
-        if inner.halted == self.n && inner.in_flight == 0 && !inner.done {
+        if !self.coordinated
+            && inner.halted == self.n
+            && inner.sent == inner.delivered
+            && !inner.done
+        {
             inner.done = true;
             self.progress.notify_all();
         }
+    }
+
+    /// Monotone progress counters for the cluster control plane:
+    /// `(halted, sent, delivered)`. Halted processors never send again, so
+    /// once a shard reports all its locals halted its `sent` is final —
+    /// which is what makes the coordinator's done check exact.
+    pub(crate) fn counters(&self) -> (usize, u64, u64) {
+        let inner = self.lock();
+        (inner.halted, inner.sent, inner.delivered)
+    }
+
+    /// External verdict from the cluster coordinator: ends the run as
+    /// done (`stalled = false`) or as a quiescent stall (`stalled =
+    /// true`). Only meaningful on coordinated hubs, where no internal
+    /// check ever sets these flags.
+    pub(crate) fn finish(&self, stalled: bool) {
+        let mut inner = self.lock();
+        if inner.done || inner.cancelled {
+            return;
+        }
+        inner.stalled = stalled;
+        inner.done = true;
+        self.progress.notify_all();
     }
 
     /// Blocks the coordinator until the run terminates or `deadline`
@@ -361,12 +436,12 @@ impl Hub {
 
 #[cfg(test)]
 mod tests {
-    use super::Hub;
+    use super::ShardHub;
     use anonring_sim::{PortId, RingTopology};
     use std::time::{Duration, Instant};
 
-    fn hub(n: usize) -> Hub {
-        Hub::new(&RingTopology::oriented(n).expect("n >= 2"))
+    fn hub(n: usize) -> ShardHub {
+        ShardHub::new(&RingTopology::oriented(n).expect("n >= 2"))
     }
 
     #[test]

@@ -47,14 +47,18 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cluster;
 pub mod conformance;
 mod hub;
 mod inbox;
 mod jitter;
+pub mod manifest;
 pub mod runtime;
 mod tcp;
 pub mod wire;
 
+pub use cluster::{certify_cluster, ClusterCertified, ClusterError, Handshake, ShardReport};
 pub use conformance::{certify, certify_with, compare, Certified, ConformanceError};
+pub use manifest::{ClusterManifest, ManifestError, ShardSpec, MANIFEST_VERSION};
 pub use runtime::{run, run_threads, NetError, NetOptions, NetReport, Transport};
 pub use wire::{Wire, WireError};

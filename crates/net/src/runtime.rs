@@ -7,7 +7,7 @@
 //! thread with a bounded [`crate::inbox::Inbox`] (one FIFO per local port);
 //! workers deliver from their own inbox, react, and push the reactions
 //! into their neighbours' inboxes. Every send, delivery and halt is
-//! metered and logged by the shared [`crate::hub::Hub`], so a net run
+//! metered and logged by the shared [`crate::hub::ShardHub`], so a net run
 //! yields the same message/bit accounting and the same causal
 //! [`TraceEvent`] stream as a simulated one.
 //!
@@ -41,7 +41,7 @@ use anonring_sim::r#async::AsyncPortProcess;
 use anonring_sim::runtime::{CausalClocks, Observer, PortActions, TraceEvent};
 use anonring_sim::{PortId, Topology};
 
-use crate::hub::{Hub, Outcome};
+use crate::hub::{Outcome, ShardHub};
 use crate::inbox::{pidx, Inbox, Parcel, PushOutcome, WorkOutcome};
 use crate::jitter::Jitter;
 use crate::wire::Wire;
@@ -273,7 +273,7 @@ pub(crate) trait SendPort<M> {
 pub(crate) struct LocalPort<M> {
     pub peer: Arc<Inbox<M>>,
     pub arrival: PortId,
-    /// Hub-shared counter of full-inbox waits (see `Hub::backpressure_handle`).
+    /// Hub-shared counter of full-inbox waits (see `ShardHub::backpressure_handle`).
     pub pressure: Arc<std::sync::atomic::AtomicU64>,
 }
 
@@ -312,7 +312,7 @@ pub(crate) fn emit_actions<M: Message, O, L: SendPort<M>>(
     me: usize,
     actions: PortActions<M, O>,
     event_epoch: u64,
-    hub: &Hub,
+    hub: &ShardHub,
     clocks: &mut CausalClocks,
     inbox: &Inbox<M>,
     links: &mut [L],
@@ -349,7 +349,7 @@ pub(crate) fn emit_actions<M: Message, O, L: SendPort<M>>(
 pub(crate) fn worker<P: AsyncPortProcess, L: SendPort<P::Msg>>(
     me: usize,
     mut proc: P,
-    hub: &Hub,
+    hub: &ShardHub,
     inbox: &Inbox<P::Msg>,
     mut links: Vec<L>,
     mut jitter: Jitter,
@@ -429,7 +429,7 @@ pub(crate) fn worker<P: AsyncPortProcess, L: SendPort<P::Msg>>(
 /// Folds the hub state and per-worker results into a report (or the run's
 /// first error).
 pub(crate) fn finish<O>(
-    hub: Hub,
+    hub: ShardHub,
     outcome: Outcome,
     results: Vec<Result<Option<O>, NetError>>,
     options: &NetOptions,
@@ -503,7 +503,7 @@ where
             halted: 0,
         });
     }
-    let hub = Hub::new(topology);
+    let hub = ShardHub::new(topology);
     let inboxes: Vec<Arc<Inbox<P::Msg>>> = (0..n)
         .map(|i| Arc::new(Inbox::new(topology.ports(i), options.capacity)))
         .collect();

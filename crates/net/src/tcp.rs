@@ -33,20 +33,32 @@ use anonring_sim::r#async::AsyncPortProcess;
 use anonring_sim::runtime::CausalStamp;
 use anonring_sim::{PortId, Topology};
 
-use crate::hub::Hub;
+use crate::hub::ShardHub;
 use crate::inbox::{Inbox, Parcel, PushOutcome};
 use crate::jitter::Jitter;
 use crate::runtime::{finish, worker, NetError, NetOptions, NetReport, PushError, SendPort};
 use crate::wire::Wire;
 
 /// How long a parked reader waits before re-checking for shutdown.
-const READ_POLL: Duration = Duration::from_millis(50);
+pub(crate) const READ_POLL: Duration = Duration::from_millis(50);
 
 /// The sending end of one TCP link.
-struct TcpPort<M> {
+pub(crate) struct TcpPort<M> {
     stream: TcpStream,
     frame: Vec<u8>,
     _msg: std::marker::PhantomData<fn(M)>,
+}
+
+impl<M> TcpPort<M> {
+    /// Wraps an established (nodelay) writer stream; the cluster dialer
+    /// builds its cross-shard send ports through this.
+    pub(crate) fn over(stream: TcpStream) -> TcpPort<M> {
+        TcpPort {
+            stream,
+            frame: Vec::new(),
+            _msg: std::marker::PhantomData,
+        }
+    }
 }
 
 impl<M: Wire> SendPort<M> for TcpPort<M> {
@@ -89,7 +101,7 @@ impl<M: Wire> SendPort<M> for TcpPort<M> {
 /// Reads exactly `buf.len()` bytes, tolerating read timeouts (checking
 /// `stop` at each) so shutdown can interrupt a parked reader. Returns
 /// `Ok(false)` on a clean EOF at a frame boundary.
-fn read_frame_bytes(
+pub(crate) fn read_frame_bytes(
     stream: &mut TcpStream,
     buf: &mut [u8],
     at_boundary: bool,
@@ -119,11 +131,11 @@ fn read_frame_bytes(
 
 /// The receiving end of one TCP link: decodes frames and feeds the
 /// receiver's inbox until EOF or shutdown.
-fn read_link<M: Wire>(
+pub(crate) fn read_link<M: Wire>(
     mut stream: TcpStream,
     inbox: &Inbox<M>,
     arrival: PortId,
-    hub: &Hub,
+    hub: &ShardHub,
     faults: &Mutex<Vec<String>>,
 ) {
     let fail = |detail: String| {
@@ -242,7 +254,7 @@ where
             halted: 0,
         });
     }
-    let hub = Hub::new(topology);
+    let hub = ShardHub::new(topology);
     let inboxes: Vec<Arc<Inbox<P::Msg>>> = (0..n)
         .map(|i| Arc::new(Inbox::new(topology.ports(i), options.capacity)))
         .collect();

@@ -301,6 +301,45 @@ impl MetricsRegistry {
         }
     }
 
+    /// A copy of the registry with `(key, value)` appended to every
+    /// metric's label set. Ids already carrying `key` are left alone, so
+    /// the operation is idempotent.
+    ///
+    /// This is how a cluster shard makes its scrape mergeable: labelling
+    /// every series with `shard="k"` before exposition means two shards'
+    /// expositions never collide on a Prometheus series.
+    #[must_use]
+    pub fn labelled(&self, key: &'static str, value: &str) -> MetricsRegistry {
+        let relabel = |id: &MetricId| -> MetricId {
+            if id.labels.iter().any(|(k, _)| *k == key) {
+                return id.clone();
+            }
+            let mut labels = id.labels.clone();
+            labels.push((key, value.to_string()));
+            MetricId {
+                name: id.name,
+                labels,
+            }
+        };
+        MetricsRegistry {
+            counters: self
+                .counters
+                .iter()
+                .map(|(id, &v)| (relabel(id), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(id, &v)| (relabel(id), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(id, h)| (relabel(id), h.clone()))
+                .collect(),
+        }
+    }
+
     /// Serializes the registry in the Prometheus text exposition format
     /// (version 0.0.4): one `# TYPE` line per metric name, one sample
     /// line per label set, histograms as cumulative `_bucket{le=...}`

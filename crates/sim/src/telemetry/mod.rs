@@ -25,14 +25,16 @@
 //! [`crate::runtime::FanOut`].
 
 pub mod causality;
+pub mod merge;
 mod metrics;
 mod recorder;
 
 pub use causality::{CausalDag, CausalNode, CausalityError, CriticalPath, PathWeight};
+pub use merge::MergeError;
 pub use metrics::{Histogram, MetricId, MetricsRegistry};
 pub use recorder::{
-    FlightRecorder, Recording, RecordingError, ReplayEvent, OLDEST_PARSEABLE_VERSION,
-    RECORDING_VERSION,
+    seq_shard, FlightRecorder, Recording, RecordingError, ReplayEvent, OLDEST_PARSEABLE_VERSION,
+    RECORDING_VERSION, SHARD_SEQ_SHIFT,
 };
 
 use std::collections::BTreeMap;

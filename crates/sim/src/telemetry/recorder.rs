@@ -57,6 +57,22 @@ pub const RECORDING_VERSION: u64 = 2;
 /// Oldest serialization version [`Recording::parse_jsonl`] still accepts.
 pub const OLDEST_PARSEABLE_VERSION: u64 = 1;
 
+/// Bit position of the shard tag in a sharded recording's send `seq`.
+///
+/// A cluster shard assigns its sequence numbers locally; to keep
+/// cross-shard references (a deliver's `seq`, a send's `parent`)
+/// unambiguous, every assigned seq carries the owning shard in its high
+/// bits: `seq = shard << SHARD_SEQ_SHIFT | local_counter`. Single-process
+/// recordings use shard 0 implicitly (tag bits all zero), so the format
+/// is unchanged for them. 65 536 shards × 2⁴⁸ sends per shard.
+pub const SHARD_SEQ_SHIFT: u32 = 48;
+
+/// The shard that assigned a (possibly tagged) send sequence number.
+#[must_use]
+pub fn seq_shard(seq: u64) -> u64 {
+    seq >> SHARD_SEQ_SHIFT
+}
+
 /// An owned mirror of [`TraceEvent`], as reconstructed by the replay
 /// parser (phase names become owned strings — the `&'static str` of a
 /// live [`crate::runtime::Span`] cannot survive serialization).
@@ -229,7 +245,15 @@ impl ReplayEvent {
     }
 }
 
-fn write_meta(out: &mut String, version: u64, n: usize, label: &str, engine: &str, truncated: u64) {
+fn write_meta(
+    out: &mut String,
+    version: u64,
+    n: usize,
+    label: &str,
+    engine: &str,
+    shard: Option<(u64, u64)>,
+    truncated: u64,
+) {
     let _ = write!(
         out,
         "{{\"type\":\"meta\",\"version\":{version},\"n\":{n},\"label\":\"{}\"",
@@ -237,6 +261,9 @@ fn write_meta(out: &mut String, version: u64, n: usize, label: &str, engine: &st
     );
     if !engine.is_empty() {
         let _ = write!(out, ",\"engine\":\"{}\"", json_escape(engine));
+    }
+    if let Some((shard, shards)) = shard {
+        let _ = write!(out, ",\"shard\":{shard},\"shards\":{shards}");
     }
     let _ = writeln!(out, ",\"truncated\":{truncated}}}");
 }
@@ -248,6 +275,7 @@ pub struct FlightRecorder {
     n: usize,
     label: String,
     engine: String,
+    shard: Option<(u64, u64)>,
     events: VecDeque<ReplayEvent>,
     capacity: Option<usize>,
     truncated: u64,
@@ -262,6 +290,7 @@ impl FlightRecorder {
             n,
             label: label.into(),
             engine: String::new(),
+            shard: None,
             events: VecDeque::new(),
             capacity: None,
             truncated: 0,
@@ -274,6 +303,17 @@ impl FlightRecorder {
     #[must_use]
     pub fn with_engine(mut self, engine: impl Into<String>) -> FlightRecorder {
         self.engine = engine.into();
+        self
+    }
+
+    /// Marks the recording as shard `shard` of a `shards`-shard cluster
+    /// run. Sharded recordings carry shard-tagged seqs (see
+    /// [`SHARD_SEQ_SHIFT`]); the causal checker then accepts references to
+    /// sends owned by other shards, which `telemetry::merge` resolves.
+    /// Unset recorders omit the keys, preserving byte-identity.
+    #[must_use]
+    pub fn with_shard(mut self, shard: u64, shards: u64) -> FlightRecorder {
+        self.shard = Some((shard, shards));
         self
     }
 
@@ -290,6 +330,7 @@ impl FlightRecorder {
             n,
             label: label.into(),
             engine: String::new(),
+            shard: None,
             events: VecDeque::with_capacity(capacity),
             capacity: Some(capacity),
             truncated: 0,
@@ -318,6 +359,7 @@ impl FlightRecorder {
             self.n,
             &self.label,
             &self.engine,
+            self.shard,
             self.truncated,
         );
         for event in &self.events {
@@ -335,6 +377,7 @@ impl FlightRecorder {
             n: self.n,
             label: self.label,
             engine: self.engine,
+            shard: self.shard,
             truncated: self.truncated,
             events: self.events.into_iter().collect(),
         }
@@ -406,6 +449,9 @@ pub struct Recording {
     /// `"sim-async"`, `"net"`); empty when the recording predates the
     /// field or the recorder never set it.
     pub engine: String,
+    /// `(shard, shards)` of a per-shard cluster recording; `None` for
+    /// ordinary single-process recordings.
+    pub shard: Option<(u64, u64)>,
     /// Events evicted by ring-buffer mode before serialization.
     pub truncated: u64,
     /// The recorded events, in execution order.
@@ -449,17 +495,24 @@ impl Recording {
         let n = meta
             .number("n")
             .ok_or_else(|| err(1, "meta record missing \"n\"".into()))?;
+        let shard = match (meta.number("shard"), meta.number("shards")) {
+            (Some(shard), Some(shards)) if shard < shards => Some((shard, shards)),
+            (None, None) => None,
+            _ => return Err(err(1, "bad \"shard\"/\"shards\" pair".into())),
+        };
         let mut recording = Recording {
             version,
             n: usize::try_from(n).map_err(|_| err(1, "n out of range".into()))?,
             label: meta.string("label").unwrap_or_default().to_string(),
             engine: meta.string("engine").unwrap_or_default().to_string(),
+            shard,
             truncated: meta.number("truncated").unwrap_or(0),
             events: Vec::new(),
         };
         // Causal-edge validation only makes sense when the full prefix is
         // present: a ring-buffered recording may have evicted the parents.
-        let mut causal = (version >= 2 && recording.truncated == 0).then(CausalCheck::new);
+        let mut causal = (version >= 2 && recording.truncated == 0)
+            .then(|| CausalCheck::new(shard.map(|(shard, _)| shard)));
         for (idx, line) in lines {
             if line.is_empty() {
                 continue;
@@ -567,6 +620,7 @@ impl Recording {
             self.n,
             &self.label,
             &self.engine,
+            self.shard,
             self.truncated,
         );
         for event in &self.events {
@@ -657,25 +711,44 @@ impl Recording {
 /// Streaming validator for the version-2 causal fields: send `seq`s must
 /// strictly increase, a `parent` must name an earlier send, a deliver's
 /// `seq` must name a seen send.
+///
+/// On a per-shard cluster recording (`shard: Some(k)`) a send's seq must
+/// carry this shard's tag, while parents and delivered seqs tagged with
+/// a *different* shard are references to sends recorded elsewhere — those
+/// are exempt here and resolved by `telemetry::merge`, which re-checks
+/// the full invariants on the merged stream.
 struct CausalCheck {
     seen: std::collections::BTreeSet<u64>,
     last_seq: Option<u64>,
+    shard: Option<u64>,
 }
 
 impl CausalCheck {
-    fn new() -> CausalCheck {
+    fn new(shard: Option<u64>) -> CausalCheck {
         CausalCheck {
             seen: std::collections::BTreeSet::new(),
             last_seq: None,
+            shard,
         }
     }
 
+    /// Whether `seq` names a send this recording must itself contain.
+    fn local(&self, seq: u64) -> bool {
+        self.shard.is_none_or(|shard| seq_shard(seq) == shard)
+    }
+
     fn on_send(&mut self, seq: u64, parent: Option<u64>) -> Result<(), String> {
+        if !self.local(seq) {
+            return Err(format!(
+                "send \"seq\":{seq} carries a foreign shard tag (shard {})",
+                seq_shard(seq)
+            ));
+        }
         if self.last_seq.is_some_and(|last| seq <= last) {
             return Err(format!("send \"seq\":{seq} out of order"));
         }
         if let Some(parent) = parent {
-            if !self.seen.contains(&parent) {
+            if self.local(parent) && !self.seen.contains(&parent) {
                 return Err(format!(
                     "causal edge \"parent\":{parent} does not name an earlier send"
                 ));
@@ -687,7 +760,7 @@ impl CausalCheck {
     }
 
     fn on_deliver(&mut self, seq: u64) -> Result<(), String> {
-        if !self.seen.contains(&seq) {
+        if self.local(seq) && !self.seen.contains(&seq) {
             return Err(format!("deliver \"seq\":{seq} does not name a seen send"));
         }
         Ok(())
